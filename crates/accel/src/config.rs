@@ -1,0 +1,126 @@
+//! Hardware configuration of the DaCapo accelerator.
+
+use crate::{AccelError, Result};
+use serde::{Deserialize, Serialize};
+
+/// Static hardware parameters of a DaCapo chip.
+///
+/// The defaults reproduce the prototype evaluated in the paper (Table IV):
+/// a 16×16 DPE array at 500 MHz with 96 KB of on-chip SRAM and LPDDR5 DRAM at
+/// 204.8 GB/s.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AccelConfig {
+    /// Number of DPE rows (the partitionable dimension).
+    pub rows: usize,
+    /// Number of DPE columns.
+    pub cols: usize,
+    /// Clock frequency in hertz.
+    pub frequency_hz: f64,
+    /// On-chip SRAM capacity in bytes (shared by the two sub-accelerators).
+    pub sram_bytes: usize,
+    /// Off-chip DRAM bandwidth in bytes per second.
+    pub dram_bandwidth_bytes_per_s: f64,
+}
+
+impl Default for AccelConfig {
+    fn default() -> Self {
+        Self {
+            rows: 16,
+            cols: 16,
+            frequency_hz: 500e6,
+            sram_bytes: 96 * 1024,
+            dram_bandwidth_bytes_per_s: 204.8e9,
+        }
+    }
+}
+
+impl AccelConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AccelError::InvalidConfig`] if any dimension, the frequency,
+    /// or the bandwidth is zero, or if the array has fewer than two rows
+    /// (a single row cannot be partitioned into T-SA and B-SA).
+    pub fn validate(&self) -> Result<()> {
+        if self.rows < 2 {
+            return Err(AccelError::InvalidConfig {
+                reason: format!("need at least 2 DPE rows to partition, got {}", self.rows),
+            });
+        }
+        if self.cols == 0 {
+            return Err(AccelError::InvalidConfig { reason: "column count must be positive".into() });
+        }
+        if self.frequency_hz <= 0.0 {
+            return Err(AccelError::InvalidConfig { reason: "frequency must be positive".into() });
+        }
+        if self.sram_bytes == 0 {
+            return Err(AccelError::InvalidConfig { reason: "SRAM capacity must be positive".into() });
+        }
+        if self.dram_bandwidth_bytes_per_s <= 0.0 {
+            return Err(AccelError::InvalidConfig { reason: "DRAM bandwidth must be positive".into() });
+        }
+        Ok(())
+    }
+
+    /// A larger 32×32 configuration the paper mentions as a scale-up option.
+    #[must_use]
+    pub fn scaled_32x32() -> Self {
+        Self { rows: 32, cols: 32, sram_bytes: 384 * 1024, ..Self::default() }
+    }
+
+    /// DRAM bytes transferable per clock cycle.
+    #[must_use]
+    pub fn dram_bytes_per_cycle(&self) -> f64 {
+        self.dram_bandwidth_bytes_per_s / self.frequency_hz
+    }
+
+    /// Total number of DPEs in the array.
+    #[must_use]
+    pub fn num_dpes(&self) -> usize {
+        self.rows * self.cols
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_table4_prototype() {
+        let c = AccelConfig::default();
+        assert_eq!(c.rows, 16);
+        assert_eq!(c.cols, 16);
+        assert_eq!(c.num_dpes(), 256);
+        assert_eq!(c.sram_bytes, 96 * 1024);
+        assert!((c.frequency_hz - 500e6).abs() < 1.0);
+        assert!((c.dram_bandwidth_bytes_per_s - 204.8e9).abs() < 1e6);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn dram_bytes_per_cycle_is_consistent() {
+        let c = AccelConfig::default();
+        assert!((c.dram_bytes_per_cycle() - 409.6).abs() < 1e-6);
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        assert!(AccelConfig { rows: 1, ..AccelConfig::default() }.validate().is_err());
+        assert!(AccelConfig { cols: 0, ..AccelConfig::default() }.validate().is_err());
+        assert!(AccelConfig { frequency_hz: 0.0, ..AccelConfig::default() }.validate().is_err());
+        assert!(AccelConfig { sram_bytes: 0, ..AccelConfig::default() }.validate().is_err());
+        assert!(
+            AccelConfig { dram_bandwidth_bytes_per_s: 0.0, ..AccelConfig::default() }
+                .validate()
+                .is_err()
+        );
+    }
+
+    #[test]
+    fn scaled_configuration_is_larger_and_valid() {
+        let c = AccelConfig::scaled_32x32();
+        assert_eq!(c.num_dpes(), 1024);
+        assert!(c.validate().is_ok());
+    }
+}

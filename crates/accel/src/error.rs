@@ -1,0 +1,64 @@
+//! Error type for the accelerator simulator.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when configuring or partitioning the accelerator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AccelError {
+    /// The accelerator configuration was invalid (zero rows, zero frequency, …).
+    InvalidConfig {
+        /// Explanation of what was wrong.
+        reason: String,
+    },
+    /// A requested row partition was invalid for this array.
+    InvalidPartition {
+        /// Rows requested for the top sub-accelerator.
+        tsa_rows: usize,
+        /// Total rows available in the array.
+        total_rows: usize,
+    },
+    /// A workload could not be satisfied (for example no partition sustains
+    /// the requested frame rate).
+    Infeasible {
+        /// Explanation of what could not be satisfied.
+        reason: String,
+    },
+}
+
+impl fmt::Display for AccelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccelError::InvalidConfig { reason } => write!(f, "invalid accelerator configuration: {reason}"),
+            AccelError::InvalidPartition { tsa_rows, total_rows } => write!(
+                f,
+                "invalid partition: {tsa_rows} T-SA rows requested but both sub-accelerators need \
+                 at least one of the {total_rows} total rows"
+            ),
+            AccelError::Infeasible { reason } => write!(f, "infeasible workload: {reason}"),
+        }
+    }
+}
+
+impl Error for AccelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = AccelError::InvalidPartition { tsa_rows: 16, total_rows: 16 };
+        assert!(e.to_string().contains("16 T-SA rows"));
+        let e = AccelError::InvalidConfig { reason: "zero rows".into() };
+        assert!(e.to_string().contains("zero rows"));
+        let e = AccelError::Infeasible { reason: "frame rate too high".into() };
+        assert!(e.to_string().contains("frame rate"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<AccelError>();
+    }
+}

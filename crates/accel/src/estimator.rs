@@ -1,0 +1,206 @@
+//! The offline performance estimator (Section IV, steps 2-3).
+//!
+//! Before deployment DaCapo estimates, for every candidate partition, the
+//! throughput of the three kernels on their sub-accelerators at their assigned
+//! MX precisions. The spatial resource allocator then picks the smallest B-SA
+//! that still sustains the input frame rate, handing every remaining row to
+//! the T-SA.
+
+use crate::array::DaCapoAccelerator;
+use crate::{AccelError, Result};
+use dacapo_dnn::workload::{kernel_gemms, Kernel};
+use dacapo_dnn::zoo::ModelPair;
+use dacapo_mx::MxPrecision;
+use serde::{Deserialize, Serialize};
+
+/// MX precision assignment per kernel.
+///
+/// The paper observes (consistent with the original MX paper) that MX9 is
+/// needed for retraining while MX6 suffices for inference and labeling, and
+/// MX4 degrades accuracy too much for either; these are the defaults.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PrecisionPlan {
+    /// Precision of student inference on the B-SA.
+    pub inference: MxPrecision,
+    /// Precision of teacher labeling on the T-SA.
+    pub labeling: MxPrecision,
+    /// Precision of student retraining on the T-SA.
+    pub retraining: MxPrecision,
+}
+
+impl Default for PrecisionPlan {
+    fn default() -> Self {
+        Self {
+            inference: MxPrecision::Mx6,
+            labeling: MxPrecision::Mx6,
+            retraining: MxPrecision::Mx9,
+        }
+    }
+}
+
+/// Throughput estimate of the three kernels under a concrete partition.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PerformanceEstimate {
+    /// Rows assigned to the T-SA.
+    pub tsa_rows: usize,
+    /// Rows assigned to the B-SA.
+    pub bsa_rows: usize,
+    /// Student inference throughput on the B-SA, frames per second.
+    pub inference_fps: f64,
+    /// Teacher labeling throughput on the T-SA, samples per second.
+    pub labeling_samples_per_s: f64,
+    /// Student retraining throughput on the T-SA, samples per second
+    /// (batch throughput × batch size).
+    pub retraining_samples_per_s: f64,
+}
+
+/// Estimates kernel throughputs for a given T-SA row count.
+///
+/// # Errors
+///
+/// Returns [`AccelError::InvalidPartition`] for degenerate row splits.
+pub fn estimate(
+    accel: &DaCapoAccelerator,
+    pair: ModelPair,
+    tsa_rows: usize,
+    retrain_batch: usize,
+    plan: &PrecisionPlan,
+) -> Result<PerformanceEstimate> {
+    let partition = accel.partition(tsa_rows)?;
+    let inference = kernel_gemms(pair, Kernel::Inference, retrain_batch);
+    let labeling = kernel_gemms(pair, Kernel::Labeling, retrain_batch);
+    let retraining = kernel_gemms(pair, Kernel::Retraining, retrain_batch);
+    let retrain_batches_per_s = partition.tsa().units_per_second(&retraining, plan.retraining);
+    Ok(PerformanceEstimate {
+        tsa_rows,
+        bsa_rows: partition.bsa().rows(),
+        inference_fps: partition.bsa().units_per_second(&inference, plan.inference),
+        labeling_samples_per_s: partition.tsa().units_per_second(&labeling, plan.labeling),
+        retraining_samples_per_s: retrain_batches_per_s * retrain_batch as f64,
+    })
+}
+
+/// Finds the minimum number of B-SA rows that sustains `fps` student
+/// inference, i.e. the paper's offline spatial resource allocation.
+///
+/// Returns the corresponding T-SA row count (total rows minus the B-SA rows).
+///
+/// # Errors
+///
+/// Returns [`AccelError::Infeasible`] if even giving all but one row to the
+/// B-SA cannot keep up with the frame rate.
+pub fn spatial_allocation(
+    accel: &DaCapoAccelerator,
+    pair: ModelPair,
+    fps: f64,
+    plan: &PrecisionPlan,
+) -> Result<usize> {
+    let total_rows = accel.config().rows;
+    let inference = kernel_gemms(pair, Kernel::Inference, 1);
+    for bsa_rows in 1..total_rows {
+        let partition = accel.partition(total_rows - bsa_rows)?;
+        if partition.bsa().units_per_second(&inference, plan.inference) >= fps {
+            return Ok(total_rows - bsa_rows);
+        }
+    }
+    Err(AccelError::Infeasible {
+        reason: format!(
+            "no partition of {total_rows} rows sustains {fps} FPS inference for {pair}"
+        ),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AccelConfig;
+
+    fn accel() -> DaCapoAccelerator {
+        DaCapoAccelerator::new(AccelConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn default_plan_matches_paper_precisions() {
+        let plan = PrecisionPlan::default();
+        assert_eq!(plan.inference, MxPrecision::Mx6);
+        assert_eq!(plan.labeling, MxPrecision::Mx6);
+        assert_eq!(plan.retraining, MxPrecision::Mx9);
+    }
+
+    #[test]
+    fn spatial_allocation_sustains_30fps_for_all_pairs() {
+        let accel = accel();
+        let plan = PrecisionPlan::default();
+        for pair in ModelPair::ALL {
+            let tsa_rows = spatial_allocation(&accel, pair, 30.0, &plan).unwrap();
+            let est = estimate(&accel, pair, tsa_rows, 16, &plan).unwrap();
+            assert!(
+                est.inference_fps >= 30.0,
+                "{pair}: allocation gives only {:.1} FPS",
+                est.inference_fps
+            );
+            assert!(est.tsa_rows >= 1, "{pair}: T-SA starved");
+        }
+    }
+
+    #[test]
+    fn spatial_allocation_is_minimal() {
+        // One fewer B-SA row must not sustain the frame rate.
+        let accel = accel();
+        let plan = PrecisionPlan::default();
+        for pair in ModelPair::ALL {
+            let tsa_rows = spatial_allocation(&accel, pair, 30.0, &plan).unwrap();
+            let bsa_rows = accel.config().rows - tsa_rows;
+            if bsa_rows > 1 {
+                let est = estimate(&accel, pair, tsa_rows + 1, 16, &plan).unwrap();
+                assert!(
+                    est.inference_fps < 30.0,
+                    "{pair}: a smaller B-SA ({} rows) still reaches {:.1} FPS",
+                    bsa_rows - 1,
+                    est.inference_fps
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn heavier_students_need_more_inference_rows() {
+        let accel = accel();
+        let plan = PrecisionPlan::default();
+        let light = spatial_allocation(&accel, ModelPair::ResNet18Wrn50, 30.0, &plan).unwrap();
+        let heavy = spatial_allocation(&accel, ModelPair::ResNet34Wrn101, 30.0, &plan).unwrap();
+        // More T-SA rows remain for the lighter student.
+        assert!(light >= heavy, "ResNet18 leaves {light} T-SA rows, ResNet34 leaves {heavy}");
+    }
+
+    #[test]
+    fn impossible_frame_rates_are_reported_infeasible() {
+        let accel = accel();
+        let plan = PrecisionPlan::default();
+        assert!(matches!(
+            spatial_allocation(&accel, ModelPair::ResNet34Wrn101, 1e9, &plan),
+            Err(AccelError::Infeasible { .. })
+        ));
+    }
+
+    #[test]
+    fn more_tsa_rows_speed_up_retraining_and_labeling() {
+        let accel = accel();
+        let plan = PrecisionPlan::default();
+        let small = estimate(&accel, ModelPair::ResNet18Wrn50, 4, 16, &plan).unwrap();
+        let large = estimate(&accel, ModelPair::ResNet18Wrn50, 12, 16, &plan).unwrap();
+        assert!(large.labeling_samples_per_s > small.labeling_samples_per_s);
+        assert!(large.retraining_samples_per_s > small.retraining_samples_per_s);
+        assert!(large.inference_fps < small.inference_fps);
+    }
+
+    #[test]
+    fn labeling_throughput_is_lower_than_inference_per_row() {
+        // The teacher costs more per sample, so at equal rows labeling is
+        // slower than inference.
+        let accel = accel();
+        let plan = PrecisionPlan::default();
+        let est = estimate(&accel, ModelPair::ResNet18Wrn50, 8, 16, &plan).unwrap();
+        assert!(est.labeling_samples_per_s < est.inference_fps);
+    }
+}

@@ -1,0 +1,58 @@
+//! Cycle-level simulator of the DaCapo accelerator and its GPU baselines.
+//!
+//! The DaCapo accelerator (Section V of the paper) is a 16×16 array of
+//! Dot-Product Engines (DPEs) that can be *spatially partitioned* at row
+//! granularity into a Top Sub-Accelerator (T-SA, time-shares retraining and
+//! labeling) and a Bottom Sub-Accelerator (B-SA, runs inference continuously)
+//! and is *precision flexible*: every DPE executes 16-element MX4 / MX6 / MX9
+//! dot products in 1 / 4 / 16 cycles.
+//!
+//! This crate models that hardware in the style of the in-house SCALE-Sim
+//! based simulator the paper uses to cross-validate its RTL:
+//!
+//! * [`dpe`] — per-DPE timing and energy,
+//! * [`SubAccel`] — output-stationary GEMM tiling and cycle counts on a
+//!   row-partition of the array, including the DRAM bandwidth bound,
+//! * [`Partition`] / [`DaCapoAccelerator`] — the spatially partitioned chip,
+//! * [`power`] — the area/power/energy model seeded from Table IV,
+//! * [`estimator`] — the offline performance estimator used for spatial
+//!   resource allocation (Section IV, step 2-3),
+//! * [`gpu`] — roofline models of the Jetson Orin (low/high power) and
+//!   RTX 3090 baselines.
+//!
+//! # Examples
+//!
+//! ```
+//! use dacapo_accel::{AccelConfig, DaCapoAccelerator};
+//! use dacapo_dnn::zoo::ModelPair;
+//! use dacapo_mx::MxPrecision;
+//!
+//! # fn main() -> Result<(), dacapo_accel::AccelError> {
+//! let accel = DaCapoAccelerator::new(AccelConfig::default())?;
+//! let partition = accel.partition(12)?; // 12 rows for T-SA, 4 for B-SA
+//! let gemms = ModelPair::ResNet18Wrn50.student().spec().forward_gemms(1);
+//! let seconds = partition.bsa().gemms_seconds(&gemms, MxPrecision::Mx6);
+//! assert!(seconds > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod array;
+mod config;
+pub mod dpe;
+mod error;
+pub mod estimator;
+mod gemm;
+pub mod gpu;
+pub mod power;
+
+pub use array::{DaCapoAccelerator, Partition};
+pub use config::AccelConfig;
+pub use error::AccelError;
+pub use gemm::{GemmCycles, SubAccel};
+
+/// Result alias used throughout this crate.
+pub type Result<T> = std::result::Result<T, AccelError>;

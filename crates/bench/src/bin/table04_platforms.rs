@@ -1,0 +1,102 @@
+//! Table IV: evaluated GPU and DaCapo platforms.
+//!
+//! Prints technology, area, frequency, power, and DRAM bandwidth of the
+//! DaCapo prototype (from the area/power model) next to the Jetson Orin, and
+//! the component-level budget breakdown.
+//!
+//! Run with `cargo run -p dacapo-bench --bin table04_platforms [--json]`.
+
+use dacapo_accel::gpu::GpuDevice;
+use dacapo_accel::power::PowerModel;
+use dacapo_accel::AccelConfig;
+use dacapo_bench::{render_table, write_json, ExperimentOptions};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct PlatformRow {
+    device: String,
+    technology: &'static str,
+    area_mm2: Option<f64>,
+    frequency_ghz: f64,
+    power_w_min: f64,
+    power_w_max: f64,
+    dram: &'static str,
+    dram_bandwidth_gbps: f64,
+}
+
+fn main() {
+    let options = ExperimentOptions::from_args();
+    let accel_config = AccelConfig::default();
+    let power = PowerModel::for_config(&accel_config);
+    let orin_high = GpuDevice::jetson_orin_high();
+    let orin_low = GpuDevice::jetson_orin_low();
+
+    let rows = vec![
+        PlatformRow {
+            device: orin_high.name.replace(" (60W)", ""),
+            technology: "8 nm",
+            area_mm2: None,
+            frequency_ghz: orin_high.frequency_mhz / 1000.0,
+            power_w_min: orin_low.power_w,
+            power_w_max: orin_high.power_w,
+            dram: "LPDDR5",
+            dram_bandwidth_gbps: orin_high.memory_bandwidth_gbps,
+        },
+        PlatformRow {
+            device: "DaCapo".to_string(),
+            technology: "28 nm",
+            area_mm2: Some(power.total_area_mm2()),
+            frequency_ghz: accel_config.frequency_hz / 1e9,
+            power_w_min: power.total_power_w(),
+            power_w_max: power.total_power_w(),
+            dram: "LPDDR5",
+            dram_bandwidth_gbps: accel_config.dram_bandwidth_bytes_per_s / 1e9,
+        },
+    ];
+
+    println!("Table IV: evaluated GPU and DaCapo platforms\n");
+    let table = render_table(
+        &["Device", "Technology", "Area", "Frequency", "Power", "DRAM bandwidth"],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.device.clone(),
+                    r.technology.to_string(),
+                    r.area_mm2.map_or("N/A".to_string(), |a| format!("{a:.3} mm2")),
+                    format!("{:.1} GHz", r.frequency_ghz),
+                    if (r.power_w_min - r.power_w_max).abs() < 1e-9 {
+                        format!("{:.3} W", r.power_w_min)
+                    } else {
+                        format!("{} - {} W", r.power_w_min, r.power_w_max)
+                    },
+                    format!("{} {:.1} GB/s", r.dram, r.dram_bandwidth_gbps),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    println!("{table}");
+
+    println!("DaCapo component budget (modelled split of the Table IV totals):\n");
+    let breakdown = render_table(
+        &["Component", "Area (mm2)", "Power (W)"],
+        &power
+            .components()
+            .iter()
+            .map(|c| vec![c.name.clone(), format!("{:.3}", c.area_mm2), format!("{:.4}", c.power_w)])
+            .collect::<Vec<_>>(),
+    );
+    println!("{breakdown}");
+    println!(
+        "Power ratios: OrinHigh / DaCapo = {:.0}x, OrinLow / DaCapo = {:.0}x",
+        orin_high.power_w / power.total_power_w(),
+        orin_low.power_w / power.total_power_w()
+    );
+
+    if options.json {
+        match write_json("table04_platforms", &rows) {
+            Ok(path) => println!("wrote {}", path.display()),
+            Err(e) => eprintln!("warning: {e}"),
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! Shared plumbing for the experiment binaries that regenerate the paper's
+//! tables and figures.
+//!
+//! Every binary in `src/bin/` reproduces one table or figure (see DESIGN.md's
+//! experiment index). They share the small utilities here: command-line flag
+//! handling (`--quick`, `--json`), tabular printing, and JSON result dumps
+//! under `results/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod runner;
+
+use serde::Serialize;
+use std::fs;
+use std::path::PathBuf;
+
+/// Common command-line options for experiment binaries.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ExperimentOptions {
+    /// Run a reduced configuration (shorter scenarios, fewer repeats) so the
+    /// experiment finishes in seconds rather than minutes.
+    pub quick: bool,
+    /// Also write the results as JSON under `results/`.
+    pub json: bool,
+    /// Extra positional arguments (experiment-specific).
+    pub extra: Vec<String>,
+}
+
+impl ExperimentOptions {
+    /// Parses options from `std::env::args`.
+    #[must_use]
+    pub fn from_args() -> Self {
+        Self::from_iter(std::env::args().skip(1))
+    }
+
+    /// Parses options from an explicit argument list (used by tests).
+    pub fn from_iter(args: impl IntoIterator<Item = String>) -> Self {
+        let mut options = Self::default();
+        for arg in args {
+            match arg.as_str() {
+                "--quick" => options.quick = true,
+                "--json" => options.json = true,
+                other => options.extra.push(other.to_string()),
+            }
+        }
+        options
+    }
+}
+
+/// Renders a table with a header row and aligned columns.
+#[must_use]
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let render_row = |cells: &[String], widths: &[usize]| -> String {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:width$}", c, width = widths.get(i).copied().unwrap_or(c.len())))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let header_cells: Vec<String> = headers.iter().map(|h| (*h).to_string()).collect();
+    out.push_str(&render_row(&header_cells, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&render_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Writes a serialisable result to `results/<name>.json`, returning the path.
+///
+/// # Errors
+///
+/// Returns an error string if the directory cannot be created or the file
+/// cannot be written.
+pub fn write_json<T: Serialize>(name: &str, value: &T) -> Result<PathBuf, String> {
+    let dir = PathBuf::from("results");
+    fs::create_dir_all(&dir).map_err(|e| format!("cannot create results directory: {e}"))?;
+    let path = dir.join(format!("{name}.json"));
+    let payload = serde_json::to_string_pretty(value).map_err(|e| format!("serialisation failed: {e}"))?;
+    fs::write(&path, payload).map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    Ok(path)
+}
+
+/// Formats a fraction as a percentage with one decimal place.
+#[must_use]
+pub fn pct(value: f64) -> String {
+    format!("{:.1}%", value * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn options_parse_flags_and_extras() {
+        let options = ExperimentOptions::from_iter(
+            ["--quick", "--json", "S3"].iter().map(|s| (*s).to_string()),
+        );
+        assert!(options.quick);
+        assert!(options.json);
+        assert_eq!(options.extra, vec!["S3".to_string()]);
+        assert_eq!(ExperimentOptions::from_iter(std::iter::empty()), ExperimentOptions::default());
+    }
+
+    #[test]
+    fn table_rendering_aligns_columns() {
+        let table = render_table(
+            &["system", "accuracy"],
+            &[
+                vec!["DaCapo".to_string(), "81.5%".to_string()],
+                vec!["OrinHigh-Ekya".to_string(), "75.0%".to_string()],
+            ],
+        );
+        assert!(table.contains("system"));
+        assert!(table.contains("OrinHigh-Ekya"));
+        let lines: Vec<&str> = table.lines().collect();
+        assert_eq!(lines.len(), 4);
+    }
+
+    #[test]
+    fn pct_formats_one_decimal() {
+        assert_eq!(pct(0.815), "81.5%");
+        assert_eq!(pct(1.0), "100.0%");
+    }
+
+    #[test]
+    fn write_json_creates_file() {
+        let value = vec![1, 2, 3];
+        let path = write_json("unit_test_output", &value).unwrap();
+        assert!(path.exists());
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.contains('1'));
+        std::fs::remove_file(path).ok();
+    }
+}

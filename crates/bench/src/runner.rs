@@ -1,0 +1,131 @@
+//! Shared experiment runner: builds and runs one (scenario, pair, platform,
+//! scheduler) simulation with consistent settings across all figures.
+
+use dacapo_core::{ClSimulator, PlatformKind, Result, SchedulerKind, SimConfig, SimResult};
+use dacapo_datagen::Scenario;
+use dacapo_dnn::zoo::ModelPair;
+
+/// One system configuration of the paper's evaluation matrix: a hardware
+/// platform plus a temporal-allocation policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SystemUnderTest {
+    /// Short label used in tables (matches Figure 9's legend).
+    pub label: &'static str,
+    /// Hardware platform.
+    pub platform: PlatformKind,
+    /// Scheduling policy.
+    pub scheduler: SchedulerKind,
+}
+
+/// The six systems compared in Figure 9, in the paper's order.
+pub const FIG9_SYSTEMS: [SystemUnderTest; 6] = [
+    SystemUnderTest {
+        label: "OrinLow-Ekya",
+        platform: PlatformKind::OrinLow,
+        scheduler: SchedulerKind::Ekya,
+    },
+    SystemUnderTest {
+        label: "OrinHigh-Ekya",
+        platform: PlatformKind::OrinHigh,
+        scheduler: SchedulerKind::Ekya,
+    },
+    SystemUnderTest {
+        label: "OrinHigh-EOMU",
+        platform: PlatformKind::OrinHigh,
+        scheduler: SchedulerKind::Eomu,
+    },
+    SystemUnderTest {
+        label: "DaCapo-Ekya",
+        platform: PlatformKind::DaCapo,
+        scheduler: SchedulerKind::Ekya,
+    },
+    SystemUnderTest {
+        label: "DaCapo-Spatial",
+        platform: PlatformKind::DaCapo,
+        scheduler: SchedulerKind::DaCapoSpatial,
+    },
+    SystemUnderTest {
+        label: "DaCapo-Spatiotemporal",
+        platform: PlatformKind::DaCapo,
+        scheduler: SchedulerKind::DaCapoSpatiotemporal,
+    },
+];
+
+/// Truncates a scenario to its first `segments` segments (used by `--quick`).
+#[must_use]
+pub fn truncate_scenario(scenario: &Scenario, segments: usize) -> Scenario {
+    let kept: Vec<_> = scenario.segments().iter().copied().take(segments.max(1)).collect();
+    Scenario::from_segments(scenario.name().to_string(), kept)
+}
+
+/// Builds the simulation configuration used by every figure-level experiment.
+///
+/// # Errors
+///
+/// Propagates configuration and spatial-allocation errors.
+pub fn experiment_config(
+    scenario: Scenario,
+    pair: ModelPair,
+    system: SystemUnderTest,
+    quick: bool,
+) -> Result<SimConfig> {
+    let scenario = if quick { truncate_scenario(&scenario, 5) } else { scenario };
+    let mut builder = SimConfig::builder(scenario, pair)
+        .platform(system.platform)
+        .scheduler(system.scheduler)
+        .seed(0xDACA90);
+    if quick {
+        builder = builder.measurement(10.0, 20).pretrain_samples(128);
+    }
+    builder.build()
+}
+
+/// Runs one system on one scenario.
+///
+/// # Errors
+///
+/// Propagates simulation errors.
+pub fn run_system(
+    scenario: Scenario,
+    pair: ModelPair,
+    system: SystemUnderTest,
+    quick: bool,
+) -> Result<SimResult> {
+    let config = experiment_config(scenario, pair, system, quick)?;
+    ClSimulator::new(config)?.run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig9_matrix_matches_paper_legend() {
+        assert_eq!(FIG9_SYSTEMS.len(), 6);
+        assert_eq!(FIG9_SYSTEMS[0].label, "OrinLow-Ekya");
+        assert_eq!(FIG9_SYSTEMS[5].label, "DaCapo-Spatiotemporal");
+        assert!(FIG9_SYSTEMS.iter().filter(|s| s.platform == PlatformKind::DaCapo).count() == 3);
+    }
+
+    #[test]
+    fn truncation_preserves_name_and_segment_prefix() {
+        let full = Scenario::s1();
+        let short = truncate_scenario(&full, 3);
+        assert_eq!(short.name(), "S1");
+        assert_eq!(short.segments().len(), 3);
+        assert_eq!(short.segments(), &full.segments()[..3]);
+    }
+
+    #[test]
+    fn quick_experiment_runs_end_to_end() {
+        let result = run_system(
+            Scenario::s1(),
+            ModelPair::ResNet18Wrn50,
+            FIG9_SYSTEMS[5],
+            true,
+        )
+        .unwrap();
+        assert!(result.mean_accuracy > 0.2);
+        assert_eq!(result.scenario, "S1");
+    }
+}

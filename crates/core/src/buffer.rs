@@ -1,0 +1,245 @@
+//! The fixed-capacity labeled sample buffer.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// One sample that has been labeled by the teacher.
+///
+/// The buffer stores the teacher's label (what the system trains and
+/// validates against) alongside the ground-truth class, which only the
+/// evaluation harness may look at.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LabeledSample {
+    /// Feature vector of the object crop.
+    pub features: Vec<f32>,
+    /// Label assigned by the teacher model.
+    pub teacher_label: usize,
+    /// Ground-truth class (hidden from the system; used only for reporting).
+    pub true_class: usize,
+    /// Stream timestamp at which the sample was captured, in seconds.
+    pub timestamp_s: f64,
+}
+
+/// Fixed-capacity buffer of labeled samples (Section VI-A).
+///
+/// New samples evict the oldest ones once the capacity is reached; a data
+/// drift clears the buffer entirely so stale samples stop polluting
+/// retraining.
+///
+/// # Examples
+///
+/// ```
+/// use dacapo_core::{LabeledSample, SampleBuffer};
+///
+/// let mut buffer = SampleBuffer::new(2);
+/// for i in 0..3 {
+///     buffer.push(LabeledSample {
+///         features: vec![i as f32],
+///         teacher_label: 0,
+///         true_class: 0,
+///         timestamp_s: i as f64,
+///     });
+/// }
+/// assert_eq!(buffer.len(), 2);
+/// assert_eq!(buffer.samples()[0].timestamp_s, 1.0); // oldest was evicted
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SampleBuffer {
+    capacity: usize,
+    samples: Vec<LabeledSample>,
+}
+
+impl SampleBuffer {
+    /// Creates an empty buffer with capacity `C_b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "sample buffer capacity must be positive");
+        Self { capacity, samples: Vec::with_capacity(capacity) }
+    }
+
+    /// Buffer capacity `C_b`.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of buffered samples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the buffer holds no samples.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The buffered samples, oldest first.
+    #[must_use]
+    pub fn samples(&self) -> &[LabeledSample] {
+        &self.samples
+    }
+
+    /// Adds one sample, evicting the oldest if the buffer is full.
+    pub fn push(&mut self, sample: LabeledSample) {
+        if self.samples.len() == self.capacity {
+            self.samples.remove(0);
+        }
+        self.samples.push(sample);
+    }
+
+    /// Adds a batch of samples (in order), evicting the oldest as needed.
+    pub fn extend(&mut self, samples: impl IntoIterator<Item = LabeledSample>) {
+        for sample in samples {
+            self.push(sample);
+        }
+    }
+
+    /// Removes every sample (the drift response of Algorithm 1, line 12).
+    pub fn reset(&mut self) {
+        self.samples.clear();
+    }
+
+    /// Draws disjoint retraining and validation subsets of up to `train` and
+    /// `validation` samples (Algorithm 1, line 4). The draw is a seeded
+    /// shuffle so experiments are reproducible.
+    ///
+    /// If the buffer holds fewer than `train + validation` samples, the
+    /// available samples are split proportionally (validation gets at least
+    /// one sample whenever the buffer holds at least two).
+    #[must_use]
+    pub fn draw(&self, train: usize, validation: usize, seed: u64) -> (Vec<LabeledSample>, Vec<LabeledSample>) {
+        if self.samples.is_empty() {
+            return (Vec::new(), Vec::new());
+        }
+        let mut indices: Vec<usize> = (0..self.samples.len()).collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        indices.shuffle(&mut rng);
+
+        let want_total = train + validation;
+        let available = indices.len();
+        let (n_train, n_val) = if available >= want_total {
+            (train, validation)
+        } else if available >= 2 {
+            let n_val = ((available * validation) / want_total.max(1)).max(1);
+            (available - n_val, n_val)
+        } else {
+            (available, 0)
+        };
+        let train_set = indices[..n_train].iter().map(|&i| self.samples[i].clone()).collect();
+        let val_set =
+            indices[n_train..n_train + n_val].iter().map(|&i| self.samples[i].clone()).collect();
+        (train_set, val_set)
+    }
+
+    /// Fraction of buffered samples captured after `timestamp_s`, a cheap
+    /// freshness measure used by diagnostics.
+    #[must_use]
+    pub fn fresh_fraction(&self, timestamp_s: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let fresh = self.samples.iter().filter(|s| s.timestamp_s >= timestamp_s).count();
+        fresh as f64 / self.samples.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(t: f64, label: usize) -> LabeledSample {
+        LabeledSample { features: vec![t as f32; 4], teacher_label: label, true_class: label, timestamp_s: t }
+    }
+
+    #[test]
+    fn capacity_is_enforced_fifo() {
+        let mut buffer = SampleBuffer::new(3);
+        for t in 0..5 {
+            buffer.push(sample(t as f64, 0));
+        }
+        assert_eq!(buffer.len(), 3);
+        let times: Vec<f64> = buffer.samples().iter().map(|s| s.timestamp_s).collect();
+        assert_eq!(times, vec![2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = SampleBuffer::new(0);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut buffer = SampleBuffer::new(4);
+        buffer.extend((0..4).map(|t| sample(t as f64, t)));
+        assert_eq!(buffer.len(), 4);
+        buffer.reset();
+        assert!(buffer.is_empty());
+        assert_eq!(buffer.capacity(), 4);
+    }
+
+    #[test]
+    fn draw_returns_disjoint_requested_sizes() {
+        let mut buffer = SampleBuffer::new(100);
+        buffer.extend((0..100).map(|t| sample(t as f64, t % 10)));
+        let (train, val) = buffer.draw(60, 20, 7);
+        assert_eq!(train.len(), 60);
+        assert_eq!(val.len(), 20);
+        // Disjoint: no timestamp appears in both.
+        for t in &train {
+            assert!(!val.iter().any(|v| v.timestamp_s == t.timestamp_s));
+        }
+    }
+
+    #[test]
+    fn draw_is_deterministic_per_seed() {
+        let mut buffer = SampleBuffer::new(50);
+        buffer.extend((0..50).map(|t| sample(t as f64, t % 5)));
+        let a = buffer.draw(30, 10, 42);
+        let b = buffer.draw(30, 10, 42);
+        let c = buffer.draw(30, 10, 43);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn draw_from_small_buffer_splits_proportionally() {
+        let mut buffer = SampleBuffer::new(100);
+        buffer.extend((0..10).map(|t| sample(t as f64, 0)));
+        let (train, val) = buffer.draw(60, 20, 1);
+        assert_eq!(train.len() + val.len(), 10);
+        assert!(!val.is_empty(), "validation gets at least one sample");
+        assert!(train.len() > val.len());
+    }
+
+    #[test]
+    fn draw_from_empty_and_singleton_buffers() {
+        let buffer = SampleBuffer::new(10);
+        let (train, val) = buffer.draw(5, 2, 0);
+        assert!(train.is_empty() && val.is_empty());
+
+        let mut buffer = SampleBuffer::new(10);
+        buffer.push(sample(1.0, 0));
+        let (train, val) = buffer.draw(5, 2, 0);
+        assert_eq!(train.len(), 1);
+        assert!(val.is_empty());
+    }
+
+    #[test]
+    fn fresh_fraction_reflects_timestamps() {
+        let mut buffer = SampleBuffer::new(10);
+        buffer.extend((0..10).map(|t| sample(t as f64, 0)));
+        assert!((buffer.fresh_fraction(5.0) - 0.5).abs() < 1e-9);
+        assert_eq!(buffer.fresh_fraction(100.0), 0.0);
+        assert_eq!(buffer.fresh_fraction(0.0), 1.0);
+        assert_eq!(SampleBuffer::new(3).fresh_fraction(0.0), 0.0);
+    }
+}

@@ -1,0 +1,71 @@
+//! Error type for the continuous-learning runtime.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the continuous-learning runtime and simulator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// A system configuration was invalid.
+    InvalidConfig {
+        /// Explanation of what was wrong.
+        reason: String,
+    },
+    /// The student network failed.
+    Dnn(dacapo_dnn::DnnError),
+    /// The accelerator model failed (for example an infeasible allocation).
+    Accel(dacapo_accel::AccelError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidConfig { reason } => write!(f, "invalid system configuration: {reason}"),
+            CoreError::Dnn(e) => write!(f, "student model error: {e}"),
+            CoreError::Accel(e) => write!(f, "accelerator model error: {e}"),
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Dnn(e) => Some(e),
+            CoreError::Accel(e) => Some(e),
+            CoreError::InvalidConfig { .. } => None,
+        }
+    }
+}
+
+impl From<dacapo_dnn::DnnError> for CoreError {
+    fn from(e: dacapo_dnn::DnnError) -> Self {
+        CoreError::Dnn(e)
+    }
+}
+
+impl From<dacapo_accel::AccelError> for CoreError {
+    fn from(e: dacapo_accel::AccelError) -> Self {
+        CoreError::Accel(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_sources_are_wired_up() {
+        let e = CoreError::InvalidConfig { reason: "empty scenario".into() };
+        assert!(e.to_string().contains("empty scenario"));
+        assert!(std::error::Error::source(&e).is_none());
+
+        let inner = dacapo_accel::AccelError::Infeasible { reason: "too fast".into() };
+        let e: CoreError = inner.into();
+        assert!(e.to_string().contains("too fast"));
+        assert!(std::error::Error::source(&e).is_some());
+
+        let inner = dacapo_dnn::DnnError::InvalidLabels { reason: "bad".into() };
+        let e: CoreError = inner.into();
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

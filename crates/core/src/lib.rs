@@ -1,0 +1,66 @@
+//! The DaCapo continuous-learning runtime.
+//!
+//! This crate is the paper's primary contribution reassembled in software: a
+//! continuous-learning system that runs the three kernels — **inference**,
+//! **labeling**, **retraining** — concurrently on a constrained platform and
+//! allocates resources between them so end-to-end accuracy stays high through
+//! data drift.
+//!
+//! The pieces map one-to-one onto the paper:
+//!
+//! * [`Hyperparams`] — Table I's resource-allocation hyperparameters
+//!   (`N_t`, `N_v`, `N_l`, `N_ldd`, buffer capacity, drift threshold).
+//! * [`SampleBuffer`] — the fixed-capacity labeled sample buffer.
+//! * [`StudentModel`] / [`TeacherOracle`](dacapo_dnn::TeacherOracle) — the
+//!   deployed student and the labeling teacher.
+//! * [`PlatformRates`] — the execution platform (a spatially-partitioned
+//!   DaCapo accelerator or a time-shared GPU baseline), derived from the
+//!   `dacapo-accel` performance models.
+//! * [`sched`] — the temporal resource allocators: the paper's
+//!   spatiotemporal Algorithm 1 plus the DaCapo-Spatial, Ekya, and EOMU
+//!   baselines.
+//! * [`ClSimulator`] — the end-to-end system simulator that walks a drifting
+//!   [`Scenario`](dacapo_datagen::Scenario), interleaves kernel execution per
+//!   the scheduler and platform rates, and records accuracy over time, phase
+//!   logs, frame drops, and energy.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use dacapo_core::{ClSimulator, SimConfig, SchedulerKind, PlatformKind};
+//! use dacapo_datagen::Scenario;
+//! use dacapo_dnn::zoo::ModelPair;
+//!
+//! # fn main() -> Result<(), dacapo_core::CoreError> {
+//! let config = SimConfig::builder(Scenario::s1(), ModelPair::ResNet18Wrn50)
+//!     .platform(PlatformKind::DaCapo)
+//!     .scheduler(SchedulerKind::DaCapoSpatiotemporal)
+//!     .build()?;
+//! let result = ClSimulator::new(config)?.run()?;
+//! println!("mean accuracy {:.1}%", result.mean_accuracy * 100.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod buffer;
+mod config;
+mod error;
+pub mod metrics;
+mod platform;
+pub mod sched;
+mod sim;
+mod student;
+
+pub use buffer::{LabeledSample, SampleBuffer};
+pub use config::{Hyperparams, SimConfig, SimConfigBuilder};
+pub use error::CoreError;
+pub use platform::{PlatformKind, PlatformRates};
+pub use sched::SchedulerKind;
+pub use sim::{ClSimulator, PhaseKind, PhaseRecord, SimResult};
+pub use student::StudentModel;
+
+/// Result alias used throughout this crate.
+pub type Result<T> = std::result::Result<T, CoreError>;

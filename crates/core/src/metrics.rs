@@ -1,0 +1,124 @@
+//! Aggregation helpers for experiment reporting.
+
+use crate::sim::SimResult;
+use serde::{Deserialize, Serialize};
+
+/// Geometric mean of a slice of positive values (the aggregate Figure 9 uses
+/// across scenarios). Returns 0 for an empty slice.
+///
+/// # Examples
+///
+/// ```
+/// use dacapo_core::metrics::geometric_mean;
+///
+/// let g = geometric_mean(&[0.5, 0.5, 0.5]);
+/// assert!((g - 0.5).abs() < 1e-12);
+/// ```
+#[must_use]
+pub fn geometric_mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.max(1e-12).ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+/// Arithmetic mean of a slice. Returns 0 for an empty slice.
+#[must_use]
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+/// One row of a Figure 9-style accuracy table: a system evaluated on a set of
+/// scenarios for one model pair.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SystemSummary {
+    /// System name (platform / scheduler).
+    pub system: String,
+    /// Per-scenario mean accuracy, in scenario order.
+    pub per_scenario_accuracy: Vec<(String, f64)>,
+    /// Geometric mean across scenarios.
+    pub gmean_accuracy: f64,
+    /// Mean energy per scenario run in joules.
+    pub mean_energy_joules: f64,
+    /// Platform power in watts.
+    pub power_watts: f64,
+}
+
+/// Summarises a set of per-scenario results for one system.
+///
+/// Returns `None` when `results` is empty.
+#[must_use]
+pub fn summarize_system(results: &[SimResult]) -> Option<SystemSummary> {
+    let first = results.first()?;
+    let per_scenario: Vec<(String, f64)> =
+        results.iter().map(|r| (r.scenario.clone(), r.mean_accuracy)).collect();
+    let accuracies: Vec<f64> = per_scenario.iter().map(|(_, a)| *a).collect();
+    Some(SystemSummary {
+        system: first.system.clone(),
+        gmean_accuracy: geometric_mean(&accuracies),
+        per_scenario_accuracy: per_scenario,
+        mean_energy_joules: mean(&results.iter().map(|r| r.energy_joules).collect::<Vec<_>>()),
+        power_watts: first.power_watts,
+    })
+}
+
+/// Accuracy difference of `a` over `b` in percentage points (the unit the
+/// paper's headline improvements are stated in).
+#[must_use]
+pub fn accuracy_gain_points(a: f64, b: f64) -> f64 {
+    (a - b) * 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sched::SchedulerKind;
+    use dacapo_dnn::zoo::ModelPair;
+
+    fn result(scenario: &str, accuracy: f64, energy: f64) -> SimResult {
+        SimResult {
+            system: "test-system".into(),
+            scenario: scenario.into(),
+            pair: ModelPair::ResNet18Wrn50,
+            scheduler: SchedulerKind::DaCapoSpatiotemporal,
+            accuracy_timeline: vec![(0.0, accuracy)],
+            mean_accuracy: accuracy,
+            frame_drop_rate: 0.0,
+            energy_joules: energy,
+            power_watts: 0.236,
+            phases: Vec::new(),
+            drift_responses: 0,
+            duration_s: 1200.0,
+        }
+    }
+
+    #[test]
+    fn geometric_mean_basics() {
+        assert_eq!(geometric_mean(&[]), 0.0);
+        assert!((geometric_mean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert!((geometric_mean(&[0.7]) - 0.7).abs() < 1e-12);
+        // gmean <= arithmetic mean.
+        let values = [0.6, 0.9, 0.75];
+        assert!(geometric_mean(&values) <= mean(&values));
+    }
+
+    #[test]
+    fn summarize_system_aggregates_scenarios() {
+        let results = vec![result("S1", 0.8, 100.0), result("S2", 0.7, 200.0)];
+        let summary = summarize_system(&results).unwrap();
+        assert_eq!(summary.per_scenario_accuracy.len(), 2);
+        assert!((summary.gmean_accuracy - (0.8f64 * 0.7).sqrt()).abs() < 1e-12);
+        assert!((summary.mean_energy_joules - 150.0).abs() < 1e-12);
+        assert_eq!(summary.power_watts, 0.236);
+        assert!(summarize_system(&[]).is_none());
+    }
+
+    #[test]
+    fn accuracy_gain_is_in_percentage_points() {
+        assert!((accuracy_gain_points(0.815, 0.75) - 6.5).abs() < 1e-9);
+    }
+}

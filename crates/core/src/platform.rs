@@ -1,0 +1,287 @@
+//! Execution platforms: the DaCapo accelerator and GPU baselines reduced to
+//! the kernel rates the continuous-learning simulator needs.
+
+use crate::Result;
+use dacapo_accel::estimator::{estimate, spatial_allocation, PrecisionPlan};
+use dacapo_accel::gpu::GpuDevice;
+use dacapo_accel::power::PowerModel;
+use dacapo_accel::{AccelConfig, DaCapoAccelerator};
+use dacapo_dnn::workload::{unit_costs, Kernel};
+use dacapo_dnn::zoo::ModelPair;
+use dacapo_dnn::QuantMode;
+use dacapo_mx::MxPrecision;
+use serde::{Deserialize, Serialize};
+
+/// Predefined execution platforms, matching the hardware column of the
+/// paper's baseline matrix (Section VII-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PlatformKind {
+    /// The DaCapo accelerator, spatially partitioned by the offline allocator.
+    DaCapo,
+    /// Jetson Orin at the default 60 W power mode.
+    OrinHigh,
+    /// Jetson Orin constrained to 30 W.
+    OrinLow,
+    /// RTX 3090 (used by the Figure 2 motivation study).
+    Rtx3090,
+}
+
+impl PlatformKind {
+    /// All platform kinds.
+    pub const ALL: [PlatformKind; 4] =
+        [PlatformKind::DaCapo, PlatformKind::OrinHigh, PlatformKind::OrinLow, PlatformKind::Rtx3090];
+}
+
+/// Kernel execution rates of a platform, plus how the kernels share it.
+///
+/// For the DaCapo accelerator, inference runs on the B-SA in isolation
+/// (`shared == false`) while labeling and retraining time-share the T-SA at
+/// the stated rates. For a GPU, all three kernels time-share one device
+/// (`shared == true`): the simulator first charges inference its share of
+/// each second and scales the other kernels' rates by what is left.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlatformRates {
+    /// Human-readable platform name (appears in result tables).
+    pub name: String,
+    /// Maximum student-inference frame rate the inference resources sustain.
+    pub inference_fps_capacity: f64,
+    /// Teacher labeling throughput in samples/second when labeling runs.
+    pub labeling_sps: f64,
+    /// Student retraining throughput in samples/second when retraining runs.
+    pub retraining_sps: f64,
+    /// Whether the three kernels share one device (GPU) rather than running
+    /// on dedicated sub-accelerators (DaCapo).
+    pub shared: bool,
+    /// Board/chip power in watts while busy.
+    pub power_watts: f64,
+    /// Arithmetic mode of the student's inference passes.
+    pub inference_quant: QuantMode,
+    /// Arithmetic mode of the student's retraining passes.
+    pub training_quant: QuantMode,
+    /// Rows assigned to the T-SA (DaCapo only; zero for GPUs).
+    pub tsa_rows: usize,
+    /// Rows assigned to the B-SA (DaCapo only; zero for GPUs).
+    pub bsa_rows: usize,
+}
+
+impl PlatformRates {
+    /// Derives the rates for a predefined platform, model pair, and frame
+    /// rate. For [`PlatformKind::DaCapo`] this runs the offline spatial
+    /// allocator on `accel`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::CoreError::Accel`] if the accelerator configuration is
+    /// invalid or cannot sustain the frame rate.
+    pub fn for_kind(kind: PlatformKind, pair: ModelPair, fps: f64, accel: &AccelConfig) -> Result<Self> {
+        match kind {
+            PlatformKind::DaCapo => Self::dacapo(pair, fps, accel),
+            PlatformKind::OrinHigh => Ok(Self::gpu(GpuDevice::jetson_orin_high(), pair)),
+            PlatformKind::OrinLow => Ok(Self::gpu(GpuDevice::jetson_orin_low(), pair)),
+            PlatformKind::Rtx3090 => Ok(Self::gpu(GpuDevice::rtx_3090(), pair)),
+        }
+    }
+
+    /// Rates of a DaCapo accelerator partitioned by the offline spatial
+    /// allocator (minimum B-SA rows that sustain `fps`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::CoreError::Accel`] if the configuration is invalid or
+    /// no partition sustains the frame rate.
+    pub fn dacapo(pair: ModelPair, fps: f64, accel: &AccelConfig) -> Result<Self> {
+        let accelerator = DaCapoAccelerator::new(*accel)?;
+        let plan = PrecisionPlan::default();
+        let tsa_rows = spatial_allocation(&accelerator, pair, fps, &plan)?;
+        Self::dacapo_with_tsa_rows(pair, tsa_rows, accel)
+    }
+
+    /// Rates of a DaCapo accelerator with an explicit T-SA row count (used by
+    /// ablations that bypass the spatial allocator).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::CoreError::Accel`] for invalid configurations or
+    /// degenerate partitions.
+    pub fn dacapo_with_tsa_rows(pair: ModelPair, tsa_rows: usize, accel: &AccelConfig) -> Result<Self> {
+        let accelerator = DaCapoAccelerator::new(*accel)?;
+        let plan = PrecisionPlan::default();
+        let est = estimate(&accelerator, pair, tsa_rows, 16, &plan)?;
+        let power = PowerModel::for_config(accel);
+        Ok(Self {
+            name: format!("DaCapo ({}x{} DPEs)", accel.rows, accel.cols),
+            inference_fps_capacity: est.inference_fps,
+            labeling_sps: est.labeling_samples_per_s,
+            retraining_sps: est.retraining_samples_per_s,
+            shared: false,
+            power_watts: power.total_power_w(),
+            inference_quant: QuantMode::Mx(plan.inference),
+            training_quant: QuantMode::Mx(plan.retraining),
+            tsa_rows: est.tsa_rows,
+            bsa_rows: est.bsa_rows,
+        })
+    }
+
+    /// Rates of a GPU baseline running all three kernels in FP32 on one
+    /// time-shared device.
+    #[must_use]
+    pub fn gpu(device: GpuDevice, pair: ModelPair) -> Self {
+        let costs = unit_costs(pair);
+        Self {
+            name: device.name.clone(),
+            inference_fps_capacity: device.units_per_second(Kernel::Inference, costs.inference_per_frame),
+            labeling_sps: device.units_per_second(Kernel::Labeling, costs.labeling_per_sample),
+            retraining_sps: device.units_per_second(Kernel::Retraining, costs.retraining_per_sample),
+            shared: true,
+            power_watts: device.power_w,
+            inference_quant: QuantMode::Fp32,
+            training_quant: QuantMode::Fp32,
+            tsa_rows: 0,
+            bsa_rows: 0,
+        }
+    }
+
+    /// Fraction of a shared device consumed by inference at the given frame
+    /// rate (zero for DaCapo, whose B-SA is dedicated to inference).
+    #[must_use]
+    pub fn inference_share(&self, fps: f64) -> f64 {
+        if !self.shared || self.inference_fps_capacity <= 0.0 {
+            return 0.0;
+        }
+        (fps / self.inference_fps_capacity).min(1.0)
+    }
+
+    /// Fraction of streamed frames dropped because inference cannot keep up.
+    #[must_use]
+    pub fn frame_drop_rate(&self, fps: f64) -> f64 {
+        if self.inference_fps_capacity >= fps {
+            0.0
+        } else {
+            1.0 - self.inference_fps_capacity / fps
+        }
+    }
+
+    /// Effective labeling rate after inference has taken its share of a
+    /// shared device.
+    #[must_use]
+    pub fn effective_labeling_sps(&self, fps: f64) -> f64 {
+        self.labeling_sps * (1.0 - self.inference_share(fps))
+    }
+
+    /// Effective retraining rate after inference has taken its share of a
+    /// shared device.
+    #[must_use]
+    pub fn effective_retraining_sps(&self, fps: f64) -> f64 {
+        self.retraining_sps * (1.0 - self.inference_share(fps))
+    }
+
+    /// Energy in joules for `seconds` of operation.
+    #[must_use]
+    pub fn energy_joules(&self, seconds: f64) -> f64 {
+        self.power_watts * seconds
+    }
+
+    /// The MX precision the platform uses for inference, if any.
+    #[must_use]
+    pub fn inference_precision(&self) -> Option<MxPrecision> {
+        match self.inference_quant {
+            QuantMode::Mx(p) => Some(p),
+            QuantMode::Fp32 => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dacapo_platform_sustains_30fps_for_every_pair() {
+        let accel = AccelConfig::default();
+        for pair in ModelPair::ALL {
+            let rates = PlatformRates::dacapo(pair, 30.0, &accel).unwrap();
+            assert!(rates.inference_fps_capacity >= 30.0, "{pair}");
+            assert!(!rates.shared);
+            assert_eq!(rates.tsa_rows + rates.bsa_rows, 16, "{pair}");
+            assert!(rates.labeling_sps > 0.0 && rates.retraining_sps > 0.0);
+            assert!((rates.power_watts - 0.236).abs() < 1e-9);
+            assert_eq!(rates.frame_drop_rate(30.0), 0.0, "{pair}");
+        }
+    }
+
+    #[test]
+    fn gpu_platforms_are_shared_and_fp32() {
+        let rates = PlatformRates::gpu(GpuDevice::jetson_orin_high(), ModelPair::ResNet18Wrn50);
+        assert!(rates.shared);
+        assert_eq!(rates.inference_quant, QuantMode::Fp32);
+        assert_eq!(rates.power_watts, 60.0);
+        assert_eq!(rates.tsa_rows, 0);
+    }
+
+    #[test]
+    fn power_ratio_between_orin_and_dacapo_matches_paper() {
+        let accel = AccelConfig::default();
+        let dacapo = PlatformRates::dacapo(ModelPair::ResNet18Wrn50, 30.0, &accel).unwrap();
+        let orin = PlatformRates::gpu(GpuDevice::jetson_orin_high(), ModelPair::ResNet18Wrn50);
+        let ratio = orin.power_watts / dacapo.power_watts;
+        assert!((ratio - 254.0).abs() < 2.0, "power ratio {ratio}");
+    }
+
+    #[test]
+    fn inference_share_and_leftover_scale_gpu_rates() {
+        let rates = PlatformRates::gpu(GpuDevice::jetson_orin_low(), ModelPair::ResNet34Wrn101);
+        let share = rates.inference_share(30.0);
+        assert!(share > 0.3, "heavy student should eat a large share, got {share}");
+        assert!(rates.effective_labeling_sps(30.0) < rates.labeling_sps);
+        assert!(rates.effective_retraining_sps(30.0) < rates.retraining_sps);
+        // DaCapo never charges inference against T-SA work.
+        let accel = AccelConfig::default();
+        let dacapo = PlatformRates::dacapo(ModelPair::ResNet34Wrn101, 30.0, &accel).unwrap();
+        assert_eq!(dacapo.inference_share(30.0), 0.0);
+        assert_eq!(dacapo.effective_labeling_sps(30.0), dacapo.labeling_sps);
+    }
+
+    #[test]
+    fn orin_low_has_less_leftover_than_orin_high() {
+        let pair = ModelPair::ResNet34Wrn101;
+        let high = PlatformRates::gpu(GpuDevice::jetson_orin_high(), pair);
+        let low = PlatformRates::gpu(GpuDevice::jetson_orin_low(), pair);
+        assert!(low.effective_retraining_sps(30.0) < high.effective_retraining_sps(30.0));
+        assert!(low.effective_labeling_sps(30.0) < high.effective_labeling_sps(30.0));
+    }
+
+    #[test]
+    fn frame_drops_appear_when_capacity_is_insufficient() {
+        let rates = PlatformRates {
+            name: "slow".into(),
+            inference_fps_capacity: 15.0,
+            labeling_sps: 1.0,
+            retraining_sps: 1.0,
+            shared: true,
+            power_watts: 10.0,
+            inference_quant: QuantMode::Fp32,
+            training_quant: QuantMode::Fp32,
+            tsa_rows: 0,
+            bsa_rows: 0,
+        };
+        assert!((rates.frame_drop_rate(30.0) - 0.5).abs() < 1e-9);
+        assert_eq!(rates.inference_share(30.0), 1.0);
+        assert_eq!(rates.effective_retraining_sps(30.0), 0.0);
+    }
+
+    #[test]
+    fn for_kind_covers_all_platforms() {
+        let accel = AccelConfig::default();
+        for kind in PlatformKind::ALL {
+            let rates = PlatformRates::for_kind(kind, ModelPair::ResNet18Wrn50, 30.0, &accel).unwrap();
+            assert!(!rates.name.is_empty());
+            assert!(rates.power_watts > 0.0);
+        }
+    }
+
+    #[test]
+    fn energy_is_power_times_time() {
+        let rates = PlatformRates::gpu(GpuDevice::rtx_3090(), ModelPair::ResNet18Wrn50);
+        assert!((rates.energy_joules(10.0) - 3500.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,595 @@
+//! Temporal resource allocation: the DaCapo spatiotemporal algorithm
+//! (Algorithm 1) and the baseline scheduling policies it is compared against.
+//!
+//! A scheduler owns the T-SA (DaCapo) or the GPU time left over after
+//! inference (baselines) and decides, phase by phase, whether to spend it on
+//! **labeling** new samples or **retraining** the student, and whether the
+//! sample buffer should be reset because data drift was detected.
+
+use crate::config::Hyperparams;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The scheduling policies evaluated in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SchedulerKind {
+    /// DaCapo's spatiotemporal allocation (Algorithm 1): alternate retraining
+    /// and labeling, detect drift by comparing validation accuracy against
+    /// fresh-label accuracy, and respond by resetting the buffer and labeling
+    /// 4× more.
+    DaCapoSpatiotemporal,
+    /// DaCapo-Spatial: the same spatial partition but a fixed-window temporal
+    /// schedule with no drift response.
+    DaCapoSpatial,
+    /// Ekya: fixed (long) windows; each window spends part of its budget on a
+    /// profiling pass before retraining with the selected configuration.
+    Ekya,
+    /// EOMU: short monitoring windows that label a little continuously and
+    /// trigger retraining only when observed accuracy degrades.
+    Eomu,
+    /// No adaptation at all: the pre-trained student serves every frame and
+    /// the labeling/retraining resources stay idle. Used by the Figure 2
+    /// motivation study as the "Student" (non-continuous-learning) case.
+    NoAdaptation,
+}
+
+impl SchedulerKind {
+    /// All continuous-learning policies in the order Figure 9 lists the
+    /// systems (the non-adaptive baseline is excluded).
+    pub const ALL: [SchedulerKind; 4] = [
+        SchedulerKind::Ekya,
+        SchedulerKind::Eomu,
+        SchedulerKind::DaCapoSpatial,
+        SchedulerKind::DaCapoSpatiotemporal,
+    ];
+
+    /// Instantiates the policy with the given hyperparameters.
+    #[must_use]
+    pub fn create(self, hyper: &Hyperparams) -> Box<dyn Scheduler> {
+        match self {
+            SchedulerKind::DaCapoSpatiotemporal => Box::new(Spatiotemporal::new(hyper)),
+            SchedulerKind::DaCapoSpatial => Box::new(SpatialOnly::new(hyper)),
+            SchedulerKind::Ekya => Box::new(Ekya::new(hyper)),
+            SchedulerKind::Eomu => Box::new(Eomu::new(hyper)),
+            SchedulerKind::NoAdaptation => Box::new(NoAdaptation),
+        }
+    }
+
+    /// Whether this policy reacts to detected data drift.
+    #[must_use]
+    pub fn drift_aware(self) -> bool {
+        matches!(self, SchedulerKind::DaCapoSpatiotemporal | SchedulerKind::Eomu)
+    }
+}
+
+impl fmt::Display for SchedulerKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchedulerKind::DaCapoSpatiotemporal => write!(f, "DaCapo-Spatiotemporal"),
+            SchedulerKind::DaCapoSpatial => write!(f, "DaCapo-Spatial"),
+            SchedulerKind::Ekya => write!(f, "Ekya"),
+            SchedulerKind::Eomu => write!(f, "EOMU"),
+            SchedulerKind::NoAdaptation => write!(f, "No-Adaptation"),
+        }
+    }
+}
+
+/// The non-adaptive baseline: never labels, never retrains.
+#[derive(Debug)]
+struct NoAdaptation;
+
+impl Scheduler for NoAdaptation {
+    fn kind(&self) -> SchedulerKind {
+        SchedulerKind::NoAdaptation
+    }
+
+    fn next_action(&mut self, _ctx: &SchedulerContext) -> Action {
+        Action::Wait { seconds: 30.0 }
+    }
+}
+
+/// What the simulator tells the scheduler before each decision.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SchedulerContext {
+    /// Current simulation time in seconds.
+    pub now_s: f64,
+    /// Number of samples currently buffered.
+    pub buffer_len: usize,
+    /// Buffer capacity.
+    pub buffer_capacity: usize,
+    /// Validation accuracy (`acc_v`) measured after the most recent
+    /// retraining phase, if any.
+    pub last_validation_accuracy: Option<f64>,
+    /// Student accuracy (`acc_l`) on the most recently labeled batch, if any.
+    pub last_labeling_accuracy: Option<f64>,
+}
+
+/// One temporal-allocation decision.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Action {
+    /// Label `samples` freshly sampled frames with the teacher. When
+    /// `reset_buffer` is set, the sample buffer is cleared first (the drift
+    /// response of Algorithm 1, lines 12–13).
+    Label {
+        /// Number of samples to label.
+        samples: usize,
+        /// Whether to clear the buffer before adding the new samples.
+        reset_buffer: bool,
+    },
+    /// Draw `samples` from the buffer and retrain for `epochs` epochs.
+    Retrain {
+        /// Number of buffered samples to draw.
+        samples: usize,
+        /// Number of epochs over the drawn samples.
+        epochs: usize,
+    },
+    /// Leave the retraining/labeling resources idle for `seconds` (fixed
+    /// -window baselines waiting for their next window, or profiling
+    /// overhead).
+    Wait {
+        /// Idle duration in seconds.
+        seconds: f64,
+    },
+}
+
+/// A temporal resource-allocation policy.
+pub trait Scheduler {
+    /// The policy's kind (used for reporting).
+    fn kind(&self) -> SchedulerKind;
+
+    /// Decides what the T-SA (or GPU leftover) does next.
+    fn next_action(&mut self, ctx: &SchedulerContext) -> Action;
+}
+
+/// Detects drift per Algorithm 1 line 11: drift iff `acc_l - acc_v < V_thr`.
+fn drift_detected(ctx: &SchedulerContext, threshold: f64) -> bool {
+    match (ctx.last_labeling_accuracy, ctx.last_validation_accuracy) {
+        (Some(acc_l), Some(acc_v)) => acc_l - acc_v < threshold,
+        _ => false,
+    }
+}
+
+// --------------------------------------------------------------------------
+// DaCapo-Spatiotemporal (Algorithm 1)
+// --------------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum CyclePoint {
+    Retrain,
+    Label,
+    DriftCheck,
+}
+
+/// The paper's Algorithm 1.
+#[derive(Debug)]
+struct Spatiotemporal {
+    hyper: Hyperparams,
+    next: CyclePoint,
+}
+
+impl Spatiotemporal {
+    fn new(hyper: &Hyperparams) -> Self {
+        Self { hyper: *hyper, next: CyclePoint::Retrain }
+    }
+}
+
+impl Scheduler for Spatiotemporal {
+    fn kind(&self) -> SchedulerKind {
+        SchedulerKind::DaCapoSpatiotemporal
+    }
+
+    fn next_action(&mut self, ctx: &SchedulerContext) -> Action {
+        loop {
+            match self.next {
+                CyclePoint::Retrain => {
+                    // Retraining needs data; bootstrap by labeling until the
+                    // buffer can supply a training and validation draw.
+                    let needed = self.hyper.validation_samples + self.hyper.batch_size;
+                    if ctx.buffer_len < needed {
+                        return Action::Label { samples: self.hyper.label_samples, reset_buffer: false };
+                    }
+                    self.next = CyclePoint::Label;
+                    return Action::Retrain {
+                        samples: self.hyper.retrain_samples,
+                        epochs: self.hyper.epochs,
+                    };
+                }
+                CyclePoint::Label => {
+                    self.next = CyclePoint::DriftCheck;
+                    return Action::Label { samples: self.hyper.label_samples, reset_buffer: false };
+                }
+                CyclePoint::DriftCheck => {
+                    self.next = CyclePoint::Retrain;
+                    if drift_detected(ctx, self.hyper.drift_threshold) {
+                        // Clear outdated samples and extend labeling so the
+                        // buffer refills with the new distribution.
+                        return Action::Label {
+                            samples: self.hyper.drift_label_samples() - self.hyper.label_samples,
+                            reset_buffer: true,
+                        };
+                    }
+                    // No drift: fall through to the next retraining phase.
+                }
+            }
+        }
+    }
+}
+
+// --------------------------------------------------------------------------
+// DaCapo-Spatial (fixed window, no drift response)
+// --------------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum WindowStep {
+    Label,
+    Retrain,
+    Idle,
+}
+
+/// Fixed-window variant: every window labels `N_l` samples and retrains once.
+#[derive(Debug)]
+struct SpatialOnly {
+    hyper: Hyperparams,
+    window_index: u64,
+    step: WindowStep,
+}
+
+impl SpatialOnly {
+    fn new(hyper: &Hyperparams) -> Self {
+        Self { hyper: *hyper, window_index: 0, step: WindowStep::Label }
+    }
+
+    fn window_end(&self) -> f64 {
+        (self.window_index + 1) as f64 * self.hyper.window_seconds
+    }
+}
+
+impl Scheduler for SpatialOnly {
+    fn kind(&self) -> SchedulerKind {
+        SchedulerKind::DaCapoSpatial
+    }
+
+    fn next_action(&mut self, ctx: &SchedulerContext) -> Action {
+        // Move to the window that contains `now`.
+        while ctx.now_s >= self.window_end() {
+            self.window_index += 1;
+            self.step = WindowStep::Label;
+        }
+        match self.step {
+            WindowStep::Label => {
+                self.step = WindowStep::Retrain;
+                Action::Label { samples: self.hyper.label_samples, reset_buffer: false }
+            }
+            WindowStep::Retrain => {
+                self.step = WindowStep::Idle;
+                if ctx.buffer_len < self.hyper.batch_size {
+                    Action::Wait { seconds: (self.window_end() - ctx.now_s).max(0.1) }
+                } else {
+                    Action::Retrain { samples: self.hyper.retrain_samples, epochs: self.hyper.epochs }
+                }
+            }
+            WindowStep::Idle => Action::Wait { seconds: (self.window_end() - ctx.now_s).max(0.1) },
+        }
+    }
+}
+
+// --------------------------------------------------------------------------
+// Ekya (long windows with a profiling pass)
+// --------------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum EkyaStep {
+    Profile,
+    Label,
+    Retrain,
+    Idle,
+}
+
+/// Ekya-style scheduling: long windows; each window first spends a slice of
+/// its retraining budget profiling candidate configurations (modelled as idle
+/// time from the student's point of view), then labels and retrains once.
+#[derive(Debug)]
+struct Ekya {
+    hyper: Hyperparams,
+    window_seconds: f64,
+    profile_fraction: f64,
+    window_index: u64,
+    step: EkyaStep,
+}
+
+impl Ekya {
+    fn new(hyper: &Hyperparams) -> Self {
+        Self {
+            hyper: *hyper,
+            // Ekya windows are long (its paper uses 200 s; we use twice the
+            // DaCapo window so the relative sluggishness is preserved).
+            window_seconds: hyper.window_seconds * 2.0,
+            profile_fraction: 0.15,
+            window_index: 0,
+            step: EkyaStep::Profile,
+        }
+    }
+
+    fn window_end(&self) -> f64 {
+        (self.window_index + 1) as f64 * self.window_seconds
+    }
+}
+
+impl Scheduler for Ekya {
+    fn kind(&self) -> SchedulerKind {
+        SchedulerKind::Ekya
+    }
+
+    fn next_action(&mut self, ctx: &SchedulerContext) -> Action {
+        while ctx.now_s >= self.window_end() {
+            self.window_index += 1;
+            self.step = EkyaStep::Profile;
+        }
+        match self.step {
+            EkyaStep::Profile => {
+                self.step = EkyaStep::Label;
+                Action::Wait { seconds: self.window_seconds * self.profile_fraction }
+            }
+            EkyaStep::Label => {
+                self.step = EkyaStep::Retrain;
+                Action::Label { samples: self.hyper.label_samples, reset_buffer: false }
+            }
+            EkyaStep::Retrain => {
+                self.step = EkyaStep::Idle;
+                if ctx.buffer_len < self.hyper.batch_size {
+                    Action::Wait { seconds: (self.window_end() - ctx.now_s).max(0.1) }
+                } else {
+                    Action::Retrain { samples: self.hyper.retrain_samples, epochs: self.hyper.epochs }
+                }
+            }
+            EkyaStep::Idle => Action::Wait { seconds: (self.window_end() - ctx.now_s).max(0.1) },
+        }
+    }
+}
+
+// --------------------------------------------------------------------------
+// EOMU (short monitoring windows, triggered retraining)
+// --------------------------------------------------------------------------
+
+/// EOMU-style scheduling: 10-second monitoring windows that label a small
+/// batch each window and trigger retraining only when the freshly observed
+/// accuracy degrades relative to the best recently seen.
+///
+/// Because the retraining must fit the short monitoring window, each
+/// triggered retraining is a *shallow* pass (a single epoch over the drawn
+/// samples) — the paper observes that EOMU's frequent retrainings "with
+/// insufficient resources engender incomplete models".
+#[derive(Debug)]
+struct Eomu {
+    hyper: Hyperparams,
+    window_seconds: f64,
+    trigger_margin: f64,
+    best_recent_accuracy: Option<f64>,
+    window_index: u64,
+    labeled_this_window: bool,
+    retrained_this_window: bool,
+}
+
+impl Eomu {
+    fn new(hyper: &Hyperparams) -> Self {
+        Self {
+            hyper: *hyper,
+            // The paper configures EOMU with 10-second windows.
+            window_seconds: 10.0,
+            trigger_margin: 0.05,
+            best_recent_accuracy: None,
+            window_index: 0,
+            labeled_this_window: false,
+            retrained_this_window: false,
+        }
+    }
+
+    fn window_end(&self) -> f64 {
+        (self.window_index + 1) as f64 * self.window_seconds
+    }
+}
+
+impl Scheduler for Eomu {
+    fn kind(&self) -> SchedulerKind {
+        SchedulerKind::Eomu
+    }
+
+    fn next_action(&mut self, ctx: &SchedulerContext) -> Action {
+        while ctx.now_s >= self.window_end() {
+            self.window_index += 1;
+            self.labeled_this_window = false;
+            self.retrained_this_window = false;
+        }
+        if !self.labeled_this_window {
+            self.labeled_this_window = true;
+            // Continuous monitoring labels a quarter of the usual quota.
+            return Action::Label {
+                samples: (self.hyper.label_samples / 4).max(self.hyper.batch_size),
+                reset_buffer: false,
+            };
+        }
+        if !self.retrained_this_window {
+            self.retrained_this_window = true;
+            let observed = ctx.last_labeling_accuracy;
+            let degraded = match (observed, self.best_recent_accuracy) {
+                (Some(now), Some(best)) => now < best - self.trigger_margin,
+                (Some(_), None) => true, // no history yet: adapt eagerly
+                _ => false,
+            };
+            if let Some(now) = observed {
+                let best = self.best_recent_accuracy.unwrap_or(0.0);
+                // Exponentially decay the best so long-gone highs do not keep
+                // triggering retraining forever.
+                self.best_recent_accuracy = Some((best * 0.95).max(now));
+            }
+            if degraded && ctx.buffer_len >= self.hyper.batch_size {
+                // Shallow retraining that fits the short monitoring window.
+                return Action::Retrain { samples: self.hyper.retrain_samples, epochs: 1 };
+            }
+        }
+        Action::Wait { seconds: (self.window_end() - ctx.now_s).max(0.1) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(now: f64, buffer: usize, acc_v: Option<f64>, acc_l: Option<f64>) -> SchedulerContext {
+        SchedulerContext {
+            now_s: now,
+            buffer_len: buffer,
+            buffer_capacity: 512,
+            last_validation_accuracy: acc_v,
+            last_labeling_accuracy: acc_l,
+        }
+    }
+
+    #[test]
+    fn kinds_display_like_the_paper() {
+        assert_eq!(SchedulerKind::DaCapoSpatiotemporal.to_string(), "DaCapo-Spatiotemporal");
+        assert_eq!(SchedulerKind::Eomu.to_string(), "EOMU");
+        assert!(SchedulerKind::DaCapoSpatiotemporal.drift_aware());
+        assert!(!SchedulerKind::DaCapoSpatial.drift_aware());
+        assert!(!SchedulerKind::Ekya.drift_aware());
+        assert!(!SchedulerKind::NoAdaptation.drift_aware());
+    }
+
+    #[test]
+    fn no_adaptation_only_ever_waits() {
+        let hyper = Hyperparams::default();
+        let mut sched = SchedulerKind::NoAdaptation.create(&hyper);
+        for step in 0..10 {
+            let action = sched.next_action(&ctx(step as f64 * 30.0, 500, Some(0.9), Some(0.1)));
+            assert!(matches!(action, Action::Wait { .. }));
+        }
+    }
+
+    #[test]
+    fn spatiotemporal_bootstraps_with_labeling_when_buffer_is_empty() {
+        let hyper = Hyperparams::default();
+        let mut sched = SchedulerKind::DaCapoSpatiotemporal.create(&hyper);
+        match sched.next_action(&ctx(0.0, 0, None, None)) {
+            Action::Label { samples, reset_buffer } => {
+                assert_eq!(samples, hyper.label_samples);
+                assert!(!reset_buffer);
+            }
+            other => panic!("expected bootstrap labeling, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn spatiotemporal_alternates_retrain_and_label() {
+        let hyper = Hyperparams::default();
+        let mut sched = SchedulerKind::DaCapoSpatiotemporal.create(&hyper);
+        let full = ctx(10.0, 400, Some(0.8), Some(0.82));
+        let first = sched.next_action(&full);
+        assert!(matches!(first, Action::Retrain { samples, epochs }
+            if samples == hyper.retrain_samples && epochs == hyper.epochs));
+        let second = sched.next_action(&full);
+        assert!(matches!(second, Action::Label { reset_buffer: false, .. }));
+        // No drift: the cycle returns to retraining.
+        let third = sched.next_action(&full);
+        assert!(matches!(third, Action::Retrain { .. }));
+    }
+
+    #[test]
+    fn spatiotemporal_resets_buffer_and_extends_labeling_on_drift() {
+        let hyper = Hyperparams::default();
+        let mut sched = SchedulerKind::DaCapoSpatiotemporal.create(&hyper);
+        let calm = ctx(10.0, 400, Some(0.8), Some(0.82));
+        let _ = sched.next_action(&calm); // retrain
+        let _ = sched.next_action(&calm); // label
+        // Fresh labels score far below validation: drift.
+        let drifted = ctx(20.0, 400, Some(0.8), Some(0.4));
+        match sched.next_action(&drifted) {
+            Action::Label { samples, reset_buffer } => {
+                assert!(reset_buffer, "drift must clear the stale buffer");
+                assert_eq!(samples, hyper.drift_label_samples() - hyper.label_samples);
+            }
+            other => panic!("expected extended labeling on drift, got {other:?}"),
+        }
+        // After the drift response the cycle resumes with retraining.
+        let after = ctx(30.0, 300, Some(0.8), Some(0.75));
+        assert!(matches!(sched.next_action(&after), Action::Retrain { .. }));
+    }
+
+    #[test]
+    fn spatial_only_never_resets_the_buffer() {
+        let hyper = Hyperparams::default();
+        let mut sched = SchedulerKind::DaCapoSpatial.create(&hyper);
+        // Strong drift signal, plenty of data: still no reset.
+        for step in 0..50 {
+            let action = sched.next_action(&ctx(step as f64 * 7.0, 400, Some(0.9), Some(0.2)));
+            if let Action::Label { reset_buffer, .. } = action {
+                assert!(!reset_buffer);
+            }
+        }
+    }
+
+    #[test]
+    fn spatial_only_cycles_label_retrain_idle_per_window() {
+        let hyper = Hyperparams::default();
+        let mut sched = SchedulerKind::DaCapoSpatial.create(&hyper);
+        let c = ctx(0.0, 400, None, None);
+        assert!(matches!(sched.next_action(&c), Action::Label { .. }));
+        assert!(matches!(sched.next_action(&ctx(5.0, 400, None, None)), Action::Retrain { .. }));
+        assert!(matches!(sched.next_action(&ctx(20.0, 400, None, None)), Action::Wait { .. }));
+        // Next window starts over with labeling.
+        assert!(matches!(
+            sched.next_action(&ctx(hyper.window_seconds + 1.0, 400, None, None)),
+            Action::Label { .. }
+        ));
+    }
+
+    #[test]
+    fn ekya_spends_time_profiling_before_retraining() {
+        let hyper = Hyperparams::default();
+        let mut sched = SchedulerKind::Ekya.create(&hyper);
+        let c = ctx(0.0, 400, None, None);
+        match sched.next_action(&c) {
+            Action::Wait { seconds } => assert!(seconds > 0.0, "profiling should consume time"),
+            other => panic!("expected profiling wait, got {other:?}"),
+        }
+        assert!(matches!(sched.next_action(&ctx(20.0, 400, None, None)), Action::Label { .. }));
+        assert!(matches!(sched.next_action(&ctx(25.0, 400, None, None)), Action::Retrain { .. }));
+    }
+
+    #[test]
+    fn eomu_triggers_retraining_only_on_degradation() {
+        let hyper = Hyperparams::default();
+        let mut sched = SchedulerKind::Eomu.create(&hyper);
+        // Window 0: label, then (no history) retrain eagerly.
+        assert!(matches!(sched.next_action(&ctx(0.0, 400, None, None)), Action::Label { .. }));
+        assert!(matches!(
+            sched.next_action(&ctx(1.0, 400, None, Some(0.8))),
+            Action::Retrain { .. }
+        ));
+        // Window 1: accuracy holds, so after labeling it only waits.
+        assert!(matches!(sched.next_action(&ctx(10.5, 400, Some(0.8), Some(0.8))), Action::Label { .. }));
+        assert!(matches!(sched.next_action(&ctx(11.0, 400, Some(0.8), Some(0.8))), Action::Wait { .. }));
+        // Window 2: accuracy collapses, retraining triggers again.
+        assert!(matches!(sched.next_action(&ctx(20.5, 400, Some(0.8), Some(0.5))), Action::Label { .. }));
+        assert!(matches!(
+            sched.next_action(&ctx(21.0, 400, Some(0.8), Some(0.5))),
+            Action::Retrain { .. }
+        ));
+    }
+
+    #[test]
+    fn eomu_labels_less_per_window_than_dacapo() {
+        let hyper = Hyperparams::default();
+        let mut eomu = SchedulerKind::Eomu.create(&hyper);
+        let mut dacapo = SchedulerKind::DaCapoSpatiotemporal.create(&hyper);
+        let c = ctx(0.0, 0, None, None);
+        let eomu_samples = match eomu.next_action(&c) {
+            Action::Label { samples, .. } => samples,
+            other => panic!("unexpected {other:?}"),
+        };
+        let dacapo_samples = match dacapo.next_action(&c) {
+            Action::Label { samples, .. } => samples,
+            other => panic!("unexpected {other:?}"),
+        };
+        assert!(eomu_samples < dacapo_samples);
+    }
+}

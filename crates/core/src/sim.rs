@@ -1,0 +1,561 @@
+//! The end-to-end continuous-learning system simulator.
+//!
+//! The simulator walks a drifting scenario's timeline, letting the configured
+//! scheduler decide how the retraining/labeling resources are spent while the
+//! inference resources classify every streamed frame. Kernel durations come
+//! from the platform rates (DaCapo sub-accelerator cycle model or GPU
+//! roofline), accuracy comes from actually running the student network on the
+//! synthetic stream, and drift detection follows Algorithm 1.
+
+use crate::buffer::{LabeledSample, SampleBuffer};
+use crate::config::SimConfig;
+use crate::platform::PlatformRates;
+use crate::sched::{Action, Scheduler, SchedulerContext, SchedulerKind};
+use crate::student::StudentModel;
+use crate::{CoreError, Result};
+use dacapo_datagen::{Frame, FrameStream};
+use dacapo_dnn::zoo::ModelPair;
+use dacapo_dnn::TeacherOracle;
+use serde::{Deserialize, Serialize};
+
+/// What a phase spent its time on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PhaseKind {
+    /// Teacher labeling of freshly sampled frames.
+    Label,
+    /// Student retraining (plus its validation pass).
+    Retrain,
+    /// Idle retraining/labeling resources (window padding, profiling).
+    Wait,
+}
+
+/// One executed phase of the temporal schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PhaseRecord {
+    /// Phase type.
+    pub kind: PhaseKind,
+    /// Start time in seconds.
+    pub start_s: f64,
+    /// Duration in seconds.
+    pub duration_s: f64,
+    /// Samples processed (labeled samples, or retraining sample·epochs).
+    pub samples: usize,
+    /// Whether this phase was a drift response (buffer reset + extended
+    /// labeling).
+    pub drift_response: bool,
+}
+
+/// The outcome of one simulated run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimResult {
+    /// Platform + scheduler name, e.g. `"DaCapo (16x16 DPEs) / DaCapo-Spatiotemporal"`.
+    pub system: String,
+    /// Scenario name.
+    pub scenario: String,
+    /// Model pair evaluated.
+    pub pair: ModelPair,
+    /// Scheduler used.
+    pub scheduler: SchedulerKind,
+    /// `(time, accuracy)` samples along the run; accuracy already accounts
+    /// for dropped frames (counted as incorrect).
+    pub accuracy_timeline: Vec<(f64, f64)>,
+    /// Mean of the accuracy timeline (the paper's end-to-end averaged
+    /// accuracy).
+    pub mean_accuracy: f64,
+    /// Fraction of streamed frames dropped by insufficient inference
+    /// throughput.
+    pub frame_drop_rate: f64,
+    /// Total platform energy over the scenario in joules.
+    pub energy_joules: f64,
+    /// Average platform power in watts.
+    pub power_watts: f64,
+    /// Executed phases in order.
+    pub phases: Vec<PhaseRecord>,
+    /// Number of drift responses (buffer resets) the scheduler issued.
+    pub drift_responses: usize,
+    /// Scenario duration in seconds.
+    pub duration_s: f64,
+}
+
+impl SimResult {
+    /// Accuracy averaged over fixed windows (Figure 10 uses 15-second
+    /// windows), returned as `(window end time, accuracy)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window_s` is not positive.
+    #[must_use]
+    pub fn windowed_accuracy(&self, window_s: f64) -> Vec<(f64, f64)> {
+        assert!(window_s > 0.0, "window must be positive");
+        let mut out = Vec::new();
+        let mut window_end = window_s;
+        let mut acc = Vec::new();
+        for &(t, a) in &self.accuracy_timeline {
+            while t >= window_end {
+                if !acc.is_empty() {
+                    out.push((window_end, acc.iter().sum::<f64>() / acc.len() as f64));
+                    acc.clear();
+                }
+                window_end += window_s;
+            }
+            acc.push(a);
+        }
+        if !acc.is_empty() {
+            out.push((window_end, acc.iter().sum::<f64>() / acc.len() as f64));
+        }
+        out
+    }
+
+    /// Total seconds spent in each phase kind `(label, retrain, wait)`.
+    #[must_use]
+    pub fn time_breakdown(&self) -> (f64, f64, f64) {
+        let mut label = 0.0;
+        let mut retrain = 0.0;
+        let mut wait = 0.0;
+        for phase in &self.phases {
+            match phase.kind {
+                PhaseKind::Label => label += phase.duration_s,
+                PhaseKind::Retrain => retrain += phase.duration_s,
+                PhaseKind::Wait => wait += phase.duration_s,
+            }
+        }
+        (label, retrain, wait)
+    }
+
+    /// Number of retraining phases completed.
+    #[must_use]
+    pub fn retrain_count(&self) -> usize {
+        self.phases.iter().filter(|p| p.kind == PhaseKind::Retrain).count()
+    }
+}
+
+/// The end-to-end continuous-learning simulator.
+///
+/// See the crate-level example for typical usage.
+pub struct ClSimulator {
+    config: SimConfig,
+    stream: FrameStream,
+    student: StudentModel,
+    teacher: TeacherOracle,
+    buffer: SampleBuffer,
+    scheduler: Box<dyn Scheduler>,
+}
+
+/// Smallest phase duration the simulator will schedule, to guarantee forward
+/// progress even when a platform rate is enormous.
+const MIN_PHASE_SECONDS: f64 = 0.05;
+
+impl ClSimulator {
+    /// Builds a simulator: constructs the stream, pre-trains the student on
+    /// the general (mixed-context) distribution, and instantiates the
+    /// scheduler.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] if the configuration is invalid.
+    pub fn new(config: SimConfig) -> Result<Self> {
+        config.validate()?;
+        let stream = FrameStream::new(&config.scenario, config.stream);
+        let mut student = StudentModel::new(
+            config.stream.feature_dim,
+            config.platform.inference_quant,
+            config.platform.training_quant,
+            config.hyper.learning_rate,
+            config.hyper.batch_size,
+            config.seed,
+        )?;
+        let teacher = TeacherOracle::new(
+            dacapo_datagen::NUM_CLASSES,
+            config.teacher_accuracy,
+            config.seed.wrapping_add(1),
+        );
+
+        // Pre-deployment training on the "general dataset": samples spread
+        // uniformly over the whole scenario (every context appears), labeled
+        // with ground truth, as the paper assumes pre-trained models.
+        if config.pretrain_samples > 0 {
+            let stride = (stream.num_frames() / config.pretrain_samples.max(1) as u64).max(1);
+            let pretrain: Vec<LabeledSample> = (0..stream.num_frames())
+                .step_by(stride as usize)
+                .map(|i| {
+                    let frame = stream.frame_at(i);
+                    LabeledSample {
+                        features: frame.sample.features,
+                        teacher_label: frame.sample.true_class,
+                        true_class: frame.sample.true_class,
+                        timestamp_s: frame.timestamp_s,
+                    }
+                })
+                .collect();
+            student.retrain(&pretrain, 2)?;
+        }
+
+        let buffer = SampleBuffer::new(config.hyper.buffer_capacity);
+        let scheduler = config.scheduler.create(&config.hyper);
+        Ok(Self { config, stream, student, teacher, buffer, scheduler })
+    }
+
+    /// The configuration this simulator was built from.
+    #[must_use]
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// Runs the full scenario and returns the collected metrics.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a kernel invocation fails (which indicates a
+    /// configuration inconsistency, such as mismatched feature dimensions).
+    pub fn run(mut self) -> Result<SimResult> {
+        let duration = self.config.scenario.duration_s();
+        let fps = self.config.stream.fps;
+        let platform: PlatformRates = self.config.platform.clone();
+        let drop_rate = platform.frame_drop_rate(fps);
+
+        let mut now = 0.0f64;
+        let mut next_measure = 0.0f64;
+        let mut timeline: Vec<(f64, f64)> = Vec::new();
+        let mut phases: Vec<PhaseRecord> = Vec::new();
+        let mut last_validation: Option<f64> = None;
+        let mut last_labeling: Option<f64> = None;
+        let mut drift_responses = 0usize;
+        let mut phase_seed = self.config.seed;
+
+        while now < duration {
+            let ctx = SchedulerContext {
+                now_s: now,
+                buffer_len: self.buffer.len(),
+                buffer_capacity: self.buffer.capacity(),
+                last_validation_accuracy: last_validation,
+                last_labeling_accuracy: last_labeling,
+            };
+            let action = self.scheduler.next_action(&ctx);
+            phase_seed = phase_seed.wrapping_add(0x9e37_79b9);
+
+            match action {
+                Action::Label { samples, reset_buffer } => {
+                    if reset_buffer {
+                        self.buffer.reset();
+                        drift_responses += 1;
+                    }
+                    let rate = platform.effective_labeling_sps(fps);
+                    if rate <= f64::EPSILON {
+                        // Labeling is starved out entirely (e.g. an overloaded
+                        // GPU); burn the rest of the scenario waiting.
+                        let wait = (duration - now).max(MIN_PHASE_SECONDS);
+                        self.measure(&mut timeline, &mut next_measure, now + wait, drop_rate)?;
+                        phases.push(PhaseRecord {
+                            kind: PhaseKind::Wait,
+                            start_s: now,
+                            duration_s: wait,
+                            samples: 0,
+                            drift_response: reset_buffer,
+                        });
+                        now += wait;
+                        continue;
+                    }
+                    let ideal_duration = samples.max(1) as f64 / rate;
+                    let phase_duration = ideal_duration.clamp(MIN_PHASE_SECONDS, duration - now);
+                    let actual_samples =
+                        ((phase_duration * rate).floor() as usize).clamp(1, samples.max(1));
+
+                    // Spread the labeled samples over the phase's time range.
+                    let step = ((phase_duration * fps) as u64 / actual_samples as u64).max(1);
+                    let frames = self.stream.frames_between(now, now + phase_duration, step);
+                    let selected: Vec<Frame> = frames.into_iter().take(actual_samples).collect();
+                    let labeled: Vec<LabeledSample> = selected
+                        .iter()
+                        .map(|frame| LabeledSample {
+                            features: frame.sample.features.clone(),
+                            teacher_label: self
+                                .teacher
+                                .label(frame.sample.true_class, frame.attributes.difficulty()),
+                            true_class: frame.sample.true_class,
+                            timestamp_s: frame.timestamp_s,
+                        })
+                        .collect();
+                    // acc_l: the current student's accuracy on the freshly
+                    // labeled data, judged by the teacher's labels.
+                    last_labeling = Some(self.student.accuracy_on_samples(&labeled)?);
+                    self.buffer.extend(labeled);
+
+                    self.measure(&mut timeline, &mut next_measure, now + phase_duration, drop_rate)?;
+                    phases.push(PhaseRecord {
+                        kind: PhaseKind::Label,
+                        start_s: now,
+                        duration_s: phase_duration,
+                        samples: actual_samples,
+                        drift_response: reset_buffer,
+                    });
+                    now += phase_duration;
+                }
+                Action::Retrain { samples, epochs } => {
+                    let (train, validation) = self.buffer.draw(
+                        samples,
+                        self.config.hyper.validation_samples,
+                        phase_seed,
+                    );
+                    if train.is_empty() {
+                        let wait = MIN_PHASE_SECONDS.max(1.0);
+                        self.measure(&mut timeline, &mut next_measure, now + wait, drop_rate)?;
+                        phases.push(PhaseRecord {
+                            kind: PhaseKind::Wait,
+                            start_s: now,
+                            duration_s: wait,
+                            samples: 0,
+                            drift_response: false,
+                        });
+                        now += wait;
+                        continue;
+                    }
+                    let presentations = train.len() * epochs.max(1);
+                    let rate = platform.effective_retraining_sps(fps);
+                    let phase_duration = if rate <= f64::EPSILON {
+                        duration - now
+                    } else {
+                        (presentations as f64 / rate).clamp(MIN_PHASE_SECONDS, duration - now)
+                    };
+
+                    // The old model keeps serving inference during retraining;
+                    // the updated weights deploy when the phase completes.
+                    self.measure(&mut timeline, &mut next_measure, now + phase_duration, drop_rate)?;
+                    self.student.retrain(&train, epochs.max(1))?;
+                    last_validation = Some(self.student.accuracy_on_samples(&validation)?);
+
+                    phases.push(PhaseRecord {
+                        kind: PhaseKind::Retrain,
+                        start_s: now,
+                        duration_s: phase_duration,
+                        samples: presentations,
+                        drift_response: false,
+                    });
+                    now += phase_duration;
+                }
+                Action::Wait { seconds } => {
+                    let wait = seconds.clamp(MIN_PHASE_SECONDS, duration - now);
+                    self.measure(&mut timeline, &mut next_measure, now + wait, drop_rate)?;
+                    phases.push(PhaseRecord {
+                        kind: PhaseKind::Wait,
+                        start_s: now,
+                        duration_s: wait,
+                        samples: 0,
+                        drift_response: false,
+                    });
+                    now += wait;
+                }
+            }
+        }
+
+        // Flush any remaining measurement points.
+        self.measure(&mut timeline, &mut next_measure, duration, drop_rate)?;
+
+        let mean_accuracy = if timeline.is_empty() {
+            0.0
+        } else {
+            timeline.iter().map(|(_, a)| a).sum::<f64>() / timeline.len() as f64
+        };
+        Ok(SimResult {
+            system: format!("{} / {}", platform.name, self.scheduler.kind()),
+            scenario: self.config.scenario.name().to_string(),
+            pair: self.config.pair,
+            scheduler: self.scheduler.kind(),
+            accuracy_timeline: timeline,
+            mean_accuracy,
+            frame_drop_rate: drop_rate,
+            energy_joules: platform.energy_joules(duration),
+            power_watts: platform.power_watts,
+            phases,
+            drift_responses,
+            duration_s: duration,
+        })
+    }
+
+    /// Records accuracy measurements at every measurement point in
+    /// `[next_measure, until)` using the student's current weights.
+    fn measure(
+        &self,
+        timeline: &mut Vec<(f64, f64)>,
+        next_measure: &mut f64,
+        until: f64,
+        drop_rate: f64,
+    ) -> Result<()> {
+        let interval = self.config.measure_interval_s;
+        let frames_wanted = self.config.eval_frames_per_measurement as u64;
+        while *next_measure < until && *next_measure < self.config.scenario.duration_s() {
+            let window_frames = (interval * self.config.stream.fps) as u64;
+            let step = (window_frames / frames_wanted.max(1)).max(1);
+            let frames = self.stream.frames_between(*next_measure, *next_measure + interval, step);
+            if frames.is_empty() {
+                return Err(CoreError::InvalidConfig {
+                    reason: "measurement interval produced no evaluation frames".into(),
+                });
+            }
+            let accuracy = self.student.accuracy_on_frames(&frames)?;
+            timeline.push((*next_measure, accuracy * (1.0 - drop_rate)));
+            *next_measure += interval;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platform::PlatformKind;
+    use dacapo_datagen::{Scenario, Segment, SegmentAttributes};
+    use dacapo_dnn::QuantMode;
+
+    /// A short two-segment scenario with one label-distribution drift, to keep
+    /// unit-test simulations fast.
+    fn short_scenario() -> Scenario {
+        let first = SegmentAttributes::default();
+        let second = SegmentAttributes {
+            labels: dacapo_datagen::LabelDistribution::All,
+            location: dacapo_datagen::Location::Highway,
+            ..first
+        };
+        Scenario::from_segments(
+            "short",
+            vec![
+                Segment { attributes: first, duration_s: 60.0 },
+                Segment { attributes: second, duration_s: 60.0 },
+            ],
+        )
+    }
+
+    fn fast_rates(name: &str) -> PlatformRates {
+        PlatformRates {
+            name: name.to_string(),
+            inference_fps_capacity: 120.0,
+            labeling_sps: 40.0,
+            retraining_sps: 120.0,
+            shared: false,
+            power_watts: 1.0,
+            inference_quant: QuantMode::Fp32,
+            training_quant: QuantMode::Fp32,
+            tsa_rows: 12,
+            bsa_rows: 4,
+        }
+    }
+
+    fn short_config(scheduler: SchedulerKind) -> SimConfig {
+        SimConfig::builder(short_scenario(), ModelPair::ResNet18Wrn50)
+            .platform_rates(fast_rates("test"))
+            .scheduler(scheduler)
+            .measurement(5.0, 20)
+            .pretrain_samples(128)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn simulation_produces_complete_timeline_and_phases() {
+        let result = ClSimulator::new(short_config(SchedulerKind::DaCapoSpatiotemporal))
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(result.duration_s, 120.0);
+        assert_eq!(result.accuracy_timeline.len(), 24); // every 5 s
+        assert!(result.mean_accuracy > 0.3, "mean accuracy {}", result.mean_accuracy);
+        assert!(result.mean_accuracy <= 1.0);
+        assert!(!result.phases.is_empty());
+        assert!(result.retrain_count() >= 1);
+        let (label, retrain, wait) = result.time_breakdown();
+        assert!((label + retrain + wait - 120.0).abs() < 1.0, "{label} + {retrain} + {wait}");
+        assert_eq!(result.frame_drop_rate, 0.0);
+        assert!((result.energy_joules - 120.0).abs() < 1e-6); // 1 W * 120 s
+    }
+
+    #[test]
+    fn spatiotemporal_detects_the_injected_drift() {
+        let result = ClSimulator::new(short_config(SchedulerKind::DaCapoSpatiotemporal))
+            .unwrap()
+            .run()
+            .unwrap();
+        assert!(
+            result.drift_responses >= 1,
+            "the label-distribution drift at t=60s should trigger a buffer reset"
+        );
+    }
+
+    #[test]
+    fn spatial_scheduler_never_issues_drift_responses() {
+        let result =
+            ClSimulator::new(short_config(SchedulerKind::DaCapoSpatial)).unwrap().run().unwrap();
+        assert_eq!(result.drift_responses, 0);
+        assert!(result.phases.iter().all(|p| !p.drift_response));
+    }
+
+    #[test]
+    fn ekya_has_idle_profile_time() {
+        let result = ClSimulator::new(short_config(SchedulerKind::Ekya)).unwrap().run().unwrap();
+        let (_, _, wait) = result.time_breakdown();
+        assert!(wait > 0.0, "Ekya should spend window time profiling/idling");
+    }
+
+    #[test]
+    fn results_are_deterministic_for_a_fixed_seed() {
+        let a = ClSimulator::new(short_config(SchedulerKind::DaCapoSpatiotemporal))
+            .unwrap()
+            .run()
+            .unwrap();
+        let b = ClSimulator::new(short_config(SchedulerKind::DaCapoSpatiotemporal))
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(a.accuracy_timeline, b.accuracy_timeline);
+        assert_eq!(a.phases.len(), b.phases.len());
+    }
+
+    #[test]
+    fn frame_drops_scale_down_reported_accuracy() {
+        let mut starved = fast_rates("starved");
+        starved.inference_fps_capacity = 15.0; // half the 30 FPS stream
+        starved.shared = true;
+        let config = SimConfig::builder(short_scenario(), ModelPair::ResNet18Wrn50)
+            .platform_rates(starved)
+            .scheduler(SchedulerKind::Ekya)
+            .measurement(5.0, 20)
+            .pretrain_samples(128)
+            .build()
+            .unwrap();
+        let result = ClSimulator::new(config).unwrap().run().unwrap();
+        assert!((result.frame_drop_rate - 0.5).abs() < 1e-9);
+        assert!(
+            result.mean_accuracy <= 0.55,
+            "dropping half the frames caps accuracy near 50%, got {}",
+            result.mean_accuracy
+        );
+    }
+
+    #[test]
+    fn windowed_accuracy_averages_the_timeline() {
+        let result = ClSimulator::new(short_config(SchedulerKind::DaCapoSpatiotemporal))
+            .unwrap()
+            .run()
+            .unwrap();
+        let windows = result.windowed_accuracy(15.0);
+        assert_eq!(windows.len(), 8); // 120 s / 15 s
+        for (_, acc) in windows {
+            assert!((0.0..=1.0).contains(&acc));
+        }
+    }
+
+    #[test]
+    fn dacapo_platform_config_builds_and_runs_end_to_end() {
+        // Exercise the real platform derivation (spatial allocation) on a
+        // short scenario rather than synthetic rates.
+        let config = SimConfig::builder(short_scenario(), ModelPair::ResNet18Wrn50)
+            .platform(PlatformKind::DaCapo)
+            .scheduler(SchedulerKind::DaCapoSpatiotemporal)
+            .measurement(10.0, 15)
+            .pretrain_samples(96)
+            .build()
+            .unwrap();
+        assert!(!config.platform.shared);
+        let result = ClSimulator::new(config).unwrap().run().unwrap();
+        assert!(result.mean_accuracy > 0.2);
+        assert!((result.power_watts - 0.236).abs() < 1e-9);
+    }
+}

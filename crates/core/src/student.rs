@@ -1,0 +1,226 @@
+//! The deployed student model: a thin continuous-learning wrapper around the
+//! trainable network.
+
+use crate::buffer::LabeledSample;
+use crate::{CoreError, Result};
+use dacapo_datagen::{Frame, NUM_CLASSES};
+use dacapo_dnn::{Mlp, MlpConfig, QuantMode};
+use dacapo_tensor::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// The student model as deployed in the continuous-learning loop.
+///
+/// Wraps the trainable [`Mlp`] and exposes the three operations the runtime
+/// needs: per-frame inference accuracy (against ground truth, for reporting),
+/// validation accuracy (against teacher labels, what the system can observe),
+/// and retraining on buffered samples.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StudentModel {
+    network: Mlp,
+    learning_rate: f32,
+    batch_size: usize,
+}
+
+impl StudentModel {
+    /// Builds a student for the given feature dimensionality and arithmetic
+    /// modes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Dnn`] if the network configuration is invalid.
+    pub fn new(
+        feature_dim: usize,
+        inference_quant: QuantMode,
+        training_quant: QuantMode,
+        learning_rate: f32,
+        batch_size: usize,
+        seed: u64,
+    ) -> Result<Self> {
+        if batch_size == 0 {
+            return Err(CoreError::InvalidConfig { reason: "batch size must be positive".into() });
+        }
+        let config = MlpConfig {
+            input_dim: feature_dim,
+            hidden: vec![64, 32],
+            num_classes: NUM_CLASSES,
+            inference_mode: inference_quant,
+            training_mode: training_quant,
+            seed,
+        };
+        Ok(Self { network: Mlp::new(config)?, learning_rate, batch_size })
+    }
+
+    /// The wrapped network (for inspection by tests and tooling).
+    #[must_use]
+    pub fn network(&self) -> &Mlp {
+        &self.network
+    }
+
+    /// Classification accuracy on a set of stream frames, judged against the
+    /// ground-truth classes. This is the end-to-end accuracy the evaluation
+    /// reports; the deployed system itself never sees it.
+    ///
+    /// Returns 0 for an empty slice.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Dnn`] if the feature width does not match.
+    pub fn accuracy_on_frames(&self, frames: &[Frame]) -> Result<f64> {
+        if frames.is_empty() {
+            return Ok(0.0);
+        }
+        let rows: Vec<&[f32]> = frames.iter().map(|f| f.sample.features.as_slice()).collect();
+        let features = Matrix::from_rows(&rows).map_err(dacapo_dnn::DnnError::from)?;
+        let labels: Vec<usize> = frames.iter().map(|f| f.sample.true_class).collect();
+        Ok(f64::from(self.network.evaluate(&features, &labels)?))
+    }
+
+    /// Accuracy on labeled samples, judged against the *teacher* labels —
+    /// the observable quantity Algorithm 1 uses for both validation
+    /// (`acc_v`) and freshly-labeled data (`acc_l`).
+    ///
+    /// Returns 0 for an empty slice.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Dnn`] if the feature width does not match.
+    pub fn accuracy_on_samples(&self, samples: &[LabeledSample]) -> Result<f64> {
+        if samples.is_empty() {
+            return Ok(0.0);
+        }
+        let rows: Vec<&[f32]> = samples.iter().map(|s| s.features.as_slice()).collect();
+        let features = Matrix::from_rows(&rows).map_err(dacapo_dnn::DnnError::from)?;
+        let labels: Vec<usize> = samples.iter().map(|s| s.teacher_label).collect();
+        Ok(f64::from(self.network.evaluate(&features, &labels)?))
+    }
+
+    /// Retrains the student on labeled samples for the given number of
+    /// epochs, using the teacher labels as targets.
+    ///
+    /// Returns the number of sample presentations processed (samples ×
+    /// epochs), which is what the platform's retraining throughput is charged
+    /// for.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Dnn`] on dimension mismatches.
+    pub fn retrain(&mut self, samples: &[LabeledSample], epochs: usize) -> Result<usize> {
+        if samples.is_empty() || epochs == 0 {
+            return Ok(0);
+        }
+        let rows: Vec<&[f32]> = samples.iter().map(|s| s.features.as_slice()).collect();
+        let features = Matrix::from_rows(&rows).map_err(dacapo_dnn::DnnError::from)?;
+        let labels: Vec<usize> = samples.iter().map(|s| s.teacher_label).collect();
+        let report =
+            self.network.train(&features, &labels, epochs, self.batch_size, self.learning_rate)?;
+        Ok(report.samples_processed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dacapo_datagen::{FrameStream, Scenario, StreamConfig};
+
+    fn make_student() -> StudentModel {
+        StudentModel::new(16, QuantMode::Fp32, QuantMode::Fp32, 0.02, 16, 1).unwrap()
+    }
+
+    fn labeled_from_frames(frames: &[Frame]) -> Vec<LabeledSample> {
+        frames
+            .iter()
+            .map(|f| LabeledSample {
+                features: f.sample.features.clone(),
+                teacher_label: f.sample.true_class,
+                true_class: f.sample.true_class,
+                timestamp_s: f.timestamp_s,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn zero_batch_size_is_rejected() {
+        assert!(StudentModel::new(16, QuantMode::Fp32, QuantMode::Fp32, 0.02, 0, 1).is_err());
+    }
+
+    #[test]
+    fn empty_inputs_return_zero_accuracy_and_no_work() {
+        let mut student = make_student();
+        assert_eq!(student.accuracy_on_frames(&[]).unwrap(), 0.0);
+        assert_eq!(student.accuracy_on_samples(&[]).unwrap(), 0.0);
+        assert_eq!(student.retrain(&[], 5).unwrap(), 0);
+    }
+
+    #[test]
+    fn retraining_on_segment_data_improves_accuracy_on_that_segment() {
+        let stream = FrameStream::new(&Scenario::s1(), StreamConfig::default());
+        let frames = stream.frames_between(0.0, 20.0, 2);
+        let mut student = make_student();
+        let before = student.accuracy_on_frames(&frames).unwrap();
+        let samples = labeled_from_frames(&frames);
+        let processed = student.retrain(&samples, 5).unwrap();
+        assert_eq!(processed, samples.len() * 5);
+        let after = student.accuracy_on_frames(&frames).unwrap();
+        assert!(
+            after > before + 0.2 && after > 0.6,
+            "retraining should lift accuracy substantially: {before:.2} -> {after:.2}"
+        );
+    }
+
+    #[test]
+    fn drift_lowers_accuracy_until_retrained_on_new_segment() {
+        // Train on the first segment of ES1, then evaluate on a drifted
+        // segment: accuracy must drop, and retraining on the new segment must
+        // restore it. This is the core dynamic the whole system manages.
+        let stream = FrameStream::new(&Scenario::es1(), StreamConfig::default());
+        let scenario = stream.scenario().clone();
+        let first_attrs = scenario.segments()[0].attributes;
+        let drift_time = scenario
+            .segments()
+            .iter()
+            .scan(0.0, |t, s| {
+                let start = *t;
+                *t += s.duration_s;
+                Some((start, s.attributes))
+            })
+            .find(|(_, a)| *a != first_attrs)
+            .map(|(t, _)| t)
+            .expect("ES1 has drift");
+
+        let mut student = make_student();
+        let old_frames = stream.frames_between(0.0, 30.0, 2);
+        student.retrain(&labeled_from_frames(&old_frames), 6).unwrap();
+        let acc_old = student.accuracy_on_frames(&old_frames).unwrap();
+
+        let new_frames = stream.frames_between(drift_time, drift_time + 30.0, 2);
+        let acc_drifted = student.accuracy_on_frames(&new_frames).unwrap();
+        assert!(
+            acc_drifted < acc_old - 0.1,
+            "drift should hurt: old-segment {acc_old:.2}, drifted {acc_drifted:.2}"
+        );
+
+        student.retrain(&labeled_from_frames(&new_frames), 6).unwrap();
+        let acc_recovered = student.accuracy_on_frames(&new_frames).unwrap();
+        assert!(
+            acc_recovered > acc_drifted + 0.1,
+            "retraining on the new segment should recover: {acc_drifted:.2} -> {acc_recovered:.2}"
+        );
+    }
+
+    #[test]
+    fn accuracy_on_samples_uses_teacher_labels() {
+        let stream = FrameStream::new(&Scenario::s1(), StreamConfig::default());
+        let frames = stream.frames_between(0.0, 10.0, 3);
+        let mut student = make_student();
+        let mut samples = labeled_from_frames(&frames);
+        student.retrain(&samples, 6).unwrap();
+        let truthful = student.accuracy_on_samples(&samples).unwrap();
+        // Corrupt the teacher labels: observable accuracy collapses even
+        // though the model did not change.
+        for s in &mut samples {
+            s.teacher_label = (s.teacher_label + 1) % NUM_CLASSES;
+        }
+        let corrupted = student.accuracy_on_samples(&samples).unwrap();
+        assert!(corrupted < truthful);
+    }
+}

@@ -1,0 +1,239 @@
+//! Scenario attributes and drift kinds.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Which label distribution a segment draws its objects from.
+///
+/// The paper defines two: *Traffic Only* (vehicles, traffic lights/signs) and
+/// *All* (adds pedestrians, bicycles, motorcycles, riders).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LabelDistribution {
+    /// Traffic-related classes only.
+    TrafficOnly,
+    /// The full class set including vulnerable road users.
+    All,
+}
+
+/// Lighting condition of a segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TimeOfDay {
+    /// Daytime driving.
+    Daytime,
+    /// Night driving (harder for both student and teacher).
+    Night,
+}
+
+/// Driving environment of a segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Location {
+    /// Dense urban streets.
+    City,
+    /// Highway driving.
+    Highway,
+}
+
+/// Weather condition of a segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Weather {
+    /// Clear weather.
+    Clear,
+    /// Overcast skies.
+    Overcast,
+    /// Snow.
+    Snowy,
+    /// Rain.
+    Rainy,
+}
+
+/// The four drift dimensions of Table II.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DriftKind {
+    /// The segment's label distribution changed.
+    LabelDistribution,
+    /// Day/night changed.
+    TimeOfDay,
+    /// City/highway changed.
+    Location,
+    /// Weather changed.
+    Weather,
+}
+
+impl fmt::Display for DriftKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DriftKind::LabelDistribution => write!(f, "label distribution"),
+            DriftKind::TimeOfDay => write!(f, "time of day"),
+            DriftKind::Location => write!(f, "location"),
+            DriftKind::Weather => write!(f, "weather"),
+        }
+    }
+}
+
+/// The complete attribute tuple of one scenario segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SegmentAttributes {
+    /// Label distribution active in this segment.
+    pub labels: LabelDistribution,
+    /// Lighting condition.
+    pub time: TimeOfDay,
+    /// Driving environment.
+    pub location: Location,
+    /// Weather condition.
+    pub weather: Weather,
+}
+
+impl Default for SegmentAttributes {
+    fn default() -> Self {
+        Self {
+            labels: LabelDistribution::TrafficOnly,
+            time: TimeOfDay::Daytime,
+            location: Location::City,
+            weather: Weather::Clear,
+        }
+    }
+}
+
+impl SegmentAttributes {
+    /// Lists which drift dimensions differ between two segments.
+    #[must_use]
+    pub fn drifts_from(&self, other: &SegmentAttributes) -> Vec<DriftKind> {
+        let mut drifts = Vec::new();
+        if self.labels != other.labels {
+            drifts.push(DriftKind::LabelDistribution);
+        }
+        if self.time != other.time {
+            drifts.push(DriftKind::TimeOfDay);
+        }
+        if self.location != other.location {
+            drifts.push(DriftKind::Location);
+        }
+        if self.weather != other.weather {
+            drifts.push(DriftKind::Weather);
+        }
+        drifts
+    }
+
+    /// Labeling difficulty penalty in `[0, 1)`: harder conditions lower even
+    /// the teacher's labeling accuracy (night, bad weather).
+    #[must_use]
+    pub fn difficulty(&self) -> f64 {
+        let mut penalty = 0.0;
+        if self.time == TimeOfDay::Night {
+            penalty += 0.04;
+        }
+        match self.weather {
+            Weather::Clear => {}
+            Weather::Overcast => penalty += 0.01,
+            Weather::Rainy => penalty += 0.03,
+            Weather::Snowy => penalty += 0.04,
+        }
+        penalty
+    }
+
+    /// A small deterministic integer identifying this attribute combination,
+    /// used to seed attribute-conditioned feature shifts.
+    #[must_use]
+    pub fn context_id(&self) -> u64 {
+        let labels = matches!(self.labels, LabelDistribution::All) as u64;
+        let time = matches!(self.time, TimeOfDay::Night) as u64;
+        let location = matches!(self.location, Location::Highway) as u64;
+        let weather = match self.weather {
+            Weather::Clear => 0u64,
+            Weather::Overcast => 1,
+            Weather::Snowy => 2,
+            Weather::Rainy => 3,
+        };
+        labels | (time << 1) | (location << 2) | (weather << 3)
+    }
+}
+
+impl fmt::Display for SegmentAttributes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}/{}/{}/{}",
+            match self.labels {
+                LabelDistribution::TrafficOnly => "traffic",
+                LabelDistribution::All => "all",
+            },
+            match self.time {
+                TimeOfDay::Daytime => "day",
+                TimeOfDay::Night => "night",
+            },
+            match self.location {
+                Location::City => "city",
+                Location::Highway => "highway",
+            },
+            match self.weather {
+                Weather::Clear => "clear",
+                Weather::Overcast => "overcast",
+                Weather::Snowy => "snowy",
+                Weather::Rainy => "rainy",
+            }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_attributes_have_no_drift() {
+        let a = SegmentAttributes::default();
+        assert!(a.drifts_from(&a).is_empty());
+    }
+
+    #[test]
+    fn every_changed_dimension_is_reported() {
+        let a = SegmentAttributes::default();
+        let b = SegmentAttributes {
+            labels: LabelDistribution::All,
+            time: TimeOfDay::Night,
+            location: Location::Highway,
+            weather: Weather::Rainy,
+        };
+        let drifts = b.drifts_from(&a);
+        assert_eq!(drifts.len(), 4);
+        assert!(drifts.contains(&DriftKind::LabelDistribution));
+        assert!(drifts.contains(&DriftKind::TimeOfDay));
+        assert!(drifts.contains(&DriftKind::Location));
+        assert!(drifts.contains(&DriftKind::Weather));
+    }
+
+    #[test]
+    fn night_and_bad_weather_are_harder() {
+        let easy = SegmentAttributes::default();
+        let night = SegmentAttributes { time: TimeOfDay::Night, ..easy };
+        let snowy_night = SegmentAttributes { weather: Weather::Snowy, ..night };
+        assert_eq!(easy.difficulty(), 0.0);
+        assert!(night.difficulty() > easy.difficulty());
+        assert!(snowy_night.difficulty() > night.difficulty());
+        assert!(snowy_night.difficulty() < 1.0);
+    }
+
+    #[test]
+    fn context_ids_are_unique_per_combination() {
+        use std::collections::HashSet;
+        let mut ids = HashSet::new();
+        for labels in [LabelDistribution::TrafficOnly, LabelDistribution::All] {
+            for time in [TimeOfDay::Daytime, TimeOfDay::Night] {
+                for location in [Location::City, Location::Highway] {
+                    for weather in [Weather::Clear, Weather::Overcast, Weather::Snowy, Weather::Rainy] {
+                        let attrs = SegmentAttributes { labels, time, location, weather };
+                        assert!(ids.insert(attrs.context_id()), "duplicate id for {attrs}");
+                    }
+                }
+            }
+        }
+        assert_eq!(ids.len(), 32);
+    }
+
+    #[test]
+    fn display_is_compact_and_nonempty() {
+        let attrs = SegmentAttributes::default();
+        assert_eq!(attrs.to_string(), "traffic/day/city/clear");
+        assert_eq!(DriftKind::TimeOfDay.to_string(), "time of day");
+    }
+}

@@ -1,0 +1,40 @@
+//! Synthetic drifting video-analytics workload generator.
+//!
+//! The DaCapo paper evaluates on BDD100K driving videos, cropped into a
+//! chronological object-classification stream and recut into scenarios whose
+//! segments differ in *label distribution*, *time of day*, *location*, and
+//! *weather* (Table II, Figure 8). Those attribute changes are the data
+//! drifts the continuous-learning system must absorb.
+//!
+//! This crate reproduces that workload synthetically (the substitution is
+//! argued in DESIGN.md): each [`Scenario`] is a timeline of [`Segment`]s with
+//! attributes; each frame of the 30 FPS stream draws an object class from the
+//! segment's label distribution and a feature vector from a class- and
+//! attribute-conditioned Gaussian. When the segment attributes change, the
+//! feature distribution moves, so a student trained on the old segment loses
+//! accuracy until it is retrained on freshly labeled samples — exactly the
+//! dynamics the DaCapo allocator exploits.
+//!
+//! # Examples
+//!
+//! ```
+//! use dacapo_datagen::{Scenario, StreamConfig, FrameStream};
+//!
+//! let scenario = Scenario::s1();
+//! let stream = FrameStream::new(&scenario, StreamConfig::default());
+//! let frame = stream.frame_at(0);
+//! assert_eq!(frame.sample.features.len(), StreamConfig::default().feature_dim);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod attributes;
+mod classes;
+mod scenario;
+mod stream;
+
+pub use attributes::{DriftKind, LabelDistribution, Location, SegmentAttributes, TimeOfDay, Weather};
+pub use classes::{class_prior, ObjectClass, NUM_CLASSES};
+pub use scenario::{Scenario, Segment};
+pub use stream::{Frame, FrameStream, Sample, StreamConfig};

@@ -1,0 +1,336 @@
+//! Deterministic per-frame sample generation.
+
+use crate::attributes::SegmentAttributes;
+use crate::classes::{class_prior, NUM_CLASSES};
+use crate::scenario::Scenario;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rand_distr::{Distribution, Normal};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the synthetic frame stream.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StreamConfig {
+    /// Frame rate in frames per second (the paper's scenarios run at 30).
+    pub fps: f64,
+    /// Dimensionality of the per-object feature vector.
+    pub feature_dim: usize,
+    /// Standard deviation of the per-sample Gaussian noise.
+    pub noise_std: f32,
+    /// Magnitude of the attribute-conditioned shift of each class centre.
+    /// Larger values make data drift hit the student harder.
+    pub attribute_shift: f32,
+    /// Base RNG seed; the whole stream is a pure function of (seed, frame).
+    pub seed: u64,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        Self { fps: 30.0, feature_dim: 16, noise_std: 0.45, attribute_shift: 1.0, seed: 2024 }
+    }
+}
+
+/// One labeled object crop: the feature vector the student classifies and its
+/// ground-truth class.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Sample {
+    /// Feature vector of length [`StreamConfig::feature_dim`].
+    pub features: Vec<f32>,
+    /// Ground-truth class index in `0..NUM_CLASSES`.
+    pub true_class: usize,
+}
+
+/// One frame of the stream.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Frame {
+    /// Frame index from the start of the scenario.
+    pub index: u64,
+    /// Timestamp in seconds from the start of the scenario.
+    pub timestamp_s: f64,
+    /// Attributes of the segment this frame belongs to.
+    pub attributes: SegmentAttributes,
+    /// The object sample to classify.
+    pub sample: Sample,
+}
+
+/// A deterministic, randomly-accessible stream of frames for one scenario.
+///
+/// Every frame is a pure function of `(config.seed, frame index)`, so
+/// schedulers that process frames out of order (or repeatedly, like
+/// validation) observe a consistent world.
+///
+/// # Examples
+///
+/// ```
+/// use dacapo_datagen::{FrameStream, Scenario, StreamConfig};
+///
+/// let stream = FrameStream::new(&Scenario::s1(), StreamConfig::default());
+/// assert_eq!(stream.num_frames(), 36_000); // 20 min at 30 FPS
+/// let f = stream.frame_at(1234);
+/// assert_eq!(f.index, 1234);
+/// assert!(f.sample.true_class < dacapo_datagen::NUM_CLASSES);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FrameStream {
+    scenario: Scenario,
+    config: StreamConfig,
+}
+
+impl FrameStream {
+    /// Creates a stream for the given scenario.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration has a non-positive frame rate or a zero
+    /// feature dimension.
+    #[must_use]
+    pub fn new(scenario: &Scenario, config: StreamConfig) -> Self {
+        assert!(config.fps > 0.0, "frame rate must be positive");
+        assert!(config.feature_dim > 0, "feature dimension must be positive");
+        Self { scenario: scenario.clone(), config }
+    }
+
+    /// The stream configuration.
+    #[must_use]
+    pub fn config(&self) -> &StreamConfig {
+        &self.config
+    }
+
+    /// The scenario this stream renders.
+    #[must_use]
+    pub fn scenario(&self) -> &Scenario {
+        &self.scenario
+    }
+
+    /// Total number of frames in the scenario.
+    #[must_use]
+    pub fn num_frames(&self) -> u64 {
+        (self.scenario.duration_s() * self.config.fps).round() as u64
+    }
+
+    /// The context-dependent remapping of class appearances.
+    ///
+    /// Lightweight students have limited capacity: what makes continuous
+    /// learning necessary is that the *appearance* of classes changes with
+    /// the context (night-time cars look like daytime trucks, highway signage
+    /// differs from city signage, …), so a model specialised to the previous
+    /// context actively mis-classifies the new one. We model that by letting
+    /// each context remap a seeded subset of class identities onto other
+    /// classes' base appearance vectors; a model can fit any single context
+    /// well, but fitting the union of conflicting contexts is beyond it —
+    /// exactly the "data drift" premise of the paper.
+    fn context_permutation(&self, attributes: &SegmentAttributes) -> Vec<usize> {
+        let mut permutation: Vec<usize> = (0..NUM_CLASSES).collect();
+        let mut rng = StdRng::seed_from_u64(
+            self.config
+                .seed
+                .wrapping_add(0x51_7cc1_b727_220a_95)
+                .wrapping_mul(attributes.context_id() + 1),
+        );
+        // Swap a handful of class pairs per context (scaled by the configured
+        // attribute shift): with the default of 1.0, three swaps remap roughly
+        // six of the ten classes, so a model specialised to one context
+        // mis-classifies a large fraction of the next one.
+        let swaps = (3.0 * f64::from(self.config.attribute_shift)).round().max(0.0) as usize;
+        for _ in 0..swaps {
+            let a = rng.gen_range(0..NUM_CLASSES);
+            let b = rng.gen_range(0..NUM_CLASSES);
+            permutation.swap(a, b);
+        }
+        permutation
+    }
+
+    /// The class centre for a (class, attribute) combination.
+    ///
+    /// The centre combines the base appearance of the (context-remapped)
+    /// class identity with a smaller context-specific offset; when a
+    /// segment's attributes change, both move and previously learned decision
+    /// boundaries go stale — the data-drift mechanism.
+    #[must_use]
+    pub fn class_center(&self, class: usize, attributes: &SegmentAttributes) -> Vec<f32> {
+        assert!(class < NUM_CLASSES, "class {class} out of range");
+        let appearance = self.context_permutation(attributes)[class];
+        let mut center = vec![0.0f32; self.config.feature_dim];
+        let mut class_rng = StdRng::seed_from_u64(
+            self.config.seed ^ 0x9e37_79b9_7f4a_7c15u64.wrapping_mul(appearance as u64 + 1),
+        );
+        let mut context_rng = StdRng::seed_from_u64(
+            self.config
+                .seed
+                .wrapping_add(0x51_7cc1_b727_220a_95)
+                .wrapping_mul(attributes.context_id() + 1)
+                .wrapping_add(class as u64 * 7919),
+        );
+        for value in &mut center {
+            let class_part: f32 = class_rng.gen_range(-1.0..1.0);
+            let context_part: f32 = context_rng.gen_range(-1.0..1.0);
+            *value = class_part + 0.4 * self.config.attribute_shift * context_part;
+        }
+        center
+    }
+
+    /// Generates the frame at `index` (clamped semantics are not provided:
+    /// indices past the end still generate deterministic frames using the
+    /// last segment's attributes).
+    #[must_use]
+    pub fn frame_at(&self, index: u64) -> Frame {
+        let timestamp_s = index as f64 / self.config.fps;
+        let attributes = self.scenario.attributes_at(timestamp_s);
+        let mut rng = StdRng::seed_from_u64(self.config.seed.wrapping_mul(0x100_0000_01b3).wrapping_add(index));
+
+        // Draw the class from the segment's label distribution.
+        let prior = class_prior(&attributes);
+        let mut draw: f64 = rng.gen_range(0.0..1.0);
+        let mut true_class = NUM_CLASSES - 1;
+        for (i, p) in prior.iter().enumerate() {
+            if draw < *p {
+                true_class = i;
+                break;
+            }
+            draw -= p;
+        }
+
+        // Draw the feature vector around the (class, attributes) centre.
+        let center = self.class_center(true_class, &attributes);
+        let noise = Normal::new(0.0f32, self.config.noise_std).expect("std is positive");
+        let features = center.iter().map(|c| c + noise.sample(&mut rng)).collect();
+
+        Frame { index, timestamp_s, attributes, sample: Sample { features, true_class } }
+    }
+
+    /// Iterator over all frames of the scenario in order.
+    pub fn iter(&self) -> impl Iterator<Item = Frame> + '_ {
+        (0..self.num_frames()).map(|i| self.frame_at(i))
+    }
+
+    /// Collects every `step`-th frame of the half-open time range
+    /// `[start_s, end_s)` — the sampling primitive used by the labeling
+    /// kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step` is zero or the range is inverted.
+    #[must_use]
+    pub fn frames_between(&self, start_s: f64, end_s: f64, step: u64) -> Vec<Frame> {
+        assert!(step > 0, "step must be positive");
+        assert!(end_s >= start_s, "time range is inverted");
+        let first = (start_s * self.config.fps).ceil() as u64;
+        let last = ((end_s * self.config.fps).ceil() as u64).min(self.num_frames());
+        (first..last).step_by(step as usize).map(|i| self.frame_at(i)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Scenario;
+
+    fn stream() -> FrameStream {
+        FrameStream::new(&Scenario::s1(), StreamConfig::default())
+    }
+
+    #[test]
+    fn twenty_minutes_at_30fps_is_36000_frames() {
+        assert_eq!(stream().num_frames(), 36_000);
+    }
+
+    #[test]
+    fn frames_are_deterministic() {
+        let s = stream();
+        let a = s.frame_at(777);
+        let b = s.frame_at(777);
+        assert_eq!(a, b);
+        let other_seed = FrameStream::new(
+            &Scenario::s1(),
+            StreamConfig { seed: 999, ..StreamConfig::default() },
+        );
+        assert_ne!(a.sample, other_seed.frame_at(777).sample);
+    }
+
+    #[test]
+    fn classes_and_features_are_well_formed() {
+        let s = stream();
+        for i in (0..36_000).step_by(997) {
+            let f = s.frame_at(i);
+            assert!(f.sample.true_class < NUM_CLASSES);
+            assert_eq!(f.sample.features.len(), 16);
+            assert!(f.sample.features.iter().all(|v| v.is_finite()));
+        }
+    }
+
+    #[test]
+    fn class_frequencies_follow_the_segment_prior() {
+        let s = stream();
+        // First segment of S1 is traffic-only: pedestrians/bicycles never occur.
+        let counts = (0..1800u64).map(|i| s.frame_at(i).sample.true_class).fold(
+            vec![0usize; NUM_CLASSES],
+            |mut acc, c| {
+                acc[c] += 1;
+                acc
+            },
+        );
+        assert_eq!(counts[crate::ObjectClass::Pedestrian.index()], 0);
+        assert!(counts[crate::ObjectClass::Car.index()] > 600, "cars should dominate");
+    }
+
+    #[test]
+    fn attribute_change_moves_class_centers() {
+        let s = FrameStream::new(&Scenario::es1(), StreamConfig::default());
+        let day = s.scenario().segments()[0].attributes;
+        let drifted = s
+            .scenario()
+            .segments()
+            .iter()
+            .find(|seg| seg.attributes != day)
+            .expect("ES1 drifts")
+            .attributes;
+        for class in 0..NUM_CLASSES {
+            let a = s.class_center(class, &day);
+            let b = s.class_center(class, &drifted);
+            let dist: f32 = a.iter().zip(&b).map(|(x, y)| (x - y).powi(2)).sum::<f32>().sqrt();
+            assert!(dist > 0.5, "class {class} centre barely moved ({dist})");
+        }
+    }
+
+    #[test]
+    fn different_classes_have_distinct_centers() {
+        let s = stream();
+        let attrs = SegmentAttributes::default();
+        for a in 0..NUM_CLASSES {
+            for b in (a + 1)..NUM_CLASSES {
+                let ca = s.class_center(a, &attrs);
+                let cb = s.class_center(b, &attrs);
+                let dist: f32 = ca.iter().zip(&cb).map(|(x, y)| (x - y).powi(2)).sum::<f32>().sqrt();
+                assert!(dist > 0.5, "classes {a} and {b} nearly collide ({dist})");
+            }
+        }
+    }
+
+    #[test]
+    fn frames_between_respects_step_and_bounds() {
+        let s = stream();
+        let sampled = s.frames_between(0.0, 10.0, 10);
+        assert_eq!(sampled.len(), 30); // 300 frames / step 10
+        assert!(sampled.iter().all(|f| f.timestamp_s < 10.0));
+        let all = s.frames_between(0.0, 1.0, 1);
+        assert_eq!(all.len(), 30);
+    }
+
+    #[test]
+    fn iterator_yields_every_frame_in_order() {
+        let short = Scenario::from_segments(
+            "tiny",
+            vec![crate::Segment { attributes: SegmentAttributes::default(), duration_s: 2.0 }],
+        );
+        let s = FrameStream::new(&short, StreamConfig::default());
+        let frames: Vec<Frame> = s.iter().collect();
+        assert_eq!(frames.len(), 60);
+        assert!(frames.windows(2).all(|w| w[1].index == w[0].index + 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "step must be positive")]
+    fn zero_step_panics() {
+        let _ = stream().frames_between(0.0, 1.0, 0);
+    }
+}

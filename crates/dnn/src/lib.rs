@@ -1,0 +1,41 @@
+//! DNN substrate for the DaCapo reproduction.
+//!
+//! This crate provides the two halves of "the models" that the DaCapo system
+//! needs:
+//!
+//! 1. **A real, trainable student network** ([`Mlp`]) implemented from
+//!    scratch: dense layers, ReLU, softmax cross-entropy, SGD, and optional
+//!    MX fake-quantisation so inference can run at MX6 and retraining at MX9
+//!    exactly as the paper configures the accelerator. The continuous-learning
+//!    runtime retrains this network on the drifting synthetic stream.
+//! 2. **The paper-model zoo** ([`zoo`]): layer-by-layer GEMM decompositions
+//!    of the six models evaluated in the paper (ResNet18/34,
+//!    WideResNet50/101, ViT-B/32, ViT-B/16) whose parameter counts and
+//!    forward GFLOPs match Table III. These specs feed the performance
+//!    estimator and the cycle-level accelerator simulator; they are *not*
+//!    trained (Rust has no production DNN-training stack — see DESIGN.md for
+//!    the substitution argument).
+//!
+//! The [`workload`] module converts a (student, teacher) pair plus
+//! continuous-learning hyperparameters into the per-kernel FLOP/GEMM
+//! workloads (inference, labeling, retraining) that Section III-B of the
+//! paper characterises.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+pub mod layer;
+pub mod loss;
+mod mlp;
+mod teacher;
+pub mod workload;
+pub mod zoo;
+
+pub use error::DnnError;
+pub use layer::{Activation, Dense};
+pub use mlp::{Mlp, MlpConfig, QuantMode, TrainReport};
+pub use teacher::TeacherOracle;
+
+/// Result alias used throughout this crate.
+pub type Result<T> = std::result::Result<T, DnnError>;

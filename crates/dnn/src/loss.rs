@@ -1,0 +1,147 @@
+//! Softmax cross-entropy loss and classification accuracy.
+
+use crate::{DnnError, Result};
+use dacapo_tensor::{ops, Matrix};
+
+/// Computes the mean softmax cross-entropy loss and its gradient with respect
+/// to the logits.
+///
+/// `labels[i]` is the class index of sample `i` (row `i` of `logits`).
+///
+/// # Errors
+///
+/// Returns [`DnnError::InvalidLabels`] if the number of labels differs from
+/// the number of logit rows or any label is out of range.
+///
+/// # Examples
+///
+/// ```
+/// use dacapo_dnn::loss::cross_entropy;
+/// use dacapo_tensor::Matrix;
+///
+/// # fn main() -> Result<(), dacapo_dnn::DnnError> {
+/// let logits = Matrix::from_rows(&[&[2.0, 0.1, -1.0]])?;
+/// let (loss, grad) = cross_entropy(&logits, &[0])?;
+/// assert!(loss > 0.0);
+/// assert_eq!(grad.shape(), (1, 3));
+/// # Ok(())
+/// # }
+/// ```
+pub fn cross_entropy(logits: &Matrix, labels: &[usize]) -> Result<(f32, Matrix)> {
+    validate_labels(logits, labels)?;
+    let probs = ops::softmax_rows(logits);
+    let batch = logits.rows() as f32;
+    let mut loss = 0.0f32;
+    let mut grad = probs.clone();
+    for (i, &label) in labels.iter().enumerate() {
+        let p = probs[(i, label)].max(1e-12);
+        loss -= p.ln();
+        grad[(i, label)] -= 1.0;
+    }
+    // Mean over the batch; scale the gradient accordingly.
+    let grad = ops::scale(&grad, 1.0 / batch);
+    Ok((loss / batch, grad))
+}
+
+/// Fraction of rows whose argmax matches the label.
+///
+/// # Errors
+///
+/// Returns [`DnnError::InvalidLabels`] under the same conditions as
+/// [`cross_entropy`].
+pub fn accuracy(logits: &Matrix, labels: &[usize]) -> Result<f32> {
+    validate_labels(logits, labels)?;
+    let predictions = ops::argmax_rows(logits);
+    let correct = predictions.iter().zip(labels).filter(|(p, l)| p == l).count();
+    Ok(correct as f32 / labels.len() as f32)
+}
+
+fn validate_labels(logits: &Matrix, labels: &[usize]) -> Result<()> {
+    if labels.len() != logits.rows() {
+        return Err(DnnError::InvalidLabels {
+            reason: format!("{} labels for {} rows of logits", labels.len(), logits.rows()),
+        });
+    }
+    if let Some(&bad) = labels.iter().find(|&&l| l >= logits.cols()) {
+        return Err(DnnError::InvalidLabels {
+            reason: format!("label {bad} out of range for {} classes", logits.cols()),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_logits_give_log_c_loss() {
+        let logits = Matrix::zeros(4, 5).unwrap();
+        let (loss, _) = cross_entropy(&logits, &[0, 1, 2, 3]).unwrap();
+        assert!((loss - (5.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn confident_correct_prediction_has_small_loss() {
+        let logits = Matrix::from_rows(&[&[10.0, -10.0, -10.0]]).unwrap();
+        let (loss, _) = cross_entropy(&logits, &[0]).unwrap();
+        assert!(loss < 1e-3);
+    }
+
+    #[test]
+    fn confident_wrong_prediction_has_large_loss() {
+        let logits = Matrix::from_rows(&[&[10.0, -10.0, -10.0]]).unwrap();
+        let (loss, _) = cross_entropy(&logits, &[1]).unwrap();
+        assert!(loss > 5.0);
+    }
+
+    #[test]
+    fn gradient_rows_sum_to_zero() {
+        // Each row of the softmax cross-entropy gradient sums to zero.
+        let logits = Matrix::from_rows(&[&[0.5, -1.0, 2.0], &[3.0, 0.0, -3.0]]).unwrap();
+        let (_, grad) = cross_entropy(&logits, &[2, 0]).unwrap();
+        for row in grad.iter_rows() {
+            let sum: f32 = row.iter().sum();
+            assert!(sum.abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let logits = Matrix::from_rows(&[&[0.2, -0.4, 0.9], &[1.5, 0.3, -0.8]]).unwrap();
+        let labels = [2usize, 0usize];
+        let (_, grad) = cross_entropy(&logits, &labels).unwrap();
+        let eps = 1e-3f32;
+        for r in 0..2 {
+            for c in 0..3 {
+                let mut plus = logits.clone();
+                plus[(r, c)] += eps;
+                let mut minus = logits.clone();
+                minus[(r, c)] -= eps;
+                let (lp, _) = cross_entropy(&plus, &labels).unwrap();
+                let (lm, _) = cross_entropy(&minus, &labels).unwrap();
+                let numeric = (lp - lm) / (2.0 * eps);
+                assert!(
+                    (numeric - grad[(r, c)]).abs() < 1e-3,
+                    "grad[{r},{c}] numeric {numeric} vs analytic {}",
+                    grad[(r, c)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn accuracy_counts_matches() {
+        let logits = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 0.0]]).unwrap();
+        assert!((accuracy(&logits, &[0, 1, 1]).unwrap() - 2.0 / 3.0).abs() < 1e-6);
+        assert_eq!(accuracy(&logits, &[0, 1, 0]).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn label_validation() {
+        let logits = Matrix::zeros(2, 3).unwrap();
+        assert!(cross_entropy(&logits, &[0]).is_err());
+        assert!(cross_entropy(&logits, &[0, 3]).is_err());
+        assert!(accuracy(&logits, &[0, 5]).is_err());
+    }
+}

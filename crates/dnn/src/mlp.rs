@@ -1,0 +1,393 @@
+//! The trainable student network: a multi-layer perceptron with SGD and
+//! optional MX fake-quantisation.
+
+use crate::layer::{Activation, Dense, ForwardCache};
+use crate::{loss, DnnError, Result};
+use dacapo_mx::MxPrecision;
+use dacapo_tensor::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// Arithmetic mode a pass executes in.
+///
+/// The paper's configuration runs retraining at MX9 and inference/labeling at
+/// MX6 on the DaCapo accelerator, while GPU baselines run in FP32.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum QuantMode {
+    /// Full single-precision floating point (GPU baselines).
+    #[default]
+    Fp32,
+    /// MX block floating point at the given precision (DaCapo).
+    Mx(MxPrecision),
+}
+
+impl QuantMode {
+    fn precision(self) -> Option<MxPrecision> {
+        match self {
+            QuantMode::Fp32 => None,
+            QuantMode::Mx(p) => Some(p),
+        }
+    }
+}
+
+/// Configuration for building an [`Mlp`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MlpConfig {
+    /// Input feature dimension.
+    pub input_dim: usize,
+    /// Sizes of the hidden layers (may be empty for a linear classifier).
+    pub hidden: Vec<usize>,
+    /// Number of output classes.
+    pub num_classes: usize,
+    /// Arithmetic mode used by forward passes (inference).
+    pub inference_mode: QuantMode,
+    /// Arithmetic mode used by forward+backward passes during retraining.
+    pub training_mode: QuantMode,
+    /// RNG seed for weight initialisation.
+    pub seed: u64,
+}
+
+impl MlpConfig {
+    /// A small student suitable for the synthetic drifting stream: matches
+    /// the role ResNet18 plays in the paper (a lightweight customisable
+    /// model), with MX6 inference and MX9 retraining as in Section IV.
+    #[must_use]
+    pub fn student_default(input_dim: usize, num_classes: usize) -> Self {
+        Self {
+            input_dim,
+            hidden: vec![64, 32],
+            num_classes,
+            inference_mode: QuantMode::Mx(MxPrecision::Mx6),
+            training_mode: QuantMode::Mx(MxPrecision::Mx9),
+            seed: 0x5eed,
+        }
+    }
+}
+
+/// Summary of one retraining call.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrainReport {
+    /// Mean cross-entropy loss over the processed mini-batches.
+    pub mean_loss: f32,
+    /// Training accuracy over the processed samples.
+    pub accuracy: f32,
+    /// Number of samples processed (samples × epochs counts repeats).
+    pub samples_processed: usize,
+}
+
+/// A multi-layer perceptron classifier trained with SGD.
+///
+/// This is the *student* model of the continuous-learning loop: it runs
+/// inference on every frame, is periodically retrained on the labeled sample
+/// buffer, and is validated to detect data drift.
+///
+/// # Examples
+///
+/// ```
+/// use dacapo_dnn::{Mlp, MlpConfig, QuantMode};
+/// use dacapo_tensor::{init, Matrix};
+///
+/// # fn main() -> Result<(), dacapo_dnn::DnnError> {
+/// let config = MlpConfig {
+///     input_dim: 8,
+///     hidden: vec![16],
+///     num_classes: 3,
+///     inference_mode: QuantMode::Fp32,
+///     training_mode: QuantMode::Fp32,
+///     seed: 1,
+/// };
+/// let mut student = Mlp::new(config)?;
+/// let features = init::uniform(10, 8, -1.0, 1.0, 2)?;
+/// let labels = vec![0usize, 1, 2, 0, 1, 2, 0, 1, 2, 0];
+/// student.train(&features, &labels, 3, 16, 1e-2)?;
+/// let accuracy = student.evaluate(&features, &labels)?;
+/// assert!(accuracy >= 0.0 && accuracy <= 1.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Mlp {
+    layers: Vec<Dense>,
+    config: MlpConfig,
+}
+
+impl Mlp {
+    /// Builds the network described by `config`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DnnError::InvalidConfig`] if any dimension is zero.
+    pub fn new(config: MlpConfig) -> Result<Self> {
+        if config.input_dim == 0 || config.num_classes == 0 {
+            return Err(DnnError::InvalidConfig {
+                reason: "input dimension and class count must be positive".into(),
+            });
+        }
+        if config.hidden.iter().any(|&h| h == 0) {
+            return Err(DnnError::InvalidConfig { reason: "hidden layer sizes must be positive".into() });
+        }
+        let mut layers = Vec::with_capacity(config.hidden.len() + 1);
+        let mut previous = config.input_dim;
+        for (i, &width) in config.hidden.iter().enumerate() {
+            layers.push(Dense::new(previous, width, Activation::Relu, config.seed.wrapping_add(i as u64))?);
+            previous = width;
+        }
+        layers.push(Dense::new(
+            previous,
+            config.num_classes,
+            Activation::Linear,
+            config.seed.wrapping_add(config.hidden.len() as u64),
+        )?);
+        Ok(Self { layers, config })
+    }
+
+    /// The configuration the network was built with.
+    #[must_use]
+    pub fn config(&self) -> &MlpConfig {
+        &self.config
+    }
+
+    /// Total number of trainable parameters.
+    #[must_use]
+    pub fn num_params(&self) -> usize {
+        self.layers.iter().map(Dense::num_params).sum()
+    }
+
+    /// Forward FLOPs (multiply-accumulate count) per sample.
+    #[must_use]
+    pub fn flops_per_sample(&self) -> u64 {
+        self.layers
+            .iter()
+            .map(|l| (l.input_dim() * l.output_dim()) as u64)
+            .sum()
+    }
+
+    /// Runs a forward pass in the given mode and returns the logits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DnnError::DimensionMismatch`] if the feature width is wrong.
+    pub fn forward(&self, features: &Matrix, mode: QuantMode) -> Result<Matrix> {
+        let (logits, _) = self.forward_with_caches(features, mode)?;
+        Ok(logits)
+    }
+
+    fn forward_with_caches(
+        &self,
+        features: &Matrix,
+        mode: QuantMode,
+    ) -> Result<(Matrix, Vec<ForwardCache>)> {
+        let precision = mode.precision();
+        let mut caches = Vec::with_capacity(self.layers.len());
+        let mut current = features.clone();
+        for layer in &self.layers {
+            let (next, cache) = layer.forward(&current, precision)?;
+            caches.push(cache);
+            current = next;
+        }
+        Ok((current, caches))
+    }
+
+    /// Predicts class indices for a batch of features using the configured
+    /// inference mode.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DnnError::DimensionMismatch`] if the feature width is wrong.
+    pub fn predict(&self, features: &Matrix) -> Result<Vec<usize>> {
+        let logits = self.forward(features, self.config.inference_mode)?;
+        Ok(dacapo_tensor::ops::argmax_rows(&logits))
+    }
+
+    /// Classification accuracy on a labeled batch, using the configured
+    /// inference mode.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on dimension or label mismatches.
+    pub fn evaluate(&self, features: &Matrix, labels: &[usize]) -> Result<f32> {
+        let logits = self.forward(features, self.config.inference_mode)?;
+        loss::accuracy(&logits, labels)
+    }
+
+    /// Retrains the network with mini-batch SGD in the configured training
+    /// mode.
+    ///
+    /// The paper's retraining hyperparameters (Section VII-A) are SGD with
+    /// learning rate `1e-3` and batch size 16; callers pass them explicitly so
+    /// experiments can sweep them.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on dimension or label mismatches, or if `batch_size`
+    /// or `epochs` is zero.
+    pub fn train(
+        &mut self,
+        features: &Matrix,
+        labels: &[usize],
+        epochs: usize,
+        batch_size: usize,
+        learning_rate: f32,
+    ) -> Result<TrainReport> {
+        if batch_size == 0 || epochs == 0 {
+            return Err(DnnError::InvalidConfig { reason: "epochs and batch size must be positive".into() });
+        }
+        if labels.len() != features.rows() {
+            return Err(DnnError::InvalidLabels {
+                reason: format!("{} labels for {} feature rows", labels.len(), features.rows()),
+            });
+        }
+        let precision = self.config.training_mode.precision();
+        let mut total_loss = 0.0f64;
+        let mut total_correct = 0usize;
+        let mut total_samples = 0usize;
+        let mut batches = 0usize;
+
+        for _epoch in 0..epochs {
+            let mut start = 0usize;
+            while start < features.rows() {
+                let end = (start + batch_size).min(features.rows());
+                let batch_rows: Vec<&[f32]> = (start..end).map(|r| features.row(r)).collect();
+                let batch = Matrix::from_rows(&batch_rows)?;
+                let batch_labels = &labels[start..end];
+
+                let (logits, caches) = self.forward_with_caches(&batch, self.config.training_mode)?;
+                let (batch_loss, grad) = loss::cross_entropy(&logits, batch_labels)?;
+                total_loss += f64::from(batch_loss);
+                total_correct += (loss::accuracy(&logits, batch_labels)? * batch_labels.len() as f32)
+                    .round() as usize;
+                total_samples += batch_labels.len();
+                batches += 1;
+
+                // Backpropagate through the layers in reverse order.
+                let mut upstream = grad;
+                for (layer, cache) in self.layers.iter_mut().zip(caches.iter()).rev() {
+                    let grads = layer.backward(cache, &upstream, precision)?;
+                    layer.apply_gradients(&grads, learning_rate)?;
+                    upstream = grads.input;
+                }
+                start = end;
+            }
+        }
+        Ok(TrainReport {
+            mean_loss: (total_loss / batches.max(1) as f64) as f32,
+            accuracy: total_correct as f32 / total_samples.max(1) as f32,
+            samples_processed: total_samples,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dacapo_tensor::init;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Two well-separated Gaussian-ish clusters the MLP must learn to split.
+    fn two_cluster_data(n: usize, dim: usize, seed: u64) -> (Matrix, Vec<usize>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut features = Matrix::zeros(n, dim).unwrap();
+        let mut labels = Vec::with_capacity(n);
+        for r in 0..n {
+            let class = r % 2;
+            let center = if class == 0 { -1.0f32 } else { 1.0 };
+            for c in 0..dim {
+                features[(r, c)] = center + rng.gen_range(-0.3..0.3);
+            }
+            labels.push(class);
+        }
+        (features, labels)
+    }
+
+    fn fp32_config(input_dim: usize, classes: usize) -> MlpConfig {
+        MlpConfig {
+            input_dim,
+            hidden: vec![16],
+            num_classes: classes,
+            inference_mode: QuantMode::Fp32,
+            training_mode: QuantMode::Fp32,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        assert!(Mlp::new(MlpConfig { input_dim: 0, ..fp32_config(4, 2) }).is_err());
+        assert!(Mlp::new(MlpConfig { num_classes: 0, ..fp32_config(4, 2) }).is_err());
+        assert!(Mlp::new(MlpConfig { hidden: vec![8, 0], ..fp32_config(4, 2) }).is_err());
+    }
+
+    #[test]
+    fn param_count_matches_layer_sum() {
+        let net = Mlp::new(fp32_config(10, 3)).unwrap();
+        // 10*16 + 16 + 16*3 + 3
+        assert_eq!(net.num_params(), 10 * 16 + 16 + 16 * 3 + 3);
+        assert_eq!(net.flops_per_sample(), (10 * 16 + 16 * 3) as u64);
+    }
+
+    #[test]
+    fn training_learns_separable_clusters() {
+        let (features, labels) = two_cluster_data(200, 6, 42);
+        let mut net = Mlp::new(fp32_config(6, 2)).unwrap();
+        let before = net.evaluate(&features, &labels).unwrap();
+        let report = net.train(&features, &labels, 5, 16, 0.05).unwrap();
+        let after = net.evaluate(&features, &labels).unwrap();
+        assert!(after > 0.95, "after-training accuracy {after}");
+        assert!(after >= before, "training made accuracy worse: {before} -> {after}");
+        assert_eq!(report.samples_processed, 200 * 5);
+    }
+
+    #[test]
+    fn mx_quantised_training_also_learns() {
+        let (features, labels) = two_cluster_data(200, 6, 43);
+        let config = MlpConfig {
+            inference_mode: QuantMode::Mx(MxPrecision::Mx6),
+            training_mode: QuantMode::Mx(MxPrecision::Mx9),
+            ..fp32_config(6, 2)
+        };
+        let mut net = Mlp::new(config).unwrap();
+        net.train(&features, &labels, 5, 16, 0.05).unwrap();
+        let accuracy = net.evaluate(&features, &labels).unwrap();
+        assert!(accuracy > 0.9, "MX-quantised training accuracy {accuracy}");
+    }
+
+    #[test]
+    fn mx4_inference_is_no_better_than_mx9() {
+        // Train in FP32, then compare evaluation accuracy at different
+        // inference precisions; MX4 should not beat MX9 on average.
+        let (features, labels) = two_cluster_data(300, 8, 44);
+        let mut net = Mlp::new(fp32_config(8, 2)).unwrap();
+        net.train(&features, &labels, 5, 16, 0.05).unwrap();
+        let logits9 = net.forward(&features, QuantMode::Mx(MxPrecision::Mx9)).unwrap();
+        let logits4 = net.forward(&features, QuantMode::Mx(MxPrecision::Mx4)).unwrap();
+        let acc9 = loss::accuracy(&logits9, &labels).unwrap();
+        let acc4 = loss::accuracy(&logits4, &labels).unwrap();
+        assert!(acc9 + 1e-6 >= acc4, "MX9 {acc9} vs MX4 {acc4}");
+    }
+
+    #[test]
+    fn train_validates_inputs() {
+        let (features, labels) = two_cluster_data(20, 4, 45);
+        let mut net = Mlp::new(fp32_config(4, 2)).unwrap();
+        assert!(net.train(&features, &labels[..10], 1, 8, 0.01).is_err());
+        assert!(net.train(&features, &labels, 0, 8, 0.01).is_err());
+        assert!(net.train(&features, &labels, 1, 0, 0.01).is_err());
+        let bad = init::uniform(20, 5, -1.0, 1.0, 0).unwrap();
+        assert!(net.train(&bad, &labels, 1, 8, 0.01).is_err());
+    }
+
+    #[test]
+    fn predict_matches_forward_argmax() {
+        let (features, _) = two_cluster_data(10, 4, 46);
+        let net = Mlp::new(fp32_config(4, 2)).unwrap();
+        let logits = net.forward(&features, QuantMode::Fp32).unwrap();
+        assert_eq!(net.predict(&features).unwrap(), dacapo_tensor::ops::argmax_rows(&logits));
+    }
+
+    #[test]
+    fn networks_with_same_seed_are_identical() {
+        let a = Mlp::new(fp32_config(4, 2)).unwrap();
+        let b = Mlp::new(fp32_config(4, 2)).unwrap();
+        assert_eq!(a, b);
+    }
+}

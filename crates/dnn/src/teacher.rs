@@ -1,0 +1,174 @@
+//! The teacher oracle used for labeling sampled frames.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A stand-in for the large teacher DNN (WideResNet / ViT-B/16 in the paper).
+///
+/// The continuous-learning loop never inspects the teacher's internals — it
+/// only consumes its labels, paying the teacher's (large) compute cost per
+/// labeled sample. The oracle therefore models the teacher as a labeler with
+/// a configurable base accuracy and a penalty under difficult conditions
+/// (for example night-time frames), producing a uniformly random wrong class
+/// otherwise.
+///
+/// # Examples
+///
+/// ```
+/// use dacapo_dnn::TeacherOracle;
+///
+/// let mut teacher = TeacherOracle::new(10, 0.95, 7);
+/// let label = teacher.label(3, 0.0);
+/// assert!(label < 10);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TeacherOracle {
+    num_classes: usize,
+    base_accuracy: f64,
+    rng: StdRngState,
+}
+
+/// Serialisable wrapper holding the RNG seed and a live generator.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct StdRngState {
+    seed: u64,
+    draws: u64,
+    #[serde(skip, default = "default_rng")]
+    rng: StdRng,
+}
+
+fn default_rng() -> StdRng {
+    StdRng::seed_from_u64(0)
+}
+
+impl TeacherOracle {
+    /// Creates a teacher oracle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_classes` is zero or `base_accuracy` is outside `[0, 1]`.
+    #[must_use]
+    pub fn new(num_classes: usize, base_accuracy: f64, seed: u64) -> Self {
+        assert!(num_classes > 0, "teacher needs at least one class");
+        assert!((0.0..=1.0).contains(&base_accuracy), "base accuracy must be in [0, 1]");
+        Self {
+            num_classes,
+            base_accuracy,
+            rng: StdRngState { seed, draws: 0, rng: StdRng::seed_from_u64(seed) },
+        }
+    }
+
+    /// Number of classes the teacher can emit.
+    #[must_use]
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// The teacher's accuracy on easy (penalty 0) samples.
+    #[must_use]
+    pub fn base_accuracy(&self) -> f64 {
+        self.base_accuracy
+    }
+
+    /// Labels a sample whose ground-truth class is `true_class`.
+    ///
+    /// `difficulty_penalty` (in `[0, 1]`) lowers the effective labeling
+    /// accuracy, modelling conditions like night-time or unusual weather where
+    /// even the teacher errs more often.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `true_class` is out of range.
+    pub fn label(&mut self, true_class: usize, difficulty_penalty: f64) -> usize {
+        assert!(true_class < self.num_classes, "true class {true_class} out of range");
+        let accuracy = (self.base_accuracy - difficulty_penalty).clamp(0.0, 1.0);
+        self.rng.draws += 1;
+        if self.rng.rng.gen_bool(accuracy) || self.num_classes == 1 {
+            true_class
+        } else {
+            // Uniformly pick a wrong class.
+            let mut wrong = self.rng.rng.gen_range(0..self.num_classes - 1);
+            if wrong >= true_class {
+                wrong += 1;
+            }
+            wrong
+        }
+    }
+
+    /// Labels a whole batch, returning one label per element of `true_classes`.
+    pub fn label_batch(&mut self, true_classes: &[usize], difficulty_penalty: f64) -> Vec<usize> {
+        true_classes.iter().map(|&c| self.label(c, difficulty_penalty)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_teacher_always_returns_truth() {
+        let mut teacher = TeacherOracle::new(5, 1.0, 1);
+        for c in 0..5 {
+            assert_eq!(teacher.label(c, 0.0), c);
+        }
+    }
+
+    #[test]
+    fn zero_accuracy_teacher_never_returns_truth() {
+        let mut teacher = TeacherOracle::new(5, 0.0, 2);
+        for c in 0..5 {
+            for _ in 0..20 {
+                assert_ne!(teacher.label(c, 0.0), c);
+            }
+        }
+    }
+
+    #[test]
+    fn labels_are_always_in_range() {
+        let mut teacher = TeacherOracle::new(7, 0.5, 3);
+        for i in 0..500 {
+            let label = teacher.label(i % 7, 0.2);
+            assert!(label < 7);
+        }
+    }
+
+    #[test]
+    fn empirical_accuracy_tracks_configuration() {
+        let mut teacher = TeacherOracle::new(10, 0.9, 4);
+        let n = 5000;
+        let correct = (0..n).filter(|i| teacher.label(i % 10, 0.0) == i % 10).count();
+        let observed = correct as f64 / n as f64;
+        assert!((observed - 0.9).abs() < 0.03, "observed accuracy {observed}");
+    }
+
+    #[test]
+    fn difficulty_penalty_lowers_accuracy() {
+        let mut easy = TeacherOracle::new(10, 0.95, 5);
+        let mut hard = TeacherOracle::new(10, 0.95, 5);
+        let n = 4000;
+        let easy_correct = (0..n).filter(|i| easy.label(i % 10, 0.0) == i % 10).count();
+        let hard_correct = (0..n).filter(|i| hard.label(i % 10, 0.3) == i % 10).count();
+        assert!(easy_correct > hard_correct);
+    }
+
+    #[test]
+    fn label_batch_matches_length() {
+        let mut teacher = TeacherOracle::new(4, 0.8, 6);
+        let truths = vec![0, 1, 2, 3, 0, 1];
+        assert_eq!(teacher.label_batch(&truths, 0.0).len(), truths.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_class_panics() {
+        let mut teacher = TeacherOracle::new(3, 0.9, 7);
+        let _ = teacher.label(3, 0.0);
+    }
+
+    #[test]
+    fn single_class_teacher_is_trivially_correct() {
+        let mut teacher = TeacherOracle::new(1, 0.0, 8);
+        assert_eq!(teacher.label(0, 0.9), 0);
+    }
+}

@@ -1,0 +1,277 @@
+//! Per-kernel compute workloads for continuous learning.
+//!
+//! Section III-B of the paper characterises how the three continuous-learning
+//! kernels — inference, labeling, retraining — divide the total FLOPs of a
+//! window as the labeling sampling rate and the number of retraining epochs
+//! change (Figure 3). This module derives those workloads from the
+//! [`zoo`](crate::zoo) model specs so both the GPU roofline models and the
+//! DaCapo accelerator simulator consume identical work descriptions.
+
+use crate::zoo::{GemmShape, ModelPair};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The three continuous-learning kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Kernel {
+    /// Student forward pass on every streamed frame.
+    Inference,
+    /// Teacher forward pass on sampled frames to produce training labels.
+    Labeling,
+    /// Student forward + backward + update on the labeled buffer.
+    Retraining,
+}
+
+impl Kernel {
+    /// All three kernels in the order the paper stacks them in Figure 3.
+    pub const ALL: [Kernel; 3] = [Kernel::Inference, Kernel::Retraining, Kernel::Labeling];
+}
+
+impl fmt::Display for Kernel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Kernel::Inference => write!(f, "inference"),
+            Kernel::Labeling => write!(f, "labeling"),
+            Kernel::Retraining => write!(f, "retraining"),
+        }
+    }
+}
+
+/// Continuous-learning hyperparameters that determine the per-window compute.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClHyperparams {
+    /// Fraction of streamed frames sampled for labeling (e.g. `0.05` = 5 %).
+    pub sampling_rate: f64,
+    /// Retraining epochs over the sampled data each window.
+    pub epochs: usize,
+    /// Retraining mini-batch size (the paper uses 16).
+    pub retrain_batch: usize,
+    /// Window duration in seconds.
+    pub window_seconds: f64,
+    /// Input frame rate in frames per second (the paper's scenarios run at 30).
+    pub fps: f64,
+}
+
+impl Default for ClHyperparams {
+    fn default() -> Self {
+        Self { sampling_rate: 0.05, epochs: 5, retrain_batch: 16, window_seconds: 120.0, fps: 30.0 }
+    }
+}
+
+impl ClHyperparams {
+    /// Number of frames streamed in one window.
+    #[must_use]
+    pub fn frames_per_window(&self) -> u64 {
+        (self.window_seconds * self.fps).round() as u64
+    }
+
+    /// Number of frames sampled for labeling in one window.
+    #[must_use]
+    pub fn labeled_per_window(&self) -> u64 {
+        (self.frames_per_window() as f64 * self.sampling_rate).round() as u64
+    }
+}
+
+/// Per-window compute of one kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KernelWork {
+    /// Which kernel this is.
+    pub kernel: Kernel,
+    /// Multiply-accumulate operations over the whole window.
+    pub macs: u64,
+    /// Number of samples (frames, labeled samples, or sample·epochs) processed.
+    pub samples: u64,
+}
+
+/// Per-window compute of all three kernels for a model pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WindowWorkload {
+    /// Inference work.
+    pub inference: KernelWork,
+    /// Labeling work.
+    pub labeling: KernelWork,
+    /// Retraining work.
+    pub retraining: KernelWork,
+}
+
+impl WindowWorkload {
+    /// Total MACs across the three kernels.
+    #[must_use]
+    pub fn total_macs(&self) -> u64 {
+        self.inference.macs + self.labeling.macs + self.retraining.macs
+    }
+
+    /// Total work expressed in tera-FLOPs (MAC count / 1e12), the unit the
+    /// Figure 3 line plot uses.
+    #[must_use]
+    pub fn total_tflops(&self) -> f64 {
+        self.total_macs() as f64 / 1e12
+    }
+
+    /// Fraction of the window's MACs spent in the given kernel.
+    #[must_use]
+    pub fn share(&self, kernel: Kernel) -> f64 {
+        let macs = match kernel {
+            Kernel::Inference => self.inference.macs,
+            Kernel::Labeling => self.labeling.macs,
+            Kernel::Retraining => self.retraining.macs,
+        };
+        macs as f64 / self.total_macs().max(1) as f64
+    }
+}
+
+/// Per-sample compute cost of each kernel for a model pair, in MACs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UnitCosts {
+    /// Student forward MACs per streamed frame.
+    pub inference_per_frame: u64,
+    /// Teacher forward MACs per labeled sample.
+    pub labeling_per_sample: u64,
+    /// Student forward+backward MACs per retraining sample per epoch.
+    pub retraining_per_sample: u64,
+}
+
+/// Computes the per-sample cost of each kernel for a model pair.
+///
+/// # Examples
+///
+/// ```
+/// use dacapo_dnn::workload::unit_costs;
+/// use dacapo_dnn::zoo::ModelPair;
+///
+/// let costs = unit_costs(ModelPair::ResNet18Wrn50);
+/// assert!(costs.labeling_per_sample > costs.inference_per_frame);
+/// ```
+#[must_use]
+pub fn unit_costs(pair: ModelPair) -> UnitCosts {
+    let student = pair.student().spec();
+    let teacher = pair.teacher().spec();
+    UnitCosts {
+        inference_per_frame: student.forward_macs(),
+        labeling_per_sample: teacher.forward_macs(),
+        retraining_per_sample: student.training_macs(),
+    }
+}
+
+/// Computes the full per-window workload of the three kernels.
+///
+/// This is the quantity Figure 3 sweeps over sampling rates and epoch counts.
+#[must_use]
+pub fn window_workload(pair: ModelPair, hp: &ClHyperparams) -> WindowWorkload {
+    let costs = unit_costs(pair);
+    let frames = hp.frames_per_window();
+    let labeled = hp.labeled_per_window();
+    let retrain_samples = labeled * hp.epochs as u64;
+    WindowWorkload {
+        inference: KernelWork {
+            kernel: Kernel::Inference,
+            macs: frames * costs.inference_per_frame,
+            samples: frames,
+        },
+        labeling: KernelWork {
+            kernel: Kernel::Labeling,
+            macs: labeled * costs.labeling_per_sample,
+            samples: labeled,
+        },
+        retraining: KernelWork {
+            kernel: Kernel::Retraining,
+            macs: retrain_samples * costs.retraining_per_sample,
+            samples: retrain_samples,
+        },
+    }
+}
+
+/// GEMM workload of the given kernel for one sample (inference/labeling) or
+/// one mini-batch (retraining), used by the cycle-level accelerator simulator.
+#[must_use]
+pub fn kernel_gemms(pair: ModelPair, kernel: Kernel, retrain_batch: usize) -> Vec<GemmShape> {
+    match kernel {
+        Kernel::Inference => pair.student().spec().forward_gemms(1),
+        Kernel::Labeling => pair.teacher().spec().forward_gemms(1),
+        Kernel::Retraining => pair.student().spec().training_gemms(retrain_batch),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_hyperparams_match_paper_settings() {
+        let hp = ClHyperparams::default();
+        assert_eq!(hp.retrain_batch, 16);
+        assert_eq!(hp.fps, 30.0);
+        assert_eq!(hp.frames_per_window(), 3600);
+        assert_eq!(hp.labeled_per_window(), 180);
+    }
+
+    #[test]
+    fn labeling_cost_exceeds_inference_cost_per_sample() {
+        for pair in ModelPair::ALL {
+            let costs = unit_costs(pair);
+            assert!(costs.labeling_per_sample > costs.inference_per_frame, "{pair}");
+            assert_eq!(costs.retraining_per_sample, 3 * costs.inference_per_frame, "{pair}");
+        }
+    }
+
+    #[test]
+    fn retraining_share_grows_with_sampling_rate_and_epochs() {
+        // The core observation of Figure 3.
+        let pair = ModelPair::ResNet18Wrn50;
+        let light = window_workload(
+            pair,
+            &ClHyperparams { sampling_rate: 0.03, epochs: 3, ..ClHyperparams::default() },
+        );
+        let heavy = window_workload(
+            pair,
+            &ClHyperparams { sampling_rate: 0.10, epochs: 10, ..ClHyperparams::default() },
+        );
+        assert!(heavy.share(Kernel::Retraining) > light.share(Kernel::Retraining));
+        assert!(heavy.share(Kernel::Inference) < light.share(Kernel::Inference));
+        assert!(heavy.total_macs() > light.total_macs());
+    }
+
+    #[test]
+    fn shares_sum_to_one() {
+        for pair in ModelPair::ALL {
+            let w = window_workload(pair, &ClHyperparams::default());
+            let total: f64 = Kernel::ALL.iter().map(|&k| w.share(k)).sum();
+            assert!((total - 1.0).abs() < 1e-9, "{pair}: shares sum to {total}");
+        }
+    }
+
+    #[test]
+    fn window_workload_scales_with_duration() {
+        let pair = ModelPair::VitB32VitB16;
+        let short = window_workload(
+            pair,
+            &ClHyperparams { window_seconds: 60.0, ..ClHyperparams::default() },
+        );
+        let long = window_workload(
+            pair,
+            &ClHyperparams { window_seconds: 120.0, ..ClHyperparams::default() },
+        );
+        assert_eq!(long.inference.macs, 2 * short.inference.macs);
+        assert_eq!(long.inference.samples, 2 * short.inference.samples);
+    }
+
+    #[test]
+    fn kernel_gemms_are_nonempty_and_sized_sensibly() {
+        let inference = kernel_gemms(ModelPair::ResNet18Wrn50, Kernel::Inference, 16);
+        let labeling = kernel_gemms(ModelPair::ResNet18Wrn50, Kernel::Labeling, 16);
+        let retraining = kernel_gemms(ModelPair::ResNet18Wrn50, Kernel::Retraining, 16);
+        assert!(!inference.is_empty());
+        let inf_macs: u64 = inference.iter().map(GemmShape::macs).sum();
+        let lab_macs: u64 = labeling.iter().map(GemmShape::macs).sum();
+        let ret_macs: u64 = retraining.iter().map(GemmShape::macs).sum();
+        assert!(lab_macs > inf_macs, "teacher forward should out-cost student forward");
+        assert!(ret_macs > inf_macs, "a retraining batch should out-cost a single inference");
+    }
+
+    #[test]
+    fn kernel_display_names() {
+        assert_eq!(Kernel::Inference.to_string(), "inference");
+        assert_eq!(Kernel::Retraining.to_string(), "retraining");
+        assert_eq!(Kernel::Labeling.to_string(), "labeling");
+    }
+}

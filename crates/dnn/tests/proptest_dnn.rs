@@ -1,0 +1,119 @@
+//! Property-based tests for the DNN substrate: loss/accuracy invariants,
+//! training behaviour, and model-zoo consistency.
+
+use dacapo_dnn::workload::{window_workload, ClHyperparams, Kernel};
+use dacapo_dnn::zoo::{GemmShape, ModelPair, PaperModel};
+use dacapo_dnn::{loss, Mlp, MlpConfig, QuantMode, TeacherOracle};
+use dacapo_tensor::{init, Matrix};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Cross-entropy is non-negative and its gradient rows always sum to zero
+    /// (softmax conservation), for arbitrary logits and labels.
+    #[test]
+    fn cross_entropy_invariants(
+        rows in 1usize..8,
+        cols in 2usize..6,
+        seed in 0u64..1000,
+        label_seed in 0u64..1000,
+    ) {
+        let logits = init::uniform(rows, cols, -5.0, 5.0, seed).unwrap();
+        let labels: Vec<usize> = (0..rows).map(|i| ((label_seed as usize + i * 7) % cols)).collect();
+        let (value, grad) = loss::cross_entropy(&logits, &labels).unwrap();
+        prop_assert!(value >= 0.0);
+        for row in grad.iter_rows() {
+            let sum: f32 = row.iter().sum();
+            prop_assert!(sum.abs() < 1e-4);
+        }
+        let accuracy = loss::accuracy(&logits, &labels).unwrap();
+        prop_assert!((0.0..=1.0).contains(&accuracy));
+    }
+
+    /// Training on linearly separable clusters always reaches high accuracy,
+    /// regardless of seed, in both FP32 and MX modes.
+    #[test]
+    fn training_learns_separable_data(seed in 0u64..200, quantized in any::<bool>()) {
+        let n = 120usize;
+        let dim = 6usize;
+        let mut features = Matrix::zeros(n, dim).unwrap();
+        let mut labels = Vec::with_capacity(n);
+        let noise = init::uniform(n, dim, -0.25, 0.25, seed).unwrap();
+        for r in 0..n {
+            let class = r % 2;
+            for c in 0..dim {
+                features[(r, c)] = if class == 0 { -1.0 } else { 1.0 } + noise[(r, c)];
+            }
+            labels.push(class);
+        }
+        let config = MlpConfig {
+            input_dim: dim,
+            hidden: vec![12],
+            num_classes: 2,
+            inference_mode: if quantized { QuantMode::Mx(dacapo_mx::MxPrecision::Mx6) } else { QuantMode::Fp32 },
+            training_mode: if quantized { QuantMode::Mx(dacapo_mx::MxPrecision::Mx9) } else { QuantMode::Fp32 },
+            seed,
+        };
+        let mut net = Mlp::new(config).unwrap();
+        net.train(&features, &labels, 6, 16, 0.05).unwrap();
+        let accuracy = net.evaluate(&features, &labels).unwrap();
+        prop_assert!(accuracy > 0.9, "accuracy {} (quantized: {})", accuracy, quantized);
+    }
+
+    /// The teacher oracle's labels are always in range and its empirical
+    /// accuracy tracks the configured accuracy within sampling error.
+    #[test]
+    fn teacher_accuracy_tracks_configuration(accuracy in 0.5f64..1.0, seed in 0u64..1000) {
+        let classes = 10usize;
+        let mut teacher = TeacherOracle::new(classes, accuracy, seed);
+        let n = 2000usize;
+        let mut correct = 0usize;
+        for i in 0..n {
+            let label = teacher.label(i % classes, 0.0);
+            prop_assert!(label < classes);
+            if label == i % classes {
+                correct += 1;
+            }
+        }
+        let observed = correct as f64 / n as f64;
+        prop_assert!((observed - accuracy).abs() < 0.05, "observed {} vs configured {}", observed, accuracy);
+    }
+
+    /// Kernel workload accounting: shares always sum to one, total work scales
+    /// linearly with window length, and the retraining share is monotone in
+    /// the epoch count.
+    #[test]
+    fn workload_accounting(
+        sampling in 0.01f64..0.2,
+        epochs in 1usize..12,
+        window in 30.0f64..300.0,
+    ) {
+        for pair in ModelPair::ALL {
+            let hp = ClHyperparams { sampling_rate: sampling, epochs, window_seconds: window, ..ClHyperparams::default() };
+            let w = window_workload(pair, &hp);
+            let total: f64 = [Kernel::Inference, Kernel::Retraining, Kernel::Labeling]
+                .iter()
+                .map(|&k| w.share(k))
+                .sum();
+            prop_assert!((total - 1.0).abs() < 1e-9);
+            let more_epochs = window_workload(
+                pair,
+                &ClHyperparams { epochs: epochs + 1, ..hp },
+            );
+            prop_assert!(more_epochs.share(Kernel::Retraining) >= w.share(Kernel::Retraining));
+        }
+    }
+
+    /// Batched GEMM workloads scale exactly linearly in the batch size for
+    /// every model in the zoo.
+    #[test]
+    fn model_gemms_scale_with_batch(batch in 1usize..32) {
+        for model in PaperModel::ALL {
+            let spec = model.spec();
+            let single: u64 = spec.forward_gemms(1).iter().map(GemmShape::macs).sum();
+            let batched: u64 = spec.forward_gemms(batch).iter().map(GemmShape::macs).sum();
+            prop_assert_eq!(batched, single * batch as u64);
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! Quantisation-error statistics for MX encodings.
+
+use crate::{MxPrecision, MxVector, Result};
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics describing how much information an MX encoding loses.
+///
+/// Produced by [`quantization_error`]. `sqnr_db` is the signal-to-quantisation
+/// -noise ratio in decibels; higher is better, and `f64::INFINITY` means the
+/// encoding was lossless for this data.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QuantError {
+    /// Largest absolute difference between an original and decoded value.
+    pub max_abs: f32,
+    /// Mean absolute difference.
+    pub mean_abs: f32,
+    /// Largest relative error, computed only over elements with magnitude
+    /// above `1e-12` (relative error is meaningless at zero).
+    pub max_rel: f32,
+    /// Signal-to-quantisation-noise ratio in dB.
+    pub sqnr_db: f64,
+}
+
+/// Measures the error introduced by encoding `values` at `precision` and
+/// decoding them again.
+///
+/// # Errors
+///
+/// Returns an error if `values` is empty or contains non-finite values.
+///
+/// # Examples
+///
+/// ```
+/// use dacapo_mx::{quantization_error, MxPrecision};
+///
+/// # fn main() -> Result<(), dacapo_mx::MxError> {
+/// let data: Vec<f32> = (0..256).map(|i| ((i as f32) * 0.17).cos()).collect();
+/// let low = quantization_error(&data, MxPrecision::Mx4)?;
+/// let high = quantization_error(&data, MxPrecision::Mx9)?;
+/// assert!(high.sqnr_db > low.sqnr_db);
+/// # Ok(())
+/// # }
+/// ```
+pub fn quantization_error(values: &[f32], precision: MxPrecision) -> Result<QuantError> {
+    let decoded = MxVector::quantize(values, precision)?;
+    let mut max_abs = 0.0f32;
+    let mut sum_abs = 0.0f64;
+    let mut max_rel = 0.0f32;
+    let mut signal_power = 0.0f64;
+    let mut noise_power = 0.0f64;
+    for (&orig, &dec) in values.iter().zip(decoded.iter()) {
+        let err = (orig - dec).abs();
+        max_abs = max_abs.max(err);
+        sum_abs += f64::from(err);
+        if orig.abs() > 1e-12 {
+            max_rel = max_rel.max(err / orig.abs());
+        }
+        signal_power += f64::from(orig) * f64::from(orig);
+        noise_power += f64::from(orig - dec) * f64::from(orig - dec);
+    }
+    let sqnr_db = if noise_power == 0.0 {
+        f64::INFINITY
+    } else {
+        10.0 * (signal_power / noise_power).log10()
+    };
+    Ok(QuantError {
+        max_abs,
+        mean_abs: (sum_abs / values.len() as f64) as f32,
+        max_rel,
+        sqnr_db,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp(n: usize) -> Vec<f32> {
+        (0..n).map(|i| (i as f32) * 0.013 - 3.0).collect()
+    }
+
+    #[test]
+    fn lossless_data_reports_infinite_sqnr() {
+        // Powers of two of similar magnitude encode exactly at MX9.
+        let data = vec![1.0f32, 2.0, 4.0, 0.5, 1.0, 2.0, 4.0, 0.5,
+                        1.0, 2.0, 4.0, 0.5, 1.0, 2.0, 4.0, 0.5];
+        let err = quantization_error(&data, MxPrecision::Mx9).unwrap();
+        assert_eq!(err.max_abs, 0.0);
+        assert!(err.sqnr_db.is_infinite());
+    }
+
+    #[test]
+    fn sqnr_improves_with_precision() {
+        let data = ramp(512);
+        let e4 = quantization_error(&data, MxPrecision::Mx4).unwrap();
+        let e6 = quantization_error(&data, MxPrecision::Mx6).unwrap();
+        let e9 = quantization_error(&data, MxPrecision::Mx9).unwrap();
+        assert!(e6.sqnr_db > e4.sqnr_db, "MX6 ({}) <= MX4 ({})", e6.sqnr_db, e4.sqnr_db);
+        assert!(e9.sqnr_db > e6.sqnr_db, "MX9 ({}) <= MX6 ({})", e9.sqnr_db, e6.sqnr_db);
+    }
+
+    #[test]
+    fn mx9_sqnr_is_high_for_well_conditioned_data() {
+        // Roughly uniform magnitudes: MX9 should comfortably exceed 30 dB.
+        let data: Vec<f32> = (0..1024).map(|i| 1.0 + ((i % 64) as f32) / 64.0).collect();
+        let err = quantization_error(&data, MxPrecision::Mx9).unwrap();
+        assert!(err.sqnr_db > 30.0, "sqnr {}", err.sqnr_db);
+    }
+
+    #[test]
+    fn mean_never_exceeds_max() {
+        let data = ramp(300);
+        for p in MxPrecision::ALL {
+            let err = quantization_error(&data, p).unwrap();
+            assert!(err.mean_abs <= err.max_abs + f32::EPSILON);
+        }
+    }
+
+    #[test]
+    fn empty_input_is_an_error() {
+        assert!(quantization_error(&[], MxPrecision::Mx6).is_err());
+    }
+}

@@ -1,0 +1,235 @@
+//! Block-wise MX encoding of arbitrary-length vectors.
+
+use crate::{MxBlock, MxError, MxPrecision, Result, RoundingMode, BLOCK_SIZE};
+use serde::{Deserialize, Serialize};
+
+/// An arbitrary-length vector encoded block-by-block in MX format.
+///
+/// This is the unit the DaCapo memory interface feeds to a row of DPEs: a
+/// sequence of 16-element blocks, each with its own shared exponent and
+/// microexponents.
+///
+/// # Examples
+///
+/// ```
+/// use dacapo_mx::{MxPrecision, MxVector};
+///
+/// # fn main() -> Result<(), dacapo_mx::MxError> {
+/// let data: Vec<f32> = (0..100).map(|i| (i as f32).sin()).collect();
+/// let encoded = MxVector::encode(&data, MxPrecision::Mx6)?;
+/// assert_eq!(encoded.len(), 100);
+/// assert_eq!(encoded.num_blocks(), 7); // ceil(100 / 16)
+/// let decoded = encoded.decode();
+/// assert_eq!(decoded.len(), 100);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MxVector {
+    blocks: Vec<MxBlock>,
+    len: usize,
+    precision: MxPrecision,
+}
+
+impl MxVector {
+    /// Encodes a slice of `f32` values using round-to-nearest.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MxError::EmptyInput`] for an empty slice and
+    /// [`MxError::NonFiniteInput`] if any value is NaN or infinite.
+    pub fn encode(values: &[f32], precision: MxPrecision) -> Result<Self> {
+        Self::encode_with(values, precision, RoundingMode::Nearest)
+    }
+
+    /// Encodes a slice of `f32` values with an explicit [`RoundingMode`].
+    ///
+    /// # Errors
+    ///
+    /// Same error conditions as [`MxVector::encode`]. The index reported by a
+    /// [`MxError::NonFiniteInput`] refers to the position in `values`.
+    pub fn encode_with(
+        values: &[f32],
+        precision: MxPrecision,
+        rounding: RoundingMode,
+    ) -> Result<Self> {
+        if values.is_empty() {
+            return Err(MxError::EmptyInput);
+        }
+        let mut blocks = Vec::with_capacity(values.len().div_ceil(BLOCK_SIZE));
+        for (block_idx, chunk) in values.chunks(BLOCK_SIZE).enumerate() {
+            let block = MxBlock::encode(chunk, precision, rounding).map_err(|e| match e {
+                MxError::NonFiniteInput { index, value } => {
+                    MxError::NonFiniteInput { index: block_idx * BLOCK_SIZE + index, value }
+                }
+                other => other,
+            })?;
+            blocks.push(block);
+        }
+        Ok(Self { blocks, len: values.len(), precision })
+    }
+
+    /// Convenience "fake quantisation": encode then immediately decode.
+    ///
+    /// This is what the DNN substrate uses to emulate running a kernel at a
+    /// given MX precision while keeping the master copy of the data in `f32`.
+    ///
+    /// # Errors
+    ///
+    /// Same error conditions as [`MxVector::encode`].
+    pub fn quantize(values: &[f32], precision: MxPrecision) -> Result<Vec<f32>> {
+        Ok(Self::encode(values, precision)?.decode())
+    }
+
+    /// Decodes the vector back to `f32`, dropping block padding.
+    #[must_use]
+    pub fn decode(&self) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.len);
+        for block in &self.blocks {
+            out.extend_from_slice(&block.decode()[..block.len()]);
+        }
+        out
+    }
+
+    /// Dot product with another MX vector, accumulated in FP32 block by block.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MxError::LengthMismatch`] if the logical lengths differ and
+    /// [`MxError::PrecisionMismatch`] if the precisions differ.
+    pub fn dot(&self, other: &Self) -> Result<f32> {
+        if self.len != other.len {
+            return Err(MxError::LengthMismatch { left: self.len, right: other.len });
+        }
+        if self.precision != other.precision {
+            return Err(MxError::PrecisionMismatch {
+                left: self.precision,
+                right: other.precision,
+            });
+        }
+        let mut acc = 0.0f32;
+        for (a, b) in self.blocks.iter().zip(other.blocks.iter()) {
+            acc += a.dot(b)?;
+        }
+        Ok(acc)
+    }
+
+    /// Number of logical (non-padding) elements.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the vector holds no elements (never true for encoded vectors).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of 16-element MX blocks backing this vector.
+    #[must_use]
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Precision the vector was encoded at.
+    #[must_use]
+    pub fn precision(&self) -> MxPrecision {
+        self.precision
+    }
+
+    /// Storage footprint of the encoded vector in bytes.
+    #[must_use]
+    pub fn storage_bytes(&self) -> usize {
+        (self.num_blocks() * self.precision.bits_per_block() as usize).div_ceil(8)
+    }
+
+    /// Iterator over the underlying blocks.
+    pub fn blocks(&self) -> impl Iterator<Item = &MxBlock> {
+        self.blocks.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_empty_is_rejected() {
+        assert_eq!(MxVector::encode(&[], MxPrecision::Mx6), Err(MxError::EmptyInput));
+    }
+
+    #[test]
+    fn non_finite_index_is_global() {
+        let mut data = vec![1.0f32; 40];
+        data[37] = f32::NAN;
+        match MxVector::encode(&data, MxPrecision::Mx6) {
+            Err(MxError::NonFiniteInput { index, .. }) => assert_eq!(index, 37),
+            other => panic!("expected NonFiniteInput, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn length_and_block_count_are_consistent() {
+        for len in [1usize, 15, 16, 17, 32, 100, 257] {
+            let data = vec![0.5f32; len];
+            let v = MxVector::encode(&data, MxPrecision::Mx4).unwrap();
+            assert_eq!(v.len(), len);
+            assert_eq!(v.num_blocks(), len.div_ceil(16));
+            assert_eq!(v.decode().len(), len);
+        }
+    }
+
+    #[test]
+    fn storage_bytes_matches_precision() {
+        let data = vec![1.0f32; 64]; // 4 blocks
+        let v = MxVector::encode(&data, MxPrecision::Mx9).unwrap();
+        assert_eq!(v.storage_bytes(), 4 * 9 * 16 / 8);
+        let v = MxVector::encode(&data, MxPrecision::Mx4).unwrap();
+        assert_eq!(v.storage_bytes(), 4 * 4 * 16 / 8);
+    }
+
+    #[test]
+    fn dot_rejects_length_mismatch() {
+        let a = MxVector::encode(&vec![1.0f32; 32], MxPrecision::Mx6).unwrap();
+        let b = MxVector::encode(&vec![1.0f32; 31], MxPrecision::Mx6).unwrap();
+        assert!(matches!(a.dot(&b), Err(MxError::LengthMismatch { left: 32, right: 31 })));
+    }
+
+    #[test]
+    fn dot_rejects_precision_mismatch() {
+        let a = MxVector::encode(&vec![1.0f32; 32], MxPrecision::Mx6).unwrap();
+        let b = MxVector::encode(&vec![1.0f32; 32], MxPrecision::Mx9).unwrap();
+        assert!(matches!(a.dot(&b), Err(MxError::PrecisionMismatch { .. })));
+    }
+
+    #[test]
+    fn dot_of_identical_ones_equals_length() {
+        let data = vec![1.0f32; 50];
+        let v = MxVector::encode(&data, MxPrecision::Mx9).unwrap();
+        let dot = v.dot(&v).unwrap();
+        assert!((dot - 50.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn quantize_is_encode_then_decode() {
+        let data: Vec<f32> = (0..33).map(|i| (i as f32) * 0.1 - 1.6).collect();
+        let q = MxVector::quantize(&data, MxPrecision::Mx6).unwrap();
+        let v = MxVector::encode(&data, MxPrecision::Mx6).unwrap();
+        assert_eq!(q, v.decode());
+    }
+
+    #[test]
+    fn mx9_dot_is_close_to_fp32_reference() {
+        let a: Vec<f32> = (0..200).map(|i| ((i * 13 % 97) as f32 - 48.0) * 0.07).collect();
+        let b: Vec<f32> = (0..200).map(|i| ((i * 31 % 89) as f32 - 44.0) * 0.05).collect();
+        let exact: f32 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+        let qa = MxVector::encode(&a, MxPrecision::Mx9).unwrap();
+        let qb = MxVector::encode(&b, MxPrecision::Mx9).unwrap();
+        let approx = qa.dot(&qb).unwrap();
+        assert!(
+            (exact - approx).abs() <= 0.02 * exact.abs().max(1.0),
+            "exact {exact} vs approx {approx}"
+        );
+    }
+}

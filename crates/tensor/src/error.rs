@@ -1,0 +1,107 @@
+//! Error type for matrix construction and operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by matrix construction and operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TensorError {
+    /// Two operands had incompatible shapes for the requested operation.
+    ShapeMismatch {
+        /// Human-readable name of the operation that failed.
+        op: &'static str,
+        /// Shape of the left operand as `(rows, cols)`.
+        left: (usize, usize),
+        /// Shape of the right operand as `(rows, cols)`.
+        right: (usize, usize),
+    },
+    /// A dimension of zero (or otherwise invalid) was supplied.
+    InvalidDimension {
+        /// The offending number of rows.
+        rows: usize,
+        /// The offending number of columns.
+        cols: usize,
+    },
+    /// The provided data length does not match `rows * cols`.
+    DataLengthMismatch {
+        /// Expected number of elements.
+        expected: usize,
+        /// Number of elements actually provided.
+        got: usize,
+    },
+    /// An index was outside the matrix bounds.
+    IndexOutOfBounds {
+        /// Requested row.
+        row: usize,
+        /// Requested column.
+        col: usize,
+        /// Matrix shape as `(rows, cols)`.
+        shape: (usize, usize),
+    },
+    /// An MX quantisation step failed (for example on non-finite data).
+    Quantization(dacapo_mx::MxError),
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeMismatch { op, left, right } => write!(
+                f,
+                "shape mismatch in {op}: left is {}x{}, right is {}x{}",
+                left.0, left.1, right.0, right.1
+            ),
+            TensorError::InvalidDimension { rows, cols } => {
+                write!(f, "invalid matrix dimension {rows}x{cols}")
+            }
+            TensorError::DataLengthMismatch { expected, got } => {
+                write!(f, "data length mismatch: expected {expected} elements, got {got}")
+            }
+            TensorError::IndexOutOfBounds { row, col, shape } => write!(
+                f,
+                "index ({row}, {col}) out of bounds for {}x{} matrix",
+                shape.0, shape.1
+            ),
+            TensorError::Quantization(e) => write!(f, "quantization failed: {e}"),
+        }
+    }
+}
+
+impl Error for TensorError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            TensorError::Quantization(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<dacapo_mx::MxError> for TensorError {
+    fn from(e: dacapo_mx::MxError) -> Self {
+        TensorError::Quantization(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = TensorError::ShapeMismatch { op: "matmul", left: (2, 3), right: (4, 5) };
+        assert_eq!(e.to_string(), "shape mismatch in matmul: left is 2x3, right is 4x5");
+        let e = TensorError::InvalidDimension { rows: 0, cols: 4 };
+        assert!(e.to_string().contains("0x4"));
+        let e = TensorError::DataLengthMismatch { expected: 6, got: 5 };
+        assert!(e.to_string().contains("expected 6"));
+        let e = TensorError::IndexOutOfBounds { row: 9, col: 1, shape: (3, 3) };
+        assert!(e.to_string().contains("(9, 1)"));
+    }
+
+    #[test]
+    fn mx_error_converts_and_chains_source() {
+        let source = dacapo_mx::MxError::EmptyInput;
+        let e: TensorError = source.clone().into();
+        assert!(matches!(&e, TensorError::Quantization(inner) if *inner == source));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

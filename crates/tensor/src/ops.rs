@@ -1,0 +1,327 @@
+//! Matrix operations: GEMM, transpose, elementwise ops and reductions.
+
+use crate::{Matrix, Result, TensorError};
+
+/// Matrix multiplication `A (m×k) · B (k×n) → C (m×n)` in `f32`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if `A.cols() != B.rows()`.
+///
+/// # Examples
+///
+/// ```
+/// use dacapo_tensor::{Matrix, ops};
+///
+/// # fn main() -> Result<(), dacapo_tensor::TensorError> {
+/// let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]])?;
+/// let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]])?;
+/// let c = ops::matmul(&a, &b)?;
+/// assert_eq!(c[(0, 0)], 19.0);
+/// assert_eq!(c[(1, 1)], 50.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn matmul(a: &Matrix, b: &Matrix) -> Result<Matrix> {
+    if a.cols() != b.rows() {
+        return Err(TensorError::ShapeMismatch { op: "matmul", left: a.shape(), right: b.shape() });
+    }
+    let (m, k) = a.shape();
+    let n = b.cols();
+    let mut out = Matrix::zeros(m, n)?;
+    // i-k-j loop order keeps the innermost accesses contiguous for row-major
+    // storage of both B and the output.
+    for i in 0..m {
+        let a_row = a.row(i);
+        let out_row = out.row_mut(i);
+        for (kk, &a_ik) in a_row.iter().enumerate().take(k) {
+            if a_ik == 0.0 {
+                continue;
+            }
+            let b_row = b.row(kk);
+            for j in 0..n {
+                out_row[j] += a_ik * b_row[j];
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Transposes a matrix.
+#[must_use]
+pub fn transpose(a: &Matrix) -> Matrix {
+    let (m, n) = a.shape();
+    Matrix::from_fn(n, m, |r, c| a[(c, r)]).expect("source dimensions are positive")
+}
+
+/// Elementwise addition.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+pub fn add(a: &Matrix, b: &Matrix) -> Result<Matrix> {
+    zip_with(a, b, "add", |x, y| x + y)
+}
+
+/// Elementwise subtraction (`a - b`).
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+pub fn sub(a: &Matrix, b: &Matrix) -> Result<Matrix> {
+    zip_with(a, b, "sub", |x, y| x - y)
+}
+
+/// Elementwise (Hadamard) product.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+pub fn hadamard(a: &Matrix, b: &Matrix) -> Result<Matrix> {
+    zip_with(a, b, "hadamard", |x, y| x * y)
+}
+
+/// Adds `scale * b` into `a` in place (the SGD update primitive).
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+pub fn axpy(a: &mut Matrix, scale: f32, b: &Matrix) -> Result<()> {
+    if a.shape() != b.shape() {
+        return Err(TensorError::ShapeMismatch { op: "axpy", left: a.shape(), right: b.shape() });
+    }
+    for (x, y) in a.as_mut_slice().iter_mut().zip(b.as_slice()) {
+        *x += scale * y;
+    }
+    Ok(())
+}
+
+/// Multiplies every element by a scalar, returning a new matrix.
+#[must_use]
+pub fn scale(a: &Matrix, factor: f32) -> Matrix {
+    a.map(|v| v * factor)
+}
+
+/// Adds a row vector (1×n or plain slice semantics) to every row of `a`,
+/// the bias-add primitive.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if `bias.cols() != a.cols()` or the
+/// bias has more than one row.
+pub fn add_row_broadcast(a: &Matrix, bias: &Matrix) -> Result<Matrix> {
+    if bias.rows() != 1 || bias.cols() != a.cols() {
+        return Err(TensorError::ShapeMismatch {
+            op: "add_row_broadcast",
+            left: a.shape(),
+            right: bias.shape(),
+        });
+    }
+    let b = bias.row(0);
+    let mut out = a.clone();
+    for row in 0..out.rows() {
+        for (v, bv) in out.row_mut(row).iter_mut().zip(b) {
+            *v += bv;
+        }
+    }
+    Ok(out)
+}
+
+/// Row-wise softmax (numerically stabilised by subtracting the row max).
+#[must_use]
+pub fn softmax_rows(a: &Matrix) -> Matrix {
+    let mut out = a.clone();
+    for r in 0..out.rows() {
+        let row = out.row_mut(r);
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0f32;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        if sum > 0.0 {
+            for v in row.iter_mut() {
+                *v /= sum;
+            }
+        }
+    }
+    out
+}
+
+/// Index of the maximum element in each row (ties resolve to the first).
+#[must_use]
+pub fn argmax_rows(a: &Matrix) -> Vec<usize> {
+    a.iter_rows()
+        .map(|row| {
+            row.iter()
+                .enumerate()
+                .fold((0usize, f32::NEG_INFINITY), |(bi, bv), (i, &v)| {
+                    if v > bv {
+                        (i, v)
+                    } else {
+                        (bi, bv)
+                    }
+                })
+                .0
+        })
+        .collect()
+}
+
+/// Sum of every element.
+#[must_use]
+pub fn sum(a: &Matrix) -> f32 {
+    a.as_slice().iter().sum()
+}
+
+/// Mean of every element.
+#[must_use]
+pub fn mean(a: &Matrix) -> f32 {
+    sum(a) / a.len() as f32
+}
+
+/// Column-wise sum, returned as a 1×n matrix (the bias-gradient primitive).
+#[must_use]
+pub fn sum_rows(a: &Matrix) -> Matrix {
+    let mut out = Matrix::zeros(1, a.cols()).expect("cols > 0");
+    for row in a.iter_rows() {
+        for (acc, v) in out.row_mut(0).iter_mut().zip(row) {
+            *acc += v;
+        }
+    }
+    out
+}
+
+/// Frobenius norm, `sqrt(sum of squares)`.
+#[must_use]
+pub fn frobenius_norm(a: &Matrix) -> f32 {
+    a.as_slice().iter().map(|v| v * v).sum::<f32>().sqrt()
+}
+
+fn zip_with(a: &Matrix, b: &Matrix, op: &'static str, f: impl Fn(f32, f32) -> f32) -> Result<Matrix> {
+    if a.shape() != b.shape() {
+        return Err(TensorError::ShapeMismatch { op, left: a.shape(), right: b.shape() });
+    }
+    let data = a.as_slice().iter().zip(b.as_slice()).map(|(&x, &y)| f(x, y)).collect();
+    Matrix::from_vec(a.rows(), a.cols(), data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> (Matrix, Matrix) {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]).unwrap();
+        let b = Matrix::from_rows(&[&[7.0, 8.0], &[9.0, 10.0], &[11.0, 12.0]]).unwrap();
+        (a, b)
+    }
+
+    #[test]
+    fn matmul_matches_hand_computation() {
+        let (a, b) = sample();
+        let c = matmul(&a, &b).unwrap();
+        assert_eq!(c.shape(), (2, 2));
+        assert_eq!(c[(0, 0)], 58.0);
+        assert_eq!(c[(0, 1)], 64.0);
+        assert_eq!(c[(1, 0)], 139.0);
+        assert_eq!(c[(1, 1)], 154.0);
+    }
+
+    #[test]
+    fn matmul_rejects_incompatible_shapes() {
+        let (a, _) = sample();
+        assert!(matches!(matmul(&a, &a), Err(TensorError::ShapeMismatch { op: "matmul", .. })));
+    }
+
+    #[test]
+    fn identity_is_matmul_neutral() {
+        let (a, _) = sample();
+        let i3 = Matrix::identity(3);
+        assert_eq!(matmul(&a, &i3).unwrap(), a);
+        let i2 = Matrix::identity(2);
+        assert_eq!(matmul(&i2, &a).unwrap(), a);
+    }
+
+    #[test]
+    fn transpose_twice_is_identity() {
+        let (a, _) = sample();
+        assert_eq!(transpose(&transpose(&a)), a);
+        assert_eq!(transpose(&a).shape(), (3, 2));
+        assert_eq!(transpose(&a)[(2, 1)], 6.0);
+    }
+
+    #[test]
+    fn transpose_distributes_over_matmul() {
+        let (a, b) = sample();
+        let left = transpose(&matmul(&a, &b).unwrap());
+        let right = matmul(&transpose(&b), &transpose(&a)).unwrap();
+        assert_eq!(left, right);
+    }
+
+    #[test]
+    fn elementwise_ops_and_shape_checks() {
+        let (a, b) = sample();
+        assert!(add(&a, &b).is_err());
+        let s = add(&a, &a).unwrap();
+        assert_eq!(s[(1, 2)], 12.0);
+        let d = sub(&s, &a).unwrap();
+        assert_eq!(d, a);
+        let h = hadamard(&a, &a).unwrap();
+        assert_eq!(h[(1, 0)], 16.0);
+    }
+
+    #[test]
+    fn axpy_is_fused_scale_add() {
+        let (a, _) = sample();
+        let mut target = a.clone();
+        axpy(&mut target, -0.5, &a).unwrap();
+        assert_eq!(target, scale(&a, 0.5));
+        let wrong = Matrix::zeros(3, 3).unwrap();
+        assert!(axpy(&mut target, 1.0, &wrong).is_err());
+    }
+
+    #[test]
+    fn add_row_broadcast_adds_bias_to_each_row() {
+        let (a, _) = sample();
+        let bias = Matrix::from_rows(&[&[1.0, 0.0, -1.0]]).unwrap();
+        let out = add_row_broadcast(&a, &bias).unwrap();
+        assert_eq!(out[(0, 0)], 2.0);
+        assert_eq!(out[(1, 2)], 5.0);
+        let bad = Matrix::zeros(2, 3).unwrap();
+        assert!(add_row_broadcast(&a, &bad).is_err());
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one_and_preserve_order() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[-10.0, 0.0, 10.0]]).unwrap();
+        let s = softmax_rows(&a);
+        for r in 0..2 {
+            let row_sum: f32 = s.row(r).iter().sum();
+            assert!((row_sum - 1.0).abs() < 1e-5);
+            assert!(s[(r, 2)] > s[(r, 1)]);
+            assert!(s[(r, 1)] > s[(r, 0)]);
+        }
+    }
+
+    #[test]
+    fn softmax_is_stable_for_large_logits() {
+        let a = Matrix::from_rows(&[&[1000.0, 1001.0]]).unwrap();
+        let s = softmax_rows(&a);
+        assert!(s.as_slice().iter().all(|v| v.is_finite()));
+        assert!((sum(&s) - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn argmax_rows_picks_largest() {
+        let a = Matrix::from_rows(&[&[0.1, 0.9, 0.0], &[5.0, -1.0, 2.0]]).unwrap();
+        assert_eq!(argmax_rows(&a), vec![1, 0]);
+    }
+
+    #[test]
+    fn reductions_are_consistent() {
+        let (a, _) = sample();
+        assert_eq!(sum(&a), 21.0);
+        assert!((mean(&a) - 3.5).abs() < 1e-6);
+        assert_eq!(sum_rows(&a).row(0), &[5.0, 7.0, 9.0]);
+        assert!((frobenius_norm(&a) - (91.0f32).sqrt()).abs() < 1e-5);
+    }
+}

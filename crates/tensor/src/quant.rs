@@ -1,0 +1,171 @@
+//! MX-quantised matrix operations.
+//!
+//! The DaCapo accelerator executes GEMMs with MX-compressed operands while
+//! accumulating in FP32. These helpers emulate exactly that: operands are
+//! quantised block-by-block along the reduction (K) dimension, then the
+//! multiplication proceeds in `f32`, so the result matches what the DPE array
+//! would produce.
+
+use crate::{ops, Matrix, Result, TensorError};
+use dacapo_mx::{MxPrecision, MxVector};
+
+/// Quantises every row of a matrix through the MX encode/decode round trip.
+///
+/// Each row is blocked independently (16-element blocks), mirroring how the
+/// memory interface lays out operands along the reduction dimension.
+///
+/// # Errors
+///
+/// Returns [`TensorError::Quantization`] if the matrix contains non-finite
+/// values.
+pub fn quantize_rows(a: &Matrix, precision: MxPrecision) -> Result<Matrix> {
+    let mut out = a.clone();
+    for r in 0..out.rows() {
+        let quantized = MxVector::quantize(a.row(r), precision)?;
+        out.row_mut(r).copy_from_slice(&quantized);
+    }
+    Ok(out)
+}
+
+/// Quantises every column of a matrix through the MX encode/decode round trip.
+///
+/// Used for the right-hand GEMM operand, whose reduction dimension runs down
+/// the columns. (This is also what DaCapo's precision-conversion unit does in
+/// "column-major" mode when producing transposed operands for retraining.)
+///
+/// # Errors
+///
+/// Returns [`TensorError::Quantization`] if the matrix contains non-finite
+/// values.
+pub fn quantize_cols(a: &Matrix, precision: MxPrecision) -> Result<Matrix> {
+    let transposed = ops::transpose(a);
+    let quantized = quantize_rows(&transposed, precision)?;
+    Ok(ops::transpose(&quantized))
+}
+
+/// MX-quantised GEMM: both operands are quantised along the reduction
+/// dimension at `precision`, then multiplied with FP32 accumulation.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if `a.cols() != b.rows()` and
+/// [`TensorError::Quantization`] on non-finite inputs.
+///
+/// # Examples
+///
+/// ```
+/// use dacapo_tensor::{Matrix, ops, quant};
+/// use dacapo_mx::MxPrecision;
+///
+/// # fn main() -> Result<(), dacapo_tensor::TensorError> {
+/// let a = Matrix::from_fn(8, 32, |r, c| ((r * 31 + c * 7) % 13) as f32 * 0.1)?;
+/// let b = Matrix::from_fn(32, 4, |r, c| ((r * 17 + c * 3) % 11) as f32 * 0.2)?;
+/// let exact = ops::matmul(&a, &b)?;
+/// let quantised = quant::mx_matmul(&a, &b, MxPrecision::Mx9)?;
+/// let err = ops::frobenius_norm(&ops::sub(&exact, &quantised)?);
+/// assert!(err / ops::frobenius_norm(&exact) < 0.05);
+/// # Ok(())
+/// # }
+/// ```
+pub fn mx_matmul(a: &Matrix, b: &Matrix, precision: MxPrecision) -> Result<Matrix> {
+    if a.cols() != b.rows() {
+        return Err(TensorError::ShapeMismatch {
+            op: "mx_matmul",
+            left: a.shape(),
+            right: b.shape(),
+        });
+    }
+    let qa = quantize_rows(a, precision)?;
+    let qb = quantize_cols(b, precision)?;
+    ops::matmul(&qa, &qb)
+}
+
+/// Relative Frobenius-norm error of the MX GEMM against the FP32 GEMM.
+///
+/// This is the quantity Section III-C of the paper reasons about when arguing
+/// MX9 is adequate for retraining and MX6 for inference.
+///
+/// # Errors
+///
+/// Propagates shape and quantisation errors from the underlying GEMMs.
+pub fn mx_matmul_relative_error(a: &Matrix, b: &Matrix, precision: MxPrecision) -> Result<f32> {
+    let exact = ops::matmul(a, b)?;
+    let approx = mx_matmul(a, b, precision)?;
+    let diff = ops::sub(&exact, &approx)?;
+    let denom = ops::frobenius_norm(&exact).max(1e-20);
+    Ok(ops::frobenius_norm(&diff) / denom)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn operands() -> (Matrix, Matrix) {
+        let a = Matrix::from_fn(16, 48, |r, c| (((r * 131 + c * 29) % 37) as f32 - 18.0) * 0.11)
+            .unwrap();
+        let b = Matrix::from_fn(48, 12, |r, c| (((r * 61 + c * 17) % 41) as f32 - 20.0) * 0.07)
+            .unwrap();
+        (a, b)
+    }
+
+    #[test]
+    fn quantize_rows_preserves_shape() {
+        let (a, _) = operands();
+        let q = quantize_rows(&a, MxPrecision::Mx6).unwrap();
+        assert_eq!(q.shape(), a.shape());
+    }
+
+    #[test]
+    fn quantize_cols_equals_transposed_row_quantisation() {
+        let (a, _) = operands();
+        let via_cols = quantize_cols(&a, MxPrecision::Mx6).unwrap();
+        let via_rows = ops::transpose(&quantize_rows(&ops::transpose(&a), MxPrecision::Mx6).unwrap());
+        assert_eq!(via_cols, via_rows);
+    }
+
+    #[test]
+    fn mx9_gemm_is_close_to_fp32() {
+        let (a, b) = operands();
+        let err = mx_matmul_relative_error(&a, &b, MxPrecision::Mx9).unwrap();
+        assert!(err < 0.03, "MX9 relative error {err}");
+    }
+
+    #[test]
+    fn error_grows_as_precision_drops() {
+        let (a, b) = operands();
+        let e9 = mx_matmul_relative_error(&a, &b, MxPrecision::Mx9).unwrap();
+        let e6 = mx_matmul_relative_error(&a, &b, MxPrecision::Mx6).unwrap();
+        let e4 = mx_matmul_relative_error(&a, &b, MxPrecision::Mx4).unwrap();
+        assert!(e9 <= e6, "MX9 {e9} vs MX6 {e6}");
+        assert!(e6 <= e4, "MX6 {e6} vs MX4 {e4}");
+        assert!(e4 < 1.0, "even MX4 should retain some signal, got {e4}");
+    }
+
+    #[test]
+    fn mx_matmul_validates_shapes() {
+        let (a, _) = operands();
+        assert!(matches!(
+            mx_matmul(&a, &a, MxPrecision::Mx6),
+            Err(TensorError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn non_finite_input_surfaces_as_quantization_error() {
+        let mut a = Matrix::zeros(2, 16).unwrap();
+        a[(0, 3)] = f32::NAN;
+        let b = Matrix::zeros(16, 2).unwrap();
+        assert!(matches!(
+            mx_matmul(&a, &b, MxPrecision::Mx6),
+            Err(TensorError::Quantization(_))
+        ));
+    }
+
+    #[test]
+    fn quantised_identity_times_matrix_is_near_identity_map() {
+        let a = Matrix::from_fn(8, 8, |r, c| ((r + 2 * c) % 5) as f32).unwrap();
+        let approx = mx_matmul(&Matrix::identity(8), &a, MxPrecision::Mx9).unwrap();
+        let diff = ops::sub(&a, &approx).unwrap();
+        assert!(ops::frobenius_norm(&diff) / ops::frobenius_norm(&a) < 0.03);
+    }
+}

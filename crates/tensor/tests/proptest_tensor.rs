@@ -1,0 +1,113 @@
+//! Property-based tests for matrix operations and MX-quantised GEMM.
+
+use dacapo_mx::MxPrecision;
+use dacapo_tensor::{init, ops, quant, Matrix};
+use proptest::prelude::*;
+
+/// Small matrix dimensions keep the O(n^3) reference checks fast.
+fn dims() -> impl Strategy<Value = (usize, usize, usize)> {
+    (1usize..12, 1usize..12, 1usize..12)
+}
+
+fn matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+    init::uniform(rows, cols, -2.0, 2.0, seed).expect("positive dims")
+}
+
+proptest! {
+    /// (A·B)·C == A·(B·C) within floating point tolerance.
+    #[test]
+    fn matmul_is_associative((m, k, n) in dims(), p in 1usize..8, seed in 0u64..1000) {
+        let a = matrix(m, k, seed);
+        let b = matrix(k, n, seed.wrapping_add(1));
+        let c = matrix(n, p, seed.wrapping_add(2));
+        let left = ops::matmul(&ops::matmul(&a, &b).unwrap(), &c).unwrap();
+        let right = ops::matmul(&a, &ops::matmul(&b, &c).unwrap()).unwrap();
+        let diff = ops::frobenius_norm(&ops::sub(&left, &right).unwrap());
+        let scale = ops::frobenius_norm(&left).max(1.0);
+        prop_assert!(diff / scale < 1e-4);
+    }
+
+    /// Multiplying by the identity changes nothing.
+    #[test]
+    fn identity_is_neutral((m, k, _) in dims(), seed in 0u64..1000) {
+        let a = matrix(m, k, seed);
+        let out = ops::matmul(&a, &Matrix::identity(k)).unwrap();
+        prop_assert_eq!(out, a);
+    }
+
+    /// transpose(A·B) == transpose(B)·transpose(A).
+    #[test]
+    fn transpose_reverses_products((m, k, n) in dims(), seed in 0u64..1000) {
+        let a = matrix(m, k, seed);
+        let b = matrix(k, n, seed.wrapping_add(7));
+        let left = ops::transpose(&ops::matmul(&a, &b).unwrap());
+        let right = ops::matmul(&ops::transpose(&b), &ops::transpose(&a)).unwrap();
+        let diff = ops::frobenius_norm(&ops::sub(&left, &right).unwrap());
+        prop_assert!(diff < 1e-3);
+    }
+
+    /// Softmax rows always sum to one and stay in [0, 1].
+    #[test]
+    fn softmax_is_a_distribution((m, k, _) in dims(), seed in 0u64..1000) {
+        let a = matrix(m, k, seed);
+        let s = ops::softmax_rows(&a);
+        for row in s.iter_rows() {
+            let total: f32 = row.iter().sum();
+            prop_assert!((total - 1.0).abs() < 1e-4);
+            prop_assert!(row.iter().all(|&v| (0.0..=1.0 + 1e-6).contains(&v)));
+        }
+    }
+
+    /// argmax of the softmax equals argmax of the logits.
+    #[test]
+    fn softmax_preserves_argmax((m, k, _) in dims(), seed in 0u64..1000) {
+        let a = matrix(m, k, seed);
+        prop_assert_eq!(ops::argmax_rows(&a), ops::argmax_rows(&ops::softmax_rows(&a)));
+    }
+
+    /// MX-quantised GEMM error broadly shrinks as precision rises (allowing a
+    /// small slack because cancellation in tiny GEMMs can make a coarse
+    /// quantisation coincidentally accurate), and MX9 stays within a small
+    /// relative error.
+    #[test]
+    fn mx_gemm_error_ordering((m, k, n) in dims(), seed in 0u64..1000) {
+        let a = matrix(m, k.max(4), seed);
+        let b = matrix(k.max(4), n, seed.wrapping_add(3));
+        let e9 = quant::mx_matmul_relative_error(&a, &b, MxPrecision::Mx9).unwrap();
+        let e6 = quant::mx_matmul_relative_error(&a, &b, MxPrecision::Mx6).unwrap();
+        let e4 = quant::mx_matmul_relative_error(&a, &b, MxPrecision::Mx4).unwrap();
+        prop_assert!(e9 <= e6 + 0.02, "e9 {} e6 {}", e9, e6);
+        prop_assert!(e6 <= e4 + 0.10, "e6 {} e4 {}", e6, e4);
+        prop_assert!(e9 < 0.05, "MX9 error too large: {}", e9);
+    }
+
+    /// Quantising rows never changes the matrix shape and keeps every value
+    /// within the block-max error bound.
+    #[test]
+    fn quantize_rows_bounded((m, k, _) in dims(), seed in 0u64..1000) {
+        let a = matrix(m, k, seed);
+        for precision in [MxPrecision::Mx4, MxPrecision::Mx6, MxPrecision::Mx9] {
+            let q = quant::quantize_rows(&a, precision).unwrap();
+            prop_assert_eq!(q.shape(), a.shape());
+            for (row_a, row_q) in a.iter_rows().zip(q.iter_rows()) {
+                let row_max = row_a.iter().fold(0.0f32, |acc, v| acc.max(v.abs()));
+                let bound = row_max * precision.mantissa_ulp() + 1e-6;
+                for (x, y) in row_a.iter().zip(row_q) {
+                    prop_assert!((x - y).abs() <= bound);
+                }
+            }
+        }
+    }
+
+    /// axpy(a, s, b) == a + s*b elementwise.
+    #[test]
+    fn axpy_matches_reference((m, k, _) in dims(), s in -3.0f32..3.0, seed in 0u64..1000) {
+        let a = matrix(m, k, seed);
+        let b = matrix(m, k, seed.wrapping_add(11));
+        let mut fused = a.clone();
+        ops::axpy(&mut fused, s, &b).unwrap();
+        let reference = ops::add(&a, &ops::scale(&b, s)).unwrap();
+        let diff = ops::frobenius_norm(&ops::sub(&fused, &reference).unwrap());
+        prop_assert!(diff < 1e-4);
+    }
+}

@@ -1,0 +1,47 @@
+//! Quickstart: run the DaCapo continuous-learning system on a drifting
+//! driving scenario and print what happened.
+//!
+//! ```text
+//! cargo run --release -p dacapo-bench --example quickstart
+//! ```
+
+use dacapo_core::{ClSimulator, PlatformKind, SchedulerKind, SimConfig};
+use dacapo_datagen::Scenario;
+use dacapo_dnn::zoo::ModelPair;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Pick a workload: scenario S3 drifts in label distribution and time
+    //    of day; the student is ResNet18 with a WideResNet50 teacher.
+    let scenario = Scenario::s3();
+    let pair = ModelPair::ResNet18Wrn50;
+
+    // 2. Configure the system: the DaCapo accelerator platform (the offline
+    //    spatial allocator sizes the B-SA for 30 FPS) with the paper's
+    //    spatiotemporal scheduler.
+    let config = SimConfig::builder(scenario, pair)
+        .platform(PlatformKind::DaCapo)
+        .scheduler(SchedulerKind::DaCapoSpatiotemporal)
+        .build()?;
+
+    println!(
+        "platform: {} (T-SA {} rows, B-SA {} rows, {:.3} W)",
+        config.platform.name, config.platform.tsa_rows, config.platform.bsa_rows, config.platform.power_watts
+    );
+    println!(
+        "kernel rates: inference {:.0} FPS, labeling {:.1} samples/s, retraining {:.1} samples/s",
+        config.platform.inference_fps_capacity, config.platform.labeling_sps, config.platform.retraining_sps
+    );
+
+    // 3. Run the 20-minute scenario.
+    let result = ClSimulator::new(config)?.run()?;
+
+    // 4. Report.
+    println!("\nscenario {} finished ({:.0} s simulated)", result.scenario, result.duration_s);
+    println!("end-to-end accuracy: {:.1}%", result.mean_accuracy * 100.0);
+    println!("drift responses (buffer resets + extended labeling): {}", result.drift_responses);
+    println!("retraining phases completed: {}", result.retrain_count());
+    let (label_s, retrain_s, idle_s) = result.time_breakdown();
+    println!("T-SA time split: {retrain_s:.0} s retraining, {label_s:.0} s labeling, {idle_s:.0} s idle");
+    println!("energy: {:.1} J ({:.3} W average)", result.energy_joules, result.power_watts);
+    Ok(())
+}

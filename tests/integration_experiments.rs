@@ -1,0 +1,185 @@
+//! Integration tests that check the *shapes* the paper's tables and figures
+//! rest on, using the same building blocks as the experiment binaries.
+
+use dacapo_accel::estimator::{spatial_allocation, PrecisionPlan};
+use dacapo_accel::gpu::GpuDevice;
+use dacapo_accel::power::{PowerModel, TABLE4_AREA_MM2, TABLE4_POWER_W};
+use dacapo_accel::{AccelConfig, DaCapoAccelerator};
+use dacapo_bench::runner::{run_system, truncate_scenario, SystemUnderTest, FIG9_SYSTEMS};
+use dacapo_core::{PlatformKind, SchedulerKind};
+use dacapo_datagen::Scenario;
+use dacapo_dnn::workload::{window_workload, ClHyperparams, Kernel};
+use dacapo_dnn::zoo::{ModelPair, PaperModel};
+
+#[test]
+fn table3_parameters_and_gflops_match_the_paper() {
+    for model in PaperModel::ALL {
+        let spec = model.spec();
+        let params_rel =
+            (spec.params() as f64 / 1e6 - model.table3_params_millions()).abs() / model.table3_params_millions();
+        let gflops_rel =
+            (spec.forward_gflops() - model.table3_gflops()).abs() / model.table3_gflops();
+        assert!(params_rel < 0.02, "{model}: params off by {:.1}%", params_rel * 100.0);
+        assert!(gflops_rel < 0.06, "{model}: GFLOPs off by {:.1}%", gflops_rel * 100.0);
+    }
+}
+
+#[test]
+fn table4_platform_numbers_match_the_paper() {
+    let power = PowerModel::for_config(&AccelConfig::default());
+    assert!((power.total_power_w() - TABLE4_POWER_W).abs() < 1e-9);
+    assert!((power.total_area_mm2() - TABLE4_AREA_MM2).abs() < 1e-9);
+    let orin_high = GpuDevice::jetson_orin_high();
+    let orin_low = GpuDevice::jetson_orin_low();
+    assert!((orin_high.power_w / power.total_power_w() - 254.0).abs() < 1.0);
+    assert!((orin_low.power_w / power.total_power_w() - 127.0).abs() < 1.0);
+}
+
+#[test]
+fn fig3_retraining_share_rises_with_sampling_rate_and_epochs() {
+    for pair in [ModelPair::ResNet18Wrn50, ModelPair::VitB32VitB16] {
+        let mut previous_share = 0.0;
+        for (rate, epochs) in [(0.03, 3usize), (0.05, 5), (0.10, 10)] {
+            let workload = window_workload(
+                pair,
+                &ClHyperparams { sampling_rate: rate, epochs, window_seconds: 120.0, ..ClHyperparams::default() },
+            );
+            let share = workload.share(Kernel::Retraining);
+            assert!(share > previous_share, "{pair}: share did not grow at ({rate}, {epochs})");
+            previous_share = share;
+        }
+        assert!(previous_share > 0.5, "{pair}: retraining should dominate at (10%, 10 epochs)");
+    }
+}
+
+#[test]
+fn fig8_label_distribution_shifts_between_segments() {
+    // Consecutive segments with different label distributions must have
+    // measurably different class histograms, otherwise the drift the system
+    // reacts to would not exist.
+    use dacapo_datagen::{FrameStream, StreamConfig, NUM_CLASSES};
+    let stream = FrameStream::new(&Scenario::s1(), StreamConfig::default());
+    let histogram = |segment: usize| {
+        let start = segment as f64 * 60.0;
+        let frames = stream.frames_between(start, start + 60.0, 9);
+        let mut counts = vec![0.0f64; NUM_CLASSES];
+        for frame in &frames {
+            counts[frame.sample.true_class] += 1.0;
+        }
+        let total: f64 = counts.iter().sum();
+        counts.into_iter().map(|c| c / total).collect::<Vec<_>>()
+    };
+    let boundaries = Scenario::s1().drift_boundaries();
+    let (first_drift_time, _) = boundaries.first().expect("S1 drifts");
+    let before_segment = (first_drift_time / 60.0) as usize - 1;
+    let after_segment = (first_drift_time / 60.0) as usize;
+    let before = histogram(before_segment);
+    let after = histogram(after_segment);
+    let l1: f64 = before.iter().zip(after.iter()).map(|(a, b)| (a - b).abs()).sum();
+    assert!(l1 > 0.2, "label distributions barely move across the drift (L1 = {l1})");
+}
+
+#[test]
+fn spatial_allocation_reserves_more_rows_for_heavier_students() {
+    let accel = DaCapoAccelerator::new(AccelConfig::default()).unwrap();
+    let plan = PrecisionPlan::default();
+    let tsa_r18 = spatial_allocation(&accel, ModelPair::ResNet18Wrn50, 30.0, &plan).unwrap();
+    let tsa_r34 = spatial_allocation(&accel, ModelPair::ResNet34Wrn101, 30.0, &plan).unwrap();
+    let tsa_vit = spatial_allocation(&accel, ModelPair::VitB32VitB16, 30.0, &plan).unwrap();
+    // More B-SA rows (fewer T-SA rows) are needed for heavier students.
+    assert!(tsa_r18 >= tsa_r34);
+    assert!(tsa_r18 >= tsa_vit);
+    // But every pair leaves the T-SA a usable share of the array.
+    for tsa in [tsa_r18, tsa_r34, tsa_vit] {
+        assert!(tsa >= 8, "T-SA starved: only {tsa} rows");
+    }
+}
+
+#[test]
+fn fig9_shape_dacapo_spatiotemporal_beats_the_baselines_on_a_drifting_scenario() {
+    // Quick variant of the Figure 9 comparison on one drift-heavy scenario:
+    // the full 108-run matrix lives in the fig09_end_to_end binary.
+    let scenario = truncate_scenario(&Scenario::s5(), 6);
+    let pair = ModelPair::ResNet18Wrn50;
+    let accuracy = |label: &str| {
+        let system = *FIG9_SYSTEMS.iter().find(|s| s.label == label).unwrap();
+        run_system(scenario.clone(), pair, system, true).unwrap().mean_accuracy
+    };
+    let dacapo_st = accuracy("DaCapo-Spatiotemporal");
+    let dacapo_spatial = accuracy("DaCapo-Spatial");
+    let orin_low = accuracy("OrinLow-Ekya");
+    let orin_high = accuracy("OrinHigh-Ekya");
+    assert!(
+        dacapo_st >= dacapo_spatial - 0.02,
+        "spatiotemporal {dacapo_st:.3} should not trail spatial {dacapo_spatial:.3}"
+    );
+    assert!(
+        dacapo_st > orin_low + 0.01,
+        "spatiotemporal {dacapo_st:.3} should clearly beat OrinLow-Ekya {orin_low:.3}"
+    );
+    assert!(
+        dacapo_st >= orin_high - 0.02,
+        "spatiotemporal {dacapo_st:.3} should be at least on par with OrinHigh-Ekya {orin_high:.3}"
+    );
+}
+
+#[test]
+fn fig12_shape_dacapo_stays_ahead_under_extreme_drift() {
+    let scenario = truncate_scenario(&Scenario::es1(), 6);
+    let pair = ModelPair::ResNet18Wrn50;
+    let dacapo = run_system(
+        scenario.clone(),
+        pair,
+        SystemUnderTest {
+            label: "DaCapo",
+            platform: PlatformKind::DaCapo,
+            scheduler: SchedulerKind::DaCapoSpatiotemporal,
+        },
+        true,
+    )
+    .unwrap();
+    let ekya = run_system(
+        scenario.clone(),
+        pair,
+        SystemUnderTest { label: "Ekya", platform: PlatformKind::OrinHigh, scheduler: SchedulerKind::Ekya },
+        true,
+    )
+    .unwrap();
+    assert!(
+        dacapo.mean_accuracy > ekya.mean_accuracy - 0.01,
+        "DaCapo {:.3} should not trail Ekya {:.3} under extreme drift",
+        dacapo.mean_accuracy,
+        ekya.mean_accuracy
+    );
+    assert!(dacapo.drift_responses >= 1, "extreme drift must trigger the drift response");
+}
+
+#[test]
+fn energy_shape_dacapo_uses_two_orders_of_magnitude_less_energy() {
+    let scenario = truncate_scenario(&Scenario::s1(), 3);
+    let pair = ModelPair::ResNet18Wrn50;
+    let dacapo = run_system(
+        scenario.clone(),
+        pair,
+        SystemUnderTest {
+            label: "DaCapo",
+            platform: PlatformKind::DaCapo,
+            scheduler: SchedulerKind::DaCapoSpatiotemporal,
+        },
+        true,
+    )
+    .unwrap();
+    let orin = run_system(
+        scenario,
+        pair,
+        SystemUnderTest {
+            label: "OrinHigh",
+            platform: PlatformKind::OrinHigh,
+            scheduler: SchedulerKind::Ekya,
+        },
+        true,
+    )
+    .unwrap();
+    let ratio = orin.energy_joules / dacapo.energy_joules;
+    assert!(ratio > 100.0, "energy ratio only {ratio:.0}x");
+}
