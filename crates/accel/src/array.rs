@@ -57,8 +57,18 @@ impl DaCapoAccelerator {
         }
         let bsa_rows = total - tsa_rows;
         Ok(Partition {
-            tsa: SubAccel::new(tsa_rows, self.config.cols, tsa_rows as f64 / total as f64, self.config),
-            bsa: SubAccel::new(bsa_rows, self.config.cols, bsa_rows as f64 / total as f64, self.config),
+            tsa: SubAccel::new(
+                tsa_rows,
+                self.config.cols,
+                tsa_rows as f64 / total as f64,
+                self.config,
+            ),
+            bsa: SubAccel::new(
+                bsa_rows,
+                self.config.cols,
+                bsa_rows as f64 / total as f64,
+                self.config,
+            ),
         })
     }
 

@@ -49,16 +49,22 @@ impl AccelConfig {
             });
         }
         if self.cols == 0 {
-            return Err(AccelError::InvalidConfig { reason: "column count must be positive".into() });
+            return Err(AccelError::InvalidConfig {
+                reason: "column count must be positive".into(),
+            });
         }
         if self.frequency_hz <= 0.0 {
             return Err(AccelError::InvalidConfig { reason: "frequency must be positive".into() });
         }
         if self.sram_bytes == 0 {
-            return Err(AccelError::InvalidConfig { reason: "SRAM capacity must be positive".into() });
+            return Err(AccelError::InvalidConfig {
+                reason: "SRAM capacity must be positive".into(),
+            });
         }
         if self.dram_bandwidth_bytes_per_s <= 0.0 {
-            return Err(AccelError::InvalidConfig { reason: "DRAM bandwidth must be positive".into() });
+            return Err(AccelError::InvalidConfig {
+                reason: "DRAM bandwidth must be positive".into(),
+            });
         }
         Ok(())
     }
@@ -110,11 +116,9 @@ mod tests {
         assert!(AccelConfig { cols: 0, ..AccelConfig::default() }.validate().is_err());
         assert!(AccelConfig { frequency_hz: 0.0, ..AccelConfig::default() }.validate().is_err());
         assert!(AccelConfig { sram_bytes: 0, ..AccelConfig::default() }.validate().is_err());
-        assert!(
-            AccelConfig { dram_bandwidth_bytes_per_s: 0.0, ..AccelConfig::default() }
-                .validate()
-                .is_err()
-        );
+        assert!(AccelConfig { dram_bandwidth_bytes_per_s: 0.0, ..AccelConfig::default() }
+            .validate()
+            .is_err());
     }
 
     #[test]

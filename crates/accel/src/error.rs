@@ -29,7 +29,9 @@ pub enum AccelError {
 impl fmt::Display for AccelError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            AccelError::InvalidConfig { reason } => write!(f, "invalid accelerator configuration: {reason}"),
+            AccelError::InvalidConfig { reason } => {
+                write!(f, "invalid accelerator configuration: {reason}")
+            }
             AccelError::InvalidPartition { tsa_rows, total_rows } => write!(
                 f,
                 "invalid partition: {tsa_rows} T-SA rows requested but both sub-accelerators need \

@@ -73,7 +73,12 @@ impl SubAccel {
     #[must_use]
     pub fn gemm_cycles(&self, gemm: &GemmShape, precision: MxPrecision) -> GemmCycles {
         if gemm.macs() == 0 {
-            return GemmCycles { compute_cycles: 0, dram_cycles: 0, total_cycles: 0, dram_bytes: 0 };
+            return GemmCycles {
+                compute_cycles: 0,
+                dram_cycles: 0,
+                total_cycles: 0,
+                dram_bytes: 0,
+            };
         }
         let (m, k, n) = (gemm.m as u64, gemm.k as u64, gemm.n as u64);
         let repeat = gemm.repeat as u64;
@@ -160,8 +165,8 @@ impl SubAccel {
     #[must_use]
     pub fn utilization(&self, gemms: &[GemmShape], precision: MxPrecision) -> f64 {
         let macs: u64 = gemms.iter().map(GemmShape::macs).sum();
-        let ideal = macs as f64
-            / ((self.rows * self.cols) as f64 * self.dpe.macs_per_cycle(precision));
+        let ideal =
+            macs as f64 / ((self.rows * self.cols) as f64 * self.dpe.macs_per_cycle(precision));
         let actual = self.gemms_cycles(gemms, precision) as f64;
         if actual == 0.0 {
             0.0
@@ -264,7 +269,8 @@ mod tests {
         let s = sub(8);
         let one = PaperModel::ResNet18.spec().forward_gemms(1);
         let e1 = s.gemms_energy_joules(&one, MxPrecision::Mx6);
-        let e2 = s.gemms_energy_joules(&PaperModel::ResNet18.spec().forward_gemms(2), MxPrecision::Mx6);
+        let e2 =
+            s.gemms_energy_joules(&PaperModel::ResNet18.spec().forward_gemms(2), MxPrecision::Mx6);
         assert!(e1 > 0.0);
         assert!(e2 > e1);
     }

@@ -6,8 +6,12 @@ use dacapo_mx::MxPrecision;
 use proptest::prelude::*;
 
 fn gemm_shape() -> impl Strategy<Value = GemmShape> {
-    (1usize..512, 1usize..512, 1usize..256, 1usize..4)
-        .prop_map(|(m, k, n, repeat)| GemmShape { m, k, n, repeat })
+    (1usize..512, 1usize..512, 1usize..256, 1usize..4).prop_map(|(m, k, n, repeat)| GemmShape {
+        m,
+        k,
+        n,
+        repeat,
+    })
 }
 
 fn precision() -> impl Strategy<Value = MxPrecision> {

@@ -45,7 +45,8 @@ fn main() {
     let mut rows = Vec::new();
     for tsa_rows in [4usize, 6, 8, 10, 12, 13, 14] {
         let est = estimate(&accel, pair, tsa_rows, 16, &plan).expect("estimate");
-        let rates = PlatformRates::dacapo_with_tsa_rows(pair, tsa_rows, &accel_config).expect("rates");
+        let rates =
+            PlatformRates::dacapo_with_tsa_rows(pair, tsa_rows, &accel_config).expect("rates");
         let config = SimConfig::builder(scenario.clone(), pair)
             .platform_rates(rates.clone())
             .scheduler(SchedulerKind::DaCapoSpatiotemporal)

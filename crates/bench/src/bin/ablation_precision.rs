@@ -77,7 +77,10 @@ fn main() {
         });
     }
 
-    println!("Ablation: MX precision assignment, (ResNet18, WideResNet50) on {}\n", scenario.name());
+    println!(
+        "Ablation: MX precision assignment, (ResNet18, WideResNet50) on {}\n",
+        scenario.name()
+    );
     let table = render_table(
         &["Inference", "Retraining", "Retraining sps", "Accuracy"],
         &rows

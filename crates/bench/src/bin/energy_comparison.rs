@@ -46,7 +46,9 @@ fn main() {
 
     let results: Vec<_> = systems
         .iter()
-        .map(|&s| (s, run_system(scenario.clone(), pair, s, options.quick).expect("simulation runs")))
+        .map(|&s| {
+            (s, run_system(scenario.clone(), pair, s, options.quick).expect("simulation runs"))
+        })
         .collect();
     let dacapo_power = results[0].1.power_watts;
     let dacapo_energy = results[0].1.energy_joules;

@@ -68,7 +68,11 @@ fn main() {
             let student = run_system(
                 scenario.clone(),
                 pair,
-                SystemUnderTest { label: "Student", platform: gpu, scheduler: SchedulerKind::NoAdaptation },
+                SystemUnderTest {
+                    label: "Student",
+                    platform: gpu,
+                    scheduler: SchedulerKind::NoAdaptation,
+                },
                 options.quick,
             )
             .expect("student run");
@@ -98,7 +102,9 @@ fn main() {
         }
     }
 
-    println!("Figure 2: Student / Teacher / Ekya accuracy on RTX 3090 vs Jetson Orin (scenario S1)\n");
+    println!(
+        "Figure 2: Student / Teacher / Ekya accuracy on RTX 3090 vs Jetson Orin (scenario S1)\n"
+    );
     let table = render_table(
         &["Pair", "GPU", "Student", "Teacher", "Ekya"],
         &rows

@@ -38,12 +38,22 @@ fn main() {
         .map(|s| {
             let drifts: Vec<String> = s.drift_kinds().iter().map(ToString::to_string).collect();
             let weather = format!("{:?}", s.segments()[0].attributes.weather);
-            vec![s.name().to_string(), weather, drifts.join(", "), s.drift_boundaries().len().to_string()]
+            vec![
+                s.name().to_string(),
+                weather,
+                drifts.join(", "),
+                s.drift_boundaries().len().to_string(),
+            ]
         })
         .collect();
-    println!("{}", render_table(&["Scenario", "Weather", "Drift types", "Drift events"], &scenario_rows));
+    println!(
+        "{}",
+        render_table(&["Scenario", "Weather", "Drift types", "Drift events"], &scenario_rows)
+    );
 
-    println!("Figure 8: label distributions in distinct 60-second segments (example scenario S1)\n");
+    println!(
+        "Figure 8: label distributions in distinct 60-second segments (example scenario S1)\n"
+    );
     let stream = FrameStream::new(&Scenario::s1(), StreamConfig::default());
     let mut json_rows = Vec::new();
     // Show a handful of segments spanning both label distributions.
@@ -70,7 +80,10 @@ fn main() {
             println!("{}", render_table(&headers, &[cells]));
         } else {
             // Reuse the same column layout without repeating the header.
-            println!("{}", render_table(&headers, &[cells]).lines().skip(2).collect::<Vec<_>>().join("\n"));
+            println!(
+                "{}",
+                render_table(&headers, &[cells]).lines().skip(2).collect::<Vec<_>>().join("\n")
+            );
         }
     }
 

@@ -33,11 +33,8 @@ fn main() {
             hp.buffer_capacity, hp.drift_threshold, hp.epochs, hp.batch_size);
     }
 
-    let scenarios = if options.quick {
-        vec![Scenario::s1(), Scenario::s3()]
-    } else {
-        Scenario::regular()
-    };
+    let scenarios =
+        if options.quick { vec![Scenario::s1(), Scenario::s3()] } else { Scenario::regular() };
     let pairs = ModelPair::ALL;
 
     let mut all_rows: Vec<SystemRow> = Vec::new();
@@ -56,7 +53,12 @@ fn main() {
             cells.extend(per_scenario.iter().map(|(_, a)| pct(*a)));
             cells.push(pct(gmean));
             table_rows.push(cells);
-            all_rows.push(SystemRow { pair: pair.to_string(), system: system.label.to_string(), per_scenario, gmean });
+            all_rows.push(SystemRow {
+                pair: pair.to_string(),
+                system: system.label.to_string(),
+                per_scenario,
+                gmean,
+            });
         }
         let mut headers = vec!["System"];
         let names: Vec<String> = scenarios.iter().map(|s| s.name().to_string()).collect();

@@ -5,8 +5,9 @@
 //! Run with `cargo run --release -p dacapo-bench --bin fig10_accuracy_over_time
 //! [--quick] [--json]`.
 
-use dacapo_bench::runner::{run_system, SystemUnderTest, FIG9_SYSTEMS};
+use dacapo_bench::runner::{run_system_with, SystemUnderTest, FIG9_SYSTEMS};
 use dacapo_bench::{pct, render_table, write_json, ExperimentOptions};
+use dacapo_core::{PhaseKind, PhaseRecord, SimObserver};
 use dacapo_datagen::Scenario;
 use dacapo_dnn::zoo::ModelPair;
 use serde::Serialize;
@@ -18,6 +19,21 @@ struct Series {
     windows: Vec<(f64, f64)>,
     mean_accuracy: f64,
     retrain_completions: usize,
+}
+
+/// Observer tapping the session's event stream: counts retraining
+/// completions live instead of post-processing the phase log.
+#[derive(Default)]
+struct RetrainTap {
+    completions: usize,
+}
+
+impl SimObserver for RetrainTap {
+    fn on_phase(&mut self, phase: &PhaseRecord) {
+        if phase.kind == PhaseKind::Retrain {
+            self.completions += 1;
+        }
+    }
 }
 
 const FIG10_SYSTEMS: [&str; 4] =
@@ -36,8 +52,9 @@ fn main() {
         let mut rows = Vec::new();
         let mut window_times: Vec<f64> = Vec::new();
         for system in &systems {
-            let result =
-                run_system(scenario.clone(), pair, *system, options.quick).expect("simulation runs");
+            let mut tap = RetrainTap::default();
+            let result = run_system_with(scenario.clone(), pair, *system, options.quick, &mut tap)
+                .expect("simulation runs");
             let windows = result.windowed_accuracy(15.0);
             if window_times.is_empty() {
                 window_times = windows.iter().map(|(t, _)| *t).collect();
@@ -51,7 +68,7 @@ fn main() {
                 pair: pair.to_string(),
                 system: system.label.to_string(),
                 mean_accuracy: result.mean_accuracy,
-                retrain_completions: result.retrain_count(),
+                retrain_completions: tap.completions,
                 windows,
             });
         }
@@ -72,7 +89,10 @@ fn main() {
          more often than Ekya (retrain completions below) but with a stale buffer.\n"
     );
     for series in &all_series {
-        println!("  {:>24} ({}) retraining completions: {}", series.system, series.pair, series.retrain_completions);
+        println!(
+            "  {:>24} ({}) retraining completions: {}",
+            series.system, series.pair, series.retrain_completions
+        );
     }
 
     if options.json {

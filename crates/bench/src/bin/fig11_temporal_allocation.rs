@@ -6,9 +6,9 @@
 //! Run with `cargo run --release -p dacapo-bench --bin fig11_temporal_allocation
 //! [--quick] [--json]`.
 
-use dacapo_bench::runner::{run_system, truncate_scenario, SystemUnderTest};
+use dacapo_bench::runner::{run_system_with, truncate_scenario, SystemUnderTest};
 use dacapo_bench::{pct, render_table, write_json, ExperimentOptions};
-use dacapo_core::{PlatformKind, SchedulerKind};
+use dacapo_core::{PhaseKind, PhaseRecord, PlatformKind, SchedulerKind, SimObserver};
 use dacapo_datagen::Scenario;
 use dacapo_dnn::zoo::ModelPair;
 use serde::Serialize;
@@ -24,6 +24,29 @@ struct Row {
     drift_responses: usize,
 }
 
+/// Observer accumulating the temporal allocation live from the event stream:
+/// per-kind busy time plus the drift-response count.
+#[derive(Default)]
+struct AllocationTap {
+    label_s: f64,
+    retrain_s: f64,
+    drift_responses: usize,
+}
+
+impl SimObserver for AllocationTap {
+    fn on_phase(&mut self, phase: &PhaseRecord) {
+        match phase.kind {
+            PhaseKind::Label => self.label_s += phase.duration_s,
+            PhaseKind::Retrain => self.retrain_s += phase.duration_s,
+            PhaseKind::Wait => {}
+        }
+    }
+
+    fn on_drift(&mut self, _at_s: f64, _response_index: usize) {
+        self.drift_responses += 1;
+    }
+}
+
 fn main() {
     let options = ExperimentOptions::from_args();
     // A slice of S1 surrounding its first label-distribution drift (at
@@ -31,36 +54,35 @@ fn main() {
     // (the paper collects Figure 11 over a few minutes of S1 around a drift).
     let slice = truncate_scenario(&Scenario::s1(), 5);
 
-    let systems = [
-        ("DC-S", SchedulerKind::DaCapoSpatial),
-        ("DC-ST", SchedulerKind::DaCapoSpatiotemporal),
-    ];
+    let systems =
+        [("DC-S", SchedulerKind::DaCapoSpatial), ("DC-ST", SchedulerKind::DaCapoSpatiotemporal)];
 
     let mut rows: Vec<Row> = Vec::new();
     for pair in ModelPair::ALL {
         let mut spatial_accuracy = None;
         for (label, scheduler) in systems {
-            let result = run_system(
+            let mut tap = AllocationTap::default();
+            let result = run_system_with(
                 slice.clone(),
                 pair,
                 SystemUnderTest { label: "fig11", platform: PlatformKind::DaCapo, scheduler },
                 options.quick,
+                &mut tap,
             )
             .expect("simulation runs");
-            let (label_s, retrain_s, _) = result.time_breakdown();
-            let busy = (label_s + retrain_s).max(1e-9);
+            let busy = (tap.label_s + tap.retrain_s).max(1e-9);
             if scheduler == SchedulerKind::DaCapoSpatial {
                 spatial_accuracy = Some(result.mean_accuracy);
             }
             rows.push(Row {
                 pair: pair.to_string(),
                 system: label.to_string(),
-                retrain_share: retrain_s / busy,
-                label_share: label_s / busy,
+                retrain_share: tap.retrain_s / busy,
+                label_share: tap.label_s / busy,
                 accuracy: result.mean_accuracy,
                 accuracy_improvement_points: spatial_accuracy
                     .map_or(0.0, |base| (result.mean_accuracy - base) * 100.0),
-                drift_responses: result.drift_responses,
+                drift_responses: tap.drift_responses,
             });
         }
     }

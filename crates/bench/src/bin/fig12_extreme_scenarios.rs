@@ -25,8 +25,16 @@ fn main() {
     let options = ExperimentOptions::from_args();
     let pair = ModelPair::ResNet18Wrn50;
     let systems = [
-        SystemUnderTest { label: "Ekya", platform: PlatformKind::OrinHigh, scheduler: SchedulerKind::Ekya },
-        SystemUnderTest { label: "EOMU", platform: PlatformKind::OrinHigh, scheduler: SchedulerKind::Eomu },
+        SystemUnderTest {
+            label: "Ekya",
+            platform: PlatformKind::OrinHigh,
+            scheduler: SchedulerKind::Ekya,
+        },
+        SystemUnderTest {
+            label: "EOMU",
+            platform: PlatformKind::OrinHigh,
+            scheduler: SchedulerKind::Eomu,
+        },
         SystemUnderTest {
             label: "DaCapo",
             platform: PlatformKind::DaCapo,
@@ -55,7 +63,10 @@ fn main() {
                 retrain_completions: result.retrain_count(),
             });
         }
-        println!("{}", render_table(&["System", "Accuracy", "Retraining completions"], &table_rows));
+        println!(
+            "{}",
+            render_table(&["System", "Accuracy", "Retraining completions"], &table_rows)
+        );
     }
 
     // Aggregate ordering check (paper: DaCapo 77.2% > EOMU > Ekya overall).

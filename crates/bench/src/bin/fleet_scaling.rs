@@ -1,0 +1,84 @@
+//! Multi-camera fleet run: all eight scenarios (S1–S6, ES1, ES2) as
+//! independent camera sessions executed in parallel by the `Fleet` driver,
+//! with per-camera seeds, aggregated into fleet-level accuracy percentiles,
+//! total energy, and drop rate.
+//!
+//! This is the multi-stream deployment shape the roadmap targets; per-camera
+//! results stay bit-identical to solo runs regardless of thread count.
+//!
+//! Run with `cargo run --release -p dacapo-bench --bin fleet_scaling
+//! [--quick] [--json]`.
+
+use dacapo_bench::runner::truncate_scenario;
+use dacapo_bench::{pct, render_table, write_json, ExperimentOptions};
+use dacapo_core::{Fleet, PlatformKind, SchedulerKind, SimConfig};
+use dacapo_datagen::Scenario;
+use dacapo_dnn::zoo::ModelPair;
+use std::time::Instant;
+
+fn main() {
+    let options = ExperimentOptions::from_args();
+    let pair = ModelPair::ResNet18Wrn50;
+
+    let mut fleet = Fleet::new();
+    for (i, scenario) in Scenario::all().into_iter().enumerate() {
+        let scenario = if options.quick { truncate_scenario(&scenario, 5) } else { scenario };
+        let name = format!("cam-{:02}-{}", i, scenario.name());
+        let mut builder = SimConfig::builder(scenario, pair)
+            .platform(PlatformKind::DaCapo)
+            .scheduler(SchedulerKind::DaCapoSpatiotemporal)
+            .seed(0xDACA90 + i as u64);
+        if options.quick {
+            builder = builder.measurement(10.0, 20).pretrain_samples(128);
+        }
+        let config = builder.build().expect("fleet camera config builds");
+        fleet = fleet.camera(name, config);
+    }
+
+    let cameras = fleet.len();
+    let started = Instant::now();
+    let result = fleet.run().expect("fleet runs");
+    let elapsed = started.elapsed();
+
+    println!("Fleet: {cameras} cameras, DaCapo platform, spatiotemporal scheduling\n");
+    let table = render_table(
+        &["Camera", "Accuracy", "Drift responses", "Drop rate", "Energy (J)"],
+        &result
+            .cameras
+            .iter()
+            .map(|c| {
+                vec![
+                    c.camera.clone(),
+                    pct(c.result.mean_accuracy),
+                    c.result.drift_responses.to_string(),
+                    pct(c.result.frame_drop_rate),
+                    format!("{:.1}", c.result.energy_joules),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    println!("{table}");
+    println!(
+        "Aggregates: mean {} | p50 {} | p10 {} | min {} accuracy; {} drift responses; \
+         {:.1} J total; {} aggregate drop rate",
+        pct(result.mean_accuracy),
+        pct(result.p50_accuracy),
+        pct(result.p10_accuracy),
+        pct(result.min_accuracy),
+        result.total_drift_responses,
+        result.total_energy_joules,
+        pct(result.aggregate_drop_rate),
+    );
+    println!(
+        "Wall time: {:.1} s for {:.0} s of simulated streams across {cameras} cameras",
+        elapsed.as_secs_f64(),
+        result.cameras.iter().map(|c| c.result.duration_s).sum::<f64>(),
+    );
+
+    if options.json {
+        match write_json("fleet_scaling", &result) {
+            Ok(path) => println!("wrote {}", path.display()),
+            Err(e) => eprintln!("warning: {e}"),
+        }
+    }
+}

@@ -5,7 +5,7 @@
 
 use std::process::Command;
 
-const EXPERIMENTS: [&str; 10] = [
+const EXPERIMENTS: [&str; 11] = [
     "table03_models",
     "table04_platforms",
     "fig08_label_distribution",
@@ -16,6 +16,7 @@ const EXPERIMENTS: [&str; 10] = [
     "fig11_temporal_allocation",
     "fig12_extreme_scenarios",
     "energy_comparison",
+    "fleet_scaling",
 ];
 
 fn main() {

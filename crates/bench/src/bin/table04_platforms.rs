@@ -83,7 +83,9 @@ fn main() {
         &power
             .components()
             .iter()
-            .map(|c| vec![c.name.clone(), format!("{:.3}", c.area_mm2), format!("{:.4}", c.power_w)])
+            .map(|c| {
+                vec![c.name.clone(), format!("{:.3}", c.area_mm2), format!("{:.4}", c.power_w)]
+            })
             .collect::<Vec<_>>(),
     );
     println!("{breakdown}");

@@ -35,6 +35,8 @@ impl ExperimentOptions {
     }
 
     /// Parses options from an explicit argument list (used by tests).
+    // Not the std trait: this is argument parsing, not collection building.
+    #[allow(clippy::should_implement_trait)]
     pub fn from_iter(args: impl IntoIterator<Item = String>) -> Self {
         let mut options = Self::default();
         for arg in args {
@@ -64,7 +66,9 @@ pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
         cells
             .iter()
             .enumerate()
-            .map(|(i, c)| format!("{:width$}", c, width = widths.get(i).copied().unwrap_or(c.len())))
+            .map(|(i, c)| {
+                format!("{:width$}", c, width = widths.get(i).copied().unwrap_or(c.len()))
+            })
             .collect::<Vec<_>>()
             .join("  ")
     };
@@ -90,7 +94,8 @@ pub fn write_json<T: Serialize>(name: &str, value: &T) -> Result<PathBuf, String
     let dir = PathBuf::from("results");
     fs::create_dir_all(&dir).map_err(|e| format!("cannot create results directory: {e}"))?;
     let path = dir.join(format!("{name}.json"));
-    let payload = serde_json::to_string_pretty(value).map_err(|e| format!("serialisation failed: {e}"))?;
+    let payload =
+        serde_json::to_string_pretty(value).map_err(|e| format!("serialisation failed: {e}"))?;
     fs::write(&path, payload).map_err(|e| format!("cannot write {}: {e}", path.display()))?;
     Ok(path)
 }

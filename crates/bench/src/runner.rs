@@ -1,7 +1,14 @@
 //! Shared experiment runner: builds and runs one (scenario, pair, platform,
 //! scheduler) simulation with consistent settings across all figures.
+//!
+//! Experiments execute on the re-entrant [`Session`] engine;
+//! [`run_system_with`] additionally taps the event stream through a
+//! [`SimObserver`] so figure binaries can collect mid-run metrics without
+//! re-running simulations.
 
-use dacapo_core::{ClSimulator, PlatformKind, Result, SchedulerKind, SimConfig, SimResult};
+use dacapo_core::{
+    PlatformKind, Result, SchedulerKind, Session, SimConfig, SimObserver, SimResult,
+};
 use dacapo_datagen::Scenario;
 use dacapo_dnn::zoo::ModelPair;
 
@@ -91,8 +98,26 @@ pub fn run_system(
     system: SystemUnderTest,
     quick: bool,
 ) -> Result<SimResult> {
+    run_system_with(scenario, pair, system, quick, &mut ())
+}
+
+/// Runs one system on one scenario, forwarding every session event
+/// (phases, drift responses, accuracy samples) to `observer`.
+///
+/// # Errors
+///
+/// Propagates simulation errors.
+pub fn run_system_with(
+    scenario: Scenario,
+    pair: ModelPair,
+    system: SystemUnderTest,
+    quick: bool,
+    observer: &mut dyn SimObserver,
+) -> Result<SimResult> {
     let config = experiment_config(scenario, pair, system, quick)?;
-    ClSimulator::new(config)?.run()
+    let mut session = Session::new(config)?;
+    session.run_with(observer)?;
+    Ok(session.into_result())
 }
 
 #[cfg(test)]
@@ -118,14 +143,41 @@ mod tests {
 
     #[test]
     fn quick_experiment_runs_end_to_end() {
-        let result = run_system(
+        let result =
+            run_system(Scenario::s1(), ModelPair::ResNet18Wrn50, FIG9_SYSTEMS[5], true).unwrap();
+        assert!(result.mean_accuracy > 0.2);
+        assert_eq!(result.scenario, "S1");
+    }
+
+    #[test]
+    fn observed_runs_match_unobserved_runs_exactly() {
+        #[derive(Default)]
+        struct Tap {
+            phases: usize,
+            accuracy_samples: usize,
+        }
+        impl dacapo_core::SimObserver for Tap {
+            fn on_phase(&mut self, _phase: &dacapo_core::PhaseRecord) {
+                self.phases += 1;
+            }
+            fn on_accuracy(&mut self, _at_s: f64, _accuracy: f64) {
+                self.accuracy_samples += 1;
+            }
+        }
+
+        let mut tap = Tap::default();
+        let observed = run_system_with(
             Scenario::s1(),
             ModelPair::ResNet18Wrn50,
             FIG9_SYSTEMS[5],
             true,
+            &mut tap,
         )
         .unwrap();
-        assert!(result.mean_accuracy > 0.2);
-        assert_eq!(result.scenario, "S1");
+        let plain =
+            run_system(Scenario::s1(), ModelPair::ResNet18Wrn50, FIG9_SYSTEMS[5], true).unwrap();
+        assert_eq!(observed, plain, "observation must not perturb the run");
+        assert_eq!(tap.phases, observed.phases.len());
+        assert_eq!(tap.accuracy_samples, observed.accuracy_timeline.len());
     }
 }

@@ -115,7 +115,12 @@ impl SampleBuffer {
     /// available samples are split proportionally (validation gets at least
     /// one sample whenever the buffer holds at least two).
     #[must_use]
-    pub fn draw(&self, train: usize, validation: usize, seed: u64) -> (Vec<LabeledSample>, Vec<LabeledSample>) {
+    pub fn draw(
+        &self,
+        train: usize,
+        validation: usize,
+        seed: u64,
+    ) -> (Vec<LabeledSample>, Vec<LabeledSample>) {
         if self.samples.is_empty() {
             return (Vec::new(), Vec::new());
         }
@@ -156,7 +161,12 @@ mod tests {
     use super::*;
 
     fn sample(t: f64, label: usize) -> LabeledSample {
-        LabeledSample { features: vec![t as f32; 4], teacher_label: label, true_class: label, timestamp_s: t }
+        LabeledSample {
+            features: vec![t as f32; 4],
+            teacher_label: label,
+            true_class: label,
+            timestamp_s: t,
+        }
     }
 
     #[test]

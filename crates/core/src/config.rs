@@ -1,7 +1,7 @@
 //! System configuration: Table I hyperparameters and the simulation config.
 
 use crate::platform::{PlatformKind, PlatformRates};
-use crate::sched::SchedulerKind;
+use crate::sched::{SchedulerKind, SchedulerSpec};
 use crate::{CoreError, Result};
 use dacapo_accel::AccelConfig;
 use dacapo_datagen::{Scenario, StreamConfig};
@@ -142,8 +142,9 @@ pub struct SimConfig {
     pub pair: ModelPair,
     /// Execution platform rates (DaCapo partition or GPU baseline).
     pub platform: PlatformRates,
-    /// Temporal resource-allocation policy.
-    pub scheduler: SchedulerKind,
+    /// Temporal resource-allocation policy: a builtin kind or a registered
+    /// policy selected by name (see [`crate::sched::register`]).
+    pub scheduler: SchedulerSpec,
     /// Table I hyperparameters.
     pub hyper: Hyperparams,
     /// Synthetic stream configuration.
@@ -170,7 +171,7 @@ impl SimConfig {
             scenario,
             pair,
             platform_kind: PlatformKind::DaCapo,
-            scheduler: SchedulerKind::DaCapoSpatiotemporal,
+            scheduler: SchedulerSpec::Kind(SchedulerKind::DaCapoSpatiotemporal),
             hyper: Hyperparams::for_pair(pair),
             stream: StreamConfig::default(),
             teacher_accuracy: 0.95,
@@ -191,7 +192,9 @@ impl SimConfig {
     pub fn validate(&self) -> Result<()> {
         self.hyper.validate()?;
         if self.measure_interval_s <= 0.0 {
-            return Err(CoreError::InvalidConfig { reason: "measurement interval must be positive".into() });
+            return Err(CoreError::InvalidConfig {
+                reason: "measurement interval must be positive".into(),
+            });
         }
         if self.eval_frames_per_measurement == 0 {
             return Err(CoreError::InvalidConfig {
@@ -199,7 +202,9 @@ impl SimConfig {
             });
         }
         if !(0.0..=1.0).contains(&self.teacher_accuracy) {
-            return Err(CoreError::InvalidConfig { reason: "teacher accuracy must be in [0, 1]".into() });
+            return Err(CoreError::InvalidConfig {
+                reason: "teacher accuracy must be in [0, 1]".into(),
+            });
         }
         Ok(())
     }
@@ -213,7 +218,7 @@ pub struct SimConfigBuilder {
     platform_kind: PlatformKind,
     explicit_platform: Option<PlatformRates>,
     accel: AccelConfig,
-    scheduler: SchedulerKind,
+    scheduler: SchedulerSpec,
     hyper: Hyperparams,
     stream: StreamConfig,
     teacher_accuracy: f64,
@@ -238,10 +243,12 @@ impl SimConfigBuilder {
         self
     }
 
-    /// Selects the temporal resource-allocation policy.
+    /// Selects the temporal resource-allocation policy: a
+    /// [`SchedulerKind`], or the name of a policy registered with
+    /// [`crate::sched::register`] (e.g. `.scheduler("ekya")`).
     #[must_use]
-    pub fn scheduler(mut self, scheduler: SchedulerKind) -> Self {
-        self.scheduler = scheduler;
+    pub fn scheduler(mut self, scheduler: impl Into<SchedulerSpec>) -> Self {
+        self.scheduler = scheduler.into();
         self
     }
 
@@ -306,7 +313,12 @@ impl SimConfigBuilder {
     pub fn build(self) -> Result<SimConfig> {
         let platform = match self.explicit_platform {
             Some(rates) => rates,
-            None => PlatformRates::for_kind(self.platform_kind, self.pair, self.stream.fps, &self.accel)?,
+            None => PlatformRates::for_kind(
+                self.platform_kind,
+                self.pair,
+                self.stream.fps,
+                &self.accel,
+            )?,
         };
         let config = SimConfig {
             scenario: self.scenario,

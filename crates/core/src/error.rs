@@ -20,7 +20,9 @@ pub enum CoreError {
 impl fmt::Display for CoreError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            CoreError::InvalidConfig { reason } => write!(f, "invalid system configuration: {reason}"),
+            CoreError::InvalidConfig { reason } => {
+                write!(f, "invalid system configuration: {reason}")
+            }
             CoreError::Dnn(e) => write!(f, "student model error: {e}"),
             CoreError::Accel(e) => write!(f, "accelerator model error: {e}"),
         }

@@ -6,7 +6,33 @@
 //! allocates resources between them so end-to-end accuracy stays high through
 //! data drift.
 //!
-//! The pieces map one-to-one onto the paper:
+//! # Execution model
+//!
+//! The engine is built around three layers:
+//!
+//! * [`Session`] — a **re-entrant, steppable** run of one camera stream over
+//!   one drifting scenario. Each [`Session::step`] executes at most one
+//!   temporal phase and yields a [`SessionEvent`] (phase executed, drift
+//!   detected, accuracy sampled, finished), so callers observe mid-run state
+//!   instead of waiting for the scenario to end. [`Session::run_with`]
+//!   forwards the event stream to a [`SimObserver`] for push-style metrics
+//!   taps.
+//! * [`ClSimulator`] — the one-shot compatibility wrapper: build, `run()`,
+//!   get a [`SimResult`]. It is a thin loop over [`Session`], so a stepped
+//!   session and a `run()` call with the same seed produce *identical*
+//!   results.
+//! * [`Fleet`] — the multi-camera driver: N sessions with independent
+//!   scenarios/seeds/platforms executed across worker threads and aggregated
+//!   into a [`FleetResult`] (mean/percentile accuracy, total energy,
+//!   aggregate drop rate). Per-camera results are bit-identical to solo runs.
+//!
+//! Scheduling policies are **pluggable**: the paper's algorithms are builtin
+//! [`SchedulerKind`]s, and external crates can [`sched::register`] their own
+//! [`sched::SchedulerFactory`] and select it by name —
+//! `SimConfig::builder(..).scheduler("my-policy")` — without touching this
+//! crate.
+//!
+//! # Mapping to the paper
 //!
 //! * [`Hyperparams`] — Table I's resource-allocation hyperparameters
 //!   (`N_t`, `N_v`, `N_l`, `N_ldd`, buffer capacity, drift threshold).
@@ -18,16 +44,14 @@
 //!   `dacapo-accel` performance models.
 //! * [`sched`] — the temporal resource allocators: the paper's
 //!   spatiotemporal Algorithm 1 plus the DaCapo-Spatial, Ekya, and EOMU
-//!   baselines.
-//! * [`ClSimulator`] — the end-to-end system simulator that walks a drifting
-//!   [`Scenario`](dacapo_datagen::Scenario), interleaves kernel execution per
-//!   the scheduler and platform rates, and records accuracy over time, phase
-//!   logs, frame drops, and energy.
+//!   baselines, behind the pluggable-policy registry.
 //!
 //! # Examples
 //!
+//! Stepping a session and reacting to events:
+//!
 //! ```no_run
-//! use dacapo_core::{ClSimulator, SimConfig, SchedulerKind, PlatformKind};
+//! use dacapo_core::{Session, SessionEvent, SimConfig, SchedulerKind, PlatformKind};
 //! use dacapo_datagen::Scenario;
 //! use dacapo_dnn::zoo::ModelPair;
 //!
@@ -36,8 +60,45 @@
 //!     .platform(PlatformKind::DaCapo)
 //!     .scheduler(SchedulerKind::DaCapoSpatiotemporal)
 //!     .build()?;
-//! let result = ClSimulator::new(config)?.run()?;
+//! let mut session = Session::new(config)?;
+//! loop {
+//!     match session.step()? {
+//!         SessionEvent::Drift { at_s, response_index } => {
+//!             println!("drift response #{response_index} at {at_s:.0} s");
+//!         }
+//!         SessionEvent::Finished => break,
+//!         _ => {}
+//!     }
+//! }
+//! let result = session.into_result();
 //! println!("mean accuracy {:.1}%", result.mean_accuracy * 100.0);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! Driving a fleet of cameras in parallel:
+//!
+//! ```no_run
+//! use dacapo_core::{Fleet, SimConfig};
+//! use dacapo_datagen::Scenario;
+//! use dacapo_dnn::zoo::ModelPair;
+//!
+//! # fn main() -> Result<(), dacapo_core::CoreError> {
+//! let mut fleet = Fleet::new();
+//! for (i, scenario) in Scenario::all().into_iter().enumerate() {
+//!     let config = SimConfig::builder(scenario, ModelPair::ResNet18Wrn50)
+//!         .seed(0xDACA90 + i as u64)
+//!         .build()?;
+//!     fleet = fleet.camera(format!("cam-{i}"), config);
+//! }
+//! let result = fleet.run()?;
+//! println!(
+//!     "{} cameras: mean {:.1}%, p10 {:.1}%, total {:.0} J",
+//!     result.cameras.len(),
+//!     result.mean_accuracy * 100.0,
+//!     result.p10_accuracy * 100.0,
+//!     result.total_energy_joules,
+//! );
 //! # Ok(())
 //! # }
 //! ```
@@ -48,17 +109,21 @@
 mod buffer;
 mod config;
 mod error;
+mod fleet;
 pub mod metrics;
 mod platform;
 pub mod sched;
+mod session;
 mod sim;
 mod student;
 
 pub use buffer::{LabeledSample, SampleBuffer};
 pub use config::{Hyperparams, SimConfig, SimConfigBuilder};
 pub use error::CoreError;
+pub use fleet::{CameraResult, Fleet, FleetResult};
 pub use platform::{PlatformKind, PlatformRates};
-pub use sched::SchedulerKind;
+pub use sched::{SchedulerKind, SchedulerSpec};
+pub use session::{Session, SessionEvent, SimObserver};
 pub use sim::{ClSimulator, PhaseKind, PhaseRecord, SimResult};
 pub use student::StudentModel;
 

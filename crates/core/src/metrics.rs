@@ -32,6 +32,24 @@ pub fn mean(values: &[f64]) -> f64 {
     values.iter().sum::<f64>() / values.len() as f64
 }
 
+/// Nearest-rank percentile of a slice (`pct` in `[0, 100]`), used by the
+/// fleet aggregates. Returns 0 for an empty slice.
+///
+/// # Panics
+///
+/// Panics if `pct` is outside `[0, 100]`.
+#[must_use]
+pub fn percentile(values: &[f64], pct: f64) -> f64 {
+    assert!((0.0..=100.0).contains(&pct), "percentile {pct} out of range");
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("percentile input must not contain NaN"));
+    let rank = ((pct / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
+}
+
 /// One row of a Figure 9-style accuracy table: a system evaluated on a set of
 /// scenarios for one model pair.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -84,7 +102,7 @@ mod tests {
             system: "test-system".into(),
             scenario: scenario.into(),
             pair: ModelPair::ResNet18Wrn50,
-            scheduler: SchedulerKind::DaCapoSpatiotemporal,
+            scheduler: SchedulerKind::DaCapoSpatiotemporal.to_string(),
             accuracy_timeline: vec![(0.0, accuracy)],
             mean_accuracy: accuracy,
             frame_drop_rate: 0.0,
@@ -120,5 +138,15 @@ mod tests {
     #[test]
     fn accuracy_gain_is_in_percentage_points() {
         assert!((accuracy_gain_points(0.815, 0.75) - 6.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentile_uses_nearest_rank() {
+        assert_eq!(percentile(&[], 50.0), 0.0);
+        let values = [0.9, 0.1, 0.5, 0.3, 0.7];
+        assert_eq!(percentile(&values, 0.0), 0.1);
+        assert_eq!(percentile(&values, 50.0), 0.5);
+        assert_eq!(percentile(&values, 10.0), 0.1);
+        assert_eq!(percentile(&values, 100.0), 0.9);
     }
 }

@@ -28,8 +28,12 @@ pub enum PlatformKind {
 
 impl PlatformKind {
     /// All platform kinds.
-    pub const ALL: [PlatformKind; 4] =
-        [PlatformKind::DaCapo, PlatformKind::OrinHigh, PlatformKind::OrinLow, PlatformKind::Rtx3090];
+    pub const ALL: [PlatformKind; 4] = [
+        PlatformKind::DaCapo,
+        PlatformKind::OrinHigh,
+        PlatformKind::OrinLow,
+        PlatformKind::Rtx3090,
+    ];
 }
 
 /// Kernel execution rates of a platform, plus how the kernels share it.
@@ -73,7 +77,12 @@ impl PlatformRates {
     ///
     /// Returns [`crate::CoreError::Accel`] if the accelerator configuration is
     /// invalid or cannot sustain the frame rate.
-    pub fn for_kind(kind: PlatformKind, pair: ModelPair, fps: f64, accel: &AccelConfig) -> Result<Self> {
+    pub fn for_kind(
+        kind: PlatformKind,
+        pair: ModelPair,
+        fps: f64,
+        accel: &AccelConfig,
+    ) -> Result<Self> {
         match kind {
             PlatformKind::DaCapo => Self::dacapo(pair, fps, accel),
             PlatformKind::OrinHigh => Ok(Self::gpu(GpuDevice::jetson_orin_high(), pair)),
@@ -103,7 +112,11 @@ impl PlatformRates {
     ///
     /// Returns [`crate::CoreError::Accel`] for invalid configurations or
     /// degenerate partitions.
-    pub fn dacapo_with_tsa_rows(pair: ModelPair, tsa_rows: usize, accel: &AccelConfig) -> Result<Self> {
+    pub fn dacapo_with_tsa_rows(
+        pair: ModelPair,
+        tsa_rows: usize,
+        accel: &AccelConfig,
+    ) -> Result<Self> {
         let accelerator = DaCapoAccelerator::new(*accel)?;
         let plan = PrecisionPlan::default();
         let est = estimate(&accelerator, pair, tsa_rows, 16, &plan)?;
@@ -129,9 +142,11 @@ impl PlatformRates {
         let costs = unit_costs(pair);
         Self {
             name: device.name.clone(),
-            inference_fps_capacity: device.units_per_second(Kernel::Inference, costs.inference_per_frame),
+            inference_fps_capacity: device
+                .units_per_second(Kernel::Inference, costs.inference_per_frame),
             labeling_sps: device.units_per_second(Kernel::Labeling, costs.labeling_per_sample),
-            retraining_sps: device.units_per_second(Kernel::Retraining, costs.retraining_per_sample),
+            retraining_sps: device
+                .units_per_second(Kernel::Retraining, costs.retraining_per_sample),
             shared: true,
             power_watts: device.power_w,
             inference_quant: QuantMode::Fp32,
@@ -273,7 +288,8 @@ mod tests {
     fn for_kind_covers_all_platforms() {
         let accel = AccelConfig::default();
         for kind in PlatformKind::ALL {
-            let rates = PlatformRates::for_kind(kind, ModelPair::ResNet18Wrn50, 30.0, &accel).unwrap();
+            let rates =
+                PlatformRates::for_kind(kind, ModelPair::ResNet18Wrn50, 30.0, &accel).unwrap();
             assert!(!rates.name.is_empty());
             assert!(rates.power_watts > 0.0);
         }

@@ -1,14 +1,29 @@
 //! Temporal resource allocation: the DaCapo spatiotemporal algorithm
-//! (Algorithm 1) and the baseline scheduling policies it is compared against.
+//! (Algorithm 1), the baseline scheduling policies it is compared against,
+//! and the pluggable-policy registry.
 //!
 //! A scheduler owns the T-SA (DaCapo) or the GPU time left over after
 //! inference (baselines) and decides, phase by phase, whether to spend it on
 //! **labeling** new samples or **retraining** the student, and whether the
 //! sample buffer should be reset because data drift was detected.
+//!
+//! # Pluggable policies
+//!
+//! Policies are constructed through trait-object factories rather than a
+//! closed enum match, so external crates (and CLI flags) can add schedulers
+//! without touching this crate: implement [`Scheduler`] and
+//! [`SchedulerFactory`], [`register`] the factory, and select it by name via
+//! [`SchedulerSpec::Named`] (the `SimConfig` builder accepts a `&str`
+//! scheduler directly). The paper's five builtin policies are pre-registered
+//! under their lower-cased display names (`"dacapo-spatiotemporal"`,
+//! `"dacapo-spatial"`, `"ekya"`, `"eomu"`, `"no-adaptation"`).
 
 use crate::config::Hyperparams;
+use crate::{CoreError, Result};
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::{Arc, OnceLock, RwLock};
 
 /// The scheduling policies evaluated in the paper.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -41,6 +56,16 @@ impl SchedulerKind {
         SchedulerKind::Eomu,
         SchedulerKind::DaCapoSpatial,
         SchedulerKind::DaCapoSpatiotemporal,
+    ];
+
+    /// Every builtin policy, including the non-adaptive baseline. This is
+    /// the single source of truth the policy registry is seeded from.
+    pub const BUILTINS: [SchedulerKind; 5] = [
+        SchedulerKind::DaCapoSpatiotemporal,
+        SchedulerKind::DaCapoSpatial,
+        SchedulerKind::Ekya,
+        SchedulerKind::Eomu,
+        SchedulerKind::NoAdaptation,
     ];
 
     /// Instantiates the policy with the given hyperparameters.
@@ -79,8 +104,12 @@ impl fmt::Display for SchedulerKind {
 struct NoAdaptation;
 
 impl Scheduler for NoAdaptation {
-    fn kind(&self) -> SchedulerKind {
-        SchedulerKind::NoAdaptation
+    fn name(&self) -> String {
+        SchedulerKind::NoAdaptation.to_string()
+    }
+
+    fn kind(&self) -> Option<SchedulerKind> {
+        Some(SchedulerKind::NoAdaptation)
     }
 
     fn next_action(&mut self, _ctx: &SchedulerContext) -> Action {
@@ -133,12 +162,191 @@ pub enum Action {
 }
 
 /// A temporal resource-allocation policy.
-pub trait Scheduler {
-    /// The policy's kind (used for reporting).
-    fn kind(&self) -> SchedulerKind;
+///
+/// `Send` is required so sessions can run on [`Fleet`](crate::Fleet) worker
+/// threads.
+pub trait Scheduler: Send {
+    /// The policy's display name (used for reporting, e.g.
+    /// `"DaCapo-Spatiotemporal"`).
+    fn name(&self) -> String;
+
+    /// The builtin kind this policy corresponds to, if any. Custom policies
+    /// registered through [`SchedulerFactory`] return `None` (the default).
+    fn kind(&self) -> Option<SchedulerKind> {
+        None
+    }
 
     /// Decides what the T-SA (or GPU leftover) does next.
     fn next_action(&mut self, ctx: &SchedulerContext) -> Action;
+}
+
+/// Trait-object factory for scheduling policies, the extension point of the
+/// policy registry.
+pub trait SchedulerFactory: Send + Sync {
+    /// The canonical (case-insensitive) name the factory registers under.
+    fn name(&self) -> &str;
+
+    /// Builds a fresh policy instance for one session.
+    fn build(&self, hyper: &Hyperparams) -> Box<dyn Scheduler>;
+
+    /// The builtin kind this factory produces, if any. Custom factories keep
+    /// the default `None`; [`SchedulerSpec::kind`] relies on this to tell
+    /// builtins apart from custom policies registered over builtin names.
+    fn kind(&self) -> Option<SchedulerKind> {
+        None
+    }
+}
+
+/// Factory wrapping a builtin [`SchedulerKind`].
+struct KindFactory {
+    kind: SchedulerKind,
+    name: String,
+}
+
+impl SchedulerFactory for KindFactory {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn build(&self, hyper: &Hyperparams) -> Box<dyn Scheduler> {
+        self.kind.create(hyper)
+    }
+
+    fn kind(&self) -> Option<SchedulerKind> {
+        Some(self.kind)
+    }
+}
+
+type Registry = RwLock<BTreeMap<String, Arc<dyn SchedulerFactory>>>;
+
+/// The global policy registry, seeded with the builtin kinds.
+fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(|| {
+        let mut map: BTreeMap<String, Arc<dyn SchedulerFactory>> = BTreeMap::new();
+        for kind in SchedulerKind::BUILTINS {
+            let name = kind.to_string().to_lowercase();
+            map.insert(name.clone(), Arc::new(KindFactory { kind, name }));
+        }
+        RwLock::new(map)
+    })
+}
+
+/// Registers (or replaces) a policy factory under its
+/// case-insensitive [`SchedulerFactory::name`].
+pub fn register(factory: Arc<dyn SchedulerFactory>) {
+    let key = factory.name().to_lowercase();
+    registry().write().expect("scheduler registry poisoned").insert(key, factory);
+}
+
+/// Looks up a policy factory by case-insensitive name.
+#[must_use]
+pub fn by_name(name: &str) -> Option<Arc<dyn SchedulerFactory>> {
+    registry().read().expect("scheduler registry poisoned").get(&name.to_lowercase()).cloned()
+}
+
+/// The names of every registered policy, sorted.
+#[must_use]
+pub fn registered_names() -> Vec<String> {
+    registry().read().expect("scheduler registry poisoned").keys().cloned().collect()
+}
+
+/// How a `SimConfig` selects its scheduling policy: a builtin kind, or a
+/// registered policy by name.
+///
+/// Equality is semantic, not structural: `Named("ekya")`, `Named("Ekya")`,
+/// and `Kind(SchedulerKind::Ekya)` all select the same policy and compare
+/// equal — unless a custom factory has been [`register`]ed over the builtin
+/// name, in which case the name resolves to the custom policy.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum SchedulerSpec {
+    /// One of the paper's builtin policies.
+    Kind(SchedulerKind),
+    /// A policy resolved through the registry at session construction.
+    Named(String),
+}
+
+impl SchedulerSpec {
+    /// Instantiates the policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] if a named policy is not
+    /// registered.
+    pub fn create(&self, hyper: &Hyperparams) -> Result<Box<dyn Scheduler>> {
+        match self {
+            SchedulerSpec::Kind(kind) => Ok(kind.create(hyper)),
+            SchedulerSpec::Named(name) => by_name(name)
+                .map(|factory| factory.build(hyper))
+                .ok_or_else(|| CoreError::InvalidConfig {
+                    reason: format!(
+                        "unknown scheduler '{name}'; registered policies: {}",
+                        registered_names().join(", ")
+                    ),
+                }),
+        }
+    }
+
+    /// The builtin kind this spec selects, if any — including builtins
+    /// selected by name (`Named("ekya")` resolves to
+    /// `Some(SchedulerKind::Ekya)`). Resolution goes through the registry,
+    /// so a custom factory registered over a builtin name correctly reports
+    /// `None`.
+    #[must_use]
+    pub fn kind(&self) -> Option<SchedulerKind> {
+        match self {
+            SchedulerSpec::Kind(kind) => Some(*kind),
+            SchedulerSpec::Named(name) => by_name(name).and_then(|factory| factory.kind()),
+        }
+    }
+}
+
+impl PartialEq for SchedulerSpec {
+    fn eq(&self, other: &Self) -> bool {
+        match (self.kind(), other.kind()) {
+            (Some(a), Some(b)) => a == b,
+            (None, None) => match (self, other) {
+                (SchedulerSpec::Named(a), SchedulerSpec::Named(b)) => {
+                    a.to_lowercase() == b.to_lowercase()
+                }
+                _ => unreachable!("kind() is Some for every Kind variant"),
+            },
+            _ => false,
+        }
+    }
+}
+
+impl From<SchedulerKind> for SchedulerSpec {
+    fn from(kind: SchedulerKind) -> Self {
+        SchedulerSpec::Kind(kind)
+    }
+}
+
+impl From<&str> for SchedulerSpec {
+    fn from(name: &str) -> Self {
+        SchedulerSpec::Named(name.to_string())
+    }
+}
+
+impl From<String> for SchedulerSpec {
+    fn from(name: String) -> Self {
+        SchedulerSpec::Named(name)
+    }
+}
+
+impl PartialEq<SchedulerKind> for SchedulerSpec {
+    fn eq(&self, other: &SchedulerKind) -> bool {
+        self.kind() == Some(*other)
+    }
+}
+
+impl fmt::Display for SchedulerSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchedulerSpec::Kind(kind) => write!(f, "{kind}"),
+            SchedulerSpec::Named(name) => write!(f, "{name}"),
+        }
+    }
 }
 
 /// Detects drift per Algorithm 1 line 11: drift iff `acc_l - acc_v < V_thr`.
@@ -174,8 +382,12 @@ impl Spatiotemporal {
 }
 
 impl Scheduler for Spatiotemporal {
-    fn kind(&self) -> SchedulerKind {
-        SchedulerKind::DaCapoSpatiotemporal
+    fn name(&self) -> String {
+        SchedulerKind::DaCapoSpatiotemporal.to_string()
+    }
+
+    fn kind(&self) -> Option<SchedulerKind> {
+        Some(SchedulerKind::DaCapoSpatiotemporal)
     }
 
     fn next_action(&mut self, ctx: &SchedulerContext) -> Action {
@@ -186,7 +398,10 @@ impl Scheduler for Spatiotemporal {
                     // buffer can supply a training and validation draw.
                     let needed = self.hyper.validation_samples + self.hyper.batch_size;
                     if ctx.buffer_len < needed {
-                        return Action::Label { samples: self.hyper.label_samples, reset_buffer: false };
+                        return Action::Label {
+                            samples: self.hyper.label_samples,
+                            reset_buffer: false,
+                        };
                     }
                     self.next = CyclePoint::Label;
                     return Action::Retrain {
@@ -196,7 +411,10 @@ impl Scheduler for Spatiotemporal {
                 }
                 CyclePoint::Label => {
                     self.next = CyclePoint::DriftCheck;
-                    return Action::Label { samples: self.hyper.label_samples, reset_buffer: false };
+                    return Action::Label {
+                        samples: self.hyper.label_samples,
+                        reset_buffer: false,
+                    };
                 }
                 CyclePoint::DriftCheck => {
                     self.next = CyclePoint::Retrain;
@@ -245,8 +463,12 @@ impl SpatialOnly {
 }
 
 impl Scheduler for SpatialOnly {
-    fn kind(&self) -> SchedulerKind {
-        SchedulerKind::DaCapoSpatial
+    fn name(&self) -> String {
+        SchedulerKind::DaCapoSpatial.to_string()
+    }
+
+    fn kind(&self) -> Option<SchedulerKind> {
+        Some(SchedulerKind::DaCapoSpatial)
     }
 
     fn next_action(&mut self, ctx: &SchedulerContext) -> Action {
@@ -265,7 +487,10 @@ impl Scheduler for SpatialOnly {
                 if ctx.buffer_len < self.hyper.batch_size {
                     Action::Wait { seconds: (self.window_end() - ctx.now_s).max(0.1) }
                 } else {
-                    Action::Retrain { samples: self.hyper.retrain_samples, epochs: self.hyper.epochs }
+                    Action::Retrain {
+                        samples: self.hyper.retrain_samples,
+                        epochs: self.hyper.epochs,
+                    }
                 }
             }
             WindowStep::Idle => Action::Wait { seconds: (self.window_end() - ctx.now_s).max(0.1) },
@@ -316,8 +541,12 @@ impl Ekya {
 }
 
 impl Scheduler for Ekya {
-    fn kind(&self) -> SchedulerKind {
-        SchedulerKind::Ekya
+    fn name(&self) -> String {
+        SchedulerKind::Ekya.to_string()
+    }
+
+    fn kind(&self) -> Option<SchedulerKind> {
+        Some(SchedulerKind::Ekya)
     }
 
     fn next_action(&mut self, ctx: &SchedulerContext) -> Action {
@@ -339,7 +568,10 @@ impl Scheduler for Ekya {
                 if ctx.buffer_len < self.hyper.batch_size {
                     Action::Wait { seconds: (self.window_end() - ctx.now_s).max(0.1) }
                 } else {
-                    Action::Retrain { samples: self.hyper.retrain_samples, epochs: self.hyper.epochs }
+                    Action::Retrain {
+                        samples: self.hyper.retrain_samples,
+                        epochs: self.hyper.epochs,
+                    }
                 }
             }
             EkyaStep::Idle => Action::Wait { seconds: (self.window_end() - ctx.now_s).max(0.1) },
@@ -390,8 +622,12 @@ impl Eomu {
 }
 
 impl Scheduler for Eomu {
-    fn kind(&self) -> SchedulerKind {
-        SchedulerKind::Eomu
+    fn name(&self) -> String {
+        SchedulerKind::Eomu.to_string()
+    }
+
+    fn kind(&self) -> Option<SchedulerKind> {
+        Some(SchedulerKind::Eomu)
     }
 
     fn next_action(&mut self, ctx: &SchedulerContext) -> Action {
@@ -500,7 +736,7 @@ mod tests {
         let calm = ctx(10.0, 400, Some(0.8), Some(0.82));
         let _ = sched.next_action(&calm); // retrain
         let _ = sched.next_action(&calm); // label
-        // Fresh labels score far below validation: drift.
+                                          // Fresh labels score far below validation: drift.
         let drifted = ctx(20.0, 400, Some(0.8), Some(0.4));
         match sched.next_action(&drifted) {
             Action::Label { samples, reset_buffer } => {
@@ -566,14 +802,114 @@ mod tests {
             Action::Retrain { .. }
         ));
         // Window 1: accuracy holds, so after labeling it only waits.
-        assert!(matches!(sched.next_action(&ctx(10.5, 400, Some(0.8), Some(0.8))), Action::Label { .. }));
-        assert!(matches!(sched.next_action(&ctx(11.0, 400, Some(0.8), Some(0.8))), Action::Wait { .. }));
+        assert!(matches!(
+            sched.next_action(&ctx(10.5, 400, Some(0.8), Some(0.8))),
+            Action::Label { .. }
+        ));
+        assert!(matches!(
+            sched.next_action(&ctx(11.0, 400, Some(0.8), Some(0.8))),
+            Action::Wait { .. }
+        ));
         // Window 2: accuracy collapses, retraining triggers again.
-        assert!(matches!(sched.next_action(&ctx(20.5, 400, Some(0.8), Some(0.5))), Action::Label { .. }));
+        assert!(matches!(
+            sched.next_action(&ctx(20.5, 400, Some(0.8), Some(0.5))),
+            Action::Label { .. }
+        ));
         assert!(matches!(
             sched.next_action(&ctx(21.0, 400, Some(0.8), Some(0.5))),
             Action::Retrain { .. }
         ));
+    }
+
+    #[test]
+    fn builtin_policies_are_registered_by_display_name() {
+        for kind in SchedulerKind::BUILTINS {
+            let factory = by_name(&kind.to_string()).expect("builtin registered");
+            let scheduler = factory.build(&Hyperparams::default());
+            assert_eq!(scheduler.kind(), Some(kind));
+            assert_eq!(scheduler.name(), kind.to_string());
+        }
+        // Lookup is case-insensitive.
+        assert!(by_name("EKYA").is_some());
+        assert!(by_name("no-such-policy").is_none());
+        assert!(registered_names().len() >= 5);
+    }
+
+    #[test]
+    fn external_factories_plug_in_through_the_registry() {
+        /// A policy no builtin enum variant knows about: it only ever waits.
+        struct Lazy;
+        impl Scheduler for Lazy {
+            fn name(&self) -> String {
+                "Lazy".to_string()
+            }
+            fn next_action(&mut self, _ctx: &SchedulerContext) -> Action {
+                Action::Wait { seconds: 60.0 }
+            }
+        }
+        struct LazyFactory;
+        impl SchedulerFactory for LazyFactory {
+            fn name(&self) -> &str {
+                "lazy"
+            }
+            fn build(&self, _hyper: &Hyperparams) -> Box<dyn Scheduler> {
+                Box::new(Lazy)
+            }
+        }
+
+        register(Arc::new(LazyFactory));
+        let spec = SchedulerSpec::from("lazy");
+        // Custom factories report no builtin kind, so name-selected custom
+        // policies never masquerade as builtins in kind-based branches.
+        assert_eq!(spec.kind(), None);
+        let mut scheduler = spec.create(&Hyperparams::default()).unwrap();
+        assert_eq!(scheduler.name(), "Lazy");
+        assert_eq!(scheduler.kind(), None);
+        assert!(matches!(
+            scheduler.next_action(&ctx(0.0, 0, None, None)),
+            Action::Wait { seconds } if seconds == 60.0
+        ));
+    }
+
+    #[test]
+    fn named_specs_fail_cleanly_for_unknown_policies() {
+        let spec = SchedulerSpec::Named("does-not-exist".to_string());
+        let err = match spec.create(&Hyperparams::default()) {
+            Err(err) => err,
+            Ok(_) => panic!("unknown policy must not resolve"),
+        };
+        assert!(err.to_string().contains("does-not-exist"), "{err}");
+        assert!(err.to_string().contains("registered policies"), "{err}");
+    }
+
+    #[test]
+    fn specs_compare_against_kinds_and_display_like_them() {
+        let spec = SchedulerSpec::from(SchedulerKind::Ekya);
+        assert_eq!(spec, SchedulerKind::Ekya);
+        assert_ne!(spec, SchedulerKind::Eomu);
+        assert_eq!(spec.to_string(), "Ekya");
+        assert_eq!(spec.kind(), Some(SchedulerKind::Ekya));
+        let named = SchedulerSpec::from("custom-policy");
+        assert_eq!(named.kind(), None);
+        assert_eq!(named.to_string(), "custom-policy");
+        assert_ne!(named, SchedulerKind::Ekya);
+    }
+
+    #[test]
+    fn spec_equality_is_semantic_across_kind_and_name_forms() {
+        // A builtin selected by name resolves to its kind and compares equal
+        // to the kind form, case-insensitively.
+        assert_eq!(SchedulerSpec::from("ekya").kind(), Some(SchedulerKind::Ekya));
+        assert_eq!(SchedulerSpec::from("Ekya"), SchedulerKind::Ekya);
+        assert_eq!(SchedulerSpec::from("ekya"), SchedulerSpec::Kind(SchedulerKind::Ekya));
+        assert_eq!(
+            SchedulerSpec::from("DaCapo-Spatiotemporal"),
+            SchedulerSpec::Kind(SchedulerKind::DaCapoSpatiotemporal)
+        );
+        // Custom names compare case-insensitively against each other.
+        assert_eq!(SchedulerSpec::from("My-Policy"), SchedulerSpec::from("my-policy"));
+        assert_ne!(SchedulerSpec::from("my-policy"), SchedulerSpec::from("other-policy"));
+        assert_ne!(SchedulerSpec::from("my-policy"), SchedulerSpec::Kind(SchedulerKind::Ekya));
     }
 
     #[test]

@@ -1,21 +1,17 @@
-//! The end-to-end continuous-learning system simulator.
+//! The one-shot simulation façade and the collected run metrics.
 //!
-//! The simulator walks a drifting scenario's timeline, letting the configured
-//! scheduler decide how the retraining/labeling resources are spent while the
-//! inference resources classify every streamed frame. Kernel durations come
-//! from the platform rates (DaCapo sub-accelerator cycle model or GPU
-//! roofline), accuracy comes from actually running the student network on the
-//! synthetic stream, and drift detection follows Algorithm 1.
+//! The actual execution engine lives in [`crate::session`]: a re-entrant
+//! [`Session`](crate::Session) stepped event by event. [`ClSimulator`] is the
+//! batch-style compatibility wrapper — it builds a session, steps it to
+//! completion, and hands back the final [`SimResult`]. Code that wants
+//! mid-run visibility (observers, multi-camera drivers, custom control
+//! loops) should use [`Session`](crate::Session) or
+//! [`Fleet`](crate::Fleet) directly.
 
-use crate::buffer::{LabeledSample, SampleBuffer};
 use crate::config::SimConfig;
-use crate::platform::PlatformRates;
-use crate::sched::{Action, Scheduler, SchedulerContext, SchedulerKind};
-use crate::student::StudentModel;
-use crate::{CoreError, Result};
-use dacapo_datagen::{Frame, FrameStream};
+use crate::session::Session;
+use crate::Result;
 use dacapo_dnn::zoo::ModelPair;
-use dacapo_dnn::TeacherOracle;
 use serde::{Deserialize, Serialize};
 
 /// What a phase spent its time on.
@@ -54,8 +50,9 @@ pub struct SimResult {
     pub scenario: String,
     /// Model pair evaluated.
     pub pair: ModelPair,
-    /// Scheduler used.
-    pub scheduler: SchedulerKind,
+    /// Name of the scheduling policy used (a builtin kind's display name, or
+    /// a registered custom policy's name).
+    pub scheduler: String,
     /// `(time, accuracy)` samples along the run; accuracy already accounts
     /// for dropped frames (counted as incorrect).
     pub accuracy_timeline: Vec<(f64, f64)>,
@@ -81,12 +78,13 @@ impl SimResult {
     /// Accuracy averaged over fixed windows (Figure 10 uses 15-second
     /// windows), returned as `(window end time, accuracy)`.
     ///
-    /// # Panics
-    ///
-    /// Panics if `window_s` is not positive.
+    /// A non-positive or non-finite `window_s` defines no windows, so the
+    /// returned vector is empty.
     #[must_use]
     pub fn windowed_accuracy(&self, window_s: f64) -> Vec<(f64, f64)> {
-        assert!(window_s > 0.0, "window must be positive");
+        if window_s <= 0.0 || !window_s.is_finite() {
+            return Vec::new();
+        }
         let mut out = Vec::new();
         let mut window_end = window_s;
         let mut acc = Vec::new();
@@ -129,76 +127,36 @@ impl SimResult {
     }
 }
 
-/// The end-to-end continuous-learning simulator.
+/// The end-to-end continuous-learning simulator: a thin one-shot wrapper over
+/// [`Session`].
 ///
 /// See the crate-level example for typical usage.
 pub struct ClSimulator {
-    config: SimConfig,
-    stream: FrameStream,
-    student: StudentModel,
-    teacher: TeacherOracle,
-    buffer: SampleBuffer,
-    scheduler: Box<dyn Scheduler>,
+    session: Session,
 }
 
-/// Smallest phase duration the simulator will schedule, to guarantee forward
-/// progress even when a platform rate is enormous.
-const MIN_PHASE_SECONDS: f64 = 0.05;
-
 impl ClSimulator {
-    /// Builds a simulator: constructs the stream, pre-trains the student on
-    /// the general (mixed-context) distribution, and instantiates the
-    /// scheduler.
+    /// Builds a simulator (equivalently: a [`Session`]).
     ///
     /// # Errors
     ///
-    /// Returns [`CoreError::InvalidConfig`] if the configuration is invalid.
+    /// Returns [`CoreError::InvalidConfig`](crate::CoreError::InvalidConfig)
+    /// if the configuration is invalid.
     pub fn new(config: SimConfig) -> Result<Self> {
-        config.validate()?;
-        let stream = FrameStream::new(&config.scenario, config.stream);
-        let mut student = StudentModel::new(
-            config.stream.feature_dim,
-            config.platform.inference_quant,
-            config.platform.training_quant,
-            config.hyper.learning_rate,
-            config.hyper.batch_size,
-            config.seed,
-        )?;
-        let teacher = TeacherOracle::new(
-            dacapo_datagen::NUM_CLASSES,
-            config.teacher_accuracy,
-            config.seed.wrapping_add(1),
-        );
-
-        // Pre-deployment training on the "general dataset": samples spread
-        // uniformly over the whole scenario (every context appears), labeled
-        // with ground truth, as the paper assumes pre-trained models.
-        if config.pretrain_samples > 0 {
-            let stride = (stream.num_frames() / config.pretrain_samples.max(1) as u64).max(1);
-            let pretrain: Vec<LabeledSample> = (0..stream.num_frames())
-                .step_by(stride as usize)
-                .map(|i| {
-                    let frame = stream.frame_at(i);
-                    LabeledSample {
-                        features: frame.sample.features,
-                        teacher_label: frame.sample.true_class,
-                        true_class: frame.sample.true_class,
-                        timestamp_s: frame.timestamp_s,
-                    }
-                })
-                .collect();
-            student.retrain(&pretrain, 2)?;
-        }
-
-        let buffer = SampleBuffer::new(config.hyper.buffer_capacity);
-        let scheduler = config.scheduler.create(&config.hyper);
-        Ok(Self { config, stream, student, teacher, buffer, scheduler })
+        Ok(Self { session: Session::new(config)? })
     }
 
     /// The configuration this simulator was built from.
     #[must_use]
     pub fn config(&self) -> &SimConfig {
-        &self.config
+        self.session.config()
+    }
+
+    /// The underlying re-entrant session, for callers that want to switch to
+    /// stepping mid-way.
+    #[must_use]
+    pub fn into_session(self) -> Session {
+        self.session
     }
 
     /// Runs the full scenario and returns the collected metrics.
@@ -207,208 +165,26 @@ impl ClSimulator {
     ///
     /// Returns an error if a kernel invocation fails (which indicates a
     /// configuration inconsistency, such as mismatched feature dimensions).
-    pub fn run(mut self) -> Result<SimResult> {
-        let duration = self.config.scenario.duration_s();
-        let fps = self.config.stream.fps;
-        let platform: PlatformRates = self.config.platform.clone();
-        let drop_rate = platform.frame_drop_rate(fps);
-
-        let mut now = 0.0f64;
-        let mut next_measure = 0.0f64;
-        let mut timeline: Vec<(f64, f64)> = Vec::new();
-        let mut phases: Vec<PhaseRecord> = Vec::new();
-        let mut last_validation: Option<f64> = None;
-        let mut last_labeling: Option<f64> = None;
-        let mut drift_responses = 0usize;
-        let mut phase_seed = self.config.seed;
-
-        while now < duration {
-            let ctx = SchedulerContext {
-                now_s: now,
-                buffer_len: self.buffer.len(),
-                buffer_capacity: self.buffer.capacity(),
-                last_validation_accuracy: last_validation,
-                last_labeling_accuracy: last_labeling,
-            };
-            let action = self.scheduler.next_action(&ctx);
-            phase_seed = phase_seed.wrapping_add(0x9e37_79b9);
-
-            match action {
-                Action::Label { samples, reset_buffer } => {
-                    if reset_buffer {
-                        self.buffer.reset();
-                        drift_responses += 1;
-                    }
-                    let rate = platform.effective_labeling_sps(fps);
-                    if rate <= f64::EPSILON {
-                        // Labeling is starved out entirely (e.g. an overloaded
-                        // GPU); burn the rest of the scenario waiting.
-                        let wait = (duration - now).max(MIN_PHASE_SECONDS);
-                        self.measure(&mut timeline, &mut next_measure, now + wait, drop_rate)?;
-                        phases.push(PhaseRecord {
-                            kind: PhaseKind::Wait,
-                            start_s: now,
-                            duration_s: wait,
-                            samples: 0,
-                            drift_response: reset_buffer,
-                        });
-                        now += wait;
-                        continue;
-                    }
-                    let ideal_duration = samples.max(1) as f64 / rate;
-                    let phase_duration = ideal_duration.clamp(MIN_PHASE_SECONDS, duration - now);
-                    let actual_samples =
-                        ((phase_duration * rate).floor() as usize).clamp(1, samples.max(1));
-
-                    // Spread the labeled samples over the phase's time range.
-                    let step = ((phase_duration * fps) as u64 / actual_samples as u64).max(1);
-                    let frames = self.stream.frames_between(now, now + phase_duration, step);
-                    let selected: Vec<Frame> = frames.into_iter().take(actual_samples).collect();
-                    let labeled: Vec<LabeledSample> = selected
-                        .iter()
-                        .map(|frame| LabeledSample {
-                            features: frame.sample.features.clone(),
-                            teacher_label: self
-                                .teacher
-                                .label(frame.sample.true_class, frame.attributes.difficulty()),
-                            true_class: frame.sample.true_class,
-                            timestamp_s: frame.timestamp_s,
-                        })
-                        .collect();
-                    // acc_l: the current student's accuracy on the freshly
-                    // labeled data, judged by the teacher's labels.
-                    last_labeling = Some(self.student.accuracy_on_samples(&labeled)?);
-                    self.buffer.extend(labeled);
-
-                    self.measure(&mut timeline, &mut next_measure, now + phase_duration, drop_rate)?;
-                    phases.push(PhaseRecord {
-                        kind: PhaseKind::Label,
-                        start_s: now,
-                        duration_s: phase_duration,
-                        samples: actual_samples,
-                        drift_response: reset_buffer,
-                    });
-                    now += phase_duration;
-                }
-                Action::Retrain { samples, epochs } => {
-                    let (train, validation) = self.buffer.draw(
-                        samples,
-                        self.config.hyper.validation_samples,
-                        phase_seed,
-                    );
-                    if train.is_empty() {
-                        let wait = MIN_PHASE_SECONDS.max(1.0);
-                        self.measure(&mut timeline, &mut next_measure, now + wait, drop_rate)?;
-                        phases.push(PhaseRecord {
-                            kind: PhaseKind::Wait,
-                            start_s: now,
-                            duration_s: wait,
-                            samples: 0,
-                            drift_response: false,
-                        });
-                        now += wait;
-                        continue;
-                    }
-                    let presentations = train.len() * epochs.max(1);
-                    let rate = platform.effective_retraining_sps(fps);
-                    let phase_duration = if rate <= f64::EPSILON {
-                        duration - now
-                    } else {
-                        (presentations as f64 / rate).clamp(MIN_PHASE_SECONDS, duration - now)
-                    };
-
-                    // The old model keeps serving inference during retraining;
-                    // the updated weights deploy when the phase completes.
-                    self.measure(&mut timeline, &mut next_measure, now + phase_duration, drop_rate)?;
-                    self.student.retrain(&train, epochs.max(1))?;
-                    last_validation = Some(self.student.accuracy_on_samples(&validation)?);
-
-                    phases.push(PhaseRecord {
-                        kind: PhaseKind::Retrain,
-                        start_s: now,
-                        duration_s: phase_duration,
-                        samples: presentations,
-                        drift_response: false,
-                    });
-                    now += phase_duration;
-                }
-                Action::Wait { seconds } => {
-                    let wait = seconds.clamp(MIN_PHASE_SECONDS, duration - now);
-                    self.measure(&mut timeline, &mut next_measure, now + wait, drop_rate)?;
-                    phases.push(PhaseRecord {
-                        kind: PhaseKind::Wait,
-                        start_s: now,
-                        duration_s: wait,
-                        samples: 0,
-                        drift_response: false,
-                    });
-                    now += wait;
-                }
-            }
-        }
-
-        // Flush any remaining measurement points.
-        self.measure(&mut timeline, &mut next_measure, duration, drop_rate)?;
-
-        let mean_accuracy = if timeline.is_empty() {
-            0.0
-        } else {
-            timeline.iter().map(|(_, a)| a).sum::<f64>() / timeline.len() as f64
-        };
-        Ok(SimResult {
-            system: format!("{} / {}", platform.name, self.scheduler.kind()),
-            scenario: self.config.scenario.name().to_string(),
-            pair: self.config.pair,
-            scheduler: self.scheduler.kind(),
-            accuracy_timeline: timeline,
-            mean_accuracy,
-            frame_drop_rate: drop_rate,
-            energy_joules: platform.energy_joules(duration),
-            power_watts: platform.power_watts,
-            phases,
-            drift_responses,
-            duration_s: duration,
-        })
-    }
-
-    /// Records accuracy measurements at every measurement point in
-    /// `[next_measure, until)` using the student's current weights.
-    fn measure(
-        &self,
-        timeline: &mut Vec<(f64, f64)>,
-        next_measure: &mut f64,
-        until: f64,
-        drop_rate: f64,
-    ) -> Result<()> {
-        let interval = self.config.measure_interval_s;
-        let frames_wanted = self.config.eval_frames_per_measurement as u64;
-        while *next_measure < until && *next_measure < self.config.scenario.duration_s() {
-            let window_frames = (interval * self.config.stream.fps) as u64;
-            let step = (window_frames / frames_wanted.max(1)).max(1);
-            let frames = self.stream.frames_between(*next_measure, *next_measure + interval, step);
-            if frames.is_empty() {
-                return Err(CoreError::InvalidConfig {
-                    reason: "measurement interval produced no evaluation frames".into(),
-                });
-            }
-            let accuracy = self.student.accuracy_on_frames(&frames)?;
-            timeline.push((*next_measure, accuracy * (1.0 - drop_rate)));
-            *next_measure += interval;
-        }
-        Ok(())
+    pub fn run(self) -> Result<SimResult> {
+        let mut session = self.session;
+        session.run_to_end()?;
+        Ok(session.into_result())
     }
 }
 
+/// Shared fixtures for the core crate's unit tests.
 #[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::platform::PlatformKind;
+pub(crate) mod test_support {
+    use crate::config::SimConfig;
+    use crate::platform::PlatformRates;
+    use crate::sched::SchedulerKind;
     use dacapo_datagen::{Scenario, Segment, SegmentAttributes};
+    use dacapo_dnn::zoo::ModelPair;
     use dacapo_dnn::QuantMode;
 
     /// A short two-segment scenario with one label-distribution drift, to keep
     /// unit-test simulations fast.
-    fn short_scenario() -> Scenario {
+    pub(crate) fn short_scenario() -> Scenario {
         let first = SegmentAttributes::default();
         let second = SegmentAttributes {
             labels: dacapo_datagen::LabelDistribution::All,
@@ -424,7 +200,7 @@ mod tests {
         )
     }
 
-    fn fast_rates(name: &str) -> PlatformRates {
+    pub(crate) fn fast_rates(name: &str) -> PlatformRates {
         PlatformRates {
             name: name.to_string(),
             inference_fps_capacity: 120.0,
@@ -439,7 +215,7 @@ mod tests {
         }
     }
 
-    fn short_config(scheduler: SchedulerKind) -> SimConfig {
+    pub(crate) fn short_config(scheduler: SchedulerKind) -> SimConfig {
         SimConfig::builder(short_scenario(), ModelPair::ResNet18Wrn50)
             .platform_rates(fast_rates("test"))
             .scheduler(scheduler)
@@ -448,6 +224,15 @@ mod tests {
             .build()
             .unwrap()
     }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::test_support::{fast_rates, short_config, short_scenario};
+    use super::*;
+    use crate::platform::PlatformKind;
+    use crate::sched::SchedulerKind;
+    use dacapo_dnn::zoo::ModelPair;
 
     #[test]
     fn simulation_produces_complete_timeline_and_phases() {
@@ -540,6 +325,30 @@ mod tests {
         for (_, acc) in windows {
             assert!((0.0..=1.0).contains(&acc));
         }
+    }
+
+    #[test]
+    fn windowed_accuracy_handles_degenerate_windows() {
+        let result = SimResult {
+            system: "test".into(),
+            scenario: "test".into(),
+            pair: ModelPair::ResNet18Wrn50,
+            scheduler: SchedulerKind::DaCapoSpatiotemporal.to_string(),
+            accuracy_timeline: vec![(0.0, 0.5), (5.0, 0.7)],
+            mean_accuracy: 0.6,
+            frame_drop_rate: 0.0,
+            energy_joules: 1.0,
+            power_watts: 1.0,
+            phases: Vec::new(),
+            drift_responses: 0,
+            duration_s: 10.0,
+        };
+        assert!(result.windowed_accuracy(0.0).is_empty());
+        assert!(result.windowed_accuracy(-15.0).is_empty());
+        assert!(result.windowed_accuracy(f64::NAN).is_empty());
+        assert!(result.windowed_accuracy(f64::INFINITY).is_empty());
+        // A sane window still works on the same result.
+        assert_eq!(result.windowed_accuracy(10.0).len(), 1);
     }
 
     #[test]

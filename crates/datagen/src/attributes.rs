@@ -220,7 +220,9 @@ mod tests {
         for labels in [LabelDistribution::TrafficOnly, LabelDistribution::All] {
             for time in [TimeOfDay::Daytime, TimeOfDay::Night] {
                 for location in [Location::City, Location::Highway] {
-                    for weather in [Weather::Clear, Weather::Overcast, Weather::Snowy, Weather::Rainy] {
+                    for weather in
+                        [Weather::Clear, Weather::Overcast, Weather::Snowy, Weather::Rainy]
+                    {
                         let attrs = SegmentAttributes { labels, time, location, weather };
                         assert!(ids.insert(attrs.context_id()), "duplicate id for {attrs}");
                     }

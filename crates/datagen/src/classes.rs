@@ -75,7 +75,10 @@ impl ObjectClass {
     pub fn is_vulnerable_road_user(self) -> bool {
         matches!(
             self,
-            ObjectClass::Pedestrian | ObjectClass::Bicycle | ObjectClass::Motorcycle | ObjectClass::Rider
+            ObjectClass::Pedestrian
+                | ObjectClass::Bicycle
+                | ObjectClass::Motorcycle
+                | ObjectClass::Rider
         )
     }
 }
@@ -105,9 +108,7 @@ impl fmt::Display for ObjectClass {
 pub fn class_prior(attrs: &SegmentAttributes) -> [f64; NUM_CLASSES] {
     // Base mix: cars dominate, infrastructure is common, everything else rare.
     let mut prior = match attrs.labels {
-        LabelDistribution::TrafficOnly => {
-            [0.46, 0.12, 0.07, 0.17, 0.16, 0.0, 0.0, 0.0, 0.0, 0.02]
-        }
+        LabelDistribution::TrafficOnly => [0.46, 0.12, 0.07, 0.17, 0.16, 0.0, 0.0, 0.0, 0.0, 0.02],
         LabelDistribution::All => [0.30, 0.09, 0.05, 0.12, 0.12, 0.17, 0.06, 0.04, 0.04, 0.01],
     };
 
@@ -152,7 +153,8 @@ mod tests {
         for labels in [LabelDistribution::TrafficOnly, LabelDistribution::All] {
             for time in [TimeOfDay::Daytime, TimeOfDay::Night] {
                 for location in [Location::City, Location::Highway] {
-                    let attrs = SegmentAttributes { labels, time, location, weather: Weather::Clear };
+                    let attrs =
+                        SegmentAttributes { labels, time, location, weather: Weather::Clear };
                     let prior = class_prior(&attrs);
                     let sum: f64 = prior.iter().sum();
                     assert!((sum - 1.0).abs() < 1e-9, "{attrs}: prior sums to {sum}");
@@ -175,20 +177,23 @@ mod tests {
 
     #[test]
     fn all_distribution_includes_pedestrians() {
-        let attrs = SegmentAttributes { labels: LabelDistribution::All, ..SegmentAttributes::default() };
+        let attrs =
+            SegmentAttributes { labels: LabelDistribution::All, ..SegmentAttributes::default() };
         let prior = class_prior(&attrs);
         assert!(prior[ObjectClass::Pedestrian.index()] > 0.05);
     }
 
     #[test]
     fn highways_have_more_trucks_and_fewer_pedestrians() {
-        let city = SegmentAttributes { labels: LabelDistribution::All, ..SegmentAttributes::default() };
+        let city =
+            SegmentAttributes { labels: LabelDistribution::All, ..SegmentAttributes::default() };
         let highway = SegmentAttributes { location: Location::Highway, ..city };
         let city_prior = class_prior(&city);
         let highway_prior = class_prior(&highway);
         assert!(highway_prior[ObjectClass::Truck.index()] > city_prior[ObjectClass::Truck.index()]);
         assert!(
-            highway_prior[ObjectClass::Pedestrian.index()] < city_prior[ObjectClass::Pedestrian.index()]
+            highway_prior[ObjectClass::Pedestrian.index()]
+                < city_prior[ObjectClass::Pedestrian.index()]
         );
     }
 

@@ -34,7 +34,9 @@ mod classes;
 mod scenario;
 mod stream;
 
-pub use attributes::{DriftKind, LabelDistribution, Location, SegmentAttributes, TimeOfDay, Weather};
+pub use attributes::{
+    DriftKind, LabelDistribution, Location, SegmentAttributes, TimeOfDay, Weather,
+};
 pub use classes::{class_prior, ObjectClass, NUM_CLASSES};
 pub use scenario::{Scenario, Segment};
 pub use stream::{Frame, FrameStream, Sample, StreamConfig};

@@ -51,10 +51,7 @@ impl Scenario {
     #[must_use]
     pub fn from_segments(name: impl Into<String>, segments: Vec<Segment>) -> Self {
         assert!(!segments.is_empty(), "a scenario needs at least one segment");
-        assert!(
-            segments.iter().all(|s| s.duration_s > 0.0),
-            "segment durations must be positive"
-        );
+        assert!(segments.iter().all(|s| s.duration_s > 0.0), "segment durations must be positive");
         Self { name: name.into(), segments }
     }
 
@@ -249,9 +246,7 @@ fn build(name: &str, weather: Weather, drifts: &[DriftKind]) -> Scenario {
 
     let mut segments = Vec::with_capacity(num_segments);
     for index in 0..num_segments {
-        let toggled = |kind: DriftKind| {
-            drifts.contains(&kind) && (index / period(kind)) % 2 == 1
-        };
+        let toggled = |kind: DriftKind| drifts.contains(&kind) && (index / period(kind)) % 2 == 1;
         let attributes = SegmentAttributes {
             labels: if toggled(DriftKind::LabelDistribution) {
                 LabelDistribution::All
@@ -276,10 +271,7 @@ mod tests {
         for scenario in Scenario::all() {
             assert!((scenario.duration_s() - 1200.0).abs() < 1e-9, "{}", scenario.name());
             assert_eq!(scenario.segments().len(), 20, "{}", scenario.name());
-            assert!(scenario
-                .segments()
-                .iter()
-                .all(|s| (s.duration_s - 60.0).abs() < 1e-9));
+            assert!(scenario.segments().iter().all(|s| (s.duration_s - 60.0).abs() < 1e-9));
         }
     }
 
@@ -305,7 +297,10 @@ mod tests {
     #[test]
     fn weather_matches_table2_for_fixed_weather_scenarios() {
         assert!(Scenario::s1().segments().iter().all(|s| s.attributes.weather == Weather::Clear));
-        assert!(Scenario::s2().segments().iter().all(|s| s.attributes.weather == Weather::Overcast));
+        assert!(Scenario::s2()
+            .segments()
+            .iter()
+            .all(|s| s.attributes.weather == Weather::Overcast));
         assert!(Scenario::s4().segments().iter().all(|s| s.attributes.weather == Weather::Snowy));
         assert!(Scenario::s6().segments().iter().all(|s| s.attributes.weather == Weather::Rainy));
     }

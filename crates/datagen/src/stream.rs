@@ -124,7 +124,7 @@ impl FrameStream {
         let mut rng = StdRng::seed_from_u64(
             self.config
                 .seed
-                .wrapping_add(0x51_7cc1_b727_220a_95)
+                .wrapping_add(0x517c_c1b7_2722_0a95)
                 .wrapping_mul(attributes.context_id() + 1),
         );
         // Swap a handful of class pairs per context (scaled by the configured
@@ -157,7 +157,7 @@ impl FrameStream {
         let mut context_rng = StdRng::seed_from_u64(
             self.config
                 .seed
-                .wrapping_add(0x51_7cc1_b727_220a_95)
+                .wrapping_add(0x517c_c1b7_2722_0a95)
                 .wrapping_mul(attributes.context_id() + 1)
                 .wrapping_add(class as u64 * 7919),
         );
@@ -176,7 +176,9 @@ impl FrameStream {
     pub fn frame_at(&self, index: u64) -> Frame {
         let timestamp_s = index as f64 / self.config.fps;
         let attributes = self.scenario.attributes_at(timestamp_s);
-        let mut rng = StdRng::seed_from_u64(self.config.seed.wrapping_mul(0x100_0000_01b3).wrapping_add(index));
+        let mut rng = StdRng::seed_from_u64(
+            self.config.seed.wrapping_mul(0x100_0000_01b3).wrapping_add(index),
+        );
 
         // Draw the class from the segment's label distribution.
         let prior = class_prior(&attributes);
@@ -300,7 +302,8 @@ mod tests {
             for b in (a + 1)..NUM_CLASSES {
                 let ca = s.class_center(a, &attrs);
                 let cb = s.class_center(b, &attrs);
-                let dist: f32 = ca.iter().zip(&cb).map(|(x, y)| (x - y).powi(2)).sum::<f32>().sqrt();
+                let dist: f32 =
+                    ca.iter().zip(&cb).map(|(x, y)| (x - y).powi(2)).sum::<f32>().sqrt();
                 assert!(dist > 0.5, "classes {a} and {b} nearly collide ({dist})");
             }
         }

@@ -31,7 +31,9 @@ pub enum DnnError {
 impl fmt::Display for DnnError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            DnnError::InvalidConfig { reason } => write!(f, "invalid network configuration: {reason}"),
+            DnnError::InvalidConfig { reason } => {
+                write!(f, "invalid network configuration: {reason}")
+            }
             DnnError::DimensionMismatch { expected, got } => {
                 write!(f, "input dimension mismatch: network expects {expected}, got {got}")
             }

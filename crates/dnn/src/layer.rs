@@ -89,10 +89,17 @@ impl Dense {
     /// # Errors
     ///
     /// Returns [`DnnError::InvalidConfig`] if either dimension is zero.
-    pub fn new(input_dim: usize, output_dim: usize, activation: Activation, seed: u64) -> Result<Self> {
+    pub fn new(
+        input_dim: usize,
+        output_dim: usize,
+        activation: Activation,
+        seed: u64,
+    ) -> Result<Self> {
         if input_dim == 0 || output_dim == 0 {
             return Err(DnnError::InvalidConfig {
-                reason: format!("dense layer dimensions must be positive, got {input_dim}x{output_dim}"),
+                reason: format!(
+                    "dense layer dimensions must be positive, got {input_dim}x{output_dim}"
+                ),
             });
         }
         Ok(Self {
@@ -136,7 +143,11 @@ impl Dense {
     ///
     /// Returns [`DnnError::DimensionMismatch`] if `x.cols()` differs from the
     /// layer input dimension.
-    pub fn forward(&self, x: &Matrix, precision: Option<MxPrecision>) -> Result<(Matrix, ForwardCache)> {
+    pub fn forward(
+        &self,
+        x: &Matrix,
+        precision: Option<MxPrecision>,
+    ) -> Result<(Matrix, ForwardCache)> {
         if x.cols() != self.input_dim() {
             return Err(DnnError::DimensionMismatch { expected: self.input_dim(), got: x.cols() });
         }
@@ -168,10 +179,9 @@ impl Dense {
         let delta = self.activation.backward(&cache.pre_activation, upstream)?;
         let (input_t, weights_t) = (ops::transpose(&cache.input), ops::transpose(&self.weights));
         let (d_weights, d_input) = match precision {
-            Some(p) => (
-                quant::mx_matmul(&input_t, &delta, p)?,
-                quant::mx_matmul(&delta, &weights_t, p)?,
-            ),
+            Some(p) => {
+                (quant::mx_matmul(&input_t, &delta, p)?, quant::mx_matmul(&delta, &weights_t, p)?)
+            }
             None => (ops::matmul(&input_t, &delta)?, ops::matmul(&delta, &weights_t)?),
         };
         let d_bias = ops::sum_rows(&delta);

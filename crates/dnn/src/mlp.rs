@@ -122,13 +122,20 @@ impl Mlp {
                 reason: "input dimension and class count must be positive".into(),
             });
         }
-        if config.hidden.iter().any(|&h| h == 0) {
-            return Err(DnnError::InvalidConfig { reason: "hidden layer sizes must be positive".into() });
+        if config.hidden.contains(&0) {
+            return Err(DnnError::InvalidConfig {
+                reason: "hidden layer sizes must be positive".into(),
+            });
         }
         let mut layers = Vec::with_capacity(config.hidden.len() + 1);
         let mut previous = config.input_dim;
         for (i, &width) in config.hidden.iter().enumerate() {
-            layers.push(Dense::new(previous, width, Activation::Relu, config.seed.wrapping_add(i as u64))?);
+            layers.push(Dense::new(
+                previous,
+                width,
+                Activation::Relu,
+                config.seed.wrapping_add(i as u64),
+            )?);
             previous = width;
         }
         layers.push(Dense::new(
@@ -155,10 +162,7 @@ impl Mlp {
     /// Forward FLOPs (multiply-accumulate count) per sample.
     #[must_use]
     pub fn flops_per_sample(&self) -> u64 {
-        self.layers
-            .iter()
-            .map(|l| (l.input_dim() * l.output_dim()) as u64)
-            .sum()
+        self.layers.iter().map(|l| (l.input_dim() * l.output_dim()) as u64).sum()
     }
 
     /// Runs a forward pass in the given mode and returns the logits.
@@ -229,7 +233,9 @@ impl Mlp {
         learning_rate: f32,
     ) -> Result<TrainReport> {
         if batch_size == 0 || epochs == 0 {
-            return Err(DnnError::InvalidConfig { reason: "epochs and batch size must be positive".into() });
+            return Err(DnnError::InvalidConfig {
+                reason: "epochs and batch size must be positive".into(),
+            });
         }
         if labels.len() != features.rows() {
             return Err(DnnError::InvalidLabels {
@@ -250,10 +256,12 @@ impl Mlp {
                 let batch = Matrix::from_rows(&batch_rows)?;
                 let batch_labels = &labels[start..end];
 
-                let (logits, caches) = self.forward_with_caches(&batch, self.config.training_mode)?;
+                let (logits, caches) =
+                    self.forward_with_caches(&batch, self.config.training_mode)?;
                 let (batch_loss, grad) = loss::cross_entropy(&logits, batch_labels)?;
                 total_loss += f64::from(batch_loss);
-                total_correct += (loss::accuracy(&logits, batch_labels)? * batch_labels.len() as f32)
+                total_correct += (loss::accuracy(&logits, batch_labels)?
+                    * batch_labels.len() as f32)
                     .round() as usize;
                 total_samples += batch_labels.len();
                 batches += 1;

@@ -124,8 +124,12 @@ impl PaperModel {
         match self {
             PaperModel::ResNet18 => build_resnet(self, &[2, 2, 2, 2], BlockKind::Basic, 64),
             PaperModel::ResNet34 => build_resnet(self, &[3, 4, 6, 3], BlockKind::Basic, 64),
-            PaperModel::WideResNet50 => build_resnet(self, &[3, 4, 6, 3], BlockKind::Bottleneck, 128),
-            PaperModel::WideResNet101 => build_resnet(self, &[3, 4, 23, 3], BlockKind::Bottleneck, 128),
+            PaperModel::WideResNet50 => {
+                build_resnet(self, &[3, 4, 6, 3], BlockKind::Bottleneck, 128)
+            }
+            PaperModel::WideResNet101 => {
+                build_resnet(self, &[3, 4, 23, 3], BlockKind::Bottleneck, 128)
+            }
             PaperModel::ViTB32 => build_vit(self, 32),
             PaperModel::ViTB16 => build_vit(self, 16),
         }
@@ -250,10 +254,7 @@ impl ModelSpec {
     /// pixels); transformer GEMMs likewise process `batch ×` more tokens.
     #[must_use]
     pub fn forward_gemms(&self, batch: usize) -> Vec<GemmShape> {
-        self.layers
-            .iter()
-            .map(|l| GemmShape { m: l.gemm.m * batch.max(1), ..l.gemm })
-            .collect()
+        self.layers.iter().map(|l| GemmShape { m: l.gemm.m * batch.max(1), ..l.gemm }).collect()
     }
 
     /// The GEMM workload of one training step (forward + backward) at the
@@ -303,7 +304,12 @@ impl ResNetBuilder {
 
 /// Builds ResNet-18/34 (basic blocks) or WideResNet-50-2/101-2 (bottleneck
 /// blocks with doubled inner width) for a 224×224 input.
-fn build_resnet(model: PaperModel, blocks: &[usize; 4], kind: BlockKind, base_width: usize) -> ModelSpec {
+fn build_resnet(
+    model: PaperModel,
+    blocks: &[usize; 4],
+    kind: BlockKind,
+    base_width: usize,
+) -> ModelSpec {
     let mut b = ResNetBuilder { layers: Vec::new(), size: 224, channels: 3 };
     b.conv("conv1", 3, 64, 7, 2);
     // 3×3 max pool, stride 2: spatial only, no GEMM, no params.

@@ -20,7 +20,7 @@ proptest! {
         label_seed in 0u64..1000,
     ) {
         let logits = init::uniform(rows, cols, -5.0, 5.0, seed).unwrap();
-        let labels: Vec<usize> = (0..rows).map(|i| ((label_seed as usize + i * 7) % cols)).collect();
+        let labels: Vec<usize> = (0..rows).map(|i| (label_seed as usize + i * 7) % cols).collect();
         let (value, grad) = loss::cross_entropy(&logits, &labels).unwrap();
         prop_assert!(value >= 0.0);
         for row in grad.iter_rows() {

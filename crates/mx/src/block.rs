@@ -1,6 +1,8 @@
 //! A single MX block: 16 values sharing one exponent and eight microexponents.
 
-use crate::{MxError, MxPrecision, Result, RoundingMode, BLOCK_SIZE, SUBGROUP_COUNT, SUBGROUP_SIZE};
+use crate::{
+    MxError, MxPrecision, Result, RoundingMode, BLOCK_SIZE, SUBGROUP_COUNT, SUBGROUP_SIZE,
+};
 use serde::{Deserialize, Serialize};
 
 /// IEEE-754 single-precision exponent bias.
@@ -132,14 +134,7 @@ impl MxBlock {
             mantissas[i] = code.clamp(0.0, f64::from(max_code)) as u16;
         }
 
-        Ok(Self {
-            precision,
-            shared_exp: shared as u8,
-            micro,
-            signs,
-            mantissas,
-            len: values.len(),
-        })
+        Ok(Self { precision, shared_exp: shared as u8, micro, signs, mantissas, len: values.len() })
     }
 
     /// Decodes the full block (including zero padding) back to `f32`.
@@ -147,13 +142,12 @@ impl MxBlock {
     pub fn decode(&self) -> [f32; BLOCK_SIZE] {
         let mut out = [0.0f32; BLOCK_SIZE];
         let mant_bits = self.precision.mantissa_bits();
-        for i in 0..BLOCK_SIZE {
+        for (i, slot) in out.iter_mut().enumerate() {
             let group = i / SUBGROUP_SIZE;
             let eff_exp = i32::from(self.shared_exp) - i32::from(self.micro[group]);
-            let magnitude = f64::from(self.mantissas[i])
-                / f64::from(1u32 << (mant_bits - 1))
+            let magnitude = f64::from(self.mantissas[i]) / f64::from(1u32 << (mant_bits - 1))
                 * (2.0f64).powi(eff_exp - F32_BIAS);
-            out[i] = if self.signs[i] { -(magnitude as f32) } else { magnitude as f32 };
+            *slot = if self.signs[i] { -(magnitude as f32) } else { magnitude as f32 };
         }
         out
     }
@@ -174,7 +168,10 @@ impl MxBlock {
     /// different precisions (a DPE runs in a single precision mode at a time).
     pub fn dot(&self, other: &Self) -> Result<f32> {
         if self.precision != other.precision {
-            return Err(MxError::PrecisionMismatch { left: self.precision, right: other.precision });
+            return Err(MxError::PrecisionMismatch {
+                left: self.precision,
+                right: other.precision,
+            });
         }
         let a = self.decode();
         let b = other.decode();
@@ -222,9 +219,7 @@ mod tests {
     use super::*;
 
     fn roundtrip(values: &[f32], precision: MxPrecision) -> Vec<f32> {
-        MxBlock::encode(values, precision, RoundingMode::Nearest)
-            .unwrap()
-            .decode_valid()
+        MxBlock::encode(values, precision, RoundingMode::Nearest).unwrap().decode_valid()
     }
 
     #[test]
@@ -291,8 +286,10 @@ mod tests {
     fn error_is_bounded_by_block_maximum() {
         // Quantisation error for any element is bounded by the block max times
         // the mantissa ulp (plus the microexponent's factor-of-two help).
-        let values = [100.0f32, -3.0, 0.004, 7.5, -90.0, 55.5, 0.0, 1.0,
-                      -0.25, 63.0, 12.0, -12.0, 99.0, -0.5, 33.3, 2.2];
+        let values = [
+            100.0f32, -3.0, 0.004, 7.5, -90.0, 55.5, 0.0, 1.0, -0.25, 63.0, 12.0, -12.0, 99.0,
+            -0.5, 33.3, 2.2,
+        ];
         for p in MxPrecision::ALL {
             let decoded = roundtrip(&values, p);
             let max = 100.0f32;
@@ -337,8 +334,10 @@ mod tests {
 
     #[test]
     fn signs_are_preserved() {
-        let values = [-1.0f32, 1.0, -2.0, 2.0, -3.0, 3.0, -4.0, 4.0,
-                      -5.0, 5.0, -6.0, 6.0, -7.0, 7.0, -8.0, 8.0];
+        let values = [
+            -1.0f32, 1.0, -2.0, 2.0, -3.0, 3.0, -4.0, 4.0, -5.0, 5.0, -6.0, 6.0, -7.0, 7.0, -8.0,
+            8.0,
+        ];
         let decoded = roundtrip(&values, MxPrecision::Mx9);
         for (orig, dec) in values.iter().zip(decoded.iter()) {
             assert_eq!(orig.signum(), dec.signum());

@@ -63,12 +63,7 @@ pub fn quantization_error(values: &[f32], precision: MxPrecision) -> Result<Quan
     } else {
         10.0 * (signal_power / noise_power).log10()
     };
-    Ok(QuantError {
-        max_abs,
-        mean_abs: (sum_abs / values.len() as f64) as f32,
-        max_rel,
-        sqnr_db,
-    })
+    Ok(QuantError { max_abs, mean_abs: (sum_abs / values.len() as f64) as f32, max_rel, sqnr_db })
 }
 
 #[cfg(test)]
@@ -82,8 +77,8 @@ mod tests {
     #[test]
     fn lossless_data_reports_infinite_sqnr() {
         // Powers of two of similar magnitude encode exactly at MX9.
-        let data = vec![1.0f32, 2.0, 4.0, 0.5, 1.0, 2.0, 4.0, 0.5,
-                        1.0, 2.0, 4.0, 0.5, 1.0, 2.0, 4.0, 0.5];
+        let data =
+            vec![1.0f32, 2.0, 4.0, 0.5, 1.0, 2.0, 4.0, 0.5, 1.0, 2.0, 4.0, 0.5, 1.0, 2.0, 4.0, 0.5];
         let err = quantization_error(&data, MxPrecision::Mx9).unwrap();
         assert_eq!(err.max_abs, 0.0);
         assert!(err.sqnr_db.is_infinite());

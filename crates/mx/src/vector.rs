@@ -191,15 +191,15 @@ mod tests {
 
     #[test]
     fn dot_rejects_length_mismatch() {
-        let a = MxVector::encode(&vec![1.0f32; 32], MxPrecision::Mx6).unwrap();
-        let b = MxVector::encode(&vec![1.0f32; 31], MxPrecision::Mx6).unwrap();
+        let a = MxVector::encode(&[1.0f32; 32], MxPrecision::Mx6).unwrap();
+        let b = MxVector::encode(&[1.0f32; 31], MxPrecision::Mx6).unwrap();
         assert!(matches!(a.dot(&b), Err(MxError::LengthMismatch { left: 32, right: 31 })));
     }
 
     #[test]
     fn dot_rejects_precision_mismatch() {
-        let a = MxVector::encode(&vec![1.0f32; 32], MxPrecision::Mx6).unwrap();
-        let b = MxVector::encode(&vec![1.0f32; 32], MxPrecision::Mx9).unwrap();
+        let a = MxVector::encode(&[1.0f32; 32], MxPrecision::Mx6).unwrap();
+        let b = MxVector::encode(&[1.0f32; 32], MxPrecision::Mx9).unwrap();
         assert!(matches!(a.dot(&b), Err(MxError::PrecisionMismatch { .. })));
     }
 

@@ -18,11 +18,7 @@ fn value_vec(max_len: usize) -> impl Strategy<Value = Vec<f32>> {
 }
 
 fn any_precision() -> impl Strategy<Value = MxPrecision> {
-    prop_oneof![
-        Just(MxPrecision::Mx4),
-        Just(MxPrecision::Mx6),
-        Just(MxPrecision::Mx9),
-    ]
+    prop_oneof![Just(MxPrecision::Mx4), Just(MxPrecision::Mx6), Just(MxPrecision::Mx9),]
 }
 
 proptest! {

@@ -56,11 +56,9 @@ impl fmt::Display for TensorError {
             TensorError::DataLengthMismatch { expected, got } => {
                 write!(f, "data length mismatch: expected {expected} elements, got {got}")
             }
-            TensorError::IndexOutOfBounds { row, col, shape } => write!(
-                f,
-                "index ({row}, {col}) out of bounds for {}x{} matrix",
-                shape.0, shape.1
-            ),
+            TensorError::IndexOutOfBounds { row, col, shape } => {
+                write!(f, "index ({row}, {col}) out of bounds for {}x{} matrix", shape.0, shape.1)
+            }
             TensorError::Quantization(e) => write!(f, "quantization failed: {e}"),
         }
     }

@@ -112,7 +112,11 @@ impl Matrix {
     /// # Errors
     ///
     /// Returns [`TensorError::InvalidDimension`] if either dimension is zero.
-    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Result<Self> {
+    pub fn from_fn(
+        rows: usize,
+        cols: usize,
+        mut f: impl FnMut(usize, usize) -> f32,
+    ) -> Result<Self> {
         let mut m = Self::zeros(rows, cols)?;
         for r in 0..rows {
             for c in 0..cols {
@@ -304,7 +308,10 @@ mod tests {
     fn zero_dimensions_are_rejected() {
         assert!(matches!(Matrix::zeros(0, 4), Err(TensorError::InvalidDimension { .. })));
         assert!(matches!(Matrix::zeros(4, 0), Err(TensorError::InvalidDimension { .. })));
-        assert!(matches!(Matrix::from_vec(0, 0, vec![]), Err(TensorError::InvalidDimension { .. })));
+        assert!(matches!(
+            Matrix::from_vec(0, 0, vec![]),
+            Err(TensorError::InvalidDimension { .. })
+        ));
     }
 
     #[test]

@@ -155,13 +155,16 @@ pub fn argmax_rows(a: &Matrix) -> Vec<usize> {
         .map(|row| {
             row.iter()
                 .enumerate()
-                .fold((0usize, f32::NEG_INFINITY), |(bi, bv), (i, &v)| {
-                    if v > bv {
-                        (i, v)
-                    } else {
-                        (bi, bv)
-                    }
-                })
+                .fold(
+                    (0usize, f32::NEG_INFINITY),
+                    |(bi, bv), (i, &v)| {
+                        if v > bv {
+                            (i, v)
+                        } else {
+                            (bi, bv)
+                        }
+                    },
+                )
                 .0
         })
         .collect()
@@ -197,7 +200,12 @@ pub fn frobenius_norm(a: &Matrix) -> f32 {
     a.as_slice().iter().map(|v| v * v).sum::<f32>().sqrt()
 }
 
-fn zip_with(a: &Matrix, b: &Matrix, op: &'static str, f: impl Fn(f32, f32) -> f32) -> Result<Matrix> {
+fn zip_with(
+    a: &Matrix,
+    b: &Matrix,
+    op: &'static str,
+    f: impl Fn(f32, f32) -> f32,
+) -> Result<Matrix> {
     if a.shape() != b.shape() {
         return Err(TensorError::ShapeMismatch { op, left: a.shape(), right: b.shape() });
     }

@@ -119,7 +119,8 @@ mod tests {
     fn quantize_cols_equals_transposed_row_quantisation() {
         let (a, _) = operands();
         let via_cols = quantize_cols(&a, MxPrecision::Mx6).unwrap();
-        let via_rows = ops::transpose(&quantize_rows(&ops::transpose(&a), MxPrecision::Mx6).unwrap());
+        let via_rows =
+            ops::transpose(&quantize_rows(&ops::transpose(&a), MxPrecision::Mx6).unwrap());
         assert_eq!(via_cols, via_rows);
     }
 
@@ -155,10 +156,7 @@ mod tests {
         let mut a = Matrix::zeros(2, 16).unwrap();
         a[(0, 3)] = f32::NAN;
         let b = Matrix::zeros(16, 2).unwrap();
-        assert!(matches!(
-            mx_matmul(&a, &b, MxPrecision::Mx6),
-            Err(TensorError::Quantization(_))
-        ));
+        assert!(matches!(mx_matmul(&a, &b, MxPrecision::Mx6), Err(TensorError::Quantization(_))));
     }
 
     #[test]

@@ -28,12 +28,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let plan = PrecisionPlan::default();
     for pair in ModelPair::ALL {
         println!("== {pair} ==");
-        println!("{:>9} {:>9} {:>14} {:>16} {:>18}", "T-SA rows", "B-SA rows", "inference FPS", "labeling (sps)", "retraining (sps)");
+        println!(
+            "{:>9} {:>9} {:>14} {:>16} {:>18}",
+            "T-SA rows", "B-SA rows", "inference FPS", "labeling (sps)", "retraining (sps)"
+        );
         for tsa_rows in (2..16).step_by(2) {
             let est = estimate(&accel, pair, tsa_rows, 16, &plan)?;
             println!(
                 "{:>9} {:>9} {:>14.1} {:>16.1} {:>18.1}",
-                est.tsa_rows, est.bsa_rows, est.inference_fps, est.labeling_samples_per_s, est.retraining_samples_per_s
+                est.tsa_rows,
+                est.bsa_rows,
+                est.inference_fps,
+                est.labeling_samples_per_s,
+                est.retraining_samples_per_s
             );
         }
         let chosen = spatial_allocation(&accel, pair, 30.0, &plan)?;

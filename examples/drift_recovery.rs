@@ -5,20 +5,38 @@
 //! cases).
 //!
 //! ```text
-//! cargo run --release -p dacapo-bench --example drift_recovery
+//! cargo run --release --example drift_recovery
 //! ```
 
-use dacapo_core::{ClSimulator, PlatformKind, SchedulerKind, SimConfig, SimResult};
-use dacapo_datagen::{LabelDistribution, Location, Scenario, Segment, SegmentAttributes, TimeOfDay};
+use dacapo_core::{PlatformKind, SchedulerKind, Session, SimConfig, SimObserver, SimResult};
+use dacapo_datagen::{
+    LabelDistribution, Location, Scenario, Segment, SegmentAttributes, TimeOfDay,
+};
 use dacapo_dnn::zoo::ModelPair;
 
-fn run(scenario: &Scenario, scheduler: SchedulerKind) -> Result<SimResult, Box<dyn std::error::Error>> {
+/// Observer narrating drift responses as the session executes them.
+struct DriftNarrator {
+    scheduler: SchedulerKind,
+}
+
+impl SimObserver for DriftNarrator {
+    fn on_drift(&mut self, at_s: f64, response_index: usize) {
+        println!("  [{}] drift response #{response_index} at t = {at_s:.0} s", self.scheduler);
+    }
+}
+
+fn run(
+    scenario: &Scenario,
+    scheduler: SchedulerKind,
+) -> Result<SimResult, Box<dyn std::error::Error>> {
     let config = SimConfig::builder(scenario.clone(), ModelPair::ResNet18Wrn50)
         .platform(PlatformKind::DaCapo)
         .scheduler(scheduler)
         .measurement(5.0, 30)
         .build()?;
-    Ok(ClSimulator::new(config)?.run()?)
+    let mut session = Session::new(config)?;
+    session.run_with(&mut DriftNarrator { scheduler })?;
+    Ok(session.into_result())
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -44,10 +62,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let spatial = run(&scenario, SchedulerKind::DaCapoSpatial)?;
 
     println!("{:>8}  {:>22}  {:>16}", "time", "DaCapo-Spatiotemporal", "DaCapo-Spatial");
-    for ((t, st), (_, sp)) in spatiotemporal
-        .windowed_accuracy(15.0)
-        .iter()
-        .zip(spatial.windowed_accuracy(15.0).iter())
+    for ((t, st), (_, sp)) in
+        spatiotemporal.windowed_accuracy(15.0).iter().zip(spatial.windowed_accuracy(15.0).iter())
     {
         let marker = if (*t - 135.0).abs() < 7.5 { "  <- drift" } else { "" };
         println!("{t:>7.0}s  {:>21.1}%  {:>15.1}%{marker}", st * 100.0, sp * 100.0);

@@ -1,11 +1,12 @@
 //! Quickstart: run the DaCapo continuous-learning system on a drifting
-//! driving scenario and print what happened.
+//! driving scenario, watching the run unfold through the re-entrant
+//! `Session` API, and print what happened.
 //!
 //! ```text
-//! cargo run --release -p dacapo-bench --example quickstart
+//! cargo run --release --example quickstart
 //! ```
 
-use dacapo_core::{ClSimulator, PlatformKind, SchedulerKind, SimConfig};
+use dacapo_core::{PlatformKind, SchedulerKind, Session, SessionEvent, SimConfig};
 use dacapo_datagen::Scenario;
 use dacapo_dnn::zoo::ModelPair;
 
@@ -25,23 +26,50 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!(
         "platform: {} (T-SA {} rows, B-SA {} rows, {:.3} W)",
-        config.platform.name, config.platform.tsa_rows, config.platform.bsa_rows, config.platform.power_watts
+        config.platform.name,
+        config.platform.tsa_rows,
+        config.platform.bsa_rows,
+        config.platform.power_watts
     );
     println!(
         "kernel rates: inference {:.0} FPS, labeling {:.1} samples/s, retraining {:.1} samples/s",
-        config.platform.inference_fps_capacity, config.platform.labeling_sps, config.platform.retraining_sps
+        config.platform.inference_fps_capacity,
+        config.platform.labeling_sps,
+        config.platform.retraining_sps
     );
 
-    // 3. Run the 20-minute scenario.
-    let result = ClSimulator::new(config)?.run()?;
+    // 3. Step through the 20-minute scenario. Unlike the one-shot
+    //    `ClSimulator::run()`, the session yields control after every event,
+    //    so mid-run state (drift responses, live accuracy) is observable —
+    //    here we narrate drift as it happens.
+    let mut session = Session::new(config)?;
+    println!(
+        "\nscenario {} starting ({:.0} s)",
+        session.config().scenario.name(),
+        session.duration_s()
+    );
+    loop {
+        match session.step()? {
+            SessionEvent::Drift { at_s, response_index } => {
+                println!(
+                    "  t={at_s:>5.0}s  drift response #{response_index}: buffer reset, labeling 4x"
+                );
+            }
+            SessionEvent::Finished => break,
+            _ => {}
+        }
+    }
 
     // 4. Report.
+    let result = session.into_result();
     println!("\nscenario {} finished ({:.0} s simulated)", result.scenario, result.duration_s);
     println!("end-to-end accuracy: {:.1}%", result.mean_accuracy * 100.0);
     println!("drift responses (buffer resets + extended labeling): {}", result.drift_responses);
     println!("retraining phases completed: {}", result.retrain_count());
     let (label_s, retrain_s, idle_s) = result.time_breakdown();
-    println!("T-SA time split: {retrain_s:.0} s retraining, {label_s:.0} s labeling, {idle_s:.0} s idle");
+    println!(
+        "T-SA time split: {retrain_s:.0} s retraining, {label_s:.0} s labeling, {idle_s:.0} s idle"
+    );
     println!("energy: {:.1} J ({:.3} W average)", result.energy_joules, result.power_watts);
     Ok(())
 }

@@ -1,12 +1,13 @@
 //! Scheduler comparison: run the four temporal-allocation policies on the
-//! same scenario, platform, and model pair, and compare accuracy, time
-//! breakdown, and drift responses.
+//! same scenario, platform, and model pair — in parallel, as one `Fleet` of
+//! camera sessions — and compare accuracy, time breakdown, and drift
+//! responses.
 //!
 //! ```text
-//! cargo run --release -p dacapo-bench --example scheduler_comparison [scenario]
+//! cargo run --release --example scheduler_comparison [scenario]
 //! ```
 
-use dacapo_core::{ClSimulator, PlatformKind, SchedulerKind, SimConfig};
+use dacapo_core::{Fleet, PlatformKind, SchedulerKind, SimConfig};
 use dacapo_datagen::Scenario;
 use dacapo_dnn::zoo::ModelPair;
 
@@ -25,20 +26,28 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         pair
     );
 
-    println!(
-        "{:<24} {:>9} {:>9} {:>10} {:>9} {:>7}",
-        "scheduler", "accuracy", "retrains", "label time", "idle", "drifts"
-    );
+    // One camera per policy: the fleet runs them across worker threads, and
+    // each result is bit-identical to running that policy alone.
+    let mut fleet = Fleet::new();
     for scheduler in SchedulerKind::ALL {
         let config = SimConfig::builder(scenario.clone(), pair)
             .platform(PlatformKind::DaCapo)
             .scheduler(scheduler)
             .build()?;
-        let result = ClSimulator::new(config)?.run()?;
+        fleet = fleet.camera(scheduler.to_string(), config);
+    }
+    let comparison = fleet.run()?;
+
+    println!(
+        "{:<24} {:>9} {:>9} {:>10} {:>9} {:>7}",
+        "scheduler", "accuracy", "retrains", "label time", "idle", "drifts"
+    );
+    for camera in &comparison.cameras {
+        let result = &camera.result;
         let (label_s, _, idle_s) = result.time_breakdown();
         println!(
             "{:<24} {:>8.1}% {:>9} {:>9.0}s {:>8.0}s {:>7}",
-            scheduler.to_string(),
+            camera.camera,
             result.mean_accuracy * 100.0,
             result.retrain_count(),
             label_s,
@@ -46,5 +55,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             result.drift_responses
         );
     }
+    println!(
+        "\nfleet aggregates: mean {:.1}%, p50 {:.1}%, worst {:.1}%, total energy {:.1} J",
+        comparison.mean_accuracy * 100.0,
+        comparison.p50_accuracy * 100.0,
+        comparison.min_accuracy * 100.0,
+        comparison.total_energy_joules
+    );
     Ok(())
 }

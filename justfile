@@ -1,0 +1,27 @@
+# Development shortcuts mirroring .github/workflows/ci.yml.
+
+# Run the full CI pipeline locally.
+ci: fmt-check clippy build test
+
+fmt:
+    cargo fmt
+
+fmt-check:
+    cargo fmt --check
+
+clippy:
+    cargo clippy --workspace --all-targets -- -D warnings
+
+build:
+    cargo build --release
+
+# Tier-1 verify: the whole workspace's tests.
+test:
+    cargo test -q
+
+bench:
+    cargo bench -p dacapo-bench
+
+# Regenerate every figure/table quickly.
+figures:
+    cargo run --release -p dacapo-bench --bin run_all -- --quick

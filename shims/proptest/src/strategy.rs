@@ -1,0 +1,184 @@
+//! The [`Strategy`] trait and the combinators the workspace uses.
+
+use crate::test_runner::TestRng;
+use std::ops::Range;
+
+/// A source of sampled values, mirroring `proptest::strategy::Strategy`.
+///
+/// This shim samples directly (no value trees, no shrinking).
+pub trait Strategy {
+    /// The type of values produced.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps sampled values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+
+    fn sample(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start.wrapping_add(rng.below(span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+
+    fn sample(&self, rng: &mut TestRng) -> f32 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        self.start + (rng.unit_f64() as f32) * (self.end - self.start)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+}
+
+/// Type-erased sampler used by the `prop_oneof!` macro so heterogeneous
+/// strategy types can share one union.
+pub type Sampler<T> = Box<dyn Fn(&mut TestRng) -> T>;
+
+/// Boxes a strategy into a [`Sampler`].
+pub fn boxed_sampler<S: Strategy + 'static>(strategy: S) -> Sampler<S::Value> {
+    Box::new(move |rng| strategy.sample(rng))
+}
+
+/// Weighted union of strategies (the engine behind `prop_oneof!`).
+pub struct Union<T> {
+    branches: Vec<(u32, Sampler<T>)>,
+    total_weight: u64,
+}
+
+impl<T> Union<T> {
+    /// Builds a union from weighted samplers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `branches` is empty or all weights are zero.
+    #[must_use]
+    pub fn new(branches: Vec<(u32, Sampler<T>)>) -> Self {
+        let total_weight: u64 = branches.iter().map(|(w, _)| u64::from(*w)).sum();
+        assert!(total_weight > 0, "prop_oneof! needs at least one positively weighted branch");
+        Self { branches, total_weight }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let mut draw = rng.below(self.total_weight);
+        for (weight, sampler) in &self.branches {
+            let weight = u64::from(*weight);
+            if draw < weight {
+                return sampler(rng);
+            }
+            draw -= weight;
+        }
+        unreachable!("draw below total weight always lands in a branch")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_and_maps_sample_in_bounds() {
+        let mut rng = TestRng::from_name("strategy-test");
+        for _ in 0..200 {
+            let v = (3usize..9).sample(&mut rng);
+            assert!((3..9).contains(&v));
+            let f = (-1.0f32..1.0).sample(&mut rng);
+            assert!((-1.0..1.0).contains(&f));
+            let doubled = (1usize..5).prop_map(|x| x * 2).sample(&mut rng);
+            assert!(doubled % 2 == 0 && (2..10).contains(&doubled));
+            let pair = (0u64..4, 0.0f64..1.0).sample(&mut rng);
+            assert!(pair.0 < 4 && pair.1 < 1.0);
+        }
+    }
+
+    #[test]
+    fn union_respects_weights_roughly() {
+        let union =
+            Union::new(vec![(3, boxed_sampler(Just(0usize))), (1, boxed_sampler(Just(1usize)))]);
+        let mut rng = TestRng::from_name("union-test");
+        let ones = (0..4000).filter(|_| union.sample(&mut rng) == 1).count();
+        let share = ones as f64 / 4000.0;
+        assert!((share - 0.25).abs() < 0.05, "share {share}");
+    }
+}

@@ -1,0 +1,114 @@
+//! Minimal in-repo stand-in for `rand_distr`: the [`Normal`] distribution
+//! (the only one the workspace samples), implemented with Box–Muller over the
+//! `rand` shim.
+
+#![forbid(unsafe_code)]
+
+use rand::{RngCore, SampleRange};
+
+/// Types that can draw samples of `T` from a generator, mirroring
+/// `rand_distr::Distribution`.
+pub trait Distribution<T> {
+    /// Draws one sample.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Error from constructing a distribution with invalid parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NormalError {
+    /// The standard deviation was negative or not finite.
+    BadVariance,
+}
+
+impl std::fmt::Display for NormalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "standard deviation must be finite and non-negative")
+    }
+}
+
+impl std::error::Error for NormalError {}
+
+/// Floating-point scalars [`Normal`] can be parameterised over.
+pub trait Float: Copy {
+    /// Converts to `f64` for the Box–Muller computation.
+    fn to_f64(self) -> f64;
+    /// Converts the standard normal draw back to `Self`.
+    fn from_f64(value: f64) -> Self;
+}
+
+impl Float for f32 {
+    fn to_f64(self) -> f64 {
+        f64::from(self)
+    }
+    fn from_f64(value: f64) -> Self {
+        value as f32
+    }
+}
+
+impl Float for f64 {
+    fn to_f64(self) -> f64 {
+        self
+    }
+    fn from_f64(value: f64) -> Self {
+        value
+    }
+}
+
+/// A normal (Gaussian) distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal<F> {
+    mean: F,
+    std_dev: F,
+}
+
+impl<F: Float> Normal<F> {
+    /// Creates a normal distribution with the given mean and standard
+    /// deviation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NormalError::BadVariance`] if `std_dev` is negative or not
+    /// finite.
+    pub fn new(mean: F, std_dev: F) -> Result<Self, NormalError> {
+        let sd = std_dev.to_f64();
+        if !sd.is_finite() || sd < 0.0 {
+            return Err(NormalError::BadVariance);
+        }
+        Ok(Self { mean, std_dev })
+    }
+}
+
+impl<F: Float> Distribution<F> for Normal<F> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> F {
+        // Box–Muller transform; u1 is kept away from zero so ln() is finite.
+        let u1: f64 = f64::max((0.0f64..1.0).sample_from(rng), 1e-12);
+        let u2: f64 = (0.0f64..1.0).sample_from(rng);
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        F::from_f64(self.mean.to_f64() + self.std_dev.to_f64() * z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(Normal::new(0.0f32, -1.0).is_err());
+        assert!(Normal::new(0.0f64, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn sample_moments_are_plausible() {
+        let normal = Normal::new(3.0f64, 2.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| normal.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.25, "variance {var}");
+    }
+}

@@ -1,0 +1,320 @@
+//! Derive macros for the in-repo `serde` shim.
+//!
+//! Parses `struct`/`enum` items directly from the token stream (the build
+//! container has no `syn`/`quote`), supporting the shapes the workspace uses:
+//! non-generic structs with named or tuple fields, and enums with unit, tuple,
+//! and struct variants. Fields carrying a `#[serde(..skip..)]` attribute are
+//! omitted from serialisation.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` by rendering the item into the shim's
+/// JSON-like `serde::Value` tree.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => emit_serialize(&item).parse().expect("generated impl parses"),
+        Err(msg) => error(&msg),
+    }
+}
+
+/// Derives the marker trait `serde::Deserialize` (nothing in the workspace
+/// deserialises, so the impl is empty).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => format!("impl ::serde::Deserialize for {} {{}}", item.name)
+            .parse()
+            .expect("generated impl parses"),
+        Err(msg) => error(&msg),
+    }
+}
+
+fn error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().expect("error token parses")
+}
+
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum ItemBody {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    body: ItemBody,
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut tokens = input.into_iter().peekable();
+    // Skip outer attributes and visibility.
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                tokens.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(i)) if i.to_string() == "pub" => {
+                tokens.next();
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next(); // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    let kind = match tokens.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => return Err(format!("expected struct/enum, found {other:?}")),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => return Err(format!("expected item name, found {other:?}")),
+    };
+    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() == '<' {
+            return Err(format!("serde shim derive does not support generics (on `{name}`)"));
+        }
+    }
+    let body = match kind.as_str() {
+        "struct" => match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                ItemBody::NamedStruct(parse_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                ItemBody::TupleStruct(count_top_level_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => ItemBody::UnitStruct,
+            other => return Err(format!("unsupported struct body for `{name}`: {other:?}")),
+        },
+        "enum" => match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                ItemBody::Enum(parse_variants(g.stream())?)
+            }
+            other => return Err(format!("unsupported enum body for `{name}`: {other:?}")),
+        },
+        other => return Err(format!("cannot derive serde traits for `{other}` items")),
+    };
+    Ok(Item { name, body })
+}
+
+/// Consumes leading `#[...]` attributes, reporting whether any was a
+/// `#[serde(...)]` attribute containing a top-level `skip` flag.
+fn take_attributes(tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) -> bool {
+    let mut skip = false;
+    while let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() != '#' {
+            break;
+        }
+        tokens.next();
+        if let Some(TokenTree::Group(attr)) = tokens.next() {
+            let mut inner = attr.stream().into_iter();
+            if let Some(TokenTree::Ident(path)) = inner.next() {
+                if path.to_string() == "serde" {
+                    if let Some(TokenTree::Group(args)) = inner.next() {
+                        skip |= args.stream().into_iter().any(|t| {
+                            matches!(&t, TokenTree::Ident(i)
+                                if i.to_string() == "skip" || i.to_string() == "skip_serializing")
+                        });
+                    }
+                }
+            }
+        }
+    }
+    skip
+}
+
+fn parse_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
+    let mut tokens = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        let skip = take_attributes(&mut tokens);
+        match tokens.peek() {
+            None => break,
+            Some(TokenTree::Ident(i)) if i.to_string() == "pub" => {
+                tokens.next();
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next();
+                    }
+                }
+            }
+            _ => {}
+        }
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            None => break,
+            other => return Err(format!("expected field name, found {other:?}")),
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("expected `:` after field `{name}`, found {other:?}")),
+        }
+        // Skip the type: everything until a comma outside angle brackets.
+        let mut angle_depth = 0i32;
+        for t in tokens.by_ref() {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => break,
+                _ => {}
+            }
+        }
+        fields.push(Field { name, skip });
+    }
+    Ok(fields)
+}
+
+fn count_top_level_fields(stream: TokenStream) -> usize {
+    let mut angle_depth = 0i32;
+    let mut commas = 0usize;
+    let mut any = false;
+    let mut trailing_comma = false;
+    for t in stream {
+        any = true;
+        trailing_comma = false;
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                commas += 1;
+                trailing_comma = true;
+            }
+            _ => {}
+        }
+    }
+    if !any {
+        0
+    } else if trailing_comma {
+        commas
+    } else {
+        commas + 1
+    }
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut tokens = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        let _ = take_attributes(&mut tokens);
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            None => break,
+            other => return Err(format!("expected variant name, found {other:?}")),
+        };
+        let shape = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let count = count_top_level_fields(g.stream());
+                tokens.next();
+                VariantShape::Tuple(count)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_fields(g.stream())?;
+                tokens.next();
+                VariantShape::Struct(fields)
+            }
+            _ => VariantShape::Unit,
+        };
+        // Skip an optional discriminant and the separating comma.
+        for t in tokens.by_ref() {
+            if matches!(&t, TokenTree::Punct(p) if p.as_char() == ',') {
+                break;
+            }
+        }
+        variants.push(Variant { name, shape });
+    }
+    Ok(variants)
+}
+
+fn emit_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        ItemBody::NamedStruct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .filter(|f| !f.skip)
+                .map(|f| {
+                    format!(
+                        "({:?}.to_string(), ::serde::Serialize::to_value(&self.{}))",
+                        f.name, f.name
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Object(vec![{}])", entries.join(", "))
+        }
+        ItemBody::TupleStruct(count) => {
+            let entries: Vec<String> =
+                (0..*count).map(|i| format!("::serde::Serialize::to_value(&self.{i})")).collect();
+            format!("::serde::Value::Array(vec![{}])", entries.join(", "))
+        }
+        ItemBody::UnitStruct => format!("::serde::Value::Str({:?}.to_string())", item.name),
+        ItemBody::Enum(variants) => {
+            let arms: Vec<String> = variants.iter().map(|v| emit_variant_arm(name, v)).collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n    fn to_value(&self) -> ::serde::Value {{ {body} }}\n}}"
+    )
+}
+
+fn emit_variant_arm(enum_name: &str, variant: &Variant) -> String {
+    let v = &variant.name;
+    match &variant.shape {
+        VariantShape::Unit => {
+            format!("{enum_name}::{v} => ::serde::Value::Str({v:?}.to_string()),")
+        }
+        VariantShape::Tuple(count) => {
+            let binds: Vec<String> = (0..*count).map(|i| format!("f{i}")).collect();
+            let inner = if *count == 1 {
+                "::serde::Serialize::to_value(f0)".to_string()
+            } else {
+                let vals: Vec<String> =
+                    binds.iter().map(|b| format!("::serde::Serialize::to_value({b})")).collect();
+                format!("::serde::Value::Array(vec![{}])", vals.join(", "))
+            };
+            format!(
+                "{enum_name}::{v}({}) => ::serde::Value::Object(vec![({v:?}.to_string(), {inner})]),",
+                binds.join(", ")
+            )
+        }
+        VariantShape::Struct(fields) => {
+            let binds: Vec<String> = fields
+                .iter()
+                .map(|f| if f.skip { format!("{}: _", f.name) } else { f.name.clone() })
+                .collect();
+            let entries: Vec<String> = fields
+                .iter()
+                .filter(|f| !f.skip)
+                .map(|f| {
+                    format!("({:?}.to_string(), ::serde::Serialize::to_value({}))", f.name, f.name)
+                })
+                .collect();
+            format!(
+                "{enum_name}::{v} {{ {} }} => ::serde::Value::Object(vec![({v:?}.to_string(), \
+                 ::serde::Value::Object(vec![{}]))]),",
+                binds.join(", "),
+                entries.join(", ")
+            )
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! Minimal in-repo stand-in for `serde_json`.
+//!
+//! Renders the `serde` shim's [`serde::Value`] tree as JSON text. Only the
+//! serialisation half the workspace uses is provided (`to_string`,
+//! `to_string_pretty`).
+
+#![forbid(unsafe_code)]
+
+use serde::{Serialize, Value};
+use std::fmt;
+
+/// Serialisation error (the shim's value model is infallible, so this only
+/// exists for API compatibility).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serialises a value as compact JSON.
+///
+/// # Errors
+///
+/// Never fails in this shim; the `Result` mirrors the real crate's API.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_value(), None, 0, &mut out);
+    Ok(out)
+}
+
+/// Serialises a value as pretty-printed JSON (two-space indentation).
+///
+/// # Errors
+///
+/// Never fails in this shim; the `Result` mirrors the real crate's API.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_value(), Some(2), 0, &mut out);
+    Ok(out)
+}
+
+fn write_value(value: &Value, indent: Option<usize>, depth: usize, out: &mut String) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::UInt(u) => out.push_str(&u.to_string()),
+        Value::Float(f) => {
+            if f.is_finite() {
+                // `{}` prints the shortest representation that round-trips;
+                // force a decimal point so the output stays a JSON number
+                // distinguishable from an integer.
+                let text = f.to_string();
+                out.push_str(&text);
+                if !text.contains(['.', 'e', 'E']) {
+                    out.push_str(".0");
+                }
+            } else {
+                out.push_str("null");
+            }
+        }
+        Value::Str(s) => write_escaped(s, out),
+        Value::Array(items) => write_sequence(
+            items.iter(),
+            '[',
+            ']',
+            indent,
+            depth,
+            out,
+            |item, out, indent, depth| {
+                write_value(item, indent, depth, out);
+            },
+        ),
+        Value::Object(entries) => {
+            write_sequence(
+                entries.iter(),
+                '{',
+                '}',
+                indent,
+                depth,
+                out,
+                |(key, item), out, indent, depth| {
+                    write_escaped(key, out);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    write_value(item, indent, depth, out);
+                },
+            );
+        }
+    }
+}
+
+fn write_sequence<I, T>(
+    items: I,
+    open: char,
+    close: char,
+    indent: Option<usize>,
+    depth: usize,
+    out: &mut String,
+    mut write_item: impl FnMut(T, &mut String, Option<usize>, usize),
+) where
+    I: ExactSizeIterator<Item = T>,
+{
+    out.push(open);
+    let len = items.len();
+    for (i, item) in items.enumerate() {
+        if let Some(step) = indent {
+            out.push('\n');
+            out.extend(std::iter::repeat_n(' ', step * (depth + 1)));
+        }
+        write_item(item, out, indent, depth + 1);
+        if i + 1 < len {
+            out.push(',');
+        }
+    }
+    if len > 0 {
+        if let Some(step) = indent {
+            out.push('\n');
+            out.extend(std::iter::repeat_n(' ', step * depth));
+        }
+    }
+    out.push(close);
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_and_pretty_roundtrip_simple_values() {
+        assert_eq!(to_string(&vec![1, 2, 3]).unwrap(), "[1,2,3]");
+        assert_eq!(to_string(&1.5f64).unwrap(), "1.5");
+        assert_eq!(to_string(&2.0f64).unwrap(), "2.0");
+        assert_eq!(to_string("a\"b").unwrap(), "\"a\\\"b\"");
+        let pretty = to_string_pretty(&vec![1]).unwrap();
+        assert_eq!(pretty, "[\n  1\n]");
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(to_string(&f64::NAN).unwrap(), "null");
+    }
+}

@@ -15,8 +15,8 @@ use dacapo_dnn::zoo::{ModelPair, PaperModel};
 fn table3_parameters_and_gflops_match_the_paper() {
     for model in PaperModel::ALL {
         let spec = model.spec();
-        let params_rel =
-            (spec.params() as f64 / 1e6 - model.table3_params_millions()).abs() / model.table3_params_millions();
+        let params_rel = (spec.params() as f64 / 1e6 - model.table3_params_millions()).abs()
+            / model.table3_params_millions();
         let gflops_rel =
             (spec.forward_gflops() - model.table3_gflops()).abs() / model.table3_gflops();
         assert!(params_rel < 0.02, "{model}: params off by {:.1}%", params_rel * 100.0);
@@ -42,7 +42,12 @@ fn fig3_retraining_share_rises_with_sampling_rate_and_epochs() {
         for (rate, epochs) in [(0.03, 3usize), (0.05, 5), (0.10, 10)] {
             let workload = window_workload(
                 pair,
-                &ClHyperparams { sampling_rate: rate, epochs, window_seconds: 120.0, ..ClHyperparams::default() },
+                &ClHyperparams {
+                    sampling_rate: rate,
+                    epochs,
+                    window_seconds: 120.0,
+                    ..ClHyperparams::default()
+                },
             );
             let share = workload.share(Kernel::Retraining);
             assert!(share > previous_share, "{pair}: share did not grow at ({rate}, {epochs})");
@@ -141,7 +146,11 @@ fn fig12_shape_dacapo_stays_ahead_under_extreme_drift() {
     let ekya = run_system(
         scenario.clone(),
         pair,
-        SystemUnderTest { label: "Ekya", platform: PlatformKind::OrinHigh, scheduler: SchedulerKind::Ekya },
+        SystemUnderTest {
+            label: "Ekya",
+            platform: PlatformKind::OrinHigh,
+            scheduler: SchedulerKind::Ekya,
+        },
         true,
     )
     .unwrap();

@@ -1,0 +1,138 @@
+//! Fleet driver integration: many camera sessions across worker threads,
+//! with per-camera determinism guarantees.
+//!
+//! The key property (the PR's acceptance criterion): a parallel `Fleet` run
+//! of eight cameras on distinct scenarios produces per-camera results that
+//! are **bit-identical** to running each camera's `Session` alone with the
+//! same seed — threading changes wall-clock time, never metrics.
+
+use dacapo_core::{
+    ClSimulator, Fleet, PlatformRates, SchedulerKind, Session, SessionEvent, SimConfig,
+};
+use dacapo_datagen::Scenario;
+use dacapo_dnn::zoo::ModelPair;
+use dacapo_dnn::QuantMode;
+
+/// Fast synthetic platform so the eight debug-mode simulations stay quick.
+fn fast_platform() -> PlatformRates {
+    PlatformRates {
+        name: "fleet-test".to_string(),
+        inference_fps_capacity: 90.0,
+        labeling_sps: 30.0,
+        retraining_sps: 100.0,
+        shared: false,
+        power_watts: 2.0,
+        inference_quant: QuantMode::Fp32,
+        training_quant: QuantMode::Fp32,
+        tsa_rows: 12,
+        bsa_rows: 4,
+    }
+}
+
+/// One camera per paper scenario (S1–S6, ES1, ES2), truncated to the first
+/// two segments so the whole fleet finishes fast in debug builds, each with
+/// its own seed.
+fn camera_configs() -> Vec<(String, SimConfig)> {
+    Scenario::all()
+        .into_iter()
+        .enumerate()
+        .map(|(i, scenario)| {
+            let short = Scenario::from_segments(
+                scenario.name().to_string(),
+                scenario.segments().iter().copied().take(2).collect(),
+            );
+            let config = SimConfig::builder(short, ModelPair::ResNet18Wrn50)
+                .platform_rates(fast_platform())
+                .scheduler(SchedulerKind::DaCapoSpatiotemporal)
+                .measurement(10.0, 15)
+                .pretrain_samples(96)
+                .seed(0xF1EE7 + i as u64)
+                .build()
+                .expect("camera config builds");
+            (format!("cam-{i}-{}", scenario.name()), config)
+        })
+        .collect()
+}
+
+#[test]
+fn eight_camera_fleet_is_bit_identical_to_solo_sessions() {
+    let configs = camera_configs();
+    assert!(configs.len() >= 8, "the paper defines eight scenarios");
+
+    let mut fleet = Fleet::new().threads(4);
+    for (name, config) in &configs {
+        fleet = fleet.camera(name.clone(), config.clone());
+    }
+    let fleet_result = fleet.run().expect("fleet runs");
+    assert_eq!(fleet_result.cameras.len(), configs.len());
+
+    for (name, config) in configs {
+        let solo = ClSimulator::new(config).unwrap().run().unwrap();
+        let from_fleet = fleet_result.camera(&name).expect("camera present");
+        assert_eq!(from_fleet, &solo, "{name}: fleet result diverged from solo run");
+    }
+}
+
+#[test]
+fn fleet_aggregates_are_consistent_with_per_camera_metrics() {
+    let mut fleet = Fleet::new().threads(3);
+    for (name, config) in camera_configs().into_iter().take(4) {
+        fleet = fleet.camera(name, config);
+    }
+    let result = fleet.run().expect("fleet runs");
+
+    let accuracies: Vec<f64> = result.cameras.iter().map(|c| c.result.mean_accuracy).collect();
+    let mean = accuracies.iter().sum::<f64>() / accuracies.len() as f64;
+    assert!((result.mean_accuracy - mean).abs() < 1e-12);
+    assert!(result.min_accuracy <= result.p10_accuracy + 1e-12);
+    assert!(result.p10_accuracy <= result.p50_accuracy + 1e-12);
+    assert!(accuracies.contains(&result.p50_accuracy), "p50 is nearest-rank");
+    let energy: f64 = result.cameras.iter().map(|c| c.result.energy_joules).sum();
+    assert!((result.total_energy_joules - energy).abs() < 1e-9);
+    let drifts: usize = result.cameras.iter().map(|c| c.result.drift_responses).sum();
+    assert_eq!(result.total_drift_responses, drifts);
+}
+
+#[test]
+fn thread_count_never_changes_fleet_results() {
+    let configs: Vec<_> = camera_configs().into_iter().take(3).collect();
+    let run_with_threads = |threads: usize| {
+        let mut fleet = Fleet::new().threads(threads);
+        for (name, config) in &configs {
+            fleet = fleet.camera(name.clone(), config.clone());
+        }
+        fleet.run().expect("fleet runs")
+    };
+    let serial = run_with_threads(1);
+    let parallel = run_with_threads(8);
+    assert_eq!(serial, parallel);
+}
+
+#[test]
+fn mid_run_session_state_is_observable_while_stepping() {
+    // The re-entrant API's reason to exist: interleave two cameras by hand
+    // and watch both advance. (The Fleet does this with threads; here we do
+    // it cooperatively on one thread.)
+    let configs: Vec<_> = camera_configs().into_iter().take(2).collect();
+    let mut a = Session::new(configs[0].1.clone()).unwrap();
+    let mut b = Session::new(configs[1].1.clone()).unwrap();
+    let mut a_done = false;
+    let mut b_done = false;
+    while !(a_done && b_done) {
+        if !a_done && a.step().unwrap() == SessionEvent::Finished {
+            a_done = true;
+        }
+        if !b_done && b.step().unwrap() == SessionEvent::Finished {
+            b_done = true;
+        }
+        assert!(a.now_s() <= a.duration_s() + 1.5);
+        assert!(b.now_s() <= b.duration_s() + 1.5);
+    }
+    let result_a = a.into_result();
+    let result_b = b.into_result();
+    // Interleaving per-camera stepping must equal solo runs too.
+    let solo_a = ClSimulator::new(configs[0].1.clone()).unwrap().run().unwrap();
+    let solo_b = ClSimulator::new(configs[1].1.clone()).unwrap().run().unwrap();
+    assert_eq!(result_a, solo_a);
+    assert_eq!(result_b, solo_b);
+}

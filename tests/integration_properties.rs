@@ -5,7 +5,8 @@ use dacapo_accel::estimator::{estimate, PrecisionPlan};
 use dacapo_accel::{AccelConfig, DaCapoAccelerator};
 use dacapo_core::sched::{Action, SchedulerContext};
 use dacapo_core::{
-    ClSimulator, Hyperparams, LabeledSample, PlatformRates, SampleBuffer, SchedulerKind, SimConfig,
+    ClSimulator, Hyperparams, LabeledSample, PlatformRates, SampleBuffer, SchedulerKind, Session,
+    SessionEvent, SimConfig,
 };
 use dacapo_datagen::{
     LabelDistribution, Location, Scenario, Segment, SegmentAttributes, TimeOfDay, Weather,
@@ -15,8 +16,8 @@ use dacapo_dnn::QuantMode;
 use proptest::prelude::*;
 
 fn arbitrary_attributes() -> impl Strategy<Value = SegmentAttributes> {
-    (any::<bool>(), any::<bool>(), any::<bool>(), 0u8..4).prop_map(|(labels, night, highway, weather)| {
-        SegmentAttributes {
+    (any::<bool>(), any::<bool>(), any::<bool>(), 0u8..4).prop_map(
+        |(labels, night, highway, weather)| SegmentAttributes {
             labels: if labels { LabelDistribution::All } else { LabelDistribution::TrafficOnly },
             time: if night { TimeOfDay::Night } else { TimeOfDay::Daytime },
             location: if highway { Location::Highway } else { Location::City },
@@ -26,8 +27,8 @@ fn arbitrary_attributes() -> impl Strategy<Value = SegmentAttributes> {
                 2 => Weather::Snowy,
                 _ => Weather::Rainy,
             },
-        }
-    })
+        },
+    )
 }
 
 fn arbitrary_scenario() -> impl Strategy<Value = Scenario> {
@@ -197,5 +198,41 @@ proptest! {
         prop_assert!(label >= 0.0 && retrain >= 0.0 && wait >= 0.0);
         prop_assert!(label + retrain + wait <= duration + 2.0);
         prop_assert!((result.energy_joules - duration).abs() < 1e-6); // 1 W platform
+    }
+
+    /// Determinism across APIs: `ClSimulator::run()` and a manually stepped
+    /// `Session` built from the same seeded config produce identical
+    /// `SimResult`s, for arbitrary scenarios, schedulers, and seeds.
+    #[test]
+    fn one_shot_run_equals_manually_stepped_session(
+        scenario in arbitrary_scenario(),
+        scheduler_index in 0usize..4,
+        seed in 0u64..1_000_000,
+    ) {
+        let build = || {
+            SimConfig::builder(scenario.clone(), ModelPair::ResNet18Wrn50)
+                .platform_rates(fast_platform())
+                .scheduler(SchedulerKind::ALL[scheduler_index])
+                .measurement(10.0, 10)
+                .pretrain_samples(64)
+                .seed(seed)
+                .build()
+                .unwrap()
+        };
+
+        let one_shot = ClSimulator::new(build()).unwrap().run().unwrap();
+
+        let mut session = Session::new(build()).unwrap();
+        let mut events = 0usize;
+        while session.step().unwrap() != SessionEvent::Finished {
+            events += 1;
+        }
+        let stepped = session.into_result();
+
+        prop_assert_eq!(&one_shot, &stepped);
+        prop_assert!(
+            events >= stepped.phases.len() + stepped.accuracy_timeline.len(),
+            "every phase and accuracy sample must surface as an event"
+        );
     }
 }

@@ -166,8 +166,9 @@ fn dacapo_platform_consumes_orders_of_magnitude_less_energy_than_orin() {
     let scenario = test_scenario();
     let accel = dacapo_accel::AccelConfig::default();
     let dacapo = PlatformRates::dacapo(ModelPair::ResNet18Wrn50, 30.0, &accel).unwrap();
-    let orin = PlatformRates::for_kind(PlatformKind::OrinHigh, ModelPair::ResNet18Wrn50, 30.0, &accel)
-        .unwrap();
+    let orin =
+        PlatformRates::for_kind(PlatformKind::OrinHigh, ModelPair::ResNet18Wrn50, 30.0, &accel)
+            .unwrap();
     let duration = scenario.duration_s();
     let ratio = orin.energy_joules(duration) / dacapo.energy_joules(duration);
     assert!((ratio - 254.0).abs() < 3.0, "energy ratio {ratio}");
