@@ -11,13 +11,14 @@
 //! [--quick] [--json]`.
 
 use dacapo_accel::estimator::{estimate, PrecisionPlan};
+use dacapo_accel::power::PowerModel;
 use dacapo_accel::{AccelConfig, DaCapoAccelerator};
 use dacapo_bench::runner::truncate_scenario;
 use dacapo_bench::{pct, render_table, write_json, ExperimentOptions};
+use dacapo_core::platform::{KernelRate, Sharing};
 use dacapo_core::{ClSimulator, PlatformRates, SchedulerKind, SimConfig};
 use dacapo_datagen::Scenario;
 use dacapo_dnn::zoo::ModelPair;
-use dacapo_dnn::QuantMode;
 use dacapo_mx::MxPrecision;
 use serde::Serialize;
 
@@ -55,13 +56,21 @@ fn main() {
         let tsa_rows = dacapo_accel::estimator::spatial_allocation(&accel, pair, 30.0, &plan)
             .expect("allocation");
         let est = estimate(&accel, pair, tsa_rows, 16, &plan).expect("estimate");
-        let mut rates =
-            PlatformRates::dacapo_with_tsa_rows(pair, tsa_rows, &accel_config).expect("rates");
-        rates.labeling_sps = est.labeling_samples_per_s;
-        rates.retraining_sps = est.retraining_samples_per_s;
-        rates.inference_fps_capacity = est.inference_fps;
-        rates.inference_quant = QuantMode::Mx(inference);
-        rates.training_quant = QuantMode::Mx(retraining);
+        // Custom precision plans fall outside the builtin provider's
+        // defaults, so build the capability sheet directly from the
+        // estimator's output.
+        let rates = PlatformRates::new(
+            format!(
+                "DaCapo ({}x{} DPEs, {inference}/{retraining})",
+                accel_config.rows, accel_config.cols
+            ),
+            KernelRate::mx(est.inference_fps, inference),
+            KernelRate::mx(est.labeling_samples_per_s, plan.labeling),
+            KernelRate::mx(est.retraining_samples_per_s, retraining),
+            Sharing::Partitioned { tsa_rows: est.tsa_rows, bsa_rows: est.bsa_rows },
+            PowerModel::for_config(&accel_config).total_power_w(),
+        )
+        .expect("rates");
         let config = SimConfig::builder(scenario.clone(), pair)
             .platform_rates(rates)
             .scheduler(SchedulerKind::DaCapoSpatiotemporal)

@@ -7,7 +7,7 @@
 
 use dacapo_bench::runner::{run_system, SystemUnderTest};
 use dacapo_bench::{pct, render_table, write_json, ExperimentOptions};
-use dacapo_core::{PlatformKind, SchedulerKind};
+use dacapo_core::SchedulerKind;
 use dacapo_datagen::Scenario;
 use dacapo_dnn::zoo::ModelPair;
 use serde::Serialize;
@@ -29,17 +29,25 @@ fn main() {
     let systems = [
         SystemUnderTest {
             label: "DaCapo-Spatiotemporal",
-            platform: PlatformKind::DaCapo,
+            platform: "dacapo",
             scheduler: SchedulerKind::DaCapoSpatiotemporal,
         },
         SystemUnderTest {
             label: "OrinLow-Ekya",
-            platform: PlatformKind::OrinLow,
+            platform: "orin-low",
             scheduler: SchedulerKind::Ekya,
         },
         SystemUnderTest {
             label: "OrinHigh-Ekya",
-            platform: PlatformKind::OrinHigh,
+            platform: "orin-high",
+            scheduler: SchedulerKind::Ekya,
+        },
+        // A point the closed platform enum could not express: the Orin
+        // pinned to a 45 W DVFS target through the parameterised
+        // `orin-dvfs` platform provider.
+        SystemUnderTest {
+            label: "OrinDvfs45-Ekya",
+            platform: "orin-dvfs:45",
             scheduler: SchedulerKind::Ekya,
         },
     ];

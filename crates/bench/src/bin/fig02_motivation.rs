@@ -11,7 +11,7 @@
 
 use dacapo_bench::runner::{run_system, SystemUnderTest};
 use dacapo_bench::{pct, render_table, write_json, ExperimentOptions};
-use dacapo_core::{PlatformKind, PlatformRates, SchedulerKind};
+use dacapo_core::{PlatformKind, SchedulerKind};
 use dacapo_datagen::{FrameStream, Scenario, StreamConfig};
 use dacapo_dnn::workload::{unit_costs, Kernel};
 use dacapo_dnn::zoo::ModelPair;
@@ -59,11 +59,14 @@ fn main() {
     let options = ExperimentOptions::from_args();
     let scenario = Scenario::s1();
     let pairs = [ModelPair::ResNet18Wrn50, ModelPair::ResNet34Wrn101];
-    let gpus = [PlatformKind::Rtx3090, PlatformKind::OrinHigh];
+    // Platforms are selected by registry name; the kind (parsed back through
+    // `FromStr`) drives the GPU roofline lookup for the teacher column.
+    let gpus = ["rtx-3090", "orin-high"];
 
     let mut rows = Vec::new();
     for pair in pairs {
         for gpu in gpus {
+            let kind: PlatformKind = gpu.parse().expect("figure 2 uses builtin platforms");
             // Student without continuous learning: the pre-trained model only.
             let student = run_system(
                 scenario.clone(),
@@ -84,19 +87,15 @@ fn main() {
                 options.quick,
             )
             .expect("ekya run");
-            let gpu_name = PlatformRates::gpu(
-                match gpu {
-                    PlatformKind::Rtx3090 => dacapo_accel::gpu::GpuDevice::rtx_3090(),
-                    _ => dacapo_accel::gpu::GpuDevice::jetson_orin_high(),
-                },
-                pair,
-            )
-            .name;
+            let gpu_name = match kind {
+                PlatformKind::Rtx3090 => dacapo_accel::gpu::GpuDevice::rtx_3090().name,
+                _ => dacapo_accel::gpu::GpuDevice::jetson_orin_high().name,
+            };
             rows.push(Row {
                 pair: pair.to_string(),
                 gpu: gpu_name,
                 student_accuracy: student.mean_accuracy,
-                teacher_accuracy: teacher_on_every_frame(pair, gpu, &scenario),
+                teacher_accuracy: teacher_on_every_frame(pair, kind, &scenario),
                 ekya_accuracy: ekya.mean_accuracy,
             });
         }

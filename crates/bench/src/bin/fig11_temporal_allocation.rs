@@ -8,7 +8,7 @@
 
 use dacapo_bench::runner::{run_system_with, truncate_scenario, SystemUnderTest};
 use dacapo_bench::{pct, render_table, write_json, ExperimentOptions};
-use dacapo_core::{PhaseKind, PhaseRecord, PlatformKind, SchedulerKind, SimObserver};
+use dacapo_core::{PhaseKind, PhaseRecord, SchedulerKind, SimObserver};
 use dacapo_datagen::Scenario;
 use dacapo_dnn::zoo::ModelPair;
 use serde::Serialize;
@@ -65,7 +65,7 @@ fn main() {
             let result = run_system_with(
                 slice.clone(),
                 pair,
-                SystemUnderTest { label: "fig11", platform: PlatformKind::DaCapo, scheduler },
+                SystemUnderTest { label: "fig11", platform: "dacapo", scheduler },
                 options.quick,
                 &mut tap,
             )

@@ -7,7 +7,7 @@
 
 use dacapo_bench::runner::{run_system, SystemUnderTest};
 use dacapo_bench::{pct, render_table, write_json, ExperimentOptions};
-use dacapo_core::{PlatformKind, SchedulerKind};
+use dacapo_core::SchedulerKind;
 use dacapo_datagen::Scenario;
 use dacapo_dnn::zoo::ModelPair;
 use serde::Serialize;
@@ -25,19 +25,11 @@ fn main() {
     let options = ExperimentOptions::from_args();
     let pair = ModelPair::ResNet18Wrn50;
     let systems = [
-        SystemUnderTest {
-            label: "Ekya",
-            platform: PlatformKind::OrinHigh,
-            scheduler: SchedulerKind::Ekya,
-        },
-        SystemUnderTest {
-            label: "EOMU",
-            platform: PlatformKind::OrinHigh,
-            scheduler: SchedulerKind::Eomu,
-        },
+        SystemUnderTest { label: "Ekya", platform: "orin-high", scheduler: SchedulerKind::Ekya },
+        SystemUnderTest { label: "EOMU", platform: "orin-high", scheduler: SchedulerKind::Eomu },
         SystemUnderTest {
             label: "DaCapo",
-            platform: PlatformKind::DaCapo,
+            platform: "dacapo",
             scheduler: SchedulerKind::DaCapoSpatiotemporal,
         },
     ];

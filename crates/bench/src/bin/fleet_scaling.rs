@@ -3,6 +3,10 @@
 //! with per-camera seeds, aggregated into fleet-level accuracy percentiles,
 //! total energy, and drop rate.
 //!
+//! The fleet is **heterogeneous**: cameras cycle through registry-named
+//! platforms (the stock 16×16 DaCapo chip plus two `scaled-dacapo:<rows>`
+//! variants), demonstrating per-camera platform selection by name.
+//!
 //! This is the multi-stream deployment shape the roadmap targets; per-camera
 //! results stay bit-identical to solo runs regardless of thread count.
 //!
@@ -11,27 +15,34 @@
 
 use dacapo_bench::runner::truncate_scenario;
 use dacapo_bench::{pct, render_table, write_json, ExperimentOptions};
-use dacapo_core::{Fleet, PlatformKind, SchedulerKind, SimConfig};
+use dacapo_core::{Fleet, SchedulerKind, SimConfig};
 use dacapo_datagen::Scenario;
 use dacapo_dnn::zoo::ModelPair;
 use std::time::Instant;
+
+/// Registry names the cameras cycle through: a heterogeneous DaCapo-family
+/// deployment (same ISA, three chip sizes).
+const CAMERA_PLATFORMS: [&str; 3] = ["dacapo", "scaled-dacapo:24", "scaled-dacapo:32"];
 
 fn main() {
     let options = ExperimentOptions::from_args();
     let pair = ModelPair::ResNet18Wrn50;
 
     let mut fleet = Fleet::new();
+    let mut platforms = Vec::new();
     for (i, scenario) in Scenario::all().into_iter().enumerate() {
         let scenario = if options.quick { truncate_scenario(&scenario, 5) } else { scenario };
         let name = format!("cam-{:02}-{}", i, scenario.name());
+        let platform = CAMERA_PLATFORMS[i % CAMERA_PLATFORMS.len()];
         let mut builder = SimConfig::builder(scenario, pair)
-            .platform(PlatformKind::DaCapo)
+            .platform(platform)
             .scheduler(SchedulerKind::DaCapoSpatiotemporal)
             .seed(0xDACA90 + i as u64);
         if options.quick {
             builder = builder.measurement(10.0, 20).pretrain_samples(128);
         }
         let config = builder.build().expect("fleet camera config builds");
+        platforms.push(platform);
         fleet = fleet.camera(name, config);
     }
 
@@ -40,15 +51,20 @@ fn main() {
     let result = fleet.run().expect("fleet runs");
     let elapsed = started.elapsed();
 
-    println!("Fleet: {cameras} cameras, DaCapo platform, spatiotemporal scheduling\n");
+    println!(
+        "Fleet: {cameras} cameras, heterogeneous platforms ({}), spatiotemporal scheduling\n",
+        CAMERA_PLATFORMS.join(" / ")
+    );
     let table = render_table(
-        &["Camera", "Accuracy", "Drift responses", "Drop rate", "Energy (J)"],
+        &["Camera", "Platform", "Accuracy", "Drift responses", "Drop rate", "Energy (J)"],
         &result
             .cameras
             .iter()
-            .map(|c| {
+            .zip(&platforms)
+            .map(|(c, platform)| {
                 vec![
                     c.camera.clone(),
+                    (*platform).to_string(),
                     pct(c.result.mean_accuracy),
                     c.result.drift_responses.to_string(),
                     pct(c.result.frame_drop_rate),

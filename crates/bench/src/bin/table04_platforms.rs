@@ -1,82 +1,82 @@
-//! Table IV: evaluated GPU and DaCapo platforms.
+//! Table IV: evaluated platforms, enumerated from the platform registry.
 //!
-//! Prints technology, area, frequency, power, and DRAM bandwidth of the
-//! DaCapo prototype (from the area/power model) next to the Jetson Orin, and
-//! the component-level budget breakdown.
+//! Resolves every platform registered in `dacapo_core::platform` for the
+//! paper's default workload (ResNet18/WideResNet50 at 30 FPS) and prints the
+//! resulting capability sheets — builtin kinds, the parameterised builtin
+//! families, and any custom provider registered at startup all show up for
+//! free. The DaCapo component-level area/power budget follows.
 //!
 //! Run with `cargo run -p dacapo-bench --bin table04_platforms [--json]`.
 
-use dacapo_accel::gpu::GpuDevice;
 use dacapo_accel::power::PowerModel;
 use dacapo_accel::AccelConfig;
 use dacapo_bench::{render_table, write_json, ExperimentOptions};
+use dacapo_core::platform::{self, PlatformSpec, Sharing};
+use dacapo_dnn::zoo::ModelPair;
 use serde::Serialize;
 
 #[derive(Serialize)]
 struct PlatformRow {
+    registry_name: String,
     device: String,
-    technology: &'static str,
-    area_mm2: Option<f64>,
-    frequency_ghz: f64,
-    power_w_min: f64,
-    power_w_max: f64,
-    dram: &'static str,
-    dram_bandwidth_gbps: f64,
+    power_w: f64,
+    inference_fps: f64,
+    labeling_sps: f64,
+    retraining_sps: f64,
+    sharing: String,
 }
 
 fn main() {
     let options = ExperimentOptions::from_args();
     let accel_config = AccelConfig::default();
-    let power = PowerModel::for_config(&accel_config);
-    let orin_high = GpuDevice::jetson_orin_high();
-    let orin_low = GpuDevice::jetson_orin_low();
+    let pair = ModelPair::ResNet18Wrn50;
+    let fps = 30.0;
 
-    let rows = vec![
-        PlatformRow {
-            device: orin_high.name.replace(" (60W)", ""),
-            technology: "8 nm",
-            area_mm2: None,
-            frequency_ghz: orin_high.frequency_mhz / 1000.0,
-            power_w_min: orin_low.power_w,
-            power_w_max: orin_high.power_w,
-            dram: "LPDDR5",
-            dram_bandwidth_gbps: orin_high.memory_bandwidth_gbps,
-        },
-        PlatformRow {
-            device: "DaCapo".to_string(),
-            technology: "28 nm",
-            area_mm2: Some(power.total_area_mm2()),
-            frequency_ghz: accel_config.frequency_hz / 1e9,
-            power_w_min: power.total_power_w(),
-            power_w_max: power.total_power_w(),
-            dram: "LPDDR5",
-            dram_bandwidth_gbps: accel_config.dram_bandwidth_bytes_per_s / 1e9,
-        },
-    ];
+    let mut rows = Vec::new();
+    for name in platform::registered_names() {
+        match PlatformSpec::Named(name.clone()).resolve(pair, fps, &accel_config) {
+            Ok(rates) => rows.push(PlatformRow {
+                registry_name: name,
+                device: rates.name().to_string(),
+                power_w: rates.power_watts(),
+                inference_fps: rates.inference_fps_capacity(),
+                labeling_sps: rates.labeling_sps(),
+                retraining_sps: rates.retraining_sps(),
+                sharing: match rates.sharing() {
+                    Sharing::Partitioned { tsa_rows, bsa_rows } => {
+                        format!("partitioned (T-SA {tsa_rows} / B-SA {bsa_rows})")
+                    }
+                    Sharing::TimeShared => "time-shared".to_string(),
+                },
+            }),
+            Err(e) => eprintln!("warning: platform '{name}' did not resolve: {e}"),
+        }
+    }
 
-    println!("Table IV: evaluated GPU and DaCapo platforms\n");
+    println!(
+        "Table IV: registered execution platforms ({} total) on {pair} at {fps:.0} FPS\n",
+        rows.len()
+    );
     let table = render_table(
-        &["Device", "Technology", "Area", "Frequency", "Power", "DRAM bandwidth"],
+        &["Registry name", "Device", "Power", "Inference", "Labeling", "Retraining", "Sharing"],
         &rows
             .iter()
             .map(|r| {
                 vec![
+                    r.registry_name.clone(),
                     r.device.clone(),
-                    r.technology.to_string(),
-                    r.area_mm2.map_or("N/A".to_string(), |a| format!("{a:.3} mm2")),
-                    format!("{:.1} GHz", r.frequency_ghz),
-                    if (r.power_w_min - r.power_w_max).abs() < 1e-9 {
-                        format!("{:.3} W", r.power_w_min)
-                    } else {
-                        format!("{} - {} W", r.power_w_min, r.power_w_max)
-                    },
-                    format!("{} {:.1} GB/s", r.dram, r.dram_bandwidth_gbps),
+                    format!("{:.3} W", r.power_w),
+                    format!("{:.0} FPS", r.inference_fps),
+                    format!("{:.1} sps", r.labeling_sps),
+                    format!("{:.1} sps", r.retraining_sps),
+                    r.sharing.clone(),
                 ]
             })
             .collect::<Vec<_>>(),
     );
     println!("{table}");
 
+    let power = PowerModel::for_config(&accel_config);
     println!("DaCapo component budget (modelled split of the Table IV totals):\n");
     let breakdown = render_table(
         &["Component", "Area (mm2)", "Power (W)"],
@@ -90,10 +90,23 @@ fn main() {
     );
     println!("{breakdown}");
     println!(
-        "Power ratios: OrinHigh / DaCapo = {:.0}x, OrinLow / DaCapo = {:.0}x",
-        orin_high.power_w / power.total_power_w(),
-        orin_low.power_w / power.total_power_w()
+        "DaCapo chip: {:.3} mm2 at {:.1} GHz (28 nm)",
+        power.total_area_mm2(),
+        accel_config.frequency_hz / 1e9
     );
+
+    let watts = |registry_name: &str| {
+        rows.iter().find(|r| r.registry_name == registry_name).map(|r| r.power_w)
+    };
+    if let (Some(high), Some(low), Some(dacapo)) =
+        (watts("orin-high"), watts("orin-low"), watts("dacapo"))
+    {
+        println!(
+            "Power ratios: OrinHigh / DaCapo = {:.0}x, OrinLow / DaCapo = {:.0}x",
+            high / dacapo,
+            low / dacapo
+        );
+    }
 
     if options.json {
         match write_json("table04_platforms", &rows) {

@@ -6,9 +6,7 @@
 //! [`SimObserver`] so figure binaries can collect mid-run metrics without
 //! re-running simulations.
 
-use dacapo_core::{
-    PlatformKind, Result, SchedulerKind, Session, SimConfig, SimObserver, SimResult,
-};
+use dacapo_core::{Result, SchedulerKind, Session, SimConfig, SimObserver, SimResult};
 use dacapo_datagen::Scenario;
 use dacapo_dnn::zoo::ModelPair;
 
@@ -18,42 +16,37 @@ use dacapo_dnn::zoo::ModelPair;
 pub struct SystemUnderTest {
     /// Short label used in tables (matches Figure 9's legend).
     pub label: &'static str,
-    /// Hardware platform.
-    pub platform: PlatformKind,
+    /// Hardware platform, as a registered platform-registry name (see
+    /// `dacapo_core::platform::registered_names`) — builtin kinds go by
+    /// their lower-cased display names, and custom or parameterised
+    /// providers (`"scaled-dacapo:32"`) work the same way.
+    pub platform: &'static str,
     /// Scheduling policy.
     pub scheduler: SchedulerKind,
 }
 
 /// The six systems compared in Figure 9, in the paper's order.
 pub const FIG9_SYSTEMS: [SystemUnderTest; 6] = [
-    SystemUnderTest {
-        label: "OrinLow-Ekya",
-        platform: PlatformKind::OrinLow,
-        scheduler: SchedulerKind::Ekya,
-    },
+    SystemUnderTest { label: "OrinLow-Ekya", platform: "orin-low", scheduler: SchedulerKind::Ekya },
     SystemUnderTest {
         label: "OrinHigh-Ekya",
-        platform: PlatformKind::OrinHigh,
+        platform: "orin-high",
         scheduler: SchedulerKind::Ekya,
     },
     SystemUnderTest {
         label: "OrinHigh-EOMU",
-        platform: PlatformKind::OrinHigh,
+        platform: "orin-high",
         scheduler: SchedulerKind::Eomu,
     },
-    SystemUnderTest {
-        label: "DaCapo-Ekya",
-        platform: PlatformKind::DaCapo,
-        scheduler: SchedulerKind::Ekya,
-    },
+    SystemUnderTest { label: "DaCapo-Ekya", platform: "dacapo", scheduler: SchedulerKind::Ekya },
     SystemUnderTest {
         label: "DaCapo-Spatial",
-        platform: PlatformKind::DaCapo,
+        platform: "dacapo",
         scheduler: SchedulerKind::DaCapoSpatial,
     },
     SystemUnderTest {
         label: "DaCapo-Spatiotemporal",
-        platform: PlatformKind::DaCapo,
+        platform: "dacapo",
         scheduler: SchedulerKind::DaCapoSpatiotemporal,
     },
 ];
@@ -129,7 +122,16 @@ mod tests {
         assert_eq!(FIG9_SYSTEMS.len(), 6);
         assert_eq!(FIG9_SYSTEMS[0].label, "OrinLow-Ekya");
         assert_eq!(FIG9_SYSTEMS[5].label, "DaCapo-Spatiotemporal");
-        assert!(FIG9_SYSTEMS.iter().filter(|s| s.platform == PlatformKind::DaCapo).count() == 3);
+        assert!(FIG9_SYSTEMS.iter().filter(|s| s.platform == "dacapo").count() == 3);
+        // Every system names a registered platform.
+        for system in FIG9_SYSTEMS {
+            assert!(
+                dacapo_core::platform::by_name(system.platform).is_some(),
+                "{} names unregistered platform '{}'",
+                system.label,
+                system.platform
+            );
+        }
     }
 
     #[test]

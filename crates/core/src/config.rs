@@ -1,6 +1,6 @@
 //! System configuration: Table I hyperparameters and the simulation config.
 
-use crate::platform::{PlatformKind, PlatformRates};
+use crate::platform::{PlatformKind, PlatformRates, PlatformSpec};
 use crate::sched::{SchedulerKind, SchedulerSpec};
 use crate::{CoreError, Result};
 use dacapo_accel::AccelConfig;
@@ -140,8 +140,13 @@ pub struct SimConfig {
     pub scenario: Scenario,
     /// The (student, teacher) model pair.
     pub pair: ModelPair,
-    /// Execution platform rates (DaCapo partition or GPU baseline).
-    pub platform: PlatformRates,
+    /// Execution platform selection: a builtin kind, a registered provider
+    /// by name (see [`crate::platform::register`]), or explicit rates.
+    /// Resolved into [`PlatformRates`] by [`SimConfig::platform_rates`].
+    pub platform: PlatformSpec,
+    /// Accelerator hardware configuration consumed by DaCapo-family
+    /// platform providers when the spec resolves.
+    pub accel: AccelConfig,
     /// Temporal resource-allocation policy: a builtin kind or a registered
     /// policy selected by name (see [`crate::sched::register`]).
     pub scheduler: SchedulerSpec,
@@ -170,7 +175,7 @@ impl SimConfig {
         SimConfigBuilder {
             scenario,
             pair,
-            platform_kind: PlatformKind::DaCapo,
+            platform: PlatformSpec::Kind(PlatformKind::DaCapo),
             scheduler: SchedulerSpec::Kind(SchedulerKind::DaCapoSpatiotemporal),
             hyper: Hyperparams::for_pair(pair),
             stream: StreamConfig::default(),
@@ -180,8 +185,20 @@ impl SimConfig {
             pretrain_samples: 256,
             seed: 0xDACA90,
             accel: AccelConfig::default(),
-            explicit_platform: None,
         }
+    }
+
+    /// Resolves the platform spec into the capability sheet the engine runs
+    /// against, for this configuration's model pair, frame rate, and
+    /// accelerator hardware.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] for an unregistered platform
+    /// name or invalid provider parameters, and propagates provider errors
+    /// (e.g. an infeasible spatial allocation).
+    pub fn platform_rates(&self) -> Result<PlatformRates> {
+        self.platform.resolve(self.pair, self.stream.fps, &self.accel)
     }
 
     /// Validates the configuration.
@@ -215,8 +232,7 @@ impl SimConfig {
 pub struct SimConfigBuilder {
     scenario: Scenario,
     pair: ModelPair,
-    platform_kind: PlatformKind,
-    explicit_platform: Option<PlatformRates>,
+    platform: PlatformSpec,
     accel: AccelConfig,
     scheduler: SchedulerSpec,
     hyper: Hyperparams,
@@ -229,17 +245,23 @@ pub struct SimConfigBuilder {
 }
 
 impl SimConfigBuilder {
-    /// Selects a predefined platform (DaCapo accelerator or a GPU baseline).
+    /// Selects the execution platform: a builtin [`PlatformKind`], the name
+    /// of a provider registered with [`crate::platform::register`]
+    /// (optionally parameterised, e.g. `.platform("scaled-dacapo:32")`), or
+    /// explicit [`PlatformRates`]. This and [`Self::platform_rates`] write
+    /// the same selection — the last call wins.
     #[must_use]
-    pub fn platform(mut self, kind: PlatformKind) -> Self {
-        self.platform_kind = kind;
+    pub fn platform(mut self, platform: impl Into<PlatformSpec>) -> Self {
+        self.platform = platform.into();
         self
     }
 
-    /// Uses fully custom platform rates instead of a predefined platform.
+    /// Uses fully custom platform rates instead of a registered platform
+    /// (shorthand for `.platform(PlatformSpec::Rates(rates))`; the last of
+    /// this and [`Self::platform`] wins).
     #[must_use]
     pub fn platform_rates(mut self, rates: PlatformRates) -> Self {
-        self.explicit_platform = Some(rates);
+        self.platform = PlatformSpec::Rates(rates);
         self
     }
 
@@ -266,8 +288,8 @@ impl SimConfigBuilder {
         self
     }
 
-    /// Overrides the accelerator hardware configuration used when the
-    /// platform is [`PlatformKind::DaCapo`].
+    /// Overrides the accelerator hardware configuration consumed by
+    /// DaCapo-family platform providers (e.g. [`PlatformKind::DaCapo`]).
     #[must_use]
     pub fn accelerator(mut self, accel: AccelConfig) -> Self {
         self.accel = accel;
@@ -303,27 +325,20 @@ impl SimConfigBuilder {
         self
     }
 
-    /// Finalises the configuration, deriving the platform rates.
+    /// Finalises the configuration, resolving the platform spec once to
+    /// fail fast on bad selections.
     ///
     /// # Errors
     ///
-    /// Returns [`CoreError::InvalidConfig`] for inconsistent settings and
-    /// [`CoreError::Accel`] if the DaCapo spatial allocation is infeasible
-    /// for the requested frame rate.
+    /// Returns [`CoreError::InvalidConfig`] for inconsistent settings or an
+    /// unresolvable platform spec, and [`CoreError::Accel`] if the DaCapo
+    /// spatial allocation is infeasible for the requested frame rate.
     pub fn build(self) -> Result<SimConfig> {
-        let platform = match self.explicit_platform {
-            Some(rates) => rates,
-            None => PlatformRates::for_kind(
-                self.platform_kind,
-                self.pair,
-                self.stream.fps,
-                &self.accel,
-            )?,
-        };
         let config = SimConfig {
             scenario: self.scenario,
             pair: self.pair,
-            platform,
+            platform: self.platform,
+            accel: self.accel,
             scheduler: self.scheduler,
             hyper: self.hyper,
             stream: self.stream,
@@ -334,6 +349,7 @@ impl SimConfigBuilder {
             seed: self.seed,
         };
         config.validate()?;
+        config.platform_rates()?;
         Ok(config)
     }
 }
@@ -372,7 +388,8 @@ mod tests {
         let config = SimConfig::builder(Scenario::s1(), ModelPair::ResNet18Wrn50).build().unwrap();
         assert_eq!(config.scheduler, SchedulerKind::DaCapoSpatiotemporal);
         assert_eq!(config.pair, ModelPair::ResNet18Wrn50);
-        assert!(config.platform.inference_fps_capacity >= 30.0);
+        assert_eq!(config.platform, PlatformKind::DaCapo);
+        assert!(config.platform_rates().unwrap().inference_fps_capacity() >= 30.0);
         assert!(config.validate().is_ok());
     }
 
@@ -412,7 +429,36 @@ mod tests {
             .build()
             .unwrap();
         assert_eq!(config.seed, 7);
-        assert!(config.platform.name.contains("Orin"));
+        assert!(config.platform_rates().unwrap().name().contains("Orin"));
         assert_eq!(config.scheduler, SchedulerKind::Ekya);
+    }
+
+    #[test]
+    fn builder_accepts_platforms_by_registered_name() {
+        let config = SimConfig::builder(Scenario::s1(), ModelPair::ResNet18Wrn50)
+            .platform("scaled-dacapo:32")
+            .build()
+            .unwrap();
+        assert_eq!(config.platform, PlatformSpec::Named("scaled-dacapo:32".into()));
+        let rates = config.platform_rates().unwrap();
+        assert_eq!(rates.tsa_rows() + rates.bsa_rows(), 32);
+        // Unregistered names fail at build time, not at session construction.
+        let err = SimConfig::builder(Scenario::s1(), ModelPair::ResNet18Wrn50)
+            .platform("quantum-annealer")
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("quantum-annealer"), "{err}");
+    }
+
+    #[test]
+    fn builder_threads_the_accelerator_config_to_named_platforms() {
+        let config = SimConfig::builder(Scenario::s1(), ModelPair::ResNet18Wrn50)
+            .platform("dacapo")
+            .accelerator(AccelConfig::scaled_32x32())
+            .build()
+            .unwrap();
+        let rates = config.platform_rates().unwrap();
+        assert_eq!(rates.tsa_rows() + rates.bsa_rows(), 32);
+        assert_eq!(config.accel, AccelConfig::scaled_32x32());
     }
 }

@@ -144,12 +144,14 @@ impl Fleet {
                     reason: format!("duplicate camera name '{name}'"),
                 });
             }
-            // Catch bad configs (including unregistered scheduler names)
-            // before any simulation time is spent, so the error carries the
-            // offending camera's name and no camera starts simulating. The
-            // scheduler resolution here is cheap; Session::new repeats it.
+            // Catch bad configs (including unregistered scheduler or
+            // platform names) before any simulation time is spent, so the
+            // error carries the offending camera's name and no camera starts
+            // simulating. The resolutions here are cheap; Session::new
+            // repeats them.
             config.validate().map_err(|e| prefix_camera(name, e))?;
             config.scheduler.create(&config.hyper).map_err(|e| prefix_camera(name, e))?;
+            config.platform_rates().map_err(|e| prefix_camera(name, e))?;
         }
 
         let workers = self.threads.min(self.cameras.len()).max(1);
@@ -258,6 +260,19 @@ mod tests {
         // Pre-validation rejects the fleet without simulating the good
         // camera (which takes seconds in debug builds).
         assert!(started.elapsed().as_millis() < 500, "validation should fail fast");
+    }
+
+    #[test]
+    fn unknown_platform_names_fail_fleet_prevalidation() {
+        let mut broken = short_config(SchedulerKind::NoAdaptation);
+        broken.platform = "warp-core".into();
+        let err = Fleet::new()
+            .camera("good", short_config(SchedulerKind::NoAdaptation))
+            .camera("bad-platform", broken)
+            .run()
+            .unwrap_err();
+        assert!(err.to_string().contains("bad-platform"), "{err}");
+        assert!(err.to_string().contains("warp-core"), "{err}");
     }
 
     #[test]

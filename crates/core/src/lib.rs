@@ -32,6 +32,48 @@
 //! `SimConfig::builder(..).scheduler("my-policy")` — without touching this
 //! crate.
 //!
+//! Execution platforms are pluggable the same way: the engine consumes a
+//! [`PlatformRates`] capability sheet (per-kernel [`platform::KernelRate`]s,
+//! a [`platform::Sharing`] mode, and a power draw), and where that sheet
+//! comes from is decided by a [`PlatformSpec`] — a builtin [`PlatformKind`],
+//! a provider registered through [`platform::register`] and selected by name
+//! (`SimConfig::builder(..).platform("my-platform")`), or explicit rates.
+//! Provider names accept a `:<params>` suffix (`"scaled-dacapo:32"`,
+//! `"orin-dvfs:45"`), so one provider can describe a hardware family. A
+//! [`Fleet`] mixes platforms freely: each camera carries its own spec, so
+//! heterogeneous deployments (some cameras on accelerators, some on GPUs)
+//! are just differently-configured cameras.
+//!
+//! Registering a custom platform:
+//!
+//! ```
+//! use dacapo_core::platform::{self, KernelRate, PlatformProvider, PlatformRequest, Sharing};
+//! use dacapo_core::{PlatformRates, Result};
+//! use std::sync::Arc;
+//!
+//! struct NpuProvider;
+//!
+//! impl PlatformProvider for NpuProvider {
+//!     fn name(&self) -> &str {
+//!         "edge-npu"
+//!     }
+//!     fn build(&self, request: &PlatformRequest<'_>) -> Result<PlatformRates> {
+//!         PlatformRates::new(
+//!             "Edge NPU",
+//!             KernelRate::fp32(4.0 * request.fps), // inference headroom
+//!             KernelRate::fp32(25.0),              // labeling samples/s
+//!             KernelRate::fp32(80.0),              // retraining samples/s
+//!             Sharing::TimeShared,
+//!             7.5,
+//!         )
+//!     }
+//! }
+//!
+//! platform::register(Arc::new(NpuProvider));
+//! assert!(platform::by_name("edge-npu").is_some());
+//! // From here, `SimConfig::builder(..).platform("edge-npu")` selects it.
+//! ```
+//!
 //! # Mapping to the paper
 //!
 //! * [`Hyperparams`] — Table I's resource-allocation hyperparameters
@@ -39,9 +81,10 @@
 //! * [`SampleBuffer`] — the fixed-capacity labeled sample buffer.
 //! * [`StudentModel`] / [`TeacherOracle`](dacapo_dnn::TeacherOracle) — the
 //!   deployed student and the labeling teacher.
-//! * [`PlatformRates`] — the execution platform (a spatially-partitioned
-//!   DaCapo accelerator or a time-shared GPU baseline), derived from the
-//!   `dacapo-accel` performance models.
+//! * [`PlatformRates`] — the execution platform's capability sheet (a
+//!   spatially-partitioned DaCapo accelerator or a time-shared GPU
+//!   baseline), built by [`platform`] providers from the `dacapo-accel`
+//!   performance models.
 //! * [`sched`] — the temporal resource allocators: the paper's
 //!   spatiotemporal Algorithm 1 plus the DaCapo-Spatial, Ekya, and EOMU
 //!   baselines, behind the pluggable-policy registry.
@@ -111,7 +154,7 @@ mod config;
 mod error;
 mod fleet;
 pub mod metrics;
-mod platform;
+pub mod platform;
 pub mod sched;
 mod session;
 mod sim;
@@ -121,7 +164,7 @@ pub use buffer::{LabeledSample, SampleBuffer};
 pub use config::{Hyperparams, SimConfig, SimConfigBuilder};
 pub use error::CoreError;
 pub use fleet::{CameraResult, Fleet, FleetResult};
-pub use platform::{PlatformKind, PlatformRates};
+pub use platform::{PlatformKind, PlatformRates, PlatformSpec};
 pub use sched::{SchedulerKind, SchedulerSpec};
 pub use session::{Session, SessionEvent, SimObserver};
 pub use sim::{ClSimulator, PhaseKind, PhaseRecord, SimResult};

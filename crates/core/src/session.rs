@@ -129,14 +129,15 @@ impl Session {
     /// or names an unregistered scheduling policy.
     pub fn new(config: SimConfig) -> Result<Self> {
         config.validate()?;
-        // Resolve the policy before the (expensive) pretraining below, so an
-        // unregistered scheduler name fails fast.
+        // Resolve the policy and platform before the (expensive) pretraining
+        // below, so an unregistered scheduler or platform name fails fast.
         let scheduler = config.scheduler.create(&config.hyper)?;
+        let platform = config.platform_rates()?;
         let stream = FrameStream::new(&config.scenario, config.stream);
         let mut student = StudentModel::new(
             config.stream.feature_dim,
-            config.platform.inference_quant,
-            config.platform.training_quant,
+            platform.inference_quant(),
+            platform.training_quant(),
             config.hyper.learning_rate,
             config.hyper.batch_size,
             config.seed,
@@ -168,7 +169,6 @@ impl Session {
         }
 
         let buffer = SampleBuffer::new(config.hyper.buffer_capacity);
-        let platform = config.platform.clone();
         let duration_s = config.scenario.duration_s();
         let drop_rate = platform.frame_drop_rate(config.stream.fps);
         let phase_seed = config.seed;
@@ -199,6 +199,12 @@ impl Session {
     #[must_use]
     pub fn config(&self) -> &SimConfig {
         &self.config
+    }
+
+    /// The resolved platform capability sheet the session runs against.
+    #[must_use]
+    pub fn platform(&self) -> &PlatformRates {
+        &self.platform
     }
 
     /// Current simulated time in seconds.
@@ -324,7 +330,7 @@ impl Session {
         // executed prefix.
         let covered_s = self.now_s.min(self.duration_s);
         SimResult {
-            system: format!("{} / {}", self.platform.name, self.scheduler.name()),
+            system: format!("{} / {}", self.platform.name(), self.scheduler.name()),
             scenario: self.config.scenario.name().to_string(),
             pair: self.config.pair,
             scheduler: self.scheduler.name(),
@@ -332,7 +338,7 @@ impl Session {
             mean_accuracy,
             frame_drop_rate: self.drop_rate,
             energy_joules: self.platform.energy_joules(covered_s),
-            power_watts: self.platform.power_watts,
+            power_watts: self.platform.power_watts(),
             phases: self.phases,
             drift_responses: self.drift_responses,
             duration_s: covered_s,

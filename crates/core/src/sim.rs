@@ -176,11 +176,10 @@ impl ClSimulator {
 #[cfg(test)]
 pub(crate) mod test_support {
     use crate::config::SimConfig;
-    use crate::platform::PlatformRates;
+    use crate::platform::{KernelRate, PlatformRates, Sharing};
     use crate::sched::SchedulerKind;
     use dacapo_datagen::{Scenario, Segment, SegmentAttributes};
     use dacapo_dnn::zoo::ModelPair;
-    use dacapo_dnn::QuantMode;
 
     /// A short two-segment scenario with one label-distribution drift, to keep
     /// unit-test simulations fast.
@@ -201,18 +200,15 @@ pub(crate) mod test_support {
     }
 
     pub(crate) fn fast_rates(name: &str) -> PlatformRates {
-        PlatformRates {
-            name: name.to_string(),
-            inference_fps_capacity: 120.0,
-            labeling_sps: 40.0,
-            retraining_sps: 120.0,
-            shared: false,
-            power_watts: 1.0,
-            inference_quant: QuantMode::Fp32,
-            training_quant: QuantMode::Fp32,
-            tsa_rows: 12,
-            bsa_rows: 4,
-        }
+        PlatformRates::new(
+            name,
+            KernelRate::fp32(120.0),
+            KernelRate::fp32(40.0),
+            KernelRate::fp32(120.0),
+            Sharing::Partitioned { tsa_rows: 12, bsa_rows: 4 },
+            1.0,
+        )
+        .expect("test rates are valid")
     }
 
     pub(crate) fn short_config(scheduler: SchedulerKind) -> SimConfig {
@@ -228,7 +224,7 @@ pub(crate) mod test_support {
 
 #[cfg(test)]
 mod tests {
-    use super::test_support::{fast_rates, short_config, short_scenario};
+    use super::test_support::{short_config, short_scenario};
     use super::*;
     use crate::platform::PlatformKind;
     use crate::sched::SchedulerKind;
@@ -295,9 +291,17 @@ mod tests {
 
     #[test]
     fn frame_drops_scale_down_reported_accuracy() {
-        let mut starved = fast_rates("starved");
-        starved.inference_fps_capacity = 15.0; // half the 30 FPS stream
-        starved.shared = true;
+        use crate::platform::{KernelRate, PlatformRates, Sharing};
+        // Half the 30 FPS stream's inference demand on a time-shared device.
+        let starved = PlatformRates::new(
+            "starved",
+            KernelRate::fp32(15.0),
+            KernelRate::fp32(40.0),
+            KernelRate::fp32(120.0),
+            Sharing::TimeShared,
+            1.0,
+        )
+        .unwrap();
         let config = SimConfig::builder(short_scenario(), ModelPair::ResNet18Wrn50)
             .platform_rates(starved)
             .scheduler(SchedulerKind::Ekya)
@@ -362,7 +366,7 @@ mod tests {
             .pretrain_samples(96)
             .build()
             .unwrap();
-        assert!(!config.platform.shared);
+        assert!(!config.platform_rates().unwrap().is_shared());
         let result = ClSimulator::new(config).unwrap().run().unwrap();
         assert!(result.mean_accuracy > 0.2);
         assert!((result.power_watts - 0.236).abs() < 1e-9);

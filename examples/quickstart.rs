@@ -6,7 +6,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use dacapo_core::{PlatformKind, SchedulerKind, Session, SessionEvent, SimConfig};
+use dacapo_core::{SchedulerKind, Session, SessionEvent, SimConfig};
 use dacapo_datagen::Scenario;
 use dacapo_dnn::zoo::ModelPair;
 
@@ -16,26 +16,29 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let scenario = Scenario::s3();
     let pair = ModelPair::ResNet18Wrn50;
 
-    // 2. Configure the system: the DaCapo accelerator platform (the offline
-    //    spatial allocator sizes the B-SA for 30 FPS) with the paper's
-    //    spatiotemporal scheduler.
+    // 2. Configure the system: the DaCapo accelerator platform, selected by
+    //    its registry name (the offline spatial allocator sizes the B-SA for
+    //    30 FPS), with the paper's spatiotemporal scheduler. Any platform
+    //    registered through `dacapo_core::platform::register` — including
+    //    parameterised ones like "scaled-dacapo:32" — selects the same way.
     let config = SimConfig::builder(scenario, pair)
-        .platform(PlatformKind::DaCapo)
+        .platform("dacapo")
         .scheduler(SchedulerKind::DaCapoSpatiotemporal)
         .build()?;
 
+    let platform = config.platform_rates()?;
     println!(
         "platform: {} (T-SA {} rows, B-SA {} rows, {:.3} W)",
-        config.platform.name,
-        config.platform.tsa_rows,
-        config.platform.bsa_rows,
-        config.platform.power_watts
+        platform.name(),
+        platform.tsa_rows(),
+        platform.bsa_rows(),
+        platform.power_watts()
     );
     println!(
         "kernel rates: inference {:.0} FPS, labeling {:.1} samples/s, retraining {:.1} samples/s",
-        config.platform.inference_fps_capacity,
-        config.platform.labeling_sps,
-        config.platform.retraining_sps
+        platform.inference_fps_capacity(),
+        platform.labeling_sps(),
+        platform.retraining_sps()
     );
 
     // 3. Step through the 20-minute scenario. Unlike the one-shot

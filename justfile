@@ -1,7 +1,7 @@
 # Development shortcuts mirroring .github/workflows/ci.yml.
 
 # Run the full CI pipeline locally.
-ci: fmt-check clippy build test
+ci: fmt-check clippy doc build test
 
 fmt:
     cargo fmt
@@ -11,6 +11,10 @@ fmt-check:
 
 clippy:
     cargo clippy --workspace --all-targets -- -D warnings
+
+# API docs with broken intra-doc links treated as errors.
+doc:
+    RUSTDOCFLAGS="-D warnings" cargo doc --no-deps
 
 build:
     cargo build --release

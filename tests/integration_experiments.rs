@@ -6,7 +6,7 @@ use dacapo_accel::gpu::GpuDevice;
 use dacapo_accel::power::{PowerModel, TABLE4_AREA_MM2, TABLE4_POWER_W};
 use dacapo_accel::{AccelConfig, DaCapoAccelerator};
 use dacapo_bench::runner::{run_system, truncate_scenario, SystemUnderTest, FIG9_SYSTEMS};
-use dacapo_core::{PlatformKind, SchedulerKind};
+use dacapo_core::SchedulerKind;
 use dacapo_datagen::Scenario;
 use dacapo_dnn::workload::{window_workload, ClHyperparams, Kernel};
 use dacapo_dnn::zoo::{ModelPair, PaperModel};
@@ -137,7 +137,7 @@ fn fig12_shape_dacapo_stays_ahead_under_extreme_drift() {
         pair,
         SystemUnderTest {
             label: "DaCapo",
-            platform: PlatformKind::DaCapo,
+            platform: "dacapo",
             scheduler: SchedulerKind::DaCapoSpatiotemporal,
         },
         true,
@@ -146,11 +146,7 @@ fn fig12_shape_dacapo_stays_ahead_under_extreme_drift() {
     let ekya = run_system(
         scenario.clone(),
         pair,
-        SystemUnderTest {
-            label: "Ekya",
-            platform: PlatformKind::OrinHigh,
-            scheduler: SchedulerKind::Ekya,
-        },
+        SystemUnderTest { label: "Ekya", platform: "orin-high", scheduler: SchedulerKind::Ekya },
         true,
     )
     .unwrap();
@@ -172,7 +168,7 @@ fn energy_shape_dacapo_uses_two_orders_of_magnitude_less_energy() {
         pair,
         SystemUnderTest {
             label: "DaCapo",
-            platform: PlatformKind::DaCapo,
+            platform: "dacapo",
             scheduler: SchedulerKind::DaCapoSpatiotemporal,
         },
         true,
@@ -183,7 +179,7 @@ fn energy_shape_dacapo_uses_two_orders_of_magnitude_less_energy() {
         pair,
         SystemUnderTest {
             label: "OrinHigh",
-            platform: PlatformKind::OrinHigh,
+            platform: "orin-high",
             scheduler: SchedulerKind::Ekya,
         },
         true,

@@ -6,27 +6,27 @@
 //! are **bit-identical** to running each camera's `Session` alone with the
 //! same seed — threading changes wall-clock time, never metrics.
 
-use dacapo_core::{
-    ClSimulator, Fleet, PlatformRates, SchedulerKind, Session, SessionEvent, SimConfig,
+use dacapo_core::platform::{
+    self, KernelRate, PlatformProvider, PlatformRequest, PlatformSpec, Sharing,
 };
-use dacapo_datagen::Scenario;
+use dacapo_core::{
+    ClSimulator, Fleet, PlatformRates, Result, SchedulerKind, Session, SessionEvent, SimConfig,
+};
+use dacapo_datagen::{Scenario, Segment, SegmentAttributes};
 use dacapo_dnn::zoo::ModelPair;
-use dacapo_dnn::QuantMode;
+use std::sync::Arc;
 
 /// Fast synthetic platform so the eight debug-mode simulations stay quick.
 fn fast_platform() -> PlatformRates {
-    PlatformRates {
-        name: "fleet-test".to_string(),
-        inference_fps_capacity: 90.0,
-        labeling_sps: 30.0,
-        retraining_sps: 100.0,
-        shared: false,
-        power_watts: 2.0,
-        inference_quant: QuantMode::Fp32,
-        training_quant: QuantMode::Fp32,
-        tsa_rows: 12,
-        bsa_rows: 4,
-    }
+    PlatformRates::new(
+        "fleet-test",
+        KernelRate::fp32(90.0),
+        KernelRate::fp32(30.0),
+        KernelRate::fp32(100.0),
+        Sharing::Partitioned { tsa_rows: 12, bsa_rows: 4 },
+        2.0,
+    )
+    .expect("test rates are valid")
 }
 
 /// One camera per paper scenario (S1–S6, ES1, ES2), truncated to the first
@@ -106,6 +106,87 @@ fn thread_count_never_changes_fleet_results() {
     let serial = run_with_threads(1);
     let parallel = run_with_threads(8);
     assert_eq!(serial, parallel);
+}
+
+/// A platform defined *outside* `dacapo-core`: no builtin enum variant, only
+/// a provider registered at runtime. The rates scale with the requested
+/// frame rate to prove the provider sees the full request.
+struct TurboSimProvider;
+
+impl PlatformProvider for TurboSimProvider {
+    fn name(&self) -> &str {
+        "turbo-sim"
+    }
+
+    fn build(&self, request: &PlatformRequest<'_>) -> Result<PlatformRates> {
+        PlatformRates::new(
+            format!("TurboSim ({:.0} FPS headroom)", 3.0 * request.fps),
+            KernelRate::fp32(3.0 * request.fps),
+            KernelRate::fp32(35.0),
+            KernelRate::fp32(110.0),
+            Sharing::TimeShared,
+            4.0,
+        )
+    }
+}
+
+#[test]
+fn out_of_crate_platforms_run_sessions_and_heterogeneous_fleets() {
+    platform::register(Arc::new(TurboSimProvider));
+
+    // One short scenario, three cameras on three different platforms
+    // selected by registry name: the external provider, the builtin DaCapo
+    // accelerator, and a GPU baseline.
+    let scenario = Scenario::from_segments(
+        "hetero",
+        vec![Segment { attributes: SegmentAttributes::default(), duration_s: 60.0 }],
+    );
+    let camera_platforms = ["turbo-sim", "dacapo", "orin-high"];
+    let configs: Vec<(String, SimConfig)> = camera_platforms
+        .iter()
+        .enumerate()
+        .map(|(i, name)| {
+            let config = SimConfig::builder(scenario.clone(), ModelPair::ResNet18Wrn50)
+                .platform(*name)
+                .scheduler(SchedulerKind::DaCapoSpatiotemporal)
+                .measurement(10.0, 15)
+                .pretrain_samples(96)
+                .seed(0xCAFE + i as u64)
+                .build()
+                .expect("camera config builds");
+            (format!("cam-{name}"), config)
+        })
+        .collect();
+
+    // The external platform steps through a plain Session like any builtin.
+    let mut session = Session::new(configs[0].1.clone()).expect("session on custom platform");
+    assert_eq!(session.platform().name(), "TurboSim (90 FPS headroom)");
+    assert!(session.platform().is_shared());
+    while session.step().expect("session steps") != SessionEvent::Finished {}
+    let solo_turbo = session.into_result();
+    assert!(solo_turbo.system.starts_with("TurboSim"), "{}", solo_turbo.system);
+    assert!(solo_turbo.mean_accuracy > 0.1);
+
+    // A heterogeneous fleet mixes all three platforms, and every camera's
+    // result is bit-identical to its solo run.
+    let mut fleet = Fleet::new().threads(3);
+    for (name, config) in &configs {
+        fleet = fleet.camera(name.clone(), config.clone());
+    }
+    let fleet_result = fleet.run().expect("heterogeneous fleet runs");
+    let mut system_names = Vec::new();
+    for (name, config) in &configs {
+        let solo = ClSimulator::new(config.clone()).unwrap().run().unwrap();
+        let from_fleet = fleet_result.camera(name).expect("camera present");
+        assert_eq!(from_fleet, &solo, "{name}: fleet result diverged from solo run");
+        system_names.push(from_fleet.system.clone());
+    }
+    // The cameras really ran on three distinct platforms.
+    system_names.sort();
+    system_names.dedup();
+    assert_eq!(system_names.len(), camera_platforms.len(), "{system_names:?}");
+    // Specs resolve the same platforms the cameras saw.
+    assert_eq!(PlatformSpec::from("turbo-sim").kind(), None);
 }
 
 #[test]

@@ -2,17 +2,18 @@
 //! schedulers, and simulator that must hold for arbitrary (bounded) inputs.
 
 use dacapo_accel::estimator::{estimate, PrecisionPlan};
+use dacapo_accel::gpu::GpuDevice;
 use dacapo_accel::{AccelConfig, DaCapoAccelerator};
+use dacapo_core::platform::{KernelRate, Sharing};
 use dacapo_core::sched::{Action, SchedulerContext};
 use dacapo_core::{
-    ClSimulator, Hyperparams, LabeledSample, PlatformRates, SampleBuffer, SchedulerKind, Session,
-    SessionEvent, SimConfig,
+    ClSimulator, Hyperparams, LabeledSample, PlatformKind, PlatformRates, PlatformSpec,
+    SampleBuffer, SchedulerKind, Session, SessionEvent, SimConfig,
 };
 use dacapo_datagen::{
     LabelDistribution, Location, Scenario, Segment, SegmentAttributes, TimeOfDay, Weather,
 };
 use dacapo_dnn::zoo::ModelPair;
-use dacapo_dnn::QuantMode;
 use proptest::prelude::*;
 
 fn arbitrary_attributes() -> impl Strategy<Value = SegmentAttributes> {
@@ -44,18 +45,15 @@ fn arbitrary_scenario() -> impl Strategy<Value = Scenario> {
 }
 
 fn fast_platform() -> PlatformRates {
-    PlatformRates {
-        name: "prop-platform".to_string(),
-        inference_fps_capacity: 60.0,
-        labeling_sps: 50.0,
-        retraining_sps: 200.0,
-        shared: false,
-        power_watts: 1.0,
-        inference_quant: QuantMode::Fp32,
-        training_quant: QuantMode::Fp32,
-        tsa_rows: 8,
-        bsa_rows: 8,
-    }
+    PlatformRates::new(
+        "prop-platform",
+        KernelRate::fp32(60.0),
+        KernelRate::fp32(50.0),
+        KernelRate::fp32(200.0),
+        Sharing::Partitioned { tsa_rows: 8, bsa_rows: 8 },
+        1.0,
+    )
+    .expect("test rates are valid")
 }
 
 proptest! {
@@ -200,6 +198,35 @@ proptest! {
         prop_assert!((result.energy_joules - duration).abs() < 1e-6); // 1 W platform
     }
 
+    /// Registry resolution never changes the numbers: for every builtin
+    /// platform kind and a range of frame rates, a registry-resolved
+    /// `PlatformSpec` (by kind *and* by name) produces rates bit-identical
+    /// to the direct constructors (`PlatformRates::dacapo` / `::gpu`).
+    #[test]
+    fn spec_resolution_matches_direct_constructors(
+        kind_index in 0usize..4,
+        fps in 10.0f64..60.0,
+    ) {
+        let kind = PlatformKind::ALL[kind_index];
+        let pair = ModelPair::ResNet18Wrn50;
+        let accel = AccelConfig::default();
+        let direct = match kind {
+            PlatformKind::DaCapo => PlatformRates::dacapo(pair, fps, &accel).unwrap(),
+            PlatformKind::OrinHigh => {
+                PlatformRates::gpu(GpuDevice::jetson_orin_high(), pair).unwrap()
+            }
+            PlatformKind::OrinLow => {
+                PlatformRates::gpu(GpuDevice::jetson_orin_low(), pair).unwrap()
+            }
+            PlatformKind::Rtx3090 => PlatformRates::gpu(GpuDevice::rtx_3090(), pair).unwrap(),
+        };
+        let by_kind = PlatformSpec::Kind(kind).resolve(pair, fps, &accel).unwrap();
+        let by_name =
+            PlatformSpec::Named(kind.to_string().to_lowercase()).resolve(pair, fps, &accel).unwrap();
+        prop_assert_eq!(&direct, &by_kind);
+        prop_assert_eq!(&direct, &by_name);
+    }
+
     /// Determinism across APIs: `ClSimulator::run()` and a manually stepped
     /// `Session` built from the same seeded config produce identical
     /// `SimResult`s, for arbitrary scenarios, schedulers, and seeds.
@@ -235,4 +262,33 @@ proptest! {
             "every phase and accuracy sample must surface as an event"
         );
     }
+}
+
+/// A stepped `Session` on a name-resolved platform spec matches the
+/// enum-built one-shot run exactly: platform selection by registry name is
+/// invisible to the engine's numbers.
+#[test]
+fn spec_built_session_matches_enum_built_run() {
+    let scenario = Scenario::from_segments(
+        "spec-vs-enum",
+        vec![Segment { attributes: SegmentAttributes::default(), duration_s: 60.0 }],
+    );
+    let build = |platform: PlatformSpec| {
+        SimConfig::builder(scenario.clone(), ModelPair::ResNet18Wrn50)
+            .platform(platform)
+            .scheduler(SchedulerKind::DaCapoSpatiotemporal)
+            .measurement(10.0, 15)
+            .pretrain_samples(96)
+            .build()
+            .unwrap()
+    };
+
+    let enum_built =
+        ClSimulator::new(build(PlatformSpec::Kind(PlatformKind::DaCapo))).unwrap().run().unwrap();
+
+    let mut session = Session::new(build(PlatformSpec::from("dacapo"))).unwrap();
+    while session.step().unwrap() != SessionEvent::Finished {}
+    let spec_built = session.into_result();
+
+    assert_eq!(enum_built, spec_built);
 }

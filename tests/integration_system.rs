@@ -1,6 +1,7 @@
 //! Cross-crate integration tests: end-to-end continuous-learning runs on
 //! short drifting scenarios, exercising every scheduler and platform kind.
 
+use dacapo_core::platform::{KernelRate, Sharing};
 use dacapo_core::{
     ClSimulator, Hyperparams, PlatformKind, PlatformRates, SchedulerKind, SimConfig, SimResult,
 };
@@ -8,7 +9,6 @@ use dacapo_datagen::{
     LabelDistribution, Location, Scenario, Segment, SegmentAttributes, TimeOfDay,
 };
 use dacapo_dnn::zoo::ModelPair;
-use dacapo_dnn::QuantMode;
 
 /// A 3-minute scenario with two drifts (one compound), small enough for debug
 /// -mode tests but rich enough to separate the schedulers.
@@ -33,18 +33,15 @@ fn test_scenario() -> Scenario {
 
 /// Fast synthetic platform so scheduler behaviour (not throughput) dominates.
 fn fast_platform() -> PlatformRates {
-    PlatformRates {
-        name: "test-platform".to_string(),
-        inference_fps_capacity: 90.0,
-        labeling_sps: 30.0,
-        retraining_sps: 100.0,
-        shared: false,
-        power_watts: 2.0,
-        inference_quant: QuantMode::Fp32,
-        training_quant: QuantMode::Fp32,
-        tsa_rows: 12,
-        bsa_rows: 4,
-    }
+    PlatformRates::new(
+        "test-platform",
+        KernelRate::fp32(90.0),
+        KernelRate::fp32(30.0),
+        KernelRate::fp32(100.0),
+        Sharing::Partitioned { tsa_rows: 12, bsa_rows: 4 },
+        2.0,
+    )
+    .expect("test rates are valid")
 }
 
 fn run(scheduler: SchedulerKind) -> SimResult {
@@ -176,9 +173,16 @@ fn dacapo_platform_consumes_orders_of_magnitude_less_energy_than_orin() {
 
 #[test]
 fn overloaded_gpu_drops_frames_and_loses_accuracy() {
-    let mut slow = fast_platform();
-    slow.shared = true;
-    slow.inference_fps_capacity = 12.0; // 40% of the 30 FPS stream
+    // A time-shared device at 40% of the 30 FPS stream's inference demand.
+    let slow = PlatformRates::new(
+        "slow-gpu",
+        KernelRate::fp32(12.0),
+        KernelRate::fp32(30.0),
+        KernelRate::fp32(100.0),
+        Sharing::TimeShared,
+        2.0,
+    )
+    .expect("test rates are valid");
     let config = SimConfig::builder(test_scenario(), ModelPair::ResNet34Wrn101)
         .platform_rates(slow)
         .scheduler(SchedulerKind::Ekya)
