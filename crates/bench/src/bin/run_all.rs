@@ -5,7 +5,7 @@
 
 use std::process::Command;
 
-const EXPERIMENTS: [&str; 11] = [
+const EXPERIMENTS: [&str; 12] = [
     "table03_models",
     "table04_platforms",
     "fig08_label_distribution",
@@ -17,6 +17,9 @@ const EXPERIMENTS: [&str; 11] = [
     "fig12_extreme_scenarios",
     "energy_comparison",
     "fleet_scaling",
+    // Also leaves the stable executor-throughput trajectory record
+    // (results/BENCH_cluster.json) behind.
+    "cluster_contention",
 ];
 
 fn main() {

@@ -55,7 +55,8 @@ pub const FIG9_SYSTEMS: [SystemUnderTest; 6] = [
 #[must_use]
 pub fn truncate_scenario(scenario: &Scenario, segments: usize) -> Scenario {
     let kept: Vec<_> = scenario.segments().iter().copied().take(segments.max(1)).collect();
-    Scenario::from_segments(scenario.name().to_string(), kept)
+    Scenario::try_from_segments(scenario.name().to_string(), kept)
+        .expect("truncation keeps at least one positive-duration segment")
 }
 
 /// Builds the simulation configuration used by every figure-level experiment.

@@ -1,0 +1,910 @@
+//! Virtual-time cluster executor: thousands of camera sessions multiplexed
+//! over a shared pool of accelerators under a pluggable arbitration policy.
+//!
+//! [`Fleet`](crate::Fleet) answers "what do N independent cameras do?";
+//! [`Cluster`] answers the question the paper actually poses at scale: what
+//! happens when those cameras **contend** for hardware. Each cluster owns
+//! N [`Session`]s and M accelerator resources. Cameras are assigned to
+//! accelerators round-robin at admission; each accelerator runs an
+//! event-driven virtual-time loop that pops the next-due session step from a
+//! binary-heap event queue, asks its [`Arbiter`](crate::arbiter::Arbiter)
+//! for a capacity grant, and stretches the step's cluster-time duration by
+//! the reciprocal of the granted share — the
+//! [`Sharing::TimeShared`](crate::platform::Sharing) slowdown generalized
+//! across cameras.
+//!
+//! Two invariants make the executor useful:
+//!
+//! * **Per-camera results are contention-free.** Arbitration stretches
+//!   *cluster* time, never a session's own timeline, so every camera's
+//!   [`SimResult`] stays bit-identical to a solo run; contention surfaces
+//!   only in the [`ContentionMetrics`] (step stretch, makespan, accelerator
+//!   utilization). A cluster with one dedicated accelerator per camera is
+//!   therefore exactly a [`Fleet`](crate::Fleet) — and `Fleet::run` is
+//!   implemented as precisely that (property-tested bit-identical).
+//! * **Everything is deterministic.** Event-queue ties break by admission
+//!   order, accelerators are independent of each other, and no wall-clock
+//!   value feeds the virtual clock — two runs of the same cluster produce
+//!   identical [`ClusterResult`]s regardless of thread count.
+//!
+//! Admission control bounds residency: [`Cluster::capacity_per_accelerator`]
+//! caps concurrent sessions per accelerator, and cameras past the bound are
+//! either rejected with a typed
+//! [`CoreError::AdmissionRejected`] or queued
+//! ([`AdmissionPolicy`]) until a resident on their accelerator finishes.
+
+use crate::arbiter::{self, GrantRequest, PeerSession};
+use crate::config::SimConfig;
+use crate::fleet::{aggregate, prefix_camera, CameraResult, FleetResult};
+use crate::metrics::{mean, percentile};
+use crate::session::{Session, SessionEvent, SimObserver};
+use crate::sim::{PhaseKind, SimResult};
+use crate::{CoreError, Result};
+use serde::Serialize;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// What happens to cameras assigned past an accelerator's capacity bound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum AdmissionPolicy {
+    /// Refuse to run: [`Cluster::run`] fails with
+    /// [`CoreError::AdmissionRejected`] naming the first camera over the
+    /// bound.
+    Reject,
+    /// Queue: the camera waits (in admission order, per accelerator) and
+    /// starts at the cluster time a resident session finishes.
+    Queue,
+}
+
+/// Cluster-wide contention telemetry: how hard the accelerators were fought
+/// over, independent of the per-camera accuracy results.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ContentionMetrics {
+    /// Number of shared accelerators in the pool.
+    pub accelerators: usize,
+    /// The arbitration policy name the cluster ran under.
+    pub arbiter: String,
+    /// Cluster virtual time at which the last session finished, in seconds.
+    pub makespan_s: f64,
+    /// Total phases executed across every session (including waits).
+    pub steps_executed: usize,
+    /// Mean stretch over arbitrated (labeling/retraining) steps: cluster-time
+    /// duration divided by session-time duration, `1.0` meaning no
+    /// contention. `0` when no arbitrated step executed.
+    pub mean_step_stretch: f64,
+    /// Median arbitrated-step stretch (`0` when no arbitrated step ran).
+    pub p50_step_stretch: f64,
+    /// 99th-percentile arbitrated-step stretch (the contention tail).
+    pub p99_step_stretch: f64,
+    /// Worst single-step stretch.
+    pub max_step_stretch: f64,
+    /// Per-accelerator utilization: arbitrated session-seconds executed
+    /// divided by that accelerator's local makespan (`0` for idle
+    /// accelerators).
+    pub accelerator_utilization: Vec<f64>,
+    /// Mean of [`Self::accelerator_utilization`].
+    pub mean_accelerator_utilization: f64,
+    /// Sum over accelerators of each event loop's peak heap depth — the
+    /// cluster's peak concurrent event footprint.
+    pub peak_queue_depth: usize,
+    /// Cameras that waited in an admission queue before starting.
+    pub queued_cameras: usize,
+}
+
+/// The outcome of a cluster run: the same per-camera results and aggregates
+/// a [`Fleet`](crate::Fleet) reports, plus the contention telemetry only a
+/// shared-accelerator execution can produce.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ClusterResult {
+    /// Per-camera results and fleet-level aggregates. Camera results are
+    /// bit-identical to solo runs — contention never changes a session's
+    /// numbers, only its place on the cluster clock.
+    pub fleet: FleetResult,
+    /// Contention telemetry.
+    pub contention: ContentionMetrics,
+}
+
+impl ClusterResult {
+    /// The camera result with the given name, if present.
+    #[must_use]
+    pub fn camera(&self, name: &str) -> Option<&SimResult> {
+        self.fleet.camera(name)
+    }
+}
+
+/// Builder-style driver for a cluster of camera sessions sharing a pool of
+/// accelerators.
+///
+/// # Examples
+///
+/// ```no_run
+/// use dacapo_core::{Cluster, SimConfig};
+/// use dacapo_datagen::Scenario;
+/// use dacapo_dnn::zoo::ModelPair;
+///
+/// # fn main() -> Result<(), dacapo_core::CoreError> {
+/// // 1000 cameras contending for 4 accelerators under fair-share.
+/// let mut cluster = Cluster::new(4).arbiter("fair-share");
+/// for i in 0..1000 {
+///     let scenario = Scenario::all()[i % 8].clone();
+///     let config = SimConfig::builder(scenario, ModelPair::ResNet18Wrn50)
+///         .seed(0xDACA90 + i as u64)
+///         .build()?;
+///     cluster = cluster.camera(format!("cam-{i:04}"), config);
+/// }
+/// let result = cluster.run()?;
+/// println!(
+///     "makespan {:.0} s, p99 stretch {:.1}x, mean accuracy {:.1}%",
+///     result.contention.makespan_s,
+///     result.contention.p99_step_stretch,
+///     result.fleet.mean_accuracy * 100.0,
+/// );
+/// # Ok(())
+/// # }
+/// ```
+pub struct Cluster {
+    cameras: Vec<(String, SimConfig)>,
+    accelerators: usize,
+    threads: usize,
+    arbiter: String,
+    capacity: Option<usize>,
+    admission: AdmissionPolicy,
+}
+
+impl Cluster {
+    /// Creates an empty cluster with `accelerators` shared accelerator
+    /// resources, a `fair-share` arbiter, no admission bound, and worker
+    /// threads sized to the machine's available parallelism.
+    #[must_use]
+    pub fn new(accelerators: usize) -> Self {
+        let threads = std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get);
+        Self {
+            cameras: Vec::new(),
+            accelerators,
+            threads,
+            arbiter: "fair-share".to_string(),
+            capacity: None,
+            admission: AdmissionPolicy::Queue,
+        }
+    }
+
+    /// Adds a camera with its own configuration. Cameras are assigned to
+    /// accelerators round-robin in the order they are added.
+    #[must_use]
+    pub fn camera(mut self, name: impl Into<String>, config: SimConfig) -> Self {
+        self.cameras.push((name.into(), config));
+        self
+    }
+
+    /// Selects the arbitration policy by registry name (see
+    /// [`crate::arbiter::register`]), with an optional `:<params>` suffix —
+    /// `"fair-share"`, `"priority:3,1"`, `"drift-first:4"`, or any custom
+    /// registered policy.
+    #[must_use]
+    pub fn arbiter(mut self, name: impl Into<String>) -> Self {
+        self.arbiter = name.into();
+        self
+    }
+
+    /// Caps the number of worker threads (at least one is always used).
+    /// Accelerators are independent, so threading never changes results.
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Bounds the number of concurrently resident sessions per accelerator.
+    /// Cameras past the bound are handled per the [`AdmissionPolicy`].
+    #[must_use]
+    pub fn capacity_per_accelerator(mut self, capacity: usize) -> Self {
+        self.capacity = Some(capacity);
+        self
+    }
+
+    /// Sets what happens to cameras past the capacity bound (default:
+    /// [`AdmissionPolicy::Queue`]).
+    #[must_use]
+    pub fn admission(mut self, policy: AdmissionPolicy) -> Self {
+        self.admission = policy;
+        self
+    }
+
+    /// Number of cameras currently in the cluster.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.cameras.len()
+    }
+
+    /// Whether the cluster has no cameras.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.cameras.is_empty()
+    }
+
+    /// Runs every camera session to completion, accelerator loops spread
+    /// across the worker threads, and aggregates results plus contention
+    /// metrics. Deterministic at any thread count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] for an empty cluster, a zero
+    /// accelerator/capacity bound, duplicate camera names, an invalid camera
+    /// configuration, or an unregistered arbiter;
+    /// [`CoreError::AdmissionRejected`] when the admission policy is
+    /// [`AdmissionPolicy::Reject`] and a camera lands past the capacity
+    /// bound; and propagates the first session error otherwise.
+    pub fn run(self) -> Result<ClusterResult> {
+        self.run_impl(None)
+    }
+
+    /// Like [`Cluster::run`], but forwards every session event (phases,
+    /// drift responses, accuracy samples, finishes) of every camera to
+    /// `observer` through the standard [`SimObserver`] hooks. Events stream
+    /// accelerator by accelerator (in index order), each accelerator's
+    /// stream in cluster-virtual-time order; execution is single-threaded so
+    /// the observer needs no synchronisation. The returned result is
+    /// identical to [`Cluster::run`]'s.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Cluster::run`].
+    pub fn run_with(self, observer: &mut dyn SimObserver) -> Result<ClusterResult> {
+        self.run_impl(Some(observer))
+    }
+
+    fn run_impl(self, mut observer: Option<&mut dyn SimObserver>) -> Result<ClusterResult> {
+        self.validate()?;
+        let accelerators = self.accelerators;
+        let arbiter_name = self.arbiter;
+        let capacity = self.capacity;
+        let cameras = self.cameras;
+
+        // Round-robin assignment, in admission order per accelerator.
+        let mut assignment: Vec<Vec<usize>> = vec![Vec::new(); accelerators];
+        for index in 0..cameras.len() {
+            assignment[index % accelerators].push(index);
+        }
+
+        let outcomes: Vec<Option<Result<AccelOutcome>>> = if let Some(observer) = observer.take() {
+            // Observed runs execute serially so the event stream needs no
+            // locking and arrives in a stable order.
+            let mut outcomes = Vec::with_capacity(accelerators);
+            let mut failed = false;
+            for (accel, assigned) in assignment.iter().enumerate() {
+                if failed {
+                    outcomes.push(None);
+                    continue;
+                }
+                let outcome = run_accelerator(
+                    accel,
+                    assigned,
+                    &cameras,
+                    &arbiter_name,
+                    capacity,
+                    Some(&mut *observer),
+                );
+                failed = outcome.is_err();
+                outcomes.push(Some(outcome));
+            }
+            outcomes
+        } else {
+            let workers = self.threads.min(accelerators.max(1)).max(1);
+            let next = AtomicUsize::new(0);
+            let failed = AtomicBool::new(false);
+            let slots: Mutex<Vec<Option<Result<AccelOutcome>>>> =
+                Mutex::new((0..accelerators).map(|_| None).collect());
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|| loop {
+                        if failed.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        let accel = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(assigned) = assignment.get(accel) else { break };
+                        let outcome = run_accelerator(
+                            accel,
+                            assigned,
+                            &cameras,
+                            &arbiter_name,
+                            capacity,
+                            None,
+                        );
+                        if outcome.is_err() {
+                            failed.store(true, Ordering::Relaxed);
+                        }
+                        slots.lock().expect("cluster outcome lock poisoned")[accel] = Some(outcome);
+                    });
+                }
+            });
+            slots.into_inner().expect("cluster outcome lock poisoned")
+        };
+
+        // Surface the error of the lowest-indexed accelerator that reported
+        // one. When several accelerators fail concurrently in the threaded
+        // path, which of them got to report before the abort flag stopped
+        // the others can vary — but at least one real error always
+        // surfaces, and the Ok path stays fully deterministic.
+        if let Some(err) = outcomes.iter().flatten().find_map(|outcome| outcome.as_ref().err()) {
+            return Err(err.clone());
+        }
+        let mut results: Vec<Option<SimResult>> = (0..cameras.len()).map(|_| None).collect();
+        let mut stretches = Vec::new();
+        let mut utilization = Vec::with_capacity(accelerators);
+        let mut steps_executed = 0;
+        let mut peak_queue_depth = 0;
+        let mut queued_cameras = 0;
+        let mut makespan_s: f64 = 0.0;
+        for outcome in outcomes {
+            let outcome = outcome
+                .expect("without errors every accelerator ran")
+                .expect("errors were surfaced above");
+            for (camera_index, result) in outcome.results {
+                results[camera_index] = Some(result);
+            }
+            stretches.extend(outcome.stretches);
+            steps_executed += outcome.steps;
+            peak_queue_depth += outcome.peak_depth;
+            queued_cameras += outcome.queued;
+            makespan_s = makespan_s.max(outcome.makespan_s);
+            let local_utilization =
+                if outcome.makespan_s > 0.0 { outcome.busy_s / outcome.makespan_s } else { 0.0 };
+            utilization.push(local_utilization);
+        }
+        let camera_results: Vec<CameraResult> = cameras
+            .into_iter()
+            .zip(results)
+            .map(|((camera, _), result)| CameraResult {
+                camera,
+                result: result.expect("every admitted camera ran to completion"),
+            })
+            .collect();
+        let contention = ContentionMetrics {
+            accelerators,
+            arbiter: arbiter_name,
+            makespan_s,
+            steps_executed,
+            mean_step_stretch: mean(&stretches),
+            p50_step_stretch: percentile(&stretches, 50.0),
+            p99_step_stretch: percentile(&stretches, 99.0),
+            max_step_stretch: stretches.iter().copied().fold(0.0, f64::max),
+            mean_accelerator_utilization: mean(&utilization),
+            accelerator_utilization: utilization,
+            peak_queue_depth,
+            queued_cameras,
+        };
+        Ok(ClusterResult { fleet: aggregate(camera_results), contention })
+    }
+
+    /// Full up-front validation so a bad camera or policy fails fast,
+    /// before any session is constructed or simulated.
+    fn validate(&self) -> Result<()> {
+        if self.accelerators == 0 {
+            return Err(CoreError::InvalidConfig {
+                reason: "a cluster needs at least one accelerator".into(),
+            });
+        }
+        if self.cameras.is_empty() {
+            return Err(CoreError::InvalidConfig {
+                reason: "a cluster needs at least one camera".into(),
+            });
+        }
+        if self.capacity == Some(0) {
+            return Err(CoreError::InvalidConfig {
+                reason: "per-accelerator capacity must be at least one session".into(),
+            });
+        }
+        for (i, (name, config)) in self.cameras.iter().enumerate() {
+            if self.cameras[..i].iter().any(|(other, _)| other == name) {
+                return Err(CoreError::InvalidConfig {
+                    reason: format!("duplicate camera name '{name}'"),
+                });
+            }
+            // Catch bad configs (including unregistered scheduler or
+            // platform names) before any simulation time is spent, so the
+            // error carries the offending camera's name. The resolutions
+            // here are cheap; Session::new repeats them.
+            config.validate().map_err(|e| prefix_camera(name, e))?;
+            config.scheduler.create(&config.hyper).map_err(|e| prefix_camera(name, e))?;
+            config.platform_rates().map_err(|e| prefix_camera(name, e))?;
+        }
+        // Resolve the arbiter once up front: an unregistered policy or
+        // malformed parameters must not fail mid-run.
+        arbiter::create(&self.arbiter)?;
+        if self.admission == AdmissionPolicy::Reject {
+            if let Some(capacity) = self.capacity {
+                let bound = self.accelerators * capacity;
+                if self.cameras.len() > bound {
+                    let (camera, _) = &self.cameras[bound];
+                    return Err(CoreError::AdmissionRejected {
+                        camera: camera.clone(),
+                        reason: format!(
+                            "cluster capacity is {capacity} sessions on each of {} accelerators \
+                             ({bound} total) and the admission policy is Reject",
+                            self.accelerators
+                        ),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A heap entry: when a session's next step is due on the cluster clock.
+/// Orders by due time (IEEE total order), ties broken by admission sequence
+/// so the executor is deterministic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Due {
+    at: f64,
+    seq: u64,
+    slot: usize,
+}
+
+impl Eq for Due {}
+
+impl PartialOrd for Due {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Due {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.at.total_cmp(&other.at).then(self.seq.cmp(&other.seq))
+    }
+}
+
+/// One admitted session's executor state. The session itself is dropped
+/// (converted to its [`SimResult`]) the moment it finishes, so long queues
+/// of already-finished cameras never pile up live model state.
+struct Slot {
+    camera_index: usize,
+    session: Option<Session>,
+    now_s: f64,
+    recovering: bool,
+}
+
+/// What one accelerator's event loop produced.
+struct AccelOutcome {
+    /// `(camera index, result)` for every camera that ran here.
+    results: Vec<(usize, SimResult)>,
+    /// Stretch factor of every arbitrated (label/retrain) step.
+    stretches: Vec<f64>,
+    /// Total phases executed (including waits).
+    steps: usize,
+    /// Arbitrated session-seconds executed (the accelerator's busy time).
+    busy_s: f64,
+    /// Cluster time at which the last resident finished.
+    makespan_s: f64,
+    /// Peak event-heap depth.
+    peak_depth: usize,
+    /// Cameras that waited in the admission queue.
+    queued: usize,
+}
+
+/// Runs one accelerator's virtual-time event loop to completion.
+fn run_accelerator(
+    accel: usize,
+    assigned: &[usize],
+    cameras: &[(String, SimConfig)],
+    arbiter_name: &str,
+    capacity: Option<usize>,
+    mut observer: Option<&mut dyn SimObserver>,
+) -> Result<AccelOutcome> {
+    let mut arbiter = arbiter::create(arbiter_name)?;
+    let resident_cap = capacity.unwrap_or(usize::MAX);
+    let mut pending: VecDeque<usize> = assigned.iter().skip(resident_cap).copied().collect();
+    let queued = pending.len();
+
+    let mut slots: Vec<Slot> = Vec::with_capacity(assigned.len().min(resident_cap));
+    let mut heap: BinaryHeap<Reverse<Due>> = BinaryHeap::new();
+    // Slot indices of the currently resident (unfinished) sessions, in
+    // admission order; a slot's index doubles as its admission index.
+    let mut active: Vec<usize> = Vec::new();
+    let mut seq = 0u64;
+    for &camera_index in assigned.iter().take(resident_cap) {
+        admit(camera_index, 0.0, cameras, &mut slots, &mut heap, &mut active, &mut seq)?;
+    }
+
+    let mut outcome = AccelOutcome {
+        results: Vec::with_capacity(assigned.len()),
+        stretches: Vec::new(),
+        steps: 0,
+        busy_s: 0.0,
+        makespan_s: 0.0,
+        peak_depth: heap.len(),
+        queued,
+    };
+
+    while let Some(Reverse(due)) = heap.pop() {
+        let camera_index = slots[due.slot].camera_index;
+        let (camera_name, _) = &cameras[camera_index];
+        let events = slots[due.slot]
+            .session
+            .as_mut()
+            .expect("heap entries only reference live sessions")
+            .step_phase()
+            .map_err(|e| prefix_camera(camera_name, e))?;
+
+        // A drift response entering this step marks the session as
+        // recovering *before* arbitration, so drift-aware arbiters can boost
+        // the response itself; the recovery ends once a retraining phase
+        // completes (checked after the grant below).
+        if events.iter().any(|e| matches!(e, SessionEvent::Drift { .. })) {
+            slots[due.slot].recovering = true;
+        }
+        let phase = events.iter().rev().find_map(|event| match event {
+            SessionEvent::Phase(p) => Some(*p),
+            _ => None,
+        });
+
+        match phase {
+            Some(phase) => {
+                outcome.steps += 1;
+                let arbitrated = matches!(phase.kind, PhaseKind::Label | PhaseKind::Retrain);
+                let stretch = if arbitrated {
+                    let residents: Vec<PeerSession> = active
+                        .iter()
+                        .map(|&slot| PeerSession {
+                            camera_index: slots[slot].camera_index,
+                            admission_index: slot,
+                            recovering: slots[slot].recovering,
+                        })
+                        .collect();
+                    let share = arbiter.grant(&GrantRequest {
+                        now_s: due.at,
+                        accelerator: accel,
+                        camera: camera_name,
+                        camera_index,
+                        admission_index: due.slot,
+                        recovering: slots[due.slot].recovering,
+                        residents: &residents,
+                    });
+                    if !share.is_finite() || share <= 0.0 || share > 1.0 {
+                        return Err(CoreError::InvalidConfig {
+                            reason: format!(
+                                "arbiter '{}' granted an invalid capacity share ({share}) to \
+                                 camera '{camera_name}'; shares must lie in (0, 1]",
+                                arbiter.name()
+                            ),
+                        });
+                    }
+                    outcome.busy_s += phase.duration_s;
+                    1.0 / share
+                } else {
+                    // Waits consume no accelerator compute, so they pass
+                    // through unstretched and unarbitrated.
+                    1.0
+                };
+                if arbitrated {
+                    outcome.stretches.push(stretch);
+                }
+                if phase.kind == PhaseKind::Retrain {
+                    slots[due.slot].recovering = false;
+                }
+                slots[due.slot].now_s += phase.duration_s * stretch;
+                let at = slots[due.slot].now_s;
+                heap.push(Reverse(Due { at, seq, slot: due.slot }));
+                seq += 1;
+                outcome.peak_depth = outcome.peak_depth.max(heap.len());
+            }
+            None => {
+                // The session finished (the burst ended with `Finished`,
+                // possibly after trailing accuracy flushes): collect its
+                // result now and drop the session so finished cameras never
+                // accumulate live model state.
+                let session = slots[due.slot]
+                    .session
+                    .take()
+                    .expect("heap entries only reference live sessions");
+                outcome.results.push((camera_index, session.into_result()));
+                active.retain(|&slot| slot != due.slot);
+                outcome.makespan_s = outcome.makespan_s.max(slots[due.slot].now_s);
+                if let Some(next) = pending.pop_front() {
+                    let at = slots[due.slot].now_s;
+                    admit(next, at, cameras, &mut slots, &mut heap, &mut active, &mut seq)?;
+                    outcome.peak_depth = outcome.peak_depth.max(heap.len());
+                }
+            }
+        }
+        if let Some(observer) = observer.as_deref_mut() {
+            forward(observer, &events);
+        }
+    }
+
+    debug_assert!(active.is_empty(), "the event loop drains only when every session finished");
+    outcome.results.sort_by_key(|(camera_index, _)| *camera_index);
+    Ok(outcome)
+}
+
+/// Creates a camera's session and enters it into an accelerator's event
+/// loop at cluster time `at`.
+fn admit(
+    camera_index: usize,
+    at: f64,
+    cameras: &[(String, SimConfig)],
+    slots: &mut Vec<Slot>,
+    heap: &mut BinaryHeap<Reverse<Due>>,
+    active: &mut Vec<usize>,
+    seq: &mut u64,
+) -> Result<()> {
+    let (name, config) = &cameras[camera_index];
+    let session = Session::new(config.clone()).map_err(|e| prefix_camera(name, e))?;
+    slots.push(Slot { camera_index, session: Some(session), now_s: at, recovering: false });
+    heap.push(Reverse(Due { at, seq: *seq, slot: slots.len() - 1 }));
+    active.push(slots.len() - 1);
+    *seq += 1;
+    Ok(())
+}
+
+/// Forwards one step's event burst to an observer, mirroring
+/// [`Session::run_with`]'s dispatch.
+fn forward(observer: &mut dyn SimObserver, events: &[SessionEvent]) {
+    for event in events {
+        match event {
+            SessionEvent::Phase(phase) => observer.on_phase(phase),
+            SessionEvent::Drift { at_s, response_index } => {
+                observer.on_drift(*at_s, *response_index);
+            }
+            SessionEvent::Accuracy { at_s, accuracy } => observer.on_accuracy(*at_s, *accuracy),
+            SessionEvent::Finished => observer.on_finished(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sched::SchedulerKind;
+    use crate::sim::test_support::short_config;
+    use crate::sim::PhaseRecord;
+    use crate::Fleet;
+
+    fn two_camera_cluster(accelerators: usize) -> Cluster {
+        Cluster::new(accelerators)
+            .camera("calm", short_config(SchedulerKind::DaCapoSpatial))
+            .camera("adaptive", short_config(SchedulerKind::DaCapoSpatiotemporal))
+    }
+
+    #[test]
+    fn empty_clusters_zero_accelerators_and_duplicates_are_rejected() {
+        assert!(Cluster::new(1).run().is_err());
+        assert!(Cluster::new(0)
+            .camera("a", short_config(SchedulerKind::NoAdaptation))
+            .run()
+            .is_err());
+        let err = Cluster::new(1)
+            .camera("a", short_config(SchedulerKind::NoAdaptation))
+            .camera("a", short_config(SchedulerKind::NoAdaptation))
+            .run()
+            .unwrap_err();
+        assert!(err.to_string().contains("duplicate"), "{err}");
+        let err = Cluster::new(1)
+            .capacity_per_accelerator(0)
+            .camera("a", short_config(SchedulerKind::NoAdaptation))
+            .run()
+            .unwrap_err();
+        assert!(err.to_string().contains("capacity"), "{err}");
+    }
+
+    #[test]
+    fn bad_configs_and_unknown_arbiters_fail_before_any_simulation() {
+        let mut broken = short_config(SchedulerKind::NoAdaptation);
+        broken.scheduler = "not-a-registered-policy".into();
+        let started = std::time::Instant::now();
+        let err = Cluster::new(2)
+            .camera("good", short_config(SchedulerKind::NoAdaptation))
+            .camera("broken", broken)
+            .run()
+            .unwrap_err();
+        assert!(err.to_string().contains("broken"), "{err}");
+        assert!(started.elapsed().as_millis() < 500, "validation should fail fast");
+
+        let started = std::time::Instant::now();
+        let err = two_camera_cluster(1).arbiter("warp-arbiter").run().unwrap_err();
+        assert!(err.to_string().contains("warp-arbiter"), "{err}");
+        assert!(started.elapsed().as_millis() < 500, "validation should fail fast");
+        assert!(two_camera_cluster(1).arbiter("priority:bogus").run().is_err());
+    }
+
+    #[test]
+    fn dedicated_accelerators_reproduce_the_fleet_exactly() {
+        let cluster = two_camera_cluster(2).run().unwrap();
+        let fleet = Fleet::new()
+            .camera("calm", short_config(SchedulerKind::DaCapoSpatial))
+            .camera("adaptive", short_config(SchedulerKind::DaCapoSpatiotemporal))
+            .run()
+            .unwrap();
+        assert_eq!(cluster.fleet, fleet);
+        // No contention: every arbitrated step ran at full capacity.
+        assert_eq!(cluster.contention.accelerators, 2);
+        assert!((cluster.contention.p99_step_stretch - 1.0).abs() < 1e-12);
+        assert!((cluster.contention.max_step_stretch - 1.0).abs() < 1e-12);
+        assert_eq!(cluster.contention.queued_cameras, 0);
+        assert_eq!(cluster.contention.peak_queue_depth, 2, "one event per dedicated camera");
+    }
+
+    #[test]
+    fn contention_stretches_cluster_time_but_not_camera_results() {
+        let dedicated = two_camera_cluster(2).run().unwrap();
+        let contended = two_camera_cluster(1).run().unwrap();
+        // Same sessions, same numbers — only the cluster clock differs.
+        assert_eq!(dedicated.fleet, contended.fleet);
+        assert!(contended.contention.makespan_s > dedicated.contention.makespan_s);
+        // Two residents under fair-share: every contended step stretches 2x
+        // until the first camera finishes.
+        assert!((contended.contention.max_step_stretch - 2.0).abs() < 1e-12);
+        assert!(contended.contention.mean_step_stretch > 1.0);
+        assert!(contended.contention.p50_step_stretch >= 1.0);
+        assert!(contended.contention.p99_step_stretch >= contended.contention.p50_step_stretch);
+    }
+
+    #[test]
+    fn utilization_is_full_for_a_dedicated_busy_camera() {
+        // A spatiotemporal session labels/retrains nearly continuously, so a
+        // dedicated accelerator is almost always busy.
+        let result = Cluster::new(1)
+            .camera("only", short_config(SchedulerKind::DaCapoSpatiotemporal))
+            .run()
+            .unwrap();
+        assert_eq!(result.contention.accelerator_utilization.len(), 1);
+        let utilization = result.contention.accelerator_utilization[0];
+        assert!((0.5..=1.0).contains(&utilization), "utilization {utilization}");
+        assert!((result.contention.mean_accelerator_utilization - utilization).abs() < 1e-12);
+        assert!(result.contention.makespan_s >= result.fleet.cameras[0].result.duration_s - 1e-9);
+    }
+
+    #[test]
+    fn idle_accelerators_report_zero_utilization() {
+        let result = Cluster::new(3)
+            .camera("only", short_config(SchedulerKind::NoAdaptation))
+            .run()
+            .unwrap();
+        assert_eq!(result.contention.accelerator_utilization.len(), 3);
+        assert_eq!(result.contention.accelerator_utilization[1], 0.0);
+        assert_eq!(result.contention.accelerator_utilization[2], 0.0);
+        // A no-adaptation camera only waits: nothing is ever arbitrated.
+        assert_eq!(result.contention.mean_step_stretch, 0.0);
+        assert_eq!(result.contention.p99_step_stretch, 0.0);
+    }
+
+    #[test]
+    fn admission_rejects_past_capacity_with_a_typed_error() {
+        let err = two_camera_cluster(1)
+            .capacity_per_accelerator(1)
+            .admission(AdmissionPolicy::Reject)
+            .run()
+            .unwrap_err();
+        match &err {
+            CoreError::AdmissionRejected { camera, reason } => {
+                assert_eq!(camera, "adaptive");
+                assert!(reason.contains("capacity is 1"), "{reason}");
+            }
+            other => panic!("expected AdmissionRejected, got {other:?}"),
+        }
+        assert!(err.to_string().contains("adaptive"), "{err}");
+    }
+
+    #[test]
+    fn queued_cameras_wait_for_a_resident_to_finish() {
+        let queued = two_camera_cluster(1)
+            .capacity_per_accelerator(1)
+            .admission(AdmissionPolicy::Queue)
+            .run()
+            .unwrap();
+        let unbounded = two_camera_cluster(1).run().unwrap();
+        // Queueing serialises the cameras: identical results, no stretch,
+        // and a makespan spanning both runs back to back.
+        assert_eq!(queued.fleet, unbounded.fleet);
+        assert_eq!(queued.contention.queued_cameras, 1);
+        assert!((queued.contention.max_step_stretch - 1.0).abs() < 1e-12);
+        assert!(queued.contention.makespan_s > unbounded.contention.makespan_s - 1e-9);
+    }
+
+    #[test]
+    fn thread_count_never_changes_cluster_results() {
+        let serial = two_camera_cluster(2).threads(1).run().unwrap();
+        let parallel = two_camera_cluster(2).threads(8).run().unwrap();
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn observed_runs_match_unobserved_runs_and_see_every_event() {
+        #[derive(Default)]
+        struct Counter {
+            phases: usize,
+            accuracy: usize,
+            drifts: usize,
+            finished: usize,
+        }
+        impl SimObserver for Counter {
+            fn on_phase(&mut self, _phase: &PhaseRecord) {
+                self.phases += 1;
+            }
+            fn on_drift(&mut self, _at_s: f64, _index: usize) {
+                self.drifts += 1;
+            }
+            fn on_accuracy(&mut self, _at_s: f64, _accuracy: f64) {
+                self.accuracy += 1;
+            }
+            fn on_finished(&mut self) {
+                self.finished += 1;
+            }
+        }
+
+        let mut counter = Counter::default();
+        let observed = two_camera_cluster(1).run_with(&mut counter).unwrap();
+        let plain = two_camera_cluster(1).run().unwrap();
+        assert_eq!(observed, plain, "observation must not perturb the run");
+        let phases: usize = observed.fleet.cameras.iter().map(|c| c.result.phases.len()).sum();
+        let accuracy: usize =
+            observed.fleet.cameras.iter().map(|c| c.result.accuracy_timeline.len()).sum();
+        assert_eq!(counter.phases, phases);
+        assert_eq!(counter.accuracy, accuracy);
+        assert_eq!(counter.drifts, observed.fleet.total_drift_responses);
+        assert_eq!(counter.finished, observed.fleet.cameras.len());
+    }
+
+    #[test]
+    fn invalid_shares_from_untrusted_arbiters_error_instead_of_spinning() {
+        use crate::arbiter::{Arbiter, ArbiterFactory, GrantRequest};
+        use std::sync::Arc;
+
+        struct NanShare;
+        impl Arbiter for NanShare {
+            fn name(&self) -> String {
+                "nan-share".to_string()
+            }
+            fn grant(&mut self, _request: &GrantRequest<'_>) -> f64 {
+                f64::NAN
+            }
+        }
+        struct NanShareFactory;
+        impl ArbiterFactory for NanShareFactory {
+            fn name(&self) -> &str {
+                "nan-share"
+            }
+            fn build(&self, _params: Option<&str>) -> Result<Box<dyn Arbiter>> {
+                Ok(Box::new(NanShare))
+            }
+        }
+
+        arbiter::register(Arc::new(NanShareFactory));
+        let err = two_camera_cluster(1).arbiter("nan-share").run().unwrap_err();
+        assert!(err.to_string().contains("invalid capacity share"), "{err}");
+    }
+
+    #[test]
+    fn drift_first_changes_contention_but_never_camera_results() {
+        let fair = Cluster::new(1)
+            .camera("a", short_config(SchedulerKind::DaCapoSpatiotemporal))
+            .camera("b", short_config(SchedulerKind::DaCapoSpatial))
+            .run()
+            .unwrap();
+        let drift_first = Cluster::new(1)
+            .arbiter("drift-first:4")
+            .camera("a", short_config(SchedulerKind::DaCapoSpatiotemporal))
+            .camera("b", short_config(SchedulerKind::DaCapoSpatial))
+            .run()
+            .unwrap();
+        assert_eq!(fair.fleet, drift_first.fleet);
+        // The spatiotemporal camera drifts (see sim tests), so drift-first
+        // reallocates: its recovery steps run at a 5/4 stretch instead of
+        // the fair 2x, which shows up in the contention aggregates.
+        assert!(fair.fleet.total_drift_responses >= 1);
+        assert_ne!(fair.contention, drift_first.contention);
+    }
+
+    #[test]
+    fn priority_weights_shape_the_stretch_tail() {
+        let result = two_camera_cluster(1).arbiter("priority:3,1").run().unwrap();
+        // While both cameras are resident, the weight-1 camera's steps
+        // stretch 4x (share 1/4) and the weight-3 camera's 4/3x; once the
+        // faster camera finishes the survivor runs unstretched.
+        assert!((result.contention.max_step_stretch - 4.0).abs() < 1e-9);
+        assert!(result.contention.mean_step_stretch > 1.0);
+    }
+}

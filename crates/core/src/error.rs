@@ -11,6 +11,18 @@ pub enum CoreError {
         /// Explanation of what was wrong.
         reason: String,
     },
+    /// A camera was denied admission to a cluster at its capacity bound
+    /// (see [`Cluster::capacity_per_accelerator`] and
+    /// [`AdmissionPolicy::Reject`]).
+    ///
+    /// [`Cluster::capacity_per_accelerator`]: crate::Cluster::capacity_per_accelerator
+    /// [`AdmissionPolicy::Reject`]: crate::AdmissionPolicy::Reject
+    AdmissionRejected {
+        /// Name of the rejected camera.
+        camera: String,
+        /// Why the camera could not be admitted.
+        reason: String,
+    },
     /// The student network failed.
     Dnn(dacapo_dnn::DnnError),
     /// The accelerator model failed (for example an infeasible allocation).
@@ -23,6 +35,9 @@ impl fmt::Display for CoreError {
             CoreError::InvalidConfig { reason } => {
                 write!(f, "invalid system configuration: {reason}")
             }
+            CoreError::AdmissionRejected { camera, reason } => {
+                write!(f, "admission rejected for camera '{camera}': {reason}")
+            }
             CoreError::Dnn(e) => write!(f, "student model error: {e}"),
             CoreError::Accel(e) => write!(f, "accelerator model error: {e}"),
         }
@@ -34,7 +49,7 @@ impl Error for CoreError {
         match self {
             CoreError::Dnn(e) => Some(e),
             CoreError::Accel(e) => Some(e),
-            CoreError::InvalidConfig { .. } => None,
+            CoreError::InvalidConfig { .. } | CoreError::AdmissionRejected { .. } => None,
         }
     }
 }
@@ -69,5 +84,10 @@ mod tests {
         let inner = dacapo_dnn::DnnError::InvalidLabels { reason: "bad".into() };
         let e: CoreError = inner.into();
         assert!(std::error::Error::source(&e).is_some());
+
+        let e = CoreError::AdmissionRejected { camera: "cam-7".into(), reason: "full".into() };
+        assert!(e.to_string().contains("cam-7"));
+        assert!(e.to_string().contains("admission rejected"));
+        assert!(std::error::Error::source(&e).is_none());
     }
 }

@@ -1,19 +1,21 @@
-//! Multi-camera fleet driver: N independent [`Session`](crate::Session)s run in parallel
-//! across worker threads, each with its own scenario, seed, and platform,
-//! aggregated into one [`FleetResult`].
+//! Multi-camera fleet driver: N independent [`Session`](crate::Session)s,
+//! each with its own scenario, seed, and platform, aggregated into one
+//! [`FleetResult`].
 //!
-//! Every camera is an isolated deterministic session, so per-camera results
-//! are **bit-identical** to running that camera's `Session` alone — threading
-//! only changes wall-clock time, never metrics. This is the building block
-//! for the production-scale many-stream deployments the roadmap targets.
+//! A fleet is the contention-free corner of the cluster design space:
+//! [`Fleet::run`] is a thin wrapper over a [`Cluster`](crate::Cluster) with
+//! **one dedicated accelerator per camera**, so no session ever shares
+//! hardware and every per-camera result is **bit-identical** to running that
+//! camera's `Session` alone (property-tested) — worker threads only change
+//! wall-clock time, never metrics. When cameras must share accelerators,
+//! use [`Cluster`](crate::Cluster) directly and pick an arbitration policy.
 
+use crate::cluster::Cluster;
 use crate::config::SimConfig;
 use crate::metrics::{mean, percentile};
-use crate::sim::{ClSimulator, SimResult};
+use crate::sim::SimResult;
 use crate::{CoreError, Result};
 use serde::Serialize;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Mutex;
 
 /// One camera's outcome within a fleet run.
 #[derive(Debug, Clone, PartialEq, Serialize)]
@@ -123,7 +125,9 @@ impl Fleet {
     }
 
     /// Runs every camera session to completion across the worker threads and
-    /// aggregates the fleet metrics.
+    /// aggregates the fleet metrics. Implemented as a [`Cluster`] with one
+    /// dedicated accelerator per camera, so no arbitration ever slows a
+    /// session down.
     ///
     /// # Errors
     ///
@@ -138,64 +142,17 @@ impl Fleet {
                 reason: "a fleet needs at least one camera".into(),
             });
         }
-        for (i, (name, config)) in self.cameras.iter().enumerate() {
-            if self.cameras[..i].iter().any(|(other, _)| other == name) {
-                return Err(CoreError::InvalidConfig {
-                    reason: format!("duplicate camera name '{name}'"),
-                });
-            }
-            // Catch bad configs (including unregistered scheduler or
-            // platform names) before any simulation time is spent, so the
-            // error carries the offending camera's name and no camera starts
-            // simulating. The resolutions here are cheap; Session::new
-            // repeats them.
-            config.validate().map_err(|e| prefix_camera(name, e))?;
-            config.scheduler.create(&config.hyper).map_err(|e| prefix_camera(name, e))?;
-            config.platform_rates().map_err(|e| prefix_camera(name, e))?;
+        let mut cluster = Cluster::new(self.cameras.len()).threads(self.threads);
+        for (name, config) in self.cameras {
+            cluster = cluster.camera(name, config);
         }
-
-        let workers = self.threads.min(self.cameras.len()).max(1);
-        let jobs: Vec<(String, SimConfig)> = self.cameras;
-        let next_job = AtomicUsize::new(0);
-        let failed = AtomicBool::new(false);
-        let slots: Mutex<Vec<Option<Result<SimResult>>>> =
-            Mutex::new((0..jobs.len()).map(|_| None).collect());
-
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    if failed.load(Ordering::Relaxed) {
-                        break;
-                    }
-                    let index = next_job.fetch_add(1, Ordering::Relaxed);
-                    let Some((_, config)) = jobs.get(index) else { break };
-                    let outcome = ClSimulator::new(config.clone()).and_then(ClSimulator::run);
-                    if outcome.is_err() {
-                        failed.store(true, Ordering::Relaxed);
-                    }
-                    slots.lock().expect("fleet result lock poisoned")[index] = Some(outcome);
-                });
-            }
-        });
-
-        let outcomes = slots.into_inner().expect("fleet result lock poisoned");
-        // Surface the first error even if later cameras were aborted and
-        // left no outcome.
-        if let Some(err) = outcomes.iter().flatten().find_map(|outcome| outcome.as_ref().err()) {
-            return Err(err.clone());
-        }
-        let mut cameras = Vec::with_capacity(jobs.len());
-        for ((name, _), outcome) in jobs.into_iter().zip(outcomes) {
-            let result = outcome.expect("without errors every job ran to completion")?;
-            cameras.push(CameraResult { camera: name, result });
-        }
-        Ok(aggregate(cameras))
+        Ok(cluster.run()?.fleet)
     }
 }
 
 /// Prefixes a config error with the offending camera's name without
 /// re-nesting the "invalid system configuration" wrapper.
-fn prefix_camera(name: &str, error: CoreError) -> CoreError {
+pub(crate) fn prefix_camera(name: &str, error: CoreError) -> CoreError {
     let detail = match error {
         CoreError::InvalidConfig { reason } => reason,
         other => other.to_string(),
@@ -203,7 +160,9 @@ fn prefix_camera(name: &str, error: CoreError) -> CoreError {
     CoreError::InvalidConfig { reason: format!("camera '{name}': {detail}") }
 }
 
-fn aggregate(cameras: Vec<CameraResult>) -> FleetResult {
+/// Aggregates per-camera results into fleet-level metrics (shared by
+/// [`Fleet`] and [`Cluster`]).
+pub(crate) fn aggregate(cameras: Vec<CameraResult>) -> FleetResult {
     let accuracies: Vec<f64> = cameras.iter().map(|c| c.result.mean_accuracy).collect();
     let total_energy_joules = cameras.iter().map(|c| c.result.energy_joules).sum();
     let total_duration: f64 = cameras.iter().map(|c| c.result.duration_s).sum();

@@ -25,6 +25,11 @@
 //!   scenarios/seeds/platforms executed across worker threads and aggregated
 //!   into a [`FleetResult`] (mean/percentile accuracy, total energy,
 //!   aggregate drop rate). Per-camera results are bit-identical to solo runs.
+//! * [`Cluster`] — the shared-hardware executor: N sessions multiplexed over
+//!   M accelerator resources in an event-driven virtual-time loop, with a
+//!   pluggable [`arbiter`] deciding each step's capacity share. A fleet is
+//!   exactly a cluster with one dedicated accelerator per camera —
+//!   [`Fleet::run`] is implemented that way.
 //!
 //! Scheduling policies are **pluggable**: the paper's algorithms are builtin
 //! [`SchedulerKind`]s, and external crates can [`sched::register`] their own
@@ -72,6 +77,56 @@
 //! platform::register(Arc::new(NpuProvider));
 //! assert!(platform::by_name("edge-npu").is_some());
 //! // From here, `SimConfig::builder(..).platform("edge-npu")` selects it.
+//! ```
+//!
+//! # Cluster execution
+//!
+//! [`Cluster`] scales the engine from one camera to the thousand-camera
+//! regime the roadmap targets: N sessions share M accelerators, and an
+//! arbitration policy decides how much of an accelerator each labeling or
+//! retraining step gets. The step's *cluster-time* duration is stretched by
+//! the reciprocal of the granted share (the
+//! [`Sharing::TimeShared`](platform::Sharing) slowdown generalized across
+//! cameras), while the session's own timeline is untouched — so per-camera
+//! results stay bit-identical to solo runs, and contention surfaces in the
+//! [`ContentionMetrics`] (p50/p99 step stretch, makespan, per-accelerator
+//! utilization, peak event-queue depth).
+//!
+//! Arbiters are pluggable through [`arbiter::register`], mirroring the
+//! scheduler and platform registries. Builtins: `"fair-share"`,
+//! `"priority:<weights>"`, and `"drift-first[:<boost>]"` (sessions
+//! recovering from a drift get a larger slice — the paper's temporal
+//! allocation lifted to fleet scope). Admission control bounds residency:
+//! [`Cluster::capacity_per_accelerator`] plus an [`AdmissionPolicy`] either
+//! rejects overflow cameras with a typed [`CoreError::AdmissionRejected`]
+//! or queues them until a resident finishes.
+//!
+//! A 1000-camera quickstart:
+//!
+//! ```no_run
+//! use dacapo_core::{Cluster, SimConfig};
+//! use dacapo_datagen::Scenario;
+//! use dacapo_dnn::zoo::ModelPair;
+//!
+//! # fn main() -> Result<(), dacapo_core::CoreError> {
+//! let mut cluster = Cluster::new(4).arbiter("drift-first:3");
+//! for i in 0..1000 {
+//!     let scenario = Scenario::all()[i % 8].clone();
+//!     let config = SimConfig::builder(scenario, ModelPair::ResNet18Wrn50)
+//!         .seed(0xDACA90 + i as u64)
+//!         .build()?;
+//!     cluster = cluster.camera(format!("cam-{i:04}"), config);
+//! }
+//! let result = cluster.run()?;
+//! println!(
+//!     "1000 cameras / 4 accelerators: makespan {:.0} s, p99 stretch {:.1}x, \
+//!      mean utilization {:.0}%",
+//!     result.contention.makespan_s,
+//!     result.contention.p99_step_stretch,
+//!     result.contention.mean_accelerator_utilization * 100.0,
+//! );
+//! # Ok(())
+//! # }
 //! ```
 //!
 //! # Mapping to the paper
@@ -149,7 +204,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arbiter;
 mod buffer;
+mod cluster;
 mod config;
 mod error;
 mod fleet;
@@ -161,6 +218,7 @@ mod sim;
 mod student;
 
 pub use buffer::{LabeledSample, SampleBuffer};
+pub use cluster::{AdmissionPolicy, Cluster, ClusterResult, ContentionMetrics};
 pub use config::{Hyperparams, SimConfig, SimConfigBuilder};
 pub use error::CoreError;
 pub use fleet::{CameraResult, Fleet, FleetResult};

@@ -6,6 +6,10 @@ use serde::{Deserialize, Serialize};
 /// Geometric mean of a slice of positive values (the aggregate Figure 9 uses
 /// across scenarios). Returns 0 for an empty slice.
 ///
+/// Every value is clamped to a `1e-12` floor before taking logs, so zeros,
+/// negatives, and NaNs all contribute the floor instead of poisoning the
+/// result — `geometric_mean(&[f64::NAN])` is `1e-12`, not NaN.
+///
 /// # Examples
 ///
 /// ```
@@ -23,7 +27,8 @@ pub fn geometric_mean(values: &[f64]) -> f64 {
     (log_sum / values.len() as f64).exp()
 }
 
-/// Arithmetic mean of a slice. Returns 0 for an empty slice.
+/// Arithmetic mean of a slice. Returns 0 for an empty slice; a NaN anywhere
+/// in the slice propagates to the result (standard IEEE summation).
 #[must_use]
 pub fn mean(values: &[f64]) -> f64 {
     if values.is_empty() {
@@ -33,7 +38,13 @@ pub fn mean(values: &[f64]) -> f64 {
 }
 
 /// Nearest-rank percentile of a slice (`pct` in `[0, 100]`), used by the
-/// fleet aggregates. Returns 0 for an empty slice.
+/// fleet and cluster aggregates. Returns 0 for an empty slice.
+///
+/// Values are ranked by IEEE total order ([`f64::total_cmp`]), so
+/// NaN-bearing slices never panic: positive NaNs rank above `+∞` (and
+/// negative NaNs below `-∞`), which means a NaN only surfaces for
+/// percentiles that land on the NaN tail — `percentile(&[1.0, NAN], 50.0)`
+/// is `1.0`, while `percentile(&[1.0, NAN], 100.0)` is NaN.
 ///
 /// # Panics
 ///
@@ -45,7 +56,7 @@ pub fn percentile(values: &[f64], pct: f64) -> f64 {
         return 0.0;
     }
     let mut sorted = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("percentile input must not contain NaN"));
+    sorted.sort_by(f64::total_cmp);
     let rank = ((pct / 100.0) * sorted.len() as f64).ceil() as usize;
     sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
 }
@@ -68,7 +79,10 @@ pub struct SystemSummary {
 
 /// Summarises a set of per-scenario results for one system.
 ///
-/// Returns `None` when `results` is empty.
+/// Returns `None` when `results` is empty — there is no meaningful "system"
+/// to name without at least one result. NaN accuracies are absorbed by
+/// [`geometric_mean`]'s `1e-12` floor (the gmean stays finite), while a NaN
+/// energy propagates into `mean_energy_joules` per [`mean`]'s contract.
 #[must_use]
 pub fn summarize_system(results: &[SimResult]) -> Option<SystemSummary> {
     let first = results.first()?;
@@ -148,5 +162,42 @@ mod tests {
         assert_eq!(percentile(&values, 50.0), 0.5);
         assert_eq!(percentile(&values, 10.0), 0.1);
         assert_eq!(percentile(&values, 100.0), 0.9);
+    }
+
+    #[test]
+    fn percentile_ranks_nans_on_the_tail_without_panicking() {
+        let values = [1.0, f64::NAN, 0.5];
+        // NaN ranks above every real number, so mid percentiles stay real…
+        assert_eq!(percentile(&values, 50.0), 1.0);
+        assert_eq!(percentile(&values, 0.0), 0.5);
+        // …and only the NaN tail surfaces it.
+        assert!(percentile(&values, 100.0).is_nan());
+        assert!(percentile(&[f64::NAN], 50.0).is_nan());
+        // Negative NaNs rank below every real number.
+        assert_eq!(percentile(&[f64::NAN.copysign(-1.0), 2.0], 100.0), 2.0);
+    }
+
+    #[test]
+    fn empty_and_nan_edge_behavior_of_the_means() {
+        assert_eq!(mean(&[]), 0.0);
+        assert!(mean(&[1.0, f64::NAN]).is_nan(), "mean propagates NaN");
+        assert_eq!(geometric_mean(&[]), 0.0);
+        // The gmean clamps NaNs (and zeros, and negatives) to its 1e-12
+        // floor instead of poisoning the aggregate.
+        assert!((geometric_mean(&[f64::NAN]) - 1e-12).abs() < 1e-24);
+        assert!(geometric_mean(&[0.8, f64::NAN]).is_finite());
+        assert!((geometric_mean(&[0.0, 4.0]) - (1e-12f64 * 4.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summarize_system_edge_behavior_is_defined_for_nan_results() {
+        assert!(summarize_system(&[]).is_none(), "no results, no system to summarise");
+        let nan_accuracy = result("S1", f64::NAN, 100.0);
+        let summary = summarize_system(&[nan_accuracy, result("S2", 0.8, 200.0)]).unwrap();
+        assert!(summary.gmean_accuracy.is_finite(), "gmean absorbs NaN accuracies");
+        assert!((summary.mean_energy_joules - 150.0).abs() < 1e-12);
+        let summary =
+            summarize_system(&[result("S1", 0.8, f64::NAN), result("S2", 0.8, 200.0)]).unwrap();
+        assert!(summary.mean_energy_joules.is_nan(), "NaN energy propagates");
     }
 }

@@ -311,6 +311,29 @@ impl Session {
         self.run_with(&mut ())
     }
 
+    /// Executes scheduler actions until one temporal phase completes (or the
+    /// scenario finishes), returning the whole event burst in order. The
+    /// last event is always [`SessionEvent::Phase`] or
+    /// [`SessionEvent::Finished`], so callers that account virtual time per
+    /// phase — the [`Cluster`](crate::Cluster) executor — get exactly one
+    /// time-bearing event per call, with its drift and accuracy events
+    /// attached.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first error from [`Session::step`].
+    pub fn step_phase(&mut self) -> Result<Vec<SessionEvent>> {
+        let mut events = Vec::new();
+        loop {
+            let event = self.step()?;
+            let boundary = matches!(event, SessionEvent::Phase(_) | SessionEvent::Finished);
+            events.push(event);
+            if boundary {
+                return Ok(events);
+            }
+        }
+    }
+
     /// Consumes the session and returns the metrics collected so far.
     ///
     /// Normally called after [`Session::step`] returned
@@ -682,6 +705,40 @@ mod tests {
             }
         };
         assert!(err.to_string().contains("non-finite wait"), "{err}");
+    }
+
+    #[test]
+    fn step_phase_yields_whole_bursts_ending_in_a_time_bearing_event() {
+        let mut session = Session::new(short_config(SchedulerKind::DaCapoSpatiotemporal)).unwrap();
+        let mut bursts = 0usize;
+        let mut phases = 0usize;
+        loop {
+            let events = session.step_phase().unwrap();
+            assert!(!events.is_empty());
+            // Only the final event of a burst is time-bearing.
+            for event in &events[..events.len() - 1] {
+                assert!(matches!(
+                    event,
+                    SessionEvent::Drift { .. } | SessionEvent::Accuracy { .. }
+                ));
+            }
+            bursts += 1;
+            match events.last().unwrap() {
+                SessionEvent::Phase(_) => phases += 1,
+                SessionEvent::Finished => break,
+                other => panic!("burst ended with {other:?}"),
+            }
+        }
+        assert!(session.is_finished());
+        let result = session.into_result();
+        assert_eq!(result.phases.len(), phases);
+        assert!(bursts > phases, "the finished burst is extra");
+        // Bit-identical to a one-shot run of the same config.
+        let one_shot = ClSimulator::new(short_config(SchedulerKind::DaCapoSpatiotemporal))
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(result, one_shot);
     }
 
     #[test]

@@ -31,6 +31,7 @@
 
 mod attributes;
 mod classes;
+mod error;
 mod scenario;
 mod stream;
 
@@ -38,5 +39,6 @@ pub use attributes::{
     DriftKind, LabelDistribution, Location, SegmentAttributes, TimeOfDay, Weather,
 };
 pub use classes::{class_prior, ObjectClass, NUM_CLASSES};
+pub use error::DatagenError;
 pub use scenario::{Scenario, Segment};
 pub use stream::{Frame, FrameStream, Sample, StreamConfig};

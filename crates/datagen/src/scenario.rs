@@ -3,6 +3,7 @@
 use crate::attributes::{
     DriftKind, LabelDistribution, Location, SegmentAttributes, TimeOfDay, Weather,
 };
+use crate::error::DatagenError;
 use serde::{Deserialize, Serialize};
 
 /// One contiguous stretch of the stream with fixed attributes.
@@ -43,16 +44,59 @@ const SCENARIO_SECONDS: f64 = 20.0 * 60.0;
 const SEGMENT_SECONDS: f64 = 60.0;
 
 impl Scenario {
-    /// Builds a scenario from explicit segments.
+    /// Builds a scenario from explicit segments, rejecting degenerate
+    /// timelines: an empty segment list, or any segment whose duration is
+    /// non-positive or non-finite.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatagenError::EmptyScenario`] or
+    /// [`DatagenError::InvalidSegmentDuration`] naming the offending
+    /// segment.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dacapo_datagen::{Scenario, Segment, SegmentAttributes};
+    ///
+    /// assert!(Scenario::try_from_segments("empty", vec![]).is_err());
+    /// let ok = Scenario::try_from_segments(
+    ///     "one",
+    ///     vec![Segment { attributes: SegmentAttributes::default(), duration_s: 60.0 }],
+    /// );
+    /// assert!(ok.is_ok());
+    /// ```
+    pub fn try_from_segments(
+        name: impl Into<String>,
+        segments: Vec<Segment>,
+    ) -> Result<Self, DatagenError> {
+        let name = name.into();
+        if segments.is_empty() {
+            return Err(DatagenError::EmptyScenario { name });
+        }
+        for (index, segment) in segments.iter().enumerate() {
+            if !(segment.duration_s.is_finite() && segment.duration_s > 0.0) {
+                return Err(DatagenError::InvalidSegmentDuration {
+                    name,
+                    index,
+                    duration_s: segment.duration_s,
+                });
+            }
+        }
+        Ok(Self { name, segments })
+    }
+
+    /// Builds a scenario from explicit segments, panicking on degenerate
+    /// input. A thin wrapper over [`Scenario::try_from_segments`] for
+    /// callers whose segments are valid by construction.
     ///
     /// # Panics
     ///
-    /// Panics if `segments` is empty or any duration is non-positive.
+    /// Panics if `segments` is empty or any duration is non-positive or
+    /// non-finite.
     #[must_use]
     pub fn from_segments(name: impl Into<String>, segments: Vec<Segment>) -> Self {
-        assert!(!segments.is_empty(), "a scenario needs at least one segment");
-        assert!(segments.iter().all(|s| s.duration_s > 0.0), "segment durations must be positive");
-        Self { name: name.into(), segments }
+        Self::try_from_segments(name, segments).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Scenario name (e.g. `"S1"`).
@@ -259,7 +303,7 @@ fn build(name: &str, weather: Weather, drifts: &[DriftKind]) -> Scenario {
         };
         segments.push(Segment { attributes, duration_s: SEGMENT_SECONDS });
     }
-    Scenario::from_segments(name, segments)
+    Scenario::try_from_segments(name, segments).expect("builtin scenarios are non-degenerate")
 }
 
 #[cfg(test)]
@@ -348,5 +392,26 @@ mod tests {
     #[should_panic(expected = "at least one segment")]
     fn empty_scenarios_are_rejected() {
         let _ = Scenario::from_segments("bad", vec![]);
+    }
+
+    #[test]
+    fn try_from_segments_reports_degenerate_timelines_as_errors() {
+        assert_eq!(
+            Scenario::try_from_segments("bad", vec![]),
+            Err(DatagenError::EmptyScenario { name: "bad".into() })
+        );
+        let segment =
+            |duration_s: f64| Segment { attributes: SegmentAttributes::default(), duration_s };
+        for bad in [0.0, -5.0, f64::NAN, f64::INFINITY] {
+            let err = Scenario::try_from_segments("bad", vec![segment(60.0), segment(bad)])
+                .expect_err("degenerate duration must be rejected");
+            match err {
+                DatagenError::InvalidSegmentDuration { index, .. } => assert_eq!(index, 1),
+                other => panic!("unexpected error {other:?}"),
+            }
+        }
+        let ok = Scenario::try_from_segments("ok", vec![segment(30.0)]).unwrap();
+        assert_eq!(ok.name(), "ok");
+        assert_eq!(ok.segments().len(), 1);
     }
 }

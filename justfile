@@ -26,6 +26,12 @@ test:
 bench:
     cargo bench -p dacapo-bench
 
+# Cluster execution demo (custom arbiter, admission control) plus the
+# contention sweep; leaves results/BENCH_cluster.json behind.
+cluster:
+    cargo run --release --example cluster
+    cargo run --release -p dacapo-bench --bin cluster_contention -- --quick
+
 # Regenerate every figure/table quickly.
 figures:
     cargo run --release -p dacapo-bench --bin run_all -- --quick

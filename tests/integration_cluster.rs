@@ -1,0 +1,213 @@
+//! Cluster executor integration: the dedicated-accelerator cluster is
+//! bit-identical to `Fleet` (and to solo `Session` runs), contention never
+//! changes per-camera numbers, and a 100-camera contended cluster is fully
+//! deterministic across runs.
+
+use dacapo_core::platform::{KernelRate, PlatformRates, Sharing};
+use dacapo_core::{
+    AdmissionPolicy, ClSimulator, Cluster, CoreError, Fleet, SchedulerKind, SimConfig, SimObserver,
+};
+use dacapo_datagen::{Scenario, Segment, SegmentAttributes};
+use dacapo_dnn::zoo::ModelPair;
+use proptest::prelude::*;
+
+/// Fast synthetic platform so the many debug-mode simulations stay quick.
+fn fast_platform() -> PlatformRates {
+    PlatformRates::new(
+        "cluster-test",
+        KernelRate::fp32(90.0),
+        KernelRate::fp32(30.0),
+        KernelRate::fp32(100.0),
+        Sharing::Partitioned { tsa_rows: 12, bsa_rows: 4 },
+        2.0,
+    )
+    .expect("test rates are valid")
+}
+
+/// A short scenario with one label-distribution drift at `drift_s`.
+fn drifting_scenario(name: &str, drift_s: f64, total_s: f64) -> Scenario {
+    let first = SegmentAttributes::default();
+    let second = SegmentAttributes { labels: dacapo_datagen::LabelDistribution::All, ..first };
+    Scenario::try_from_segments(
+        name.to_string(),
+        vec![
+            Segment { attributes: first, duration_s: drift_s },
+            Segment { attributes: second, duration_s: total_s - drift_s },
+        ],
+    )
+    .expect("drifting test scenario is valid")
+}
+
+fn camera_config(seed: u64, duration_s: f64) -> SimConfig {
+    SimConfig::builder(
+        drifting_scenario("cl", duration_s / 2.0, duration_s),
+        ModelPair::ResNet18Wrn50,
+    )
+    .platform_rates(fast_platform())
+    .scheduler(SchedulerKind::DaCapoSpatiotemporal)
+    .measurement(10.0, 8)
+    .pretrain_samples(48)
+    .seed(seed)
+    .build()
+    .expect("camera config builds")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// The PR's acceptance property: a cluster with one dedicated
+    /// accelerator per camera reproduces `Fleet::run` exactly — same
+    /// per-camera `SimResult`s (also equal to solo runs), same aggregates.
+    #[test]
+    fn dedicated_accelerator_cluster_is_bit_identical_to_fleet(
+        cameras in 1usize..4,
+        seed in 0u64..1_000_000,
+    ) {
+        let configs: Vec<(String, SimConfig)> = (0..cameras)
+            .map(|i| (format!("cam-{i}"), camera_config(seed.wrapping_add(i as u64), 60.0)))
+            .collect();
+
+        let mut fleet = Fleet::new().threads(2);
+        let mut cluster = Cluster::new(cameras).threads(2);
+        for (name, config) in &configs {
+            fleet = fleet.camera(name.clone(), config.clone());
+            cluster = cluster.camera(name.clone(), config.clone());
+        }
+        let fleet_result = fleet.run().expect("fleet runs");
+        let cluster_result = cluster.run().expect("cluster runs");
+        prop_assert_eq!(&fleet_result, &cluster_result.fleet);
+        // No shared accelerator: nothing ever stretches.
+        prop_assert!((cluster_result.contention.max_step_stretch - 1.0).abs() < 1e-12);
+
+        for (name, config) in configs {
+            let solo = ClSimulator::new(config).unwrap().run().unwrap();
+            let from_cluster = cluster_result.camera(&name).expect("camera present");
+            prop_assert_eq!(from_cluster, &solo, "{}: cluster diverged from solo run", name);
+        }
+    }
+
+    /// Contention reshapes the cluster clock but never a camera's numbers:
+    /// squeezing the same cameras onto one shared accelerator leaves every
+    /// per-camera result (and thus the fleet aggregates) bit-identical.
+    #[test]
+    fn contention_never_changes_per_camera_results(
+        cameras in 2usize..4,
+        seed in 0u64..1_000_000,
+        arbiter_index in 0usize..3,
+    ) {
+        let arbiter = ["fair-share", "priority:2,1", "drift-first:3"][arbiter_index];
+        let build = |accelerators: usize| {
+            let mut cluster = Cluster::new(accelerators).arbiter(arbiter);
+            for i in 0..cameras {
+                cluster = cluster.camera(
+                    format!("cam-{i}"),
+                    camera_config(seed.wrapping_add(i as u64), 60.0),
+                );
+            }
+            cluster
+        };
+        let dedicated = build(cameras).run().expect("dedicated cluster runs");
+        let contended = build(1).run().expect("contended cluster runs");
+        prop_assert_eq!(&dedicated.fleet, &contended.fleet);
+        prop_assert!(
+            contended.contention.makespan_s >= dedicated.contention.makespan_s - 1e-9,
+            "sharing one accelerator cannot finish earlier than dedicated hardware"
+        );
+    }
+}
+
+/// The ISSUE's determinism criterion: two runs of a 100-camera contended
+/// cluster produce identical `ClusterResult`s — metrics, contention
+/// telemetry, everything.
+#[test]
+fn hundred_camera_contended_cluster_is_deterministic() {
+    let build = || {
+        let mut cluster = Cluster::new(4).arbiter("drift-first:2").threads(4);
+        for i in 0..100 {
+            cluster =
+                cluster.camera(format!("cam-{i:03}"), camera_config(0xDE7E_4215 + i as u64, 20.0));
+        }
+        cluster
+    };
+    let first = build().run().expect("first run completes");
+    let second = build().run().expect("second run completes");
+    assert_eq!(first, second);
+    assert_eq!(first.fleet.cameras.len(), 100);
+    // 100 cameras round-robin over 4 accelerators: 25 residents each.
+    assert_eq!(first.contention.peak_queue_depth, 100);
+    assert!(first.contention.p99_step_stretch > 1.0, "a 25-way share must stretch steps");
+    // Thread count is irrelevant to the outcome.
+    let serial = build().threads(1).run().expect("serial run completes");
+    assert_eq!(first, serial);
+}
+
+#[test]
+fn queued_admission_serialises_overflow_cameras_without_changing_results() {
+    let configs: Vec<(String, SimConfig)> =
+        (0..3).map(|i| (format!("cam-{i}"), camera_config(0xAD417 + i as u64, 40.0))).collect();
+    let build = || {
+        let mut cluster = Cluster::new(1);
+        for (name, config) in &configs {
+            cluster = cluster.camera(name.clone(), config.clone());
+        }
+        cluster
+    };
+    let unbounded = build().run().expect("unbounded cluster runs");
+    let queued = build()
+        .capacity_per_accelerator(1)
+        .admission(AdmissionPolicy::Queue)
+        .run()
+        .expect("queued cluster runs");
+    assert_eq!(unbounded.fleet, queued.fleet);
+    assert_eq!(queued.contention.queued_cameras, 2);
+    // Serialised cameras never contend…
+    assert!((queued.contention.max_step_stretch - 1.0).abs() < 1e-12);
+    // …and the makespan is the whole back-to-back span.
+    let total: f64 = queued.fleet.cameras.iter().map(|c| c.result.duration_s).sum();
+    assert!(queued.contention.makespan_s >= total - 1e-6);
+
+    let rejected = build().capacity_per_accelerator(2).admission(AdmissionPolicy::Reject).run();
+    match rejected {
+        Err(CoreError::AdmissionRejected { camera, .. }) => assert_eq!(camera, "cam-2"),
+        other => panic!("expected AdmissionRejected, got {other:?}"),
+    }
+}
+
+#[test]
+fn cluster_observer_sees_every_event_of_every_camera() {
+    #[derive(Default)]
+    struct Counter {
+        phases: usize,
+        accuracy: usize,
+        drifts: usize,
+        finished: usize,
+    }
+    impl SimObserver for Counter {
+        fn on_phase(&mut self, _phase: &dacapo_core::PhaseRecord) {
+            self.phases += 1;
+        }
+        fn on_drift(&mut self, _at_s: f64, _index: usize) {
+            self.drifts += 1;
+        }
+        fn on_accuracy(&mut self, _at_s: f64, _accuracy: f64) {
+            self.accuracy += 1;
+        }
+        fn on_finished(&mut self) {
+            self.finished += 1;
+        }
+    }
+
+    let mut cluster = Cluster::new(2);
+    for i in 0..4 {
+        cluster = cluster.camera(format!("cam-{i}"), camera_config(0x0B5 + i as u64, 40.0));
+    }
+    let mut counter = Counter::default();
+    let result = cluster.run_with(&mut counter).expect("observed cluster runs");
+    let phases: usize = result.fleet.cameras.iter().map(|c| c.result.phases.len()).sum();
+    let accuracy: usize =
+        result.fleet.cameras.iter().map(|c| c.result.accuracy_timeline.len()).sum();
+    assert_eq!(counter.phases, phases);
+    assert_eq!(counter.accuracy, accuracy);
+    assert_eq!(counter.drifts, result.fleet.total_drift_responses);
+    assert_eq!(counter.finished, 4);
+}
