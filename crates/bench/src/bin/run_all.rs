@@ -5,7 +5,7 @@
 
 use std::process::Command;
 
-const EXPERIMENTS: [&str; 12] = [
+const EXPERIMENTS: [&str; 13] = [
     "table03_models",
     "table04_platforms",
     "fig08_label_distribution",
@@ -20,6 +20,9 @@ const EXPERIMENTS: [&str; 12] = [
     // Also leaves the stable executor-throughput trajectory record
     // (results/BENCH_cluster.json) behind.
     "cluster_contention",
+    // Also leaves the stable sharing trajectory record
+    // (results/BENCH_cross_camera.json) behind.
+    "cross_camera",
 ];
 
 fn main() {

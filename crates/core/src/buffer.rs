@@ -4,6 +4,7 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
 
 /// One sample that has been labeled by the teacher.
 ///
@@ -26,7 +27,8 @@ pub struct LabeledSample {
 ///
 /// New samples evict the oldest ones once the capacity is reached; a data
 /// drift clears the buffer entirely so stale samples stop polluting
-/// retraining.
+/// retraining. Storage is a ring ([`VecDeque`]), so steady-state pushes are
+/// O(1) — evicting the oldest sample never shifts the survivors.
 ///
 /// # Examples
 ///
@@ -43,12 +45,14 @@ pub struct LabeledSample {
 ///     });
 /// }
 /// assert_eq!(buffer.len(), 2);
-/// assert_eq!(buffer.samples()[0].timestamp_s, 1.0); // oldest was evicted
+/// assert_eq!(buffer.samples().next().unwrap().timestamp_s, 1.0); // oldest was evicted
 /// ```
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SampleBuffer {
     capacity: usize,
-    samples: Vec<LabeledSample>,
+    // Serialises as a plain array in FIFO order, exactly like the Vec this
+    // ring replaced.
+    samples: VecDeque<LabeledSample>,
 }
 
 impl SampleBuffer {
@@ -60,7 +64,7 @@ impl SampleBuffer {
     #[must_use]
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "sample buffer capacity must be positive");
-        Self { capacity, samples: Vec::with_capacity(capacity) }
+        Self { capacity, samples: VecDeque::with_capacity(capacity) }
     }
 
     /// Buffer capacity `C_b`.
@@ -81,18 +85,19 @@ impl SampleBuffer {
         self.samples.is_empty()
     }
 
-    /// The buffered samples, oldest first.
-    #[must_use]
-    pub fn samples(&self) -> &[LabeledSample] {
-        &self.samples
+    /// Iterates over the buffered samples, oldest first.
+    pub fn samples(
+        &self,
+    ) -> impl DoubleEndedIterator<Item = &LabeledSample> + ExactSizeIterator + '_ {
+        self.samples.iter()
     }
 
-    /// Adds one sample, evicting the oldest if the buffer is full.
+    /// Adds one sample, evicting the oldest if the buffer is full. O(1).
     pub fn push(&mut self, sample: LabeledSample) {
         if self.samples.len() == self.capacity {
-            self.samples.remove(0);
+            self.samples.pop_front();
         }
-        self.samples.push(sample);
+        self.samples.push_back(sample);
     }
 
     /// Adds a batch of samples (in order), evicting the oldest as needed.
@@ -111,9 +116,13 @@ impl SampleBuffer {
     /// `validation` samples (Algorithm 1, line 4). The draw is a seeded
     /// shuffle so experiments are reproducible.
     ///
-    /// If the buffer holds fewer than `train + validation` samples, the
-    /// available samples are split proportionally (validation gets at least
-    /// one sample whenever the buffer holds at least two).
+    /// Requesting zero samples on either side is honoured exactly (a
+    /// zero-validation draw never returns validation data and vice versa;
+    /// `train + validation == 0` yields two empty sets). If the buffer
+    /// holds fewer than `train + validation` samples, the available samples
+    /// are split proportionally (when both subsets were requested,
+    /// validation gets at least one sample whenever the buffer holds at
+    /// least two).
     #[must_use]
     pub fn draw(
         &self,
@@ -121,19 +130,25 @@ impl SampleBuffer {
         validation: usize,
         seed: u64,
     ) -> (Vec<LabeledSample>, Vec<LabeledSample>) {
-        if self.samples.is_empty() {
+        let want_total = train + validation;
+        if self.samples.is_empty() || want_total == 0 {
             return (Vec::new(), Vec::new());
         }
         let mut indices: Vec<usize> = (0..self.samples.len()).collect();
         let mut rng = StdRng::seed_from_u64(seed);
         indices.shuffle(&mut rng);
 
-        let want_total = train + validation;
         let available = indices.len();
         let (n_train, n_val) = if available >= want_total {
             (train, validation)
+        } else if train == 0 {
+            // A validation-only request never returns training samples.
+            (0, available)
+        } else if validation == 0 {
+            // A train-only request never loses a sample to validation.
+            (available, 0)
         } else if available >= 2 {
-            let n_val = ((available * validation) / want_total.max(1)).max(1);
+            let n_val = ((available * validation) / want_total).max(1);
             (available - n_val, n_val)
         } else {
             (available, 0)
@@ -144,8 +159,8 @@ impl SampleBuffer {
         (train_set, val_set)
     }
 
-    /// Fraction of buffered samples captured after `timestamp_s`, a cheap
-    /// freshness measure used by diagnostics.
+    /// Fraction of buffered samples captured at or after `timestamp_s`, a
+    /// cheap freshness measure used by diagnostics.
     #[must_use]
     pub fn fresh_fraction(&self, timestamp_s: f64) -> f64 {
         if self.samples.is_empty() {
@@ -176,8 +191,24 @@ mod tests {
             buffer.push(sample(t as f64, 0));
         }
         assert_eq!(buffer.len(), 3);
-        let times: Vec<f64> = buffer.samples().iter().map(|s| s.timestamp_s).collect();
+        let times: Vec<f64> = buffer.samples().map(|s| s.timestamp_s).collect();
         assert_eq!(times, vec![2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn steady_state_pushes_are_constant_time() {
+        // A regression guard for the old Vec::remove(0) eviction: pushing
+        // far past capacity must not shift the whole buffer per sample.
+        // 200k pushes into a 4k buffer finish instantly at O(1) per push
+        // but would cost ~800M element moves at O(capacity).
+        let mut buffer = SampleBuffer::new(4096);
+        let started = std::time::Instant::now();
+        for t in 0..200_000u32 {
+            buffer.push(sample(f64::from(t), 0));
+        }
+        assert!(started.elapsed().as_secs_f64() < 5.0, "eviction degenerated to O(capacity)");
+        assert_eq!(buffer.len(), 4096);
+        assert_eq!(buffer.samples().next().unwrap().timestamp_s, f64::from(200_000u32 - 4096));
     }
 
     #[test]
@@ -244,6 +275,34 @@ mod tests {
     }
 
     #[test]
+    fn drawing_zero_samples_yields_empty_sets() {
+        // Regression: the proportional-split branch used to apply .max(1)
+        // even for a zero-sample request, returning (available - 1, 1)
+        // instead of nothing.
+        let mut buffer = SampleBuffer::new(10);
+        buffer.extend((0..10).map(|t| sample(t as f64, 0)));
+        let (train, val) = buffer.draw(0, 0, 3);
+        assert!(train.is_empty(), "a zero-sample draw must not return training data");
+        assert!(val.is_empty(), "a zero-sample draw must not return validation data");
+        // Zero on one side only is still honoured exactly.
+        let (train, val) = buffer.draw(4, 0, 3);
+        assert_eq!(train.len(), 4);
+        assert!(val.is_empty());
+        let (train, val) = buffer.draw(0, 4, 3);
+        assert!(train.is_empty());
+        assert_eq!(val.len(), 4);
+        // …including when the buffer is under-stocked: the proportional
+        // split must not conjure a validation sample nobody asked for (or a
+        // training sample on a validation-only request).
+        let (train, val) = buffer.draw(25, 0, 3);
+        assert_eq!(train.len(), 10);
+        assert!(val.is_empty(), "a zero-validation draw must never return validation data");
+        let (train, val) = buffer.draw(0, 25, 3);
+        assert!(train.is_empty(), "a zero-train draw must never return training data");
+        assert_eq!(val.len(), 10);
+    }
+
+    #[test]
     fn fresh_fraction_reflects_timestamps() {
         let mut buffer = SampleBuffer::new(10);
         buffer.extend((0..10).map(|t| sample(t as f64, 0)));
@@ -251,5 +310,36 @@ mod tests {
         assert_eq!(buffer.fresh_fraction(100.0), 0.0);
         assert_eq!(buffer.fresh_fraction(0.0), 1.0);
         assert_eq!(SampleBuffer::new(3).fresh_fraction(0.0), 0.0);
+    }
+
+    #[test]
+    fn fresh_fraction_boundary_is_at_or_after() {
+        // Pins the documented inclusive boundary: a sample captured exactly
+        // at the cutoff counts as fresh.
+        let mut buffer = SampleBuffer::new(4);
+        buffer.extend([sample(1.0, 0), sample(2.0, 0), sample(3.0, 0), sample(4.0, 0)]);
+        assert!((buffer.fresh_fraction(2.0) - 0.75).abs() < 1e-12, "t = 2.0 itself is fresh");
+        assert!((buffer.fresh_fraction(2.0 + 1e-9) - 0.5).abs() < 1e-12);
+        assert!((buffer.fresh_fraction(4.0) - 0.25).abs() < 1e-12, "the newest sample counts");
+    }
+
+    #[test]
+    fn serde_format_matches_the_vec_backed_layout() {
+        use serde::Serialize as _;
+        let mut buffer = SampleBuffer::new(2);
+        for t in 0..3 {
+            buffer.push(sample(t as f64, t));
+        }
+        // {capacity, samples: [...]} with samples as a FIFO-ordered array —
+        // the exact shape the old Vec-backed derive produced.
+        let value = buffer.to_value();
+        let serde::Value::Object(fields) = value else { panic!("expected an object") };
+        assert_eq!(fields[0].0, "capacity");
+        assert_eq!(fields[0].1, serde::Value::UInt(2));
+        assert_eq!(fields[1].0, "samples");
+        let serde::Value::Array(samples) = &fields[1].1 else { panic!("expected an array") };
+        assert_eq!(samples.len(), 2);
+        let expected: Vec<serde::Value> = buffer.samples().map(|s| s.to_value()).collect();
+        assert_eq!(samples, &expected, "array order is FIFO (oldest first)");
     }
 }

@@ -32,19 +32,41 @@
 //! either rejected with a typed
 //! [`CoreError::AdmissionRejected`] or queued
 //! ([`AdmissionPolicy`]) until a resident on their accelerator finishes.
+//!
+//! # Cross-camera label sharing
+//!
+//! With a [`crate::share`] policy selected ([`Cluster::share`]), the
+//! executor additionally divides cluster virtual time into fixed exchange
+//! windows ([`Cluster::share_window_s`]). Every accelerator loop advances to
+//! the window boundary (in parallel — accelerators stay independent inside a
+//! window), then a single-threaded barrier exchanges freshly teacher-labeled
+//! samples between cameras: each live session's exports are offered to every
+//! peer in **camera admission-index order**, the policy grants an admit
+//! fraction per (importer, exporter) pair, and admitted samples enter the
+//! importer's [`SampleBuffer`](crate::SampleBuffer) without the importer
+//! paying any teacher labeling time. The deterministic exchange order keeps
+//! shared runs bit-identical across worker-thread counts. Sharing telemetry
+//! lands in [`ClusterResult::share`]; the reserved `"none"` policy takes the
+//! sharing-free fast path and reproduces pre-sharing cluster output exactly.
 
 use crate::arbiter::{self, GrantRequest, PeerSession};
+use crate::buffer::LabeledSample;
 use crate::config::SimConfig;
 use crate::fleet::{aggregate, prefix_camera, CameraResult, FleetResult};
 use crate::metrics::{mean, percentile};
 use crate::session::{Session, SessionEvent, SimObserver};
+use crate::share::{self, ShareContext, ShareMetrics, SharePolicy};
 use crate::sim::{PhaseKind, SimResult};
 use crate::{CoreError, Result};
 use serde::Serialize;
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::{BTreeMap, BinaryHeap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+/// Default cross-camera exchange window in cluster virtual seconds (one
+/// scenario segment at the paper's 60-second segmentation).
+const DEFAULT_SHARE_WINDOW_S: f64 = 60.0;
 
 /// What happens to cameras assigned past an accelerator's capacity bound.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
@@ -98,12 +120,18 @@ pub struct ContentionMetrics {
 /// shared-accelerator execution can produce.
 #[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct ClusterResult {
-    /// Per-camera results and fleet-level aggregates. Camera results are
-    /// bit-identical to solo runs — contention never changes a session's
-    /// numbers, only its place on the cluster clock.
+    /// Per-camera results and fleet-level aggregates. With sharing disabled
+    /// (the default `"none"` policy) camera results are bit-identical to
+    /// solo runs — contention never changes a session's numbers, only its
+    /// place on the cluster clock. An active share policy feeds peers'
+    /// labels into sessions' buffers, so camera results then legitimately
+    /// differ from solo runs.
     pub fleet: FleetResult,
     /// Contention telemetry.
     pub contention: ContentionMetrics,
+    /// Cross-camera label-sharing telemetry (zeroed under the `"none"`
+    /// policy).
+    pub share: ShareMetrics,
 }
 
 impl ClusterResult {
@@ -151,12 +179,15 @@ pub struct Cluster {
     arbiter: String,
     capacity: Option<usize>,
     admission: AdmissionPolicy,
+    share: String,
+    share_window_s: f64,
 }
 
 impl Cluster {
     /// Creates an empty cluster with `accelerators` shared accelerator
-    /// resources, a `fair-share` arbiter, no admission bound, and worker
-    /// threads sized to the machine's available parallelism.
+    /// resources, a `fair-share` arbiter, no admission bound, sharing
+    /// disabled, and worker threads sized to the machine's available
+    /// parallelism.
     #[must_use]
     pub fn new(accelerators: usize) -> Self {
         let threads = std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get);
@@ -167,6 +198,8 @@ impl Cluster {
             arbiter: "fair-share".to_string(),
             capacity: None,
             admission: AdmissionPolicy::Queue,
+            share: "none".to_string(),
+            share_window_s: DEFAULT_SHARE_WINDOW_S,
         }
     }
 
@@ -185,6 +218,25 @@ impl Cluster {
     #[must_use]
     pub fn arbiter(mut self, name: impl Into<String>) -> Self {
         self.arbiter = name.into();
+        self
+    }
+
+    /// Selects the cross-camera label-sharing policy by registry name (see
+    /// [`crate::share::register`]), with an optional `:<params>` suffix —
+    /// `"none"` (the default: sharing disabled), `"broadcast"`,
+    /// `"correlated:0.7"`, or any custom registered policy.
+    #[must_use]
+    pub fn share(mut self, name: impl Into<String>) -> Self {
+        self.share = name.into();
+        self
+    }
+
+    /// Sets the cross-camera exchange window in cluster virtual seconds
+    /// (default 60, one paper segment). Only consulted when an active share
+    /// policy is selected via [`Cluster::share`].
+    #[must_use]
+    pub fn share_window_s(mut self, window_s: f64) -> Self {
+        self.share_window_s = window_s;
         self
     }
 
@@ -226,16 +278,16 @@ impl Cluster {
 
     /// Runs every camera session to completion, accelerator loops spread
     /// across the worker threads, and aggregates results plus contention
-    /// metrics. Deterministic at any thread count.
+    /// and sharing metrics. Deterministic at any thread count.
     ///
     /// # Errors
     ///
     /// Returns [`CoreError::InvalidConfig`] for an empty cluster, a zero
     /// accelerator/capacity bound, duplicate camera names, an invalid camera
-    /// configuration, or an unregistered arbiter;
-    /// [`CoreError::AdmissionRejected`] when the admission policy is
-    /// [`AdmissionPolicy::Reject`] and a camera lands past the capacity
-    /// bound; and propagates the first session error otherwise.
+    /// configuration, an unregistered arbiter or share policy, or a bad
+    /// share window; [`CoreError::AdmissionRejected`] when the admission
+    /// policy is [`AdmissionPolicy::Reject`] and a camera lands past the
+    /// capacity bound; and propagates the first session error otherwise.
     pub fn run(self) -> Result<ClusterResult> {
         self.run_impl(None)
     }
@@ -244,9 +296,11 @@ impl Cluster {
     /// drift responses, accuracy samples, finishes) of every camera to
     /// `observer` through the standard [`SimObserver`] hooks. Events stream
     /// accelerator by accelerator (in index order), each accelerator's
-    /// stream in cluster-virtual-time order; execution is single-threaded so
-    /// the observer needs no synchronisation. The returned result is
-    /// identical to [`Cluster::run`]'s.
+    /// stream in cluster-virtual-time order; with an active share policy the
+    /// interleaving is additionally grouped by exchange window (within each
+    /// window, accelerators stream in index order). Execution is
+    /// single-threaded so the observer needs no synchronisation. The
+    /// returned result is identical to [`Cluster::run`]'s.
     ///
     /// # Errors
     ///
@@ -255,11 +309,14 @@ impl Cluster {
         self.run_impl(Some(observer))
     }
 
-    fn run_impl(self, mut observer: Option<&mut dyn SimObserver>) -> Result<ClusterResult> {
+    fn run_impl(self, observer: Option<&mut dyn SimObserver>) -> Result<ClusterResult> {
         self.validate()?;
         let accelerators = self.accelerators;
         let arbiter_name = self.arbiter;
         let capacity = self.capacity;
+        let share_name = self.share;
+        let share_window_s = self.share_window_s;
+        let threads = self.threads;
         let cameras = self.cameras;
 
         // Round-robin assignment, in admission order per accelerator.
@@ -267,69 +324,21 @@ impl Cluster {
         for index in 0..cameras.len() {
             assignment[index % accelerators].push(index);
         }
-
-        let outcomes: Vec<Option<Result<AccelOutcome>>> = if let Some(observer) = observer.take() {
-            // Observed runs execute serially so the event stream needs no
-            // locking and arrives in a stable order.
-            let mut outcomes = Vec::with_capacity(accelerators);
-            let mut failed = false;
-            for (accel, assigned) in assignment.iter().enumerate() {
-                if failed {
-                    outcomes.push(None);
-                    continue;
-                }
-                let outcome = run_accelerator(
-                    accel,
-                    assigned,
-                    &cameras,
-                    &arbiter_name,
-                    capacity,
-                    Some(&mut *observer),
-                );
-                failed = outcome.is_err();
-                outcomes.push(Some(outcome));
-            }
-            outcomes
+        let setup = ExecSetup {
+            assignment: &assignment,
+            cameras: &cameras,
+            arbiter: &arbiter_name,
+            capacity,
+            threads,
+        };
+        let (outcomes, share_metrics) = if share::is_disabled(&share_name) {
+            // The sharing-free fast path: no windows, no barriers, the
+            // exact pre-sharing execution.
+            (run_isolated(&setup, observer)?, ShareMetrics::disabled(share_window_s))
         } else {
-            let workers = self.threads.min(accelerators.max(1)).max(1);
-            let next = AtomicUsize::new(0);
-            let failed = AtomicBool::new(false);
-            let slots: Mutex<Vec<Option<Result<AccelOutcome>>>> =
-                Mutex::new((0..accelerators).map(|_| None).collect());
-            std::thread::scope(|scope| {
-                for _ in 0..workers {
-                    scope.spawn(|| loop {
-                        if failed.load(Ordering::Relaxed) {
-                            break;
-                        }
-                        let accel = next.fetch_add(1, Ordering::Relaxed);
-                        let Some(assigned) = assignment.get(accel) else { break };
-                        let outcome = run_accelerator(
-                            accel,
-                            assigned,
-                            &cameras,
-                            &arbiter_name,
-                            capacity,
-                            None,
-                        );
-                        if outcome.is_err() {
-                            failed.store(true, Ordering::Relaxed);
-                        }
-                        slots.lock().expect("cluster outcome lock poisoned")[accel] = Some(outcome);
-                    });
-                }
-            });
-            slots.into_inner().expect("cluster outcome lock poisoned")
+            run_windowed(&setup, &share_name, share_window_s, observer)?
         };
 
-        // Surface the error of the lowest-indexed accelerator that reported
-        // one. When several accelerators fail concurrently in the threaded
-        // path, which of them got to report before the abort flag stopped
-        // the others can vary — but at least one real error always
-        // surfaces, and the Ok path stays fully deterministic.
-        if let Some(err) = outcomes.iter().flatten().find_map(|outcome| outcome.as_ref().err()) {
-            return Err(err.clone());
-        }
         let mut results: Vec<Option<SimResult>> = (0..cameras.len()).map(|_| None).collect();
         let mut stretches = Vec::new();
         let mut utilization = Vec::with_capacity(accelerators);
@@ -338,9 +347,6 @@ impl Cluster {
         let mut queued_cameras = 0;
         let mut makespan_s: f64 = 0.0;
         for outcome in outcomes {
-            let outcome = outcome
-                .expect("without errors every accelerator ran")
-                .expect("errors were surfaced above");
             for (camera_index, result) in outcome.results {
                 results[camera_index] = Some(result);
             }
@@ -375,7 +381,7 @@ impl Cluster {
             peak_queue_depth,
             queued_cameras,
         };
-        Ok(ClusterResult { fleet: aggregate(camera_results), contention })
+        Ok(ClusterResult { fleet: aggregate(camera_results), contention, share: share_metrics })
     }
 
     /// Full up-front validation so a bad camera or policy fails fast,
@@ -396,6 +402,14 @@ impl Cluster {
                 reason: "per-accelerator capacity must be at least one session".into(),
             });
         }
+        if !(self.share_window_s.is_finite() && self.share_window_s > 0.0) {
+            return Err(CoreError::InvalidConfig {
+                reason: format!(
+                    "cross-camera share window must be positive and finite, got {} s",
+                    self.share_window_s
+                ),
+            });
+        }
         for (i, (name, config)) in self.cameras.iter().enumerate() {
             if self.cameras[..i].iter().any(|(other, _)| other == name) {
                 return Err(CoreError::InvalidConfig {
@@ -410,9 +424,10 @@ impl Cluster {
             config.scheduler.create(&config.hyper).map_err(|e| prefix_camera(name, e))?;
             config.platform_rates().map_err(|e| prefix_camera(name, e))?;
         }
-        // Resolve the arbiter once up front: an unregistered policy or
-        // malformed parameters must not fail mid-run.
+        // Resolve the arbiter and share policy once up front: an
+        // unregistered policy or malformed parameters must not fail mid-run.
         arbiter::create(&self.arbiter)?;
+        share::create(&self.share)?;
         if self.admission == AdmissionPolicy::Reject {
             if let Some(capacity) = self.capacity {
                 let bound = self.accelerators * capacity;
@@ -431,6 +446,15 @@ impl Cluster {
         }
         Ok(())
     }
+}
+
+/// The shared, immutable inputs every accelerator loop runs against.
+struct ExecSetup<'a> {
+    assignment: &'a [Vec<usize>],
+    cameras: &'a [(String, SimConfig)],
+    arbiter: &'a str,
+    capacity: Option<usize>,
+    threads: usize,
 }
 
 /// A heap entry: when a session's next step is due on the cluster clock.
@@ -485,158 +509,501 @@ struct AccelOutcome {
     queued: usize,
 }
 
-/// Runs one accelerator's virtual-time event loop to completion.
-fn run_accelerator(
+/// One accelerator's re-entrant virtual-time event loop. Runs to completion
+/// in one [`AccelLoop::run_until`] call on the sharing-free path, or in
+/// window-bounded increments (state persisting across barriers) when a
+/// cross-camera share policy is active.
+struct AccelLoop<'a> {
     accel: usize,
-    assigned: &[usize],
-    cameras: &[(String, SimConfig)],
-    arbiter_name: &str,
-    capacity: Option<usize>,
-    mut observer: Option<&mut dyn SimObserver>,
-) -> Result<AccelOutcome> {
-    let mut arbiter = arbiter::create(arbiter_name)?;
-    let resident_cap = capacity.unwrap_or(usize::MAX);
-    let mut pending: VecDeque<usize> = assigned.iter().skip(resident_cap).copied().collect();
-    let queued = pending.len();
-
-    let mut slots: Vec<Slot> = Vec::with_capacity(assigned.len().min(resident_cap));
-    let mut heap: BinaryHeap<Reverse<Due>> = BinaryHeap::new();
-    // Slot indices of the currently resident (unfinished) sessions, in
-    // admission order; a slot's index doubles as its admission index.
-    let mut active: Vec<usize> = Vec::new();
-    let mut seq = 0u64;
-    for &camera_index in assigned.iter().take(resident_cap) {
-        admit(camera_index, 0.0, cameras, &mut slots, &mut heap, &mut active, &mut seq)?;
-    }
-
-    let mut outcome = AccelOutcome {
-        results: Vec::with_capacity(assigned.len()),
-        stretches: Vec::new(),
-        steps: 0,
-        busy_s: 0.0,
-        makespan_s: 0.0,
-        peak_depth: heap.len(),
-        queued,
-    };
-
-    while let Some(Reverse(due)) = heap.pop() {
-        let camera_index = slots[due.slot].camera_index;
-        let (camera_name, _) = &cameras[camera_index];
-        let events = slots[due.slot]
-            .session
-            .as_mut()
-            .expect("heap entries only reference live sessions")
-            .step_phase()
-            .map_err(|e| prefix_camera(camera_name, e))?;
-
-        // A drift response entering this step marks the session as
-        // recovering *before* arbitration, so drift-aware arbiters can boost
-        // the response itself; the recovery ends once a retraining phase
-        // completes (checked after the grant below).
-        if events.iter().any(|e| matches!(e, SessionEvent::Drift { .. })) {
-            slots[due.slot].recovering = true;
-        }
-        let phase = events.iter().rev().find_map(|event| match event {
-            SessionEvent::Phase(p) => Some(*p),
-            _ => None,
-        });
-
-        match phase {
-            Some(phase) => {
-                outcome.steps += 1;
-                let arbitrated = matches!(phase.kind, PhaseKind::Label | PhaseKind::Retrain);
-                let stretch = if arbitrated {
-                    let residents: Vec<PeerSession> = active
-                        .iter()
-                        .map(|&slot| PeerSession {
-                            camera_index: slots[slot].camera_index,
-                            admission_index: slot,
-                            recovering: slots[slot].recovering,
-                        })
-                        .collect();
-                    let share = arbiter.grant(&GrantRequest {
-                        now_s: due.at,
-                        accelerator: accel,
-                        camera: camera_name,
-                        camera_index,
-                        admission_index: due.slot,
-                        recovering: slots[due.slot].recovering,
-                        residents: &residents,
-                    });
-                    if !share.is_finite() || share <= 0.0 || share > 1.0 {
-                        return Err(CoreError::InvalidConfig {
-                            reason: format!(
-                                "arbiter '{}' granted an invalid capacity share ({share}) to \
-                                 camera '{camera_name}'; shares must lie in (0, 1]",
-                                arbiter.name()
-                            ),
-                        });
-                    }
-                    outcome.busy_s += phase.duration_s;
-                    1.0 / share
-                } else {
-                    // Waits consume no accelerator compute, so they pass
-                    // through unstretched and unarbitrated.
-                    1.0
-                };
-                if arbitrated {
-                    outcome.stretches.push(stretch);
-                }
-                if phase.kind == PhaseKind::Retrain {
-                    slots[due.slot].recovering = false;
-                }
-                slots[due.slot].now_s += phase.duration_s * stretch;
-                let at = slots[due.slot].now_s;
-                heap.push(Reverse(Due { at, seq, slot: due.slot }));
-                seq += 1;
-                outcome.peak_depth = outcome.peak_depth.max(heap.len());
-            }
-            None => {
-                // The session finished (the burst ended with `Finished`,
-                // possibly after trailing accuracy flushes): collect its
-                // result now and drop the session so finished cameras never
-                // accumulate live model state.
-                let session = slots[due.slot]
-                    .session
-                    .take()
-                    .expect("heap entries only reference live sessions");
-                outcome.results.push((camera_index, session.into_result()));
-                active.retain(|&slot| slot != due.slot);
-                outcome.makespan_s = outcome.makespan_s.max(slots[due.slot].now_s);
-                if let Some(next) = pending.pop_front() {
-                    let at = slots[due.slot].now_s;
-                    admit(next, at, cameras, &mut slots, &mut heap, &mut active, &mut seq)?;
-                    outcome.peak_depth = outcome.peak_depth.max(heap.len());
-                }
-            }
-        }
-        if let Some(observer) = observer.as_deref_mut() {
-            forward(observer, &events);
-        }
-    }
-
-    debug_assert!(active.is_empty(), "the event loop drains only when every session finished");
-    outcome.results.sort_by_key(|(camera_index, _)| *camera_index);
-    Ok(outcome)
+    cameras: &'a [(String, SimConfig)],
+    arbiter: Box<dyn arbiter::Arbiter>,
+    record_labels: bool,
+    pending: VecDeque<usize>,
+    slots: Vec<Slot>,
+    heap: BinaryHeap<Reverse<Due>>,
+    /// Slot indices of the currently resident (unfinished) sessions, in
+    /// admission order; a slot's index doubles as its admission index.
+    active: Vec<usize>,
+    seq: u64,
+    outcome: AccelOutcome,
+    /// `(camera index, batch)` of freshly teacher-labeled samples collected
+    /// since the last [`AccelLoop::take_exports`] drain.
+    exports: Vec<(usize, Vec<LabeledSample>)>,
 }
 
-/// Creates a camera's session and enters it into an accelerator's event
-/// loop at cluster time `at`.
-fn admit(
-    camera_index: usize,
-    at: f64,
+impl<'a> AccelLoop<'a> {
+    /// Creates the loop and admits the initial residents at cluster time 0.
+    fn new(
+        accel: usize,
+        assigned: &[usize],
+        cameras: &'a [(String, SimConfig)],
+        arbiter_name: &str,
+        capacity: Option<usize>,
+        record_labels: bool,
+    ) -> Result<Self> {
+        let arbiter = arbiter::create(arbiter_name)?;
+        let resident_cap = capacity.unwrap_or(usize::MAX);
+        let pending: VecDeque<usize> = assigned.iter().skip(resident_cap).copied().collect();
+        let queued = pending.len();
+        let mut this = Self {
+            accel,
+            cameras,
+            arbiter,
+            record_labels,
+            pending,
+            slots: Vec::with_capacity(assigned.len().min(resident_cap)),
+            heap: BinaryHeap::new(),
+            active: Vec::new(),
+            seq: 0,
+            outcome: AccelOutcome {
+                results: Vec::with_capacity(assigned.len()),
+                stretches: Vec::new(),
+                steps: 0,
+                busy_s: 0.0,
+                makespan_s: 0.0,
+                peak_depth: 0,
+                queued,
+            },
+            exports: Vec::new(),
+        };
+        for &camera_index in assigned.iter().take(resident_cap) {
+            this.admit(camera_index, 0.0)?;
+        }
+        this.outcome.peak_depth = this.heap.len();
+        Ok(this)
+    }
+
+    /// Whether every assigned session has finished.
+    fn is_done(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Cluster time of this loop's next due event, if any remains.
+    fn next_due_s(&self) -> Option<f64> {
+        self.heap.peek().map(|&Reverse(due)| due.at)
+    }
+
+    /// Pops and executes events due strictly before `stop_at_s` (all
+    /// remaining events when `None`), forwarding each step's burst to the
+    /// observer if one is given. Loop state persists, so the next call
+    /// resumes exactly where this one stopped.
+    fn run_until(
+        &mut self,
+        stop_at_s: Option<f64>,
+        mut observer: Option<&mut dyn SimObserver>,
+    ) -> Result<()> {
+        loop {
+            let due = match self.heap.peek() {
+                Some(&Reverse(due)) => due,
+                None => return Ok(()),
+            };
+            if let Some(stop) = stop_at_s {
+                if due.at >= stop {
+                    return Ok(());
+                }
+            }
+            self.heap.pop();
+            let camera_index = self.slots[due.slot].camera_index;
+            let camera_name = &self.cameras[camera_index].0;
+            let events = self.slots[due.slot]
+                .session
+                .as_mut()
+                .expect("heap entries only reference live sessions")
+                .step_phase()
+                .map_err(|e| prefix_camera(camera_name, e))?;
+
+            // A drift response entering this step marks the session as
+            // recovering *before* arbitration, so drift-aware arbiters can
+            // boost the response itself; the recovery ends once a retraining
+            // phase completes (checked after the grant below).
+            if events.iter().any(|e| matches!(e, SessionEvent::Drift { .. })) {
+                self.slots[due.slot].recovering = true;
+            }
+            let phase = events.iter().rev().find_map(|event| match event {
+                SessionEvent::Phase(p) => Some(*p),
+                _ => None,
+            });
+
+            match phase {
+                Some(phase) => {
+                    self.outcome.steps += 1;
+                    let arbitrated = matches!(phase.kind, PhaseKind::Label | PhaseKind::Retrain);
+                    let stretch = if arbitrated {
+                        let residents: Vec<PeerSession> = self
+                            .active
+                            .iter()
+                            .map(|&slot| PeerSession {
+                                camera_index: self.slots[slot].camera_index,
+                                admission_index: slot,
+                                recovering: self.slots[slot].recovering,
+                            })
+                            .collect();
+                        let share = self.arbiter.grant(&GrantRequest {
+                            now_s: due.at,
+                            accelerator: self.accel,
+                            camera: camera_name,
+                            camera_index,
+                            admission_index: due.slot,
+                            recovering: self.slots[due.slot].recovering,
+                            residents: &residents,
+                        });
+                        if !share.is_finite() || share <= 0.0 || share > 1.0 {
+                            return Err(CoreError::InvalidConfig {
+                                reason: format!(
+                                    "arbiter '{}' granted an invalid capacity share ({share}) to \
+                                     camera '{camera_name}'; shares must lie in (0, 1]",
+                                    self.arbiter.name()
+                                ),
+                            });
+                        }
+                        self.outcome.busy_s += phase.duration_s;
+                        1.0 / share
+                    } else {
+                        // Waits consume no accelerator compute, so they pass
+                        // through unstretched and unarbitrated.
+                        1.0
+                    };
+                    if arbitrated {
+                        self.outcome.stretches.push(stretch);
+                    }
+                    if phase.kind == PhaseKind::Retrain {
+                        self.slots[due.slot].recovering = false;
+                    }
+                    if self.record_labels && phase.kind == PhaseKind::Label {
+                        let fresh = self.slots[due.slot]
+                            .session
+                            .as_mut()
+                            .expect("the session just executed a phase")
+                            .take_fresh_labels();
+                        if !fresh.is_empty() {
+                            self.exports.push((camera_index, fresh));
+                        }
+                    }
+                    self.slots[due.slot].now_s += phase.duration_s * stretch;
+                    let at = self.slots[due.slot].now_s;
+                    self.heap.push(Reverse(Due { at, seq: self.seq, slot: due.slot }));
+                    self.seq += 1;
+                    self.outcome.peak_depth = self.outcome.peak_depth.max(self.heap.len());
+                }
+                None => {
+                    // The session finished (the burst ended with `Finished`,
+                    // possibly after trailing accuracy flushes): collect its
+                    // result now and drop the session so finished cameras
+                    // never accumulate live model state.
+                    let session = self.slots[due.slot]
+                        .session
+                        .take()
+                        .expect("heap entries only reference live sessions");
+                    self.outcome.results.push((camera_index, session.into_result()));
+                    self.active.retain(|&slot| slot != due.slot);
+                    self.outcome.makespan_s =
+                        self.outcome.makespan_s.max(self.slots[due.slot].now_s);
+                    if let Some(next) = self.pending.pop_front() {
+                        let at = self.slots[due.slot].now_s;
+                        self.admit(next, at)?;
+                        self.outcome.peak_depth = self.outcome.peak_depth.max(self.heap.len());
+                    }
+                }
+            }
+            if let Some(observer) = observer.as_deref_mut() {
+                forward(observer, &events);
+            }
+        }
+    }
+
+    /// Creates a camera's session and enters it into this accelerator's
+    /// event loop at cluster time `at`.
+    fn admit(&mut self, camera_index: usize, at: f64) -> Result<()> {
+        let (name, config) = &self.cameras[camera_index];
+        let mut session = Session::new(config.clone()).map_err(|e| prefix_camera(name, e))?;
+        session.set_record_labels(self.record_labels);
+        self.slots.push(Slot {
+            camera_index,
+            session: Some(session),
+            now_s: at,
+            recovering: false,
+        });
+        self.heap.push(Reverse(Due { at, seq: self.seq, slot: self.slots.len() - 1 }));
+        self.active.push(self.slots.len() - 1);
+        self.seq += 1;
+        Ok(())
+    }
+
+    /// Drains the freshly labeled batches collected since the last drain.
+    fn take_exports(&mut self) -> Vec<(usize, Vec<LabeledSample>)> {
+        std::mem::take(&mut self.exports)
+    }
+
+    /// The still-running sessions hosted here, with their camera indices.
+    fn live_sessions(&mut self) -> impl Iterator<Item = (usize, &mut Session)> {
+        self.slots.iter_mut().filter_map(|slot| {
+            let camera_index = slot.camera_index;
+            slot.session.as_mut().map(|session| (camera_index, session))
+        })
+    }
+
+    /// Finalises the loop into its outcome (call only once drained).
+    fn into_outcome(mut self) -> AccelOutcome {
+        debug_assert!(self.heap.is_empty(), "outcomes are collected only after the loop drained");
+        debug_assert!(
+            self.active.is_empty(),
+            "the event loop drains only when every session finished"
+        );
+        self.outcome.results.sort_by_key(|(camera_index, _)| *camera_index);
+        self.outcome
+    }
+}
+
+/// The sharing-free execution: every accelerator loop runs to completion
+/// independently, spread across worker threads (or serially under an
+/// observer).
+fn run_isolated(
+    setup: &ExecSetup<'_>,
+    mut observer: Option<&mut dyn SimObserver>,
+) -> Result<Vec<AccelOutcome>> {
+    if let Some(observer) = observer.take() {
+        // Observed runs execute serially so the event stream needs no
+        // locking and arrives in a stable order.
+        let mut outcomes = Vec::with_capacity(setup.assignment.len());
+        for (accel, assigned) in setup.assignment.iter().enumerate() {
+            let mut accel_loop = AccelLoop::new(
+                accel,
+                assigned,
+                setup.cameras,
+                setup.arbiter,
+                setup.capacity,
+                false,
+            )?;
+            accel_loop.run_until(None, Some(&mut *observer))?;
+            outcomes.push(accel_loop.into_outcome());
+        }
+        return Ok(outcomes);
+    }
+    let accelerators = setup.assignment.len();
+    let workers = setup.threads.min(accelerators.max(1)).max(1);
+    let next = AtomicUsize::new(0);
+    let failed = AtomicBool::new(false);
+    let slots: Mutex<Vec<Option<Result<AccelOutcome>>>> =
+        Mutex::new((0..accelerators).map(|_| None).collect());
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                if failed.load(Ordering::Relaxed) {
+                    break;
+                }
+                let accel = next.fetch_add(1, Ordering::Relaxed);
+                let Some(assigned) = setup.assignment.get(accel) else { break };
+                let outcome = AccelLoop::new(
+                    accel,
+                    assigned,
+                    setup.cameras,
+                    setup.arbiter,
+                    setup.capacity,
+                    false,
+                )
+                .and_then(|mut accel_loop| {
+                    accel_loop.run_until(None, None)?;
+                    Ok(accel_loop.into_outcome())
+                });
+                if outcome.is_err() {
+                    failed.store(true, Ordering::Relaxed);
+                }
+                slots.lock().expect("cluster outcome lock poisoned")[accel] = Some(outcome);
+            });
+        }
+    });
+    let outcomes = slots.into_inner().expect("cluster outcome lock poisoned");
+    // Surface the error of the lowest-indexed accelerator that reported
+    // one. When several accelerators fail concurrently in the threaded
+    // path, which of them got to report before the abort flag stopped
+    // the others can vary — but at least one real error always
+    // surfaces, and the Ok path stays fully deterministic.
+    if let Some(err) = outcomes.iter().flatten().find_map(|outcome| outcome.as_ref().err()) {
+        return Err(err.clone());
+    }
+    Ok(outcomes
+        .into_iter()
+        .map(|outcome| {
+            outcome
+                .expect("without errors every accelerator ran")
+                .expect("errors were surfaced above")
+        })
+        .collect())
+}
+
+/// The cross-camera sharing execution: accelerator loops advance window by
+/// window (in parallel inside a window), and every boundary runs one
+/// deterministic, single-threaded label exchange.
+fn run_windowed(
+    setup: &ExecSetup<'_>,
+    share_name: &str,
+    window_s: f64,
+    mut observer: Option<&mut dyn SimObserver>,
+) -> Result<(Vec<AccelOutcome>, ShareMetrics)> {
+    let mut policy = share::create(share_name)?;
+    let mut loops = setup
+        .assignment
+        .iter()
+        .enumerate()
+        .map(|(accel, assigned)| {
+            AccelLoop::new(accel, assigned, setup.cameras, setup.arbiter, setup.capacity, true)
+        })
+        .collect::<Result<Vec<_>>>()?;
+    let mut metrics = ShareMetrics::fresh(policy.name(), window_s);
+    let mut correlations: BTreeMap<(usize, usize), f64> = BTreeMap::new();
+    let mut window = 0usize;
+    while loops.iter().any(|accel_loop| !accel_loop.is_done()) {
+        // Jump straight to the window containing the earliest due event, so
+        // long event-free stretches (a fleet idling in one deep wait, or a
+        // window far smaller than the phase lengths) cost no barrier
+        // rounds. Windows are absolute (`k * window_s`), so skipped empty
+        // windows leave the indices and boundaries of the windows that do
+        // run — and therefore every exchange — unchanged.
+        let earliest_due_s =
+            loops.iter().filter_map(AccelLoop::next_due_s).fold(f64::INFINITY, f64::min);
+        if earliest_due_s.is_finite() {
+            window = window.max((earliest_due_s / window_s).floor() as usize);
+        }
+        let boundary_s = (window as f64 + 1.0) * window_s;
+        if let Some(observer) = observer.as_deref_mut() {
+            for accel_loop in &mut loops {
+                accel_loop.run_until(Some(boundary_s), Some(&mut *observer))?;
+            }
+        } else if setup.threads <= 1 || loops.len() <= 1 {
+            for accel_loop in &mut loops {
+                accel_loop.run_until(Some(boundary_s), None)?;
+            }
+        } else {
+            run_window_threaded(&mut loops, boundary_s, setup.threads)?;
+        }
+        exchange_window(
+            &mut loops,
+            policy.as_mut(),
+            setup.cameras,
+            &mut correlations,
+            &mut metrics,
+            window,
+            boundary_s,
+        )?;
+        window += 1;
+    }
+    metrics.windows = window;
+    Ok((loops.into_iter().map(AccelLoop::into_outcome).collect(), metrics))
+}
+
+/// Advances every accelerator loop to the window boundary across worker
+/// threads. Loops are split into contiguous chunks; which thread runs which
+/// loop never affects results, only wall-clock time.
+fn run_window_threaded(loops: &mut [AccelLoop<'_>], boundary_s: f64, threads: usize) -> Result<()> {
+    let workers = threads.min(loops.len()).max(1);
+    let chunk_len = loops.len().div_ceil(workers);
+    let failures: Mutex<Vec<(usize, CoreError)>> = Mutex::new(Vec::new());
+    std::thread::scope(|scope| {
+        let failures = &failures;
+        for chunk in loops.chunks_mut(chunk_len) {
+            scope.spawn(move || {
+                for accel_loop in chunk {
+                    if let Err(e) = accel_loop.run_until(Some(boundary_s), None) {
+                        failures
+                            .lock()
+                            .expect("window failure lock poisoned")
+                            .push((accel_loop.accel, e));
+                        break;
+                    }
+                }
+            });
+        }
+    });
+    // Like the isolated path, surface the lowest-indexed accelerator's
+    // error among those that reported one this window.
+    let mut failures = failures.into_inner().expect("window failure lock poisoned");
+    failures.sort_by_key(|(accel, _)| *accel);
+    match failures.into_iter().next() {
+        Some((_, e)) => Err(e),
+        None => Ok(()),
+    }
+}
+
+/// One window boundary's label exchange: drain every camera's fresh exports,
+/// then walk importers and exporters in camera admission-index order, asking
+/// the policy for an admit fraction per pair. Single-threaded and fully
+/// ordered, so shared runs stay deterministic at any worker-thread count.
+fn exchange_window(
+    loops: &mut [AccelLoop<'_>],
+    policy: &mut dyn SharePolicy,
     cameras: &[(String, SimConfig)],
-    slots: &mut Vec<Slot>,
-    heap: &mut BinaryHeap<Reverse<Due>>,
-    active: &mut Vec<usize>,
-    seq: &mut u64,
+    correlations: &mut BTreeMap<(usize, usize), f64>,
+    metrics: &mut ShareMetrics,
+    window_index: usize,
+    boundary_s: f64,
 ) -> Result<()> {
-    let (name, config) = &cameras[camera_index];
-    let session = Session::new(config.clone()).map_err(|e| prefix_camera(name, e))?;
-    slots.push(Slot { camera_index, session: Some(session), now_s: at, recovering: false });
-    heap.push(Reverse(Due { at, seq: *seq, slot: slots.len() - 1 }));
-    active.push(slots.len() - 1);
-    *seq += 1;
+    let mut exports: BTreeMap<usize, Vec<LabeledSample>> = BTreeMap::new();
+    for accel_loop in loops.iter_mut() {
+        for (camera_index, batch) in accel_loop.take_exports() {
+            exports.entry(camera_index).or_default().extend(batch);
+        }
+    }
+    metrics.labels_exported += exports.values().map(Vec::len).sum::<usize>();
+    if exports.is_empty() {
+        return Ok(());
+    }
+    let mut importers: Vec<(usize, &mut Session)> = Vec::new();
+    for accel_loop in loops.iter_mut() {
+        importers.extend(accel_loop.live_sessions());
+    }
+    importers.sort_by_key(|(camera_index, _)| *camera_index);
+    for (importer_index, session) in importers {
+        for (&exporter_index, batch) in &exports {
+            if exporter_index == importer_index {
+                continue;
+            }
+            // Scenario attribute overlap is symmetric; memoise per pair.
+            let key = (exporter_index.min(importer_index), exporter_index.max(importer_index));
+            let correlation = *correlations.entry(key).or_insert_with(|| {
+                cameras[importer_index]
+                    .1
+                    .scenario
+                    .attribute_overlap(&cameras[exporter_index].1.scenario)
+            });
+            let ctx = ShareContext {
+                window_index,
+                boundary_s,
+                exporter: &cameras[exporter_index].0,
+                exporter_index,
+                importer: &cameras[importer_index].0,
+                importer_index,
+                correlation,
+                fresh_labels: batch.len(),
+            };
+            let fraction = policy.admit_fraction(&ctx);
+            if !fraction.is_finite() || !(0.0..=1.0).contains(&fraction) {
+                return Err(CoreError::InvalidConfig {
+                    reason: format!(
+                        "share policy '{}' returned an invalid admit fraction ({fraction}) for \
+                         importer '{}'; fractions must lie in [0, 1]",
+                        policy.name(),
+                        cameras[importer_index].0
+                    ),
+                });
+            }
+            let admitted = (((batch.len() as f64) * fraction).round() as usize).min(batch.len());
+            if admitted == 0 {
+                // Only an outright refusal counts as a reject; a positive
+                // fraction too small to round to one sample is a grant that
+                // happened to admit nothing.
+                if fraction == 0.0 {
+                    metrics.import_rejects += 1;
+                }
+                continue;
+            }
+            session.admit_samples(batch.iter().take(admitted).cloned());
+            metrics.labels_reused += admitted;
+            let labeling_sps = session.labeling_sps();
+            if labeling_sps > 0.0 {
+                metrics.labeling_seconds_saved += admitted as f64 / labeling_sps;
+            }
+        }
+    }
     Ok(())
 }
 
@@ -711,6 +1078,27 @@ mod tests {
     }
 
     #[test]
+    fn unknown_share_policies_and_bad_windows_fail_before_any_simulation() {
+        let started = std::time::Instant::now();
+        let err = two_camera_cluster(1).share("telepathy").run().unwrap_err();
+        assert!(err.to_string().contains("telepathy"), "{err}");
+        assert!(started.elapsed().as_millis() < 500, "validation should fail fast");
+        assert!(two_camera_cluster(1).share("correlated:2.0").run().is_err());
+        for window_s in [0.0, -5.0, f64::NAN, f64::INFINITY] {
+            let err = two_camera_cluster(1)
+                .share("broadcast")
+                .share_window_s(window_s)
+                .run()
+                .unwrap_err();
+            assert!(err.to_string().contains("share window"), "{err}");
+        }
+        // The window is only consulted with sharing active: a degenerate
+        // value still fails fast even under the default "none" policy, so
+        // misconfigurations cannot lurk until someone enables sharing.
+        assert!(two_camera_cluster(1).share_window_s(0.0).run().is_err());
+    }
+
+    #[test]
     fn dedicated_accelerators_reproduce_the_fleet_exactly() {
         let cluster = two_camera_cluster(2).run().unwrap();
         let fleet = Fleet::new()
@@ -725,6 +1113,10 @@ mod tests {
         assert!((cluster.contention.max_step_stretch - 1.0).abs() < 1e-12);
         assert_eq!(cluster.contention.queued_cameras, 0);
         assert_eq!(cluster.contention.peak_queue_depth, 2, "one event per dedicated camera");
+        // Sharing is off by default.
+        assert_eq!(cluster.share.policy, "none");
+        assert_eq!(cluster.share.labels_reused, 0);
+        assert_eq!(cluster.share.windows, 0);
     }
 
     #[test]
@@ -812,6 +1204,74 @@ mod tests {
     }
 
     #[test]
+    fn explicit_none_share_matches_the_default_exactly() {
+        let default = two_camera_cluster(1).run().unwrap();
+        let explicit = two_camera_cluster(1).share("none").run().unwrap();
+        assert_eq!(default, explicit);
+    }
+
+    #[test]
+    fn broadcast_sharing_reuses_labels_between_co_located_cameras() {
+        // Both short_config cameras walk the same scenario, so any export
+        // is admissible; the spatiotemporal sessions label continuously.
+        let shared = Cluster::new(1)
+            .camera("a", short_config(SchedulerKind::DaCapoSpatiotemporal))
+            .camera("b", short_config(SchedulerKind::DaCapoSpatiotemporal))
+            .share("broadcast")
+            .share_window_s(20.0)
+            .run()
+            .unwrap();
+        assert_eq!(shared.share.policy, "broadcast");
+        assert!(shared.share.windows >= 1);
+        assert!(shared.share.labels_exported > 0, "{:?}", shared.share);
+        assert!(shared.share.labels_reused > 0, "{:?}", shared.share);
+        assert!(shared.share.labeling_seconds_saved > 0.0, "{:?}", shared.share);
+        // Contention telemetry is unaffected by what lands in the buffers:
+        // grants depend only on residency, which sharing does not change.
+        let unshared = Cluster::new(1)
+            .camera("a", short_config(SchedulerKind::DaCapoSpatiotemporal))
+            .camera("b", short_config(SchedulerKind::DaCapoSpatiotemporal))
+            .run()
+            .unwrap();
+        assert_eq!(shared.contention.accelerators, unshared.contention.accelerators);
+        assert_eq!(shared.contention.queued_cameras, unshared.contention.queued_cameras);
+    }
+
+    #[test]
+    fn invalid_admit_fractions_from_untrusted_policies_error_instead_of_corrupting() {
+        use crate::share::{SharePolicy, SharePolicyFactory};
+        use std::sync::Arc;
+
+        struct NanAdmit;
+        impl SharePolicy for NanAdmit {
+            fn name(&self) -> String {
+                "nan-admit".to_string()
+            }
+            fn admit_fraction(&mut self, _ctx: &ShareContext<'_>) -> f64 {
+                f64::NAN
+            }
+        }
+        struct NanAdmitFactory;
+        impl SharePolicyFactory for NanAdmitFactory {
+            fn name(&self) -> &str {
+                "nan-admit"
+            }
+            fn build(&self, _params: Option<&str>) -> Result<Box<dyn SharePolicy>> {
+                Ok(Box::new(NanAdmit))
+            }
+        }
+
+        share::register(Arc::new(NanAdmitFactory));
+        let err = Cluster::new(1)
+            .camera("a", short_config(SchedulerKind::DaCapoSpatiotemporal))
+            .camera("b", short_config(SchedulerKind::DaCapoSpatiotemporal))
+            .share("nan-admit")
+            .run()
+            .unwrap_err();
+        assert!(err.to_string().contains("invalid admit fraction"), "{err}");
+    }
+
+    #[test]
     fn observed_runs_match_unobserved_runs_and_see_every_event() {
         #[derive(Default)]
         struct Counter {
@@ -846,6 +1306,31 @@ mod tests {
         assert_eq!(counter.accuracy, accuracy);
         assert_eq!(counter.drifts, observed.fleet.total_drift_responses);
         assert_eq!(counter.finished, observed.fleet.cameras.len());
+    }
+
+    #[test]
+    fn observed_shared_runs_match_unobserved_shared_runs() {
+        #[derive(Default)]
+        struct Counter {
+            finished: usize,
+        }
+        impl SimObserver for Counter {
+            fn on_finished(&mut self) {
+                self.finished += 1;
+            }
+        }
+        let build = || {
+            Cluster::new(1)
+                .camera("a", short_config(SchedulerKind::DaCapoSpatiotemporal))
+                .camera("b", short_config(SchedulerKind::DaCapoSpatial))
+                .share("broadcast")
+                .share_window_s(25.0)
+        };
+        let mut counter = Counter::default();
+        let observed = build().run_with(&mut counter).unwrap();
+        let plain = build().run().unwrap();
+        assert_eq!(observed, plain, "observation must not perturb a shared run");
+        assert_eq!(counter.finished, 2);
     }
 
     #[test]

@@ -81,6 +81,8 @@ impl FleetResult {
 pub struct Fleet {
     cameras: Vec<(String, SimConfig)>,
     threads: usize,
+    share: String,
+    share_window_s: Option<f64>,
 }
 
 impl Default for Fleet {
@@ -90,11 +92,12 @@ impl Default for Fleet {
 }
 
 impl Fleet {
-    /// Creates an empty fleet sized to the machine's available parallelism.
+    /// Creates an empty fleet sized to the machine's available parallelism,
+    /// with cross-camera sharing disabled.
     #[must_use]
     pub fn new() -> Self {
         let threads = std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get);
-        Self { cameras: Vec::new(), threads }
+        Self { cameras: Vec::new(), threads, share: "none".to_string(), share_window_s: None }
     }
 
     /// Adds a camera with its own configuration (scenario, seed, platform,
@@ -109,6 +112,28 @@ impl Fleet {
     #[must_use]
     pub fn threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
+        self
+    }
+
+    /// Selects a cross-camera label-sharing policy by registry name (see
+    /// [`crate::share::register`]); the default `"none"` keeps cameras fully
+    /// independent. With an active policy, correlated cameras reuse each
+    /// other's freshly teacher-labeled samples at window boundaries —
+    /// per-camera results then legitimately differ from solo runs. Sharing
+    /// telemetry is reported on [`crate::ClusterResult::share`]; run the
+    /// fleet as a [`Cluster`] (one accelerator per camera) to read it.
+    #[must_use]
+    pub fn share(mut self, name: impl Into<String>) -> Self {
+        self.share = name.into();
+        self
+    }
+
+    /// Sets the sharing exchange window in virtual seconds (see
+    /// [`Cluster::share_window_s`]); only consulted with an active share
+    /// policy.
+    #[must_use]
+    pub fn share_window_s(mut self, window_s: f64) -> Self {
+        self.share_window_s = Some(window_s);
         self
     }
 
@@ -142,7 +167,10 @@ impl Fleet {
                 reason: "a fleet needs at least one camera".into(),
             });
         }
-        let mut cluster = Cluster::new(self.cameras.len()).threads(self.threads);
+        let mut cluster = Cluster::new(self.cameras.len()).threads(self.threads).share(self.share);
+        if let Some(window_s) = self.share_window_s {
+            cluster = cluster.share_window_s(window_s);
+        }
         for (name, config) in self.cameras {
             cluster = cluster.camera(name, config);
         }

@@ -129,6 +129,57 @@
 //! # }
 //! ```
 //!
+//! # Cross-camera sharing
+//!
+//! Fleets of co-located cameras drift together, so teacher labels produced
+//! for one camera are often reusable by its peers. The [`share`] registry
+//! (mirroring [`sched`], [`platform`], and [`arbiter`]) plugs a
+//! [`share::SharePolicy`] into the cluster executor via
+//! [`Cluster::share`]: cluster virtual time is divided into exchange
+//! windows ([`Cluster::share_window_s`]), and at every boundary each
+//! camera's freshly teacher-labeled samples are offered to every live peer
+//! in camera admission-index order — a deterministic, single-threaded
+//! barrier, so shared runs stay bit-identical across worker-thread counts.
+//! The policy grants an admit fraction per (importer, exporter) pair;
+//! admitted samples enter the importer's [`SampleBuffer`] at zero labeling
+//! cost, and the savings are reported as [`ShareMetrics`] on
+//! [`ClusterResult::share`] (labels reused, labeling seconds saved, import
+//! rejects).
+//!
+//! Builtins: `"none"` (reserved; the sharing-free fast path, bit-identical
+//! to pre-sharing clusters), `"broadcast"` (admit everything), and
+//! `"correlated[:<threshold>]"` (admit only from peers whose scenarios
+//! overlap in attributes at least `threshold`, per
+//! [`Scenario::attribute_overlap`](dacapo_datagen::Scenario::attribute_overlap)).
+//! Correlated fleet workloads come from
+//! [`FleetScenario`](dacapo_datagen::FleetScenario), which derives N
+//! per-camera scenarios from one base with controllable attribute overlap
+//! and per-camera drift-time offsets:
+//!
+//! ```no_run
+//! use dacapo_core::{Cluster, SimConfig};
+//! use dacapo_datagen::{FleetScenario, Scenario};
+//! use dacapo_dnn::zoo::ModelPair;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let scenarios =
+//!     FleetScenario::new(Scenario::es1(), 16).overlap(0.8).offset_step_s(30.0).derive()?;
+//! let mut cluster = Cluster::new(4).share("correlated:0.6").share_window_s(60.0);
+//! for (i, scenario) in scenarios.into_iter().enumerate() {
+//!     let config = SimConfig::builder(scenario, ModelPair::ResNet18Wrn50)
+//!         .seed(0xDACA90 + i as u64)
+//!         .build()?;
+//!     cluster = cluster.camera(format!("cam-{i:02}"), config);
+//! }
+//! let result = cluster.run()?;
+//! println!(
+//!     "{} labels reused, {:.0} s of teacher labeling saved",
+//!     result.share.labels_reused, result.share.labeling_seconds_saved,
+//! );
+//! # Ok(())
+//! # }
+//! ```
+//!
 //! # Mapping to the paper
 //!
 //! * [`Hyperparams`] — Table I's resource-allocation hyperparameters
@@ -214,6 +265,7 @@ pub mod metrics;
 pub mod platform;
 pub mod sched;
 mod session;
+pub mod share;
 mod sim;
 mod student;
 
@@ -225,6 +277,7 @@ pub use fleet::{CameraResult, Fleet, FleetResult};
 pub use platform::{PlatformKind, PlatformRates, PlatformSpec};
 pub use sched::{SchedulerKind, SchedulerSpec};
 pub use session::{Session, SessionEvent, SimObserver};
+pub use share::ShareMetrics;
 pub use sim::{ClSimulator, PhaseKind, PhaseRecord, SimResult};
 pub use student::StudentModel;
 

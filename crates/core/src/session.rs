@@ -116,6 +116,8 @@ pub struct Session {
     phase_seed: u64,
     pending: VecDeque<SessionEvent>,
     finished: bool,
+    record_labels: bool,
+    fresh_labels: Vec<LabeledSample>,
 }
 
 impl Session {
@@ -192,7 +194,38 @@ impl Session {
             phase_seed,
             pending: VecDeque::new(),
             finished: false,
+            record_labels: false,
+            fresh_labels: Vec::new(),
         })
+    }
+
+    /// Makes the session keep a copy of every batch its teacher freshly
+    /// labels, for [`Session::take_fresh_labels`] to drain. Off by default
+    /// (recording clones every labeled batch); the cluster executor enables
+    /// it when a cross-camera [`crate::share`] policy is active.
+    pub(crate) fn set_record_labels(&mut self, record: bool) {
+        self.record_labels = record;
+    }
+
+    /// Drains the teacher-labeled samples recorded since the last drain
+    /// (empty unless [`Session::set_record_labels`] enabled recording).
+    pub(crate) fn take_fresh_labels(&mut self) -> Vec<LabeledSample> {
+        std::mem::take(&mut self.fresh_labels)
+    }
+
+    /// Admits externally labeled samples (a correlated peer's exports) into
+    /// the sample buffer, evicting the oldest residents as needed. Admitted
+    /// imports are *not* re-exported by [`Session::take_fresh_labels`], so
+    /// shared labels never echo around the fleet.
+    pub(crate) fn admit_samples(&mut self, samples: impl IntoIterator<Item = LabeledSample>) {
+        self.buffer.extend(samples);
+    }
+
+    /// The session's effective teacher-labeling throughput in samples per
+    /// second — the rate an admitted import batch would have cost to label
+    /// locally.
+    pub(crate) fn labeling_sps(&self) -> f64 {
+        self.platform.effective_labeling_sps(self.config.stream.fps)
     }
 
     /// The configuration this session was built from.
@@ -435,6 +468,9 @@ impl Session {
                 // acc_l: the current student's accuracy on the freshly
                 // labeled data, judged by the teacher's labels.
                 self.last_labeling = Some(self.student.accuracy_on_samples(&labeled)?);
+                if self.record_labels {
+                    self.fresh_labels.extend(labeled.iter().cloned());
+                }
                 self.buffer.extend(labeled);
 
                 self.measure_until(self.now_s + phase_duration)?;

@@ -1,0 +1,489 @@
+//! Cross-camera label-sharing policies and their pluggable registry.
+//!
+//! Fleets of co-located cameras see **correlated** drift, so teacher labels
+//! produced for one camera are often useful to its peers — reusing them cuts
+//! the fleet's aggregate labeling cost while per-camera accuracy holds. When
+//! a [`Cluster`](crate::Cluster) runs with sharing enabled
+//! ([`Cluster::share`](crate::Cluster::share)), the executor divides cluster
+//! virtual time into fixed windows
+//! ([`Cluster::share_window_s`](crate::Cluster::share_window_s)); at every
+//! window boundary each camera *exports* the samples its teacher freshly
+//! labeled during the window, and every live peer asks the cluster's
+//! [`SharePolicy`] which fraction of each export batch to *admit* into its
+//! own [`SampleBuffer`](crate::SampleBuffer). Admitted imports cost the
+//! importer nothing — the labeling work already happened on the exporter —
+//! and the savings are reported as
+//! [`ShareMetrics::labeling_seconds_saved`].
+//!
+//! Exchanges are deterministic: importers and exporters are walked in
+//! camera admission-index order at each boundary, so cluster runs stay
+//! bit-identical across worker-thread counts.
+//!
+//! # Pluggable policies
+//!
+//! Policies are constructed through trait-object factories, mirroring
+//! [`crate::sched::register`], [`crate::platform::register`], and
+//! [`crate::arbiter::register`]: implement [`SharePolicy`] and
+//! [`SharePolicyFactory`], [`register`] the factory, and select it by name
+//! via [`Cluster::share`](crate::Cluster::share). Names may carry a
+//! `:<params>` suffix forwarded to the factory. Three builtins are
+//! pre-registered:
+//!
+//! * `"none"` — sharing disabled; the cluster takes the exact same execution
+//!   path (and produces bit-identical results) as a cluster built before the
+//!   share subsystem existed. The name is **reserved**: [`register`] rejects
+//!   factories trying to claim it.
+//! * `"broadcast"` — every camera admits every peer's full export batch.
+//! * `"correlated[:<threshold>]"` — a camera admits a peer's exports only
+//!   when the two cameras' scenarios overlap in attributes
+//!   ([`Scenario::attribute_overlap`](dacapo_datagen::Scenario::attribute_overlap))
+//!   at least `threshold` (default `0.5`), the ECCO-style exploitation of
+//!   cross-camera correlation.
+
+use crate::{CoreError, Result};
+use serde::Serialize;
+use std::collections::BTreeMap;
+use std::sync::{Arc, OnceLock, RwLock};
+
+/// Everything a [`SharePolicy`] gets to decide one import admission: one
+/// (importer, exporter) pair at one window boundary.
+#[derive(Debug, Clone, Copy)]
+pub struct ShareContext<'a> {
+    /// Index of the exchange window that just ended (0-based).
+    pub window_index: usize,
+    /// Cluster virtual time of the window boundary, in seconds.
+    pub boundary_s: f64,
+    /// Name of the camera offering its freshly labeled samples.
+    pub exporter: &'a str,
+    /// The exporter's cluster camera index (admission order).
+    pub exporter_index: usize,
+    /// Name of the camera deciding whether to admit the batch.
+    pub importer: &'a str,
+    /// The importer's cluster camera index (admission order).
+    pub importer_index: usize,
+    /// Attribute overlap between the two cameras' scenarios in `[0, 1]`
+    /// (see [`Scenario::attribute_overlap`](dacapo_datagen::Scenario::attribute_overlap)).
+    pub correlation: f64,
+    /// Number of samples in the exporter's batch this window.
+    pub fresh_labels: usize,
+}
+
+/// A cross-camera label-sharing policy.
+///
+/// `Send` is required so the policy can live inside a cluster run that
+/// spreads accelerator loops across worker threads; the policy itself is
+/// only ever invoked at single-threaded window barriers, in deterministic
+/// (importer, exporter) admission order, so implementations may keep state.
+pub trait SharePolicy: Send {
+    /// The policy's display name (used for reporting, e.g. `"broadcast"`).
+    fn name(&self) -> String;
+
+    /// Returns the fraction of the exporter's batch the importer admits,
+    /// in `[0, 1]` (`0` = admit nothing, `1` = admit everything; the
+    /// admitted count is the fraction of the batch size, rounded to the
+    /// nearest sample). The executor validates the fraction and errors on
+    /// non-finite or out-of-range values.
+    fn admit_fraction(&mut self, ctx: &ShareContext<'_>) -> f64;
+}
+
+/// Trait-object factory for sharing policies, the extension point of the
+/// share registry.
+pub trait SharePolicyFactory: Send + Sync {
+    /// The canonical (case-insensitive) base name the factory registers
+    /// under, without any parameter suffix.
+    fn name(&self) -> &str;
+
+    /// Builds a fresh policy for one cluster run.
+    ///
+    /// # Errors
+    ///
+    /// Factories must validate `params` (the `:<suffix>` of the selected
+    /// name, if any) and return [`CoreError::InvalidConfig`] for malformed
+    /// parameters rather than panicking.
+    fn build(&self, params: Option<&str>) -> Result<Box<dyn SharePolicy>>;
+}
+
+/// Telemetry of one cluster run's cross-camera sharing: how much teacher
+/// labeling work the fleet avoided by reusing peers' labels.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ShareMetrics {
+    /// The sharing policy name the cluster ran under (`"none"` when
+    /// sharing was disabled).
+    pub policy: String,
+    /// Exchange window length in cluster virtual seconds.
+    pub window_s: f64,
+    /// Number of calendar exchange windows spanning the run — the index of
+    /// the last window boundary, counting from 1, so
+    /// `windows * window_s >= makespan` (`0` when sharing was disabled).
+    /// Event-free windows are skipped without a barrier but still counted;
+    /// they exchange nothing either way.
+    pub windows: usize,
+    /// Freshly teacher-labeled samples offered for export across the run.
+    pub labels_exported: usize,
+    /// Imported samples admitted into peers' buffers — each one a teacher
+    /// labeling invocation some camera did *not* have to pay for itself.
+    pub labels_reused: usize,
+    /// Teacher labeling time the importers saved, summed over admissions at
+    /// each importer's own effective labeling rate, in seconds.
+    pub labeling_seconds_saved: f64,
+    /// (importer, exporter, window) offers the policy declined outright
+    /// (granted an admit fraction of exactly `0`). A positive fraction too
+    /// small to round to one sample is not counted as a reject.
+    pub import_rejects: usize,
+}
+
+impl ShareMetrics {
+    /// Metrics of a run that never exchanged anything (policy `name`,
+    /// usually `"none"`).
+    #[must_use]
+    pub(crate) fn disabled(window_s: f64) -> Self {
+        Self::fresh("none".to_string(), window_s)
+    }
+
+    /// Zeroed metrics for a run about to start under `policy`.
+    #[must_use]
+    pub(crate) fn fresh(policy: String, window_s: f64) -> Self {
+        Self {
+            policy,
+            window_s,
+            windows: 0,
+            labels_exported: 0,
+            labels_reused: 0,
+            labeling_seconds_saved: 0.0,
+            import_rejects: 0,
+        }
+    }
+}
+
+// --------------------------------------------------------------------------
+// Builtin policies
+// --------------------------------------------------------------------------
+
+/// `"none"`: sharing disabled.
+struct NoSharing;
+
+impl SharePolicy for NoSharing {
+    fn name(&self) -> String {
+        "none".to_string()
+    }
+
+    fn admit_fraction(&mut self, _ctx: &ShareContext<'_>) -> f64 {
+        0.0
+    }
+}
+
+struct NoSharingFactory;
+
+impl SharePolicyFactory for NoSharingFactory {
+    fn name(&self) -> &str {
+        "none"
+    }
+
+    fn build(&self, params: Option<&str>) -> Result<Box<dyn SharePolicy>> {
+        if let Some(params) = params {
+            return Err(CoreError::InvalidConfig {
+                reason: format!("share policy 'none' takes no parameters, got ':{params}'"),
+            });
+        }
+        Ok(Box::new(NoSharing))
+    }
+}
+
+/// `"broadcast"`: every camera admits every peer's full batch.
+struct Broadcast;
+
+impl SharePolicy for Broadcast {
+    fn name(&self) -> String {
+        "broadcast".to_string()
+    }
+
+    fn admit_fraction(&mut self, _ctx: &ShareContext<'_>) -> f64 {
+        1.0
+    }
+}
+
+struct BroadcastFactory;
+
+impl SharePolicyFactory for BroadcastFactory {
+    fn name(&self) -> &str {
+        "broadcast"
+    }
+
+    fn build(&self, params: Option<&str>) -> Result<Box<dyn SharePolicy>> {
+        if let Some(params) = params {
+            return Err(CoreError::InvalidConfig {
+                reason: format!("share policy 'broadcast' takes no parameters, got ':{params}'"),
+            });
+        }
+        Ok(Box::new(Broadcast))
+    }
+}
+
+/// `"correlated[:<threshold>]"`: admit everything from peers whose scenario
+/// attribute overlap reaches the threshold, nothing from the rest.
+struct Correlated {
+    threshold: f64,
+}
+
+impl SharePolicy for Correlated {
+    fn name(&self) -> String {
+        format!("correlated:{}", self.threshold)
+    }
+
+    fn admit_fraction(&mut self, ctx: &ShareContext<'_>) -> f64 {
+        if ctx.correlation >= self.threshold {
+            1.0
+        } else {
+            0.0
+        }
+    }
+}
+
+struct CorrelatedFactory;
+
+impl SharePolicyFactory for CorrelatedFactory {
+    fn name(&self) -> &str {
+        "correlated"
+    }
+
+    fn build(&self, params: Option<&str>) -> Result<Box<dyn SharePolicy>> {
+        let threshold = match params {
+            None => 0.5,
+            Some(raw) => raw.trim().parse::<f64>().map_err(|_| CoreError::InvalidConfig {
+                reason: format!("correlated expects a numeric threshold, got ':{raw}'"),
+            })?,
+        };
+        if !(threshold.is_finite() && (0.0..=1.0).contains(&threshold)) {
+            return Err(CoreError::InvalidConfig {
+                reason: format!(
+                    "correlated threshold must lie in [0, 1], got {threshold} (overlaps are \
+                     fractions of the common timeline)"
+                ),
+            });
+        }
+        Ok(Box::new(Correlated { threshold }))
+    }
+}
+
+// --------------------------------------------------------------------------
+// Registry
+// --------------------------------------------------------------------------
+
+type Registry = RwLock<BTreeMap<String, Arc<dyn SharePolicyFactory>>>;
+
+/// The global share registry, seeded with the builtin policies.
+fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(|| {
+        let mut map: BTreeMap<String, Arc<dyn SharePolicyFactory>> = BTreeMap::new();
+        let builtins: [Arc<dyn SharePolicyFactory>; 3] =
+            [Arc::new(NoSharingFactory), Arc::new(BroadcastFactory), Arc::new(CorrelatedFactory)];
+        for factory in builtins {
+            map.insert(factory.name().to_lowercase(), factory);
+        }
+        RwLock::new(map)
+    })
+}
+
+/// Registers (or replaces) a share-policy factory under its case-insensitive
+/// [`SharePolicyFactory::name`].
+///
+/// # Panics
+///
+/// Panics if the factory's name contains `':'` (reserved for parameter
+/// suffixes during lookup) or is `"none"` — the disabled policy is load-
+/// bearing: clusters take a sharing-free fast path for it, so replacing it
+/// could silently diverge from that guarantee.
+pub fn register(factory: Arc<dyn SharePolicyFactory>) {
+    let key = factory.name().to_lowercase();
+    assert!(
+        !key.contains(':'),
+        "share policy name '{key}' must not contain ':' (reserved for parameter suffixes)"
+    );
+    assert!(key != "none", "share policy name 'none' is reserved for the builtin disabled policy");
+    registry().write().expect("share registry poisoned").insert(key, factory);
+}
+
+/// Looks up a share-policy factory by case-insensitive name. A `:<params>`
+/// suffix, if present, is ignored for the lookup
+/// (`by_name("correlated:0.7")` resolves the `"correlated"` factory).
+#[must_use]
+pub fn by_name(name: &str) -> Option<Arc<dyn SharePolicyFactory>> {
+    let (base, _) = split_params(name);
+    registry().read().expect("share registry poisoned").get(&base.to_lowercase()).cloned()
+}
+
+/// The base names of every registered sharing policy, sorted.
+#[must_use]
+pub fn registered_names() -> Vec<String> {
+    registry().read().expect("share registry poisoned").keys().cloned().collect()
+}
+
+/// Whether `name` selects the reserved disabled policy (`"none"`, in any
+/// case) — the cluster executor takes its sharing-free fast path for it.
+#[must_use]
+pub fn is_disabled(name: &str) -> bool {
+    split_params(name).0.eq_ignore_ascii_case("none")
+}
+
+/// Instantiates the sharing policy selected by `name` (with optional
+/// `:<params>` suffix) for one cluster run.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidConfig`] for an unregistered name or
+/// malformed parameters.
+pub fn create(name: &str) -> Result<Box<dyn SharePolicy>> {
+    let (base, params) = split_params(name);
+    let factory = by_name(base).ok_or_else(|| CoreError::InvalidConfig {
+        reason: format!(
+            "unknown share policy '{base}'; registered policies: {}",
+            registered_names().join(", ")
+        ),
+    })?;
+    factory.build(params)
+}
+
+/// Splits a policy name into its registry base name and optional parameter
+/// suffix (`"correlated:0.7"` → `("correlated", Some("0.7"))`).
+fn split_params(name: &str) -> (&str, Option<&str>) {
+    match name.split_once(':') {
+        Some((base, params)) => (base, Some(params)),
+        None => (name, None),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn context(correlation: f64) -> ShareContext<'static> {
+        ShareContext {
+            window_index: 0,
+            boundary_s: 60.0,
+            exporter: "cam-0",
+            exporter_index: 0,
+            importer: "cam-1",
+            importer_index: 1,
+            correlation,
+            fresh_labels: 32,
+        }
+    }
+
+    #[test]
+    fn none_admits_nothing_and_broadcast_everything() {
+        let mut none = create("none").unwrap();
+        let mut broadcast = create("broadcast").unwrap();
+        for correlation in [0.0, 0.5, 1.0] {
+            assert_eq!(none.admit_fraction(&context(correlation)), 0.0);
+            assert_eq!(broadcast.admit_fraction(&context(correlation)), 1.0);
+        }
+        assert_eq!(none.name(), "none");
+        assert_eq!(broadcast.name(), "broadcast");
+        assert!(create("none:1").is_err(), "none takes no parameters");
+        assert!(create("broadcast:0.5").is_err(), "broadcast takes no parameters");
+    }
+
+    #[test]
+    fn correlated_thresholds_gate_on_overlap() {
+        let mut policy = create("correlated:0.7").unwrap();
+        assert_eq!(policy.admit_fraction(&context(0.8)), 1.0);
+        assert_eq!(policy.admit_fraction(&context(0.7)), 1.0, "threshold is inclusive");
+        assert_eq!(policy.admit_fraction(&context(0.69)), 0.0);
+        assert_eq!(policy.name(), "correlated:0.7");
+        // The default threshold is 0.5.
+        let mut default = create("correlated").unwrap();
+        assert_eq!(default.admit_fraction(&context(0.5)), 1.0);
+        assert_eq!(default.admit_fraction(&context(0.4)), 0.0);
+    }
+
+    #[test]
+    fn correlated_rejects_malformed_thresholds() {
+        assert!(create("correlated:fast").is_err());
+        assert!(create("correlated:-0.1").is_err());
+        assert!(create("correlated:1.5").is_err());
+        assert!(create("correlated:NaN").is_err());
+        assert!(create("correlated: 0.25 ").is_ok(), "whitespace around the threshold is fine");
+    }
+
+    #[test]
+    fn registry_resolves_case_insensitively_and_lists_builtins() {
+        assert!(by_name("BROADCAST").is_some());
+        assert!(by_name("Correlated:0.9").is_some());
+        assert!(by_name("no-such-policy").is_none());
+        let names = registered_names();
+        for builtin in ["none", "broadcast", "correlated"] {
+            assert!(names.contains(&builtin.to_string()), "{builtin} missing from {names:?}");
+        }
+        let err = match create("no-such-policy") {
+            Err(err) => err,
+            Ok(_) => panic!("unknown policy must not resolve"),
+        };
+        assert!(err.to_string().contains("no-such-policy"), "{err}");
+        assert!(err.to_string().contains("registered policies"), "{err}");
+    }
+
+    #[test]
+    fn disabled_detection_ignores_case_but_not_other_names() {
+        assert!(is_disabled("none"));
+        assert!(is_disabled("NONE"));
+        assert!(!is_disabled("broadcast"));
+        assert!(!is_disabled("nonesuch"));
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved")]
+    fn registering_over_the_reserved_none_policy_panics() {
+        struct Impostor;
+        impl SharePolicyFactory for Impostor {
+            fn name(&self) -> &str {
+                "none"
+            }
+            fn build(&self, _params: Option<&str>) -> Result<Box<dyn SharePolicy>> {
+                Ok(Box::new(Broadcast))
+            }
+        }
+        register(Arc::new(Impostor));
+    }
+
+    #[test]
+    fn external_factories_plug_in_through_the_registry() {
+        /// A policy no builtin knows about: admit half of every batch.
+        struct HalfShare;
+        impl SharePolicy for HalfShare {
+            fn name(&self) -> String {
+                "half-share".to_string()
+            }
+            fn admit_fraction(&mut self, _ctx: &ShareContext<'_>) -> f64 {
+                0.5
+            }
+        }
+        struct HalfShareFactory;
+        impl SharePolicyFactory for HalfShareFactory {
+            fn name(&self) -> &str {
+                "half-share"
+            }
+            fn build(&self, _params: Option<&str>) -> Result<Box<dyn SharePolicy>> {
+                Ok(Box::new(HalfShare))
+            }
+        }
+
+        register(Arc::new(HalfShareFactory));
+        let mut policy = create("half-share").unwrap();
+        assert_eq!(policy.admit_fraction(&context(0.0)), 0.5);
+        assert!(registered_names().contains(&"half-share".to_string()));
+    }
+
+    #[test]
+    fn fresh_metrics_start_zeroed() {
+        let metrics = ShareMetrics::fresh("broadcast".into(), 60.0);
+        assert_eq!(metrics.labels_exported, 0);
+        assert_eq!(metrics.labels_reused, 0);
+        assert_eq!(metrics.labeling_seconds_saved, 0.0);
+        assert_eq!(metrics.import_rejects, 0);
+        assert_eq!(metrics.windows, 0);
+        let disabled = ShareMetrics::disabled(30.0);
+        assert_eq!(disabled.policy, "none");
+        assert_eq!(disabled.window_s, 30.0);
+    }
+}

@@ -20,6 +20,13 @@ pub enum DatagenError {
         /// The rejected duration in seconds.
         duration_s: f64,
     },
+    /// A [`FleetScenario`](crate::FleetScenario) was configured with invalid
+    /// parameters (zero cameras, an overlap outside `[0, 1]`, or a bad
+    /// offset step).
+    InvalidFleetScenario {
+        /// Explanation of what was wrong.
+        reason: String,
+    },
 }
 
 impl fmt::Display for DatagenError {
@@ -34,6 +41,9 @@ impl fmt::Display for DatagenError {
                     "scenario '{name}': segment durations must be positive and finite \
                      (segment {index} has {duration_s})"
                 )
+            }
+            DatagenError::InvalidFleetScenario { reason } => {
+                write!(f, "invalid fleet scenario: {reason}")
             }
         }
     }
@@ -55,5 +65,8 @@ mod tests {
         assert!(e.to_string().contains("segment 2"));
         assert!(e.to_string().contains("-1"));
         assert!(std::error::Error::source(&e).is_none());
+        let e = DatagenError::InvalidFleetScenario { reason: "zero cameras".into() };
+        assert!(e.to_string().contains("fleet scenario"));
+        assert!(e.to_string().contains("zero cameras"));
     }
 }

@@ -1,0 +1,378 @@
+//! Correlated fleet scenario generation.
+//!
+//! The eight Table II presets describe *one* camera each. Fleets of
+//! co-located autonomous cameras (the regime the cross-camera sharing
+//! subsystem targets) see **correlated** drift: the same weather front or
+//! nightfall hits every camera, just not at exactly the same second and not
+//! with exactly the same context mix. [`FleetScenario`] turns one base
+//! [`Scenario`] into N per-camera variants along two controllable axes:
+//!
+//! * **Attribute overlap** — each derived segment keeps the base segment's
+//!   attributes with probability `overlap`, and is otherwise perturbed in
+//!   one seeded-random drift dimension. `overlap = 1` yields attribute-
+//!   identical cameras; `overlap = 0` decorrelates every segment.
+//! * **Drift-time offsets** — camera `i`'s timeline is rotated by
+//!   `i * offset_step_s` seconds (wrapping), so the *same* drifts arrive at
+//!   different times on different cameras, the way a driving fleet spreads
+//!   over a weather front.
+//!
+//! Derivation is fully deterministic in (`base`, `cameras`, `overlap`,
+//! `offset_step_s`, `seed`), so fleet experiments stay reproducible.
+//!
+//! # Examples
+//!
+//! ```
+//! use dacapo_datagen::{FleetScenario, Scenario};
+//!
+//! let fleet = FleetScenario::new(Scenario::es1(), 4)
+//!     .overlap(0.8)
+//!     .offset_step_s(30.0)
+//!     .seed(7);
+//! let scenarios = fleet.derive().unwrap();
+//! assert_eq!(scenarios.len(), 4);
+//! // Every derived camera keeps the base duration; drifts just move.
+//! for s in &scenarios {
+//!     assert!((s.duration_s() - Scenario::es1().duration_s()).abs() < 1e-9);
+//! }
+//! ```
+
+use crate::attributes::{LabelDistribution, Location, SegmentAttributes, TimeOfDay, Weather};
+use crate::error::DatagenError;
+use crate::scenario::{Scenario, Segment};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Derives N correlated per-camera scenarios from one base scenario: each
+/// derived segment keeps the base attributes with probability `overlap`
+/// (otherwise one seeded-random drift dimension flips), and camera `i`'s
+/// timeline rotates by `i * offset_step_s` seconds so the same drifts arrive
+/// staggered across the fleet.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetScenario {
+    base: Scenario,
+    cameras: usize,
+    overlap: f64,
+    offset_step_s: f64,
+    seed: u64,
+}
+
+impl FleetScenario {
+    /// Starts a fleet derivation from a base scenario with full overlap
+    /// (`1.0`), no drift-time offsets, and seed `0`.
+    #[must_use]
+    pub fn new(base: Scenario, cameras: usize) -> Self {
+        Self { base, cameras, overlap: 1.0, offset_step_s: 0.0, seed: 0 }
+    }
+
+    /// Sets the per-segment probability of keeping the base attributes, in
+    /// `[0, 1]` (validated by [`FleetScenario::derive`]).
+    #[must_use]
+    pub fn overlap(mut self, overlap: f64) -> Self {
+        self.overlap = overlap;
+        self
+    }
+
+    /// Sets the per-camera drift-time offset: camera `i`'s timeline is
+    /// rotated by `i * offset_step_s` seconds, wrapping at the scenario end.
+    #[must_use]
+    pub fn offset_step_s(mut self, offset_step_s: f64) -> Self {
+        self.offset_step_s = offset_step_s;
+        self
+    }
+
+    /// Sets the seed driving the attribute perturbations.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The base scenario the fleet derives from.
+    #[must_use]
+    pub fn base(&self) -> &Scenario {
+        &self.base
+    }
+
+    /// Number of cameras the fleet derives.
+    #[must_use]
+    pub fn cameras(&self) -> usize {
+        self.cameras
+    }
+
+    /// Derives the per-camera scenarios, named `<base>-cam<i>`, in camera
+    /// order. Deterministic for fixed parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatagenError::InvalidFleetScenario`] for zero cameras, an
+    /// overlap outside `[0, 1]`, or a negative/non-finite offset step.
+    pub fn derive(&self) -> Result<Vec<Scenario>, DatagenError> {
+        if self.cameras == 0 {
+            return Err(DatagenError::InvalidFleetScenario {
+                reason: "a fleet needs at least one camera".into(),
+            });
+        }
+        if !(self.overlap.is_finite() && (0.0..=1.0).contains(&self.overlap)) {
+            return Err(DatagenError::InvalidFleetScenario {
+                reason: format!("attribute overlap must lie in [0, 1], got {}", self.overlap),
+            });
+        }
+        if !(self.offset_step_s.is_finite() && self.offset_step_s >= 0.0) {
+            return Err(DatagenError::InvalidFleetScenario {
+                reason: format!(
+                    "drift-time offset step must be finite and non-negative, got {}",
+                    self.offset_step_s
+                ),
+            });
+        }
+
+        let duration_s = self.base.duration_s();
+        let mut scenarios = Vec::with_capacity(self.cameras);
+        for camera in 0..self.cameras {
+            let rotated = rotate_segments(
+                self.base.segments(),
+                camera as f64 * self.offset_step_s,
+                duration_s,
+            );
+            // A splitmix-style stream per camera: decorrelated across
+            // cameras, stable across runs.
+            let mut rng = StdRng::seed_from_u64(
+                self.seed
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add(0xD1B5_4A32_D192_ED03u64.wrapping_mul(camera as u64 + 1)),
+            );
+            let segments: Vec<Segment> = rotated
+                .into_iter()
+                .map(|segment| {
+                    // Two draws per segment keep the stream aligned whether or
+                    // not the perturbation fires, so raising `overlap` only
+                    // removes perturbations instead of reshuffling them.
+                    let keep = rng.gen_range(0.0..1.0) < self.overlap;
+                    let dimension = rng.gen_range(0..4usize);
+                    if keep {
+                        segment
+                    } else {
+                        Segment {
+                            attributes: perturbed(segment.attributes, dimension),
+                            duration_s: segment.duration_s,
+                        }
+                    }
+                })
+                .collect();
+            scenarios.push(Scenario::try_from_segments(
+                format!("{}-cam{camera}", self.base.name()),
+                segments,
+            )?);
+        }
+        Ok(scenarios)
+    }
+}
+
+/// Rotates a segment timeline left by `offset_s` (wrapping), splitting the
+/// segment the offset lands inside. Total duration is preserved exactly.
+fn rotate_segments(segments: &[Segment], offset_s: f64, duration_s: f64) -> Vec<Segment> {
+    const EPS: f64 = 1e-9;
+    let offset = if duration_s > 0.0 { offset_s % duration_s } else { 0.0 };
+    if offset <= EPS {
+        return segments.to_vec();
+    }
+    let mut elapsed = 0.0;
+    for (index, segment) in segments.iter().enumerate() {
+        let within = offset - elapsed;
+        if within < segment.duration_s - EPS {
+            let mut rotated = Vec::with_capacity(segments.len() + 1);
+            if within > EPS {
+                // The offset lands inside this segment: its tail leads the
+                // rotated timeline and its head wraps to the end.
+                rotated.push(Segment {
+                    attributes: segment.attributes,
+                    duration_s: segment.duration_s - within,
+                });
+                rotated.extend_from_slice(&segments[index + 1..]);
+                rotated.extend_from_slice(&segments[..index]);
+                rotated.push(Segment { attributes: segment.attributes, duration_s: within });
+            } else {
+                // Boundary-aligned offset: a pure rotation.
+                rotated.extend_from_slice(&segments[index..]);
+                rotated.extend_from_slice(&segments[..index]);
+            }
+            return rotated;
+        }
+        elapsed += segment.duration_s;
+    }
+    segments.to_vec()
+}
+
+/// Flips one drift dimension of an attribute tuple.
+fn perturbed(mut attributes: SegmentAttributes, dimension: usize) -> SegmentAttributes {
+    match dimension {
+        0 => {
+            attributes.labels = match attributes.labels {
+                LabelDistribution::TrafficOnly => LabelDistribution::All,
+                LabelDistribution::All => LabelDistribution::TrafficOnly,
+            };
+        }
+        1 => {
+            attributes.time = match attributes.time {
+                TimeOfDay::Daytime => TimeOfDay::Night,
+                TimeOfDay::Night => TimeOfDay::Daytime,
+            };
+        }
+        2 => {
+            attributes.location = match attributes.location {
+                Location::City => Location::Highway,
+                Location::Highway => Location::City,
+            };
+        }
+        _ => {
+            attributes.weather = match attributes.weather {
+                Weather::Clear => Weather::Overcast,
+                Weather::Overcast => Weather::Snowy,
+                Weather::Snowy => Weather::Rainy,
+                Weather::Rainy => Weather::Clear,
+            };
+        }
+    }
+    attributes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn segment(attributes: SegmentAttributes, duration_s: f64) -> Segment {
+        Segment { attributes, duration_s }
+    }
+
+    #[test]
+    fn full_overlap_without_offsets_reproduces_the_base() {
+        let base = Scenario::s3();
+        let scenarios = FleetScenario::new(base.clone(), 3).derive().unwrap();
+        assert_eq!(scenarios.len(), 3);
+        for (i, scenario) in scenarios.iter().enumerate() {
+            assert_eq!(scenario.name(), format!("S3-cam{i}"));
+            assert_eq!(scenario.segments(), base.segments());
+            assert!((base.attribute_overlap(scenario) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn derivation_is_deterministic() {
+        let fleet = FleetScenario::new(Scenario::es1(), 5).overlap(0.5).offset_step_s(45.0).seed(9);
+        assert_eq!(fleet.derive().unwrap(), fleet.derive().unwrap());
+        let reseeded = fleet.clone().seed(10).derive().unwrap();
+        assert_ne!(fleet.derive().unwrap(), reseeded, "the seed must matter at overlap 0.5");
+    }
+
+    #[test]
+    fn overlap_controls_pairwise_attribute_overlap() {
+        let base = Scenario::es1();
+        let tight = FleetScenario::new(base.clone(), 4).overlap(1.0).seed(3).derive().unwrap();
+        let loose = FleetScenario::new(base, 4).overlap(0.0).seed(3).derive().unwrap();
+        let mean_pairwise = |scenarios: &[Scenario]| {
+            let mut total = 0.0;
+            let mut pairs = 0usize;
+            for a in 0..scenarios.len() {
+                for b in (a + 1)..scenarios.len() {
+                    total += scenarios[a].attribute_overlap(&scenarios[b]);
+                    pairs += 1;
+                }
+            }
+            total / pairs as f64
+        };
+        let tight_overlap = mean_pairwise(&tight);
+        let loose_overlap = mean_pairwise(&loose);
+        assert!((tight_overlap - 1.0).abs() < 1e-12, "overlap 1 keeps cameras identical");
+        assert!(
+            loose_overlap < tight_overlap,
+            "decorrelated cameras must overlap less ({loose_overlap} vs {tight_overlap})"
+        );
+    }
+
+    #[test]
+    fn offsets_rotate_drift_times_but_preserve_duration_and_content() {
+        let base = Scenario::es2();
+        let scenarios = FleetScenario::new(base.clone(), 3).offset_step_s(90.0).derive().unwrap();
+        assert_eq!(scenarios[0].segments(), base.segments(), "camera 0 has zero offset");
+        for scenario in &scenarios {
+            assert!((scenario.duration_s() - base.duration_s()).abs() < 1e-9);
+        }
+        // Camera 1 is rotated by 90 s (1.5 segments): different timeline,
+        // same total time per attribute tuple.
+        assert_ne!(scenarios[1].segments(), base.segments());
+        let time_per_context = |scenario: &Scenario| {
+            let mut totals: Vec<(u64, f64)> = Vec::new();
+            for segment in scenario.segments() {
+                let id = segment.attributes.context_id();
+                match totals.iter_mut().find(|(existing, _)| *existing == id) {
+                    Some((_, total)) => *total += segment.duration_s,
+                    None => totals.push((id, segment.duration_s)),
+                }
+            }
+            totals.sort_by_key(|&(id, _)| id);
+            totals
+        };
+        let base_totals = time_per_context(&base);
+        for scenario in &scenarios {
+            let totals = time_per_context(scenario);
+            assert_eq!(totals.len(), base_totals.len());
+            for ((id_a, t_a), (id_b, t_b)) in totals.iter().zip(&base_totals) {
+                assert_eq!(id_a, id_b);
+                assert!((t_a - t_b).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn boundary_aligned_and_wrapping_offsets_rotate_exactly() {
+        let a = SegmentAttributes::default();
+        let b = perturbed(a, 0);
+        let c = perturbed(a, 3);
+        let segments = vec![segment(a, 10.0), segment(b, 20.0), segment(c, 30.0)];
+        // Boundary-aligned: rotation by the first segment's length.
+        let rotated = rotate_segments(&segments, 10.0, 60.0);
+        assert_eq!(rotated, vec![segment(b, 20.0), segment(c, 30.0), segment(a, 10.0)]);
+        // Mid-segment: the straddled segment splits.
+        let rotated = rotate_segments(&segments, 15.0, 60.0);
+        assert_eq!(
+            rotated,
+            vec![segment(b, 15.0), segment(c, 30.0), segment(a, 10.0), segment(b, 5.0)]
+        );
+        // Full-duration offsets wrap to the identity.
+        assert_eq!(rotate_segments(&segments, 60.0, 60.0), segments);
+        assert_eq!(rotate_segments(&segments, 0.0, 60.0), segments);
+    }
+
+    #[test]
+    fn invalid_parameters_are_rejected_with_typed_errors() {
+        let base = Scenario::s1();
+        for (fleet, needle) in [
+            (FleetScenario::new(base.clone(), 0), "at least one camera"),
+            (FleetScenario::new(base.clone(), 2).overlap(1.5), "overlap"),
+            (FleetScenario::new(base.clone(), 2).overlap(f64::NAN), "overlap"),
+            (FleetScenario::new(base.clone(), 2).offset_step_s(-1.0), "offset"),
+            (FleetScenario::new(base, 2).offset_step_s(f64::INFINITY), "offset"),
+        ] {
+            match fleet.derive() {
+                Err(DatagenError::InvalidFleetScenario { reason }) => {
+                    assert!(reason.contains(needle), "{reason:?} should mention {needle:?}");
+                }
+                other => panic!("expected InvalidFleetScenario, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn perturbation_flips_exactly_one_dimension() {
+        let base = SegmentAttributes::default();
+        for dimension in 0..4 {
+            let changed = perturbed(base, dimension);
+            assert_eq!(changed.drifts_from(&base).len(), 1, "dimension {dimension}");
+            // Applying the label/time/location flip twice is the identity.
+            if dimension < 3 {
+                assert_eq!(perturbed(changed, dimension), base);
+            }
+        }
+    }
+}

@@ -15,6 +15,12 @@
 //! accuracy until it is retrained on freshly labeled samples — exactly the
 //! dynamics the DaCapo allocator exploits.
 //!
+//! Beyond the eight Table II presets, [`FleetScenario`] derives N
+//! *correlated* per-camera scenarios from any base scenario — controllable
+//! attribute overlap plus per-camera drift-time offsets — the workload shape
+//! the cross-camera sharing subsystem in `dacapo-core` exploits.
+//! [`Scenario::attribute_overlap`] quantifies the pairwise correlation.
+//!
 //! # Examples
 //!
 //! ```
@@ -32,6 +38,7 @@
 mod attributes;
 mod classes;
 mod error;
+mod fleet;
 mod scenario;
 mod stream;
 
@@ -40,5 +47,6 @@ pub use attributes::{
 };
 pub use classes::{class_prior, ObjectClass, NUM_CLASSES};
 pub use error::DatagenError;
+pub use fleet::FleetScenario;
 pub use scenario::{Scenario, Segment};
 pub use stream::{Frame, FrameStream, Sample, StreamConfig};

@@ -146,6 +146,54 @@ impl Scenario {
         boundaries
     }
 
+    /// Time-weighted fraction of the common timeline (up to the shorter of
+    /// the two durations) during which both scenarios expose **identical**
+    /// attribute tuples — the correlation measure cross-camera sharing
+    /// policies key on (`1.0` = attribute-identical, `0.0` = never aligned).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dacapo_datagen::Scenario;
+    ///
+    /// let s1 = Scenario::s1();
+    /// assert!((s1.attribute_overlap(&s1) - 1.0).abs() < 1e-12);
+    /// assert!(s1.attribute_overlap(&Scenario::es1()) < 1.0);
+    /// ```
+    #[must_use]
+    pub fn attribute_overlap(&self, other: &Scenario) -> f64 {
+        let common = self.duration_s().min(other.duration_s());
+        if !(common.is_finite() && common > 0.0) {
+            return 0.0;
+        }
+        // Merge both boundary lists and compare attributes at every cut
+        // interval's midpoint: exact for piecewise-constant timelines.
+        let mut cuts = vec![0.0, common];
+        for scenario in [self, other] {
+            let mut elapsed = 0.0;
+            for segment in &scenario.segments {
+                elapsed += segment.duration_s;
+                if elapsed >= common {
+                    break;
+                }
+                cuts.push(elapsed);
+            }
+        }
+        cuts.sort_by(|a, b| a.total_cmp(b));
+        let mut equal_s = 0.0;
+        for pair in cuts.windows(2) {
+            let (start, end) = (pair[0], pair[1]);
+            if end <= start {
+                continue;
+            }
+            let midpoint = (start + end) / 2.0;
+            if self.attributes_at(midpoint) == other.attributes_at(midpoint) {
+                equal_s += end - start;
+            }
+        }
+        equal_s / common
+    }
+
     /// The drift dimensions this scenario exercises anywhere on its timeline.
     #[must_use]
     pub fn drift_kinds(&self) -> Vec<DriftKind> {
@@ -379,6 +427,29 @@ mod tests {
         assert_eq!(s.attributes_at(0.0), first);
         assert_eq!(s.attributes_at(59.9), first);
         assert_eq!(s.attributes_at(1e9), s.segments().last().unwrap().attributes);
+    }
+
+    #[test]
+    fn attribute_overlap_is_exact_for_piecewise_timelines() {
+        let a = SegmentAttributes::default();
+        let b = SegmentAttributes { time: TimeOfDay::Night, ..a };
+        let segment = |attributes, duration_s| Segment { attributes, duration_s };
+        // Misaligned boundaries: [a 60 | b 60] vs [a 90 | b 30] agree on
+        // [0, 60) and [90, 120) = 90 of 120 seconds.
+        let left =
+            Scenario::try_from_segments("l", vec![segment(a, 60.0), segment(b, 60.0)]).unwrap();
+        let right =
+            Scenario::try_from_segments("r", vec![segment(a, 90.0), segment(b, 30.0)]).unwrap();
+        assert!((left.attribute_overlap(&right) - 0.75).abs() < 1e-12);
+        assert!((right.attribute_overlap(&left) - 0.75).abs() < 1e-12, "overlap is symmetric");
+        // Identical and fully-disjoint timelines hit the extremes.
+        assert!((left.attribute_overlap(&left) - 1.0).abs() < 1e-12);
+        let inverted =
+            Scenario::try_from_segments("i", vec![segment(b, 60.0), segment(a, 60.0)]).unwrap();
+        assert_eq!(left.attribute_overlap(&inverted), 0.0);
+        // Different durations compare over the shorter timeline.
+        let short = Scenario::try_from_segments("s", vec![segment(a, 60.0)]).unwrap();
+        assert!((left.attribute_overlap(&short) - 1.0).abs() < 1e-12);
     }
 
     #[test]

@@ -32,6 +32,12 @@ cluster:
     cargo run --release --example cluster
     cargo run --release -p dacapo-bench --bin cluster_contention -- --quick
 
+# Cross-camera sharing demo (custom policy, four policies compared) plus the
+# overlap x policy sweep; leaves results/BENCH_cross_camera.json behind.
+cross-camera:
+    cargo run --release --example cross_camera
+    cargo run --release -p dacapo-bench --bin cross_camera -- --quick
+
 # Regenerate every figure/table quickly.
 figures:
     cargo run --release -p dacapo-bench --bin run_all -- --quick

@@ -135,6 +135,13 @@ impl<T: Serialize> Serialize for Vec<T> {
 }
 impl<T: Deserialize> Deserialize for Vec<T> {}
 
+impl<T: Serialize> Serialize for std::collections::VecDeque<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for std::collections::VecDeque<T> {}
+
 impl<T: Serialize> Serialize for [T] {
     fn to_value(&self) -> Value {
         Value::Array(self.iter().map(Serialize::to_value).collect())
@@ -186,5 +193,14 @@ mod tests {
             v.to_value(),
             Value::Array(vec![Value::Array(vec![Value::Float(1.0), Value::Float(2.0)])])
         );
+    }
+
+    #[test]
+    fn vecdeque_serialises_like_vec_in_iteration_order() {
+        let mut deque = std::collections::VecDeque::new();
+        deque.push_back(2u8);
+        deque.push_back(3u8);
+        deque.push_front(1u8);
+        assert_eq!(deque.to_value(), vec![1u8, 2, 3].to_value());
     }
 }
