@@ -92,8 +92,20 @@ fn build_cluster(cameras: usize, accelerators: usize) -> Cluster {
 
 fn main() {
     let options = ExperimentOptions::from_args();
-    let camera_counts: &[usize] = if options.quick { &[10, 50] } else { &[10, 100, 1000] };
-    let accel_counts: &[usize] = if options.quick { &[1, 4] } else { &[1, 2, 4, 8] };
+    let camera_counts: &[usize] = if options.smoke {
+        &[10]
+    } else if options.quick {
+        &[10, 50]
+    } else {
+        &[10, 100, 1000]
+    };
+    let accel_counts: &[usize] = if options.smoke {
+        &[2]
+    } else if options.quick {
+        &[1, 4]
+    } else {
+        &[1, 2, 4, 8]
+    };
 
     println!(
         "Cluster contention sweep: cameras {camera_counts:?} x accelerators {accel_counts:?}, \

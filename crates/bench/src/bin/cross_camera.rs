@@ -99,9 +99,21 @@ fn build_cluster(
 
 fn main() {
     let options = ExperimentOptions::from_args();
-    let overlaps: &[f64] = if options.quick { &[1.0, 0.2] } else { &[1.0, 0.6, 0.2] };
+    let overlaps: &[f64] = if options.smoke {
+        &[1.0]
+    } else if options.quick {
+        &[1.0, 0.2]
+    } else {
+        &[1.0, 0.6, 0.2]
+    };
     let policies: &[&str] = &["none", "broadcast", "correlated:0.6"];
-    let (cameras, accelerators) = if options.quick { (6, 2) } else { (12, 3) };
+    let (cameras, accelerators) = if options.smoke {
+        (4, 2)
+    } else if options.quick {
+        (6, 2)
+    } else {
+        (12, 3)
+    };
 
     println!(
         "Cross-camera sharing sweep: {cameras} cameras x {accelerators} accelerators, \

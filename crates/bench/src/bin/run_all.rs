@@ -5,7 +5,7 @@
 
 use std::process::Command;
 
-const EXPERIMENTS: [&str; 13] = [
+const EXPERIMENTS: [&str; 14] = [
     "table03_models",
     "table04_platforms",
     "fig08_label_distribution",
@@ -23,6 +23,9 @@ const EXPERIMENTS: [&str; 13] = [
     // Also leaves the stable sharing trajectory record
     // (results/BENCH_cross_camera.json) behind.
     "cross_camera",
+    // Also leaves the stable elasticity trajectory record
+    // (results/BENCH_churn.json) behind.
+    "elastic_churn",
 ];
 
 fn main() {

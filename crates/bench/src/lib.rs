@@ -21,6 +21,11 @@ pub struct ExperimentOptions {
     /// Run a reduced configuration (shorter scenarios, fewer repeats) so the
     /// experiment finishes in seconds rather than minutes.
     pub quick: bool,
+    /// Run the smallest meaningful configuration — the CI smoke tier, meant
+    /// to populate `results/*.json` on every PR in well under a minute.
+    /// Implies [`ExperimentOptions::quick`]; experiments that distinguish
+    /// the tiers check `smoke` first.
+    pub smoke: bool,
     /// Also write the results as JSON under `results/`.
     pub json: bool,
     /// Extra positional arguments (experiment-specific).
@@ -42,6 +47,10 @@ impl ExperimentOptions {
         for arg in args {
             match arg.as_str() {
                 "--quick" => options.quick = true,
+                "--smoke" => {
+                    options.smoke = true;
+                    options.quick = true;
+                }
                 "--json" => options.json = true,
                 other => options.extra.push(other.to_string()),
             }
@@ -116,9 +125,18 @@ mod tests {
             ["--quick", "--json", "S3"].iter().map(|s| (*s).to_string()),
         );
         assert!(options.quick);
+        assert!(!options.smoke);
         assert!(options.json);
         assert_eq!(options.extra, vec!["S3".to_string()]);
         assert_eq!(ExperimentOptions::from_iter(std::iter::empty()), ExperimentOptions::default());
+    }
+
+    #[test]
+    fn smoke_implies_quick() {
+        let options = ExperimentOptions::from_iter(["--smoke".to_string()]);
+        assert!(options.smoke);
+        assert!(options.quick, "--smoke runs at least as reduced as --quick");
+        assert!(!options.json);
     }
 
     #[test]

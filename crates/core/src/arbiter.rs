@@ -33,9 +33,9 @@
 //!   to fleet scope, so drift recovery finishes sooner at the price of
 //!   slowing calm streams.
 
+use crate::registry::{split_params, ParamNames, Registry};
 use crate::{CoreError, Result};
-use std::collections::BTreeMap;
-use std::sync::{Arc, OnceLock, RwLock};
+use std::sync::{Arc, OnceLock};
 
 /// One resident (admitted, unfinished) session on an accelerator, as an
 /// arbiter sees it.
@@ -250,19 +250,19 @@ impl ArbiterFactory for DriftFirstFactory {
 // Registry
 // --------------------------------------------------------------------------
 
-type Registry = RwLock<BTreeMap<String, Arc<dyn ArbiterFactory>>>;
-
-/// The global arbiter registry, seeded with the builtin policies.
-fn registry() -> &'static Registry {
-    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+/// The global arbiter registry, seeded with the builtin policies; storage
+/// and lookup rules live in [`crate::registry`].
+fn registry() -> &'static Registry<dyn ArbiterFactory> {
+    static REGISTRY: OnceLock<Registry<dyn ArbiterFactory>> = OnceLock::new();
     REGISTRY.get_or_init(|| {
-        let mut map: BTreeMap<String, Arc<dyn ArbiterFactory>> = BTreeMap::new();
         let builtins: [Arc<dyn ArbiterFactory>; 3] =
             [Arc::new(FairShareFactory), Arc::new(PriorityFactory), Arc::new(DriftFirstFactory)];
-        for factory in builtins {
-            map.insert(factory.name().to_lowercase(), factory);
-        }
-        RwLock::new(map)
+        Registry::new(
+            "arbiter factory",
+            ParamNames::Split,
+            &[],
+            builtins.into_iter().map(|f| (f.name().to_string(), f)).collect(),
+        )
     })
 }
 
@@ -274,12 +274,8 @@ fn registry() -> &'static Registry {
 /// Panics if the factory's name contains `':'` — the colon introduces the
 /// parameter suffix during lookup, so such a name could never be resolved.
 pub fn register(factory: Arc<dyn ArbiterFactory>) {
-    let key = factory.name().to_lowercase();
-    assert!(
-        !key.contains(':'),
-        "arbiter factory name '{key}' must not contain ':' (reserved for parameter suffixes)"
-    );
-    registry().write().expect("arbiter registry poisoned").insert(key, factory);
+    let name = factory.name().to_string();
+    registry().register(&name, factory);
 }
 
 /// Looks up an arbiter factory by case-insensitive name. A `:<params>`
@@ -287,14 +283,13 @@ pub fn register(factory: Arc<dyn ArbiterFactory>) {
 /// resolves the `"priority"` factory).
 #[must_use]
 pub fn by_name(name: &str) -> Option<Arc<dyn ArbiterFactory>> {
-    let (base, _) = split_params(name);
-    registry().read().expect("arbiter registry poisoned").get(&base.to_lowercase()).cloned()
+    registry().by_name(name)
 }
 
 /// The base names of every registered arbitration policy, sorted.
 #[must_use]
 pub fn registered_names() -> Vec<String> {
-    registry().read().expect("arbiter registry poisoned").keys().cloned().collect()
+    registry().names()
 }
 
 /// Instantiates the arbiter selected by `name` (with optional `:<params>`
@@ -313,15 +308,6 @@ pub fn create(name: &str) -> Result<Box<dyn Arbiter>> {
         ),
     })?;
     factory.build(params)
-}
-
-/// Splits an arbiter name into its registry base name and optional parameter
-/// suffix (`"priority:3,1"` → `("priority", Some("3,1"))`).
-fn split_params(name: &str) -> (&str, Option<&str>) {
-    match name.split_once(':') {
-        Some((base, params)) => (base, Some(params)),
-        None => (name, None),
-    }
 }
 
 #[cfg(test)]

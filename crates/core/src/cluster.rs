@@ -58,7 +58,7 @@ use crate::session::{Session, SessionEvent, SimObserver};
 use crate::share::{self, ShareContext, ShareMetrics, SharePolicy};
 use crate::sim::{PhaseKind, SimResult};
 use crate::{CoreError, Result};
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -68,8 +68,181 @@ use std::sync::Mutex;
 /// scenario segment at the paper's 60-second segmentation).
 const DEFAULT_SHARE_WINDOW_S: f64 = 60.0;
 
+/// One elastic-membership event on the cluster's virtual timeline. Events
+/// are *scheduled* at `at_s` but *execute* at the first window barrier at or
+/// after that time (see [`ChurnPlan`]), so churn stays deterministic across
+/// worker-thread counts.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ChurnEvent {
+    /// A camera joins the cluster mid-run: its session starts (admitted via
+    /// the standard capacity/admission path onto the least-loaded surviving
+    /// accelerator) at the barrier.
+    Join {
+        /// Virtual time at which the camera becomes available, in seconds.
+        at_s: f64,
+        /// The camera's unique name.
+        camera: String,
+        /// The camera's full configuration (boxed: a `SimConfig` dwarfs the
+        /// other variants).
+        config: Box<SimConfig>,
+    },
+    /// A camera leaves the cluster mid-run: its session stops at the
+    /// barrier and its partial [`SimResult`] (covering the executed prefix)
+    /// is reported. Leaving a camera that already finished is a no-op; a
+    /// camera still waiting in an admission queue departs without a result.
+    Leave {
+        /// Virtual time of the departure, in seconds.
+        at_s: f64,
+        /// Name of the departing camera.
+        camera: String,
+    },
+    /// An accelerator drains for maintenance: at the barrier, every resident
+    /// session is snapshotted (through the public
+    /// [`SessionSnapshot`](crate::SessionSnapshot) format) and restored onto
+    /// a surviving accelerator via the standard admission path. With no
+    /// survivor, residents are orphaned and report partial results.
+    Drain {
+        /// Virtual time of the drain, in seconds.
+        at_s: f64,
+        /// Index of the accelerator to drain.
+        accelerator: usize,
+    },
+}
+
+impl ChurnEvent {
+    /// The event's scheduled virtual time, in seconds.
+    #[must_use]
+    pub fn at_s(&self) -> f64 {
+        match self {
+            ChurnEvent::Join { at_s, .. }
+            | ChurnEvent::Leave { at_s, .. }
+            | ChurnEvent::Drain { at_s, .. } => *at_s,
+        }
+    }
+}
+
+/// A schedule of elastic-membership events ([`ChurnEvent`]) for one cluster
+/// run, built in fluent style and executed at the same deterministic window
+/// barriers as cross-camera label sharing: an event at time `t` fires at the
+/// first barrier `b = k · window_s` with `b >= t`; events quantised to the
+/// same barrier apply in the order they were added to the plan.
+///
+/// # Examples
+///
+/// ```no_run
+/// use dacapo_core::{ChurnPlan, Cluster, SimConfig};
+/// use dacapo_datagen::Scenario;
+/// use dacapo_dnn::zoo::ModelPair;
+///
+/// # fn main() -> Result<(), dacapo_core::CoreError> {
+/// let late = SimConfig::builder(Scenario::s2(), ModelPair::ResNet18Wrn50).build()?;
+/// let plan = ChurnPlan::new()
+///     .join(300.0, "late-joiner", late)
+///     .leave(600.0, "cam-0")
+///     .drain(900.0, 1);
+/// let mut cluster = Cluster::new(2).churn(plan);
+/// # let config = SimConfig::builder(Scenario::s1(), ModelPair::ResNet18Wrn50).build()?;
+/// cluster = cluster.camera("cam-0", config.clone()).camera("cam-1", config);
+/// let result = cluster.run()?;
+/// println!("{} migrations", result.churn.migrations);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ChurnPlan {
+    events: Vec<ChurnEvent>,
+}
+
+impl ChurnPlan {
+    /// Creates an empty plan (a cluster with an empty plan executes
+    /// bit-identically to one without any plan).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules a camera join at virtual time `at_s`.
+    #[must_use]
+    pub fn join(mut self, at_s: f64, camera: impl Into<String>, config: SimConfig) -> Self {
+        self.events.push(ChurnEvent::Join {
+            at_s,
+            camera: camera.into(),
+            config: Box::new(config),
+        });
+        self
+    }
+
+    /// Schedules a camera departure at virtual time `at_s`.
+    #[must_use]
+    pub fn leave(mut self, at_s: f64, camera: impl Into<String>) -> Self {
+        self.events.push(ChurnEvent::Leave { at_s, camera: camera.into() });
+        self
+    }
+
+    /// Schedules an accelerator drain at virtual time `at_s`.
+    #[must_use]
+    pub fn drain(mut self, at_s: f64, accelerator: usize) -> Self {
+        self.events.push(ChurnEvent::Drain { at_s, accelerator });
+        self
+    }
+
+    /// Adds an already-built event.
+    #[must_use]
+    pub fn event(mut self, event: ChurnEvent) -> Self {
+        self.events.push(event);
+        self
+    }
+
+    /// The scheduled events, in the order they were added.
+    #[must_use]
+    pub fn events(&self) -> &[ChurnEvent] {
+        &self.events
+    }
+
+    /// Number of scheduled events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the plan schedules nothing.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+/// Telemetry of one cluster run's elastic membership: what the churn plan
+/// did to the fleet. Zeroed (except [`ChurnMetrics::peak_residency`]) when
+/// the plan was empty.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ChurnMetrics {
+    /// Cameras that joined mid-run.
+    pub joins: usize,
+    /// Camera departures applied.
+    pub leaves: usize,
+    /// Accelerator drains applied.
+    pub drains: usize,
+    /// Sessions snapshot-migrated off a draining accelerator onto a
+    /// survivor (directly admitted or queued for resumption).
+    pub migrations: usize,
+    /// Total virtual seconds migrated sessions spent between their drain
+    /// event's scheduled time and resuming on the target accelerator —
+    /// barrier-quantisation delay plus any admission queueing.
+    pub migration_stall_s: f64,
+    /// Peak number of concurrently resident (live) sessions across the
+    /// cluster, sampled at admission and at every window barrier.
+    pub peak_residency: usize,
+    /// Cameras stranded without a home: residents (or queued cameras) of a
+    /// drained accelerator with no surviving accelerator, and joins denied
+    /// under [`AdmissionPolicy::Reject`] at full capacity. Orphans that had
+    /// already run report partial results; orphans that never started are
+    /// absent from [`FleetResult::cameras`].
+    pub orphaned_cameras: usize,
+}
+
 /// What happens to cameras assigned past an accelerator's capacity bound.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum AdmissionPolicy {
     /// Refuse to run: [`Cluster::run`] fails with
     /// [`CoreError::AdmissionRejected`] naming the first camera over the
@@ -82,7 +255,7 @@ pub enum AdmissionPolicy {
 
 /// Cluster-wide contention telemetry: how hard the accelerators were fought
 /// over, independent of the per-camera accuracy results.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ContentionMetrics {
     /// Number of shared accelerators in the pool.
     pub accelerators: usize,
@@ -118,12 +291,15 @@ pub struct ContentionMetrics {
 /// The outcome of a cluster run: the same per-camera results and aggregates
 /// a [`Fleet`](crate::Fleet) reports, plus the contention telemetry only a
 /// shared-accelerator execution can produce.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ClusterResult {
-    /// Per-camera results and fleet-level aggregates. With sharing disabled
-    /// (the default `"none"` policy) camera results are bit-identical to
-    /// solo runs — contention never changes a session's numbers, only its
-    /// place on the cluster clock. An active share policy feeds peers'
+    /// Per-camera results and fleet-level aggregates, covering the initial
+    /// cameras plus every mid-run join (in plan order after the initial
+    /// set). With sharing disabled (the default `"none"` policy) camera
+    /// results are bit-identical to solo runs — contention never changes a
+    /// session's numbers, only its place on the cluster clock; a camera
+    /// that left mid-run (or was orphaned by a drain) reports the partial
+    /// result of its executed prefix. An active share policy feeds peers'
     /// labels into sessions' buffers, so camera results then legitimately
     /// differ from solo runs.
     pub fleet: FleetResult,
@@ -132,6 +308,9 @@ pub struct ClusterResult {
     /// Cross-camera label-sharing telemetry (zeroed under the `"none"`
     /// policy).
     pub share: ShareMetrics,
+    /// Elastic-membership telemetry (zeroed, except peak residency, when
+    /// the churn plan was empty).
+    pub churn: ChurnMetrics,
 }
 
 impl ClusterResult {
@@ -181,6 +360,7 @@ pub struct Cluster {
     admission: AdmissionPolicy,
     share: String,
     share_window_s: f64,
+    churn: ChurnPlan,
 }
 
 impl Cluster {
@@ -200,6 +380,7 @@ impl Cluster {
             admission: AdmissionPolicy::Queue,
             share: "none".to_string(),
             share_window_s: DEFAULT_SHARE_WINDOW_S,
+            churn: ChurnPlan::new(),
         }
     }
 
@@ -232,11 +413,24 @@ impl Cluster {
     }
 
     /// Sets the cross-camera exchange window in cluster virtual seconds
-    /// (default 60, one paper segment). Only consulted when an active share
-    /// policy is selected via [`Cluster::share`].
+    /// (default 60, one paper segment). Consulted when an active share
+    /// policy is selected via [`Cluster::share`] or a non-empty
+    /// [`ChurnPlan`] is installed via [`Cluster::churn`] — both execute at
+    /// the same window barriers.
     #[must_use]
     pub fn share_window_s(mut self, window_s: f64) -> Self {
         self.share_window_s = window_s;
+        self
+    }
+
+    /// Installs an elastic-membership plan: cameras joining and leaving
+    /// mid-run and accelerators draining (their residents snapshot-migrate
+    /// to the survivors). Events execute at the deterministic window
+    /// barriers of [`Cluster::share_window_s`]; an empty plan (the default)
+    /// keeps the executor on the exact churn-free code path.
+    #[must_use]
+    pub fn churn(mut self, plan: ChurnPlan) -> Self {
+        self.churn = plan;
         self
     }
 
@@ -314,14 +508,19 @@ impl Cluster {
         let accelerators = self.accelerators;
         let arbiter_name = self.arbiter;
         let capacity = self.capacity;
+        let admission = self.admission;
         let share_name = self.share;
         let share_window_s = self.share_window_s;
         let threads = self.threads;
-        let cameras = self.cameras;
+        let initial_cameras = self.cameras.len();
+        let mut cameras = self.cameras;
+        // Joined cameras extend the camera list (and therefore the results)
+        // past the initial set; only the initial set is assigned up front.
+        let churn_events = prepare_churn(&self.churn, &mut cameras);
 
         // Round-robin assignment, in admission order per accelerator.
         let mut assignment: Vec<Vec<usize>> = vec![Vec::new(); accelerators];
-        for index in 0..cameras.len() {
+        for index in 0..initial_cameras {
             assignment[index % accelerators].push(index);
         }
         let setup = ExecSetup {
@@ -329,15 +528,28 @@ impl Cluster {
             cameras: &cameras,
             arbiter: &arbiter_name,
             capacity,
+            admission,
             threads,
         };
-        let (outcomes, share_metrics) = if share::is_disabled(&share_name) {
-            // The sharing-free fast path: no windows, no barriers, the
-            // exact pre-sharing execution.
-            (run_isolated(&setup, observer)?, ShareMetrics::disabled(share_window_s))
-        } else {
-            run_windowed(&setup, &share_name, share_window_s, observer)?
-        };
+        let (outcomes, share_metrics, churn_outcome) =
+            if share::is_disabled(&share_name) && churn_events.is_empty() {
+                // The churn- and sharing-free fast path: no windows, no
+                // barriers, the exact pre-elasticity execution. Residency
+                // only ever decreases here, so the peak is the initial one.
+                let resident_cap = capacity.unwrap_or(usize::MAX);
+                let peak_residency =
+                    assignment.iter().map(|assigned| assigned.len().min(resident_cap)).sum();
+                let metrics = ChurnMetrics { peak_residency, ..ChurnMetrics::default() };
+                (
+                    run_isolated(&setup, observer)?,
+                    ShareMetrics::disabled(share_window_s),
+                    ChurnOutcome { metrics, extra_results: Vec::new() },
+                )
+            } else {
+                let policy =
+                    if share::is_disabled(&share_name) { None } else { Some(share_name.as_str()) };
+                run_windowed(&setup, policy, share_window_s, &churn_events, observer)?
+            };
 
         let mut results: Vec<Option<SimResult>> = (0..cameras.len()).map(|_| None).collect();
         let mut stretches = Vec::new();
@@ -346,6 +558,7 @@ impl Cluster {
         let mut peak_queue_depth = 0;
         let mut queued_cameras = 0;
         let mut makespan_s: f64 = 0.0;
+        let mut churn_metrics = churn_outcome.metrics;
         for outcome in outcomes {
             for (camera_index, result) in outcome.results {
                 results[camera_index] = Some(result);
@@ -354,17 +567,23 @@ impl Cluster {
             steps_executed += outcome.steps;
             peak_queue_depth += outcome.peak_depth;
             queued_cameras += outcome.queued;
+            churn_metrics.migration_stall_s += outcome.stall_s;
             makespan_s = makespan_s.max(outcome.makespan_s);
             let local_utilization =
                 if outcome.makespan_s > 0.0 { outcome.busy_s / outcome.makespan_s } else { 0.0 };
             utilization.push(local_utilization);
         }
+        for (camera_index, result) in churn_outcome.extra_results {
+            results[camera_index] = Some(result);
+        }
+        // Cameras without a result either left before starting or were
+        // orphaned from an admission queue — there is nothing to report for
+        // them, so they are absent from the fleet results.
         let camera_results: Vec<CameraResult> = cameras
             .into_iter()
             .zip(results)
-            .map(|((camera, _), result)| CameraResult {
-                camera,
-                result: result.expect("every admitted camera ran to completion"),
+            .filter_map(|((camera, _), result)| {
+                result.map(|result| CameraResult { camera, result })
             })
             .collect();
         let contention = ContentionMetrics {
@@ -381,7 +600,12 @@ impl Cluster {
             peak_queue_depth,
             queued_cameras,
         };
-        Ok(ClusterResult { fleet: aggregate(camera_results), contention, share: share_metrics })
+        Ok(ClusterResult {
+            fleet: aggregate(camera_results),
+            contention,
+            share: share_metrics,
+            churn: churn_metrics,
+        })
     }
 
     /// Full up-front validation so a bad camera or policy fails fast,
@@ -428,6 +652,7 @@ impl Cluster {
         // unregistered policy or malformed parameters must not fail mid-run.
         arbiter::create(&self.arbiter)?;
         share::create(&self.share)?;
+        self.validate_churn()?;
         if self.admission == AdmissionPolicy::Reject {
             if let Some(capacity) = self.capacity {
                 let bound = self.accelerators * capacity;
@@ -446,6 +671,97 @@ impl Cluster {
         }
         Ok(())
     }
+
+    /// Full up-front validation of the churn plan, so a malformed event
+    /// fails the run before any simulation time is spent.
+    fn validate_churn(&self) -> Result<()> {
+        // First pass, in plan order: per-event shape checks (times, join
+        // configs, name uniqueness).
+        let mut known_names: Vec<&str> =
+            self.cameras.iter().map(|(name, _)| name.as_str()).collect();
+        for (index, event) in self.churn.events().iter().enumerate() {
+            let at_s = event.at_s();
+            if !(at_s.is_finite() && at_s >= 0.0) {
+                return Err(CoreError::InvalidConfig {
+                    reason: format!(
+                        "churn event #{index} must be scheduled at a finite, non-negative \
+                         virtual time, got {at_s} s"
+                    ),
+                });
+            }
+            // Window indices are computed in f64 and stored in usize; past
+            // 2^53 windows both representations break down, so cap the
+            // schedule well inside that range instead of hanging the run.
+            if at_s / self.share_window_s >= 9.0e15 {
+                return Err(CoreError::InvalidConfig {
+                    reason: format!(
+                        "churn event #{index} at {at_s} s is beyond the representable window \
+                         range for a {} s window",
+                        self.share_window_s
+                    ),
+                });
+            }
+            if let ChurnEvent::Join { camera, config, .. } = event {
+                if known_names.contains(&camera.as_str()) {
+                    return Err(CoreError::InvalidConfig {
+                        reason: format!("churn join duplicates camera name '{camera}'"),
+                    });
+                }
+                config.validate().map_err(|e| prefix_camera(camera, e))?;
+                config.scheduler.create(&config.hyper).map_err(|e| prefix_camera(camera, e))?;
+                config.platform_rates().map_err(|e| prefix_camera(camera, e))?;
+                known_names.push(camera);
+            }
+        }
+        // Second pass, in *execution* order (time, then plan order for
+        // ties — exactly how the barriers will apply the events), so
+        // ordering rules match what actually runs: a leave may be added to
+        // the plan before the join it follows in time.
+        let mut order: Vec<(f64, usize)> =
+            self.churn.events().iter().enumerate().map(|(seq, e)| (e.at_s(), seq)).collect();
+        order.sort_by(|(a, sa), (b, sb)| a.total_cmp(b).then(sa.cmp(sb)));
+        let mut joined: Vec<&str> = self.cameras.iter().map(|(name, _)| name.as_str()).collect();
+        let mut drained: Vec<usize> = Vec::new();
+        for (at_s, seq) in order {
+            match &self.churn.events()[seq] {
+                ChurnEvent::Join { camera, .. } => joined.push(camera),
+                ChurnEvent::Leave { camera, .. } => {
+                    if !joined.contains(&camera.as_str()) {
+                        if known_names.contains(&camera.as_str()) {
+                            return Err(CoreError::InvalidConfig {
+                                reason: format!(
+                                    "camera '{camera}' cannot leave at {at_s} s before joining"
+                                ),
+                            });
+                        }
+                        return Err(CoreError::InvalidConfig {
+                            reason: format!("churn leave names unknown camera '{camera}'"),
+                        });
+                    }
+                }
+                ChurnEvent::Drain { accelerator, .. } => {
+                    if *accelerator >= self.accelerators {
+                        return Err(CoreError::InvalidConfig {
+                            reason: format!(
+                                "churn drain names accelerator {accelerator}, but the cluster \
+                                 has only {}",
+                                self.accelerators
+                            ),
+                        });
+                    }
+                    if drained.contains(accelerator) {
+                        return Err(CoreError::InvalidConfig {
+                            reason: format!(
+                                "accelerator {accelerator} is drained twice in the churn plan"
+                            ),
+                        });
+                    }
+                    drained.push(*accelerator);
+                }
+            }
+        }
+        Ok(())
+    }
 }
 
 /// The shared, immutable inputs every accelerator loop runs against.
@@ -454,7 +770,66 @@ struct ExecSetup<'a> {
     cameras: &'a [(String, SimConfig)],
     arbiter: &'a str,
     capacity: Option<usize>,
+    admission: AdmissionPolicy,
     threads: usize,
+}
+
+/// A churn event with its camera name resolved to a cluster camera index,
+/// sorted into execution order.
+struct PreparedEvent {
+    at_s: f64,
+    action: ChurnAction,
+}
+
+enum ChurnAction {
+    Join { camera_index: usize },
+    Leave { camera_index: usize },
+    Drain { accelerator: usize },
+}
+
+/// Resolves a validated churn plan against the camera list: join configs
+/// are appended to `cameras` (so joined cameras occupy indices past the
+/// initial set), names become indices, and events are stably sorted by
+/// scheduled time — same-time events keep plan order.
+fn prepare_churn(plan: &ChurnPlan, cameras: &mut Vec<(String, SimConfig)>) -> Vec<PreparedEvent> {
+    // Append every join's camera first (in plan order, fixing the result
+    // indices), then resolve names: a leave may be added to the plan before
+    // the join it follows in time.
+    for event in plan.events() {
+        if let ChurnEvent::Join { camera, config, .. } = event {
+            cameras.push((camera.clone(), (**config).clone()));
+        }
+    }
+    let mut prepared: Vec<(f64, usize, ChurnAction)> = Vec::with_capacity(plan.len());
+    for (seq, event) in plan.events().iter().enumerate() {
+        let resolve = |camera: &String| {
+            cameras
+                .iter()
+                .position(|(name, _)| name == camera)
+                .expect("validated churn plans only name known cameras")
+        };
+        let action = match event {
+            ChurnEvent::Join { camera, .. } => ChurnAction::Join { camera_index: resolve(camera) },
+            ChurnEvent::Leave { camera, .. } => {
+                ChurnAction::Leave { camera_index: resolve(camera) }
+            }
+            ChurnEvent::Drain { accelerator, .. } => {
+                ChurnAction::Drain { accelerator: *accelerator }
+            }
+        };
+        prepared.push((event.at_s(), seq, action));
+    }
+    prepared.sort_by(|(a, sa, _), (b, sb, _)| a.total_cmp(b).then(sa.cmp(sb)));
+    prepared.into_iter().map(|(at_s, _, action)| PreparedEvent { at_s, action }).collect()
+}
+
+/// What the window barriers' churn processing produced, alongside the
+/// per-accelerator outcomes.
+struct ChurnOutcome {
+    metrics: ChurnMetrics,
+    /// `(camera index, partial result)` of cameras that stopped at a churn
+    /// barrier: mid-run leaves and orphaned residents.
+    extra_results: Vec<(usize, SimResult)>,
 }
 
 /// A heap entry: when a session's next step is due on the cluster clock.
@@ -482,13 +857,53 @@ impl Ord for Due {
 }
 
 /// One admitted session's executor state. The session itself is dropped
-/// (converted to its [`SimResult`]) the moment it finishes, so long queues
-/// of already-finished cameras never pile up live model state.
+/// (converted to its [`SimResult`]) the moment it finishes — or taken when
+/// its camera leaves or migrates — so heap entries may reference slots
+/// whose session is gone; the event loop skips those stale entries.
 struct Slot {
     camera_index: usize,
     session: Option<Session>,
     now_s: f64,
     recovering: bool,
+}
+
+/// One entry of an accelerator's admission queue: either a camera that has
+/// not started yet (`session: None`) or a mid-run migrant from a drained
+/// accelerator awaiting resumption.
+struct PendingEntry {
+    camera_index: usize,
+    session: Option<Box<Session>>,
+    recovering: bool,
+    /// The drain event's scheduled time, for migrants: queueing time counts
+    /// toward [`ChurnMetrics::migration_stall_s`].
+    drain_at_s: Option<f64>,
+}
+
+impl PendingEntry {
+    /// A camera that has not run yet.
+    fn fresh(camera_index: usize) -> Self {
+        Self { camera_index, session: None, recovering: false, drain_at_s: None }
+    }
+}
+
+/// A live session lifted off a draining accelerator, with the executor-side
+/// state that must survive the move.
+struct Migrant {
+    camera_index: usize,
+    session: Session,
+    now_s: f64,
+    recovering: bool,
+}
+
+/// What [`AccelLoop::leave`] found for a departing camera.
+enum LeaveOutcome {
+    /// The camera was live here: its partial result.
+    Departed(SimResult),
+    /// The camera was waiting in the admission queue. A never-started
+    /// camera carries no result; a queued migrant reports its partial one.
+    Dequeued(Option<SimResult>),
+    /// The camera is not on this accelerator (elsewhere, or finished).
+    NotHere,
 }
 
 /// What one accelerator's event loop produced.
@@ -507,6 +922,8 @@ struct AccelOutcome {
     peak_depth: usize,
     /// Cameras that waited in the admission queue.
     queued: usize,
+    /// Virtual seconds queued migrants stalled here before resuming.
+    stall_s: f64,
 }
 
 /// One accelerator's re-entrant virtual-time event loop. Runs to completion
@@ -518,7 +935,12 @@ struct AccelLoop<'a> {
     cameras: &'a [(String, SimConfig)],
     arbiter: Box<dyn arbiter::Arbiter>,
     record_labels: bool,
-    pending: VecDeque<usize>,
+    /// Resident-session bound (`usize::MAX` when unbounded).
+    capacity: usize,
+    /// Whether this accelerator has been drained by a churn event; drained
+    /// loops accept no further work.
+    drained: bool,
+    pending: VecDeque<PendingEntry>,
     slots: Vec<Slot>,
     heap: BinaryHeap<Reverse<Due>>,
     /// Slot indices of the currently resident (unfinished) sessions, in
@@ -543,13 +965,16 @@ impl<'a> AccelLoop<'a> {
     ) -> Result<Self> {
         let arbiter = arbiter::create(arbiter_name)?;
         let resident_cap = capacity.unwrap_or(usize::MAX);
-        let pending: VecDeque<usize> = assigned.iter().skip(resident_cap).copied().collect();
+        let pending: VecDeque<PendingEntry> =
+            assigned.iter().skip(resident_cap).map(|&index| PendingEntry::fresh(index)).collect();
         let queued = pending.len();
         let mut this = Self {
             accel,
             cameras,
             arbiter,
             record_labels,
+            capacity: resident_cap,
+            drained: false,
             pending,
             slots: Vec::with_capacity(assigned.len().min(resident_cap)),
             heap: BinaryHeap::new(),
@@ -563,6 +988,7 @@ impl<'a> AccelLoop<'a> {
                 makespan_s: 0.0,
                 peak_depth: 0,
                 queued,
+                stall_s: 0.0,
             },
             exports: Vec::new(),
         };
@@ -576,6 +1002,17 @@ impl<'a> AccelLoop<'a> {
     /// Whether every assigned session has finished.
     fn is_done(&self) -> bool {
         self.heap.is_empty()
+    }
+
+    /// Number of currently resident (live) sessions.
+    fn live_count(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Load figure for deterministic placement decisions: live residents
+    /// plus queued cameras.
+    fn load(&self) -> usize {
+        self.active.len() + self.pending.len()
     }
 
     /// Cluster time of this loop's next due event, if any remains.
@@ -603,12 +1040,17 @@ impl<'a> AccelLoop<'a> {
                 }
             }
             self.heap.pop();
+            if self.slots[due.slot].session.is_none() {
+                // A stale entry: the slot's camera left or migrated away at
+                // a churn barrier after this entry was queued.
+                continue;
+            }
             let camera_index = self.slots[due.slot].camera_index;
             let camera_name = &self.cameras[camera_index].0;
             let events = self.slots[due.slot]
                 .session
                 .as_mut()
-                .expect("heap entries only reference live sessions")
+                .expect("presence checked above")
                 .step_phase()
                 .map_err(|e| prefix_camera(camera_name, e))?;
 
@@ -690,19 +1132,14 @@ impl<'a> AccelLoop<'a> {
                     // possibly after trailing accuracy flushes): collect its
                     // result now and drop the session so finished cameras
                     // never accumulate live model state.
-                    let session = self.slots[due.slot]
-                        .session
-                        .take()
-                        .expect("heap entries only reference live sessions");
+                    let session =
+                        self.slots[due.slot].session.take().expect("presence checked on pop");
                     self.outcome.results.push((camera_index, session.into_result()));
                     self.active.retain(|&slot| slot != due.slot);
                     self.outcome.makespan_s =
                         self.outcome.makespan_s.max(self.slots[due.slot].now_s);
-                    if let Some(next) = self.pending.pop_front() {
-                        let at = self.slots[due.slot].now_s;
-                        self.admit(next, at)?;
-                        self.outcome.peak_depth = self.outcome.peak_depth.max(self.heap.len());
-                    }
+                    let at = self.slots[due.slot].now_s;
+                    self.start_next_pending(at)?;
                 }
             }
             if let Some(observer) = observer.as_deref_mut() {
@@ -717,16 +1154,125 @@ impl<'a> AccelLoop<'a> {
         let (name, config) = &self.cameras[camera_index];
         let mut session = Session::new(config.clone()).map_err(|e| prefix_camera(name, e))?;
         session.set_record_labels(self.record_labels);
-        self.slots.push(Slot {
-            camera_index,
-            session: Some(session),
-            now_s: at,
-            recovering: false,
-        });
+        self.admit_session(camera_index, session, at, false);
+        Ok(())
+    }
+
+    /// Enters an existing (possibly mid-run) session into this
+    /// accelerator's event loop at cluster time `at` — the resumption half
+    /// of a snapshot migration.
+    fn admit_session(
+        &mut self,
+        camera_index: usize,
+        mut session: Session,
+        at: f64,
+        recovering: bool,
+    ) {
+        session.set_record_labels(self.record_labels);
+        self.slots.push(Slot { camera_index, session: Some(session), now_s: at, recovering });
         self.heap.push(Reverse(Due { at, seq: self.seq, slot: self.slots.len() - 1 }));
         self.active.push(self.slots.len() - 1);
         self.seq += 1;
+        self.outcome.peak_depth = self.outcome.peak_depth.max(self.heap.len());
+    }
+
+    /// Queues work behind the capacity bound. Callers count the wait in
+    /// `outcome.queued` only when the camera *newly* enters a queue —
+    /// re-homing an already-waiting entry is not a second wait.
+    fn enqueue(&mut self, entry: PendingEntry) {
+        self.pending.push_back(entry);
+    }
+
+    /// Places re-homed work from a drained accelerator: starts it
+    /// immediately at `at_s` when capacity allows — an idle accelerator
+    /// never revisits its queue on its own, so deferring would strand the
+    /// camera — and queues it otherwise.
+    fn place(&mut self, entry: PendingEntry, at_s: f64) -> Result<()> {
+        if self.live_count() >= self.capacity {
+            self.enqueue(entry);
+            return Ok(());
+        }
+        match entry.session {
+            Some(session) => {
+                if let Some(drain_at_s) = entry.drain_at_s {
+                    self.outcome.stall_s += (at_s - drain_at_s).max(0.0);
+                }
+                self.admit_session(entry.camera_index, *session, at_s, entry.recovering);
+            }
+            None => self.admit(entry.camera_index, at_s)?,
+        }
         Ok(())
+    }
+
+    /// Starts the next queued camera (or resumes a queued migrant) at
+    /// cluster time `at`, if any is waiting.
+    fn start_next_pending(&mut self, at: f64) -> Result<()> {
+        let Some(next) = self.pending.pop_front() else { return Ok(()) };
+        match next.session {
+            Some(session) => {
+                // A queued migrant's stall spans from its drain event to
+                // this resumption.
+                if let Some(drain_at_s) = next.drain_at_s {
+                    self.outcome.stall_s += (at - drain_at_s).max(0.0);
+                }
+                self.admit_session(next.camera_index, *session, at, next.recovering);
+            }
+            None => self.admit(next.camera_index, at)?,
+        }
+        self.outcome.peak_depth = self.outcome.peak_depth.max(self.heap.len());
+        Ok(())
+    }
+
+    /// Drains this accelerator at a churn barrier: marks it closed, clears
+    /// its event heap, and lifts out every live session (in admission
+    /// order) and queued entry for re-homing elsewhere.
+    fn drain_accelerator(&mut self) -> (Vec<Migrant>, Vec<PendingEntry>) {
+        self.drained = true;
+        self.heap.clear();
+        let pending: Vec<PendingEntry> = std::mem::take(&mut self.pending).into_iter().collect();
+        let mut migrants = Vec::new();
+        for slot_index in std::mem::take(&mut self.active) {
+            let slot = &mut self.slots[slot_index];
+            if let Some(session) = slot.session.take() {
+                // This accelerator served the resident up to its next-due
+                // time; fold that into the local makespan so the drained
+                // accelerator's utilization stays busy_s-consistent instead
+                // of reporting 0 (or >1) after the migration.
+                self.outcome.makespan_s = self.outcome.makespan_s.max(slot.now_s);
+                migrants.push(Migrant {
+                    camera_index: slot.camera_index,
+                    session,
+                    now_s: slot.now_s,
+                    recovering: slot.recovering,
+                });
+            }
+        }
+        (migrants, pending)
+    }
+
+    /// Removes a departing camera at a churn barrier, freeing its capacity
+    /// for the next queued camera (which starts at `boundary_s`).
+    fn leave(&mut self, camera_index: usize, boundary_s: f64) -> Result<LeaveOutcome> {
+        let live = self.active.iter().position(|&slot| {
+            self.slots[slot].camera_index == camera_index && self.slots[slot].session.is_some()
+        });
+        if let Some(position) = live {
+            let slot_index = self.active.remove(position);
+            let session =
+                self.slots[slot_index].session.take().expect("position matched a live session");
+            // The departure happens at the barrier; the freed capacity goes
+            // to the next queued camera from the same moment.
+            self.outcome.makespan_s = self.outcome.makespan_s.max(boundary_s);
+            self.start_next_pending(boundary_s)?;
+            return Ok(LeaveOutcome::Departed(session.into_result()));
+        }
+        if let Some(position) =
+            self.pending.iter().position(|entry| entry.camera_index == camera_index)
+        {
+            let entry = self.pending.remove(position).expect("position is in bounds");
+            return Ok(LeaveOutcome::Dequeued(entry.session.map(|s| s.into_result())));
+        }
+        Ok(LeaveOutcome::NotHere)
     }
 
     /// Drains the freshly labeled batches collected since the last drain.
@@ -831,38 +1377,70 @@ fn run_isolated(
         .collect())
 }
 
-/// The cross-camera sharing execution: accelerator loops advance window by
-/// window (in parallel inside a window), and every boundary runs one
-/// deterministic, single-threaded label exchange.
+/// The windowed execution, used whenever barriers are needed: cross-camera
+/// sharing (`policy_name` is `Some`), elastic membership (`events` is
+/// non-empty), or both. Accelerator loops advance window by window (in
+/// parallel inside a window); every boundary runs the deterministic,
+/// single-threaded label exchange followed by the barrier's churn events.
 fn run_windowed(
     setup: &ExecSetup<'_>,
-    share_name: &str,
+    policy_name: Option<&str>,
     window_s: f64,
+    events: &[PreparedEvent],
     mut observer: Option<&mut dyn SimObserver>,
-) -> Result<(Vec<AccelOutcome>, ShareMetrics)> {
-    let mut policy = share::create(share_name)?;
+) -> Result<(Vec<AccelOutcome>, ShareMetrics, ChurnOutcome)> {
+    let mut policy = policy_name.map(share::create).transpose()?;
+    let record_labels = policy.is_some();
     let mut loops = setup
         .assignment
         .iter()
         .enumerate()
         .map(|(accel, assigned)| {
-            AccelLoop::new(accel, assigned, setup.cameras, setup.arbiter, setup.capacity, true)
+            AccelLoop::new(
+                accel,
+                assigned,
+                setup.cameras,
+                setup.arbiter,
+                setup.capacity,
+                record_labels,
+            )
         })
         .collect::<Result<Vec<_>>>()?;
-    let mut metrics = ShareMetrics::fresh(policy.name(), window_s);
+    let mut metrics = match &policy {
+        Some(policy) => ShareMetrics::fresh(policy.name(), window_s),
+        None => ShareMetrics::disabled(window_s),
+    };
+    let mut churn = ChurnOutcome {
+        metrics: ChurnMetrics {
+            peak_residency: loops.iter().map(AccelLoop::live_count).sum(),
+            ..ChurnMetrics::default()
+        },
+        extra_results: Vec::new(),
+    };
     let mut correlations: BTreeMap<(usize, usize), f64> = BTreeMap::new();
     let mut window = 0usize;
-    while loops.iter().any(|accel_loop| !accel_loop.is_done()) {
-        // Jump straight to the window containing the earliest due event, so
-        // long event-free stretches (a fleet idling in one deep wait, or a
-        // window far smaller than the phase lengths) cost no barrier
-        // rounds. Windows are absolute (`k * window_s`), so skipped empty
-        // windows leave the indices and boundaries of the windows that do
-        // run — and therefore every exchange — unchanged.
+    let mut next_event = 0usize;
+    while loops.iter().any(|accel_loop| !accel_loop.is_done()) || next_event < events.len() {
+        // Jump straight to the window containing the earliest due event (or
+        // ending at the earliest pending churn event), so long event-free
+        // stretches cost no barrier rounds. Windows are absolute
+        // (`k * window_s`), so skipped empty windows leave the indices and
+        // boundaries of the windows that do run — and therefore every
+        // exchange and churn barrier — unchanged.
+        let mut target_window = f64::INFINITY;
         let earliest_due_s =
             loops.iter().filter_map(AccelLoop::next_due_s).fold(f64::INFINITY, f64::min);
         if earliest_due_s.is_finite() {
-            window = window.max((earliest_due_s / window_s).floor() as usize);
+            // A due event at time t executes inside window floor(t / w).
+            target_window = target_window.min((earliest_due_s / window_s).floor());
+        }
+        if let Some(event) = events.get(next_event) {
+            // A churn event at time t fires at the first boundary >= t,
+            // i.e. at the end of window ceil(t / w) - 1.
+            target_window = target_window.min(((event.at_s / window_s).ceil() - 1.0).max(0.0));
+        }
+        if target_window.is_finite() {
+            window = window.max(target_window as usize);
         }
         let boundary_s = (window as f64 + 1.0) * window_s;
         if let Some(observer) = observer.as_deref_mut() {
@@ -876,19 +1454,170 @@ fn run_windowed(
         } else {
             run_window_threaded(&mut loops, boundary_s, setup.threads)?;
         }
-        exchange_window(
-            &mut loops,
-            policy.as_mut(),
-            setup.cameras,
-            &mut correlations,
-            &mut metrics,
-            window,
-            boundary_s,
-        )?;
+        if let Some(policy) = policy.as_deref_mut() {
+            exchange_window(
+                &mut loops,
+                policy,
+                setup.cameras,
+                &mut correlations,
+                &mut metrics,
+                window,
+                boundary_s,
+            )?;
+        }
+        while let Some(event) = events.get(next_event) {
+            if event.at_s > boundary_s {
+                break;
+            }
+            apply_churn(event, boundary_s, &mut loops, setup, &mut churn)?;
+            next_event += 1;
+        }
+        let residency: usize = loops.iter().map(AccelLoop::live_count).sum();
+        churn.metrics.peak_residency = churn.metrics.peak_residency.max(residency);
         window += 1;
     }
-    metrics.windows = window;
-    Ok((loops.into_iter().map(AccelLoop::into_outcome).collect(), metrics))
+    if policy.is_some() {
+        metrics.windows = window;
+    }
+    Ok((loops.into_iter().map(AccelLoop::into_outcome).collect(), metrics, churn))
+}
+
+/// The surviving accelerator that should receive the next placed camera:
+/// fewest live + queued sessions, ties to the lowest index — deterministic,
+/// so churn placement never depends on thread scheduling.
+fn pick_target(loops: &[AccelLoop<'_>]) -> Option<usize> {
+    loops
+        .iter()
+        .enumerate()
+        .filter(|(_, accel_loop)| !accel_loop.drained)
+        .min_by_key(|(index, accel_loop)| (accel_loop.load(), *index))
+        .map(|(index, _)| index)
+}
+
+/// Applies one churn event at a window barrier (single-threaded, in plan
+/// order — the churn counterpart of [`exchange_window`]).
+fn apply_churn(
+    event: &PreparedEvent,
+    boundary_s: f64,
+    loops: &mut [AccelLoop<'_>],
+    setup: &ExecSetup<'_>,
+    churn: &mut ChurnOutcome,
+) -> Result<()> {
+    match event.action {
+        ChurnAction::Join { camera_index } => {
+            churn.metrics.joins += 1;
+            match pick_target(loops) {
+                None => churn.metrics.orphaned_cameras += 1,
+                Some(target) => {
+                    let accel_loop = &mut loops[target];
+                    if accel_loop.live_count() < accel_loop.capacity {
+                        accel_loop.admit(camera_index, boundary_s)?;
+                    } else {
+                        match setup.admission {
+                            AdmissionPolicy::Queue => {
+                                accel_loop.outcome.queued += 1;
+                                accel_loop.enqueue(PendingEntry::fresh(camera_index));
+                            }
+                            // Long-running clusters should not abort because
+                            // one join found the fleet full: the denied
+                            // camera is recorded instead.
+                            AdmissionPolicy::Reject => churn.metrics.orphaned_cameras += 1,
+                        }
+                    }
+                }
+            }
+        }
+        ChurnAction::Leave { camera_index } => {
+            churn.metrics.leaves += 1;
+            for accel_loop in loops.iter_mut() {
+                match accel_loop.leave(camera_index, boundary_s)? {
+                    LeaveOutcome::Departed(result) => {
+                        churn.extra_results.push((camera_index, result));
+                        break;
+                    }
+                    LeaveOutcome::Dequeued(result) => {
+                        if let Some(result) = result {
+                            churn.extra_results.push((camera_index, result));
+                        }
+                        break;
+                    }
+                    // Not on this accelerator; a camera found nowhere has
+                    // already finished, making the leave a no-op.
+                    LeaveOutcome::NotHere => {}
+                }
+            }
+        }
+        ChurnAction::Drain { accelerator } => {
+            churn.metrics.drains += 1;
+            let (migrants, displaced) = loops[accelerator].drain_accelerator();
+            for migrant in migrants {
+                let camera_name = &setup.cameras[migrant.camera_index].0;
+                // Live migration goes through the public snapshot format:
+                // the restored session is bit-identical to the original
+                // (property-tested), so drains never perturb results.
+                let restored = Session::restore(migrant.session.snapshot())
+                    .map_err(|e| prefix_camera(camera_name, e))?;
+                match pick_target(loops) {
+                    None => {
+                        // No accelerator left to run on: the camera is
+                        // orphaned and reports its executed prefix.
+                        churn.metrics.orphaned_cameras += 1;
+                        churn.extra_results.push((migrant.camera_index, restored.into_result()));
+                    }
+                    Some(target) => {
+                        let accel_loop = &mut loops[target];
+                        if accel_loop.live_count() < accel_loop.capacity {
+                            churn.metrics.migrations += 1;
+                            churn.metrics.migration_stall_s +=
+                                (migrant.now_s - event.at_s).max(0.0);
+                            accel_loop.admit_session(
+                                migrant.camera_index,
+                                restored,
+                                migrant.now_s,
+                                migrant.recovering,
+                            );
+                        } else {
+                            match setup.admission {
+                                AdmissionPolicy::Queue => {
+                                    churn.metrics.migrations += 1;
+                                    // The migrant's first wait in a queue.
+                                    accel_loop.outcome.queued += 1;
+                                    accel_loop.enqueue(PendingEntry {
+                                        camera_index: migrant.camera_index,
+                                        session: Some(Box::new(restored)),
+                                        recovering: migrant.recovering,
+                                        drain_at_s: Some(event.at_s),
+                                    });
+                                }
+                                AdmissionPolicy::Reject => {
+                                    churn.metrics.orphaned_cameras += 1;
+                                    churn
+                                        .extra_results
+                                        .push((migrant.camera_index, restored.into_result()));
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            for entry in displaced {
+                match pick_target(loops) {
+                    None => {
+                        churn.metrics.orphaned_cameras += 1;
+                        if let Some(session) = entry.session {
+                            churn.extra_results.push((entry.camera_index, session.into_result()));
+                        }
+                    }
+                    // Re-homed waiters start right away when the target has
+                    // headroom (an idle target would otherwise never pop its
+                    // queue and the camera would silently vanish) and do not
+                    // count as a second queue wait otherwise.
+                    Some(target) => loops[target].place(entry, boundary_s)?,
+                }
+            }
+        }
+    }
+    Ok(())
 }
 
 /// Advances every accelerator loop to the window boundary across worker
@@ -1381,6 +2110,211 @@ mod tests {
         // the fair 2x, which shows up in the contention aggregates.
         assert!(fair.fleet.total_drift_responses >= 1);
         assert_ne!(fair.contention, drift_first.contention);
+    }
+
+    #[test]
+    fn explicit_empty_churn_plan_matches_the_default_exactly() {
+        let default = two_camera_cluster(1).run().unwrap();
+        let explicit = two_camera_cluster(1).churn(ChurnPlan::new()).run().unwrap();
+        assert_eq!(default, explicit);
+        assert_eq!(default.churn.joins, 0);
+        assert_eq!(default.churn.migrations, 0);
+        assert_eq!(default.churn.peak_residency, 2);
+    }
+
+    #[test]
+    fn joined_cameras_run_to_completion_and_extend_the_fleet() {
+        let plan =
+            ChurnPlan::new().join(30.0, "late", short_config(SchedulerKind::DaCapoSpatiotemporal));
+        let result = two_camera_cluster(2).churn(plan).run().unwrap();
+        assert_eq!(result.churn.joins, 1);
+        assert_eq!(result.fleet.cameras.len(), 3);
+        assert_eq!(result.fleet.cameras[2].camera, "late", "joins follow the initial set");
+        let late = result.camera("late").expect("joined camera reports a result");
+        // The joined camera ran its entire scenario (120 s short_config).
+        assert!((late.duration_s - 120.0).abs() < 1e-9);
+        // Contention aside, a joined camera's numbers match a solo run.
+        let solo = crate::ClSimulator::new(short_config(SchedulerKind::DaCapoSpatiotemporal))
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(late, &solo);
+        // It joined at the first 60 s barrier, so the cluster clock ran at
+        // least to 60 + 120.
+        assert!(result.contention.makespan_s >= 180.0 - 1e-9);
+        assert_eq!(result.churn.peak_residency, 3);
+    }
+
+    #[test]
+    fn leaving_cameras_report_partial_results_at_the_barrier() {
+        let plan = ChurnPlan::new().leave(60.0, "adaptive");
+        let result = two_camera_cluster(2).churn(plan).run().unwrap();
+        assert_eq!(result.churn.leaves, 1);
+        assert_eq!(result.fleet.cameras.len(), 2);
+        let departed = result.camera("adaptive").expect("partial result present");
+        assert!(
+            departed.duration_s < 120.0 - 1e-9,
+            "a mid-run leave covers only the executed prefix ({} s)",
+            departed.duration_s
+        );
+        // The survivor is untouched.
+        let full = result.camera("calm").unwrap();
+        assert!((full.duration_s - 120.0).abs() < 1e-9);
+        // Leaving after the scenario already finished is a no-op.
+        let noop = two_camera_cluster(2)
+            .churn(ChurnPlan::new().leave(10_000.0, "adaptive"))
+            .run()
+            .unwrap();
+        assert_eq!(noop.fleet, two_camera_cluster(2).run().unwrap().fleet);
+        assert_eq!(noop.churn.leaves, 1);
+    }
+
+    #[test]
+    fn drained_accelerators_migrate_residents_without_changing_results() {
+        let baseline = two_camera_cluster(2).run().unwrap();
+        // Two cameras on two accelerators; accelerator 1 (hosting
+        // "adaptive") drains at 50 s → its session snapshot-migrates onto
+        // accelerator 0 and finishes there.
+        let drained = two_camera_cluster(2).churn(ChurnPlan::new().drain(50.0, 1)).run().unwrap();
+        assert_eq!(drained.churn.drains, 1);
+        assert_eq!(drained.churn.migrations, 1);
+        assert_eq!(drained.churn.orphaned_cameras, 0);
+        assert!(drained.churn.migration_stall_s >= 0.0);
+        // Sharing is off, so migration must not perturb any camera's
+        // numbers: results are bit-identical to the churn-free cluster.
+        assert_eq!(drained.fleet, baseline.fleet);
+        // Post-migration the survivor accelerator hosts both sessions, so
+        // contention appears where the baseline had none.
+        assert!(
+            drained.contention.max_step_stretch >= baseline.contention.max_step_stretch - 1e-12
+        );
+    }
+
+    #[test]
+    fn draining_every_accelerator_orphans_the_residents() {
+        let result = two_camera_cluster(1).churn(ChurnPlan::new().drain(60.0, 0)).run().unwrap();
+        assert_eq!(result.churn.drains, 1);
+        assert_eq!(result.churn.migrations, 0);
+        assert_eq!(result.churn.orphaned_cameras, 2);
+        // Orphans report the executed prefix.
+        for camera in &result.fleet.cameras {
+            assert!(camera.result.duration_s < 120.0 - 1e-9, "{}", camera.camera);
+        }
+    }
+
+    #[test]
+    fn malformed_churn_plans_fail_before_any_simulation() {
+        let started = std::time::Instant::now();
+        let checks: Vec<(ChurnPlan, &str)> = vec![
+            (ChurnPlan::new().leave(f64::NAN, "calm"), "finite"),
+            (ChurnPlan::new().leave(-5.0, "calm"), "non-negative"),
+            (ChurnPlan::new().leave(10.0, "ghost"), "unknown camera"),
+            (ChurnPlan::new().drain(10.0, 7), "accelerator 7"),
+            (ChurnPlan::new().drain(10.0, 0).drain(20.0, 0), "drained twice"),
+            (
+                ChurnPlan::new().join(10.0, "calm", short_config(SchedulerKind::NoAdaptation)),
+                "duplicates",
+            ),
+            (
+                ChurnPlan::new()
+                    .join(100.0, "late", short_config(SchedulerKind::NoAdaptation))
+                    .leave(50.0, "late"),
+                "before joining",
+            ),
+            (ChurnPlan::new().leave(1e22, "calm"), "representable window range"),
+        ];
+        for (plan, needle) in checks {
+            let err = two_camera_cluster(2).churn(plan).run().unwrap_err();
+            assert!(err.to_string().contains(needle), "{err}");
+        }
+        assert!(started.elapsed().as_millis() < 500, "churn validation should fail fast");
+    }
+
+    #[test]
+    fn displaced_queued_cameras_start_on_idle_survivors_instead_of_vanishing() {
+        use crate::sim::test_support::fast_rates;
+        use dacapo_datagen::{Scenario, Segment, SegmentAttributes};
+        use dacapo_dnn::zoo::ModelPair;
+
+        let config_with_duration = |seconds: f64| {
+            let scenario = Scenario::from_segments(
+                "churn-len",
+                vec![Segment { attributes: SegmentAttributes::default(), duration_s: seconds }],
+            );
+            SimConfig::builder(scenario, ModelPair::ResNet18Wrn50)
+                .platform_rates(fast_rates("churn-test"))
+                .scheduler(SchedulerKind::DaCapoSpatiotemporal)
+                .measurement(10.0, 10)
+                .pretrain_samples(48)
+                .build()
+                .unwrap()
+        };
+        // Round-robin over 3 accelerators at capacity 1: cam-0 (long) →
+        // accel 0 with cam-3 queued behind it, cam-1/cam-2 (short) finish
+        // early on accels 1/2. Draining accel 0 at t=120 then migrates
+        // cam-0 onto one idle survivor and must *start* the displaced
+        // cam-3 on the other — an idle accelerator never revisits its
+        // queue, so merely enqueueing would silently lose the camera.
+        let result = Cluster::new(3)
+            .capacity_per_accelerator(1)
+            .camera("cam-0", config_with_duration(300.0))
+            .camera("cam-1", config_with_duration(60.0))
+            .camera("cam-2", config_with_duration(60.0))
+            .camera("cam-3", config_with_duration(60.0))
+            .churn(ChurnPlan::new().drain(120.0, 0))
+            .run()
+            .unwrap();
+        assert_eq!(result.fleet.cameras.len(), 4, "no camera may vanish");
+        assert_eq!(result.churn.orphaned_cameras, 0);
+        assert_eq!(result.churn.migrations, 1);
+        let displaced = result.camera("cam-3").expect("displaced camera ran");
+        assert!((displaced.duration_s - 60.0).abs() < 1e-9, "cam-3 ran its whole scenario");
+        let migrated = result.camera("cam-0").expect("migrated camera ran");
+        assert!((migrated.duration_s - 300.0).abs() < 1e-9);
+        // cam-3 waited in a queue exactly once (its initial admission);
+        // being re-homed by the drain is not a second wait.
+        assert_eq!(result.contention.queued_cameras, 1);
+        // The drained accelerator served cam-0 for ~120 s before the
+        // barrier, which must show up as non-zero, sane utilization.
+        let drained_utilization = result.contention.accelerator_utilization[0];
+        assert!(
+            drained_utilization > 0.0 && drained_utilization <= 1.0 + 1e-9,
+            "drained accelerator utilization {drained_utilization}"
+        );
+    }
+
+    #[test]
+    fn churn_validation_follows_execution_order_not_plan_order() {
+        // The leave is *added* before the join but executes after it in
+        // virtual time; validation must accept what the barriers would run.
+        let plan = ChurnPlan::new().leave(100.0, "late").join(
+            30.0,
+            "late",
+            short_config(SchedulerKind::DaCapoSpatiotemporal),
+        );
+        let result = two_camera_cluster(2).churn(plan).run().unwrap();
+        assert_eq!(result.churn.joins, 1);
+        assert_eq!(result.churn.leaves, 1);
+        let late = result.camera("late").expect("joined camera reports a result");
+        assert!(late.duration_s < 120.0 - 1e-9, "the later leave cut the run short");
+    }
+
+    #[test]
+    fn churn_composes_with_cross_camera_sharing() {
+        let plan =
+            ChurnPlan::new().join(40.0, "late", short_config(SchedulerKind::DaCapoSpatiotemporal));
+        let result = Cluster::new(1)
+            .camera("a", short_config(SchedulerKind::DaCapoSpatiotemporal))
+            .camera("b", short_config(SchedulerKind::DaCapoSpatiotemporal))
+            .share("broadcast")
+            .share_window_s(20.0)
+            .churn(plan)
+            .run()
+            .unwrap();
+        assert_eq!(result.churn.joins, 1);
+        assert!(result.share.labels_reused > 0, "{:?}", result.share);
+        assert_eq!(result.fleet.cameras.len(), 3);
+        assert!(result.camera("late").is_some());
     }
 
     #[test]

@@ -23,6 +23,12 @@ pub enum CoreError {
         /// Why the camera could not be admitted.
         reason: String,
     },
+    /// A session snapshot could not be restored (unsupported format version,
+    /// undecodable scheduler state, or inconsistent captured state).
+    Snapshot {
+        /// Why the snapshot was rejected.
+        reason: String,
+    },
     /// The student network failed.
     Dnn(dacapo_dnn::DnnError),
     /// The accelerator model failed (for example an infeasible allocation).
@@ -38,6 +44,9 @@ impl fmt::Display for CoreError {
             CoreError::AdmissionRejected { camera, reason } => {
                 write!(f, "admission rejected for camera '{camera}': {reason}")
             }
+            CoreError::Snapshot { reason } => {
+                write!(f, "cannot restore session snapshot: {reason}")
+            }
             CoreError::Dnn(e) => write!(f, "student model error: {e}"),
             CoreError::Accel(e) => write!(f, "accelerator model error: {e}"),
         }
@@ -49,7 +58,9 @@ impl Error for CoreError {
         match self {
             CoreError::Dnn(e) => Some(e),
             CoreError::Accel(e) => Some(e),
-            CoreError::InvalidConfig { .. } | CoreError::AdmissionRejected { .. } => None,
+            CoreError::InvalidConfig { .. }
+            | CoreError::AdmissionRejected { .. }
+            | CoreError::Snapshot { .. } => None,
         }
     }
 }

@@ -15,10 +15,10 @@ use crate::config::SimConfig;
 use crate::metrics::{mean, percentile};
 use crate::sim::SimResult;
 use crate::{CoreError, Result};
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 /// One camera's outcome within a fleet run.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CameraResult {
     /// The camera's name (unique within the fleet).
     pub camera: String,
@@ -28,7 +28,7 @@ pub struct CameraResult {
 }
 
 /// Aggregate metrics over a completed fleet run.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FleetResult {
     /// Per-camera results, in the order cameras were added.
     pub cameras: Vec<CameraResult>,
@@ -191,6 +191,9 @@ pub(crate) fn prefix_camera(name: &str, error: CoreError) -> CoreError {
 /// Aggregates per-camera results into fleet-level metrics (shared by
 /// [`Fleet`] and [`Cluster`]).
 pub(crate) fn aggregate(cameras: Vec<CameraResult>) -> FleetResult {
+    // A cluster whose every camera departed before starting has nothing to
+    // aggregate; report zeros rather than a vacuous min of +inf.
+    let min_floor = if cameras.is_empty() { 0.0 } else { f64::INFINITY };
     let accuracies: Vec<f64> = cameras.iter().map(|c| c.result.mean_accuracy).collect();
     let total_energy_joules = cameras.iter().map(|c| c.result.energy_joules).sum();
     let total_duration: f64 = cameras.iter().map(|c| c.result.duration_s).sum();
@@ -204,7 +207,7 @@ pub(crate) fn aggregate(cameras: Vec<CameraResult>) -> FleetResult {
         mean_accuracy: mean(&accuracies),
         p50_accuracy: percentile(&accuracies, 50.0),
         p10_accuracy: percentile(&accuracies, 10.0),
-        min_accuracy: accuracies.iter().copied().fold(f64::INFINITY, f64::min),
+        min_accuracy: accuracies.iter().copied().fold(min_floor, f64::min),
         total_energy_joules,
         aggregate_drop_rate,
         total_drift_responses: cameras.iter().map(|c| c.result.drift_responses).sum(),

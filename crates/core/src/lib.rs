@@ -180,6 +180,61 @@
 //! # }
 //! ```
 //!
+//! # Snapshots and elastic membership
+//!
+//! A [`Session`] is an explicit state/behavior split: [`Session::snapshot`]
+//! captures the complete mutable state (config, student weights, sample
+//! buffer, teacher RNG, scheduler state via
+//! [`sched::Scheduler::state`], stream cursor, partial timeline) as a
+//! versioned, serde-able [`SessionSnapshot`], and [`Session::restore`]
+//! rebuilds a session that continues **bit-identically** — even after the
+//! snapshot round-trips through JSON text in another process
+//! ([`SessionSnapshot::to_json`] / [`SessionSnapshot::from_json`]). A
+//! snapshot from a different [`SNAPSHOT_VERSION`] is refused with
+//! [`CoreError::Snapshot`] instead of being misread.
+//!
+//! On top of snapshots, the cluster executor supports **elastic
+//! membership**: a [`ChurnPlan`] schedules cameras joining and leaving
+//! mid-run and accelerators draining (their resident sessions
+//! snapshot-migrate to the surviving accelerators through the standard
+//! admission path). Churn executes at the same deterministic window
+//! barriers as label sharing, so churn-bearing runs stay bit-identical
+//! across worker-thread counts; telemetry lands in
+//! [`ClusterResult::churn`] as [`ChurnMetrics`] (migrations, migration
+//! stall seconds, peak residency, orphaned cameras).
+//!
+//! ```no_run
+//! use dacapo_core::{ChurnPlan, Cluster, Session, SessionSnapshot, SimConfig};
+//! use dacapo_datagen::Scenario;
+//! use dacapo_dnn::zoo::ModelPair;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Checkpoint a running session to JSON and resume it later.
+//! let config = SimConfig::builder(Scenario::s1(), ModelPair::ResNet18Wrn50).build()?;
+//! let mut session = Session::new(config.clone())?;
+//! while session.progress() < 0.5 {
+//!     session.step()?;
+//! }
+//! let json = session.snapshot().to_json();
+//! let mut resumed = Session::restore(SessionSnapshot::from_json(&json)?)?;
+//! resumed.run_to_end()?; // bit-identical to never having stopped
+//!
+//! // An elastic cluster: a camera joins at t=300 s, accelerator 1 drains
+//! // at t=600 s (its sessions migrate), and a camera leaves at t=900 s.
+//! let plan = ChurnPlan::new()
+//!     .join(300.0, "late", config.clone())
+//!     .drain(600.0, 1)
+//!     .leave(900.0, "cam-0");
+//! let result = Cluster::new(2)
+//!     .camera("cam-0", config.clone())
+//!     .camera("cam-1", config)
+//!     .churn(plan)
+//!     .run()?;
+//! println!("{} migrations", result.churn.migrations);
+//! # Ok(())
+//! # }
+//! ```
+//!
 //! # Mapping to the paper
 //!
 //! * [`Hyperparams`] — Table I's resource-allocation hyperparameters
@@ -263,6 +318,7 @@ mod error;
 mod fleet;
 pub mod metrics;
 pub mod platform;
+mod registry;
 pub mod sched;
 mod session;
 pub mod share;
@@ -270,13 +326,15 @@ mod sim;
 mod student;
 
 pub use buffer::{LabeledSample, SampleBuffer};
-pub use cluster::{AdmissionPolicy, Cluster, ClusterResult, ContentionMetrics};
+pub use cluster::{
+    AdmissionPolicy, ChurnEvent, ChurnMetrics, ChurnPlan, Cluster, ClusterResult, ContentionMetrics,
+};
 pub use config::{Hyperparams, SimConfig, SimConfigBuilder};
 pub use error::CoreError;
 pub use fleet::{CameraResult, Fleet, FleetResult};
 pub use platform::{PlatformKind, PlatformRates, PlatformSpec};
 pub use sched::{SchedulerKind, SchedulerSpec};
-pub use session::{Session, SessionEvent, SimObserver};
+pub use session::{Session, SessionEvent, SessionSnapshot, SimObserver, SNAPSHOT_VERSION};
 pub use share::ShareMetrics;
 pub use sim::{ClSimulator, PhaseKind, PhaseRecord, SimResult};
 pub use student::StudentModel;

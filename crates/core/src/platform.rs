@@ -22,6 +22,7 @@
 //! names (`"dacapo"`, `"orin-high"`, `"orin-low"`, `"rtx-3090"`), plus the
 //! two parameterised families `"orin-dvfs"` and `"scaled-dacapo"`.
 
+use crate::registry::{split_params, ParamNames, Registry};
 use crate::{CoreError, Result};
 use dacapo_accel::estimator::{estimate, spatial_allocation, PrecisionPlan};
 use dacapo_accel::gpu::{GpuDevice, UtilizationProfile};
@@ -32,10 +33,9 @@ use dacapo_dnn::zoo::ModelPair;
 use dacapo_dnn::QuantMode;
 use dacapo_mx::MxPrecision;
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
 use std::fmt;
 use std::str::FromStr;
-use std::sync::{Arc, OnceLock, RwLock};
+use std::sync::{Arc, OnceLock};
 
 /// Predefined execution platforms, matching the hardware column of the
 /// paper's baseline matrix (Section VII-A).
@@ -632,24 +632,23 @@ impl PlatformProvider for ScaledDaCapoProvider {
     }
 }
 
-type Registry = RwLock<BTreeMap<String, Arc<dyn PlatformProvider>>>;
-
 /// The global platform registry, seeded with the builtin kinds and the two
-/// parameterised builtin families.
-fn registry() -> &'static Registry {
-    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+/// parameterised builtin families; storage and lookup rules live in
+/// [`crate::registry`].
+fn registry() -> &'static Registry<dyn PlatformProvider> {
+    static REGISTRY: OnceLock<Registry<dyn PlatformProvider>> = OnceLock::new();
     REGISTRY.get_or_init(|| {
-        let mut map: BTreeMap<String, Arc<dyn PlatformProvider>> = BTreeMap::new();
-        for kind in PlatformKind::ALL {
-            let name = kind.registry_name();
-            map.insert(name.clone(), Arc::new(KindProvider { kind, name }));
-        }
+        let mut seed: Vec<(String, Arc<dyn PlatformProvider>)> = PlatformKind::ALL
+            .into_iter()
+            .map(|kind| {
+                let name = kind.registry_name();
+                (name.clone(), Arc::new(KindProvider { kind, name }) as Arc<dyn PlatformProvider>)
+            })
+            .collect();
         let families: [Arc<dyn PlatformProvider>; 2] =
             [Arc::new(OrinDvfsProvider), Arc::new(ScaledDaCapoProvider)];
-        for provider in families {
-            map.insert(provider.name().to_lowercase(), provider);
-        }
-        RwLock::new(map)
+        seed.extend(families.into_iter().map(|p| (p.name().to_string(), p)));
+        Registry::new("platform provider", ParamNames::Split, &[], seed)
     })
 }
 
@@ -661,12 +660,8 @@ fn registry() -> &'static Registry {
 /// Panics if the provider's name contains `':'` — the colon introduces the
 /// parameter suffix during lookup, so such a name could never be resolved.
 pub fn register(provider: Arc<dyn PlatformProvider>) {
-    let key = provider.name().to_lowercase();
-    assert!(
-        !key.contains(':'),
-        "platform provider name '{key}' must not contain ':' (reserved for parameter suffixes)"
-    );
-    registry().write().expect("platform registry poisoned").insert(key, provider);
+    let name = provider.name().to_string();
+    registry().register(&name, provider);
 }
 
 /// Looks up a platform provider by case-insensitive name. A `:<params>`
@@ -674,23 +669,13 @@ pub fn register(provider: Arc<dyn PlatformProvider>) {
 /// resolves the `"scaled-dacapo"` provider).
 #[must_use]
 pub fn by_name(name: &str) -> Option<Arc<dyn PlatformProvider>> {
-    let (base, _) = split_params(name);
-    registry().read().expect("platform registry poisoned").get(&base.to_lowercase()).cloned()
+    registry().by_name(name)
 }
 
 /// The base names of every registered platform, sorted.
 #[must_use]
 pub fn registered_names() -> Vec<String> {
-    registry().read().expect("platform registry poisoned").keys().cloned().collect()
-}
-
-/// Splits a spec name into its registry base name and optional parameter
-/// suffix (`"scaled-dacapo:32"` → `("scaled-dacapo", Some("32"))`).
-fn split_params(name: &str) -> (&str, Option<&str>) {
-    match name.split_once(':') {
-        Some((base, params)) => (base, Some(params)),
-        None => (name, None),
-    }
+    registry().names()
 }
 
 /// How a `SimConfig` selects its execution platform: a builtin kind, a

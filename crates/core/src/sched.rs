@@ -19,11 +19,11 @@
 //! `"dacapo-spatial"`, `"ekya"`, `"eomu"`, `"no-adaptation"`).
 
 use crate::config::Hyperparams;
+use crate::registry::{ParamNames, Registry};
 use crate::{CoreError, Result};
-use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+use serde::{Deserialize, Serialize, Value};
 use std::fmt;
-use std::sync::{Arc, OnceLock, RwLock};
+use std::sync::{Arc, OnceLock};
 
 /// The scheduling policies evaluated in the paper.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -178,6 +178,37 @@ pub trait Scheduler: Send {
 
     /// Decides what the T-SA (or GPU leftover) does next.
     fn next_action(&mut self, ctx: &SchedulerContext) -> Action;
+
+    /// The policy's mutable decision state as a serialisable JSON value, for
+    /// [`Session::snapshot`](crate::Session::snapshot). Stateless policies
+    /// keep the default [`Value::Null`]; stateful ones must return enough to
+    /// make [`Scheduler::restore_state`] resume the exact decision sequence.
+    /// All builtin policies implement both hooks.
+    fn state(&self) -> Value {
+        Value::Null
+    }
+
+    /// Restores the state captured by [`Scheduler::state`] into a freshly
+    /// built policy instance. The default accepts only [`Value::Null`]: a
+    /// policy that never reports state cannot silently discard someone
+    /// else's.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] when the state does not match
+    /// what this policy produces.
+    fn restore_state(&mut self, state: &Value) -> Result<()> {
+        if *state == Value::Null {
+            Ok(())
+        } else {
+            Err(CoreError::InvalidConfig {
+                reason: format!(
+                    "scheduler '{}' is stateless but was handed snapshot state to restore",
+                    self.name()
+                ),
+            })
+        }
+    }
 }
 
 /// Trait-object factory for scheduling policies, the extension point of the
@@ -217,38 +248,40 @@ impl SchedulerFactory for KindFactory {
     }
 }
 
-type Registry = RwLock<BTreeMap<String, Arc<dyn SchedulerFactory>>>;
-
-/// The global policy registry, seeded with the builtin kinds.
-fn registry() -> &'static Registry {
-    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+/// The global policy registry, seeded with the builtin kinds; storage and
+/// lookup rules live in [`crate::registry`]. Scheduler names resolve
+/// verbatim (no `:<params>` suffixes), matching the original convention.
+fn registry() -> &'static Registry<dyn SchedulerFactory> {
+    static REGISTRY: OnceLock<Registry<dyn SchedulerFactory>> = OnceLock::new();
     REGISTRY.get_or_init(|| {
-        let mut map: BTreeMap<String, Arc<dyn SchedulerFactory>> = BTreeMap::new();
-        for kind in SchedulerKind::BUILTINS {
-            let name = kind.to_string().to_lowercase();
-            map.insert(name.clone(), Arc::new(KindFactory { kind, name }));
-        }
-        RwLock::new(map)
+        let seed = SchedulerKind::BUILTINS
+            .into_iter()
+            .map(|kind| {
+                let name = kind.to_string().to_lowercase();
+                (name.clone(), Arc::new(KindFactory { kind, name }) as Arc<dyn SchedulerFactory>)
+            })
+            .collect();
+        Registry::new("scheduler factory", ParamNames::Verbatim, &[], seed)
     })
 }
 
 /// Registers (or replaces) a policy factory under its
 /// case-insensitive [`SchedulerFactory::name`].
 pub fn register(factory: Arc<dyn SchedulerFactory>) {
-    let key = factory.name().to_lowercase();
-    registry().write().expect("scheduler registry poisoned").insert(key, factory);
+    let name = factory.name().to_string();
+    registry().register(&name, factory);
 }
 
 /// Looks up a policy factory by case-insensitive name.
 #[must_use]
 pub fn by_name(name: &str) -> Option<Arc<dyn SchedulerFactory>> {
-    registry().read().expect("scheduler registry poisoned").get(&name.to_lowercase()).cloned()
+    registry().by_name(name)
 }
 
 /// The names of every registered policy, sorted.
 #[must_use]
 pub fn registered_names() -> Vec<String> {
-    registry().read().expect("scheduler registry poisoned").keys().cloned().collect()
+    registry().names()
 }
 
 /// How a `SimConfig` selects its scheduling policy: a builtin kind, or a
@@ -349,6 +382,14 @@ impl fmt::Display for SchedulerSpec {
     }
 }
 
+/// Maps a snapshot-state decode failure into a config error naming the
+/// policy, shared by the builtin [`Scheduler::restore_state`] impls.
+fn bad_state(name: &str, e: serde::DeError) -> CoreError {
+    CoreError::InvalidConfig {
+        reason: format!("scheduler '{name}' cannot restore snapshot state: {e}"),
+    }
+}
+
 /// Detects drift per Algorithm 1 line 11: drift iff `acc_l - acc_v < V_thr`.
 fn drift_detected(ctx: &SchedulerContext, threshold: f64) -> bool {
     match (ctx.last_labeling_accuracy, ctx.last_validation_accuracy) {
@@ -361,7 +402,7 @@ fn drift_detected(ctx: &SchedulerContext, threshold: f64) -> bool {
 // DaCapo-Spatiotemporal (Algorithm 1)
 // --------------------------------------------------------------------------
 
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 enum CyclePoint {
     Retrain,
     Label,
@@ -431,13 +472,22 @@ impl Scheduler for Spatiotemporal {
             }
         }
     }
+
+    fn state(&self) -> Value {
+        self.next.to_value()
+    }
+
+    fn restore_state(&mut self, state: &Value) -> Result<()> {
+        self.next = CyclePoint::from_value(state).map_err(|e| bad_state(&self.name(), e))?;
+        Ok(())
+    }
 }
 
 // --------------------------------------------------------------------------
 // DaCapo-Spatial (fixed window, no drift response)
 // --------------------------------------------------------------------------
 
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 enum WindowStep {
     Label,
     Retrain,
@@ -448,6 +498,13 @@ enum WindowStep {
 #[derive(Debug)]
 struct SpatialOnly {
     hyper: Hyperparams,
+    window_index: u64,
+    step: WindowStep,
+}
+
+/// [`SpatialOnly`]'s serialisable decision state.
+#[derive(Debug, Serialize, Deserialize)]
+struct SpatialState {
     window_index: u64,
     step: WindowStep,
 }
@@ -496,13 +553,24 @@ impl Scheduler for SpatialOnly {
             WindowStep::Idle => Action::Wait { seconds: (self.window_end() - ctx.now_s).max(0.1) },
         }
     }
+
+    fn state(&self) -> Value {
+        SpatialState { window_index: self.window_index, step: self.step }.to_value()
+    }
+
+    fn restore_state(&mut self, state: &Value) -> Result<()> {
+        let state = SpatialState::from_value(state).map_err(|e| bad_state(&self.name(), e))?;
+        self.window_index = state.window_index;
+        self.step = state.step;
+        Ok(())
+    }
 }
 
 // --------------------------------------------------------------------------
 // Ekya (long windows with a profiling pass)
 // --------------------------------------------------------------------------
 
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 enum EkyaStep {
     Profile,
     Label,
@@ -518,6 +586,14 @@ struct Ekya {
     hyper: Hyperparams,
     window_seconds: f64,
     profile_fraction: f64,
+    window_index: u64,
+    step: EkyaStep,
+}
+
+/// [`Ekya`]'s serialisable decision state (the window geometry is derived
+/// from the hyperparameters, so only the cursor is captured).
+#[derive(Debug, Serialize, Deserialize)]
+struct EkyaState {
     window_index: u64,
     step: EkyaStep,
 }
@@ -577,6 +653,17 @@ impl Scheduler for Ekya {
             EkyaStep::Idle => Action::Wait { seconds: (self.window_end() - ctx.now_s).max(0.1) },
         }
     }
+
+    fn state(&self) -> Value {
+        EkyaState { window_index: self.window_index, step: self.step }.to_value()
+    }
+
+    fn restore_state(&mut self, state: &Value) -> Result<()> {
+        let state = EkyaState::from_value(state).map_err(|e| bad_state(&self.name(), e))?;
+        self.window_index = state.window_index;
+        self.step = state.step;
+        Ok(())
+    }
 }
 
 // --------------------------------------------------------------------------
@@ -596,6 +683,15 @@ struct Eomu {
     hyper: Hyperparams,
     window_seconds: f64,
     trigger_margin: f64,
+    best_recent_accuracy: Option<f64>,
+    window_index: u64,
+    labeled_this_window: bool,
+    retrained_this_window: bool,
+}
+
+/// [`Eomu`]'s serialisable decision state.
+#[derive(Debug, Serialize, Deserialize)]
+struct EomuState {
     best_recent_accuracy: Option<f64>,
     window_index: u64,
     labeled_this_window: bool,
@@ -664,6 +760,25 @@ impl Scheduler for Eomu {
             }
         }
         Action::Wait { seconds: (self.window_end() - ctx.now_s).max(0.1) }
+    }
+
+    fn state(&self) -> Value {
+        EomuState {
+            best_recent_accuracy: self.best_recent_accuracy,
+            window_index: self.window_index,
+            labeled_this_window: self.labeled_this_window,
+            retrained_this_window: self.retrained_this_window,
+        }
+        .to_value()
+    }
+
+    fn restore_state(&mut self, state: &Value) -> Result<()> {
+        let state = EomuState::from_value(state).map_err(|e| bad_state(&self.name(), e))?;
+        self.best_recent_accuracy = state.best_recent_accuracy;
+        self.window_index = state.window_index;
+        self.labeled_this_window = state.labeled_this_window;
+        self.retrained_this_window = state.retrained_this_window;
+        Ok(())
     }
 }
 
@@ -910,6 +1025,49 @@ mod tests {
         assert_eq!(SchedulerSpec::from("My-Policy"), SchedulerSpec::from("my-policy"));
         assert_ne!(SchedulerSpec::from("my-policy"), SchedulerSpec::from("other-policy"));
         assert_ne!(SchedulerSpec::from("my-policy"), SchedulerSpec::Kind(SchedulerKind::Ekya));
+    }
+
+    #[test]
+    fn builtin_scheduler_state_round_trips_mid_cycle() {
+        // Drive each stateful builtin a few (odd) steps so its cursor sits
+        // mid-cycle, capture the state, restore into a fresh instance, and
+        // check both produce the same onward decision sequence.
+        let hyper = Hyperparams::default();
+        for kind in SchedulerKind::BUILTINS {
+            let mut original = kind.create(&hyper);
+            for step in 0..5 {
+                let _ = original.next_action(&ctx(step as f64 * 13.0, 400, Some(0.8), Some(0.78)));
+            }
+            let state = original.state();
+            let mut restored = kind.create(&hyper);
+            restored.restore_state(&state).expect("builtin state restores");
+            for step in 5..20 {
+                let c = ctx(step as f64 * 13.0, 400, Some(0.8), Some(0.76));
+                assert_eq!(
+                    restored.next_action(&c),
+                    original.next_action(&c),
+                    "{kind} diverged after state restore"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn default_restore_state_accepts_only_null() {
+        struct Stateless;
+        impl Scheduler for Stateless {
+            fn name(&self) -> String {
+                "stateless".to_string()
+            }
+            fn next_action(&mut self, _ctx: &SchedulerContext) -> Action {
+                Action::Wait { seconds: 1.0 }
+            }
+        }
+        let mut sched = Stateless;
+        assert_eq!(sched.state(), Value::Null);
+        assert!(sched.restore_state(&Value::Null).is_ok());
+        let err = sched.restore_state(&Value::Bool(true)).unwrap_err();
+        assert!(err.to_string().contains("stateless"), "{err}");
     }
 
     #[test]

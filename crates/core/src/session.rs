@@ -9,6 +9,22 @@
 //!
 //! For push-style consumption, [`Session::run_with`] drives the session to
 //! completion while forwarding every event to a [`SimObserver`].
+//!
+//! # Snapshots
+//!
+//! A session is an explicit state/behavior split: everything mutable lives
+//! in fields that [`Session::snapshot`] can serialise into a versioned
+//! [`SessionSnapshot`], and everything behavioral (the frame stream, the
+//! platform capability sheet, the scheduler *instance*) is reconstructed
+//! from the configuration on [`Session::restore`]. Restoring is
+//! **bit-identical**: a session snapshotted at any step and restored — even
+//! from JSON text in another process — continues with exactly the events,
+//! timeline, and final [`SimResult`] of the uninterrupted run. Stateful
+//! schedulers participate through
+//! [`Scheduler::state`](crate::sched::Scheduler::state) /
+//! [`Scheduler::restore_state`](crate::sched::Scheduler::restore_state),
+//! and the teacher's RNG and the stream's [`StreamCursor`] are captured
+//! exactly.
 
 use crate::buffer::{LabeledSample, SampleBuffer};
 use crate::config::SimConfig;
@@ -17,9 +33,9 @@ use crate::sched::{Action, Scheduler, SchedulerContext};
 use crate::sim::{PhaseKind, PhaseRecord, SimResult};
 use crate::student::StudentModel;
 use crate::{CoreError, Result};
-use dacapo_datagen::{Frame, FrameStream};
+use dacapo_datagen::{Frame, FrameStream, StreamCursor};
 use dacapo_dnn::TeacherOracle;
-use serde::Serialize;
+use serde::{Deserialize, Serialize, Value};
 use std::collections::VecDeque;
 
 /// Smallest phase duration the engine will schedule, to guarantee forward
@@ -27,7 +43,7 @@ use std::collections::VecDeque;
 pub(crate) const MIN_PHASE_SECONDS: f64 = 0.05;
 
 /// What one [`Session::step`] call did.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum SessionEvent {
     /// One temporal phase (labeling, retraining, or idling) completed.
     Phase(PhaseRecord),
@@ -106,6 +122,7 @@ pub struct Session {
     platform: PlatformRates,
     duration_s: f64,
     drop_rate: f64,
+    cursor: StreamCursor,
     now_s: f64,
     next_measure_s: f64,
     timeline: Vec<(f64, f64)>,
@@ -118,6 +135,95 @@ pub struct Session {
     finished: bool,
     record_labels: bool,
     fresh_labels: Vec<LabeledSample>,
+}
+
+/// The version tag of the public snapshot format. Bumped whenever the
+/// serialised shape of [`SessionSnapshot`] changes incompatibly;
+/// [`Session::restore`] rejects snapshots from other versions rather than
+/// misreading them (the compatibility rule: same version restores
+/// bit-identically, anything else is refused loudly).
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// A serialisable checkpoint of a running [`Session`]: the complete mutable
+/// state — configuration, student weights, sample buffer, teacher RNG,
+/// scheduler state, stream cursor, and the partial timeline — captured by
+/// [`Session::snapshot`] and consumed by [`Session::restore`].
+///
+/// The format is versioned ([`SNAPSHOT_VERSION`]) and serde-able: write it
+/// out with [`SessionSnapshot::to_json`], read it back with
+/// [`SessionSnapshot::from_json`], and the restored session is bit-identical
+/// to the uninterrupted original (property-tested). Snapshots are also the
+/// unit of live migration in the cluster executor: when an accelerator
+/// drains, its resident sessions snapshot-migrate to the survivors.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionSnapshot {
+    /// Snapshot format version ([`SNAPSHOT_VERSION`] at capture time).
+    pub version: u32,
+    /// The configuration the session was built from; restoring rebuilds the
+    /// stream, platform sheet, and scheduler instance from it.
+    pub config: SimConfig,
+    /// The student model, weights and all.
+    pub student: StudentModel,
+    /// The teacher oracle, including its exact RNG state.
+    pub teacher: TeacherOracle,
+    /// The labeled sample buffer.
+    pub buffer: SampleBuffer,
+    /// The scheduling policy's mutable decision state
+    /// ([`Value::Null`] for stateless policies; see
+    /// [`Scheduler::state`](crate::sched::Scheduler::state)). The policy
+    /// *instance* is rebuilt from the configuration's
+    /// [`SchedulerSpec`](crate::sched::SchedulerSpec) through the registry
+    /// and handed this state — how a `Box<dyn Scheduler>` survives a serde
+    /// round trip without duplicating its spec in the format.
+    pub scheduler_state: Value,
+    /// The frame stream's resumable read position.
+    pub stream_cursor: StreamCursor,
+    /// Simulated time reached so far, in seconds.
+    pub now_s: f64,
+    /// Next accuracy-measurement time, in seconds.
+    pub next_measure_s: f64,
+    /// The accuracy timeline recorded so far.
+    pub timeline: Vec<(f64, f64)>,
+    /// The phases executed so far.
+    pub phases: Vec<PhaseRecord>,
+    /// Validation accuracy after the most recent retraining, if any.
+    pub last_validation: Option<f64>,
+    /// Student accuracy on the most recently labeled batch, if any.
+    pub last_labeling: Option<f64>,
+    /// Drift responses issued so far.
+    pub drift_responses: usize,
+    /// The per-phase draw seed's current value.
+    pub phase_seed: u64,
+    /// Events produced but not yet returned by [`Session::step`].
+    pub pending: Vec<SessionEvent>,
+    /// Whether the scenario has completed.
+    pub finished: bool,
+    /// Whether the session records freshly labeled batches for export.
+    pub record_labels: bool,
+    /// Recorded label batches not yet drained by the cluster executor.
+    pub fresh_labels: Vec<LabeledSample>,
+}
+
+impl SessionSnapshot {
+    /// Serialises the snapshot as pretty-printed JSON.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("snapshot serialisation is infallible")
+    }
+
+    /// Parses a snapshot from JSON text (the inverse of
+    /// [`SessionSnapshot::to_json`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Snapshot`] for malformed JSON or a tree that
+    /// does not match the snapshot shape. The version tag is checked by
+    /// [`Session::restore`], not here, so tooling can still inspect
+    /// same-shape snapshots from other versions.
+    pub fn from_json(text: &str) -> Result<Self> {
+        serde_json::from_str(text)
+            .map_err(|e| CoreError::Snapshot { reason: format!("malformed snapshot JSON: {e}") })
+    }
 }
 
 impl Session {
@@ -174,6 +280,7 @@ impl Session {
         let duration_s = config.scenario.duration_s();
         let drop_rate = platform.frame_drop_rate(config.stream.fps);
         let phase_seed = config.seed;
+        let cursor = stream.cursor();
         Ok(Self {
             config,
             stream,
@@ -184,6 +291,7 @@ impl Session {
             platform,
             duration_s,
             drop_rate,
+            cursor,
             now_s: 0.0,
             next_measure_s: 0.0,
             timeline: Vec::new(),
@@ -196,6 +304,96 @@ impl Session {
             finished: false,
             record_labels: false,
             fresh_labels: Vec::new(),
+        })
+    }
+
+    /// Captures the session's complete mutable state as a serialisable,
+    /// versioned [`SessionSnapshot`]. The session keeps running; the
+    /// snapshot is an independent copy.
+    ///
+    /// [`Session::restore`] rebuilds a session from the snapshot that is
+    /// bit-identical to this one — same onward events, same final
+    /// [`SimResult`] — even after a JSON round trip in another process.
+    #[must_use]
+    pub fn snapshot(&self) -> SessionSnapshot {
+        SessionSnapshot {
+            version: SNAPSHOT_VERSION,
+            config: self.config.clone(),
+            student: self.student.clone(),
+            teacher: self.teacher.clone(),
+            buffer: self.buffer.clone(),
+            scheduler_state: self.scheduler.state(),
+            stream_cursor: self.cursor,
+            now_s: self.now_s,
+            next_measure_s: self.next_measure_s,
+            timeline: self.timeline.clone(),
+            phases: self.phases.clone(),
+            last_validation: self.last_validation,
+            last_labeling: self.last_labeling,
+            drift_responses: self.drift_responses,
+            phase_seed: self.phase_seed,
+            pending: self.pending.iter().copied().collect(),
+            finished: self.finished,
+            record_labels: self.record_labels,
+            fresh_labels: self.fresh_labels.clone(),
+        }
+    }
+
+    /// Rebuilds a session from a [`SessionSnapshot`], resuming exactly where
+    /// [`Session::snapshot`] left off. Behavioral components are
+    /// reconstructed from the snapshot's configuration — the stream and
+    /// platform sheet are pure functions of it, and the scheduler instance
+    /// is re-created through the policy registry and handed its captured
+    /// state — while the mutable state (student weights, buffer, teacher
+    /// RNG, timeline, cursor) is adopted as-is. No pre-training runs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Snapshot`] for a snapshot from a different
+    /// [`SNAPSHOT_VERSION`], [`CoreError::InvalidConfig`] when the embedded
+    /// configuration no longer validates or names an unregistered scheduler
+    /// or platform, and propagates scheduler-state restoration failures.
+    pub fn restore(snapshot: SessionSnapshot) -> Result<Self> {
+        if snapshot.version != SNAPSHOT_VERSION {
+            return Err(CoreError::Snapshot {
+                reason: format!(
+                    "snapshot format version {} is not supported (this runtime reads version \
+                     {SNAPSHOT_VERSION})",
+                    snapshot.version
+                ),
+            });
+        }
+        let config = snapshot.config;
+        config.validate()?;
+        let mut scheduler = config.scheduler.create(&config.hyper)?;
+        scheduler.restore_state(&snapshot.scheduler_state)?;
+        let platform = config.platform_rates()?;
+        let stream = FrameStream::new(&config.scenario, config.stream);
+        let duration_s = config.scenario.duration_s();
+        let drop_rate = platform.frame_drop_rate(config.stream.fps);
+        Ok(Self {
+            config,
+            stream,
+            student: snapshot.student,
+            teacher: snapshot.teacher,
+            buffer: snapshot.buffer,
+            scheduler,
+            platform,
+            duration_s,
+            drop_rate,
+            cursor: snapshot.stream_cursor,
+            now_s: snapshot.now_s,
+            next_measure_s: snapshot.next_measure_s,
+            timeline: snapshot.timeline,
+            phases: snapshot.phases,
+            last_validation: snapshot.last_validation,
+            last_labeling: snapshot.last_labeling,
+            drift_responses: snapshot.drift_responses,
+            phase_seed: snapshot.phase_seed,
+            pending: snapshot.pending.into_iter().collect(),
+            finished: snapshot.finished,
+            record_labels: snapshot.record_labels,
+            fresh_labels: snapshot.fresh_labels,
         })
     }
 
@@ -238,6 +436,13 @@ impl Session {
     #[must_use]
     pub fn platform(&self) -> &PlatformRates {
         &self.platform
+    }
+
+    /// The stream's resumable read position: how far the labeling kernel has
+    /// consumed the camera stream. Snapshots carry this cursor.
+    #[must_use]
+    pub fn stream_cursor(&self) -> StreamCursor {
+        self.cursor
     }
 
     /// Current simulated time in seconds.
@@ -449,10 +654,13 @@ impl Session {
                 let actual_samples =
                     ((phase_duration * rate).floor() as usize).clamp(1, samples.max(1));
 
-                // Spread the labeled samples over the phase's time range.
+                // Spread the labeled samples over the phase's time range,
+                // consuming the stream through its resumable cursor (the
+                // position snapshots carry).
                 let step = ((phase_duration * fps) as u64 / actual_samples as u64).max(1);
+                self.cursor.seek_time(&self.stream, self.now_s);
                 let frames =
-                    self.stream.frames_between(self.now_s, self.now_s + phase_duration, step);
+                    self.cursor.frames_until(&self.stream, self.now_s + phase_duration, step);
                 let selected: Vec<Frame> = frames.into_iter().take(actual_samples).collect();
                 let labeled: Vec<LabeledSample> = selected
                     .iter()
@@ -781,5 +989,112 @@ mod tests {
     fn sessions_are_send_for_fleet_threading() {
         fn assert_send<T: Send>() {}
         assert_send::<Session>();
+    }
+
+    /// Steps a session `phases` whole phases, then returns it.
+    fn session_after_phases(scheduler: SchedulerKind, phases: usize) -> Session {
+        let mut session = Session::new(short_config(scheduler)).unwrap();
+        let mut executed = 0;
+        while executed < phases && !session.is_finished() {
+            if let SessionEvent::Phase(_) = session.step().unwrap() {
+                executed += 1;
+            }
+        }
+        session
+    }
+
+    #[test]
+    fn snapshot_restore_is_bit_identical_for_every_builtin_scheduler() {
+        for kind in SchedulerKind::BUILTINS {
+            let mut uninterrupted = Session::new(short_config(kind)).unwrap();
+            uninterrupted.run_to_end().unwrap();
+            let expected = uninterrupted.into_result();
+
+            let interrupted = session_after_phases(kind, 4);
+            let snapshot = interrupted.snapshot();
+            assert_eq!(snapshot.version, SNAPSHOT_VERSION);
+            drop(interrupted);
+            let mut restored = Session::restore(snapshot).unwrap();
+            restored.run_to_end().unwrap();
+            assert_eq!(restored.into_result(), expected, "{kind} diverged after restore");
+        }
+    }
+
+    #[test]
+    fn snapshot_survives_a_json_round_trip_bit_identically() {
+        let mut uninterrupted =
+            Session::new(short_config(SchedulerKind::DaCapoSpatiotemporal)).unwrap();
+        uninterrupted.run_to_end().unwrap();
+        let expected = uninterrupted.into_result();
+
+        let session = session_after_phases(SchedulerKind::DaCapoSpatiotemporal, 5);
+        let json = session.snapshot().to_json();
+        let parsed = SessionSnapshot::from_json(&json).unwrap();
+        assert_eq!(parsed, session.snapshot(), "JSON round trip preserves the snapshot exactly");
+        let mut restored = Session::restore(parsed).unwrap();
+        restored.run_to_end().unwrap();
+        assert_eq!(restored.into_result(), expected);
+    }
+
+    #[test]
+    fn snapshots_capture_progress_and_restore_resumes_mid_run() {
+        let session = session_after_phases(SchedulerKind::DaCapoSpatiotemporal, 3);
+        let snapshot = session.snapshot();
+        assert!(snapshot.now_s > 0.0);
+        assert_eq!(snapshot.phases.len(), 3);
+        assert!(!snapshot.finished);
+        assert!(snapshot.stream_cursor.position() > 0, "labeling consumed stream frames");
+        let restored = Session::restore(snapshot.clone()).unwrap();
+        assert_eq!(restored.now_s(), session.now_s());
+        assert_eq!(restored.phases(), session.phases());
+        assert_eq!(restored.stream_cursor(), session.stream_cursor());
+        // Snapshotting the restored session reproduces the original snapshot.
+        assert_eq!(restored.snapshot(), snapshot);
+    }
+
+    #[test]
+    fn unsupported_snapshot_versions_are_rejected_loudly() {
+        let session = session_after_phases(SchedulerKind::NoAdaptation, 1);
+        let mut snapshot = session.snapshot();
+        snapshot.version = SNAPSHOT_VERSION + 1;
+        let err = match Session::restore(snapshot) {
+            Err(err) => err,
+            Ok(_) => panic!("future-version snapshots must not restore"),
+        };
+        match &err {
+            CoreError::Snapshot { reason } => {
+                assert!(reason.contains("version"), "{reason}");
+            }
+            other => panic!("expected CoreError::Snapshot, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_snapshot_json_errors_cleanly() {
+        assert!(SessionSnapshot::from_json("not json").is_err());
+        assert!(SessionSnapshot::from_json("{\"version\": 1}").is_err());
+    }
+
+    #[test]
+    fn restoring_an_unregistered_scheduler_fails_with_a_clear_error() {
+        let session = session_after_phases(SchedulerKind::NoAdaptation, 1);
+        let mut snapshot = session.snapshot();
+        snapshot.config.scheduler = "never-registered-policy".into();
+        let err = match Session::restore(snapshot) {
+            Err(err) => err,
+            Ok(_) => panic!("unregistered schedulers must not restore"),
+        };
+        assert!(err.to_string().contains("never-registered-policy"), "{err}");
+    }
+
+    #[test]
+    fn finished_sessions_snapshot_and_restore_to_finished_sessions() {
+        let mut session = Session::new(short_config(SchedulerKind::DaCapoSpatial)).unwrap();
+        session.run_to_end().unwrap();
+        let snapshot = session.snapshot();
+        assert!(snapshot.finished);
+        let mut restored = Session::restore(snapshot).unwrap();
+        assert_eq!(restored.step().unwrap(), SessionEvent::Finished);
+        assert_eq!(restored.into_result(), session.into_result());
     }
 }

@@ -40,10 +40,10 @@
 //!   at least `threshold` (default `0.5`), the ECCO-style exploitation of
 //!   cross-camera correlation.
 
+use crate::registry::{split_params, ParamNames, Registry};
 use crate::{CoreError, Result};
-use serde::Serialize;
-use std::collections::BTreeMap;
-use std::sync::{Arc, OnceLock, RwLock};
+use serde::{Deserialize, Serialize};
+use std::sync::{Arc, OnceLock};
 
 /// Everything a [`SharePolicy`] gets to decide one import admission: one
 /// (importer, exporter) pair at one window boundary.
@@ -105,7 +105,7 @@ pub trait SharePolicyFactory: Send + Sync {
 
 /// Telemetry of one cluster run's cross-camera sharing: how much teacher
 /// labeling work the fleet avoided by reusing peers' labels.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ShareMetrics {
     /// The sharing policy name the cluster ran under (`"none"` when
     /// sharing was disabled).
@@ -269,19 +269,22 @@ impl SharePolicyFactory for CorrelatedFactory {
 // Registry
 // --------------------------------------------------------------------------
 
-type Registry = RwLock<BTreeMap<String, Arc<dyn SharePolicyFactory>>>;
-
-/// The global share registry, seeded with the builtin policies.
-fn registry() -> &'static Registry {
-    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+/// The global share registry, seeded with the builtin policies; storage and
+/// lookup rules live in [`crate::registry`].
+fn registry() -> &'static Registry<dyn SharePolicyFactory> {
+    static REGISTRY: OnceLock<Registry<dyn SharePolicyFactory>> = OnceLock::new();
     REGISTRY.get_or_init(|| {
-        let mut map: BTreeMap<String, Arc<dyn SharePolicyFactory>> = BTreeMap::new();
         let builtins: [Arc<dyn SharePolicyFactory>; 3] =
             [Arc::new(NoSharingFactory), Arc::new(BroadcastFactory), Arc::new(CorrelatedFactory)];
-        for factory in builtins {
-            map.insert(factory.name().to_lowercase(), factory);
-        }
-        RwLock::new(map)
+        Registry::new(
+            "share policy",
+            ParamNames::Split,
+            // The disabled policy is load-bearing: clusters take a
+            // sharing-free fast path for `"none"`, so replacing it could
+            // silently diverge from that guarantee.
+            &["none"],
+            builtins.into_iter().map(|f| (f.name().to_string(), f)).collect(),
+        )
     })
 }
 
@@ -291,17 +294,10 @@ fn registry() -> &'static Registry {
 /// # Panics
 ///
 /// Panics if the factory's name contains `':'` (reserved for parameter
-/// suffixes during lookup) or is `"none"` — the disabled policy is load-
-/// bearing: clusters take a sharing-free fast path for it, so replacing it
-/// could silently diverge from that guarantee.
+/// suffixes during lookup) or is `"none"` — the reserved disabled policy.
 pub fn register(factory: Arc<dyn SharePolicyFactory>) {
-    let key = factory.name().to_lowercase();
-    assert!(
-        !key.contains(':'),
-        "share policy name '{key}' must not contain ':' (reserved for parameter suffixes)"
-    );
-    assert!(key != "none", "share policy name 'none' is reserved for the builtin disabled policy");
-    registry().write().expect("share registry poisoned").insert(key, factory);
+    let name = factory.name().to_string();
+    registry().register(&name, factory);
 }
 
 /// Looks up a share-policy factory by case-insensitive name. A `:<params>`
@@ -309,14 +305,13 @@ pub fn register(factory: Arc<dyn SharePolicyFactory>) {
 /// (`by_name("correlated:0.7")` resolves the `"correlated"` factory).
 #[must_use]
 pub fn by_name(name: &str) -> Option<Arc<dyn SharePolicyFactory>> {
-    let (base, _) = split_params(name);
-    registry().read().expect("share registry poisoned").get(&base.to_lowercase()).cloned()
+    registry().by_name(name)
 }
 
 /// The base names of every registered sharing policy, sorted.
 #[must_use]
 pub fn registered_names() -> Vec<String> {
-    registry().read().expect("share registry poisoned").keys().cloned().collect()
+    registry().names()
 }
 
 /// Whether `name` selects the reserved disabled policy (`"none"`, in any
@@ -342,15 +337,6 @@ pub fn create(name: &str) -> Result<Box<dyn SharePolicy>> {
         ),
     })?;
     factory.build(params)
-}
-
-/// Splits a policy name into its registry base name and optional parameter
-/// suffix (`"correlated:0.7"` → `("correlated", Some("0.7"))`).
-fn split_params(name: &str) -> (&str, Option<&str>) {
-    match name.split_once(':') {
-        Some((base, params)) => (base, Some(params)),
-        None => (name, None),
-    }
 }
 
 #[cfg(test)]

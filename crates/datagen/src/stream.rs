@@ -220,6 +220,103 @@ impl FrameStream {
         let last = ((end_s * self.config.fps).ceil() as u64).min(self.num_frames());
         (first..last).step_by(step as usize).map(|i| self.frame_at(i)).collect()
     }
+
+    /// A resumable cursor at the start of the stream. Frames are a pure
+    /// function of the index, so a cursor is just a serialisable position —
+    /// checkpoint it, restore it later (even in another process), and the
+    /// stream resumes exactly where it left off.
+    #[must_use]
+    pub fn cursor(&self) -> StreamCursor {
+        StreamCursor { next_index: 0 }
+    }
+
+    /// A resumable cursor positioned at the first frame at or after
+    /// `start_s` (clamped to the end of the stream).
+    #[must_use]
+    pub fn cursor_at(&self, start_s: f64) -> StreamCursor {
+        let index = (start_s.max(0.0) * self.config.fps).ceil() as u64;
+        StreamCursor { next_index: index.min(self.num_frames()) }
+    }
+}
+
+/// A serialisable read position into a [`FrameStream`] — the stream's
+/// resumable cursor.
+///
+/// The cursor holds no generator state (frames are pure functions of the
+/// index), so checkpointing a stream is just checkpointing this position:
+/// iterating a restored cursor yields exactly the frames the original would
+/// have produced next.
+///
+/// # Examples
+///
+/// ```
+/// use dacapo_datagen::{FrameStream, Scenario, StreamConfig};
+///
+/// let stream = FrameStream::new(&Scenario::s1(), StreamConfig::default());
+/// let mut cursor = stream.cursor();
+/// let first = cursor.next(&stream).unwrap();
+/// assert_eq!(first.index, 0);
+/// let snapshot = cursor; // Copy: this is the whole checkpoint
+/// let mut resumed = snapshot;
+/// assert_eq!(cursor.next(&stream), resumed.next(&stream));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StreamCursor {
+    next_index: u64,
+}
+
+impl StreamCursor {
+    /// The index of the next frame this cursor will yield.
+    #[must_use]
+    pub fn position(&self) -> u64 {
+        self.next_index
+    }
+
+    /// Whether the cursor has consumed every frame of `stream`.
+    #[must_use]
+    pub fn is_exhausted(&self, stream: &FrameStream) -> bool {
+        self.next_index >= stream.num_frames()
+    }
+
+    /// Yields the next frame and advances, or `None` once the stream's end
+    /// is reached.
+    pub fn next(&mut self, stream: &FrameStream) -> Option<Frame> {
+        if self.is_exhausted(stream) {
+            return None;
+        }
+        let frame = stream.frame_at(self.next_index);
+        self.next_index += 1;
+        Some(frame)
+    }
+
+    /// Moves the cursor forward to the first frame at or after `time_s`.
+    /// Seeking backwards is a no-op: a cursor models consumption, and
+    /// consumed frames stay consumed.
+    pub fn seek_time(&mut self, stream: &FrameStream, time_s: f64) {
+        let target = stream.cursor_at(time_s);
+        self.next_index = self.next_index.max(target.next_index);
+    }
+
+    /// Consumes every `step`-th frame from the current position up to (but
+    /// excluding) `end_s`, advancing the cursor to the range's end — the
+    /// cursor-based equivalent of [`FrameStream::frames_between`] starting
+    /// at the cursor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step` is zero.
+    #[must_use]
+    pub fn frames_until(&mut self, stream: &FrameStream, end_s: f64, step: u64) -> Vec<Frame> {
+        assert!(step > 0, "step must be positive");
+        let last = ((end_s * stream.config.fps).ceil() as u64).min(stream.num_frames());
+        if last <= self.next_index {
+            return Vec::new();
+        }
+        let frames = (self.next_index..last).step_by(step as usize).map(|i| stream.frame_at(i));
+        let collected = frames.collect();
+        self.next_index = last;
+        collected
+    }
 }
 
 #[cfg(test)]
@@ -335,5 +432,70 @@ mod tests {
     #[should_panic(expected = "step must be positive")]
     fn zero_step_panics() {
         let _ = stream().frames_between(0.0, 1.0, 0);
+    }
+
+    #[test]
+    fn cursor_iteration_matches_direct_indexing() {
+        let s = stream();
+        let mut cursor = s.cursor();
+        for i in 0..100 {
+            assert_eq!(cursor.next(&s).unwrap(), s.frame_at(i));
+        }
+        assert_eq!(cursor.position(), 100);
+    }
+
+    #[test]
+    fn cursor_exhausts_at_stream_end() {
+        let short = Scenario::from_segments(
+            "tiny",
+            vec![crate::Segment { attributes: SegmentAttributes::default(), duration_s: 1.0 }],
+        );
+        let s = FrameStream::new(&short, StreamConfig::default());
+        let mut cursor = s.cursor();
+        let mut count = 0;
+        while cursor.next(&s).is_some() {
+            count += 1;
+        }
+        assert_eq!(count, 30);
+        assert!(cursor.is_exhausted(&s));
+        assert_eq!(cursor.next(&s), None, "exhausted cursors stay exhausted");
+    }
+
+    #[test]
+    fn restored_cursor_resumes_the_exact_frame_sequence() {
+        use serde::{Deserialize as _, Serialize as _};
+        let s = stream();
+        let mut cursor = s.cursor();
+        for _ in 0..777 {
+            let _ = cursor.next(&s);
+        }
+        let mut restored = StreamCursor::from_value(&cursor.to_value()).expect("round-trips");
+        assert_eq!(restored, cursor);
+        for _ in 0..100 {
+            assert_eq!(restored.next(&s), cursor.next(&s));
+        }
+    }
+
+    #[test]
+    fn cursor_seek_is_forward_only_and_frames_until_matches_frames_between() {
+        let s = stream();
+        let mut cursor = s.cursor();
+        cursor.seek_time(&s, 10.0);
+        assert_eq!(cursor.position(), 300);
+        cursor.seek_time(&s, 5.0);
+        assert_eq!(cursor.position(), 300, "backward seeks are no-ops");
+
+        let direct = s.frames_between(10.0, 20.0, 7);
+        let via_cursor = cursor.frames_until(&s, 20.0, 7);
+        assert_eq!(via_cursor, direct);
+        assert_eq!(cursor.position(), 600, "frames_until consumes the whole range");
+        assert!(cursor.frames_until(&s, 15.0, 1).is_empty(), "past ranges yield nothing");
+
+        // Clamped at the end of the stream.
+        let mut tail = s.cursor_at(1199.9);
+        let last = tail.frames_until(&s, 5000.0, 1);
+        assert_eq!(last.len(), 3);
+        assert!(tail.is_exhausted(&s));
+        assert_eq!(s.cursor_at(99_999.0).position(), s.num_frames());
     }
 }

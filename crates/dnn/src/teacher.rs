@@ -2,7 +2,7 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use serde::{DeError, Deserialize, Serialize, Value};
 
 /// A stand-in for the large teacher DNN (WideResNet / ViT-B/16 in the paper).
 ///
@@ -22,28 +22,42 @@ use serde::{Deserialize, Serialize};
 /// let label = teacher.label(3, 0.0);
 /// assert!(label < 10);
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TeacherOracle {
     num_classes: usize,
     base_accuracy: f64,
     rng: StdRngState,
 }
 
-/// Serialisable wrapper holding the RNG seed and a live generator.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+/// Serialisable wrapper around a live generator: the original seed, the
+/// number of labeling draws served (diagnostics), and the generator's raw
+/// state, so a deserialised teacher resumes the exact label stream —
+/// snapshot / restore of a mid-run session depends on this.
+#[derive(Debug, Clone, PartialEq)]
 struct StdRngState {
     seed: u64,
     draws: u64,
-    #[serde(skip, default = "default_rng")]
     rng: StdRng,
 }
 
-// Referenced by the `#[serde(default = "default_rng")]` field attribute,
-// which only the real serde crate's deserialiser calls (the in-repo shim
-// never deserialises).
-#[allow(dead_code)]
-fn default_rng() -> StdRng {
-    StdRng::seed_from_u64(0)
+impl Serialize for StdRngState {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("seed".to_string(), self.seed.to_value()),
+            ("draws".to_string(), self.draws.to_value()),
+            ("state".to_string(), self.rng.state().to_value()),
+        ])
+    }
+}
+
+impl Deserialize for StdRngState {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        Ok(Self {
+            seed: serde::de::field(value, "StdRngState", "seed")?,
+            draws: serde::de::field(value, "StdRngState", "draws")?,
+            rng: StdRng::from_state(serde::de::field(value, "StdRngState", "state")?),
+        })
+    }
 }
 
 impl TeacherOracle {
@@ -174,5 +188,19 @@ mod tests {
     fn single_class_teacher_is_trivially_correct() {
         let mut teacher = TeacherOracle::new(1, 0.0, 8);
         assert_eq!(teacher.label(0, 0.9), 0);
+    }
+
+    #[test]
+    fn serde_round_trip_resumes_the_exact_label_stream() {
+        let mut teacher = TeacherOracle::new(10, 0.7, 9);
+        for i in 0..137 {
+            let _ = teacher.label(i % 10, 0.1);
+        }
+        let mut restored = TeacherOracle::from_value(&teacher.to_value()).expect("round-trips");
+        assert_eq!(restored, teacher);
+        // The restored oracle continues the original's exact draw sequence.
+        let expected: Vec<usize> = (0..200).map(|i| teacher.label(i % 10, 0.05)).collect();
+        let resumed: Vec<usize> = (0..200).map(|i| restored.label(i % 10, 0.05)).collect();
+        assert_eq!(resumed, expected);
     }
 }

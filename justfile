@@ -38,6 +38,18 @@ cross-camera:
     cargo run --release --example cross_camera
     cargo run --release -p dacapo-bench --bin cross_camera -- --quick
 
+# Checkpoint/restore + elastic membership demo (stateful custom scheduler
+# snapshotted by name) plus the churn sweep; leaves results/BENCH_churn.json
+# behind.
+churn:
+    cargo run --release --example checkpoint_resume
+    cargo run --release -p dacapo-bench --bin elastic_churn -- --quick
+
+# The CI smoke tier: every experiment at its smallest meaningful size, so
+# results/*.json is fully populated in well under a minute.
+bench-smoke:
+    cargo run --release -p dacapo-bench --bin run_all -- --smoke
+
 # Regenerate every figure/table quickly.
 figures:
     cargo run --release -p dacapo-bench --bin run_all -- --quick

@@ -128,6 +128,24 @@ pub mod rngs {
         state: u64,
     }
 
+    impl StdRng {
+        /// The generator's raw 64-bit state. Together with
+        /// [`StdRng::from_state`] this lets snapshotting code capture and
+        /// restore a generator exactly; a shim-only extension (the real
+        /// crate's `StdRng` serialises through serde instead).
+        #[must_use]
+        pub fn state(&self) -> u64 {
+            self.state
+        }
+
+        /// Rebuilds a generator from [`StdRng::state`]'s raw state, resuming
+        /// the exact output stream.
+        #[must_use]
+        pub fn from_state(state: u64) -> Self {
+            Self { state }
+        }
+    }
+
     impl SeedableRng for StdRng {
         fn seed_from_u64(seed: u64) -> Self {
             // Mix the seed once so nearby seeds diverge immediately.

@@ -3,13 +3,18 @@
 //! The build container has no crates.io access, so this shim provides exactly
 //! the surface the workspace uses: `#[derive(Serialize, Deserialize)]`, a
 //! [`Serialize`] trait rendering into a JSON-like [`Value`] tree (consumed by
-//! the `serde_json` shim), and a marker [`Deserialize`] trait. The derive
-//! macros honour `#[serde(skip, ...)]` field attributes by omitting the field.
+//! the `serde_json` shim), and a [`Deserialize`] trait reconstructing values
+//! from that tree (so snapshots and logged results can be read back). The
+//! derive macros honour `#[serde(skip, ...)]` field attributes by omitting
+//! the field on serialisation and filling it from `Default::default()` on
+//! deserialisation.
 //!
 //! It is intentionally *not* API-complete; swap the workspace path dependency
 //! for the real crate when building with network access.
 
 #![forbid(unsafe_code)]
+
+use std::fmt;
 
 pub use serde_derive::{Deserialize, Serialize};
 
@@ -34,17 +39,111 @@ pub enum Value {
     Object(Vec<(String, Value)>),
 }
 
+impl Value {
+    /// The object entries, if this value is an object.
+    #[must_use]
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// The array items, if this value is an array.
+    #[must_use]
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The string contents, if this value is a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Looks up an object field by key (first match, insertion order).
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object()?.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// A short human-readable description of the value's shape, for errors.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "a boolean",
+            Value::Int(_) | Value::UInt(_) => "an integer",
+            Value::Float(_) => "a number",
+            Value::Str(_) => "a string",
+            Value::Array(_) => "an array",
+            Value::Object(_) => "an object",
+        }
+    }
+}
+
 /// Types that can render themselves into a [`Value`] tree.
 pub trait Serialize {
     /// Converts `self` into the shim's JSON-like data model.
     fn to_value(&self) -> Value;
 }
 
-/// Marker trait emitted by `#[derive(Deserialize)]`.
-///
-/// Nothing in the workspace deserialises data, so this carries no methods;
-/// deriving it keeps source compatibility with the real serde.
-pub trait Deserialize {}
+/// Deserialisation error: what was expected and what was found.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError {
+    message: String,
+}
+
+impl DeError {
+    /// Creates an error with the given message.
+    #[must_use]
+    pub fn new(message: impl Into<String>) -> Self {
+        Self { message: message.into() }
+    }
+
+    /// The standard "expected X, found Y" error shape.
+    #[must_use]
+    pub fn expected(what: &str, found: &Value) -> Self {
+        Self::new(format!("expected {what}, found {}", found.kind()))
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types that can reconstruct themselves from a [`Value`] tree — the inverse
+/// of [`Serialize`], emitted by `#[derive(Deserialize)]`.
+pub trait Deserialize: Sized {
+    /// Reconstructs a value from the shim's JSON-like data model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeError`] when the tree does not match the expected shape.
+    fn from_value(value: &Value) -> Result<Self, DeError>;
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        Ok(value.clone())
+    }
+}
 
 macro_rules! impl_int {
     ($($t:ty),*) => {$(
@@ -53,7 +152,21 @@ macro_rules! impl_int {
                 Value::Int(i64::try_from(*self).unwrap_or(i64::MAX))
             }
         }
-        impl Deserialize for $t {}
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                let out = match value {
+                    Value::Int(i) => <$t>::try_from(*i).ok(),
+                    Value::UInt(u) => <$t>::try_from(*u).ok(),
+                    _ => return Err(DeError::expected("an integer", value)),
+                };
+                out.ok_or_else(|| {
+                    DeError::new(format!(
+                        "integer {value:?} out of range for {}",
+                        stringify!($t)
+                    ))
+                })
+            }
+        }
     )*};
 }
 
@@ -64,40 +177,90 @@ macro_rules! impl_uint {
                 Value::UInt(u64::try_from(*self).unwrap_or(u64::MAX))
             }
         }
-        impl Deserialize for $t {}
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                let out = match value {
+                    Value::UInt(u) => <$t>::try_from(*u).ok(),
+                    Value::Int(i) => u64::try_from(*i).ok().and_then(|u| <$t>::try_from(u).ok()),
+                    _ => return Err(DeError::expected("an unsigned integer", value)),
+                };
+                out.ok_or_else(|| {
+                    DeError::new(format!(
+                        "integer {value:?} out of range for {}",
+                        stringify!($t)
+                    ))
+                })
+            }
+        }
     )*};
 }
 
 impl_int!(i8, i16, i32, i64, isize);
 impl_uint!(u8, u16, u32, u64, usize);
 
+/// Reads any numeric [`Value`] as `f64`. `Null` reads as NaN, because the
+/// serialisation side renders non-finite floats as `null` — this keeps
+/// NaN-bearing float fields round-trippable (modulo the NaN payload).
+fn value_to_f64(value: &Value) -> Result<f64, DeError> {
+    match value {
+        Value::Float(f) => Ok(*f),
+        Value::Int(i) => Ok(*i as f64),
+        Value::UInt(u) => Ok(*u as f64),
+        Value::Null => Ok(f64::NAN),
+        _ => Err(DeError::expected("a number", value)),
+    }
+}
+
 impl Serialize for f32 {
     fn to_value(&self) -> Value {
         Value::Float(f64::from(*self))
     }
 }
-impl Deserialize for f32 {}
+impl Deserialize for f32 {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        // f32 -> f64 widening is exact, so the narrowing round trip is too.
+        value_to_f64(value).map(|f| f as f32)
+    }
+}
 
 impl Serialize for f64 {
     fn to_value(&self) -> Value {
         Value::Float(*self)
     }
 }
-impl Deserialize for f64 {}
+impl Deserialize for f64 {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        value_to_f64(value)
+    }
+}
 
 impl Serialize for bool {
     fn to_value(&self) -> Value {
         Value::Bool(*self)
     }
 }
-impl Deserialize for bool {}
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(DeError::expected("a boolean", value)),
+        }
+    }
+}
 
 impl Serialize for String {
     fn to_value(&self) -> Value {
         Value::Str(self.clone())
     }
 }
-impl Deserialize for String {}
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Str(s) => Ok(s.clone()),
+            _ => Err(DeError::expected("a string", value)),
+        }
+    }
+}
 
 impl Serialize for str {
     fn to_value(&self) -> Value {
@@ -110,11 +273,31 @@ impl Serialize for char {
         Value::Str(self.to_string())
     }
 }
-impl Deserialize for char {}
+impl Deserialize for char {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let s = value.as_str().ok_or_else(|| DeError::expected("a one-character string", value))?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(DeError::new(format!("expected a one-character string, found {s:?}"))),
+        }
+    }
+}
 
 impl<T: Serialize + ?Sized> Serialize for &T {
     fn to_value(&self) -> Value {
         (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        T::from_value(value).map(Box::new)
     }
 }
 
@@ -126,21 +309,44 @@ impl<T: Serialize> Serialize for Option<T> {
         }
     }
 }
-impl<T: Deserialize> Deserialize for Option<T> {}
+impl<T: Deserialize> Deserialize for Option<T> {
+    /// `Null` reads as `None`. Caveat (shared with the real serde_json,
+    /// which cannot represent non-finite floats either): `Some(NaN)` in an
+    /// `Option<f64>` serialises to JSON `null` and therefore reads back as
+    /// `None` after a *text* round trip — the in-memory [`Value`] round
+    /// trip is lossless. Keep non-finite floats out of optional fields that
+    /// must survive JSON text.
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
 
 impl<T: Serialize> Serialize for Vec<T> {
     fn to_value(&self) -> Value {
         Value::Array(self.iter().map(Serialize::to_value).collect())
     }
 }
-impl<T: Deserialize> Deserialize for Vec<T> {}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let items = value.as_array().ok_or_else(|| DeError::expected("an array", value))?;
+        items.iter().map(T::from_value).collect()
+    }
+}
 
 impl<T: Serialize> Serialize for std::collections::VecDeque<T> {
     fn to_value(&self) -> Value {
         Value::Array(self.iter().map(Serialize::to_value).collect())
     }
 }
-impl<T: Deserialize> Deserialize for std::collections::VecDeque<T> {}
+impl<T: Deserialize> Deserialize for std::collections::VecDeque<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let items = value.as_array().ok_or_else(|| DeError::expected("an array", value))?;
+        items.iter().map(T::from_value).collect()
+    }
+}
 
 impl<T: Serialize> Serialize for [T] {
     fn to_value(&self) -> Value {
@@ -154,6 +360,20 @@ impl<T: Serialize, const N: usize> Serialize for [T; N] {
     }
 }
 
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let items = value.as_array().ok_or_else(|| DeError::expected("an array", value))?;
+        if items.len() != N {
+            return Err(DeError::new(format!(
+                "expected an array of {N} elements, found {}",
+                items.len()
+            )));
+        }
+        let parsed: Vec<T> = items.iter().map(T::from_value).collect::<Result<_, _>>()?;
+        parsed.try_into().map_err(|_| DeError::new("array length changed during deserialisation"))
+    }
+}
+
 macro_rules! impl_tuple {
     ($(($($name:ident : $idx:tt),+))*) => {$(
         impl<$($name: Serialize),+> Serialize for ($($name,)+) {
@@ -161,7 +381,20 @@ macro_rules! impl_tuple {
                 Value::Array(vec![$(self.$idx.to_value()),+])
             }
         }
-        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {}
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                let items = value.as_array()
+                    .ok_or_else(|| DeError::expected("a tuple array", value))?;
+                let want = [$($idx),+].len();
+                if items.len() != want {
+                    return Err(DeError::new(format!(
+                        "expected a tuple of {want} elements, found {}",
+                        items.len()
+                    )));
+                }
+                Ok(($($name::from_value(&items[$idx])?,)+))
+            }
+        }
     )*};
 }
 
@@ -171,6 +404,133 @@ impl_tuple! {
     (A: 0, B: 1, C: 2)
     (A: 0, B: 1, C: 2, D: 3)
     (A: 0, B: 1, C: 2, D: 3, E: 4)
+}
+
+/// Support functions called by `#[derive(Deserialize)]`-generated code. Not
+/// part of the shim's public contract beyond that use.
+pub mod de {
+    use super::{DeError, Deserialize, Value};
+
+    /// Deserialises the named field of a struct-shaped object.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeError`] when `value` is not an object, the field is
+    /// missing, or the field fails to deserialise.
+    pub fn field<T: Deserialize>(value: &Value, ty: &str, name: &str) -> Result<T, DeError> {
+        let entries =
+            value.as_object().ok_or_else(|| DeError::expected(&format!("{ty} object"), value))?;
+        let field = entries
+            .iter()
+            .find(|(key, _)| key == name)
+            .map(|(_, v)| v)
+            .ok_or_else(|| DeError::new(format!("{ty}: missing field '{name}'")))?;
+        T::from_value(field).map_err(|e| DeError::new(format!("{ty}.{name}: {e}")))
+    }
+
+    /// Checks that `value` is an array of exactly `len` elements (a tuple
+    /// struct or tuple variant payload).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeError`] when `value` is not an array of that length.
+    pub fn tuple_len(value: &Value, ty: &str, len: usize) -> Result<(), DeError> {
+        let items =
+            value.as_array().ok_or_else(|| DeError::expected(&format!("{ty} array"), value))?;
+        if items.len() == len {
+            Ok(())
+        } else {
+            Err(DeError::new(format!("{ty}: expected {len} elements, found {}", items.len())))
+        }
+    }
+
+    /// Deserialises one element of a length-checked tuple payload (call
+    /// [`tuple_len`] first).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeError`] when the element fails to deserialise.
+    pub fn element<T: Deserialize>(value: &Value, ty: &str, index: usize) -> Result<T, DeError> {
+        let items =
+            value.as_array().ok_or_else(|| DeError::expected(&format!("{ty} array"), value))?;
+        let element = items
+            .get(index)
+            .ok_or_else(|| DeError::new(format!("{ty}: missing element {index}")))?;
+        T::from_value(element).map_err(|e| DeError::new(format!("{ty}[{index}]: {e}")))
+    }
+
+    /// Checks a unit struct's encoding (its name as a string).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeError`] when `value` is not the struct's name.
+    pub fn unit_struct(value: &Value, ty: &str) -> Result<(), DeError> {
+        match value.as_str() {
+            Some(s) if s == ty => Ok(()),
+            _ => Err(DeError::expected(&format!("unit struct string \"{ty}\""), value)),
+        }
+    }
+
+    /// Splits an enum encoding into `(variant name, optional payload)` —
+    /// `Str(name)` for unit variants, a single-entry object for the rest.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeError`] for any other shape.
+    pub fn variant<'a>(
+        value: &'a Value,
+        ty: &str,
+    ) -> Result<(&'a str, Option<&'a Value>), DeError> {
+        match value {
+            Value::Str(name) => Ok((name, None)),
+            Value::Object(entries) if entries.len() == 1 => {
+                Ok((&entries[0].0, Some(&entries[0].1)))
+            }
+            other => Err(DeError::expected(&format!("{ty} variant"), other)),
+        }
+    }
+
+    /// Unwraps the payload of a data-carrying variant.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeError`] when the variant was encoded without a payload.
+    pub fn payload<'a>(
+        payload: Option<&'a Value>,
+        ty: &str,
+        variant: &str,
+    ) -> Result<&'a Value, DeError> {
+        payload.ok_or_else(|| DeError::new(format!("{ty}::{variant}: missing variant payload")))
+    }
+
+    /// Checks that a unit variant was encoded without a payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeError`] when a payload is present.
+    pub fn no_payload(payload: Option<&Value>, ty: &str, variant: &str) -> Result<(), DeError> {
+        match payload {
+            None => Ok(()),
+            Some(_) => {
+                Err(DeError::new(format!("{ty}::{variant}: unexpected payload on unit variant")))
+            }
+        }
+    }
+
+    /// Deserialises a newtype (single-field tuple) variant payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeError`] when the payload fails to deserialise.
+    pub fn newtype<T: Deserialize>(payload: &Value, ty: &str, variant: &str) -> Result<T, DeError> {
+        T::from_value(payload).map_err(|e| DeError::new(format!("{ty}::{variant}: {e}")))
+    }
+
+    /// The error for a variant name no arm matched.
+    #[must_use]
+    pub fn unknown_variant(ty: &str, variant: &str) -> DeError {
+        DeError::new(format!("{ty}: unknown variant '{variant}'"))
+    }
 }
 
 #[cfg(test)]
@@ -202,5 +562,57 @@ mod tests {
         deque.push_back(3u8);
         deque.push_front(1u8);
         assert_eq!(deque.to_value(), vec![1u8, 2, 3].to_value());
+    }
+
+    #[test]
+    fn primitives_round_trip_through_from_value() {
+        assert_eq!(u64::from_value(&7u64.to_value()).unwrap(), 7);
+        assert_eq!(i32::from_value(&(-5i32).to_value()).unwrap(), -5);
+        assert_eq!(usize::from_value(&Value::Int(9)).unwrap(), 9, "signed-encoded unsigned reads");
+        assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
+        assert_eq!(f32::from_value(&0.1f32.to_value()).unwrap(), 0.1f32);
+        assert!(bool::from_value(&Value::Bool(true)).unwrap());
+        assert_eq!(String::from_value(&Value::Str("x".into())).unwrap(), "x");
+        assert_eq!(char::from_value(&'q'.to_value()).unwrap(), 'q');
+    }
+
+    #[test]
+    fn mismatched_shapes_error_instead_of_panicking() {
+        assert!(u8::from_value(&Value::Int(300)).is_err(), "out of range");
+        assert!(u64::from_value(&Value::Int(-1)).is_err(), "negative unsigned");
+        assert!(bool::from_value(&Value::Int(1)).is_err());
+        assert!(String::from_value(&Value::Null).is_err());
+        assert!(char::from_value(&Value::Str("ab".into())).is_err());
+        assert!(Vec::<u8>::from_value(&Value::Str("not an array".into())).is_err());
+        assert!(<(f64, f64)>::from_value(&Value::Array(vec![Value::Float(1.0)])).is_err());
+    }
+
+    #[test]
+    fn options_and_containers_round_trip() {
+        let v: Option<u32> = Some(4);
+        assert_eq!(Option::<u32>::from_value(&v.to_value()).unwrap(), v);
+        assert_eq!(Option::<u32>::from_value(&Value::Null).unwrap(), None);
+        let xs = vec![(1.0f64, 2.0f64), (3.0, 4.0)];
+        assert_eq!(Vec::<(f64, f64)>::from_value(&xs.to_value()).unwrap(), xs);
+        let mut deque = std::collections::VecDeque::new();
+        deque.push_back(1u8);
+        deque.push_back(2u8);
+        assert_eq!(std::collections::VecDeque::<u8>::from_value(&deque.to_value()).unwrap(), deque);
+    }
+
+    #[test]
+    fn non_finite_floats_round_trip_via_null() {
+        // The JSON writer renders non-finite floats as null, so Null reads
+        // back as NaN rather than failing the whole tree.
+        assert!(f64::from_value(&Value::Null).unwrap().is_nan());
+    }
+
+    #[test]
+    fn value_passes_through_identically() {
+        let v = Value::Object(vec![("k".into(), Value::Array(vec![Value::Int(1)]))]);
+        assert_eq!(v.to_value(), v);
+        assert_eq!(Value::from_value(&v).unwrap(), v);
+        assert_eq!(v.get("k"), Some(&Value::Array(vec![Value::Int(1)])));
+        assert_eq!(v.get("missing"), None);
     }
 }

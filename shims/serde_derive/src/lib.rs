@@ -4,7 +4,8 @@
 //! container has no `syn`/`quote`), supporting the shapes the workspace uses:
 //! non-generic structs with named or tuple fields, and enums with unit, tuple,
 //! and struct variants. Fields carrying a `#[serde(..skip..)]` attribute are
-//! omitted from serialisation.
+//! omitted from serialisation and filled from `Default::default()` on
+//! deserialisation.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
@@ -18,14 +19,13 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
     }
 }
 
-/// Derives the marker trait `serde::Deserialize` (nothing in the workspace
-/// deserialises, so the impl is empty).
+/// Derives `serde::Deserialize` by reconstructing the item from the shim's
+/// JSON-like `serde::Value` tree (the exact inverse of the `Serialize`
+/// derive's encoding).
 #[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     match parse_item(input) {
-        Ok(item) => format!("impl ::serde::Deserialize for {} {{}}", item.name)
-            .parse()
-            .expect("generated impl parses"),
+        Ok(item) => emit_deserialize(&item).parse().expect("generated impl parses"),
         Err(msg) => error(&msg),
     }
 }
@@ -275,6 +275,103 @@ fn emit_serialize(item: &Item) -> String {
     format!(
         "impl ::serde::Serialize for {name} {{\n    fn to_value(&self) -> ::serde::Value {{ {body} }}\n}}"
     )
+}
+
+fn emit_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        ItemBody::NamedStruct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    if f.skip {
+                        format!("{}: ::std::default::Default::default()", f.name)
+                    } else {
+                        format!("{}: ::serde::de::field(value, {:?}, {:?})?", f.name, name, f.name)
+                    }
+                })
+                .collect();
+            let uses_value = fields.iter().any(|f| !f.skip);
+            let silence = if uses_value { "" } else { "let _ = value; " };
+            format!("{silence}Ok({name} {{ {} }})", entries.join(", "))
+        }
+        ItemBody::TupleStruct(count) => {
+            let elements: Vec<String> = (0..*count)
+                .map(|i| format!("::serde::de::element(value, {name:?}, {i})?"))
+                .collect();
+            format!(
+                "::serde::de::tuple_len(value, {name:?}, {count})?; Ok({name}({}))",
+                elements.join(", ")
+            )
+        }
+        ItemBody::UnitStruct => {
+            format!("::serde::de::unit_struct(value, {name:?})?; Ok({name})")
+        }
+        ItemBody::Enum(variants) => {
+            let arms: Vec<String> =
+                variants.iter().map(|v| emit_variant_from_arm(name, v)).collect();
+            format!(
+                "let (variant, payload) = ::serde::de::variant(value, {name:?})?;\n        \
+                 match variant {{ {} other => \
+                 Err(::serde::de::unknown_variant({name:?}, other)), }}",
+                arms.join(" ")
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n    fn from_value(value: &::serde::Value) -> \
+         ::std::result::Result<Self, ::serde::DeError> {{ {body} }}\n}}"
+    )
+}
+
+fn emit_variant_from_arm(enum_name: &str, variant: &Variant) -> String {
+    let v = &variant.name;
+    match &variant.shape {
+        VariantShape::Unit => {
+            format!(
+                "{v:?} => {{ ::serde::de::no_payload(payload, {enum_name:?}, {v:?})?; \
+                 Ok({enum_name}::{v}) }}"
+            )
+        }
+        VariantShape::Tuple(count) if *count == 1 => {
+            format!(
+                "{v:?} => {{ let payload = ::serde::de::payload(payload, {enum_name:?}, {v:?})?; \
+                 Ok({enum_name}::{v}(::serde::de::newtype(payload, {enum_name:?}, {v:?})?)) }}"
+            )
+        }
+        VariantShape::Tuple(count) => {
+            let ty = format!("{enum_name}::{v}");
+            let elements: Vec<String> = (0..*count)
+                .map(|i| format!("::serde::de::element(payload, {ty:?}, {i})?"))
+                .collect();
+            format!(
+                "{v:?} => {{ let payload = ::serde::de::payload(payload, {enum_name:?}, {v:?})?; \
+                 ::serde::de::tuple_len(payload, {ty:?}, {count})?; \
+                 Ok({enum_name}::{v}({})) }}",
+                elements.join(", ")
+            )
+        }
+        VariantShape::Struct(fields) => {
+            let ty = format!("{enum_name}::{v}");
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    if f.skip {
+                        format!("{}: ::std::default::Default::default()", f.name)
+                    } else {
+                        format!("{}: ::serde::de::field(payload, {:?}, {:?})?", f.name, ty, f.name)
+                    }
+                })
+                .collect();
+            let uses_payload = fields.iter().any(|f| !f.skip);
+            let silence = if uses_payload { "" } else { "let _ = payload; " };
+            format!(
+                "{v:?} => {{ let payload = ::serde::de::payload(payload, {enum_name:?}, {v:?})?; \
+                 {silence}Ok({enum_name}::{v} {{ {} }}) }}",
+                entries.join(", ")
+            )
+        }
+    }
 }
 
 fn emit_variant_arm(enum_name: &str, variant: &Variant) -> String {

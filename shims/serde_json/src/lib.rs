@@ -1,16 +1,16 @@
 //! Minimal in-repo stand-in for `serde_json`.
 //!
-//! Renders the `serde` shim's [`serde::Value`] tree as JSON text. Only the
-//! serialisation half the workspace uses is provided (`to_string`,
-//! `to_string_pretty`).
+//! Renders the `serde` shim's [`serde::Value`] tree as JSON text
+//! (`to_string`, `to_string_pretty`) and parses JSON text back into values
+//! ([`from_str`], [`value_from_str`]) so snapshots and logged results can be
+//! read back.
 
 #![forbid(unsafe_code)]
 
-use serde::{Serialize, Value};
+use serde::{Deserialize, Serialize, Value};
 use std::fmt;
 
-/// Serialisation error (the shim's value model is infallible, so this only
-/// exists for API compatibility).
+/// Serialisation / parse error.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Error(String);
 
@@ -21,6 +21,231 @@ impl fmt::Display for Error {
 }
 
 impl std::error::Error for Error {}
+
+/// Deserialises a value from JSON text.
+///
+/// # Errors
+///
+/// Returns [`Error`] on malformed JSON or when the parsed tree does not
+/// match `T`'s expected shape.
+pub fn from_str<T: Deserialize>(text: &str) -> Result<T, Error> {
+    let value = value_from_str(text)?;
+    T::from_value(&value).map_err(|e| Error(e.to_string()))
+}
+
+/// Parses JSON text into the `serde` shim's [`Value`] tree.
+///
+/// Numbers without a fraction or exponent parse as `Int` when negative and
+/// `UInt` otherwise (falling back to `Float` when they overflow 64 bits);
+/// `null` parses as [`Value::Null`], which numeric targets read back as NaN —
+/// mirroring the writer, which renders non-finite floats as `null`.
+///
+/// # Errors
+///
+/// Returns [`Error`] describing the first malformed construct.
+pub fn value_from_str(text: &str) -> Result<Value, Error> {
+    let bytes = text.as_bytes();
+    let mut parser = Parser { text, bytes, pos: 0 };
+    parser.skip_whitespace();
+    let value = parser.parse_value(0)?;
+    parser.skip_whitespace();
+    if parser.pos != bytes.len() {
+        return Err(parser.error("trailing characters after the JSON document"));
+    }
+    Ok(value)
+}
+
+/// Maximum nesting depth accepted by the parser, guarding the recursive
+/// descent against stack exhaustion on adversarial input.
+const MAX_DEPTH: usize = 128;
+
+struct Parser<'a> {
+    text: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn error(&self, message: &str) -> Error {
+        Error(format!("{message} (at byte {})", self.pos))
+    }
+
+    fn skip_whitespace(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), Error> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected '{}'", byte as char)))
+        }
+    }
+
+    fn eat_literal(&mut self, literal: &str) -> bool {
+        if self.text[self.pos..].starts_with(literal) {
+            self.pos += literal.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_value(&mut self, depth: usize) -> Result<Value, Error> {
+        if depth > MAX_DEPTH {
+            return Err(self.error("JSON nesting too deep"));
+        }
+        match self.peek() {
+            Some(b'n') if self.eat_literal("null") => Ok(Value::Null),
+            Some(b't') if self.eat_literal("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.eat_literal("false") => Ok(Value::Bool(false)),
+            Some(b'"') => self.parse_string().map(Value::Str),
+            Some(b'[') => self.parse_array(depth),
+            Some(b'{') => self.parse_object(depth),
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            _ => Err(self.error("expected a JSON value")),
+        }
+    }
+
+    fn parse_array(&mut self, depth: usize) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_whitespace();
+            items.push(self.parse_value(depth + 1)?);
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.error("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn parse_object(&mut self, depth: usize) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(entries));
+        }
+        loop {
+            self.skip_whitespace();
+            let key = self.parse_string()?;
+            self.skip_whitespace();
+            self.expect(b':')?;
+            self.skip_whitespace();
+            let value = self.parse_value(depth + 1)?;
+            entries.push((key, value));
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(entries));
+                }
+                _ => return Err(self.error("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let rest = &self.text[self.pos..];
+            let mut chars = rest.char_indices();
+            let (_, c) = chars.next().ok_or_else(|| self.error("unterminated string"))?;
+            self.pos += c.len_utf8();
+            match c {
+                '"' => return Ok(out),
+                '\\' => {
+                    let (_, escape) = self.text[self.pos..]
+                        .char_indices()
+                        .next()
+                        .ok_or_else(|| self.error("unterminated escape sequence"))?;
+                    self.pos += escape.len_utf8();
+                    match escape {
+                        '"' => out.push('"'),
+                        '\\' => out.push('\\'),
+                        '/' => out.push('/'),
+                        'n' => out.push('\n'),
+                        'r' => out.push('\r'),
+                        't' => out.push('\t'),
+                        'b' => out.push('\u{8}'),
+                        'f' => out.push('\u{c}'),
+                        'u' => {
+                            let hex = self
+                                .text
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| self.error("truncated \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.error("malformed \\u escape"))?;
+                            self.pos += 4;
+                            // Surrogate pairs are not produced by the writer;
+                            // map lone surrogates to the replacement char.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        other => {
+                            return Err(self.error(&format!("unknown escape '\\{other}'")));
+                        }
+                    }
+                }
+                c => out.push(c),
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut fractional = false;
+        while let Some(byte) = self.peek() {
+            match byte {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    fractional = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let literal = &self.text[start..self.pos];
+        if !fractional {
+            if let Some(rest) = literal.strip_prefix('-') {
+                if rest.parse::<u64>().is_ok() {
+                    if let Ok(i) = literal.parse::<i64>() {
+                        return Ok(Value::Int(i));
+                    }
+                }
+            } else if let Ok(u) = literal.parse::<u64>() {
+                return Ok(Value::UInt(u));
+            }
+        }
+        literal
+            .parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| Error(format!("malformed number '{literal}' (at byte {start})")))
+    }
+}
 
 /// Serialises a value as compact JSON.
 ///
@@ -164,5 +389,54 @@ mod tests {
     #[test]
     fn non_finite_floats_become_null() {
         assert_eq!(to_string(&f64::NAN).unwrap(), "null");
+    }
+
+    #[test]
+    fn parser_round_trips_writer_output() {
+        let value = Value::Object(vec![
+            ("name".to_string(), Value::Str("cam \"7\"\n".to_string())),
+            ("count".to_string(), Value::UInt(3)),
+            ("offset".to_string(), Value::Int(-12)),
+            ("ratio".to_string(), Value::Float(0.1)),
+            ("whole".to_string(), Value::Float(2.0)),
+            ("flag".to_string(), Value::Bool(true)),
+            ("nothing".to_string(), Value::Null),
+            ("nested".to_string(), Value::Array(vec![Value::Array(vec![]), Value::Object(vec![])])),
+        ]);
+        for text in [to_string(&value).unwrap(), to_string_pretty(&value).unwrap()] {
+            let reparsed = value_from_str(&text).unwrap();
+            // Whole floats come back as "2.0" → Float, exact.
+            assert_eq!(reparsed, value, "{text}");
+        }
+    }
+
+    #[test]
+    fn typed_from_str_round_trips() {
+        let xs = vec![(1.5f64, -2.0f64), (0.25, 1e300)];
+        let text = to_string(&xs).unwrap();
+        let back: Vec<(f64, f64)> = from_str(&text).unwrap();
+        assert_eq!(back, xs);
+        let n: u64 = from_str("18446744073709551615").unwrap();
+        assert_eq!(n, u64::MAX);
+        let f: f64 = from_str("null").unwrap();
+        assert!(f.is_nan(), "null reads back as NaN for float targets");
+    }
+
+    #[test]
+    fn malformed_documents_error_cleanly() {
+        assert!(value_from_str("").is_err());
+        assert!(value_from_str("[1,").is_err());
+        assert!(value_from_str("{\"a\" 1}").is_err());
+        assert!(value_from_str("[1] trailing").is_err());
+        assert!(value_from_str("\"unterminated").is_err());
+        assert!(value_from_str("nully").is_err());
+        assert!(value_from_str("1.2.3").is_err());
+        let deep = "[".repeat(500) + &"]".repeat(500);
+        assert!(value_from_str(&deep).is_err(), "depth-capped");
+    }
+
+    #[test]
+    fn unicode_escapes_parse() {
+        assert_eq!(value_from_str("\"\\u0041\\t\"").unwrap(), Value::Str("A\t".to_string()));
     }
 }
