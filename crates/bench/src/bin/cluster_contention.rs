@@ -16,7 +16,7 @@
 //! [--quick] [--json]`.
 
 use dacapo_bench::runner::truncate_scenario;
-use dacapo_bench::{pct, render_table, write_json, ExperimentOptions};
+use dacapo_bench::{cli, pct, render_table, write_json, ExperimentOptions};
 use dacapo_core::platform::{KernelRate, PlatformRates, Sharing};
 use dacapo_core::{Cluster, SchedulerKind, SimConfig};
 use dacapo_datagen::Scenario;
@@ -92,20 +92,8 @@ fn build_cluster(cameras: usize, accelerators: usize) -> Cluster {
 
 fn main() {
     let options = ExperimentOptions::from_args();
-    let camera_counts: &[usize] = if options.smoke {
-        &[10]
-    } else if options.quick {
-        &[10, 50]
-    } else {
-        &[10, 100, 1000]
-    };
-    let accel_counts: &[usize] = if options.smoke {
-        &[2]
-    } else if options.quick {
-        &[1, 4]
-    } else {
-        &[1, 2, 4, 8]
-    };
+    let camera_counts: &[usize] = cli::tier(&options, &[10], &[10, 50], &[10, 100, 1000]);
+    let accel_counts: &[usize] = cli::tier(&options, &[2], &[1, 4], &[1, 2, 4, 8]);
 
     println!(
         "Cluster contention sweep: cameras {camera_counts:?} x accelerators {accel_counts:?}, \

@@ -16,7 +16,7 @@
 //! [--quick] [--json]`.
 
 use dacapo_bench::runner::truncate_scenario;
-use dacapo_bench::{pct, render_table, write_json, ExperimentOptions};
+use dacapo_bench::{cli, pct, render_table, write_json, ExperimentOptions};
 use dacapo_core::platform::{KernelRate, PlatformRates, Sharing};
 use dacapo_core::{Cluster, SchedulerKind, SimConfig};
 use dacapo_datagen::{FleetScenario, Scenario};
@@ -99,21 +99,9 @@ fn build_cluster(
 
 fn main() {
     let options = ExperimentOptions::from_args();
-    let overlaps: &[f64] = if options.smoke {
-        &[1.0]
-    } else if options.quick {
-        &[1.0, 0.2]
-    } else {
-        &[1.0, 0.6, 0.2]
-    };
+    let overlaps: &[f64] = cli::tier(&options, &[1.0], &[1.0, 0.2], &[1.0, 0.6, 0.2]);
     let policies: &[&str] = &["none", "broadcast", "correlated:0.6"];
-    let (cameras, accelerators) = if options.smoke {
-        (4, 2)
-    } else if options.quick {
-        (6, 2)
-    } else {
-        (12, 3)
-    };
+    let (cameras, accelerators) = cli::tier(&options, (4, 2), (6, 2), (12, 3));
 
     println!(
         "Cross-camera sharing sweep: {cameras} cameras x {accelerators} accelerators, \

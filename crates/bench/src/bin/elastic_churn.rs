@@ -18,7 +18,7 @@
 //! [--quick|--smoke] [--json]`.
 
 use dacapo_bench::runner::truncate_scenario;
-use dacapo_bench::{pct, render_table, write_json, ExperimentOptions};
+use dacapo_bench::{cli, pct, render_table, write_json, ExperimentOptions};
 use dacapo_core::platform::{KernelRate, PlatformRates, Sharing};
 use dacapo_core::{ChurnPlan, Cluster, SchedulerKind, SimConfig};
 use dacapo_datagen::Scenario;
@@ -117,13 +117,7 @@ fn profiles(
 
 fn main() {
     let options = ExperimentOptions::from_args();
-    let (cameras, accelerators, segments) = if options.smoke {
-        (6, 2, 1)
-    } else if options.quick {
-        (16, 2, 2)
-    } else {
-        (60, 4, 3)
-    };
+    let (cameras, accelerators, segments) = cli::tier(&options, (6, 2, 1), (16, 2, 2), (60, 4, 3));
 
     println!(
         "Elastic churn sweep: {cameras} cameras x {accelerators} accelerators, churn profiles \

@@ -5,7 +5,7 @@
 
 use std::process::Command;
 
-const EXPERIMENTS: [&str; 14] = [
+const EXPERIMENTS: [&str; 15] = [
     "table03_models",
     "table04_platforms",
     "fig08_label_distribution",
@@ -26,6 +26,9 @@ const EXPERIMENTS: [&str; 14] = [
     // Also leaves the stable elasticity trajectory record
     // (results/BENCH_churn.json) behind.
     "elastic_churn",
+    // Also leaves the stable edge-cloud trajectory record
+    // (results/BENCH_edge_cloud.json) behind.
+    "edge_cloud",
 ];
 
 fn main() {

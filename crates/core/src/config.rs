@@ -1,5 +1,6 @@
 //! System configuration: Table I hyperparameters and the simulation config.
 
+use crate::edge::EdgeConfig;
 use crate::platform::{PlatformKind, PlatformRates, PlatformSpec};
 use crate::sched::{SchedulerKind, SchedulerSpec};
 use crate::{CoreError, Result};
@@ -165,6 +166,10 @@ pub struct SimConfig {
     pub pretrain_samples: usize,
     /// Master RNG seed.
     pub seed: u64,
+    /// Optional edge–cloud tier: an uplink to a cloud teacher plus the
+    /// near-duplicate filter (see [`crate::edge`]). `None` keeps the camera
+    /// purely local.
+    pub edge: Option<EdgeConfig>,
 }
 
 impl SimConfig {
@@ -185,6 +190,7 @@ impl SimConfig {
             pretrain_samples: 256,
             seed: 0xDACA90,
             accel: AccelConfig::default(),
+            edge: None,
         }
     }
 
@@ -223,6 +229,9 @@ impl SimConfig {
                 reason: "teacher accuracy must be in [0, 1]".into(),
             });
         }
+        if let Some(edge) = &self.edge {
+            edge.validate()?;
+        }
         Ok(())
     }
 }
@@ -242,6 +251,7 @@ pub struct SimConfigBuilder {
     eval_frames_per_measurement: usize,
     pretrain_samples: usize,
     seed: u64,
+    edge: Option<EdgeConfig>,
 }
 
 impl SimConfigBuilder {
@@ -325,6 +335,15 @@ impl SimConfigBuilder {
         self
     }
 
+    /// Attaches an edge–cloud tier: an uplink profile to a cloud teacher
+    /// plus the near-duplicate frame filter (see [`crate::edge`]). Without
+    /// it the camera labels purely locally and offload policies skip it.
+    #[must_use]
+    pub fn edge(mut self, edge: EdgeConfig) -> Self {
+        self.edge = Some(edge);
+        self
+    }
+
     /// Finalises the configuration, resolving the platform spec once to
     /// fail fast on bad selections.
     ///
@@ -347,6 +366,7 @@ impl SimConfigBuilder {
             eval_frames_per_measurement: self.eval_frames_per_measurement,
             pretrain_samples: self.pretrain_samples,
             seed: self.seed,
+            edge: self.edge,
         };
         config.validate()?;
         config.platform_rates()?;
@@ -448,6 +468,28 @@ mod tests {
             .build()
             .unwrap_err();
         assert!(err.to_string().contains("quantum-annealer"), "{err}");
+    }
+
+    #[test]
+    fn builder_attaches_and_validates_the_edge_tier() {
+        let config = SimConfig::builder(Scenario::s1(), ModelPair::ResNet18Wrn50)
+            .edge(EdgeConfig::new("lte:20,30"))
+            .build()
+            .unwrap();
+        assert_eq!(config.edge.as_ref().unwrap().uplink, "lte:20,30");
+        // Default is purely local.
+        let plain = SimConfig::builder(Scenario::s1(), ModelPair::ResNet18Wrn50).build().unwrap();
+        assert!(plain.edge.is_none());
+        // Bad edge settings fail at build time.
+        let err = SimConfig::builder(Scenario::s1(), ModelPair::ResNet18Wrn50)
+            .edge(EdgeConfig::new("no-such-uplink"))
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("no-such-uplink"), "{err}");
+        assert!(SimConfig::builder(Scenario::s1(), ModelPair::ResNet18Wrn50)
+            .edge(EdgeConfig::new("lte").filter_threshold(2.0))
+            .build()
+            .is_err());
     }
 
     #[test]

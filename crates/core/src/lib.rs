@@ -180,6 +180,57 @@
 //! # }
 //! ```
 //!
+//! # Edge–cloud tier
+//!
+//! Real deployments rarely get a cloud-grade teacher on-device. The
+//! [`edge`] subsystem models the alternative: a camera configured with an
+//! [`EdgeConfig`] owns a deterministic **uplink** ([`UplinkSpec`], resolved
+//! through the uplink registry — `"broadband"`, `"wifi"`, `"lte"`,
+//! `"degraded"`, each parameterisable as `"lte:<mbps>[,<latency_ms>]"`) to
+//! a [`CloudTeacher`](dacapo_dnn::CloudTeacher): higher labeling accuracy
+//! and zero local compute, paid for in uplink bytes and a round-trip
+//! latency that delays label arrival into the [`SampleBuffer`]. An
+//! EdgeCam-style near-duplicate **filter** drops frames whose scenario
+//! attributes match the last shipped frame before they reach the uplink.
+//!
+//! Which tier labels a given window is decided by a pluggable
+//! [`edge::OffloadPolicy`] selected via [`Cluster::offload`] — the sixth
+//! registry family. Builtins: `"local-only"` (reserved; the edge-free fast
+//! path, bit-identical to pre-edge clusters), `"cloud-only"`,
+//! `"threshold:<queue-depth>"` (offload cameras on crowded accelerators),
+//! and `"budget:<bytes-per-window>"`. Decisions happen at the same
+//! deterministic window barriers as label sharing and churn, offloaded
+//! labeling phases bypass accelerator arbitration (the cloud pays the
+//! compute), and the telemetry lands in [`ClusterResult::edge`] as
+//! [`EdgeMetrics`] — bytes shipped, frames filtered, local/cloud label
+//! split, label-latency p50/p99, and the accuracy-per-byte headline.
+//!
+//! ```no_run
+//! use dacapo_core::{Cluster, EdgeConfig, SimConfig};
+//! use dacapo_datagen::Scenario;
+//! use dacapo_dnn::zoo::ModelPair;
+//!
+//! # fn main() -> Result<(), dacapo_core::CoreError> {
+//! let mut cluster = Cluster::new(2).offload("budget:20000000");
+//! for (i, scenario) in Scenario::all().into_iter().enumerate() {
+//!     let config = SimConfig::builder(scenario, ModelPair::ResNet18Wrn50)
+//!         .edge(EdgeConfig::new("lte"))
+//!         .seed(0xDACA90 + i as u64)
+//!         .build()?;
+//!     cluster = cluster.camera(format!("cam-{i}"), config);
+//! }
+//! let result = cluster.run()?;
+//! println!(
+//!     "{} cloud labels over {} bytes ({} frames filtered), accuracy/byte {:.3e}",
+//!     result.edge.labels_cloud,
+//!     result.edge.bytes_shipped,
+//!     result.edge.frames_filtered,
+//!     result.edge.accuracy_per_byte,
+//! );
+//! # Ok(())
+//! # }
+//! ```
+//!
 //! # Snapshots and elastic membership
 //!
 //! A [`Session`] is an explicit state/behavior split: [`Session::snapshot`]
@@ -314,6 +365,7 @@ pub mod arbiter;
 mod buffer;
 mod cluster;
 mod config;
+pub mod edge;
 mod error;
 mod fleet;
 pub mod metrics;
@@ -330,6 +382,7 @@ pub use cluster::{
     AdmissionPolicy, ChurnEvent, ChurnMetrics, ChurnPlan, Cluster, ClusterResult, ContentionMetrics,
 };
 pub use config::{Hyperparams, SimConfig, SimConfigBuilder};
+pub use edge::{EdgeConfig, EdgeMetrics, LabelRoute, UplinkSpec};
 pub use error::CoreError;
 pub use fleet::{CameraResult, Fleet, FleetResult};
 pub use platform::{PlatformKind, PlatformRates, PlatformSpec};

@@ -1,8 +1,9 @@
 //! The shared machinery behind the crate's pluggable-factory registries.
 //!
-//! Four subsystems expose the same extension pattern — schedulers
+//! Six subsystems expose the same extension pattern — schedulers
 //! ([`crate::sched`]), platforms ([`crate::platform`]), arbiters
-//! ([`crate::arbiter`]), and share policies ([`crate::share`]): a global,
+//! ([`crate::arbiter`]), share policies ([`crate::share`]), and the edge
+//! tier's uplink profiles and offload policies ([`crate::edge`]): a global,
 //! case-insensitive name → `Arc<dyn Factory>` map with `register` /
 //! `by_name` / `registered_names` entry points, optional `:<params>` name
 //! suffixes, and reserved-name protection. Each module keeps its public

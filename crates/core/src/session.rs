@@ -28,6 +28,7 @@
 
 use crate::buffer::{LabeledSample, SampleBuffer};
 use crate::config::SimConfig;
+use crate::edge::{EdgeAccum, EdgeTier, EdgeTierState, LabelRoute};
 use crate::platform::PlatformRates;
 use crate::sched::{Action, Scheduler, SchedulerContext};
 use crate::sim::{PhaseKind, PhaseRecord, SimResult};
@@ -135,14 +136,16 @@ pub struct Session {
     finished: bool,
     record_labels: bool,
     fresh_labels: Vec<LabeledSample>,
+    edge: Option<EdgeTier>,
 }
 
 /// The version tag of the public snapshot format. Bumped whenever the
 /// serialised shape of [`SessionSnapshot`] changes incompatibly;
 /// [`Session::restore`] rejects snapshots from other versions rather than
 /// misreading them (the compatibility rule: same version restores
-/// bit-identically, anything else is refused loudly).
-pub const SNAPSHOT_VERSION: u32 = 1;
+/// bit-identically, anything else is refused loudly). Version 2 added the
+/// edge–cloud tier state ([`SessionSnapshot::edge`]).
+pub const SNAPSHOT_VERSION: u32 = 2;
 
 /// A serialisable checkpoint of a running [`Session`]: the complete mutable
 /// state — configuration, student weights, sample buffer, teacher RNG,
@@ -202,6 +205,12 @@ pub struct SessionSnapshot {
     pub record_labels: bool,
     /// Recorded label batches not yet drained by the cluster executor.
     pub fresh_labels: Vec<LabeledSample>,
+    /// The edge–cloud tier's mutable state (cloud teacher RNG, in-flight
+    /// labels, uplink meters), present exactly when the configuration
+    /// carries an [`EdgeConfig`](crate::edge::EdgeConfig). The uplink model
+    /// itself is behavior and is re-resolved from the configuration through
+    /// the uplink registry on restore.
+    pub edge: Option<EdgeTierState>,
 }
 
 impl SessionSnapshot {
@@ -255,6 +264,18 @@ impl Session {
             config.teacher_accuracy,
             config.seed.wrapping_add(1),
         );
+        let edge = config
+            .edge
+            .as_ref()
+            .map(|edge_config| {
+                EdgeTier::new(
+                    edge_config,
+                    dacapo_datagen::NUM_CLASSES,
+                    config.stream.feature_dim,
+                    config.seed.wrapping_add(2),
+                )
+            })
+            .transpose()?;
 
         // Pre-deployment training on the "general dataset": samples spread
         // uniformly over the whole scenario (every context appears), labeled
@@ -304,6 +325,7 @@ impl Session {
             finished: false,
             record_labels: false,
             fresh_labels: Vec::new(),
+            edge,
         })
     }
 
@@ -336,6 +358,7 @@ impl Session {
             finished: self.finished,
             record_labels: self.record_labels,
             fresh_labels: self.fresh_labels.clone(),
+            edge: self.edge.as_ref().map(|tier| tier.state.clone()),
         }
     }
 
@@ -368,6 +391,26 @@ impl Session {
         let mut scheduler = config.scheduler.create(&config.hyper)?;
         scheduler.restore_state(&snapshot.scheduler_state)?;
         let platform = config.platform_rates()?;
+        let edge = match (config.edge.as_ref(), snapshot.edge) {
+            (Some(edge_config), Some(state)) => {
+                Some(EdgeTier::resume(edge_config, config.stream.feature_dim, state)?)
+            }
+            (None, None) => None,
+            (Some(_), None) => {
+                return Err(CoreError::Snapshot {
+                    reason: "the configuration has an edge tier but the snapshot carries no \
+                             edge state"
+                        .into(),
+                });
+            }
+            (None, Some(_)) => {
+                return Err(CoreError::Snapshot {
+                    reason: "the snapshot carries edge-tier state but the configuration has no \
+                             edge tier"
+                        .into(),
+                });
+            }
+        };
         let stream = FrameStream::new(&config.scenario, config.stream);
         let duration_s = config.scenario.duration_s();
         let drop_rate = platform.frame_drop_rate(config.stream.fps);
@@ -394,6 +437,7 @@ impl Session {
             finished: snapshot.finished,
             record_labels: snapshot.record_labels,
             fresh_labels: snapshot.fresh_labels,
+            edge,
         })
     }
 
@@ -424,6 +468,73 @@ impl Session {
     /// locally.
     pub(crate) fn labeling_sps(&self) -> f64 {
         self.platform.effective_labeling_sps(self.config.stream.fps)
+    }
+
+    /// Whether the session carries an edge–cloud tier (the configuration
+    /// had an [`EdgeConfig`](crate::edge::EdgeConfig)).
+    pub(crate) fn has_edge_tier(&self) -> bool {
+        self.edge.is_some()
+    }
+
+    /// Whether the most recent labeling phase ran on the cloud tier. The
+    /// cluster executor exempts such phases from accelerator arbitration —
+    /// offloaded labeling costs no local compute.
+    pub(crate) fn last_phase_offloaded(&self) -> bool {
+        self.edge.as_ref().is_some_and(|tier| tier.state.last_phase_offloaded)
+    }
+
+    /// This session's edge-tier counters, for cluster-level aggregation.
+    pub(crate) fn edge_accum(&self) -> Option<EdgeAccum> {
+        self.edge.as_ref().map(EdgeTier::accum)
+    }
+
+    /// Buffer depth and uplink byte meters, the session-side half of the
+    /// cluster's [`OffloadContext`](crate::edge::OffloadContext):
+    /// `(buffer_len, bytes_shipped, window_bytes)`. The byte meters are
+    /// zero without an edge tier.
+    pub(crate) fn offload_meter(&self) -> (usize, u64, u64) {
+        let (bytes_shipped, window_bytes) = self
+            .edge
+            .as_ref()
+            .map_or((0, 0), |tier| (tier.state.bytes_shipped, tier.state.window_bytes));
+        (self.buffer.len(), bytes_shipped, window_bytes)
+    }
+
+    /// Routes the session's labeling for the window that is starting:
+    /// local teacher or cloud tier (optionally byte-budgeted). Opens a new
+    /// uplink accounting window — the per-window byte meter resets. The
+    /// cluster executor calls this at every window barrier with the
+    /// [`OffloadPolicy`](crate::edge::OffloadPolicy)'s decision; standalone
+    /// sessions may drive it directly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] if the session has no edge tier
+    /// (no [`EdgeConfig`](crate::edge::EdgeConfig) in its configuration).
+    pub fn set_label_route(&mut self, route: LabelRoute) -> Result<()> {
+        match self.edge.as_mut() {
+            Some(tier) => {
+                tier.begin_window(route);
+                Ok(())
+            }
+            None => Err(CoreError::InvalidConfig {
+                reason: "cannot set a label route: the session has no edge tier configured \
+                         (attach one with SimConfig::builder(..).edge(..))"
+                    .into(),
+            }),
+        }
+    }
+
+    /// The session's current label route, or `None` without an edge tier.
+    #[must_use]
+    pub fn label_route(&self) -> Option<LabelRoute> {
+        self.edge.as_ref().map(|tier| tier.state.route)
+    }
+
+    /// Number of cloud labels shipped but not yet arrived into the buffer.
+    #[must_use]
+    pub fn in_flight_cloud_labels(&self) -> usize {
+        self.edge.as_ref().map_or(0, |tier| tier.state.in_flight.len())
     }
 
     /// The configuration this session was built from.
@@ -611,6 +722,18 @@ impl Session {
     fn execute_next_action(&mut self) -> Result<()> {
         let duration = self.duration_s;
         let fps = self.config.stream.fps;
+        // Cloud labels whose uplink round trip has completed land in the
+        // buffer before the scheduler looks at it — deferred arrival is the
+        // whole point of the modeled uplink.
+        if let Some(tier) = self.edge.as_mut() {
+            let delivered = tier.deliver_matured(self.now_s);
+            if !delivered.is_empty() {
+                if self.record_labels {
+                    self.fresh_labels.extend(delivered.iter().cloned());
+                }
+                self.buffer.extend(delivered);
+            }
+        }
         let ctx = SchedulerContext {
             now_s: self.now_s,
             buffer_len: self.buffer.len(),
@@ -625,13 +748,31 @@ impl Session {
             Action::Label { samples, reset_buffer } => {
                 if reset_buffer {
                     self.buffer.reset();
+                    // Stale pre-drift labels must not trickle into the
+                    // freshly cleared buffer once their uplink round trip
+                    // completes.
+                    if let Some(tier) = self.edge.as_mut() {
+                        tier.discard_in_flight();
+                    }
                     self.drift_responses += 1;
                     self.pending.push_back(SessionEvent::Drift {
                         at_s: self.now_s,
                         response_index: self.drift_responses,
                     });
                 }
-                let rate = self.platform.effective_labeling_sps(fps);
+                let route = self.edge.as_ref().map_or(LabelRoute::Local, EdgeTier::phase_route);
+                let offload = matches!(route, LabelRoute::Cloud { .. });
+                let rate = if offload {
+                    // The uplink is the labeling bottleneck: frames ship no
+                    // faster than the link carries them or the camera
+                    // captures them.
+                    self.edge
+                        .as_ref()
+                        .expect("a cloud route implies an edge tier")
+                        .labeling_sps(fps)
+                } else {
+                    self.platform.effective_labeling_sps(fps)
+                };
                 if rate <= f64::EPSILON {
                     // Labeling is starved out entirely (e.g. an overloaded
                     // GPU); burn the rest of the scenario waiting.
@@ -662,31 +803,61 @@ impl Session {
                 let frames =
                     self.cursor.frames_until(&self.stream, self.now_s + phase_duration, step);
                 let selected: Vec<Frame> = frames.into_iter().take(actual_samples).collect();
-                let labeled: Vec<LabeledSample> = selected
-                    .iter()
-                    .map(|frame| LabeledSample {
-                        features: frame.sample.features.clone(),
-                        teacher_label: self
-                            .teacher
-                            .label(frame.sample.true_class, frame.attributes.difficulty()),
-                        true_class: frame.sample.true_class,
-                        timestamp_s: frame.timestamp_s,
-                    })
-                    .collect();
-                // acc_l: the current student's accuracy on the freshly
-                // labeled data, judged by the teacher's labels.
-                self.last_labeling = Some(self.student.accuracy_on_samples(&labeled)?);
-                if self.record_labels {
-                    self.fresh_labels.extend(labeled.iter().cloned());
+                let phase_samples;
+                if offload {
+                    // Cloud path: each sampled frame runs the near-duplicate
+                    // filter, survivors ship over the serial uplink and come
+                    // back as in-flight labels — nothing enters the buffer
+                    // until the round trip completes.
+                    let tier = self.edge.as_mut().expect("a cloud route implies an edge tier");
+                    let mut shipped: Vec<LabeledSample> = Vec::with_capacity(selected.len());
+                    for frame in &selected {
+                        if let Some(sample) = tier.offer(
+                            frame.sample.features.clone(),
+                            frame.sample.true_class,
+                            frame.timestamp_s,
+                            &frame.attributes,
+                        ) {
+                            shipped.push(sample);
+                        }
+                    }
+                    tier.state.last_phase_offloaded = true;
+                    phase_samples = shipped.len();
+                    if !shipped.is_empty() {
+                        self.last_labeling = Some(self.student.accuracy_on_samples(&shipped)?);
+                    }
+                } else {
+                    let labeled: Vec<LabeledSample> = selected
+                        .iter()
+                        .map(|frame| LabeledSample {
+                            features: frame.sample.features.clone(),
+                            teacher_label: self
+                                .teacher
+                                .label(frame.sample.true_class, frame.attributes.difficulty()),
+                            true_class: frame.sample.true_class,
+                            timestamp_s: frame.timestamp_s,
+                        })
+                        .collect();
+                    // acc_l: the current student's accuracy on the freshly
+                    // labeled data, judged by the teacher's labels.
+                    self.last_labeling = Some(self.student.accuracy_on_samples(&labeled)?);
+                    if let Some(tier) = self.edge.as_mut() {
+                        tier.note_local_labels(labeled.len());
+                        tier.state.last_phase_offloaded = false;
+                    }
+                    if self.record_labels {
+                        self.fresh_labels.extend(labeled.iter().cloned());
+                    }
+                    self.buffer.extend(labeled);
+                    phase_samples = actual_samples;
                 }
-                self.buffer.extend(labeled);
 
                 self.measure_until(self.now_s + phase_duration)?;
                 self.push_phase(PhaseRecord {
                     kind: PhaseKind::Label,
                     start_s: self.now_s,
                     duration_s: phase_duration,
-                    samples: actual_samples,
+                    samples: phase_samples,
                     drift_response: reset_buffer,
                 });
                 self.now_s += phase_duration;
@@ -1072,7 +1243,98 @@ mod tests {
     #[test]
     fn malformed_snapshot_json_errors_cleanly() {
         assert!(SessionSnapshot::from_json("not json").is_err());
-        assert!(SessionSnapshot::from_json("{\"version\": 1}").is_err());
+        assert!(SessionSnapshot::from_json("{\"version\": 2}").is_err());
+    }
+
+    /// The short test config with an edge tier over the broadband uplink.
+    fn edge_config(scheduler: SchedulerKind) -> SimConfig {
+        let mut config = short_config(scheduler);
+        config.edge = Some(crate::edge::EdgeConfig::new("broadband"));
+        config
+    }
+
+    #[test]
+    fn a_local_routed_edge_session_is_bit_identical_to_a_plain_one() {
+        let mut plain = Session::new(short_config(SchedulerKind::DaCapoSpatiotemporal)).unwrap();
+        plain.run_to_end().unwrap();
+        let mut edged = Session::new(edge_config(SchedulerKind::DaCapoSpatiotemporal)).unwrap();
+        edged.run_to_end().unwrap();
+        let accum = edged.edge_accum().unwrap();
+        assert_eq!(accum.labels_cloud, 0, "the default route is local");
+        assert_eq!(accum.bytes_shipped, 0);
+        assert!(accum.labels_local > 0, "local labels are still counted");
+        assert_eq!(plain.into_result(), edged.into_result());
+    }
+
+    #[test]
+    fn cloud_routing_defers_label_arrival_into_the_buffer() {
+        let mut session = Session::new(edge_config(SchedulerKind::DaCapoSpatiotemporal)).unwrap();
+        session.set_label_route(LabelRoute::Cloud { byte_budget: None }).unwrap();
+        assert_eq!(session.label_route(), Some(LabelRoute::Cloud { byte_budget: None }));
+        let mut saw_in_flight = false;
+        while !session.is_finished() {
+            session.step().unwrap();
+            saw_in_flight |= session.in_flight_cloud_labels() > 0;
+        }
+        assert!(saw_in_flight, "cloud labels must spend time on the wire");
+        let accum = session.edge_accum().unwrap();
+        assert!(accum.labels_cloud > 0, "{accum:?}");
+        assert!(accum.bytes_shipped > 0);
+        assert!(accum.frames_filtered > 0, "a static scene triggers the filter: {accum:?}");
+        assert!(!accum.latencies_s.is_empty());
+        assert!(accum.latencies_s.iter().all(|l| *l > 0.0));
+    }
+
+    #[test]
+    fn snapshots_round_trip_mid_flight_cloud_labels_bit_identically() {
+        let route = LabelRoute::Cloud { byte_budget: None };
+        let mut uninterrupted =
+            Session::new(edge_config(SchedulerKind::DaCapoSpatiotemporal)).unwrap();
+        uninterrupted.set_label_route(route).unwrap();
+        uninterrupted.run_to_end().unwrap();
+        let expected_accum = uninterrupted.edge_accum().unwrap();
+        let expected = uninterrupted.into_result();
+
+        let mut session = Session::new(edge_config(SchedulerKind::DaCapoSpatiotemporal)).unwrap();
+        session.set_label_route(route).unwrap();
+        while session.in_flight_cloud_labels() == 0 && !session.is_finished() {
+            session.step().unwrap();
+        }
+        assert!(session.in_flight_cloud_labels() > 0, "test needs labels on the wire");
+        let json = session.snapshot().to_json();
+        let snapshot = SessionSnapshot::from_json(&json).unwrap();
+        assert!(
+            !snapshot.edge.as_ref().unwrap().in_flight.is_empty(),
+            "in-flight labels ride the snapshot"
+        );
+        let mut restored = Session::restore(snapshot).unwrap();
+        restored.run_to_end().unwrap();
+        let restored_accum = restored.edge_accum().unwrap();
+        assert_eq!(restored_accum.labels_cloud, expected_accum.labels_cloud);
+        assert_eq!(restored_accum.bytes_shipped, expected_accum.bytes_shipped);
+        assert_eq!(restored.into_result(), expected);
+    }
+
+    #[test]
+    fn label_routes_require_an_edge_tier() {
+        let mut session = Session::new(short_config(SchedulerKind::NoAdaptation)).unwrap();
+        assert!(session.label_route().is_none());
+        assert_eq!(session.in_flight_cloud_labels(), 0);
+        let err = session.set_label_route(LabelRoute::Local).unwrap_err();
+        assert!(err.to_string().contains("no edge tier"), "{err}");
+    }
+
+    #[test]
+    fn edge_state_and_config_presence_must_agree_on_restore() {
+        let session = Session::new(edge_config(SchedulerKind::NoAdaptation)).unwrap();
+        let mut snapshot = session.snapshot();
+        snapshot.edge = None;
+        assert!(Session::restore(snapshot).is_err(), "config has edge, snapshot does not");
+
+        let plain = Session::new(short_config(SchedulerKind::NoAdaptation)).unwrap();
+        let mut snapshot = plain.snapshot();
+        snapshot.edge = session.snapshot().edge;
+        assert!(Session::restore(snapshot).is_err(), "snapshot has edge, config does not");
     }
 
     #[test]

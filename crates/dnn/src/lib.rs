@@ -35,7 +35,7 @@ pub mod zoo;
 pub use error::DnnError;
 pub use layer::{Activation, Dense};
 pub use mlp::{Mlp, MlpConfig, QuantMode, TrainReport};
-pub use teacher::TeacherOracle;
+pub use teacher::{CloudTeacher, TeacherOracle};
 
 /// Result alias used throughout this crate.
 pub type Result<T> = std::result::Result<T, DnnError>;

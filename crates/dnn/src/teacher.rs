@@ -120,6 +120,69 @@ impl TeacherOracle {
     }
 }
 
+/// The datacenter-grade labeling tier behind a modeled uplink.
+///
+/// Where [`TeacherOracle`] stands in for the *on-device* teacher DNN, the
+/// cloud teacher models the labeling service an edge camera can offload to:
+/// a larger ensemble with a higher base accuracy that is also far more
+/// robust to difficult conditions (its difficulty penalty is discounted by
+/// [`CloudTeacher::DIFFICULTY_DISCOUNT`]). It costs no local compute — the
+/// price is paid in uplink bytes and round-trip latency, which the runtime
+/// models separately.
+///
+/// # Examples
+///
+/// ```
+/// use dacapo_dnn::CloudTeacher;
+///
+/// let mut cloud = CloudTeacher::new(10, 0.99, 7);
+/// let label = cloud.label(3, 0.04);
+/// assert!(label < 10);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CloudTeacher {
+    oracle: TeacherOracle,
+}
+
+impl CloudTeacher {
+    /// Fraction of the per-frame difficulty penalty the cloud tier still
+    /// pays: datacenter ensembles degrade far less under night/bad-weather
+    /// frames than the on-device teacher.
+    pub const DIFFICULTY_DISCOUNT: f64 = 0.25;
+
+    /// Creates a cloud labeling tier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_classes` is zero or `base_accuracy` is outside `[0, 1]`.
+    #[must_use]
+    pub fn new(num_classes: usize, base_accuracy: f64, seed: u64) -> Self {
+        Self { oracle: TeacherOracle::new(num_classes, base_accuracy, seed) }
+    }
+
+    /// Number of classes the cloud tier can emit.
+    #[must_use]
+    pub fn num_classes(&self) -> usize {
+        self.oracle.num_classes()
+    }
+
+    /// The cloud tier's accuracy on easy (penalty 0) samples.
+    #[must_use]
+    pub fn base_accuracy(&self) -> f64 {
+        self.oracle.base_accuracy()
+    }
+
+    /// Labels a sample whose ground-truth class is `true_class`, applying
+    /// only [`Self::DIFFICULTY_DISCOUNT`] of the given difficulty penalty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `true_class` is out of range.
+    pub fn label(&mut self, true_class: usize, difficulty_penalty: f64) -> usize {
+        self.oracle.label(true_class, difficulty_penalty * Self::DIFFICULTY_DISCOUNT)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -188,6 +251,34 @@ mod tests {
     fn single_class_teacher_is_trivially_correct() {
         let mut teacher = TeacherOracle::new(1, 0.0, 8);
         assert_eq!(teacher.label(0, 0.9), 0);
+    }
+
+    #[test]
+    fn cloud_teacher_discounts_difficulty() {
+        // Under a heavy penalty the cloud tier's effective accuracy stays
+        // close to its base while the on-device teacher collapses.
+        let mut local = TeacherOracle::new(10, 0.95, 11);
+        let mut cloud = CloudTeacher::new(10, 0.95, 11);
+        let n = 4000;
+        let local_correct = (0..n).filter(|i| local.label(i % 10, 0.4) == i % 10).count();
+        let cloud_correct = (0..n).filter(|i| cloud.label(i % 10, 0.4) == i % 10).count();
+        assert!(
+            cloud_correct > local_correct,
+            "cloud {cloud_correct} should beat local {local_correct} under difficulty"
+        );
+    }
+
+    #[test]
+    fn cloud_teacher_serde_round_trip_resumes_the_exact_label_stream() {
+        let mut cloud = CloudTeacher::new(10, 0.99, 12);
+        for i in 0..53 {
+            let _ = cloud.label(i % 10, 0.1);
+        }
+        let mut restored = CloudTeacher::from_value(&cloud.to_value()).expect("round-trips");
+        assert_eq!(restored, cloud);
+        let expected: Vec<usize> = (0..100).map(|i| cloud.label(i % 10, 0.02)).collect();
+        let resumed: Vec<usize> = (0..100).map(|i| restored.label(i % 10, 0.02)).collect();
+        assert_eq!(resumed, expected);
     }
 
     #[test]

@@ -45,6 +45,12 @@ churn:
     cargo run --release --example checkpoint_resume
     cargo run --release -p dacapo-bench --bin elastic_churn -- --quick
 
+# Edge-cloud offload demo (custom offload policy registered by name) plus
+# the uplink x policy sweep; leaves results/BENCH_edge_cloud.json behind.
+edge-cloud:
+    cargo run --release --example edge_cloud
+    cargo run --release -p dacapo-bench --bin edge_cloud -- --quick
+
 # The CI smoke tier: every experiment at its smallest meaningful size, so
 # results/*.json is fully populated in well under a minute.
 bench-smoke:
