@@ -37,9 +37,6 @@
 //! # }
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 mod array;
 mod config;
 pub mod dpe;

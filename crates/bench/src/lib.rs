@@ -6,9 +6,6 @@
 //! handling (`--quick`, `--json`), tabular printing, and JSON result dumps
 //! under `results/`.
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod cli;
 pub mod runner;
 

@@ -862,6 +862,8 @@ fn prepare_churn(plan: &ChurnPlan, cameras: &mut Vec<(String, SimConfig)>) -> Ve
             cameras
                 .iter()
                 .position(|(name, _)| name == camera)
+                // lint: allow(panic) — ChurnPlan::validate rejected unknown
+                // camera names before this resolver can run
                 .expect("validated churn plans only name known cameras")
         };
         let action = match event {
@@ -1112,6 +1114,8 @@ impl<'a> AccelLoop<'a> {
             let events = self.slots[due.slot]
                 .session
                 .as_mut()
+                // lint: allow(panic) — is_none() continue above guarantees the
+                // slot still holds a live session
                 .expect("presence checked above")
                 .step_phase()
                 .map_err(|e| prefix_camera(camera_name, e))?;
@@ -1187,6 +1191,8 @@ impl<'a> AccelLoop<'a> {
                         let fresh = self.slots[due.slot]
                             .session
                             .as_mut()
+                            // lint: allow(panic) — the same slot produced the
+                            // phase a few lines up; nothing drops it in between
                             .expect("the session just executed a phase")
                             .take_fresh_labels();
                         if !fresh.is_empty() {
@@ -1204,6 +1210,8 @@ impl<'a> AccelLoop<'a> {
                     // possibly after trailing accuracy flushes): collect its
                     // result now and drop the session so finished cameras
                     // never accumulate live model state.
+                    // lint: allow(panic) — guarded by the same is_none() check
+                    // that admitted this heap entry
                     let session =
                         self.slots[due.slot].session.take().expect("presence checked on pop");
                     if let Some(accum) = session.edge_accum() {
@@ -1333,6 +1341,8 @@ impl<'a> AccelLoop<'a> {
         });
         if let Some(position) = live {
             let slot_index = self.active.remove(position);
+            // lint: allow(panic) — the position search above only matched
+            // slots whose session.is_some()
             let session =
                 self.slots[slot_index].session.take().expect("position matched a live session");
             if let Some(accum) = session.edge_accum() {
@@ -1347,6 +1357,8 @@ impl<'a> AccelLoop<'a> {
         if let Some(position) =
             self.pending.iter().position(|entry| entry.camera_index == camera_index)
         {
+            // lint: allow(panic) — position came from iter().position() on
+            // the same queue one line up
             let entry = self.pending.remove(position).expect("position is in bounds");
             return Ok(LeaveOutcome::Dequeued(entry.session.map(|session| {
                 if let Some(accum) = session.edge_accum() {
@@ -1437,10 +1449,13 @@ fn run_isolated(
                 if outcome.is_err() {
                     failed.store(true, Ordering::Relaxed);
                 }
+                // lint: allow(panic) — a poisoned lock means a sibling worker
+                // already panicked; propagating is the only sound response
                 slots.lock().expect("cluster outcome lock poisoned")[accel] = Some(outcome);
             });
         }
     });
+    // lint: allow(panic) — same poisoning invariant as the per-worker lock
     let outcomes = slots.into_inner().expect("cluster outcome lock poisoned");
     // Surface the error of the lowest-indexed accelerator that reported
     // one. When several accelerators fail concurrently in the threaded
@@ -1454,7 +1469,11 @@ fn run_isolated(
         .into_iter()
         .map(|outcome| {
             outcome
+                // lint: allow(panic) — the scoped-thread join guarantees every
+                // slot was filled before into_inner()
                 .expect("without errors every accelerator ran")
+                // lint: allow(panic) — the find_map above returned early on
+                // any Err, so only Ok outcomes remain
                 .expect("errors were surfaced above")
         })
         .collect())
@@ -1749,6 +1768,8 @@ fn run_window_threaded(loops: &mut [AccelLoop<'_>], boundary_s: f64, threads: us
                     if let Err(e) = accel_loop.run_until(Some(boundary_s), None) {
                         failures
                             .lock()
+                            // lint: allow(panic) — poisoning implies a sibling
+                            // worker panicked; propagate rather than mask it
                             .expect("window failure lock poisoned")
                             .push((accel_loop.accel, e));
                         break;
@@ -1759,6 +1780,7 @@ fn run_window_threaded(loops: &mut [AccelLoop<'_>], boundary_s: f64, threads: us
     });
     // Like the isolated path, surface the lowest-indexed accelerator's
     // error among those that reported one this window.
+    // lint: allow(panic) — same poisoning invariant as the per-worker lock
     let mut failures = failures.into_inner().expect("window failure lock poisoned");
     failures.sort_by_key(|(accel, _)| *accel);
     match failures.into_iter().next() {

@@ -214,6 +214,9 @@ impl SimConfig {
     /// Returns [`CoreError::InvalidConfig`] for inconsistent settings.
     pub fn validate(&self) -> Result<()> {
         self.hyper.validate()?;
+        // Surface bad stream parameters as a typed error here rather than
+        // letting FrameStream::new panic mid-construction.
+        self.stream.validate().map_err(|e| CoreError::InvalidConfig { reason: e.to_string() })?;
         if self.measure_interval_s <= 0.0 {
             return Err(CoreError::InvalidConfig {
                 reason: "measurement interval must be positive".into(),

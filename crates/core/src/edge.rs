@@ -723,8 +723,14 @@ pub struct EdgeTierState {
 /// config on restore) plus the mutable [`EdgeTierState`].
 #[derive(Debug, Clone)]
 pub(crate) struct EdgeTier {
+    // snapshot: skip(spec) — behavior, re-resolved from EdgeConfig through
+    // the uplink registry on restore
     spec: UplinkSpec,
+    // snapshot: skip(filter_threshold) — copied verbatim from EdgeConfig on
+    // both construction and restore
     filter_threshold: f64,
+    // snapshot: skip(frame_bytes) — derived from the resolved spec and the
+    // session's feature_dim
     frame_bytes: u64,
     pub(crate) state: EdgeTierState,
 }

@@ -358,9 +358,6 @@
 //! # }
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod arbiter;
 mod buffer;
 mod cluster;

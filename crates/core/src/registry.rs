@@ -90,10 +90,13 @@ impl<F: ?Sized> Registry<F> {
     }
 
     fn lock_read(&self) -> std::sync::RwLockReadGuard<'_, BTreeMap<String, Arc<F>>> {
+        // lint: allow(panic) — a poisoned registry lock means a register()
+        // call panicked mid-insert; no caller can make progress after that
         self.factories.read().unwrap_or_else(|_| panic!("{} registry poisoned", self.what))
     }
 
     fn lock_write(&self) -> std::sync::RwLockWriteGuard<'_, BTreeMap<String, Arc<F>>> {
+        // lint: allow(panic) — same poisoning invariant as lock_read
         self.factories.write().unwrap_or_else(|_| panic!("{} registry poisoned", self.what))
     }
 }

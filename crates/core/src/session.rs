@@ -115,14 +115,25 @@ impl SimObserver for () {}
 /// ```
 pub struct Session {
     config: SimConfig,
+    // snapshot: skip(stream) — behavior, rebuilt deterministically from
+    // config.scenario + config.stream on restore
     stream: FrameStream,
     student: StudentModel,
     teacher: TeacherOracle,
     buffer: SampleBuffer,
+    // snapshot: as(scheduler_state) — the trait object's name + opaque state
+    // ride as a SchedulerState; the factory rebuilds the scheduler on restore
     scheduler: Box<dyn Scheduler>,
+    // snapshot: skip(platform) — behavior, re-resolved from config.platform
+    // through the platform registry on restore
     platform: PlatformRates,
+    // snapshot: skip(duration_s) — derived: the scenario's total duration,
+    // recomputed from config.scenario on restore
     duration_s: f64,
+    // snapshot: skip(drop_rate) — derived from config (sampling rate vs
+    // frame rate) and recomputed on restore
     drop_rate: f64,
+    // snapshot: as(stream_cursor) — position within the regenerated stream
     cursor: StreamCursor,
     now_s: f64,
     next_measure_s: f64,
@@ -217,6 +228,8 @@ impl SessionSnapshot {
     /// Serialises the snapshot as pretty-printed JSON.
     #[must_use]
     pub fn to_json(&self) -> String {
+        // lint: allow(panic) — every snapshot field serialises through the
+        // derived impls; there is no fallible custom Serialize in the tree
         serde_json::to_string_pretty(self).expect("snapshot serialisation is infallible")
     }
 
@@ -622,9 +635,13 @@ impl Session {
             self.measure_until(self.duration_s)?;
             self.finished = true;
             self.pending.push_back(SessionEvent::Finished);
+            // lint: allow(panic) — the Finished event was pushed on the line
+            // above; the queue cannot be empty here
             return Ok(self.pending.pop_front().expect("finished event queued"));
         }
         self.execute_next_action()?;
+        // lint: allow(panic) — execute_next_action always queues at least the
+        // phase event for the action it ran
         Ok(self.pending.pop_front().expect("every action yields at least a phase event"))
     }
 
@@ -768,6 +785,8 @@ impl Session {
                     // captures them.
                     self.edge
                         .as_ref()
+                        // lint: allow(panic) — route came from this same
+                        // edge field two lines up; Cloud implies Some
                         .expect("a cloud route implies an edge tier")
                         .labeling_sps(fps)
                 } else {
@@ -809,6 +828,8 @@ impl Session {
                     // filter, survivors ship over the serial uplink and come
                     // back as in-flight labels — nothing enters the buffer
                     // until the round trip completes.
+                    // lint: allow(panic) — offload is only true when
+                    // phase_route read Cloud from this same Some(edge)
                     let tier = self.edge.as_mut().expect("a cloud route implies an edge tier");
                     let mut shipped: Vec<LabeledSample> = Vec::with_capacity(selected.len());
                     for frame in &selected {

@@ -54,10 +54,23 @@ impl ObjectClass {
         ObjectClass::Train,
     ];
 
-    /// The class's index into prior vectors and classifier outputs.
+    /// The class's index into prior vectors and classifier outputs
+    /// (exhaustive, so it can never miss; [`ObjectClass::ALL`] is
+    /// index-aligned with this mapping, which the tests verify).
     #[must_use]
     pub fn index(self) -> usize {
-        Self::ALL.iter().position(|&c| c == self).expect("class is in ALL")
+        match self {
+            ObjectClass::Car => 0,
+            ObjectClass::Truck => 1,
+            ObjectClass::Bus => 2,
+            ObjectClass::TrafficLight => 3,
+            ObjectClass::TrafficSign => 4,
+            ObjectClass::Pedestrian => 5,
+            ObjectClass::Bicycle => 6,
+            ObjectClass::Motorcycle => 7,
+            ObjectClass::Rider => 8,
+            ObjectClass::Train => 9,
+        }
     }
 
     /// The class at a given index.

@@ -27,6 +27,13 @@ pub enum DatagenError {
         /// Explanation of what was wrong.
         reason: String,
     },
+    /// A [`StreamConfig`](crate::StreamConfig) carried an invalid field
+    /// (non-positive frame rate, zero feature dimension, or a negative or
+    /// non-finite noise/shift magnitude).
+    InvalidStreamConfig {
+        /// Explanation of what was wrong.
+        reason: String,
+    },
 }
 
 impl fmt::Display for DatagenError {
@@ -44,6 +51,9 @@ impl fmt::Display for DatagenError {
             }
             DatagenError::InvalidFleetScenario { reason } => {
                 write!(f, "invalid fleet scenario: {reason}")
+            }
+            DatagenError::InvalidStreamConfig { reason } => {
+                write!(f, "invalid stream config: {reason}")
             }
         }
     }

@@ -32,9 +32,6 @@
 //! assert_eq!(frame.sample.features.len(), StreamConfig::default().feature_dim);
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 mod attributes;
 mod classes;
 mod error;

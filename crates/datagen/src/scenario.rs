@@ -96,6 +96,8 @@ impl Scenario {
     /// non-finite.
     #[must_use]
     pub fn from_segments(name: impl Into<String>, segments: Vec<Segment>) -> Self {
+        // lint: allow(panic) — panicking is this wrapper's documented
+        // contract; fallible callers use try_from_segments directly
         Self::try_from_segments(name, segments).unwrap_or_else(|e| panic!("{e}"))
     }
 
@@ -127,6 +129,8 @@ impl Scenario {
                 return segment.attributes;
             }
         }
+        // lint: allow(panic) — try_from_segments rejects empty segment
+        // lists, so every constructed Scenario has a last segment
         self.segments.last().expect("scenario has segments").attributes
     }
 
@@ -351,6 +355,8 @@ fn build(name: &str, weather: Weather, drifts: &[DriftKind]) -> Scenario {
         };
         segments.push(Segment { attributes, duration_s: SEGMENT_SECONDS });
     }
+    // lint: allow(panic) — the builtin tables above always emit a fixed
+    // positive number of fixed-duration segments
     Scenario::try_from_segments(name, segments).expect("builtin scenarios are non-degenerate")
 }
 

@@ -2,6 +2,7 @@
 
 use crate::attributes::SegmentAttributes;
 use crate::classes::{class_prior, NUM_CLASSES};
+use crate::error::DatagenError;
 use crate::scenario::Scenario;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -27,6 +28,51 @@ pub struct StreamConfig {
 impl Default for StreamConfig {
     fn default() -> Self {
         Self { fps: 30.0, feature_dim: 16, noise_std: 0.45, attribute_shift: 1.0, seed: 2024 }
+    }
+}
+
+impl StreamConfig {
+    /// Validates the configuration: a caller-facing, typed alternative to
+    /// the assertions in [`FrameStream::new`]. [`SimConfig`][simconfig]
+    /// validation routes through this, so a bad stream configuration
+    /// surfaces as an error at session construction instead of a panic at
+    /// frame-generation time.
+    ///
+    /// [simconfig]: https://docs.rs/dacapo-core
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatagenError::InvalidStreamConfig`] when the frame rate is
+    /// non-positive or non-finite, the feature dimension is zero, or the
+    /// noise/shift magnitudes are negative or non-finite.
+    pub fn validate(&self) -> Result<(), DatagenError> {
+        if !self.fps.is_finite() || self.fps <= 0.0 {
+            return Err(DatagenError::InvalidStreamConfig {
+                reason: format!("frame rate must be positive and finite, got {}", self.fps),
+            });
+        }
+        if self.feature_dim == 0 {
+            return Err(DatagenError::InvalidStreamConfig {
+                reason: "feature dimension must be positive".into(),
+            });
+        }
+        if !self.noise_std.is_finite() || self.noise_std < 0.0 {
+            return Err(DatagenError::InvalidStreamConfig {
+                reason: format!(
+                    "noise std must be non-negative and finite, got {}",
+                    self.noise_std
+                ),
+            });
+        }
+        if !self.attribute_shift.is_finite() || self.attribute_shift < 0.0 {
+            return Err(DatagenError::InvalidStreamConfig {
+                reason: format!(
+                    "attribute shift must be non-negative and finite, got {}",
+                    self.attribute_shift
+                ),
+            });
+        }
+        Ok(())
     }
 }
 
@@ -81,12 +127,16 @@ impl FrameStream {
     ///
     /// # Panics
     ///
-    /// Panics if the configuration has a non-positive frame rate or a zero
-    /// feature dimension.
+    /// Panics if the configuration is invalid ([`StreamConfig::validate`]
+    /// is the typed alternative; the core `SimConfig` validation calls it
+    /// before any stream is built).
     #[must_use]
     pub fn new(scenario: &Scenario, config: StreamConfig) -> Self {
-        assert!(config.fps > 0.0, "frame rate must be positive");
-        assert!(config.feature_dim > 0, "feature dimension must be positive");
+        if let Err(e) = config.validate() {
+            // lint: allow(panic) — documented constructor contract; core
+            // callers get the typed error from StreamConfig::validate first
+            panic!("{e}");
+        }
         Self { scenario: scenario.clone(), config }
     }
 
@@ -194,7 +244,9 @@ impl FrameStream {
 
         // Draw the feature vector around the (class, attributes) centre.
         let center = self.class_center(true_class, &attributes);
-        let noise = Normal::new(0.0f32, self.config.noise_std).expect("std is positive");
+        // lint: allow(panic) — noise_std was validated non-negative and
+        // finite by StreamConfig::validate in FrameStream::new
+        let noise = Normal::new(0.0f32, self.config.noise_std).expect("std is validated");
         let features = center.iter().map(|c| c + noise.sample(&mut rng)).collect();
 
         Frame { index, timestamp_s, attributes, sample: Sample { features, true_class } }

@@ -21,9 +21,6 @@
 //! workloads (inference, labeling, retraining) that Section III-B of the
 //! paper characterises.
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 mod error;
 pub mod layer;
 pub mod loss;

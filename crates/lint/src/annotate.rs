@@ -1,0 +1,251 @@
+//! The allow-annotation grammar.
+//!
+//! Two comment forms opt code out of a rule, and both make the *reason*
+//! mandatory — an annotation without a justification is itself a finding:
+//!
+//! - `// lint: allow(<rule>) — <reason>` exempts code from `<rule>`
+//!   (`determinism`, `panic`, or `registry`). A trailing comment exempts
+//!   its own line; a standalone comment exempts the statement that follows
+//!   (through its terminating `;` or `,`), so a method chain wrapped over
+//!   several lines needs only one annotation.
+//! - `// snapshot: skip(<field>) — <reason>` opts one mutable-state field
+//!   out of the snapshot-parity rule (the field will *not* survive
+//!   checkpoint/restore — say why that is correct), and
+//!   `// snapshot: as(<snapshot_field>) — <reason>` declares that the
+//!   field rides the snapshot under a different name.
+//!
+//! Doc comments (`///`, `//!`) never carry annotations, so documentation
+//! *about* the grammar cannot accidentally invoke it.
+
+use crate::diag::{Diagnostic, Rule};
+use crate::lexer::SourceFile;
+
+/// One parsed `lint: allow(..)` annotation, resolved to the code lines it
+/// exempts.
+#[derive(Debug, Clone)]
+pub struct Allow {
+    /// The rule being allowed.
+    pub rule: Rule,
+    /// First exempted line.
+    pub start: u32,
+    /// Last exempted line (the end of the annotated statement).
+    pub end: u32,
+}
+
+/// One parsed `snapshot: skip(<field>)` annotation.
+#[derive(Debug, Clone)]
+pub struct SnapshotSkip {
+    /// The state-struct field being opted out.
+    pub field: String,
+    /// The comment's own line (used to scope the skip to a struct body).
+    pub line: u32,
+}
+
+/// One parsed `snapshot: as(<snapshot_field>)` annotation, resolved to the
+/// code line (the state field declaration) it applies to.
+#[derive(Debug, Clone)]
+pub struct SnapshotRename {
+    /// The snapshot-struct field the state field maps to.
+    pub target: String,
+    /// The code line of the state field declaration.
+    pub line: u32,
+}
+
+/// Every annotation in one file, plus the findings for malformed ones.
+#[derive(Debug, Default)]
+pub struct FileAnnotations {
+    /// `lint: allow(..)` exemptions.
+    pub allows: Vec<Allow>,
+    /// `snapshot: skip(..)` opt-outs.
+    pub skips: Vec<SnapshotSkip>,
+    /// `snapshot: as(..)` renames.
+    pub renames: Vec<SnapshotRename>,
+    /// Annotations that failed to parse.
+    pub malformed: Vec<Diagnostic>,
+}
+
+impl FileAnnotations {
+    /// Whether `rule` is allowed on `line`.
+    #[must_use]
+    pub fn allowed(&self, rule: Rule, line: u32) -> bool {
+        self.allows.iter().any(|a| a.rule == rule && (a.start..=a.end).contains(&line))
+    }
+}
+
+/// Parses every annotation comment in `file`.
+#[must_use]
+pub fn collect(file: &SourceFile) -> FileAnnotations {
+    let mut out = FileAnnotations::default();
+    for comment in &file.comments {
+        if comment.doc {
+            continue;
+        }
+        let text = comment.text.trim();
+        if let Some(rest) = text.strip_prefix("lint:") {
+            parse_lint(file, comment.line, comment.trailing, rest.trim(), &mut out);
+        } else if let Some(rest) = text.strip_prefix("snapshot:") {
+            parse_snapshot(file, comment.line, comment.trailing, rest.trim(), &mut out);
+        }
+    }
+    out
+}
+
+/// Resolves the code line an annotation applies to: its own line for a
+/// trailing comment, the next line carrying code for a standalone one.
+fn target_line(file: &SourceFile, comment_line: u32, trailing: bool) -> u32 {
+    if trailing {
+        return comment_line;
+    }
+    file.tokens.iter().map(|t| t.line).filter(|&l| l > comment_line).min().unwrap_or(comment_line)
+}
+
+/// Resolves the line range an `allow` exempts: its own line for a trailing
+/// comment; for a standalone comment, the whole statement that follows —
+/// from the next code line through the token that ends the statement (a `;`
+/// or `,` at bracket depth zero, or the closing bracket of the enclosing
+/// block for tail expressions).
+fn target_range(file: &SourceFile, comment_line: u32, trailing: bool) -> (u32, u32) {
+    if trailing {
+        return (comment_line, comment_line);
+    }
+    let Some(first) = file.tokens.iter().position(|t| t.line > comment_line) else {
+        return (comment_line, comment_line);
+    };
+    let start = file.tokens[first].line;
+    let mut end = start;
+    let mut depth: i32 = 0;
+    for token in &file.tokens[first..] {
+        match token.text.as_str() {
+            "(" | "[" | "{" => depth += 1,
+            ")" | "]" | "}" => {
+                depth -= 1;
+                if depth < 0 {
+                    // The enclosing block closed: the annotated code was a
+                    // tail expression and ended on the previous token.
+                    break;
+                }
+            }
+            ";" | "," if depth == 0 => {
+                end = token.line;
+                break;
+            }
+            _ => {}
+        }
+        end = token.line;
+    }
+    (start, end)
+}
+
+fn parse_lint(file: &SourceFile, line: u32, trailing: bool, rest: &str, out: &mut FileAnnotations) {
+    let Some((verb, argument, reason)) = parse_clause(rest) else {
+        out.malformed.push(Diagnostic::new(
+            &file.path,
+            line,
+            Rule::Annotation,
+            "malformed annotation — expected `// lint: allow(<rule>) — <reason>`",
+        ));
+        return;
+    };
+    if verb != "allow" {
+        out.malformed.push(Diagnostic::new(
+            &file.path,
+            line,
+            Rule::Annotation,
+            format!("unknown lint verb `{verb}` — only `allow(<rule>)` is recognised"),
+        ));
+        return;
+    }
+    let Some(rule) = Rule::from_id(&argument) else {
+        out.malformed.push(Diagnostic::new(
+            &file.path,
+            line,
+            Rule::Annotation,
+            format!(
+                "unknown rule `{argument}` in allow — expected one of \
+                 determinism, panic, snapshot, registry"
+            ),
+        ));
+        return;
+    };
+    if reason.is_empty() {
+        out.malformed.push(Diagnostic::new(
+            &file.path,
+            line,
+            Rule::Annotation,
+            format!("allow({argument}) without a reason — write `// lint: allow({argument}) — <why this is safe>`"),
+        ));
+        return;
+    }
+    let (start, end) = target_range(file, line, trailing);
+    out.allows.push(Allow { rule, start, end });
+}
+
+fn parse_snapshot(
+    file: &SourceFile,
+    line: u32,
+    trailing: bool,
+    rest: &str,
+    out: &mut FileAnnotations,
+) {
+    let Some((verb, argument, reason)) = parse_clause(rest) else {
+        out.malformed.push(Diagnostic::new(
+            &file.path,
+            line,
+            Rule::Annotation,
+            "malformed annotation — expected `// snapshot: skip(<field>) — <reason>` \
+             or `// snapshot: as(<snapshot_field>) — <reason>`",
+        ));
+        return;
+    };
+    if reason.is_empty() {
+        out.malformed.push(Diagnostic::new(
+            &file.path,
+            line,
+            Rule::Annotation,
+            format!(
+                "snapshot: {verb}({argument}) without a reason — the justification is mandatory"
+            ),
+        ));
+        return;
+    }
+    match verb.as_str() {
+        "skip" => out.skips.push(SnapshotSkip { field: argument, line }),
+        "as" => out
+            .renames
+            .push(SnapshotRename { target: argument, line: target_line(file, line, trailing) }),
+        other => out.malformed.push(Diagnostic::new(
+            &file.path,
+            line,
+            Rule::Annotation,
+            format!("unknown snapshot verb `{other}` — expected `skip` or `as`"),
+        )),
+    }
+}
+
+/// Parses `<verb>(<argument>) — <reason>` into its three parts. The reason
+/// separator may be an em dash (`—`), `--`, or `-`; the returned reason is
+/// trimmed and may be empty (callers enforce non-emptiness so they can
+/// phrase the error).
+fn parse_clause(text: &str) -> Option<(String, String, String)> {
+    let open = text.find('(')?;
+    let close = text.find(')')?;
+    if close < open {
+        return None;
+    }
+    let verb = text[..open].trim();
+    if verb.is_empty() || !verb.chars().all(|c| c.is_ascii_alphabetic()) {
+        return None;
+    }
+    let argument = text[open + 1..close].trim();
+    if argument.is_empty() {
+        return None;
+    }
+    let mut reason = text[close + 1..].trim();
+    for separator in ["\u{2014}", "--", "-"] {
+        if let Some(stripped) = reason.strip_prefix(separator) {
+            reason = stripped;
+            break;
+        }
+    }
+    Some((verb.to_string(), argument.to_string(), reason.trim().to_string()))
+}

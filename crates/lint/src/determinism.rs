@@ -1,0 +1,56 @@
+//! The determinism rule: bans ambient nondeterminism from library code.
+//!
+//! DaCapo's headline invariant is that runs are bit-identical across
+//! thread counts, snapshot/restore round trips, and offload routes. That
+//! only holds if library code never consults wall clocks, ambient RNG, the
+//! process environment, or unordered hash collections. This rule bans the
+//! constructs wholesale in the deterministic crates; test modules are
+//! exempt (they time regressions and dedup with `HashSet` freely), and a
+//! justified `// lint: allow(determinism) — <reason>` exempts one line.
+
+use crate::diag::{Diagnostic, Rule};
+use crate::lexer::{SourceFile, TokenKind};
+
+/// The banned identifiers, with the reason each undermines determinism.
+const BANNED: &[(&str, &str)] = &[
+    ("Instant", "wall-clock reads differ between runs; use the virtual clock"),
+    ("SystemTime", "wall-clock reads differ between runs; use the virtual clock"),
+    ("thread_rng", "ambient RNG is unseeded; thread a seeded StdRng instead"),
+    ("HashMap", "iteration order is arbitrary; use BTreeMap"),
+    ("HashSet", "iteration order is arbitrary; use BTreeSet"),
+];
+
+/// Scans one file for banned constructs. Returns raw findings; the driver
+/// applies `allow(determinism)` exemptions.
+#[must_use]
+pub fn check(file: &SourceFile) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for (i, token) in file.tokens.iter().enumerate() {
+        if token.in_test || token.kind != TokenKind::Ident {
+            continue;
+        }
+        if let Some((name, why)) = BANNED.iter().find(|(name, _)| token.text == *name) {
+            out.push(Diagnostic::new(
+                &file.path,
+                token.line,
+                Rule::Determinism,
+                format!("`{name}` in deterministic library code — {why}"),
+            ));
+        }
+        // `std::env` as a path: environment reads make runs host-dependent.
+        if token.text == "std"
+            && matches!(file.tokens.get(i + 1), Some(t) if t.text == ":")
+            && matches!(file.tokens.get(i + 2), Some(t) if t.text == ":")
+            && matches!(file.tokens.get(i + 3), Some(t) if t.kind == TokenKind::Ident && t.text == "env")
+        {
+            out.push(Diagnostic::new(
+                &file.path,
+                token.line,
+                Rule::Determinism,
+                "`std::env` in deterministic library code — environment reads make \
+                 runs host-dependent; take configuration as explicit parameters",
+            ));
+        }
+    }
+    out
+}

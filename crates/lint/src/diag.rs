@@ -1,0 +1,128 @@
+//! Diagnostics: what a rule reports and how findings are rendered.
+
+use std::fmt;
+
+/// The rule families the linter enforces (plus the meta-rule for malformed
+/// annotations).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// Wall-clock, ambient randomness, environment reads, or unordered
+    /// hash collections in deterministic library code.
+    Determinism,
+    /// `unwrap`/`expect`/`panic!`-family calls in library code.
+    Panic,
+    /// A mutable-state struct field that does not ride its snapshot struct.
+    Snapshot,
+    /// A registry builtin missing from module docs or README, or a
+    /// reserved-name list that drifted from the code.
+    Registry,
+    /// A `lint:`/`snapshot:` annotation that does not parse (unknown rule,
+    /// missing reason, unknown field).
+    Annotation,
+}
+
+impl Rule {
+    /// The rule id as it appears in diagnostics and `allow(..)` clauses.
+    #[must_use]
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::Determinism => "determinism",
+            Rule::Panic => "panic",
+            Rule::Snapshot => "snapshot",
+            Rule::Registry => "registry",
+            Rule::Annotation => "annotation",
+        }
+    }
+
+    /// Parses a rule id from an `allow(<rule>)` clause. The meta-rule
+    /// [`Rule::Annotation`] is not allowable and not recognised here.
+    #[must_use]
+    pub fn from_id(id: &str) -> Option<Rule> {
+        match id {
+            "determinism" => Some(Rule::Determinism),
+            "panic" => Some(Rule::Panic),
+            "snapshot" => Some(Rule::Snapshot),
+            "registry" => Some(Rule::Registry),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.id())
+    }
+}
+
+/// One finding: `file:line: [rule] message`.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// Workspace-relative file path.
+    pub path: String,
+    /// 1-based line number.
+    pub line: u32,
+    /// The rule family that fired.
+    pub rule: Rule,
+    /// Human-readable description of the violation and the fix.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Builds a finding.
+    #[must_use]
+    pub fn new(path: &str, line: u32, rule: Rule, message: impl Into<String>) -> Self {
+        Self { path: path.to_string(), line, rule, message: message.into() }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: [{}] {}", self.path, self.line, self.rule, self.message)
+    }
+}
+
+/// Renders findings as a JSON report (`--format json`):
+/// `{"findings": [{"file", "line", "rule", "message"}, ..], "count": N}`.
+///
+/// Hand-rolled so the linter stays zero-dependency; only the escapes JSON
+/// requires for the message strings are applied.
+#[must_use]
+pub fn to_json(diagnostics: &[Diagnostic]) -> String {
+    let mut out = String::from("{\n  \"findings\": [");
+    for (i, diag) in diagnostics.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    {\"file\": ");
+        out.push_str(&json_string(&diag.path));
+        out.push_str(&format!(", \"line\": {}, \"rule\": ", diag.line));
+        out.push_str(&json_string(diag.rule.id()));
+        out.push_str(", \"message\": ");
+        out.push_str(&json_string(&diag.message));
+        out.push('}');
+    }
+    if !diagnostics.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str(&format!("],\n  \"count\": {}\n}}\n", diagnostics.len()));
+    out
+}
+
+/// Escapes `text` as a JSON string literal, quotes included.
+fn json_string(text: &str) -> String {
+    let mut out = String::with_capacity(text.len() + 2);
+    out.push('"');
+    for c in text.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}

@@ -1,0 +1,84 @@
+//! `dacapo-lint` — the workspace invariant checker.
+//!
+//! A zero-dependency static analysis pass over the workspace's own source
+//! (the build environment has no crates.io, so the crate hand-rolls a
+//! small line/comment/string-aware Rust lexer instead of using `syn`). It
+//! machine-checks the preconditions of DaCapo's headline property — that
+//! runs are *deterministic*: bit-identical across thread counts, across
+//! snapshot/restore round trips, and across edge-tier offload — which
+//! reviewer vigilance alone cannot guarantee as the workspace grows.
+//!
+//! # Rules
+//!
+//! Four rule families run over `crates/core`, `crates/datagen`, and
+//! `crates/dnn` library code (test modules are always exempt):
+//!
+//! - **determinism** ([`determinism`]) — no `Instant`/`SystemTime`
+//!   (wall-clock), `thread_rng` (ambient RNG), `std::env` (host state), or
+//!   `HashMap`/`HashSet` (unordered iteration) in deterministic library
+//!   code.
+//! - **panic** ([`panics`]) — no `.unwrap()`/`.expect()` or
+//!   `panic!`/`unreachable!`/`todo!`/`unimplemented!` in library code:
+//!   return a typed `CoreError`/`DatagenError`, or justify the invariant.
+//! - **snapshot** ([`snapshot`]) — field parity between the mutable-state
+//!   structs (`Session`, `EdgeTier`) and their snapshot structs
+//!   (`SessionSnapshot`, `EdgeTierState`): a new state field that does not
+//!   ride snapshots is a lint error, not a latent checkpoint bug.
+//! - **registry** ([`registry`]) — every builtin name seeded into a
+//!   factory registry must be documented in the module's doc comments and
+//!   in `README.md`, and reserved-name lists must match the code.
+//!
+//! # Annotation grammar
+//!
+//! Opt-outs are explicit, narrowly scoped, and always carry a reason. A
+//! trailing `lint: allow` exempts its own line; a standalone one exempts
+//! the statement that follows (through its terminating `;`/`,`), so a
+//! wrapped method chain needs only one annotation:
+//!
+//! ```text
+//! .. // lint: allow(panic) — presence checked on pop
+//! // lint: allow(determinism) — cache key only, never iterated
+//! struct Session {
+//!     stream: FrameStream, // snapshot: skip(stream) — rebuilt from config
+//!     cursor: StreamCursor, // snapshot: as(stream_cursor) — renamed in the format
+//! }
+//! ```
+//!
+//! A malformed annotation (unknown rule or verb, missing reason, stale
+//! field name) is itself a finding under the `annotation` meta-rule.
+//!
+//! # The snapshot-parity contract
+//!
+//! When you add a field to `Session` or `EdgeTier`:
+//!
+//! 1. if it is mutable run state, add a matching field to
+//!    `SessionSnapshot`/`EdgeTierState`, capture and restore it, and bump
+//!    `SNAPSHOT_VERSION`;
+//! 2. if it rides the snapshot under a different name, annotate the state
+//!    field with `// snapshot: as(<snapshot_field>) — <reason>`;
+//! 3. only if it is pure behavior (rebuilt from the snapshotted config on
+//!    restore) or derived from it, annotate
+//!    `// snapshot: skip(<field>) — <reason>`.
+//!
+//! Until you do one of the three, `cargo run -p dacapo-lint` (and CI)
+//! fails with a finding at the new field's line.
+//!
+//! # Output
+//!
+//! The binary emits `file:line: [rule] message` diagnostics (or a JSON
+//! report with `--format json`) and exits non-zero on any finding; it runs
+//! in `just ci` and the CI workflow as a first-class gate alongside
+//! clippy.
+
+pub mod annotate;
+pub mod determinism;
+pub mod diag;
+pub mod lexer;
+pub mod panics;
+pub mod registry;
+pub mod snapshot;
+pub mod workspace;
+
+pub use diag::{to_json, Diagnostic, Rule};
+pub use lexer::SourceFile;
+pub use workspace::{lint_files, lint_workspace, TARGET_DIRS};

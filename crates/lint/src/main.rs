@@ -1,0 +1,81 @@
+//! The `dacapo-lint` binary: lints the workspace and exits non-zero on
+//! any finding. See the crate docs for the rules and annotation grammar.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use dacapo_lint::{lint_workspace, to_json};
+
+/// How findings are printed.
+enum Format {
+    /// `file:line: [rule] message`, one per line, plus a summary.
+    Text,
+    /// A machine-readable JSON report (for the CI artifact).
+    Json,
+}
+
+fn main() -> ExitCode {
+    let mut format = Format::Text;
+    let mut root = PathBuf::from(".");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--format" => match args.next().as_deref() {
+                Some("json") => format = Format::Json,
+                Some("text") => format = Format::Text,
+                other => {
+                    eprintln!(
+                        "dacapo-lint: --format expects `text` or `json`, got {:?}",
+                        other.unwrap_or("nothing")
+                    );
+                    return ExitCode::from(2);
+                }
+            },
+            "--root" => match args.next() {
+                Some(path) => root = PathBuf::from(path),
+                None => {
+                    eprintln!("dacapo-lint: --root expects a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!(
+                    "dacapo-lint — workspace invariant checker\n\n\
+                     USAGE: dacapo-lint [--root <workspace-root>] [--format text|json]\n\n\
+                     Checks determinism, panic-freedom, snapshot completeness, and\n\
+                     registry hygiene over the library crates. Exits 1 on findings."
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("dacapo-lint: unknown argument `{other}` (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let findings = match lint_workspace(&root) {
+        Ok(findings) => findings,
+        Err(message) => {
+            eprintln!("dacapo-lint: {message}");
+            return ExitCode::from(2);
+        }
+    };
+    match format {
+        Format::Text => {
+            for finding in &findings {
+                println!("{finding}");
+            }
+            if findings.is_empty() {
+                eprintln!("dacapo-lint: workspace clean");
+            } else {
+                eprintln!("dacapo-lint: {} finding(s)", findings.len());
+            }
+        }
+        Format::Json => print!("{}", to_json(&findings)),
+    }
+    if findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,58 @@
+//! The panic-freedom rule: bans `unwrap`/`expect` and the panicking macros
+//! from library code.
+//!
+//! A panic in a session kills a whole accelerator loop (and with it every
+//! co-resident camera), so library code must either return a typed
+//! `CoreError`/`DatagenError` a caller can handle, or document exactly why
+//! the panic is unreachable with `// lint: allow(panic) — <invariant>`.
+//! `assert!`/`debug_assert!` are deliberately *not* banned — stating an
+//! invariant is encouraged; quietly unwrapping is not. Test modules are
+//! exempt.
+
+use crate::diag::{Diagnostic, Rule};
+use crate::lexer::{SourceFile, TokenKind};
+
+/// The banned panicking macros.
+const MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// Scans one file for panic sites. Returns raw findings; the driver
+/// applies `allow(panic)` exemptions.
+#[must_use]
+pub fn check(file: &SourceFile) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for (i, token) in file.tokens.iter().enumerate() {
+        if token.in_test || token.kind != TokenKind::Ident {
+            continue;
+        }
+        let prev = i.checked_sub(1).and_then(|p| file.tokens.get(p));
+        let next = file.tokens.get(i + 1);
+        let called = matches!(next, Some(t) if t.text == "(");
+        let method = matches!(prev, Some(t) if t.text == ".");
+        if method && called && (token.text == "unwrap" || token.text == "expect") {
+            out.push(Diagnostic::new(
+                &file.path,
+                token.line,
+                Rule::Panic,
+                format!(
+                    "`.{}()` in library code — return a typed error a caller can \
+                     handle, or annotate `// lint: allow(panic) — <invariant>`",
+                    token.text
+                ),
+            ));
+        }
+        let macro_call = matches!(next, Some(t) if t.text == "!");
+        if macro_call && MACROS.contains(&token.text.as_str()) {
+            out.push(Diagnostic::new(
+                &file.path,
+                token.line,
+                Rule::Panic,
+                format!(
+                    "`{}!` in library code — return a typed error a caller can \
+                     handle, or annotate `// lint: allow(panic) — <invariant>`",
+                    token.text
+                ),
+            ));
+        }
+    }
+    out
+}

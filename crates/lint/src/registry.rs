@@ -1,0 +1,275 @@
+//! The registry-hygiene rule: builtin names must be documented and
+//! reserved-name lists must match the code.
+//!
+//! Every module that seeds a `Registry::new(..)` (schedulers, platforms,
+//! arbiters, share policies, uplinks, offload policies) publishes its
+//! builtin names as user-facing API: users select them by string in
+//! configs and on bench command lines. This rule extracts the builtin
+//! names straight from the code and enforces that each one appears in the
+//! module's own doc comments *and* in the workspace README, and that every
+//! name in a `Registry::new` reserved list (a) actually names a builtin
+//! and (b) is called out as reserved in the module docs.
+//!
+//! Builtin names are recognised three ways, matching the three seeding
+//! idioms in the workspace:
+//!
+//! 1. a `fn name(..) -> &str`-shaped method whose body opens with a string
+//!    literal (factory base names);
+//! 2. a `name: "<literal>"` struct-literal field (profile tables like the
+//!    uplink builtins);
+//! 3. string literals written by the `Display` impl of a `*Kind` enum
+//!    (registries seeded from `SchedulerKind`/`PlatformKind`, whose
+//!    registry names are the lower-cased display names).
+//!
+//! Extracted candidates are filtered to plausible registry names
+//! (lower-case `[a-z0-9_-]`, no format placeholders) before any check
+//! fires.
+
+use std::collections::BTreeMap;
+
+use crate::diag::{Diagnostic, Rule};
+use crate::lexer::{SourceFile, Token, TokenKind};
+
+/// Whether `file` seeds a registry (mentions `Registry::new`), making the
+/// rule applicable.
+#[must_use]
+pub fn is_registry_module(file: &SourceFile) -> bool {
+    file.tokens.windows(4).any(|w| {
+        !w[0].in_test
+            && w[0].text == "Registry"
+            && w[1].text == ":"
+            && w[2].text == ":"
+            && w[3].text == "new"
+    })
+}
+
+/// Runs the hygiene checks for one registry module against the README
+/// text. Returns raw findings; the driver applies `allow(registry)`
+/// exemptions.
+#[must_use]
+pub fn check(file: &SourceFile, readme: Option<&str>) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let builtins = builtin_names(file);
+    let reserved = reserved_names(file);
+    let docs = all_comment_text(file);
+    let readme_lower = readme.map(str::to_lowercase);
+    for (name, line) in &builtins {
+        if !docs.contains(name.as_str()) {
+            out.push(Diagnostic::new(
+                &file.path,
+                *line,
+                Rule::Registry,
+                format!("builtin `{name}` is not documented in this module's doc comments"),
+            ));
+        }
+        match &readme_lower {
+            Some(readme) if readme.contains(name.as_str()) => {}
+            Some(_) => out.push(Diagnostic::new(
+                &file.path,
+                *line,
+                Rule::Registry,
+                format!("builtin `{name}` is not documented in README.md"),
+            )),
+            None => out.push(Diagnostic::new(
+                &file.path,
+                *line,
+                Rule::Registry,
+                format!("builtin `{name}` cannot be checked against README.md — file not found"),
+            )),
+        }
+    }
+    for (name, line) in &reserved {
+        if !builtins.contains_key(name) {
+            out.push(Diagnostic::new(
+                &file.path,
+                *line,
+                Rule::Registry,
+                format!(
+                    "reserved name `{name}` has no builtin factory in this module — \
+                     the reserved list drifted from the code"
+                ),
+            ));
+        }
+        let documented_reserved = file.comments.iter().any(|c| {
+            let lower = c.text.to_lowercase();
+            lower.contains("reserved") && lower.contains(name.as_str())
+        });
+        if !documented_reserved {
+            out.push(Diagnostic::new(
+                &file.path,
+                *line,
+                Rule::Registry,
+                format!(
+                    "reserved name `{name}` is not documented as reserved in this \
+                     module's comments"
+                ),
+            ));
+        }
+    }
+    out
+}
+
+/// Whether a lower-cased literal looks like a registry name rather than a
+/// message or format string.
+fn plausible_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.len() >= 2
+        && name.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || "-_".contains(c))
+}
+
+/// Every comment in the file, lower-cased and concatenated — the "module
+/// docs" a builtin must appear in.
+fn all_comment_text(file: &SourceFile) -> String {
+    let mut out = String::new();
+    for comment in &file.comments {
+        out.push_str(&comment.text.to_lowercase());
+        out.push('\n');
+    }
+    out
+}
+
+/// Extracts the builtin names seeded by this module: name → first line.
+#[must_use]
+pub fn builtin_names(file: &SourceFile) -> BTreeMap<String, u32> {
+    let mut out = BTreeMap::new();
+    let tokens: Vec<&Token> = file.tokens.iter().filter(|t| !t.in_test).collect();
+    // Idiom 1: `fn name(..) -> .. str/String { "literal" .. }`.
+    for i in 0..tokens.len() {
+        if tokens[i].text != "fn" || tokens.get(i + 1).is_none_or(|t| t.text != "name") {
+            continue;
+        }
+        let Some(mut j) = matching_close(&tokens, i + 2, "(", ")") else { continue };
+        // Return type tokens up to the body (or `;` for a trait method).
+        let mut returns_string = false;
+        let mut body = None;
+        while let Some(t) = tokens.get(j) {
+            match t.text.as_str() {
+                "{" => {
+                    body = Some(j + 1);
+                    break;
+                }
+                ";" => break,
+                "str" | "String" => returns_string = true,
+                _ => {}
+            }
+            j += 1;
+        }
+        if !returns_string {
+            continue;
+        }
+        if let Some(body) = body {
+            if let Some(t) = tokens.get(body) {
+                if t.kind == TokenKind::Str {
+                    let name = t.text.to_lowercase();
+                    if plausible_name(&name) {
+                        out.entry(name).or_insert(t.line);
+                    }
+                }
+            }
+        }
+    }
+    // Idiom 2: `name: "literal"` struct-literal fields.
+    for i in 0..tokens.len().saturating_sub(2) {
+        if tokens[i].kind == TokenKind::Ident
+            && tokens[i].text == "name"
+            && tokens[i + 1].text == ":"
+            && tokens[i + 2].kind == TokenKind::Str
+        {
+            let name = tokens[i + 2].text.to_lowercase();
+            if plausible_name(&name) {
+                out.entry(name).or_insert(tokens[i + 2].line);
+            }
+        }
+    }
+    // Idiom 3: literals written by a `*Kind` enum's Display impl.
+    for i in 0..tokens.len() {
+        let display_for_kind = tokens[i].text == "Display"
+            && tokens.get(i + 1).is_some_and(|t| t.text == "for")
+            && tokens.get(i + 2).is_some_and(|t| t.text.ends_with("Kind"));
+        if !display_for_kind {
+            continue;
+        }
+        // The impl body: first `{` after the type name, to its match.
+        let mut j = i + 3;
+        while tokens.get(j).is_some_and(|t| t.text != "{") {
+            j += 1;
+        }
+        let Some(end) = matching_close(&tokens, j, "{", "}") else { continue };
+        let mut k = j;
+        while k + 5 < end {
+            if tokens[k].text == "write"
+                && tokens[k + 1].text == "!"
+                && tokens[k + 2].text == "("
+                && tokens[k + 3].kind == TokenKind::Ident
+                && tokens[k + 4].text == ","
+                && tokens[k + 5].kind == TokenKind::Str
+            {
+                let name = tokens[k + 5].text.to_lowercase();
+                if plausible_name(&name) {
+                    out.entry(name).or_insert(tokens[k + 5].line);
+                }
+            }
+            k += 1;
+        }
+    }
+    out
+}
+
+/// Extracts the reserved-name literals passed to `Registry::new(..)`
+/// calls: name → line. Only all-literal `&[..]` groups inside the call
+/// are read, which is exactly the reserved-list idiom.
+#[must_use]
+pub fn reserved_names(file: &SourceFile) -> BTreeMap<String, u32> {
+    let mut out = BTreeMap::new();
+    let tokens: Vec<&Token> = file.tokens.iter().filter(|t| !t.in_test).collect();
+    for i in 0..tokens.len() {
+        let is_new = tokens[i].text == "Registry"
+            && tokens.get(i + 1).is_some_and(|t| t.text == ":")
+            && tokens.get(i + 2).is_some_and(|t| t.text == ":")
+            && tokens.get(i + 3).is_some_and(|t| t.text == "new")
+            && tokens.get(i + 4).is_some_and(|t| t.text == "(");
+        if !is_new {
+            continue;
+        }
+        let Some(end) = matching_close(&tokens, i + 4, "(", ")") else { continue };
+        let mut j = i + 5;
+        while j + 1 < end {
+            if tokens[j].text == "&" && tokens[j + 1].text == "[" {
+                let Some(close) = matching_close(&tokens, j + 1, "[", "]") else { break };
+                let inner = &tokens[j + 2..close - 1];
+                let all_literals = inner.iter().all(|t| t.kind == TokenKind::Str || t.text == ",");
+                if all_literals {
+                    for t in inner.iter().filter(|t| t.kind == TokenKind::Str) {
+                        out.entry(t.text.to_lowercase()).or_insert(t.line);
+                    }
+                }
+                j = close;
+            } else {
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Given `open` at index `i`, returns the index just past the matching
+/// `close`, tracking nesting.
+fn matching_close(tokens: &[&Token], i: usize, open: &str, close: &str) -> Option<usize> {
+    if tokens.get(i)?.text != open {
+        return None;
+    }
+    let mut depth = 0usize;
+    let mut j = i;
+    while let Some(t) = tokens.get(j) {
+        if t.text == open {
+            depth += 1;
+        } else if t.text == close {
+            depth -= 1;
+            if depth == 0 {
+                return Some(j + 1);
+            }
+        }
+        j += 1;
+    }
+    None
+}

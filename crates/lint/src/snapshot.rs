@@ -1,0 +1,321 @@
+//! The snapshot-completeness rule: field parity between mutable-state
+//! structs and their snapshot structs.
+//!
+//! The checkpoint format only stays trustworthy if *every* piece of
+//! mutable session state rides it: a field added to `Session` (or the
+//! edge tier) but not to `SessionSnapshot` silently corrupts every
+//! checkpoint, migration, and restore — the exact failure class
+//! `SNAPSHOT_VERSION` exists to prevent. This rule makes that a lint
+//! error. For each (state struct, snapshot struct) pair in [`PAIRS`], a
+//! state field must be one of:
+//!
+//! - **named in the snapshot struct** (same field name);
+//! - **renamed** via `// snapshot: as(<snapshot_field>) — <reason>` on the
+//!   field, with the target field present in the snapshot struct;
+//! - **of the snapshot type itself** (e.g. `state: EdgeTierState` — the
+//!   field *is* the captured state);
+//! - **opted out** via `// snapshot: skip(<field>) — <reason>` anywhere in
+//!   the state struct's body — for pure behavior (rebuilt from config on
+//!   restore) or values derived from snapshotted configuration.
+//!
+//! Anything else is a finding at the offending field's line.
+
+use crate::annotate::FileAnnotations;
+use crate::diag::{Diagnostic, Rule};
+use crate::lexer::{SourceFile, TokenKind};
+
+/// The audited (state struct, snapshot struct) pairs. Matched by struct
+/// name wherever they are defined, so fixtures exercise the rule with
+/// same-named miniatures.
+pub const PAIRS: &[(&str, &str)] = &[("Session", "SessionSnapshot"), ("EdgeTier", "EdgeTierState")];
+
+/// One extracted struct field.
+#[derive(Debug)]
+pub struct Field {
+    /// The field name.
+    pub name: String,
+    /// The line the field is declared on.
+    pub line: u32,
+    /// The field's type, as raw token texts (used for the
+    /// field-is-the-snapshot-type coverage check).
+    pub type_tokens: Vec<String>,
+}
+
+/// One extracted `struct Name { .. }` definition.
+#[derive(Debug)]
+pub struct StructDef {
+    /// The struct name.
+    pub name: String,
+    /// The line of the `struct` keyword.
+    pub line: u32,
+    /// The named fields, in declaration order.
+    pub fields: Vec<Field>,
+    /// First line of the struct (for scoping `skip` annotations).
+    pub body_start: u32,
+    /// Last line of the struct body.
+    pub body_end: u32,
+}
+
+impl StructDef {
+    fn has_field(&self, name: &str) -> bool {
+        self.fields.iter().any(|f| f.name == name)
+    }
+}
+
+/// Extracts every non-test `struct Name { .. }` definition from `file`.
+/// Tuple and unit structs carry no named state and are ignored.
+#[must_use]
+pub fn extract_structs(file: &SourceFile) -> Vec<StructDef> {
+    let tokens = &file.tokens;
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        let is_struct = tokens[i].kind == TokenKind::Ident
+            && tokens[i].text == "struct"
+            && !tokens[i].in_test
+            // `struct` after `.` or `:` would be a field/path named struct
+            // — impossible in Rust, but cheap to guard.
+            && tokens.get(i + 1).is_some_and(|t| t.kind == TokenKind::Ident);
+        if !is_struct {
+            i += 1;
+            continue;
+        }
+        let name = tokens[i + 1].text.clone();
+        let line = tokens[i].line;
+        let mut j = i + 2;
+        // Skip generic parameters on the struct name.
+        if tokens.get(j).is_some_and(|t| t.text == "<") {
+            j = skip_angles(tokens, j);
+        }
+        // Skip a where clause: consume to the `{` or `;`.
+        while j < tokens.len() && tokens[j].text != "{" && tokens[j].text != ";" {
+            j += 1;
+        }
+        if tokens.get(j).is_none_or(|t| t.text != "{") {
+            i = j + 1;
+            continue;
+        }
+        let body_start = tokens[j].line;
+        let (fields, end) = parse_fields(tokens, j + 1);
+        let body_end = tokens.get(end.min(tokens.len() - 1)).map_or(body_start, |t| t.line);
+        out.push(StructDef { name, line, fields, body_start, body_end });
+        i = end + 1;
+    }
+    out
+}
+
+/// Skips a balanced `<..>` group starting at `i` (which must be `<`),
+/// returning the index past the matching `>`. `->` arrows inside
+/// fn-pointer types do not close the group.
+fn skip_angles(tokens: &[crate::lexer::Token], i: usize) -> usize {
+    let mut depth = 0i32;
+    let mut j = i;
+    while j < tokens.len() {
+        match tokens[j].text.as_str() {
+            "<" => depth += 1,
+            ">" if j == 0 || tokens[j - 1].text != "-" => {
+                depth -= 1;
+                if depth == 0 {
+                    return j + 1;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    j
+}
+
+/// Parses named fields from just inside a struct's `{` to its matching
+/// `}`. Returns the fields and the index of the closing `}`.
+fn parse_fields(tokens: &[crate::lexer::Token], start: usize) -> (Vec<Field>, usize) {
+    let mut fields = Vec::new();
+    let mut j = start;
+    loop {
+        // End of body?
+        match tokens.get(j) {
+            None => return (fields, j),
+            Some(t) if t.text == "}" => return (fields, j),
+            _ => {}
+        }
+        // Skip attributes on the field.
+        while tokens.get(j).is_some_and(|t| t.text == "#") {
+            j += 1;
+            if tokens.get(j).is_some_and(|t| t.text == "[") {
+                let mut depth = 0usize;
+                while j < tokens.len() {
+                    match tokens[j].text.as_str() {
+                        "[" => depth += 1,
+                        "]" => {
+                            depth -= 1;
+                            if depth == 0 {
+                                j += 1;
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+            }
+        }
+        // Skip visibility.
+        if tokens.get(j).is_some_and(|t| t.text == "pub") {
+            j += 1;
+            if tokens.get(j).is_some_and(|t| t.text == "(") {
+                while j < tokens.len() && tokens[j].text != ")" {
+                    j += 1;
+                }
+                j += 1;
+            }
+        }
+        // The field name and `:`.
+        let Some(name_token) = tokens.get(j) else { return (fields, j) };
+        if name_token.kind != TokenKind::Ident || tokens.get(j + 1).is_none_or(|t| t.text != ":") {
+            // Not a named field (tuple struct contents or malformed input);
+            // bail out to the closing brace.
+            while j < tokens.len() && tokens[j].text != "}" {
+                j += 1;
+            }
+            return (fields, j);
+        }
+        let name = name_token.text.clone();
+        let line = name_token.line;
+        j += 2;
+        // The type: tokens until a comma at zero bracket depth.
+        let mut type_tokens = Vec::new();
+        let mut angle = 0i32;
+        let mut round = 0i32;
+        let mut square = 0i32;
+        while let Some(t) = tokens.get(j) {
+            match t.text.as_str() {
+                "," if angle == 0 && round == 0 && square == 0 => {
+                    j += 1;
+                    break;
+                }
+                "}" if angle == 0 && round == 0 && square == 0 => break,
+                "<" => angle += 1,
+                ">" if j > 0 && tokens[j - 1].text != "-" => angle -= 1,
+                "(" => round += 1,
+                ")" => round -= 1,
+                "[" => square += 1,
+                "]" => square -= 1,
+                _ => {}
+            }
+            type_tokens.push(t.text.clone());
+            j += 1;
+        }
+        fields.push(Field { name, line, type_tokens });
+    }
+}
+
+/// Runs the parity check across `files` (with their parsed annotations,
+/// index-aligned). Returns snapshot findings plus annotation findings for
+/// skips that name unknown fields.
+#[must_use]
+pub fn check(files: &[SourceFile], annotations: &[FileAnnotations]) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    // name -> (file index, struct)
+    let mut structs: Vec<(usize, StructDef)> = Vec::new();
+    for (idx, file) in files.iter().enumerate() {
+        for def in extract_structs(file) {
+            structs.push((idx, def));
+        }
+    }
+    for (state_name, snapshot_name) in PAIRS {
+        let Some((state_idx, state)) =
+            structs.iter().find(|(_, s)| s.name == *state_name).map(|(i, s)| (*i, s))
+        else {
+            continue;
+        };
+        let state_file = &files[state_idx];
+        let annots = &annotations[state_idx];
+        let Some((_, snapshot)) = structs.iter().find(|(_, s)| s.name == *snapshot_name) else {
+            out.push(Diagnostic::new(
+                &state_file.path,
+                state.line,
+                Rule::Snapshot,
+                format!(
+                    "state struct `{state_name}` has no snapshot struct `{snapshot_name}` \
+                     anywhere in the linted files"
+                ),
+            ));
+            continue;
+        };
+        // Skips scoped to this struct's body.
+        let skips: Vec<_> = annots
+            .skips
+            .iter()
+            .filter(|s| s.line >= state.body_start && s.line <= state.body_end)
+            .collect();
+        for skip in &skips {
+            if !state.has_field(&skip.field) {
+                out.push(Diagnostic::new(
+                    &state_file.path,
+                    skip.line,
+                    Rule::Annotation,
+                    format!(
+                        "snapshot: skip({}) names no field of `{state_name}` — \
+                         stale annotation?",
+                        skip.field
+                    ),
+                ));
+            }
+        }
+        for field in &state.fields {
+            let skipped = skips.iter().any(|s| s.field == field.name);
+            if skipped {
+                if snapshot.has_field(&field.name) {
+                    out.push(Diagnostic::new(
+                        &state_file.path,
+                        field.line,
+                        Rule::Annotation,
+                        format!(
+                            "field `{}` of `{state_name}` is skip-annotated but a \
+                             same-named field rides `{snapshot_name}` — drop the stale skip",
+                            field.name
+                        ),
+                    ));
+                }
+                continue;
+            }
+            if snapshot.has_field(&field.name) {
+                continue;
+            }
+            if let Some(rename) = annots.renames.iter().find(|r| r.line == field.line) {
+                if snapshot.has_field(&rename.target) {
+                    continue;
+                }
+                out.push(Diagnostic::new(
+                    &state_file.path,
+                    field.line,
+                    Rule::Snapshot,
+                    format!(
+                        "field `{}` of `{state_name}` maps to `{}` which is not a \
+                         field of `{snapshot_name}`",
+                        field.name, rename.target
+                    ),
+                ));
+                continue;
+            }
+            // A field of the snapshot type itself is the captured state.
+            if field.type_tokens.iter().any(|t| t == snapshot_name) {
+                continue;
+            }
+            out.push(Diagnostic::new(
+                &state_file.path,
+                field.line,
+                Rule::Snapshot,
+                format!(
+                    "field `{}` of `{state_name}` does not ride `{snapshot_name}` — \
+                     add a matching snapshot field (and bump SNAPSHOT_VERSION), map it \
+                     with `// snapshot: as(<snapshot_field>) — <reason>`, or opt out \
+                     with `// snapshot: skip({}) — <reason>` if it is behavior rebuilt \
+                     on restore",
+                    field.name, field.name
+                ),
+            ));
+        }
+    }
+    out
+}

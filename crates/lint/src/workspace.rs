@@ -1,0 +1,88 @@
+//! The workspace driver: which files are linted, and how the rule
+//! families and allow-annotations compose into the final finding list.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::annotate::{self, FileAnnotations};
+use crate::diag::{Diagnostic, Rule};
+use crate::lexer::SourceFile;
+use crate::{determinism, panics, registry, snapshot};
+
+/// The deterministic library crates the determinism and panic-freedom
+/// rules police. Bench binaries and the offline shims are intentionally
+/// outside the net: benches measure wall time and parse `std::env::args`
+/// by design, and the shims mirror third-party APIs verbatim.
+pub const TARGET_DIRS: &[&str] = &["crates/core/src", "crates/datagen/src", "crates/dnn/src"];
+
+/// Lints the workspace rooted at `root`: every `.rs` file under
+/// [`TARGET_DIRS`], with `README.md` for the registry-hygiene rule.
+///
+/// # Errors
+///
+/// Returns a message if a target directory cannot be read — the linter
+/// must not silently pass because it was pointed at the wrong place.
+pub fn lint_workspace(root: &Path) -> Result<Vec<Diagnostic>, String> {
+    let mut files = Vec::new();
+    for dir in TARGET_DIRS {
+        let dir_path = root.join(dir);
+        let mut paths = Vec::new();
+        collect_rs_files(&dir_path, &mut paths)
+            .map_err(|e| format!("cannot read {}: {e}", dir_path.display()))?;
+        paths.sort();
+        for path in paths {
+            let content = fs::read_to_string(&path)
+                .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+            let relative =
+                path.strip_prefix(root).unwrap_or(&path).to_string_lossy().replace('\\', "/");
+            files.push(SourceFile::lex(&relative, &content));
+        }
+    }
+    let readme = fs::read_to_string(root.join("README.md")).ok();
+    Ok(lint_files(&files, readme.as_deref()))
+}
+
+/// Recursively collects `.rs` files under `dir`.
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lints an already-lexed file set against an optional README text. This
+/// is the composition point the fixture tests drive directly.
+#[must_use]
+pub fn lint_files(files: &[SourceFile], readme: Option<&str>) -> Vec<Diagnostic> {
+    let annotations: Vec<FileAnnotations> = files.iter().map(annotate::collect).collect();
+    let mut out = Vec::new();
+    for (file, annots) in files.iter().zip(&annotations) {
+        out.extend(annots.malformed.iter().cloned());
+        for diag in determinism::check(file) {
+            if !annots.allowed(Rule::Determinism, diag.line) {
+                out.push(diag);
+            }
+        }
+        for diag in panics::check(file) {
+            if !annots.allowed(Rule::Panic, diag.line) {
+                out.push(diag);
+            }
+        }
+        if registry::is_registry_module(file) {
+            for diag in registry::check(file, readme) {
+                if !annots.allowed(Rule::Registry, diag.line) {
+                    out.push(diag);
+                }
+            }
+        }
+    }
+    out.extend(snapshot::check(files, &annotations));
+    out.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    out
+}

@@ -1,0 +1,16 @@
+//! Annotation fixture: malformed forms are findings under the meta-rule.
+
+/// The meta-rule fires on each malformed annotation below.
+pub fn noisy() {
+    // lint: allow(panic)
+    let a = 1;
+    // lint: allow(nonsense) — not a rule
+    let b = 2;
+    // lint: deny(panic) — unknown verb
+    let c = 3;
+    // snapshot: keep(thing) — unknown snapshot verb
+    let d = 4;
+    // snapshot: skip(thing)
+    let e = 5;
+    let _ = (a, b, c, d, e);
+}

@@ -1,0 +1,33 @@
+//! Determinism fixture: each banned construct at a known line.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// Reads ambient state three ways.
+pub fn ambient() -> u64 {
+    let map = HashMap::<u32, u32>::new();
+    let start = Instant::now();
+    let home = std::env::var("HOME");
+    let _ = (start, home);
+    map.len() as u64
+}
+
+/// An allowed hash set: the annotation covers the whole statement.
+pub fn cached() -> usize {
+    // lint: allow(determinism) — cache key only, never iterated
+    let set: HashSet<u32> =
+        HashSet::new();
+    set.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashSet;
+    use std::time::SystemTime;
+
+    #[test]
+    fn clocks_are_fine_in_tests() {
+        let _ = SystemTime::now();
+        let _ = HashSet::<u32>::new();
+    }
+}

@@ -1,0 +1,34 @@
+//! Panic fixture: banned calls and macros, with both annotation forms.
+
+/// Unjustified panics that must be flagged.
+pub fn bad(input: Option<u32>) -> u32 {
+    let value = input.unwrap();
+    let other = input.expect("present");
+    if value > 3 {
+        panic!("too big");
+    }
+    match other {
+        0 => todo!(),
+        1 => unimplemented!(),
+        2 => unreachable!("covered"),
+        _ => value,
+    }
+}
+
+/// Justified panics that must not be flagged.
+pub fn good(input: Option<u32>) -> u32 {
+    let trailing = input.unwrap(); // lint: allow(panic) — validated by caller
+    // lint: allow(panic) — a wrapped chain is covered end to end
+    let chained = input
+        .unwrap();
+    assert!(trailing > 0, "asserts are encouraged, not banned");
+    trailing + chained
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        assert_eq!(Some(1).unwrap(), 1);
+    }
+}

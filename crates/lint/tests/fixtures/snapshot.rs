@@ -1,0 +1,33 @@
+//! Snapshot fixture: a Session miniature with one uncovered field.
+
+/// The state struct under audit.
+pub struct Session {
+    /// Covered: a same-named field rides the snapshot.
+    pub step: u64,
+    // snapshot: as(stream_cursor) — renamed in the snapshot format
+    pub cursor: u64,
+    // snapshot: skip(scratch) — rebuilt from config on restore
+    pub scratch: Vec<u8>,
+    /// NOT covered: no snapshot field, no annotation. Must be flagged.
+    pub forgotten: f64,
+}
+
+/// The snapshot struct.
+pub struct SessionSnapshot {
+    /// Mirrors `Session::step`.
+    pub step: u64,
+    /// Mirrors `Session::cursor` under its snapshot name.
+    pub stream_cursor: u64,
+}
+
+/// The edge pair: the state field is the snapshot type itself.
+pub struct EdgeTier {
+    /// The captured state rides verbatim.
+    pub state: EdgeTierState,
+}
+
+/// The edge snapshot struct.
+pub struct EdgeTierState {
+    /// Bytes shipped so far.
+    pub shipped: u64,
+}

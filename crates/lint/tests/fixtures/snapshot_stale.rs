@@ -1,0 +1,19 @@
+//! Snapshot fixture: stale and mistargeted annotations are findings.
+
+/// State struct with a stale skip and a bad rename.
+pub struct Session {
+    // snapshot: skip(step) — stale: the snapshot grew a step field
+    pub step: u64,
+    // snapshot: as(missing_target) — the target never existed
+    pub cursor: u64,
+    // snapshot: skip(ghost) — names no field at all
+    pub real: u64,
+}
+
+/// The snapshot struct.
+pub struct SessionSnapshot {
+    /// The stale skip points here.
+    pub step: u64,
+    /// Covers `real`.
+    pub real: u64,
+}

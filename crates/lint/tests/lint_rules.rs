@@ -1,0 +1,158 @@
+//! Fixture-driven self-tests: each rule family is checked against a small
+//! source file with findings at known lines, and a meta-test asserts the
+//! real workspace lints clean.
+
+use std::path::Path;
+
+use dacapo_lint::{lint_files, lint_workspace, to_json, Rule, SourceFile};
+
+/// Lexes one fixture from `tests/fixtures/` under its repo-relative path.
+fn fixture(name: &str, content: &str) -> SourceFile {
+    SourceFile::lex(&format!("crates/lint/tests/fixtures/{name}"), content)
+}
+
+/// Asserts `diagnostics` is exactly `expected` as `(line, rule)` pairs, in
+/// the driver's (path, line, rule) order.
+#[track_caller]
+fn assert_findings(diagnostics: &[dacapo_lint::Diagnostic], expected: &[(u32, Rule)]) {
+    let got: Vec<(u32, Rule)> = diagnostics.iter().map(|d| (d.line, d.rule)).collect();
+    assert_eq!(
+        got,
+        expected,
+        "findings:\n{}",
+        diagnostics.iter().map(ToString::to_string).collect::<Vec<_>>().join("\n")
+    );
+}
+
+#[test]
+fn determinism_rule_flags_each_banned_construct_once() {
+    let file = fixture("determinism.rs", include_str!("fixtures/determinism.rs"));
+    let findings = lint_files(&[file], None);
+    assert_findings(
+        &findings,
+        &[
+            (3, Rule::Determinism),  // use .. HashMap
+            (4, Rule::Determinism),  // use .. Instant
+            (8, Rule::Determinism),  // HashMap::new()
+            (9, Rule::Determinism),  // Instant::now()
+            (10, Rule::Determinism), // std::env::var
+        ],
+    );
+    assert!(
+        findings.iter().all(|d| d.path == "crates/lint/tests/fixtures/determinism.rs"),
+        "diagnostics must carry the lexed path"
+    );
+}
+
+#[test]
+fn panic_rule_flags_calls_and_macros_but_honors_both_annotation_forms() {
+    let file = fixture("panics.rs", include_str!("fixtures/panics.rs"));
+    let findings = lint_files(&[file], None);
+    assert_findings(
+        &findings,
+        &[
+            (5, Rule::Panic),  // .unwrap()
+            (6, Rule::Panic),  // .expect()
+            (8, Rule::Panic),  // panic!
+            (11, Rule::Panic), // todo!
+            (12, Rule::Panic), // unimplemented!
+            (13, Rule::Panic), // unreachable!
+        ],
+    );
+}
+
+#[test]
+fn snapshot_rule_flags_a_session_field_missing_from_the_snapshot() {
+    let file = fixture("snapshot.rs", include_str!("fixtures/snapshot.rs"));
+    let findings = lint_files(&[file], None);
+    // The one uncovered field (`forgotten`, line 12) is the only finding:
+    // same-name, as-rename, skip, and field-is-the-snapshot-type coverage
+    // all hold for the rest.
+    assert_findings(&findings, &[(12, Rule::Snapshot)]);
+    assert!(
+        findings[0].message.contains("`forgotten`")
+            && findings[0].message.contains("SNAPSHOT_VERSION"),
+        "message should name the field and the fix: {}",
+        findings[0].message
+    );
+}
+
+#[test]
+fn snapshot_rule_flags_stale_skips_and_bad_renames() {
+    let file = fixture("snapshot_stale.rs", include_str!("fixtures/snapshot_stale.rs"));
+    let findings = lint_files(&[file], None);
+    assert_findings(
+        &findings,
+        &[
+            (6, Rule::Annotation), // skip(step) but step rides the snapshot
+            (8, Rule::Snapshot),   // as(missing_target): no such field
+            (9, Rule::Annotation), // skip(ghost): names no field
+        ],
+    );
+}
+
+#[test]
+fn registry_rule_flags_undocumented_builtins_and_drifted_reserved_lists() {
+    let file = fixture("registry.rs", include_str!("fixtures/registry.rs"));
+    let readme = "The `good-name` widget and the `reserved-name` placeholder.";
+    let findings = lint_files(&[file], Some(readme));
+    // `good-name` is fully clean: documented in module docs and README.
+    // `reserved-name` is documented as reserved but has no factory, so the
+    // drift check still fires; `drifted-name` fails both reserved checks,
+    // and `undocumented-name` fails both documentation checks.
+    let lines: Vec<(u32, Rule)> = findings.iter().map(|d| (d.line, d.rule)).collect();
+    assert_eq!(
+        lines,
+        vec![
+            (19, Rule::Registry), // undocumented-name: not in module docs
+            (19, Rule::Registry), // undocumented-name: not in README
+            (24, Rule::Registry), // drifted-name: no builtin factory
+            (24, Rule::Registry), // drifted-name: not documented as reserved
+            (24, Rule::Registry), // reserved-name: no builtin factory
+        ],
+        "findings:\n{}",
+        findings.iter().map(ToString::to_string).collect::<Vec<_>>().join("\n")
+    );
+}
+
+#[test]
+fn malformed_annotations_are_findings_under_the_meta_rule() {
+    let file = fixture("annotations.rs", include_str!("fixtures/annotations.rs"));
+    let findings = lint_files(&[file], None);
+    assert_findings(
+        &findings,
+        &[
+            (5, Rule::Annotation),  // allow(panic) without a reason
+            (7, Rule::Annotation),  // allow(nonsense): unknown rule
+            (9, Rule::Annotation),  // deny(..): unknown lint verb
+            (11, Rule::Annotation), // snapshot: keep(..): unknown verb
+            (13, Rule::Annotation), // snapshot: skip without a reason
+        ],
+    );
+}
+
+#[test]
+fn diagnostics_render_as_file_line_rule_message() {
+    let file = fixture("snapshot.rs", include_str!("fixtures/snapshot.rs"));
+    let findings = lint_files(&[file], None);
+    let rendered = findings[0].to_string();
+    assert!(
+        rendered.starts_with("crates/lint/tests/fixtures/snapshot.rs:12: [snapshot] "),
+        "unexpected rendering: {rendered}"
+    );
+    let json = to_json(&findings);
+    assert!(json.contains("\"line\": 12"), "{json}");
+    assert!(json.contains("\"rule\": \"snapshot\""), "{json}");
+    assert!(json.contains("\"count\": 1"), "{json}");
+}
+
+#[test]
+fn the_real_workspace_lints_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let findings = lint_workspace(&root).expect("workspace layout is readable");
+    assert!(
+        findings.is_empty(),
+        "the workspace must lint clean; findings:\n{}",
+        findings.iter().map(ToString::to_string).collect::<Vec<_>>().join("\n")
+    );
+}

@@ -40,9 +40,6 @@
 //! # }
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 mod block;
 mod error;
 mod error_analysis;

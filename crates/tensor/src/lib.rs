@@ -23,9 +23,6 @@
 //! # }
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 mod error;
 pub mod init;
 mod matrix;

@@ -1,7 +1,7 @@
 # Development shortcuts mirroring .github/workflows/ci.yml.
 
 # Run the full CI pipeline locally.
-ci: fmt-check clippy doc build test
+ci: fmt-check clippy lint doc build test
 
 fmt:
     cargo fmt
@@ -11,6 +11,11 @@ fmt-check:
 
 clippy:
     cargo clippy --workspace --all-targets -- -D warnings
+
+# The workspace invariant checker: determinism, panic-freedom, snapshot
+# completeness, registry hygiene (see README "Static analysis").
+lint:
+    cargo run -p dacapo-lint
 
 # API docs with broken intra-doc links treated as errors.
 doc:

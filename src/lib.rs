@@ -4,9 +4,6 @@
 //! (and the repo's own integration tests and examples) can depend on a single
 //! package. See [`core`] for the `Session`/`Fleet` execution engine.
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub use dacapo_accel as accel;
 pub use dacapo_bench as bench;
 pub use dacapo_core as core;
