@@ -13,7 +13,9 @@
 //!   accuracy aggregates.
 //!
 //! Run with `cargo run --release -p dacapo-bench --bin cluster_contention
-//! [--quick] [--json]`.
+//! [--quick] [--json] [--trace <path>] [--metrics <path>]`; the telemetry
+//! flags run the first (smallest) sweep point observed, writing a
+//! virtual-time Chrome trace and/or a per-window metrics timeseries.
 
 use dacapo_bench::runner::truncate_scenario;
 use dacapo_bench::{cli, pct, render_table, write_json, ExperimentOptions};
@@ -100,12 +102,27 @@ fn main() {
          fair-share arbiter, scenarios S1-ES2 cycled\n"
     );
 
+    // With --trace/--metrics the first (smallest) sweep point runs observed
+    // through a telemetry recorder; the rest of the sweep stays unobserved
+    // so throughput numbers keep measuring the bare executor.
+    let mut recorder = match options.telemetry_recorder() {
+        Ok(recorder) if recorder.is_enabled() => Some(recorder),
+        Ok(_) => None,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+
     let mut rows = Vec::new();
     for &cameras in camera_counts {
         for &accelerators in accel_counts {
             let cluster = build_cluster(cameras, accelerators);
             let started = Instant::now();
-            let result = cluster.run().expect("sweep cluster runs");
+            let result = match recorder.as_mut().filter(|_| rows.is_empty()) {
+                Some(recorder) => cluster.run_with(recorder).expect("observed sweep cluster runs"),
+                None => cluster.run().expect("sweep cluster runs"),
+            };
             let wall_s = started.elapsed().as_secs_f64();
             let contention = &result.contention;
             rows.push(SweepRow {
@@ -124,6 +141,16 @@ fn main() {
                 mean_accuracy: result.fleet.mean_accuracy,
                 total_drift_responses: result.fleet.total_drift_responses,
             });
+        }
+    }
+
+    if let Some(recorder) = recorder.take() {
+        match recorder.finish() {
+            Ok(summary) => println!(
+                "telemetry (first sweep point): {} trace events, {} metrics records",
+                summary.trace_events, summary.metrics_records,
+            ),
+            Err(e) => eprintln!("warning: telemetry sink failed: {e}"),
         }
     }
 

@@ -1,0 +1,198 @@
+//! Executor observability benchmark: host-time profile of an observed
+//! cluster run, plus the telemetry stack's overhead against a
+//! telemetry-free baseline.
+//!
+//! The same cluster runs three times:
+//!
+//! 1. **baseline** — `Cluster::run()`, no observer at all;
+//! 2. **null** — an observed run with a disabled (`null`-sink) recorder,
+//!    isolating the cost of the windowed observer path itself;
+//! 3. **full** — a `TelemetryRecorder` with `chrome-trace` + `json-lines`
+//!    sinks teed with the bench [`HostProfiler`], producing the trace, the
+//!    metrics timeseries, and the per-phase host-time breakdown.
+//!
+//! All three runs must produce identical `ClusterResult`s (the determinism
+//! contract); the binary asserts this. Outputs:
+//!
+//! * `results/BENCH_trace.json` — virtual-time Chrome trace (override with
+//!   `--trace <path>`);
+//! * `results/BENCH_metrics.jsonl` — per-window metrics timeseries
+//!   (override with `--metrics <path>`);
+//! * `results/BENCH_profile.json` — **always written**: per-phase host-time
+//!   breakdown and telemetry overhead percentages.
+//!
+//! Run with `cargo run --release -p dacapo-bench --bin executor_profile
+//! [--smoke|--quick] [--trace <path>] [--metrics <path>]`.
+
+use dacapo_bench::profile::{HostProfile, HostProfiler};
+use dacapo_bench::runner::truncate_scenario;
+use dacapo_bench::{cli, pct, render_table, write_json, ExperimentOptions};
+use dacapo_core::{ChurnPlan, Cluster, ClusterResult, SchedulerKind, SimConfig};
+use dacapo_datagen::Scenario;
+use dacapo_dnn::zoo::ModelPair;
+use dacapo_telemetry::{TeeObserver, TelemetryRecorder, TelemetrySummary};
+use serde::Serialize;
+use std::time::Instant;
+
+/// The record written to `results/BENCH_profile.json`.
+#[derive(Debug, Clone, Serialize)]
+struct ProfileRecord {
+    bench: &'static str,
+    schema_version: u32,
+    quick: bool,
+    cameras: usize,
+    accelerators: usize,
+    baseline_wall_s: f64,
+    null_observer_wall_s: f64,
+    telemetry_wall_s: f64,
+    /// Observed-path overhead of the disabled recorder vs the baseline.
+    null_overhead_pct: f64,
+    /// Full tracing + metrics overhead vs the baseline.
+    telemetry_overhead_pct: f64,
+    trace_events: u64,
+    metrics_records: u64,
+    /// Per-phase host-time breakdown of the full observed run.
+    profile: HostProfile,
+}
+
+/// Builds the profiled cluster: cameras cycling the paper scenarios over
+/// shared accelerators, with label sharing and a churn event so every
+/// telemetry hook family fires.
+fn build_cluster(cameras: usize, accelerators: usize) -> Cluster {
+    let scenarios = Scenario::all();
+    let mut cluster = Cluster::new(accelerators)
+        .arbiter("fair-share")
+        .share("broadcast")
+        .share_window_s(60.0)
+        .churn(ChurnPlan::new().leave(180.0, "cam-0001"));
+    for i in 0..cameras {
+        let scenario = truncate_scenario(&scenarios[i % scenarios.len()], 2);
+        let config = SimConfig::builder(scenario, ModelPair::ResNet18Wrn50)
+            .scheduler(SchedulerKind::DaCapoSpatiotemporal)
+            .measurement(10.0, 10)
+            .pretrain_samples(64)
+            .seed(0x9A0F11E + i as u64)
+            .build()
+            .expect("profile camera config builds");
+        cluster = cluster.camera(format!("cam-{i:04}"), config);
+    }
+    cluster
+}
+
+fn overhead_pct(run_s: f64, baseline_s: f64) -> f64 {
+    if baseline_s > 0.0 {
+        (run_s / baseline_s - 1.0) * 100.0
+    } else {
+        0.0
+    }
+}
+
+fn main() {
+    let options = ExperimentOptions::from_args();
+    let (cameras, accelerators) = cli::tier(&options, (4, 2), (8, 2), (24, 4));
+    let trace_path = options.trace.clone().unwrap_or_else(|| "results/BENCH_trace.json".into());
+    let metrics_path =
+        options.metrics.clone().unwrap_or_else(|| "results/BENCH_metrics.jsonl".into());
+    std::fs::create_dir_all("results").expect("results directory is writable");
+
+    println!(
+        "Executor observability profile: {cameras} cameras x {accelerators} accelerators, \
+         fair-share + broadcast sharing + churn\n"
+    );
+
+    // 1. Telemetry-free baseline.
+    let started = Instant::now();
+    let baseline: ClusterResult =
+        build_cluster(cameras, accelerators).run().expect("baseline runs");
+    let baseline_wall_s = started.elapsed().as_secs_f64();
+
+    // 2. Observed run with a disabled recorder (the reserved null sink).
+    let mut null_recorder =
+        TelemetryRecorder::new().with_sink_spec("null").expect("null spec is reserved");
+    let started = Instant::now();
+    let null_result = build_cluster(cameras, accelerators)
+        .run_with(&mut null_recorder)
+        .expect("null-observed run");
+    let null_wall_s = started.elapsed().as_secs_f64();
+    assert_eq!(baseline, null_result, "a null-sink observer must not perturb results");
+
+    // 3. Full telemetry: recorder (trace + metrics sinks) teed with the
+    //    host-time profiler.
+    let mut recorder = TelemetryRecorder::new()
+        .with_sink_spec(&format!("chrome-trace:{trace_path}"))
+        .and_then(|r| r.with_sink_spec(&format!("json-lines:{metrics_path}")))
+        .expect("builtin sink specs parse");
+    let mut profiler = HostProfiler::new();
+    let started = Instant::now();
+    let full_result = {
+        let mut tee = TeeObserver::new(&mut recorder, &mut profiler);
+        build_cluster(cameras, accelerators).run_with(&mut tee).expect("traced run")
+    };
+    let telemetry_wall_s = started.elapsed().as_secs_f64();
+    assert_eq!(baseline, full_result, "telemetry must not perturb results");
+    let summary: TelemetrySummary = recorder.finish().expect("sinks flush");
+    let profile = profiler.finish();
+
+    let rows = vec![
+        vec![
+            "label".to_string(),
+            format!("{:.3}", profile.label_s),
+            pct(profile.fraction(profile.label_s)),
+        ],
+        vec![
+            "retrain".to_string(),
+            format!("{:.3}", profile.retrain_s),
+            pct(profile.fraction(profile.retrain_s)),
+        ],
+        vec![
+            "wait".to_string(),
+            format!("{:.3}", profile.wait_s),
+            pct(profile.fraction(profile.wait_s)),
+        ],
+        vec![
+            "barrier".to_string(),
+            format!("{:.3}", profile.barrier_s),
+            pct(profile.fraction(profile.barrier_s)),
+        ],
+        vec![
+            "other".to_string(),
+            format!("{:.3}", profile.other_s),
+            pct(profile.fraction(profile.other_s)),
+        ],
+    ];
+    println!("{}", render_table(&["Phase", "Host (s)", "Share"], &rows));
+    println!(
+        "{} phases, {} barriers; {} trace events, {} metrics records",
+        profile.phases, profile.barriers, summary.trace_events, summary.metrics_records,
+    );
+    println!(
+        "wall: baseline {baseline_wall_s:.3} s, null-observer {null_wall_s:.3} s \
+         ({:+.1}%), full telemetry {telemetry_wall_s:.3} s ({:+.1}%)",
+        overhead_pct(null_wall_s, baseline_wall_s),
+        overhead_pct(telemetry_wall_s, baseline_wall_s),
+    );
+    println!("wrote {trace_path}");
+    println!("wrote {metrics_path}");
+
+    let record = ProfileRecord {
+        bench: "executor_profile",
+        schema_version: 1,
+        quick: options.quick,
+        cameras,
+        accelerators,
+        baseline_wall_s,
+        null_observer_wall_s: null_wall_s,
+        telemetry_wall_s,
+        null_overhead_pct: overhead_pct(null_wall_s, baseline_wall_s),
+        telemetry_overhead_pct: overhead_pct(telemetry_wall_s, baseline_wall_s),
+        trace_events: summary.trace_events,
+        metrics_records: summary.metrics_records,
+        profile,
+    };
+    // Written unconditionally: this is the stable observability record
+    // future PRs diff against.
+    match write_json("BENCH_profile", &record) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("warning: {e}"),
+    }
+}

@@ -7,8 +7,10 @@
 //! under `results/`.
 
 pub mod cli;
+pub mod profile;
 pub mod runner;
 
+use dacapo_telemetry::TelemetryRecorder;
 use serde::Serialize;
 use std::fs;
 use std::path::PathBuf;
@@ -26,6 +28,12 @@ pub struct ExperimentOptions {
     pub smoke: bool,
     /// Also write the results as JSON under `results/`.
     pub json: bool,
+    /// Write a virtual-time Chrome trace of the observed run to this path
+    /// (`--trace <path>`).
+    pub trace: Option<String>,
+    /// Write the per-window metrics timeseries (JSON Lines) to this path
+    /// (`--metrics <path>`).
+    pub metrics: Option<String>,
     /// Extra positional arguments (experiment-specific).
     pub extra: Vec<String>,
 }
@@ -42,7 +50,8 @@ impl ExperimentOptions {
     #[allow(clippy::should_implement_trait)]
     pub fn from_iter(args: impl IntoIterator<Item = String>) -> Self {
         let mut options = Self::default();
-        for arg in args {
+        let mut args = args.into_iter();
+        while let Some(arg) = args.next() {
             match arg.as_str() {
                 "--quick" => options.quick = true,
                 "--smoke" => {
@@ -50,10 +59,41 @@ impl ExperimentOptions {
                     options.quick = true;
                 }
                 "--json" => options.json = true,
+                "--trace" => options.trace = args.next(),
+                "--metrics" => options.metrics = args.next(),
                 other => options.extra.push(other.to_string()),
             }
         }
         options
+    }
+
+    /// Whether `--trace` or `--metrics` asked for a telemetry-observed run.
+    #[must_use]
+    pub fn wants_telemetry(&self) -> bool {
+        self.trace.is_some() || self.metrics.is_some()
+    }
+
+    /// Builds a [`TelemetryRecorder`] from the `--trace` / `--metrics`
+    /// flags: a `chrome-trace` sink for the trace path and a `json-lines`
+    /// sink for the metrics path. With neither flag set, the recorder is
+    /// disabled (the reserved `null` sink's fast path).
+    ///
+    /// # Errors
+    ///
+    /// Returns the sink-registry error message for a malformed path.
+    pub fn telemetry_recorder(&self) -> Result<TelemetryRecorder, String> {
+        let mut recorder = TelemetryRecorder::new();
+        if let Some(path) = &self.trace {
+            recorder = recorder
+                .with_sink_spec(&format!("chrome-trace:{path}"))
+                .map_err(|e| e.to_string())?;
+        }
+        if let Some(path) = &self.metrics {
+            recorder = recorder
+                .with_sink_spec(&format!("json-lines:{path}"))
+                .map_err(|e| e.to_string())?;
+        }
+        Ok(recorder)
     }
 }
 
@@ -127,6 +167,33 @@ mod tests {
         assert!(options.json);
         assert_eq!(options.extra, vec!["S3".to_string()]);
         assert_eq!(ExperimentOptions::from_iter(std::iter::empty()), ExperimentOptions::default());
+    }
+
+    #[test]
+    fn trace_and_metrics_flags_take_values() {
+        let options = ExperimentOptions::from_iter(
+            ["--trace", "out/trace.json", "--metrics", "out/metrics.jsonl", "--smoke"]
+                .iter()
+                .map(|s| (*s).to_string()),
+        );
+        assert_eq!(options.trace.as_deref(), Some("out/trace.json"));
+        assert_eq!(options.metrics.as_deref(), Some("out/metrics.jsonl"));
+        assert!(options.wants_telemetry());
+        assert!(options.extra.is_empty());
+        let recorder = options.telemetry_recorder().unwrap();
+        assert!(recorder.is_enabled());
+    }
+
+    #[test]
+    fn without_telemetry_flags_the_recorder_is_disabled() {
+        let options = ExperimentOptions::from_iter(std::iter::empty());
+        assert!(!options.wants_telemetry());
+        let recorder = options.telemetry_recorder().unwrap();
+        assert!(!recorder.is_enabled(), "no flags must keep the null fast path");
+        // A dangling value flag parses as None rather than an extra.
+        let dangling = ExperimentOptions::from_iter(["--trace".to_string()]);
+        assert_eq!(dangling.trace, None);
+        assert!(dangling.extra.is_empty());
     }
 
     #[test]

@@ -1,0 +1,167 @@
+//! Host-time profiling for observed runs.
+//!
+//! The deterministic library crates are barred from wall clocks by
+//! `dacapo-lint`; the bench runner is the one place host time is legal, so
+//! this is where the profiler lives. [`HostProfiler`] is a
+//! [`SimObserver`] that samples a monotonic host clock at every observer
+//! callback and attributes the elapsed host time to the executor phase that
+//! just ran — labeling, retraining, waiting, or window-barrier bookkeeping —
+//! yielding the per-phase breakdown written to `results/BENCH_profile.json`.
+//! Pair it with a `TelemetryRecorder` through
+//! [`TeeObserver`](dacapo_telemetry::TeeObserver) to profile and trace the
+//! same run.
+
+use dacapo_core::{PhaseKind, PhaseRecord, SimObserver};
+use serde::Serialize;
+use std::time::Instant;
+
+/// Per-phase host-time breakdown of one observed run.
+#[derive(Debug, Clone, Serialize)]
+pub struct HostProfile {
+    /// Total host seconds between profiler creation and [`HostProfiler::finish`].
+    pub wall_s: f64,
+    /// Host seconds attributed to labeling phases.
+    pub label_s: f64,
+    /// Host seconds attributed to retraining phases.
+    pub retrain_s: f64,
+    /// Host seconds attributed to waiting phases.
+    pub wait_s: f64,
+    /// Host seconds attributed to window-barrier bookkeeping (label
+    /// exchange, churn, routing, sampling).
+    pub barrier_s: f64,
+    /// Host seconds not attributed to any callback interval (setup,
+    /// result assembly, anything after the last callback).
+    pub other_s: f64,
+    /// Executed phases.
+    pub phases: u64,
+    /// Window barriers crossed.
+    pub barriers: u64,
+}
+
+impl HostProfile {
+    /// The fraction of wall time a bucket took (0 when the run was too fast
+    /// to measure).
+    #[must_use]
+    pub fn fraction(&self, bucket_s: f64) -> f64 {
+        if self.wall_s > 0.0 {
+            bucket_s / self.wall_s
+        } else {
+            0.0
+        }
+    }
+}
+
+/// A sampling scope profiler: attributes host time between observer
+/// callbacks to the executor phase that produced the callback.
+#[derive(Debug)]
+pub struct HostProfiler {
+    started: Instant,
+    last: Instant,
+    label_s: f64,
+    retrain_s: f64,
+    wait_s: f64,
+    barrier_s: f64,
+    phases: u64,
+    barriers: u64,
+}
+
+impl Default for HostProfiler {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl HostProfiler {
+    /// Starts the profiler's clock.
+    #[must_use]
+    pub fn new() -> Self {
+        let now = Instant::now();
+        Self {
+            started: now,
+            last: now,
+            label_s: 0.0,
+            retrain_s: 0.0,
+            wait_s: 0.0,
+            barrier_s: 0.0,
+            phases: 0,
+            barriers: 0,
+        }
+    }
+
+    /// Host seconds since the previous sample.
+    fn sample(&mut self) -> f64 {
+        let now = Instant::now();
+        let elapsed = now.duration_since(self.last).as_secs_f64();
+        self.last = now;
+        elapsed
+    }
+
+    /// Stops the clock and returns the breakdown.
+    #[must_use]
+    pub fn finish(self) -> HostProfile {
+        let wall_s = self.started.elapsed().as_secs_f64();
+        let attributed = self.label_s + self.retrain_s + self.wait_s + self.barrier_s;
+        HostProfile {
+            wall_s,
+            label_s: self.label_s,
+            retrain_s: self.retrain_s,
+            wait_s: self.wait_s,
+            barrier_s: self.barrier_s,
+            other_s: (wall_s - attributed).max(0.0),
+            phases: self.phases,
+            barriers: self.barriers,
+        }
+    }
+}
+
+impl SimObserver for HostProfiler {
+    fn on_phase(&mut self, phase: &PhaseRecord) {
+        let elapsed = self.sample();
+        self.phases += 1;
+        match phase.kind {
+            PhaseKind::Label => self.label_s += elapsed,
+            PhaseKind::Retrain => self.retrain_s += elapsed,
+            PhaseKind::Wait => self.wait_s += elapsed,
+        }
+    }
+
+    fn on_window_barrier(&mut self, _window_index: usize, _boundary_s: f64) {
+        let elapsed = self.sample();
+        self.barriers += 1;
+        self.barrier_s += elapsed;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiler_attributes_time_to_phase_kinds() {
+        let mut profiler = HostProfiler::new();
+        profiler.on_phase(&PhaseRecord {
+            kind: PhaseKind::Label,
+            start_s: 0.0,
+            duration_s: 1.0,
+            samples: 4,
+            drift_response: false,
+        });
+        profiler.on_window_barrier(0, 60.0);
+        let profile = profiler.finish();
+        assert_eq!(profile.phases, 1);
+        assert_eq!(profile.barriers, 1);
+        assert!(profile.wall_s >= 0.0);
+        assert!(profile.label_s >= 0.0);
+        assert!(
+            profile.label_s + profile.retrain_s + profile.wait_s + profile.barrier_s
+                <= profile.wall_s + 1e-3
+        );
+    }
+
+    #[test]
+    fn fractions_are_safe_on_instant_runs() {
+        let profile = HostProfiler::new().finish();
+        assert_eq!(profile.phases, 0);
+        assert!(profile.fraction(profile.label_s) >= 0.0);
+    }
+}

@@ -68,7 +68,7 @@ use crate::config::SimConfig;
 use crate::edge::{self, EdgeAccum, EdgeMetrics, OffloadContext, OffloadPolicy};
 use crate::fleet::{aggregate, prefix_camera, CameraResult, FleetResult};
 use crate::metrics::{mean, percentile};
-use crate::session::{Session, SessionEvent, SimObserver};
+use crate::session::{AcceleratorSample, Session, SessionEvent, SimObserver, WindowSample};
 use crate::share::{self, ShareContext, ShareMetrics, SharePolicy};
 use crate::sim::{PhaseKind, SimResult};
 use crate::{CoreError, Result};
@@ -525,13 +525,19 @@ impl Cluster {
 
     /// Like [`Cluster::run`], but forwards every session event (phases,
     /// drift responses, accuracy samples, finishes) of every camera to
-    /// `observer` through the standard [`SimObserver`] hooks. Events stream
-    /// accelerator by accelerator (in index order), each accelerator's
-    /// stream in cluster-virtual-time order; with an active share policy the
-    /// interleaving is additionally grouped by exchange window (within each
-    /// window, accelerators stream in index order). Execution is
-    /// single-threaded so the observer needs no synchronisation. The
-    /// returned result is identical to [`Cluster::run`]'s.
+    /// `observer` through the standard [`SimObserver`] hooks, each burst
+    /// preceded by [`SimObserver::on_step_context`] naming its camera and
+    /// accelerator. Observed runs always execute through the windowed path,
+    /// so the stream is grouped by window (within each window, accelerators
+    /// stream in index order, each in cluster-virtual-time order) and every
+    /// boundary fires the window-barrier sampling hooks
+    /// ([`SimObserver::on_window_barrier`] /
+    /// [`SimObserver::on_window_sample`] /
+    /// [`SimObserver::on_accelerator_sample`]) even when no share, churn, or
+    /// offload policy is active. Execution is single-threaded so the
+    /// observer needs no synchronisation and sees a bit-identical stream at
+    /// any [`Cluster::threads`] setting. The returned result is identical
+    /// to [`Cluster::run`]'s (property-tested).
     ///
     /// # Errors
     ///
@@ -569,7 +575,8 @@ impl Cluster {
             admission,
             threads,
         };
-        let (outcomes, share_metrics, churn_outcome) = if share::is_disabled(&share_name)
+        let (outcomes, share_metrics, churn_outcome) = if observer.is_none()
+            && share::is_disabled(&share_name)
             && churn_events.is_empty()
             && edge::is_local_only(&offload_name)
         {
@@ -1111,6 +1118,11 @@ impl<'a> AccelLoop<'a> {
             }
             let camera_index = self.slots[due.slot].camera_index;
             let camera_name = &self.cameras[camera_index].0;
+            let uplink_before = if observer.is_some() {
+                self.slots[due.slot].session.as_ref().and_then(Session::uplink_meter)
+            } else {
+                None
+            };
             let events = self.slots[due.slot]
                 .session
                 .as_mut()
@@ -1226,6 +1238,19 @@ impl<'a> AccelLoop<'a> {
                 }
             }
             if let Some(observer) = observer.as_deref_mut() {
+                observer.on_step_context(camera_name, camera_index, self.accel);
+                let uplink_after =
+                    self.slots[due.slot].session.as_ref().and_then(Session::uplink_meter);
+                if let (Some((bytes0, labels0)), Some((bytes1, labels1))) =
+                    (uplink_before, uplink_after)
+                {
+                    let bytes = bytes1.saturating_sub(bytes0);
+                    let labels = labels1.saturating_sub(labels0);
+                    if bytes > 0 || labels > 0 {
+                        let at = self.slots[due.slot].now_s;
+                        observer.on_uplink_transfer(camera_name, at, bytes, labels as usize);
+                    }
+                }
                 forward(observer, &events);
             }
         }
@@ -1536,7 +1561,7 @@ fn run_windowed(
     // Route the initial residents before any simulation time passes: the
     // run's opening stretch is window 0, decided at a virtual barrier at 0 s.
     if let Some(offload) = offload.as_deref_mut() {
-        route_offload(&mut loops, offload, setup.cameras, 0, 0.0)?;
+        route_offload(&mut loops, offload, setup.cameras, 0, 0.0, observer.as_deref_mut())?;
     }
     while loops.iter().any(|accel_loop| !accel_loop.is_done()) || next_event < events.len() {
         // Jump straight to the window containing the earliest due event (or
@@ -1581,20 +1606,31 @@ fn run_windowed(
                 &mut metrics,
                 window,
                 boundary_s,
+                observer.as_deref_mut(),
             )?;
         }
         while let Some(event) = events.get(next_event) {
             if event.at_s > boundary_s {
                 break;
             }
-            apply_churn(event, boundary_s, &mut loops, setup, &mut churn)?;
+            apply_churn(event, boundary_s, &mut loops, setup, &mut churn, observer.as_deref_mut())?;
             next_event += 1;
         }
         // Routing runs after churn so the policy sees the post-churn fleet
         // (joined cameras included, departed ones gone) for the window the
         // barrier opens.
         if let Some(offload) = offload.as_deref_mut() {
-            route_offload(&mut loops, offload, setup.cameras, window + 1, boundary_s)?;
+            route_offload(
+                &mut loops,
+                offload,
+                setup.cameras,
+                window + 1,
+                boundary_s,
+                observer.as_deref_mut(),
+            )?;
+        }
+        if let Some(observer) = observer.as_deref_mut() {
+            sample_barrier(&mut loops, setup.cameras, window_s, window, boundary_s, observer);
         }
         let residency: usize = loops.iter().map(AccelLoop::live_count).sum();
         churn.metrics.peak_residency = churn.metrics.peak_residency.max(residency);
@@ -1626,21 +1662,27 @@ fn apply_churn(
     loops: &mut [AccelLoop<'_>],
     setup: &ExecSetup<'_>,
     churn: &mut ChurnOutcome,
+    mut observer: Option<&mut (dyn SimObserver + '_)>,
 ) -> Result<()> {
     match event.action {
         ChurnAction::Join { camera_index } => {
             churn.metrics.joins += 1;
+            // Where the join landed (resident or queued), for the observer;
+            // `None` means the camera was orphaned or rejected.
+            let mut placed = None;
             match pick_target(loops) {
                 None => churn.metrics.orphaned_cameras += 1,
                 Some(target) => {
                     let accel_loop = &mut loops[target];
                     if accel_loop.live_count() < accel_loop.capacity {
                         accel_loop.admit(camera_index, boundary_s)?;
+                        placed = Some(target);
                     } else {
                         match setup.admission {
                             AdmissionPolicy::Queue => {
                                 accel_loop.outcome.queued += 1;
                                 accel_loop.enqueue(PendingEntry::fresh(camera_index));
+                                placed = Some(target);
                             }
                             // Long-running clusters should not abort because
                             // one join found the fleet full: the denied
@@ -1649,6 +1691,9 @@ fn apply_churn(
                         }
                     }
                 }
+            }
+            if let Some(observer) = observer.as_deref_mut() {
+                observer.on_churn_join(&setup.cameras[camera_index].0, placed, boundary_s);
             }
         }
         ChurnAction::Leave { camera_index } => {
@@ -1670,9 +1715,15 @@ fn apply_churn(
                     LeaveOutcome::NotHere => {}
                 }
             }
+            if let Some(observer) = observer.as_deref_mut() {
+                observer.on_churn_leave(&setup.cameras[camera_index].0, boundary_s);
+            }
         }
         ChurnAction::Drain { accelerator } => {
             churn.metrics.drains += 1;
+            if let Some(observer) = observer.as_deref_mut() {
+                observer.on_churn_drain(accelerator, boundary_s);
+            }
             let (migrants, displaced) = loops[accelerator].drain_accelerator();
             for migrant in migrants {
                 let camera_name = &setup.cameras[migrant.camera_index].0;
@@ -1681,6 +1732,9 @@ fn apply_churn(
                 // (property-tested), so drains never perturb results.
                 let restored = Session::restore(migrant.session.snapshot())
                     .map_err(|e| prefix_camera(camera_name, e))?;
+                // Where the migrant ended up, for the observer; `None` means
+                // it was orphaned (no survivor, or a full Reject cluster).
+                let mut destination = None;
                 match pick_target(loops) {
                     None => {
                         // No accelerator left to run on: the camera is
@@ -1703,6 +1757,7 @@ fn apply_churn(
                                 migrant.now_s,
                                 migrant.recovering,
                             );
+                            destination = Some(target);
                         } else {
                             match setup.admission {
                                 AdmissionPolicy::Queue => {
@@ -1715,6 +1770,7 @@ fn apply_churn(
                                         recovering: migrant.recovering,
                                         drain_at_s: Some(event.at_s),
                                     });
+                                    destination = Some(target);
                                 }
                                 AdmissionPolicy::Reject => {
                                     churn.metrics.orphaned_cameras += 1;
@@ -1729,8 +1785,13 @@ fn apply_churn(
                         }
                     }
                 }
+                if let Some(observer) = observer.as_deref_mut() {
+                    observer.on_migration(camera_name, accelerator, destination, boundary_s);
+                }
             }
             for entry in displaced {
+                let camera_name = &setup.cameras[entry.camera_index].0;
+                let mut destination = None;
                 match pick_target(loops) {
                     None => {
                         churn.metrics.orphaned_cameras += 1;
@@ -1745,7 +1806,13 @@ fn apply_churn(
                     // headroom (an idle target would otherwise never pop its
                     // queue and the camera would silently vanish) and do not
                     // count as a second queue wait otherwise.
-                    Some(target) => loops[target].place(entry, boundary_s)?,
+                    Some(target) => {
+                        loops[target].place(entry, boundary_s)?;
+                        destination = Some(target);
+                    }
+                }
+                if let Some(observer) = observer.as_deref_mut() {
+                    observer.on_migration(camera_name, accelerator, destination, boundary_s);
                 }
             }
         }
@@ -1793,6 +1860,8 @@ fn run_window_threaded(loops: &mut [AccelLoop<'_>], boundary_s: f64, threads: us
 /// then walk importers and exporters in camera admission-index order, asking
 /// the policy for an admit fraction per pair. Single-threaded and fully
 /// ordered, so shared runs stay deterministic at any worker-thread count.
+// One call site: barrier plumbing, not a reusable API surface.
+#[allow(clippy::too_many_arguments)]
 fn exchange_window(
     loops: &mut [AccelLoop<'_>],
     policy: &mut dyn SharePolicy,
@@ -1801,6 +1870,7 @@ fn exchange_window(
     metrics: &mut ShareMetrics,
     window_index: usize,
     boundary_s: f64,
+    mut observer: Option<&mut (dyn SimObserver + '_)>,
 ) -> Result<()> {
     let mut exports: BTreeMap<usize, Vec<LabeledSample>> = BTreeMap::new();
     for accel_loop in loops.iter_mut() {
@@ -1862,6 +1932,14 @@ fn exchange_window(
                 continue;
             }
             session.admit_samples(batch.iter().take(admitted).cloned());
+            if let Some(observer) = observer.as_deref_mut() {
+                observer.on_share(
+                    &cameras[exporter_index].0,
+                    &cameras[importer_index].0,
+                    admitted,
+                    boundary_s,
+                );
+            }
             metrics.labels_reused += admitted;
             let labeling_sps = session.labeling_sps();
             if labeling_sps > 0.0 {
@@ -1885,6 +1963,7 @@ fn route_offload(
     cameras: &[(String, SimConfig)],
     window_index: usize,
     boundary_s: f64,
+    mut observer: Option<&mut (dyn SimObserver + '_)>,
 ) -> Result<()> {
     let live_counts: Vec<usize> = loops.iter().map(AccelLoop::live_count).collect();
     let mut sessions: Vec<(usize, usize, &mut Session)> = Vec::new();
@@ -1911,14 +1990,86 @@ fn route_offload(
             window_bytes,
         });
         session.set_label_route(route).map_err(|e| prefix_camera(&cameras[camera_index].0, e))?;
+        if let Some(observer) = observer.as_deref_mut() {
+            observer.on_offload_route(&cameras[camera_index].0, route, window_index, boundary_s);
+        }
     }
     Ok(())
 }
 
+/// The observation half of a window barrier: fires
+/// [`SimObserver::on_window_barrier`] for the window that just closed, then
+/// one [`SimObserver::on_window_sample`] per live camera in admission-index
+/// order, then one [`SimObserver::on_accelerator_sample`] per accelerator in
+/// index order. Single-threaded and fully ordered, like every other barrier
+/// stage, so sampled timeseries are bit-identical at any worker-thread
+/// count. Runs after exchange / churn / routing so the samples describe the
+/// post-barrier fleet.
+fn sample_barrier(
+    loops: &mut [AccelLoop<'_>],
+    cameras: &[(String, SimConfig)],
+    window_s: f64,
+    window_index: usize,
+    boundary_s: f64,
+    observer: &mut (dyn SimObserver + '_),
+) {
+    observer.on_window_barrier(window_index, boundary_s);
+    let mut sessions: Vec<(usize, usize, &mut Session)> = Vec::new();
+    for (accel, accel_loop) in loops.iter_mut().enumerate() {
+        for (camera_index, session) in accel_loop.live_sessions() {
+            sessions.push((camera_index, accel, session));
+        }
+    }
+    sessions.sort_by_key(|(camera_index, _, _)| *camera_index);
+    for (camera_index, accel, session) in sessions {
+        let now_s = session.now_s();
+        let (labels_local, labels_cloud) = match session.edge_accum() {
+            Some(accum) => (accum.labels_local, accum.labels_cloud),
+            None => (0, 0),
+        };
+        // "Fresh" relative to the closing window's span at this camera's
+        // own clock (a queued-then-admitted camera may trail the boundary).
+        let cutoff_s = (now_s - window_s).max(0.0);
+        observer.on_window_sample(&WindowSample {
+            window_index,
+            boundary_s,
+            camera: &cameras[camera_index].0,
+            camera_index,
+            accelerator: accel,
+            now_s,
+            accuracy: session.accuracy_timeline().last().map(|&(_, accuracy)| accuracy),
+            buffer_len: session.buffer_len(),
+            buffer_fresh_fraction: session.buffer_fresh_fraction(cutoff_s),
+            labels_local,
+            labels_cloud,
+            in_flight_cloud_labels: session.in_flight_cloud_labels(),
+        });
+    }
+    for accel_loop in loops.iter() {
+        let busy_s = accel_loop.outcome.busy_s;
+        observer.on_accelerator_sample(&AcceleratorSample {
+            window_index,
+            boundary_s,
+            accelerator: accel_loop.accel,
+            busy_s,
+            utilization: if boundary_s > 0.0 { busy_s / boundary_s } else { 0.0 },
+            live_sessions: accel_loop.live_count(),
+            queued_sessions: accel_loop.pending.len(),
+            event_depth: accel_loop.heap.len(),
+            drained: accel_loop.drained,
+        });
+    }
+}
+
 /// Forwards one step's event burst to an observer, mirroring
-/// [`Session::run_with`]'s dispatch.
+/// [`Session::run_with`]'s dispatch. Every event first goes through the
+/// [`SimObserver::on_event`] catch-all, so an observer (or a future event
+/// kind missing a dedicated hook) can never silently lose events; the match
+/// below is exhaustive on purpose — adding a [`SessionEvent`] variant is a
+/// compile error here until its dispatch is decided.
 fn forward(observer: &mut dyn SimObserver, events: &[SessionEvent]) {
     for event in events {
+        observer.on_event(event);
         match event {
             SessionEvent::Phase(phase) => observer.on_phase(phase),
             SessionEvent::Drift { at_s, response_index } => {

@@ -162,6 +162,24 @@ impl Fleet {
     /// and a failing camera aborts the remaining queue, so a bad camera
     /// fails the run fast instead of after every other stream completes.
     pub fn run(self) -> Result<FleetResult> {
+        Ok(self.into_cluster()?.run()?.fleet)
+    }
+
+    /// Like [`Fleet::run`], but forwards every session and barrier event to
+    /// `observer` through the [`crate::SimObserver`] hooks, exactly as
+    /// [`Cluster::run_with`](crate::Cluster::run_with) does. Execution is
+    /// single-threaded so the observer needs no synchronisation; the
+    /// returned result is identical to [`Fleet::run`]'s.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Fleet::run`].
+    pub fn run_with(self, observer: &mut dyn crate::SimObserver) -> Result<FleetResult> {
+        Ok(self.into_cluster()?.run_with(observer)?.fleet)
+    }
+
+    /// The fleet's underlying one-accelerator-per-camera cluster.
+    fn into_cluster(self) -> Result<Cluster> {
         if self.cameras.is_empty() {
             return Err(CoreError::InvalidConfig {
                 reason: "a fleet needs at least one camera".into(),
@@ -174,7 +192,7 @@ impl Fleet {
         for (name, config) in self.cameras {
             cluster = cluster.camera(name, config);
         }
-        Ok(cluster.run()?.fleet)
+        Ok(cluster)
     }
 }
 

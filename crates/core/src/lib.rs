@@ -231,6 +231,32 @@
 //! # }
 //! ```
 //!
+//! # Observability
+//!
+//! Everything the executor does can be tapped through [`SimObserver`]
+//! without perturbing results. Beyond the original per-session event hooks
+//! (`on_phase`, `on_drift`, `on_accuracy`, `on_finished`), the trait carries
+//! default-method hooks for every cluster-level decision: step attribution
+//! (`on_step_context`), a catch-all `on_event`, window barriers
+//! (`on_window_barrier`), per-camera and per-accelerator state sampled at
+//! those barriers (`on_window_sample` with a [`WindowSample`],
+//! `on_accelerator_sample` with an [`AcceleratorSample`]), label-sharing
+//! admissions (`on_share`), offload routing (`on_offload_route`), churn
+//! (`on_churn_join` / `on_churn_leave` / `on_churn_drain` /
+//! `on_migration`), and uplink transfers (`on_uplink_transfer`). All hooks
+//! default to no-ops, so existing observers compile unchanged.
+//!
+//! The **window-barrier sampling contract**: observed cluster runs always
+//! execute through the windowed path, and at every boundary the hooks fire
+//! single-threaded in a fixed order — label exchange (`on_share`), churn
+//! events, offload routing (`on_offload_route`), then `on_window_barrier`,
+//! then one `on_window_sample` per live camera in admission-index order,
+//! then one `on_accelerator_sample` per accelerator in index order. Because
+//! the barrier is single-threaded and observed execution is serial, an
+//! observer needs no synchronisation and sees a bit-identical stream at any
+//! worker-thread count. The `dacapo-telemetry` crate builds its
+//! chrome-trace/JSON-Lines recorder on exactly these hooks.
+//!
 //! # Snapshots and elastic membership
 //!
 //! A [`Session`] is an explicit state/behavior split: [`Session::snapshot`]
@@ -367,7 +393,7 @@ mod error;
 mod fleet;
 pub mod metrics;
 pub mod platform;
-mod registry;
+pub mod registry;
 pub mod sched;
 mod session;
 pub mod share;
@@ -384,7 +410,10 @@ pub use error::CoreError;
 pub use fleet::{CameraResult, Fleet, FleetResult};
 pub use platform::{PlatformKind, PlatformRates, PlatformSpec};
 pub use sched::{SchedulerKind, SchedulerSpec};
-pub use session::{Session, SessionEvent, SessionSnapshot, SimObserver, SNAPSHOT_VERSION};
+pub use session::{
+    AcceleratorSample, Session, SessionEvent, SessionSnapshot, SimObserver, WindowSample,
+    SNAPSHOT_VERSION,
+};
 pub use share::ShareMetrics;
 pub use sim::{ClSimulator, PhaseKind, PhaseRecord, SimResult};
 pub use student::StudentModel;

@@ -1,7 +1,7 @@
-//! The shared machinery behind the crate's pluggable-factory registries.
+//! The shared machinery behind the workspace's pluggable-factory registries.
 //!
-//! Six subsystems expose the same extension pattern — schedulers
-//! ([`crate::sched`]), platforms ([`crate::platform`]), arbiters
+//! Six subsystems in this crate expose the same extension pattern —
+//! schedulers ([`crate::sched`]), platforms ([`crate::platform`]), arbiters
 //! ([`crate::arbiter`]), share policies ([`crate::share`]), and the edge
 //! tier's uplink profiles and offload policies ([`crate::edge`]): a global,
 //! case-insensitive name → `Arc<dyn Factory>` map with `register` /
@@ -9,12 +9,17 @@
 //! suffixes, and reserved-name protection. Each module keeps its public
 //! functions (so the API is unchanged) and delegates the storage, lookup,
 //! and name-validation rules here instead of carrying its own copy.
+//!
+//! The machinery is public so sibling crates can add registry families of
+//! their own with the exact same semantics — `dacapo-telemetry`'s sink
+//! registry (`chrome-trace`, `json-lines`, `summary`, reserved `null`) is
+//! built on [`Registry`] this way.
 
 use std::collections::BTreeMap;
 use std::sync::{Arc, RwLock};
 
 /// A global factory registry: lower-cased name → factory.
-pub(crate) struct Registry<F: ?Sized> {
+pub struct Registry<F: ?Sized> {
     /// What the registry holds, for panic messages (e.g. `"share policy"`).
     what: &'static str,
     /// Whether lookups strip a `:<params>` suffix before resolving (and
@@ -27,7 +32,7 @@ pub(crate) struct Registry<F: ?Sized> {
 
 /// Whether a registry's names may carry `:<params>` suffixes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub(crate) enum ParamNames {
+pub enum ParamNames {
     /// Lookups strip a `:<suffix>`; registered names must not contain `':'`.
     Split,
     /// Names resolve verbatim (the scheduler registry's convention).
@@ -37,7 +42,7 @@ pub(crate) enum ParamNames {
 impl<F: ?Sized> Registry<F> {
     /// Creates a registry seeded with builtin factories. Seeding bypasses
     /// the reserved-name check — that is how reserved builtins get in.
-    pub(crate) fn new(
+    pub fn new(
         what: &'static str,
         params: ParamNames,
         reserved: &'static [&'static str],
@@ -57,7 +62,7 @@ impl<F: ?Sized> Registry<F> {
     /// Panics if `name` contains `':'` in a [`ParamNames::Split`] registry
     /// (the colon introduces the parameter suffix during lookup, so such a
     /// name could never be resolved), or if `name` is reserved.
-    pub(crate) fn register(&self, name: &str, factory: Arc<F>) {
+    pub fn register(&self, name: &str, factory: Arc<F>) {
         let key = name.to_lowercase();
         if self.params == ParamNames::Split {
             assert!(
@@ -76,7 +81,7 @@ impl<F: ?Sized> Registry<F> {
 
     /// Looks up a factory by case-insensitive name, stripping a `:<params>`
     /// suffix first in [`ParamNames::Split`] registries.
-    pub(crate) fn by_name(&self, name: &str) -> Option<Arc<F>> {
+    pub fn by_name(&self, name: &str) -> Option<Arc<F>> {
         let base = match self.params {
             ParamNames::Split => split_params(name).0,
             ParamNames::Verbatim => name,
@@ -85,7 +90,7 @@ impl<F: ?Sized> Registry<F> {
     }
 
     /// The registered base names, sorted.
-    pub(crate) fn names(&self) -> Vec<String> {
+    pub fn names(&self) -> Vec<String> {
         self.lock_read().keys().cloned().collect()
     }
 
@@ -103,7 +108,7 @@ impl<F: ?Sized> Registry<F> {
 
 /// Splits a registry name into its base name and optional parameter suffix
 /// (`"correlated:0.7"` → `("correlated", Some("0.7"))`).
-pub(crate) fn split_params(name: &str) -> (&str, Option<&str>) {
+pub fn split_params(name: &str) -> (&str, Option<&str>) {
     match name.split_once(':') {
         Some((base, params)) => (base, Some(params)),
         None => (name, None),

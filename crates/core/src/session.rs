@@ -70,7 +70,15 @@ pub enum SessionEvent {
 
 /// Observer hooks for tapping a session's event stream without owning the
 /// stepping loop. All methods default to no-ops, so implementors override
-/// only what they need.
+/// only what they need — and new hooks can be added without breaking
+/// existing observers.
+///
+/// Besides the per-session event hooks, the trait carries the cluster-level
+/// hooks of the window-barrier sampling contract (see the crate docs'
+/// *Observability* section): step attribution, barrier notifications,
+/// per-camera/per-accelerator samples, share admissions, offload routes,
+/// churn, and uplink transfers. Observed executions are single-threaded, so
+/// implementations need no internal synchronisation.
 pub trait SimObserver {
     /// Called after each completed phase.
     fn on_phase(&mut self, _phase: &PhaseRecord) {}
@@ -83,10 +91,141 @@ pub trait SimObserver {
 
     /// Called once when the scenario completes.
     fn on_finished(&mut self) {}
+
+    /// Called once for **every** forwarded [`SessionEvent`], before the
+    /// event's specific hook. The catch-all: an observer that only
+    /// implements `on_event` can never lose an event kind added after it
+    /// was written.
+    fn on_event(&mut self, _event: &SessionEvent) {}
+
+    /// Called by the cluster executor before each step's event burst,
+    /// identifying the camera (name and admission index) and the
+    /// accelerator that produced the burst. Standalone sessions never call
+    /// this; cluster runs call it before every `on_event`/`on_phase` group.
+    fn on_step_context(&mut self, _camera: &str, _camera_index: usize, _accelerator: usize) {}
+
+    /// Called at each cluster window barrier after that window's label
+    /// exchange, churn, and offload routing completed. `window_index` is
+    /// the window that just closed; `boundary_s` its end in cluster time.
+    fn on_window_barrier(&mut self, _window_index: usize, _boundary_s: f64) {}
+
+    /// Called once per live camera (in admission-index order) right after
+    /// `on_window_barrier`, with that camera's sampled state.
+    fn on_window_sample(&mut self, _sample: &WindowSample<'_>) {}
+
+    /// Called once per accelerator (in index order) after the per-camera
+    /// window samples, with that accelerator's sampled state.
+    fn on_accelerator_sample(&mut self, _sample: &AcceleratorSample) {}
+
+    /// Called when a share policy admits labels from `exporter` into
+    /// `importer` at a window barrier (only for admissions > 0 samples).
+    fn on_share(&mut self, _exporter: &str, _importer: &str, _admitted: usize, _boundary_s: f64) {}
+
+    /// Called when the offload policy routes a camera's labeling for the
+    /// window opening at `boundary_s` (`window_index` is that new window).
+    fn on_offload_route(
+        &mut self,
+        _camera: &str,
+        _route: LabelRoute,
+        _window_index: usize,
+        _boundary_s: f64,
+    ) {
+    }
+
+    /// Called when a churn join places (or orphans — `accelerator` is
+    /// `None`) a camera at a window barrier.
+    fn on_churn_join(&mut self, _camera: &str, _accelerator: Option<usize>, _at_s: f64) {}
+
+    /// Called when a churn leave removes a camera at a window barrier.
+    fn on_churn_leave(&mut self, _camera: &str, _at_s: f64) {}
+
+    /// Called when a churn drain closes an accelerator at a window barrier.
+    fn on_churn_drain(&mut self, _accelerator: usize, _at_s: f64) {}
+
+    /// Called per session migrated off a drained accelerator:
+    /// `to_accelerator` is its new home, or `None` when the fleet had no
+    /// surviving accelerator and the camera was orphaned.
+    fn on_migration(
+        &mut self,
+        _camera: &str,
+        _from_accelerator: usize,
+        _to_accelerator: Option<usize>,
+        _at_s: f64,
+    ) {
+    }
+
+    /// Called when a session ships labeling work over its uplink: `bytes`
+    /// uplink bytes and `labels` cloud-labeling requests accounted at
+    /// virtual time `at_s`. Standalone sessions report an empty camera name
+    /// (the observer's current context applies); cluster runs pass the
+    /// owning camera's name.
+    fn on_uplink_transfer(&mut self, _camera: &str, _at_s: f64, _bytes: u64, _labels: usize) {}
 }
 
 /// The do-nothing observer.
 impl SimObserver for () {}
+
+/// One camera's state sampled at a cluster window barrier, handed to
+/// [`SimObserver::on_window_sample`]. Samples are taken single-threaded in
+/// camera admission-index order, so the stream is deterministic at any
+/// worker-thread count. Label counters are cumulative over the run; the
+/// per-window deltas are the consumer's to compute.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowSample<'a> {
+    /// The window that just closed.
+    pub window_index: usize,
+    /// The barrier's cluster time (end of `window_index`) in seconds.
+    pub boundary_s: f64,
+    /// The sampled camera's name.
+    pub camera: &'a str,
+    /// The sampled camera's admission index in the cluster.
+    pub camera_index: usize,
+    /// The accelerator currently hosting the camera.
+    pub accelerator: usize,
+    /// The session-local virtual clock (unstretched by arbitration).
+    pub now_s: f64,
+    /// The most recent accuracy measurement, if any was taken yet.
+    pub accuracy: Option<f64>,
+    /// Labeled samples currently resident in the sample buffer.
+    pub buffer_len: usize,
+    /// Fraction of buffered samples no older than one window on the
+    /// session's own clock (see [`SampleBuffer::fresh_fraction`]).
+    ///
+    /// [`SampleBuffer::fresh_fraction`]: crate::SampleBuffer::fresh_fraction
+    pub buffer_fresh_fraction: f64,
+    /// Cumulative locally teacher-labeled samples (0 without an edge tier).
+    pub labels_local: u64,
+    /// Cumulative cloud-labeled samples (0 without an edge tier).
+    pub labels_cloud: u64,
+    /// Cloud labels shipped but not yet arrived into the buffer.
+    pub in_flight_cloud_labels: usize,
+}
+
+/// One accelerator's state sampled at a cluster window barrier, handed to
+/// [`SimObserver::on_accelerator_sample`] after the per-camera
+/// [`WindowSample`]s. Busy time is cumulative over the run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AcceleratorSample {
+    /// The window that just closed.
+    pub window_index: usize,
+    /// The barrier's cluster time (end of `window_index`) in seconds.
+    pub boundary_s: f64,
+    /// The sampled accelerator's index.
+    pub accelerator: usize,
+    /// Cumulative arbitrated compute seconds executed so far.
+    pub busy_s: f64,
+    /// `busy_s / boundary_s` — the utilization up to this barrier.
+    pub utilization: f64,
+    /// Currently resident (live) sessions.
+    pub live_sessions: usize,
+    /// Sessions waiting in the admission queue.
+    pub queued_sessions: usize,
+    /// Entries in the accelerator's event heap (the queue depth of the
+    /// event loop itself).
+    pub event_depth: usize,
+    /// Whether a churn drain has closed this accelerator.
+    pub drained: bool,
+}
 
 /// A re-entrant, steppable continuous-learning run: one camera stream, one
 /// scenario, one scheduling policy.
@@ -513,6 +652,24 @@ impl Session {
         (self.buffer.len(), bytes_shipped, window_bytes)
     }
 
+    /// Cumulative uplink meters for observer reporting: `(bytes_shipped,
+    /// labels_cloud)`, or `None` without an edge tier. Deltas between two
+    /// reads bound one step's shipment.
+    pub(crate) fn uplink_meter(&self) -> Option<(u64, u64)> {
+        self.edge.as_ref().map(|tier| (tier.state.bytes_shipped, tier.state.labels_cloud))
+    }
+
+    /// Current sample-buffer depth, for barrier sampling.
+    pub(crate) fn buffer_len(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// Fraction of buffered samples stamped at or after `cutoff_s` on the
+    /// session's own clock, for barrier sampling.
+    pub(crate) fn buffer_fresh_fraction(&self, cutoff_s: f64) -> f64 {
+        self.buffer.fresh_fraction(cutoff_s)
+    }
+
     /// Routes the session's labeling for the window that is starting:
     /// local teacher or cloud tier (optionally byte-budgeted). Opens a new
     /// uplink accounting window — the per-window byte meter resets. The
@@ -645,14 +802,34 @@ impl Session {
         Ok(self.pending.pop_front().expect("every action yields at least a phase event"))
     }
 
-    /// Steps the session to completion, forwarding every event to `observer`.
+    /// Steps the session to completion, forwarding every event to `observer`
+    /// (each event through [`SimObserver::on_event`] first, then its
+    /// specific hook). Uplink shipments are reported through
+    /// [`SimObserver::on_uplink_transfer`] with an empty camera name — a
+    /// standalone session has none; the cluster executor supplies it.
     ///
     /// # Errors
     ///
     /// Propagates the first error from [`Session::step`].
     pub fn run_with(&mut self, observer: &mut dyn SimObserver) -> Result<()> {
+        let mut last_uplink = self.uplink_meter();
         loop {
-            match self.step()? {
+            let event = self.step()?;
+            if let (Some((bytes0, labels0)), Some((bytes1, labels1))) =
+                (last_uplink, self.uplink_meter())
+            {
+                if bytes1 > bytes0 || labels1 > labels0 {
+                    observer.on_uplink_transfer(
+                        "",
+                        self.now_s,
+                        bytes1 - bytes0,
+                        (labels1 - labels0) as usize,
+                    );
+                }
+                last_uplink = Some((bytes1, labels1));
+            }
+            observer.on_event(&event);
+            match event {
                 SessionEvent::Phase(phase) => observer.on_phase(&phase),
                 SessionEvent::Drift { at_s, response_index } => {
                     observer.on_drift(at_s, response_index);

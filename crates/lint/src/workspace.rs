@@ -12,8 +12,12 @@ use crate::{determinism, panics, registry, snapshot};
 /// The deterministic library crates the determinism and panic-freedom
 /// rules police. Bench binaries and the offline shims are intentionally
 /// outside the net: benches measure wall time and parse `std::env::args`
-/// by design, and the shims mirror third-party APIs verbatim.
-pub const TARGET_DIRS: &[&str] = &["crates/core/src", "crates/datagen/src", "crates/dnn/src"];
+/// by design, and the shims mirror third-party APIs verbatim. The
+/// telemetry crate is **inside** the net — its whole value is that traces
+/// and metrics stay deterministic, so host clocks are banned there too
+/// (host-time profiling lives in the bench runner instead).
+pub const TARGET_DIRS: &[&str] =
+    &["crates/core/src", "crates/datagen/src", "crates/dnn/src", "crates/telemetry/src"];
 
 /// Lints the workspace rooted at `root`: every `.rs` file under
 /// [`TARGET_DIRS`], with `README.md` for the registry-hygiene rule.

@@ -1,0 +1,38 @@
+//! The telemetry crate's error type.
+
+use std::fmt;
+
+/// Everything that can go wrong while configuring or flushing telemetry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TelemetryError {
+    /// A sink specification was malformed or named an unknown sink.
+    InvalidConfig {
+        /// Human-readable description of the problem.
+        reason: String,
+    },
+    /// A sink failed to write its output file.
+    Io {
+        /// Path the sink was writing.
+        path: String,
+        /// The underlying I/O error, rendered.
+        reason: String,
+    },
+}
+
+impl fmt::Display for TelemetryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidConfig { reason } => {
+                write!(f, "invalid telemetry configuration: {reason}")
+            }
+            Self::Io { path, reason } => {
+                write!(f, "telemetry sink failed writing {path}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TelemetryError {}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, TelemetryError>;

@@ -1,0 +1,62 @@
+//! # dacapo-telemetry
+//!
+//! Observability for the DaCapo stack, in three pillars:
+//!
+//! 1. **Virtual-time span tracing.** The [`TelemetryRecorder`] is a
+//!    [`SimObserver`](dacapo_core::SimObserver) that turns the simulator's
+//!    hook stream into Chrome Trace Event Format JSON keyed by accelerator
+//!    (process) and camera (thread), with all timestamps in *virtual* time.
+//!    Load the file in Perfetto or `chrome://tracing`. Because observed runs
+//!    execute single-threaded and all recorder state is ordered, the trace
+//!    bytes are identical whatever `threads(..)` setting the cluster uses.
+//! 2. **A deterministic metrics pipeline.** Counters, gauges, and
+//!    fixed-bucket histograms in a [`MetricsRegistry`], sampled into
+//!    per-window JSON-Lines [`MetricsRecord`]s: accuracy, buffer freshness,
+//!    labels produced locally / in the cloud / via sharing, queue depth, and
+//!    per-accelerator utilization.
+//! 3. **Host-time profiling** lives in the bench runner (the only place
+//!    wall clocks are legal under `dacapo-lint`), not in this crate; this
+//!    crate supplies the [`TeeObserver`] that lets the bench drive the
+//!    recorder and a profiler from one observed run.
+//!
+//! ## The sink registry family
+//!
+//! Output is pluggable through [`TelemetrySink`] factories registered by
+//! name, mirroring the scheduler/policy registries in `dacapo-core`. The
+//! builtins are `chrome-trace:<path>` (trace JSON), `json-lines:<path>`
+//! (metrics timeseries), and `summary` (stdout table at finish); the `null`
+//! name is **reserved** — [`TelemetryRecorder::with_sink_spec`] treats it as
+//! "no sink", which keeps the recorder on its do-nothing fast path so a
+//! null-sink observed run is bit-identical to a telemetry-free run.
+//! Out-of-crate sinks register with [`sink::register`]; see
+//! `examples/telemetry.rs` for a CSV sink registered by name.
+//!
+//! ## The window-barrier sampling contract
+//!
+//! Metrics are only sampled at the cluster's single-threaded window
+//! barriers, never from worker threads. At each barrier the hooks fire in a
+//! fixed order — label exchange ([`SimObserver::on_share`]), churn events,
+//! offload routing, then [`SimObserver::on_window_barrier`] followed by one
+//! [`SimObserver::on_window_sample`] per live camera in admission-index
+//! order and one [`SimObserver::on_accelerator_sample`] per accelerator in
+//! index order — so the metrics timeseries is bit-identical across runs and
+//! worker-thread counts. Standalone sessions (no cluster, no barriers) roll
+//! `"camera"` records on the camera's own clock instead, in
+//! [`TelemetryRecorder::window_s`]-sized windows.
+//!
+//! [`SimObserver::on_share`]: dacapo_core::SimObserver::on_share
+//! [`SimObserver::on_window_barrier`]: dacapo_core::SimObserver::on_window_barrier
+//! [`SimObserver::on_window_sample`]: dacapo_core::SimObserver::on_window_sample
+//! [`SimObserver::on_accelerator_sample`]: dacapo_core::SimObserver::on_accelerator_sample
+
+pub mod error;
+pub mod metrics;
+pub mod recorder;
+pub mod sink;
+pub mod trace;
+
+pub use error::{Result, TelemetryError};
+pub use metrics::{FieldValue, Histogram, MetricsRecord, MetricsRegistry};
+pub use recorder::{TeeObserver, TelemetryRecorder, TelemetrySummary};
+pub use sink::{SinkFactory, TelemetrySink};
+pub use trace::{TraceEvent, CLUSTER_PID};

@@ -1,0 +1,330 @@
+//! The deterministic metrics pipeline: counters, gauges, fixed-bucket
+//! histograms, and the per-window JSON-Lines record they are sampled into.
+//!
+//! Everything here is ordered — registries store series in [`BTreeMap`]s and
+//! records carry their fields as insertion-ordered vectors — so a metrics
+//! timeseries is bit-identical across runs and worker-thread counts.
+//! Sampling happens at the cluster's single-threaded window barriers (see
+//! the crate docs for the exact hook order), never from worker threads.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One metric field value. Floats are serialized with Rust's shortest
+/// round-trip formatting, so equal values always render to equal bytes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    /// A signed integer field.
+    Int(i64),
+    /// An unsigned integer field (counters).
+    Uint(u64),
+    /// A floating-point field; non-finite values render as JSON `null`.
+    Float(f64),
+    /// A boolean field.
+    Bool(bool),
+    /// A text field.
+    Text(String),
+}
+
+impl FieldValue {
+    /// Renders the value as a JSON fragment.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        match self {
+            Self::Int(v) => format!("{v}"),
+            Self::Uint(v) => format!("{v}"),
+            Self::Float(v) => json_number(*v),
+            Self::Bool(v) => format!("{v}"),
+            Self::Text(v) => format!("\"{}\"", escape_json(v)),
+        }
+    }
+}
+
+/// Renders a float as a JSON number (`null` when non-finite, which JSON
+/// cannot represent).
+#[must_use]
+pub fn json_number(value: f64) -> String {
+    if value.is_finite() {
+        format!("{value}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+#[must_use]
+pub fn escape_json(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                // write! to a String cannot fail; the unwrap_or_default
+                // keeps the formatter's Result from bubbling a panic path.
+                write!(out, "\\u{:04x}", c as u32).unwrap_or_default();
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// One line of the per-window metrics timeseries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsRecord {
+    /// Record family: `"camera"`, `"window"`, `"accelerator"`, or
+    /// `"cluster"` from the builtin recorder; custom sinks may add more.
+    pub kind: String,
+    /// Window index the record describes (camera-local for `"camera"`
+    /// records, cluster-wide otherwise).
+    pub window_index: usize,
+    /// Virtual time at the end of the window, in seconds.
+    pub end_s: f64,
+    /// What the record describes: a camera name, `accelerator-N`, or
+    /// `cluster`.
+    pub scope: String,
+    /// Field name/value pairs, in insertion order.
+    pub fields: Vec<(String, FieldValue)>,
+}
+
+impl MetricsRecord {
+    /// Creates an empty record.
+    #[must_use]
+    pub fn new(
+        kind: impl Into<String>,
+        window_index: usize,
+        end_s: f64,
+        scope: impl Into<String>,
+    ) -> Self {
+        Self { kind: kind.into(), window_index, end_s, scope: scope.into(), fields: Vec::new() }
+    }
+
+    /// Appends a field (builder-style).
+    #[must_use]
+    pub fn field(mut self, name: impl Into<String>, value: FieldValue) -> Self {
+        self.fields.push((name.into(), value));
+        self
+    }
+
+    /// Renders the record as one JSON-Lines line (no trailing newline).
+    #[must_use]
+    pub fn to_json_line(&self) -> String {
+        let mut out = format!(
+            "{{\"kind\":\"{}\",\"window\":{},\"end_s\":{},\"scope\":\"{}\"",
+            escape_json(&self.kind),
+            self.window_index,
+            json_number(self.end_s),
+            escape_json(&self.scope),
+        );
+        for (name, value) in &self.fields {
+            out.push_str(",\"");
+            out.push_str(&escape_json(name));
+            out.push_str("\":");
+            out.push_str(&value.to_json());
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// A fixed-bucket histogram: bucket bounds are chosen at creation and never
+/// adapt, so two runs recording the same samples produce identical buckets.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    /// `bounds.len() + 1` counts; the last bucket is the overflow bucket.
+    counts: Vec<u64>,
+    total: u64,
+    sum: f64,
+}
+
+impl Histogram {
+    /// Creates a histogram with the given ascending upper bounds. A sample
+    /// lands in the first bucket whose bound it does not exceed, or in the
+    /// trailing overflow bucket.
+    #[must_use]
+    pub fn new(bounds: &[f64]) -> Self {
+        Self { bounds: bounds.to_vec(), counts: vec![0; bounds.len() + 1], total: 0, sum: 0.0 }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: f64) {
+        let bucket =
+            self.bounds.iter().position(|&bound| value <= bound).unwrap_or(self.bounds.len());
+        self.counts[bucket] += 1;
+        self.total += 1;
+        self.sum += value;
+    }
+
+    /// The bucket upper bounds.
+    #[must_use]
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Per-bucket sample counts (the last entry is the overflow bucket).
+    #[must_use]
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total samples recorded.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Mean of all recorded samples (0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum / self.total as f64
+        }
+    }
+}
+
+/// The deterministic metrics registry: named counters, gauges, and
+/// histograms, sampled into [`MetricsRecord`]s at window barriers.
+///
+/// Counters are **windowed**: [`MetricsRegistry::take_window`] drains the
+/// per-window increments (cumulative totals stay available for the
+/// end-of-run summary). Gauges report their latest value; histograms
+/// accumulate over the whole run.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    window_counters: BTreeMap<String, u64>,
+    total_counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `delta` to the named counter.
+    pub fn counter_add(&mut self, name: &str, delta: u64) {
+        if delta == 0 {
+            return;
+        }
+        *self.window_counters.entry(name.to_string()).or_insert(0) += delta;
+        *self.total_counters.entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    /// Sets the named gauge to its latest value.
+    pub fn gauge_set(&mut self, name: &str, value: f64) {
+        self.gauges.insert(name.to_string(), value);
+    }
+
+    /// Records a sample into the named histogram, creating it with `bounds`
+    /// on first use (later calls keep the original bounds).
+    pub fn histogram_record(&mut self, name: &str, bounds: &[f64], value: f64) {
+        self.histograms
+            .entry(name.to_string())
+            .or_insert_with(|| Histogram::new(bounds))
+            .record(value);
+    }
+
+    /// The cumulative value of a counter (0 if never incremented).
+    #[must_use]
+    pub fn counter_total(&self, name: &str) -> u64 {
+        self.total_counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// The named histogram, if any samples were recorded.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Drains the window's counter increments and samples every gauge into
+    /// one `"cluster"`-scoped record for the window that just closed.
+    /// Returns `None` when nothing changed (skipped empty windows produce no
+    /// line).
+    pub fn take_window(&mut self, window_index: usize, end_s: f64) -> Option<MetricsRecord> {
+        if self.window_counters.is_empty() && self.gauges.is_empty() {
+            return None;
+        }
+        let mut record = MetricsRecord::new("cluster", window_index, end_s, "cluster");
+        for (name, value) in std::mem::take(&mut self.window_counters) {
+            record.fields.push((name, FieldValue::Uint(value)));
+        }
+        for (name, value) in &self.gauges {
+            record.fields.push((name.clone(), FieldValue::Float(*value)));
+        }
+        Some(record)
+    }
+
+    /// Cumulative counter totals, for the end-of-run summary.
+    #[must_use]
+    pub fn totals(&self) -> Vec<(String, u64)> {
+        self.total_counters.iter().map(|(name, value)| (name.clone(), *value)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_render_deterministic_json_lines() {
+        let record = MetricsRecord::new("camera", 3, 120.0, "cam-0")
+            .field("accuracy", FieldValue::Float(0.875))
+            .field("labels", FieldValue::Uint(42))
+            .field("note", FieldValue::Text("a\"b".into()));
+        assert_eq!(
+            record.to_json_line(),
+            "{\"kind\":\"camera\",\"window\":3,\"end_s\":120,\"scope\":\"cam-0\",\
+             \"accuracy\":0.875,\"labels\":42,\"note\":\"a\\\"b\"}"
+        );
+    }
+
+    #[test]
+    fn non_finite_floats_render_as_null() {
+        assert_eq!(json_number(f64::NAN), "null");
+        assert_eq!(json_number(f64::INFINITY), "null");
+        assert_eq!(json_number(1.5), "1.5");
+    }
+
+    #[test]
+    fn histograms_bucket_into_fixed_bounds() {
+        let mut histogram = Histogram::new(&[0.5, 0.9]);
+        histogram.record(0.2);
+        histogram.record(0.7);
+        histogram.record(0.95);
+        histogram.record(2.0);
+        assert_eq!(histogram.counts(), &[1, 1, 2]);
+        assert_eq!(histogram.total(), 4);
+        assert!((histogram.mean() - 0.9625).abs() < 1e-12);
+    }
+
+    #[test]
+    fn take_window_drains_counters_but_keeps_totals_and_gauges() {
+        let mut registry = MetricsRegistry::new();
+        registry.counter_add("steps", 5);
+        registry.gauge_set("accuracy", 0.9);
+        let record = registry.take_window(0, 60.0).expect("first window has data");
+        assert_eq!(record.fields.len(), 2);
+        assert_eq!(record.fields[0], ("steps".to_string(), FieldValue::Uint(5)));
+        // The next window starts from zero, but the gauge persists and the
+        // cumulative total remembers everything.
+        let record = registry.take_window(1, 120.0).expect("gauges keep sampling");
+        assert_eq!(record.fields, vec![("accuracy".to_string(), FieldValue::Float(0.9))]);
+        assert_eq!(registry.counter_total("steps"), 5);
+    }
+
+    #[test]
+    fn empty_windows_produce_no_record() {
+        let mut registry = MetricsRegistry::new();
+        assert!(registry.take_window(0, 60.0).is_none());
+    }
+}

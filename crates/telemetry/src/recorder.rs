@@ -1,0 +1,915 @@
+//! The [`TelemetryRecorder`]: a [`SimObserver`] that turns the observer
+//! hook stream into trace events and per-window metrics records, fanned out
+//! to the configured sinks.
+//!
+//! The recorder is deterministic by construction: observed runs execute
+//! single-threaded, every hook fires in a fixed order (see the crate docs
+//! for the window-barrier contract), and all aggregation state lives in
+//! ordered collections — so the bytes a sink receives are identical across
+//! worker-thread counts. With only the reserved `null` sink configured the
+//! recorder does **no** work at all: every hook returns immediately, which
+//! is what keeps null-sink observed runs bit-identical in cost and results
+//! to telemetry-free runs.
+
+use crate::error::{Result, TelemetryError};
+use crate::metrics::{FieldValue, MetricsRecord, MetricsRegistry};
+use crate::sink::{self, TelemetrySink};
+use crate::trace::{virtual_us, TraceEvent, CLUSTER_PID};
+use dacapo_core::{
+    AcceleratorSample, LabelRoute, PhaseKind, PhaseRecord, SimObserver, WindowSample,
+};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Bucket bounds for the phase-duration histogram, in virtual seconds.
+const PHASE_BOUNDS: &[f64] = &[0.1, 1.0, 10.0, 60.0, 600.0];
+
+/// Per-camera aggregation state: one trace thread plus the currently
+/// accumulating camera-local window.
+struct CameraTrack {
+    name: String,
+    tid: u32,
+    /// Index of the camera-local window currently accumulating.
+    window: usize,
+    has_data: bool,
+    steps: u64,
+    label_s: f64,
+    retrain_s: f64,
+    wait_s: f64,
+    labels: u64,
+    labels_shared: u64,
+    drifts: u64,
+    accuracy_sum: f64,
+    accuracy_count: u64,
+    /// Latest event time seen on this camera's own clock.
+    last_s: f64,
+}
+
+impl CameraTrack {
+    fn new(name: String, tid: u32) -> Self {
+        Self {
+            name,
+            tid,
+            window: 0,
+            has_data: false,
+            steps: 0,
+            label_s: 0.0,
+            retrain_s: 0.0,
+            wait_s: 0.0,
+            labels: 0,
+            labels_shared: 0,
+            drifts: 0,
+            accuracy_sum: 0.0,
+            accuracy_count: 0,
+            last_s: 0.0,
+        }
+    }
+
+    /// The camera's display name (standalone sessions have no name).
+    fn display(&self) -> &str {
+        if self.name.is_empty() {
+            "session"
+        } else {
+            &self.name
+        }
+    }
+}
+
+/// End-of-run totals returned by [`TelemetryRecorder::finish`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TelemetrySummary {
+    /// Trace events fanned out to the sinks.
+    pub trace_events: u64,
+    /// Metrics records fanned out to the sinks.
+    pub metrics_records: u64,
+}
+
+/// A [`SimObserver`] that records virtual-time spans and per-window metrics
+/// into pluggable sinks. See the crate docs for the full data model.
+pub struct TelemetryRecorder {
+    sinks: Vec<Box<dyn TelemetrySink>>,
+    window_s: f64,
+    metrics: MetricsRegistry,
+    tracks: Vec<CameraTrack>,
+    track_ids: BTreeMap<String, usize>,
+    named_processes: BTreeSet<u32>,
+    named_threads: BTreeSet<(u32, u32)>,
+    context_pid: u32,
+    context_track: Option<usize>,
+    /// Index the next cluster-level metrics window will carry (advanced by
+    /// window barriers; used for the residual flush at finish).
+    cluster_window: usize,
+    trace_events: u64,
+    metrics_records: u64,
+    error: Option<TelemetryError>,
+}
+
+impl Default for TelemetryRecorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TelemetryRecorder {
+    /// Creates a recorder with no sinks (disabled until one is added).
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            sinks: Vec::new(),
+            window_s: 60.0,
+            metrics: MetricsRegistry::new(),
+            tracks: Vec::new(),
+            track_ids: BTreeMap::new(),
+            named_processes: BTreeSet::new(),
+            named_threads: BTreeSet::new(),
+            context_pid: 0,
+            context_track: None,
+            cluster_window: 0,
+            trace_events: 0,
+            metrics_records: 0,
+            error: None,
+        }
+    }
+
+    /// Sets the camera-local aggregation window for `"camera"` records, in
+    /// virtual seconds (default 60). Cluster-level `"window"` /
+    /// `"accelerator"` / `"cluster"` records always follow the cluster's own
+    /// barrier windows instead.
+    #[must_use]
+    pub fn window_s(mut self, window_s: f64) -> Self {
+        self.window_s = window_s.max(1e-9);
+        self
+    }
+
+    /// Adds a sink instance.
+    #[must_use]
+    pub fn with_sink(mut self, sink: Box<dyn TelemetrySink>) -> Self {
+        self.sinks.push(sink);
+        self
+    }
+
+    /// Adds a sink by registry spec (`"chrome-trace:<path>"`,
+    /// `"json-lines:<path>"`, `"summary"`, …). The reserved `"null"` spec
+    /// adds nothing, keeping the recorder on its do-nothing fast path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TelemetryError::InvalidConfig`] for an unregistered name or
+    /// malformed parameters.
+    pub fn with_sink_spec(mut self, spec: &str) -> Result<Self> {
+        if sink::is_null(spec) {
+            return Ok(self);
+        }
+        self.sinks.push(sink::create(spec)?);
+        Ok(self)
+    }
+
+    /// Whether the recorder does any work (it has at least one sink).
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        !self.sinks.is_empty()
+    }
+
+    /// Flushes residual per-camera windows, finishes every sink, and
+    /// returns the fan-out totals.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first error any sink reported, during the run or while
+    /// finishing.
+    pub fn finish(mut self) -> Result<TelemetrySummary> {
+        if self.is_enabled() {
+            for index in 0..self.tracks.len() {
+                self.flush_camera_window(index);
+            }
+            let end_s = self.tracks.iter().map(|t| t.last_s).fold(0.0, f64::max);
+            if let Some(record) = self.metrics.take_window(self.cluster_window, end_s) {
+                self.emit_record(&record);
+            }
+            for sink in &mut self.sinks {
+                if let Err(error) = sink.finish() {
+                    if self.error.is_none() {
+                        self.error = Some(error);
+                    }
+                }
+            }
+        }
+        match self.error {
+            Some(error) => Err(error),
+            None => Ok(TelemetrySummary {
+                trace_events: self.trace_events,
+                metrics_records: self.metrics_records,
+            }),
+        }
+    }
+
+    fn emit_trace(&mut self, event: &TraceEvent) {
+        if self.error.is_some() {
+            return;
+        }
+        self.trace_events += 1;
+        for sink in &mut self.sinks {
+            if let Err(error) = sink.on_trace_event(event) {
+                self.error = Some(error);
+                return;
+            }
+        }
+    }
+
+    fn emit_record(&mut self, record: &MetricsRecord) {
+        if self.error.is_some() {
+            return;
+        }
+        self.metrics_records += 1;
+        for sink in &mut self.sinks {
+            if let Err(error) = sink.on_metrics_record(record) {
+                self.error = Some(error);
+                return;
+            }
+        }
+    }
+
+    /// Emits process-name metadata once per process id.
+    fn ensure_process(&mut self, pid: u32) {
+        if self.named_processes.insert(pid) {
+            let name = if pid == CLUSTER_PID {
+                "cluster".to_string()
+            } else {
+                format!("accelerator-{pid}")
+            };
+            self.emit_trace(&TraceEvent::ProcessName { pid, name });
+        }
+    }
+
+    /// Looks up (or creates) the track for a camera name.
+    fn track_index(&mut self, name: &str) -> usize {
+        if let Some(&index) = self.track_ids.get(name) {
+            return index;
+        }
+        let index = self.tracks.len();
+        // tid 0 is kept for process-wide counter/metadata rows.
+        let tid = index as u32 + 1;
+        self.tracks.push(CameraTrack::new(name.to_string(), tid));
+        self.track_ids.insert(name.to_string(), index);
+        index
+    }
+
+    /// The track the current event burst belongs to (the standalone-session
+    /// track when no cluster ever set a context).
+    fn context_track_index(&mut self) -> usize {
+        match self.context_track {
+            Some(index) => index,
+            None => {
+                let index = self.track_index("");
+                self.context_track = Some(index);
+                index
+            }
+        }
+    }
+
+    /// Emits thread-name metadata once per (process, thread) pair.
+    fn ensure_thread(&mut self, pid: u32, track_index: usize) {
+        let tid = self.tracks[track_index].tid;
+        if self.named_threads.insert((pid, tid)) {
+            let name = self.tracks[track_index].display().to_string();
+            self.emit_trace(&TraceEvent::ThreadName { pid, tid, name });
+        }
+    }
+
+    /// Rolls the camera-local window forward to the one containing `at_s`,
+    /// flushing the previous window's record if it accumulated anything.
+    fn roll_camera_window(&mut self, track_index: usize, at_s: f64) {
+        let target = if at_s > 0.0 { (at_s / self.window_s).floor() as usize } else { 0 };
+        if target > self.tracks[track_index].window {
+            self.flush_camera_window(track_index);
+            self.tracks[track_index].window = target;
+        }
+        let track = &mut self.tracks[track_index];
+        track.last_s = track.last_s.max(at_s);
+    }
+
+    /// Emits the accumulating `"camera"` record for one track and resets
+    /// the accumulators. Empty windows produce no record.
+    fn flush_camera_window(&mut self, track_index: usize) {
+        let track = &mut self.tracks[track_index];
+        if !track.has_data {
+            return;
+        }
+        let end_s = (track.window as f64 + 1.0) * self.window_s;
+        let mut record =
+            MetricsRecord::new("camera", track.window, end_s, track.display().to_string())
+                .field("steps", FieldValue::Uint(track.steps))
+                .field("label_s", FieldValue::Float(track.label_s))
+                .field("retrain_s", FieldValue::Float(track.retrain_s))
+                .field("wait_s", FieldValue::Float(track.wait_s))
+                .field("labels", FieldValue::Uint(track.labels))
+                .field("labels_shared", FieldValue::Uint(track.labels_shared))
+                .field("drifts", FieldValue::Uint(track.drifts));
+        if track.accuracy_count > 0 {
+            record = record.field(
+                "accuracy",
+                FieldValue::Float(track.accuracy_sum / track.accuracy_count as f64),
+            );
+        }
+        track.has_data = false;
+        track.steps = 0;
+        track.label_s = 0.0;
+        track.retrain_s = 0.0;
+        track.wait_s = 0.0;
+        track.labels = 0;
+        track.labels_shared = 0;
+        track.drifts = 0;
+        track.accuracy_sum = 0.0;
+        track.accuracy_count = 0;
+        self.emit_record(&record);
+    }
+
+    /// Renders a route decision for trace args.
+    fn route_text(route: LabelRoute) -> String {
+        match route {
+            LabelRoute::Local => "local".to_string(),
+            LabelRoute::Cloud { byte_budget: None } => "cloud".to_string(),
+            LabelRoute::Cloud { byte_budget: Some(budget) } => format!("cloud:{budget}"),
+        }
+    }
+}
+
+impl SimObserver for TelemetryRecorder {
+    fn on_phase(&mut self, phase: &PhaseRecord) {
+        if !self.is_enabled() {
+            return;
+        }
+        let pid = self.context_pid;
+        let track_index = self.context_track_index();
+        self.ensure_process(pid);
+        self.ensure_thread(pid, track_index);
+        self.roll_camera_window(track_index, phase.start_s);
+        let track = &mut self.tracks[track_index];
+        track.has_data = true;
+        track.steps += 1;
+        track.last_s = track.last_s.max(phase.start_s + phase.duration_s);
+        let span_name = match phase.kind {
+            PhaseKind::Label => {
+                track.label_s += phase.duration_s;
+                track.labels += phase.samples as u64;
+                "label"
+            }
+            PhaseKind::Retrain => {
+                track.retrain_s += phase.duration_s;
+                "retrain"
+            }
+            PhaseKind::Wait => {
+                track.wait_s += phase.duration_s;
+                "wait"
+            }
+        };
+        let tid = track.tid;
+        self.metrics.counter_add("steps", 1);
+        if phase.kind == PhaseKind::Label {
+            self.metrics.counter_add("labels", phase.samples as u64);
+        }
+        self.metrics.histogram_record("phase_s", PHASE_BOUNDS, phase.duration_s);
+        self.emit_trace(&TraceEvent::Complete {
+            name: span_name.to_string(),
+            pid,
+            tid,
+            ts_us: virtual_us(phase.start_s),
+            dur_us: virtual_us(phase.duration_s),
+            args: vec![
+                ("samples".to_string(), FieldValue::Uint(phase.samples as u64)),
+                ("drift_response".to_string(), FieldValue::Bool(phase.drift_response)),
+            ],
+        });
+    }
+
+    fn on_drift(&mut self, at_s: f64, response_index: usize) {
+        if !self.is_enabled() {
+            return;
+        }
+        let pid = self.context_pid;
+        let track_index = self.context_track_index();
+        self.ensure_process(pid);
+        self.ensure_thread(pid, track_index);
+        self.roll_camera_window(track_index, at_s);
+        let track = &mut self.tracks[track_index];
+        track.has_data = true;
+        track.drifts += 1;
+        let tid = track.tid;
+        self.metrics.counter_add("drifts", 1);
+        self.emit_trace(&TraceEvent::Mark {
+            name: "drift".to_string(),
+            pid,
+            tid,
+            ts_us: virtual_us(at_s),
+            args: vec![("response_index".to_string(), FieldValue::Uint(response_index as u64))],
+        });
+    }
+
+    fn on_accuracy(&mut self, at_s: f64, accuracy: f64) {
+        if !self.is_enabled() {
+            return;
+        }
+        let pid = self.context_pid;
+        let track_index = self.context_track_index();
+        self.ensure_process(pid);
+        self.roll_camera_window(track_index, at_s);
+        let track = &mut self.tracks[track_index];
+        track.has_data = true;
+        track.accuracy_sum += accuracy;
+        track.accuracy_count += 1;
+        let counter_name = format!("accuracy/{}", track.display());
+        self.metrics.gauge_set(&counter_name, accuracy);
+        self.metrics.histogram_record("accuracy", &[0.25, 0.5, 0.75, 0.9, 1.0], accuracy);
+        self.emit_trace(&TraceEvent::Counter {
+            name: counter_name,
+            pid,
+            ts_us: virtual_us(at_s),
+            series: vec![("accuracy".to_string(), accuracy)],
+        });
+    }
+
+    fn on_finished(&mut self) {
+        if !self.is_enabled() {
+            return;
+        }
+        let pid = self.context_pid;
+        let track_index = self.context_track_index();
+        let at_s = self.tracks[track_index].last_s;
+        let tid = self.tracks[track_index].tid;
+        self.metrics.counter_add("finished", 1);
+        self.emit_trace(&TraceEvent::Mark {
+            name: "finished".to_string(),
+            pid,
+            tid,
+            ts_us: virtual_us(at_s),
+            args: Vec::new(),
+        });
+    }
+
+    fn on_step_context(&mut self, camera: &str, _camera_index: usize, accelerator: usize) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.context_pid = accelerator as u32;
+        let index = self.track_index(camera);
+        self.context_track = Some(index);
+    }
+
+    fn on_window_barrier(&mut self, window_index: usize, boundary_s: f64) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.cluster_window = window_index + 1;
+        if let Some(record) = self.metrics.take_window(window_index, boundary_s) {
+            self.emit_record(&record);
+        }
+    }
+
+    fn on_window_sample(&mut self, sample: &WindowSample<'_>) {
+        if !self.is_enabled() {
+            return;
+        }
+        let track_index = self.track_index(sample.camera);
+        let scope = self.tracks[track_index].display().to_string();
+        let mut record =
+            MetricsRecord::new("window", sample.window_index, sample.boundary_s, scope)
+                .field("accelerator", FieldValue::Uint(sample.accelerator as u64))
+                .field("now_s", FieldValue::Float(sample.now_s))
+                .field("buffer_len", FieldValue::Uint(sample.buffer_len as u64))
+                .field("buffer_fresh", FieldValue::Float(sample.buffer_fresh_fraction))
+                .field("labels_local", FieldValue::Uint(sample.labels_local))
+                .field("labels_cloud", FieldValue::Uint(sample.labels_cloud))
+                .field("in_flight_cloud", FieldValue::Uint(sample.in_flight_cloud_labels as u64));
+        if let Some(accuracy) = sample.accuracy {
+            record = record.field("accuracy", FieldValue::Float(accuracy));
+        }
+        self.emit_record(&record);
+    }
+
+    fn on_accelerator_sample(&mut self, sample: &AcceleratorSample) {
+        if !self.is_enabled() {
+            return;
+        }
+        let pid = sample.accelerator as u32;
+        self.ensure_process(pid);
+        let record = MetricsRecord::new(
+            "accelerator",
+            sample.window_index,
+            sample.boundary_s,
+            format!("accelerator-{}", sample.accelerator),
+        )
+        .field("busy_s", FieldValue::Float(sample.busy_s))
+        .field("utilization", FieldValue::Float(sample.utilization))
+        .field("live_sessions", FieldValue::Uint(sample.live_sessions as u64))
+        .field("queued_sessions", FieldValue::Uint(sample.queued_sessions as u64))
+        .field("event_depth", FieldValue::Uint(sample.event_depth as u64))
+        .field("drained", FieldValue::Bool(sample.drained));
+        self.emit_record(&record);
+        self.emit_trace(&TraceEvent::Counter {
+            name: "utilization".to_string(),
+            pid,
+            ts_us: virtual_us(sample.boundary_s),
+            series: vec![("utilization".to_string(), sample.utilization)],
+        });
+    }
+
+    fn on_share(&mut self, exporter: &str, importer: &str, admitted: usize, boundary_s: f64) {
+        if !self.is_enabled() {
+            return;
+        }
+        let importer_index = self.track_index(importer);
+        let track = &mut self.tracks[importer_index];
+        track.has_data = true;
+        track.labels_shared += admitted as u64;
+        self.metrics.counter_add("labels_shared", admitted as u64);
+        self.ensure_process(CLUSTER_PID);
+        self.emit_trace(&TraceEvent::Mark {
+            name: "share".to_string(),
+            pid: CLUSTER_PID,
+            tid: 0,
+            ts_us: virtual_us(boundary_s),
+            args: vec![
+                ("exporter".to_string(), FieldValue::Text(exporter.to_string())),
+                ("importer".to_string(), FieldValue::Text(importer.to_string())),
+                ("admitted".to_string(), FieldValue::Uint(admitted as u64)),
+            ],
+        });
+    }
+
+    fn on_offload_route(
+        &mut self,
+        camera: &str,
+        route: LabelRoute,
+        window_index: usize,
+        boundary_s: f64,
+    ) {
+        if !self.is_enabled() {
+            return;
+        }
+        let counter = match route {
+            LabelRoute::Local => "routes_local",
+            LabelRoute::Cloud { .. } => "routes_cloud",
+        };
+        self.metrics.counter_add(counter, 1);
+        self.ensure_process(CLUSTER_PID);
+        self.emit_trace(&TraceEvent::Mark {
+            name: "route".to_string(),
+            pid: CLUSTER_PID,
+            tid: 0,
+            ts_us: virtual_us(boundary_s),
+            args: vec![
+                ("camera".to_string(), FieldValue::Text(camera.to_string())),
+                ("route".to_string(), FieldValue::Text(Self::route_text(route))),
+                ("window".to_string(), FieldValue::Uint(window_index as u64)),
+            ],
+        });
+    }
+
+    fn on_churn_join(&mut self, camera: &str, accelerator: Option<usize>, at_s: f64) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.metrics.counter_add("joins", 1);
+        self.ensure_process(CLUSTER_PID);
+        let placement = match accelerator {
+            Some(accel) => FieldValue::Uint(accel as u64),
+            None => FieldValue::Text("orphaned".to_string()),
+        };
+        self.emit_trace(&TraceEvent::Mark {
+            name: "join".to_string(),
+            pid: CLUSTER_PID,
+            tid: 0,
+            ts_us: virtual_us(at_s),
+            args: vec![
+                ("camera".to_string(), FieldValue::Text(camera.to_string())),
+                ("accelerator".to_string(), placement),
+            ],
+        });
+    }
+
+    fn on_churn_leave(&mut self, camera: &str, at_s: f64) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.metrics.counter_add("leaves", 1);
+        self.ensure_process(CLUSTER_PID);
+        self.emit_trace(&TraceEvent::Mark {
+            name: "leave".to_string(),
+            pid: CLUSTER_PID,
+            tid: 0,
+            ts_us: virtual_us(at_s),
+            args: vec![("camera".to_string(), FieldValue::Text(camera.to_string()))],
+        });
+    }
+
+    fn on_churn_drain(&mut self, accelerator: usize, at_s: f64) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.metrics.counter_add("drains", 1);
+        self.ensure_process(CLUSTER_PID);
+        self.emit_trace(&TraceEvent::Mark {
+            name: "drain".to_string(),
+            pid: CLUSTER_PID,
+            tid: 0,
+            ts_us: virtual_us(at_s),
+            args: vec![("accelerator".to_string(), FieldValue::Uint(accelerator as u64))],
+        });
+    }
+
+    fn on_migration(
+        &mut self,
+        camera: &str,
+        from_accelerator: usize,
+        to_accelerator: Option<usize>,
+        at_s: f64,
+    ) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.metrics.counter_add("migrations", 1);
+        self.ensure_process(CLUSTER_PID);
+        let destination = match to_accelerator {
+            Some(accel) => FieldValue::Uint(accel as u64),
+            None => FieldValue::Text("orphaned".to_string()),
+        };
+        self.emit_trace(&TraceEvent::Mark {
+            name: "migration".to_string(),
+            pid: CLUSTER_PID,
+            tid: 0,
+            ts_us: virtual_us(at_s),
+            args: vec![
+                ("camera".to_string(), FieldValue::Text(camera.to_string())),
+                ("from".to_string(), FieldValue::Uint(from_accelerator as u64)),
+                ("to".to_string(), destination),
+            ],
+        });
+    }
+
+    fn on_uplink_transfer(&mut self, camera: &str, at_s: f64, bytes: u64, labels: usize) {
+        if !self.is_enabled() {
+            return;
+        }
+        let pid = self.context_pid;
+        let track_index =
+            if camera.is_empty() { self.context_track_index() } else { self.track_index(camera) };
+        self.ensure_process(pid);
+        self.ensure_thread(pid, track_index);
+        let tid = self.tracks[track_index].tid;
+        self.metrics.counter_add("uplink_bytes", bytes);
+        self.metrics.counter_add("labels_cloud", labels as u64);
+        self.emit_trace(&TraceEvent::Mark {
+            name: "uplink".to_string(),
+            pid,
+            tid,
+            ts_us: virtual_us(at_s),
+            args: vec![
+                ("bytes".to_string(), FieldValue::Uint(bytes)),
+                ("labels".to_string(), FieldValue::Uint(labels as u64)),
+            ],
+        });
+    }
+}
+
+/// Forwards every [`SimObserver`] hook to two observers, in order — the
+/// bench runner uses it to drive the recorder and the host-time profiler
+/// from one observed run.
+pub struct TeeObserver<'a> {
+    first: &'a mut dyn SimObserver,
+    second: &'a mut dyn SimObserver,
+}
+
+impl<'a> TeeObserver<'a> {
+    /// Pairs two observers.
+    pub fn new(first: &'a mut dyn SimObserver, second: &'a mut dyn SimObserver) -> Self {
+        Self { first, second }
+    }
+}
+
+impl SimObserver for TeeObserver<'_> {
+    fn on_phase(&mut self, phase: &PhaseRecord) {
+        self.first.on_phase(phase);
+        self.second.on_phase(phase);
+    }
+
+    fn on_drift(&mut self, at_s: f64, response_index: usize) {
+        self.first.on_drift(at_s, response_index);
+        self.second.on_drift(at_s, response_index);
+    }
+
+    fn on_accuracy(&mut self, at_s: f64, accuracy: f64) {
+        self.first.on_accuracy(at_s, accuracy);
+        self.second.on_accuracy(at_s, accuracy);
+    }
+
+    fn on_finished(&mut self) {
+        self.first.on_finished();
+        self.second.on_finished();
+    }
+
+    fn on_event(&mut self, event: &dacapo_core::SessionEvent) {
+        self.first.on_event(event);
+        self.second.on_event(event);
+    }
+
+    fn on_step_context(&mut self, camera: &str, camera_index: usize, accelerator: usize) {
+        self.first.on_step_context(camera, camera_index, accelerator);
+        self.second.on_step_context(camera, camera_index, accelerator);
+    }
+
+    fn on_window_barrier(&mut self, window_index: usize, boundary_s: f64) {
+        self.first.on_window_barrier(window_index, boundary_s);
+        self.second.on_window_barrier(window_index, boundary_s);
+    }
+
+    fn on_window_sample(&mut self, sample: &WindowSample<'_>) {
+        self.first.on_window_sample(sample);
+        self.second.on_window_sample(sample);
+    }
+
+    fn on_accelerator_sample(&mut self, sample: &AcceleratorSample) {
+        self.first.on_accelerator_sample(sample);
+        self.second.on_accelerator_sample(sample);
+    }
+
+    fn on_share(&mut self, exporter: &str, importer: &str, admitted: usize, boundary_s: f64) {
+        self.first.on_share(exporter, importer, admitted, boundary_s);
+        self.second.on_share(exporter, importer, admitted, boundary_s);
+    }
+
+    fn on_offload_route(
+        &mut self,
+        camera: &str,
+        route: LabelRoute,
+        window_index: usize,
+        boundary_s: f64,
+    ) {
+        self.first.on_offload_route(camera, route, window_index, boundary_s);
+        self.second.on_offload_route(camera, route, window_index, boundary_s);
+    }
+
+    fn on_churn_join(&mut self, camera: &str, accelerator: Option<usize>, at_s: f64) {
+        self.first.on_churn_join(camera, accelerator, at_s);
+        self.second.on_churn_join(camera, accelerator, at_s);
+    }
+
+    fn on_churn_leave(&mut self, camera: &str, at_s: f64) {
+        self.first.on_churn_leave(camera, at_s);
+        self.second.on_churn_leave(camera, at_s);
+    }
+
+    fn on_churn_drain(&mut self, accelerator: usize, at_s: f64) {
+        self.first.on_churn_drain(accelerator, at_s);
+        self.second.on_churn_drain(accelerator, at_s);
+    }
+
+    fn on_migration(
+        &mut self,
+        camera: &str,
+        from_accelerator: usize,
+        to_accelerator: Option<usize>,
+        at_s: f64,
+    ) {
+        self.first.on_migration(camera, from_accelerator, to_accelerator, at_s);
+        self.second.on_migration(camera, from_accelerator, to_accelerator, at_s);
+    }
+
+    fn on_uplink_transfer(&mut self, camera: &str, at_s: f64, bytes: u64, labels: usize) {
+        self.first.on_uplink_transfer(camera, at_s, bytes, labels);
+        self.second.on_uplink_transfer(camera, at_s, bytes, labels);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Arc, Mutex};
+
+    /// A sink that shares its received lines with the test.
+    struct CaptureSink {
+        records: Arc<Mutex<Vec<String>>>,
+        traces: Arc<Mutex<Vec<String>>>,
+    }
+
+    impl TelemetrySink for CaptureSink {
+        fn name(&self) -> &str {
+            "capture"
+        }
+
+        fn on_trace_event(&mut self, event: &TraceEvent) -> Result<()> {
+            self.traces.lock().unwrap().push(event.to_json());
+            Ok(())
+        }
+
+        fn on_metrics_record(&mut self, record: &MetricsRecord) -> Result<()> {
+            self.records.lock().unwrap().push(record.to_json_line());
+            Ok(())
+        }
+    }
+
+    type Shared = Arc<Mutex<Vec<String>>>;
+
+    fn capture() -> (TelemetryRecorder, Shared, Shared) {
+        let records = Arc::new(Mutex::new(Vec::new()));
+        let traces = Arc::new(Mutex::new(Vec::new()));
+        let sink = CaptureSink { records: Arc::clone(&records), traces: Arc::clone(&traces) };
+        (TelemetryRecorder::new().with_sink(Box::new(sink)), records, traces)
+    }
+
+    #[test]
+    fn recorder_without_sinks_is_disabled() {
+        let recorder = TelemetryRecorder::new();
+        assert!(!recorder.is_enabled());
+        let recorder = TelemetryRecorder::new().with_sink_spec("null").unwrap();
+        assert!(!recorder.is_enabled());
+    }
+
+    #[test]
+    fn phases_become_spans_and_windows_flush_on_time_crossing() {
+        let (mut recorder, records, traces) = capture();
+        recorder = recorder.window_s(10.0);
+        recorder.on_phase(&PhaseRecord {
+            kind: PhaseKind::Label,
+            start_s: 1.0,
+            duration_s: 2.0,
+            samples: 8,
+            drift_response: false,
+        });
+        recorder.on_accuracy(5.0, 0.75);
+        // Crossing into window 1 flushes window 0's camera record.
+        recorder.on_phase(&PhaseRecord {
+            kind: PhaseKind::Wait,
+            start_s: 12.0,
+            duration_s: 1.0,
+            samples: 0,
+            drift_response: false,
+        });
+        let summary = recorder.finish().unwrap();
+        assert!(summary.trace_events >= 3);
+        let records = records.lock().unwrap();
+        let camera: Vec<&String> =
+            records.iter().filter(|line| line.contains("\"kind\":\"camera\"")).collect();
+        assert_eq!(camera.len(), 2, "{records:?}");
+        assert!(camera[0].contains("\"window\":0"));
+        assert!(camera[0].contains("\"labels\":8"));
+        assert!(camera[0].contains("\"accuracy\":0.75"));
+        assert!(camera[1].contains("\"window\":1"));
+        let traces = traces.lock().unwrap();
+        assert!(traces
+            .iter()
+            .any(|t| t.contains("\"name\":\"label\"") && t.contains("\"ph\":\"X\"")));
+        assert!(traces.iter().any(|t| t.contains("process_name")));
+    }
+
+    #[test]
+    fn cluster_hooks_produce_cluster_scoped_output() {
+        let (mut recorder, records, traces) = capture();
+        recorder.on_step_context("cam-1", 1, 3);
+        recorder.on_phase(&PhaseRecord {
+            kind: PhaseKind::Retrain,
+            start_s: 0.5,
+            duration_s: 1.0,
+            samples: 64,
+            drift_response: false,
+        });
+        recorder.on_share("cam-0", "cam-1", 5, 60.0);
+        recorder.on_churn_join("cam-2", Some(0), 60.0);
+        recorder.on_migration("cam-1", 3, None, 60.0);
+        recorder.on_window_barrier(0, 60.0);
+        let summary = recorder.finish().unwrap();
+        assert!(summary.metrics_records >= 1);
+        let records = records.lock().unwrap();
+        let cluster: Vec<&String> =
+            records.iter().filter(|line| line.contains("\"kind\":\"cluster\"")).collect();
+        assert!(!cluster.is_empty(), "{records:?}");
+        assert!(cluster[0].contains("\"labels_shared\":5"), "{}", cluster[0]);
+        assert!(cluster[0].contains("\"joins\":1"));
+        assert!(cluster[0].contains("\"migrations\":1"));
+        let traces = traces.lock().unwrap();
+        assert!(traces.iter().any(|t| t.contains("\"name\":\"share\"")));
+        assert!(traces.iter().any(|t| t.contains("\"name\":\"cluster\"")));
+        // The retrain span runs on accelerator 3 under camera cam-1's track.
+        assert!(traces
+            .iter()
+            .any(|t| t.contains("\"name\":\"retrain\"") && t.contains("\"pid\":3")));
+    }
+
+    #[test]
+    fn sink_errors_surface_from_finish() {
+        struct FailingSink;
+        impl TelemetrySink for FailingSink {
+            fn name(&self) -> &str {
+                "failing"
+            }
+            fn on_trace_event(&mut self, _event: &TraceEvent) -> Result<()> {
+                Err(TelemetryError::InvalidConfig { reason: "boom".into() })
+            }
+        }
+        let mut recorder = TelemetryRecorder::new().with_sink(Box::new(FailingSink));
+        recorder.on_drift(1.0, 1);
+        let err = match recorder.finish() {
+            Err(err) => err,
+            Ok(_) => panic!("sink error must surface"),
+        };
+        assert!(err.to_string().contains("boom"), "{err}");
+    }
+}

@@ -1,0 +1,220 @@
+//! Chrome Trace Event Format output in **virtual time**.
+//!
+//! The recorder maps the cluster onto the trace viewer's process/thread
+//! model: each accelerator is a process (`pid`), each camera a thread
+//! (`tid`), cluster-level control events (shares, churn, routing) live on
+//! the synthetic [`CLUSTER_PID`] process, and all timestamps are virtual
+//! seconds scaled to microseconds. The JSON uses the
+//! `{"traceEvents": [...]}` object form, loadable in Perfetto and
+//! `chrome://tracing`. Serialization is by hand and fully ordered, so the
+//! same run always produces the same bytes.
+
+use crate::metrics::{escape_json, json_number, FieldValue};
+
+/// Synthetic process id for cluster-level control events (label exchange,
+/// churn, offload routing) that belong to no single accelerator.
+pub const CLUSTER_PID: u32 = 65_535;
+
+/// Converts virtual seconds to the trace format's microsecond ticks.
+#[must_use]
+pub fn virtual_us(seconds: f64) -> u64 {
+    if seconds.is_finite() && seconds > 0.0 {
+        (seconds * 1e6).round() as u64
+    } else {
+        0
+    }
+}
+
+/// One Chrome trace event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// A complete span (`ph: "X"`): one executed phase.
+    Complete {
+        /// Span label (`label`, `retrain`, `wait`).
+        name: String,
+        /// Accelerator (process) id.
+        pid: u32,
+        /// Camera (thread) id.
+        tid: u32,
+        /// Start, in virtual microseconds.
+        ts_us: u64,
+        /// Duration, in virtual microseconds.
+        dur_us: u64,
+        /// Extra payload shown in the viewer's args pane.
+        args: Vec<(String, FieldValue)>,
+    },
+    /// An instant marker (`ph: "i"` in the trace output): drift, share,
+    /// churn, uplink.
+    Mark {
+        /// Marker label.
+        name: String,
+        /// Process id ([`CLUSTER_PID`] for cluster-level events).
+        pid: u32,
+        /// Thread id (0 for process-wide markers).
+        tid: u32,
+        /// Time, in virtual microseconds.
+        ts_us: u64,
+        /// Extra payload shown in the viewer's args pane.
+        args: Vec<(String, FieldValue)>,
+    },
+    /// A counter sample (`ph: "C"`): accuracy, utilization.
+    Counter {
+        /// Counter track name.
+        name: String,
+        /// Process id the track belongs to.
+        pid: u32,
+        /// Time, in virtual microseconds.
+        ts_us: u64,
+        /// Series name/value pairs plotted on the track.
+        series: Vec<(String, f64)>,
+    },
+    /// Process-name metadata (`ph: "M"`).
+    ProcessName {
+        /// Process id being named.
+        pid: u32,
+        /// Display name (`accelerator-N` or `cluster`).
+        name: String,
+    },
+    /// Thread-name metadata (`ph: "M"`).
+    ThreadName {
+        /// Process id the thread lives in.
+        pid: u32,
+        /// Thread id being named.
+        tid: u32,
+        /// Display name (the camera's name).
+        name: String,
+    },
+}
+
+/// Renders an args object from name/value pairs.
+fn args_json(args: &[(String, FieldValue)]) -> String {
+    let mut out = String::from("{");
+    for (i, (name, value)) in args.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        out.push_str(&escape_json(name));
+        out.push_str("\":");
+        out.push_str(&value.to_json());
+    }
+    out.push('}');
+    out
+}
+
+impl TraceEvent {
+    /// Renders the event as one JSON object.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        match self {
+            Self::Complete { name, pid, tid, ts_us, dur_us, args } => format!(
+                "{{\"name\":\"{}\",\"ph\":\"X\",\"pid\":{pid},\"tid\":{tid},\"ts\":{ts_us},\
+                 \"dur\":{dur_us},\"args\":{}}}",
+                escape_json(name),
+                args_json(args),
+            ),
+            Self::Mark { name, pid, tid, ts_us, args } => format!(
+                "{{\"name\":\"{}\",\"ph\":\"i\",\"s\":\"t\",\"pid\":{pid},\"tid\":{tid},\
+                 \"ts\":{ts_us},\"args\":{}}}",
+                escape_json(name),
+                args_json(args),
+            ),
+            Self::Counter { name, pid, ts_us, series } => {
+                let mut args = String::from("{");
+                for (i, (series_name, value)) in series.iter().enumerate() {
+                    if i > 0 {
+                        args.push(',');
+                    }
+                    args.push('"');
+                    args.push_str(&escape_json(series_name));
+                    args.push_str("\":");
+                    args.push_str(&json_number(*value));
+                }
+                args.push('}');
+                format!(
+                    "{{\"name\":\"{}\",\"ph\":\"C\",\"pid\":{pid},\"tid\":0,\"ts\":{ts_us},\
+                     \"args\":{args}}}",
+                    escape_json(name),
+                )
+            }
+            Self::ProcessName { pid, name } => format!(
+                "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\"ts\":0,\
+                 \"args\":{{\"name\":\"{}\"}}}}",
+                escape_json(name),
+            ),
+            Self::ThreadName { pid, tid, name } => format!(
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\"ts\":0,\
+                 \"args\":{{\"name\":\"{}\"}}}}",
+                escape_json(name),
+            ),
+        }
+    }
+}
+
+/// Renders a full trace document from serialized events, in the order they
+/// were recorded (observed runs are single-threaded, so recording order is
+/// deterministic).
+#[must_use]
+pub fn render_trace(event_json: &[String]) -> String {
+    let mut out = String::from("{\"traceEvents\":[");
+    for (i, event) in event_json.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('\n');
+        out.push_str(event);
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn virtual_us_rounds_and_clamps() {
+        assert_eq!(virtual_us(1.5), 1_500_000);
+        assert_eq!(virtual_us(-2.0), 0);
+        assert_eq!(virtual_us(f64::NAN), 0);
+    }
+
+    #[test]
+    fn complete_events_render_chrome_format() {
+        let event = TraceEvent::Complete {
+            name: "label".into(),
+            pid: 1,
+            tid: 2,
+            ts_us: 10,
+            dur_us: 20,
+            args: vec![("samples".into(), FieldValue::Uint(8))],
+        };
+        assert_eq!(
+            event.to_json(),
+            "{\"name\":\"label\",\"ph\":\"X\",\"pid\":1,\"tid\":2,\"ts\":10,\"dur\":20,\
+             \"args\":{\"samples\":8}}"
+        );
+    }
+
+    #[test]
+    fn metadata_and_counters_render() {
+        let process = TraceEvent::ProcessName { pid: 0, name: "accelerator-0".into() };
+        assert!(process.to_json().contains("\"process_name\""));
+        let counter = TraceEvent::Counter {
+            name: "accuracy".into(),
+            pid: 0,
+            ts_us: 5,
+            series: vec![("cam".into(), 0.5)],
+        };
+        assert!(counter.to_json().contains("\"ph\":\"C\""));
+        assert!(counter.to_json().contains("\"cam\":0.5"));
+    }
+
+    #[test]
+    fn render_trace_wraps_events_in_object_form() {
+        let doc = render_trace(&["{\"a\":1}".to_string(), "{\"b\":2}".to_string()]);
+        assert!(doc.starts_with("{\"traceEvents\":["));
+        assert!(doc.contains("{\"a\":1},\n{\"b\":2}"));
+        assert!(doc.ends_with("\n]}\n"));
+    }
+}

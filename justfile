@@ -56,6 +56,13 @@ edge-cloud:
     cargo run --release --example edge_cloud
     cargo run --release -p dacapo-bench --bin edge_cloud -- --quick
 
+# Observability demo (custom CSV sink registered by name) plus the
+# executor host-time profile; leaves results/BENCH_trace.json,
+# results/BENCH_metrics.jsonl, and results/BENCH_profile.json behind.
+trace:
+    cargo run --release --example telemetry
+    cargo run --release -p dacapo-bench --bin executor_profile -- --quick
+
 # The CI smoke tier: every experiment at its smallest meaningful size, so
 # results/*.json is fully populated in well under a minute.
 bench-smoke:

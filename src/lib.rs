@@ -10,4 +10,5 @@ pub use dacapo_core as core;
 pub use dacapo_datagen as datagen;
 pub use dacapo_dnn as dnn;
 pub use dacapo_mx as mx;
+pub use dacapo_telemetry as telemetry;
 pub use dacapo_tensor as tensor;
