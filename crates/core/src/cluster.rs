@@ -61,6 +61,21 @@
 //! from arbitration exactly like a wait — and uplink telemetry aggregates
 //! into [`ClusterResult::edge`]. The reserved `"local-only"` policy (the
 //! default) keeps the executor on the exact pre-edge code path.
+//!
+//! # Barrier discipline
+//!
+//! The determinism invariant has a structural shape this module commits
+//! to in source: within a window the per-accelerator loops (rooted at
+//! `run_until`) run in parallel and touch only their own cameras; *all*
+//! cross-camera shared state mutates in exactly four functions —
+//! `exchange_window` (label share import/export), `apply_churn` (fleet
+//! membership), `route_offload` (offload routing), and `sample_barrier`
+//! (ordered observer sampling) — each annotated
+//! `// lint: barrier-only(<reason>)` and called only from the
+//! single-threaded window barrier in `run_windowed`. The workspace
+//! linter's `barrier` rule (`crates/lint`) machine-checks this: a share
+//! or churn call drifting into the parallel region fails CI before it
+//! can fail a bit-identity proptest.
 
 use crate::arbiter::{self, GrantRequest, PeerSession};
 use crate::buffer::LabeledSample;
@@ -1656,6 +1671,7 @@ fn pick_target(loops: &[AccelLoop<'_>]) -> Option<usize> {
 
 /// Applies one churn event at a window barrier (single-threaded, in plan
 /// order — the churn counterpart of [`exchange_window`]).
+// lint: barrier-only(fleet membership changes between windows, in plan order, on one thread)
 fn apply_churn(
     event: &PreparedEvent,
     boundary_s: f64,
@@ -1861,6 +1877,7 @@ fn run_window_threaded(loops: &mut [AccelLoop<'_>], boundary_s: f64, threads: us
 /// the policy for an admit fraction per pair. Single-threaded and fully
 /// ordered, so shared runs stay deterministic at any worker-thread count.
 // One call site: barrier plumbing, not a reusable API surface.
+// lint: barrier-only(labels cross cameras only between windows, in admission order, on one thread)
 #[allow(clippy::too_many_arguments)]
 fn exchange_window(
     loops: &mut [AccelLoop<'_>],
@@ -1957,6 +1974,7 @@ fn exchange_window(
 /// without an edge tier are skipped (they always label locally), and
 /// cameras admitted from a queue mid-window run their first partial window
 /// on the Local default until the next barrier routes them.
+// lint: barrier-only(routes rewrite between windows so a whole window runs on one route)
 fn route_offload(
     loops: &mut [AccelLoop<'_>],
     policy: &mut dyn OffloadPolicy,
@@ -2005,6 +2023,7 @@ fn route_offload(
 /// stage, so sampled timeseries are bit-identical at any worker-thread
 /// count. Runs after exchange / churn / routing so the samples describe the
 /// post-barrier fleet.
+// lint: barrier-only(observer sampling is ordered and single-threaded so timeseries stay bit-identical)
 fn sample_barrier(
     loops: &mut [AccelLoop<'_>],
     cameras: &[(String, SimConfig)],

@@ -1,13 +1,18 @@
 //! The allow-annotation grammar.
 //!
-//! Two comment forms opt code out of a rule, and both make the *reason*
+//! Three comment forms carry lint metadata, and each makes the *reason*
 //! mandatory — an annotation without a justification is itself a finding:
 //!
 //! - `// lint: allow(<rule>) — <reason>` exempts code from `<rule>`
-//!   (`determinism`, `panic`, or `registry`). A trailing comment exempts
-//!   its own line; a standalone comment exempts the statement that follows
-//!   (through its terminating `;` or `,`), so a method chain wrapped over
-//!   several lines needs only one annotation.
+//!   (`determinism`, `panic`, `registry`, `exhaustiveness`, `barrier`, or
+//!   `errors`). A trailing comment exempts its own line; a standalone
+//!   comment exempts the statement that follows (through its terminating
+//!   `;` or `,`), so a method chain wrapped over several lines needs only
+//!   one annotation.
+//! - `// lint: barrier-only(<reason>)` marks the function that follows as
+//!   a *barrier-only* mutation point: it touches cross-camera shared state
+//!   and may execute only on the single-threaded window-barrier call paths
+//!   (see the `barrier` rule). The reason goes inside the parentheses.
 //! - `// snapshot: skip(<field>) — <reason>` opts one mutable-state field
 //!   out of the snapshot-parity rule (the field will *not* survive
 //!   checkpoint/restore — say why that is correct), and
@@ -51,11 +56,26 @@ pub struct SnapshotRename {
     pub line: u32,
 }
 
+/// One parsed `lint: barrier-only(<reason>)` annotation, resolved to the
+/// first code line of the function item it marks.
+#[derive(Debug, Clone)]
+pub struct BarrierOnly {
+    /// The mandatory justification from inside the parentheses.
+    pub reason: String,
+    /// The comment's own line (for stale-annotation findings).
+    pub line: u32,
+    /// The first code line of the annotated item (the barrier rule matches
+    /// this against parsed `fn` items).
+    pub target: u32,
+}
+
 /// Every annotation in one file, plus the findings for malformed ones.
 #[derive(Debug, Default)]
 pub struct FileAnnotations {
     /// `lint: allow(..)` exemptions.
     pub allows: Vec<Allow>,
+    /// `lint: barrier-only(..)` markers.
+    pub barrier_only: Vec<BarrierOnly>,
     /// `snapshot: skip(..)` opt-outs.
     pub skips: Vec<SnapshotSkip>,
     /// `snapshot: as(..)` renames.
@@ -146,12 +166,24 @@ fn parse_lint(file: &SourceFile, line: u32, trailing: bool, rest: &str, out: &mu
         ));
         return;
     };
+    if verb == "barrier-only" {
+        // The argument *is* the reason: `// lint: barrier-only(<reason>)`.
+        out.barrier_only.push(BarrierOnly {
+            reason: argument,
+            line,
+            target: target_line(file, line, trailing),
+        });
+        return;
+    }
     if verb != "allow" {
         out.malformed.push(Diagnostic::new(
             &file.path,
             line,
             Rule::Annotation,
-            format!("unknown lint verb `{verb}` — only `allow(<rule>)` is recognised"),
+            format!(
+                "unknown lint verb `{verb}` — only `allow(<rule>)` and \
+                 `barrier-only(<reason>)` are recognised"
+            ),
         ));
         return;
     }
@@ -162,7 +194,7 @@ fn parse_lint(file: &SourceFile, line: u32, trailing: bool, rest: &str, out: &mu
             Rule::Annotation,
             format!(
                 "unknown rule `{argument}` in allow — expected one of \
-                 determinism, panic, snapshot, registry"
+                 determinism, panic, snapshot, registry, exhaustiveness, barrier, errors"
             ),
         ));
         return;
@@ -233,7 +265,7 @@ fn parse_clause(text: &str) -> Option<(String, String, String)> {
         return None;
     }
     let verb = text[..open].trim();
-    if verb.is_empty() || !verb.chars().all(|c| c.is_ascii_alphabetic()) {
+    if verb.is_empty() || !verb.chars().all(|c| c.is_ascii_alphabetic() || c == '-') {
         return None;
     }
     let argument = text[open + 1..close].trim();

@@ -7,9 +7,17 @@
 //! constructs wholesale in the deterministic crates; test modules are
 //! exempt (they time regressions and dedup with `HashSet` freely), and a
 //! justified `// lint: allow(determinism) — <reason>` exempts one line.
+//!
+//! Relaxed-profile files (bench binaries, examples) keep only the
+//! simulation-poisoning bans — `Instant`, `SystemTime`, `thread_rng` — a
+//! benchmark that feeds wall-clock readings or ambient randomness into a
+//! run silently breaks reproducibility, while `HashMap` in a report
+//! printer is fine. The two documented host-time profiling sites
+//! ([`WALL_CLOCK_FILES`]) are additionally exempt from the clock pair:
+//! measuring host time is their whole purpose.
 
 use crate::diag::{Diagnostic, Rule};
-use crate::lexer::{SourceFile, TokenKind};
+use crate::lexer::{Profile, SourceFile, TokenKind};
 
 /// The banned identifiers, with the reason each undermines determinism.
 const BANNED: &[(&str, &str)] = &[
@@ -20,25 +28,43 @@ const BANNED: &[(&str, &str)] = &[
     ("HashSet", "iteration order is arbitrary; use BTreeSet"),
 ];
 
+/// The identifiers that stay banned under the relaxed profile.
+const BANNED_RELAXED: &[&str] = &["Instant", "SystemTime", "thread_rng"];
+
+/// The lint-legal host-time measurement sites: the executor host-time
+/// profile. Wall-clock reads are the deliverable there, nowhere else.
+pub const WALL_CLOCK_FILES: &[&str] =
+    &["crates/bench/src/profile.rs", "crates/bench/src/bin/executor_profile.rs"];
+
 /// Scans one file for banned constructs. Returns raw findings; the driver
 /// applies `allow(determinism)` exemptions.
 #[must_use]
 pub fn check(file: &SourceFile) -> Vec<Diagnostic> {
+    let relaxed = file.profile == Profile::Relaxed;
+    let wall_clock_legal = WALL_CLOCK_FILES.contains(&file.path.as_str());
     let mut out = Vec::new();
     for (i, token) in file.tokens.iter().enumerate() {
         if token.in_test || token.kind != TokenKind::Ident {
             continue;
         }
         if let Some((name, why)) = BANNED.iter().find(|(name, _)| token.text == *name) {
-            out.push(Diagnostic::new(
-                &file.path,
-                token.line,
-                Rule::Determinism,
-                format!("`{name}` in deterministic library code — {why}"),
-            ));
+            let banned_here = (!relaxed || BANNED_RELAXED.contains(name))
+                && !(wall_clock_legal && (*name == "Instant" || *name == "SystemTime"));
+            if banned_here {
+                let site =
+                    if relaxed { "bench/example code" } else { "deterministic library code" };
+                out.push(Diagnostic::new(
+                    &file.path,
+                    token.line,
+                    Rule::Determinism,
+                    format!("`{name}` in {site} — {why}"),
+                ));
+            }
         }
         // `std::env` as a path: environment reads make runs host-dependent.
-        if token.text == "std"
+        // Bench binaries parse `std::env::args` by design, so strict only.
+        if !relaxed
+            && token.text == "std"
             && matches!(file.tokens.get(i + 1), Some(t) if t.text == ":")
             && matches!(file.tokens.get(i + 2), Some(t) if t.text == ":")
             && matches!(file.tokens.get(i + 3), Some(t) if t.kind == TokenKind::Ident && t.text == "env")

@@ -16,6 +16,18 @@ pub enum Rule {
     /// A registry builtin missing from module docs or README, or a
     /// reserved-name list that drifted from the code.
     Registry,
+    /// A `SessionEvent` variant or `SimObserver` hook that a designated
+    /// handler (`forward`, `TelemetryRecorder`, `TeeObserver`) does not
+    /// handle or forward.
+    Exhaustiveness,
+    /// A cross-camera mutation (share import, churn membership, offload
+    /// routing, barrier metrics sampling) outside an annotated
+    /// `barrier-only` function, or a barrier-only function reachable from
+    /// the parallel accelerator loops.
+    Barrier,
+    /// A `Result`-returning `pub fn` without a typed workspace error or an
+    /// `# Errors` doc section.
+    Errors,
     /// A `lint:`/`snapshot:` annotation that does not parse (unknown rule,
     /// missing reason, unknown field).
     Annotation,
@@ -30,7 +42,45 @@ impl Rule {
             Rule::Panic => "panic",
             Rule::Snapshot => "snapshot",
             Rule::Registry => "registry",
+            Rule::Exhaustiveness => "exhaustiveness",
+            Rule::Barrier => "barrier",
+            Rule::Errors => "errors",
             Rule::Annotation => "annotation",
+        }
+    }
+
+    /// Every rule family, in report order. Drives `--rule` validation and
+    /// the SARIF rule table.
+    pub const ALL: &'static [Rule] = &[
+        Rule::Determinism,
+        Rule::Panic,
+        Rule::Snapshot,
+        Rule::Registry,
+        Rule::Exhaustiveness,
+        Rule::Barrier,
+        Rule::Errors,
+        Rule::Annotation,
+    ];
+
+    /// One-line description of what the family enforces (SARIF rule
+    /// metadata and `--help`).
+    #[must_use]
+    pub fn describe(self) -> &'static str {
+        match self {
+            Rule::Determinism => {
+                "no wall-clock, ambient randomness, environment reads, or unordered hashing"
+            }
+            Rule::Panic => "no unwrap/expect/panic!-family calls in library code",
+            Rule::Snapshot => "every mutable-state field rides its snapshot struct",
+            Rule::Registry => "registry builtins documented; reserved-name lists match the code",
+            Rule::Exhaustiveness => {
+                "every SessionEvent variant and SimObserver hook handled by its designated handler"
+            }
+            Rule::Barrier => {
+                "cross-camera state mutates only in barrier-only fns on single-threaded paths"
+            }
+            Rule::Errors => "Result-returning pub fns use typed errors and document # Errors",
+            Rule::Annotation => "every lint:/snapshot: annotation parses and carries a reason",
         }
     }
 
@@ -43,6 +93,9 @@ impl Rule {
             "panic" => Some(Rule::Panic),
             "snapshot" => Some(Rule::Snapshot),
             "registry" => Some(Rule::Registry),
+            "exhaustiveness" => Some(Rule::Exhaustiveness),
+            "barrier" => Some(Rule::Barrier),
+            "errors" => Some(Rule::Errors),
             _ => None,
         }
     }
@@ -52,6 +105,24 @@ impl fmt::Display for Rule {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(self.id())
     }
+}
+
+/// A mechanical edit a finding can carry; `--fix` renders these as
+/// dry-run unified diffs (never applied in place).
+#[derive(Debug, Clone)]
+pub enum FixKind {
+    /// Delete a stale `// lint:`/`// snapshot:` annotation comment: the
+    /// whole line when the comment stands alone, just the comment when it
+    /// trails code.
+    RemoveAnnotation,
+    /// Insert the given lines immediately before `line` (1-based), at that
+    /// line's indentation.
+    InsertBefore {
+        /// The line the new text goes above.
+        line: u32,
+        /// The lines to insert, unindented.
+        lines: Vec<String>,
+    },
 }
 
 /// One finding: `file:line: [rule] message`.
@@ -65,13 +136,22 @@ pub struct Diagnostic {
     pub rule: Rule,
     /// Human-readable description of the violation and the fix.
     pub message: String,
+    /// A mechanical fix, when the finding has one (`--fix`).
+    pub fix: Option<FixKind>,
 }
 
 impl Diagnostic {
     /// Builds a finding.
     #[must_use]
     pub fn new(path: &str, line: u32, rule: Rule, message: impl Into<String>) -> Self {
-        Self { path: path.to_string(), line, rule, message: message.into() }
+        Self { path: path.to_string(), line, rule, message: message.into(), fix: None }
+    }
+
+    /// Attaches a mechanical fix rendered by `--fix`.
+    #[must_use]
+    pub fn with_fix(mut self, fix: FixKind) -> Self {
+        self.fix = Some(fix);
+        self
     }
 }
 
@@ -108,8 +188,9 @@ pub fn to_json(diagnostics: &[Diagnostic]) -> String {
     out
 }
 
-/// Escapes `text` as a JSON string literal, quotes included.
-fn json_string(text: &str) -> String {
+/// Escapes `text` as a JSON string literal, quotes included (shared with
+/// the SARIF renderer).
+pub(crate) fn json_string(text: &str) -> String {
     let mut out = String::with_capacity(text.len() + 2);
     out.push('"');
     for c in text.chars() {

@@ -1,0 +1,77 @@
+//! The error-hygiene rule: fallible public API is typed and documented.
+//!
+//! Library crates expose their failure modes twice — in the type and in
+//! the docs — and this rule keeps both honest for every `Result`-returning
+//! plain-`pub` function:
+//!
+//! - the error side must be a *typed* workspace error, not `Box<dyn
+//!   Error>` (type-erased errors cannot be matched by callers and erase
+//!   the determinism guarantees the typed errors document);
+//! - the doc comment must carry an `# Errors` section saying when the
+//!   function fails (the workspace denies `missing_docs`, so the doc block
+//!   always exists — this rule checks it says the thing that matters).
+//!
+//! Missing `# Errors` sections get a `--fix` template diff. Opt-out is
+//! `// lint: allow(errors) — <reason>` on the function.
+
+use crate::diag::{Diagnostic, FixKind, Rule};
+use crate::parse::ParsedFile;
+
+/// Runs the error-hygiene rule over one parsed strict-profile file.
+#[must_use]
+pub fn check(parsed: &ParsedFile) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for f in &parsed.fns {
+        if f.in_test || !f.is_pub || !f.return_tokens.iter().any(|t| t == "Result") {
+            continue;
+        }
+        if boxed_dyn_error(&f.return_tokens) {
+            out.push(Diagnostic::new(
+                &parsed.path,
+                f.line,
+                Rule::Errors,
+                format!(
+                    "pub fn `{}` returns `Box<dyn Error>` — use a typed workspace error \
+                     so callers can match failure modes",
+                    f.name
+                ),
+            ));
+        }
+        if !f.docs.iter().any(|d| d.trim() == "# Errors") {
+            out.push(
+                Diagnostic::new(
+                    &parsed.path,
+                    f.line,
+                    Rule::Errors,
+                    format!(
+                        "pub fn `{}` returns Result but its docs have no `# Errors` \
+                         section — document when it fails",
+                        f.name
+                    ),
+                )
+                .with_fix(FixKind::InsertBefore {
+                    line: f.item_line,
+                    lines: vec![
+                        "///".to_string(),
+                        "/// # Errors".to_string(),
+                        "///".to_string(),
+                        "/// TODO: document the failure modes.".to_string(),
+                    ],
+                }),
+            );
+        }
+    }
+    out
+}
+
+/// Whether a return-type token sequence contains `Box < dyn .. Error`.
+fn boxed_dyn_error(tokens: &[String]) -> bool {
+    tokens.windows(2).enumerate().any(|(i, pair)| {
+        pair[0] == "Box"
+            && pair[1] == "<"
+            && tokens[i + 2..]
+                .iter()
+                .take_while(|t| *t != ">")
+                .any(|t| t == "Error" || t == "error")
+    })
+}

@@ -62,6 +62,22 @@ pub struct Comment {
     pub trailing: bool,
 }
 
+/// How strictly a file is linted.
+///
+/// Library crates get the full rule set ([`Profile::Strict`]); benchmark
+/// binaries and examples get a relaxed profile ([`Profile::Relaxed`]) where
+/// `.expect()` aborts and ordinary collections are legal but the
+/// simulation-poisoning constructs (`Instant`, `SystemTime`, `thread_rng`)
+/// and `.unwrap()`/panic macros stay banned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Profile {
+    /// Every rule family runs: library-crate sources.
+    Strict,
+    /// Panic + determinism families only, with binary-appropriate
+    /// exemptions: `crates/bench` and `examples/`.
+    Relaxed,
+}
+
 /// A lexed source file: the rule input.
 #[derive(Debug)]
 pub struct SourceFile {
@@ -71,15 +87,24 @@ pub struct SourceFile {
     pub tokens: Vec<Token>,
     /// The comments, in source order.
     pub comments: Vec<Comment>,
+    /// Which rule profile applies to this file.
+    pub profile: Profile,
 }
 
 impl SourceFile {
-    /// Lexes `content` into a [`SourceFile`] and marks test-only spans.
+    /// Lexes `content` into a strict-profile [`SourceFile`] and marks
+    /// test-only spans.
     #[must_use]
     pub fn lex(path: &str, content: &str) -> Self {
+        Self::lex_profiled(path, content, Profile::Strict)
+    }
+
+    /// Lexes `content` under an explicit rule [`Profile`].
+    #[must_use]
+    pub fn lex_profiled(path: &str, content: &str, profile: Profile) -> Self {
         let (mut tokens, comments) = scan(content);
         mark_test_spans(&mut tokens);
-        Self { path: path.to_string(), tokens, comments }
+        Self { path: path.to_string(), tokens, comments, profile }
     }
 }
 
@@ -172,6 +197,20 @@ fn scan(content: &str) -> (Vec<Token>, Vec<Comment>) {
                     j += 1;
                 }
                 tokens.push(Token { kind: TokenKind::Str, text, line, in_test: false });
+                line_has_code = true;
+                i = j;
+            }
+            'r' if chars.get(i + 1) == Some(&'#') && is_ident_char(chars.get(i + 2).copied()) => {
+                // Raw identifier: `r#fn` is one Ident token with the full
+                // `r#...` text, so the item parser never mistakes it for
+                // the keyword it shadows.
+                let mut j = i + 2;
+                let mut text = String::from("r#");
+                while is_ident_char(chars.get(j).copied()) {
+                    text.push(chars[j]);
+                    j += 1;
+                }
+                tokens.push(Token { kind: TokenKind::Ident, text, line, in_test: false });
                 line_has_code = true;
                 i = j;
             }

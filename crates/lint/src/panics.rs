@@ -8,9 +8,14 @@
 //! `assert!`/`debug_assert!` are deliberately *not* banned — stating an
 //! invariant is encouraged; quietly unwrapping is not. Test modules are
 //! exempt.
+//!
+//! Relaxed-profile files (bench binaries, examples) may `.expect()`: an
+//! abort with a message is an acceptable way for a command-line binary to
+//! die. `.unwrap()` and the panicking macros stay banned — a silent panic
+//! site is no better in a bench than in a library.
 
 use crate::diag::{Diagnostic, Rule};
-use crate::lexer::{SourceFile, TokenKind};
+use crate::lexer::{Profile, SourceFile, TokenKind};
 
 /// The banned panicking macros.
 const MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
@@ -19,6 +24,7 @@ const MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
 /// applies `allow(panic)` exemptions.
 #[must_use]
 pub fn check(file: &SourceFile) -> Vec<Diagnostic> {
+    let relaxed = file.profile == Profile::Relaxed;
     let mut out = Vec::new();
     for (i, token) in file.tokens.iter().enumerate() {
         if token.in_test || token.kind != TokenKind::Ident {
@@ -28,14 +34,21 @@ pub fn check(file: &SourceFile) -> Vec<Diagnostic> {
         let next = file.tokens.get(i + 1);
         let called = matches!(next, Some(t) if t.text == "(");
         let method = matches!(prev, Some(t) if t.text == ".");
-        if method && called && (token.text == "unwrap" || token.text == "expect") {
+        let banned_method = token.text == "unwrap" || (!relaxed && token.text == "expect");
+        let remedy = if relaxed {
+            "use `.expect(\"<why>\")` so the abort names its cause"
+        } else {
+            "return a typed error a caller can handle"
+        };
+        let site = if relaxed { "bench/example code" } else { "library code" };
+        if method && called && banned_method {
             out.push(Diagnostic::new(
                 &file.path,
                 token.line,
                 Rule::Panic,
                 format!(
-                    "`.{}()` in library code — return a typed error a caller can \
-                     handle, or annotate `// lint: allow(panic) — <invariant>`",
+                    "`.{}()` in {site} — {remedy}, or annotate \
+                     `// lint: allow(panic) — <invariant>`",
                     token.text
                 ),
             ));
@@ -47,8 +60,8 @@ pub fn check(file: &SourceFile) -> Vec<Diagnostic> {
                 token.line,
                 Rule::Panic,
                 format!(
-                    "`{}!` in library code — return a typed error a caller can \
-                     handle, or annotate `// lint: allow(panic) — <invariant>`",
+                    "`{}!` in {site} — {remedy}, or annotate \
+                     `// lint: allow(panic) — <invariant>`",
                     token.text
                 ),
             ));

@@ -1,0 +1,56 @@
+//! SARIF 2.1.0 rendering (`--format sarif`), the format GitHub code
+//! scanning ingests via `codeql-action/upload-sarif`.
+//!
+//! Hand-rolled like the JSON report — the linter stays zero-dependency.
+//! Only the subset code scanning reads is emitted: the tool descriptor
+//! with per-rule metadata, and one `result` per finding with a physical
+//! location (workspace-relative URI + start line).
+
+use crate::diag::{json_string, Diagnostic, Rule};
+
+/// Renders findings as a SARIF 2.1.0 log.
+#[must_use]
+pub fn to_sarif(diagnostics: &[Diagnostic]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"version\": \"2.1.0\",\n");
+    out.push_str(
+        "  \"$schema\": \"https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json\",\n",
+    );
+    out.push_str("  \"runs\": [\n    {\n");
+    out.push_str("      \"tool\": {\n        \"driver\": {\n");
+    out.push_str("          \"name\": \"dacapo-lint\",\n");
+    out.push_str("          \"informationUri\": \"https://github.com/\",\n");
+    out.push_str("          \"rules\": [\n");
+    for (i, rule) in Rule::ALL.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        out.push_str(&format!(
+            "            {{\"id\": {}, \"shortDescription\": {{\"text\": {}}}}}",
+            json_string(rule.id()),
+            json_string(rule.describe())
+        ));
+    }
+    out.push_str("\n          ]\n        }\n      },\n");
+    out.push_str("      \"results\": [\n");
+    for (i, diag) in diagnostics.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        out.push_str(&format!(
+            "        {{\"ruleId\": {}, \"level\": \"error\", \"message\": {{\"text\": {}}}, \
+             \"locations\": [{{\"physicalLocation\": {{\"artifactLocation\": {{\"uri\": {}}}, \
+             \"region\": {{\"startLine\": {}}}}}}}]}}",
+            json_string(diag.rule.id()),
+            json_string(&diag.message),
+            json_string(&diag.path),
+            diag.line
+        ));
+    }
+    if !diagnostics.is_empty() {
+        out.push('\n');
+    }
+    out.push_str("      ]\n    }\n  ]\n}\n");
+    out
+}

@@ -21,7 +21,7 @@
 //! Anything else is a finding at the offending field's line.
 
 use crate::annotate::FileAnnotations;
-use crate::diag::{Diagnostic, Rule};
+use crate::diag::{Diagnostic, FixKind, Rule};
 use crate::lexer::{SourceFile, TokenKind};
 
 /// The audited (state struct, snapshot struct) pairs. Matched by struct
@@ -250,16 +250,19 @@ pub fn check(files: &[SourceFile], annotations: &[FileAnnotations]) -> Vec<Diagn
             .collect();
         for skip in &skips {
             if !state.has_field(&skip.field) {
-                out.push(Diagnostic::new(
-                    &state_file.path,
-                    skip.line,
-                    Rule::Annotation,
-                    format!(
-                        "snapshot: skip({}) names no field of `{state_name}` — \
-                         stale annotation?",
-                        skip.field
-                    ),
-                ));
+                out.push(
+                    Diagnostic::new(
+                        &state_file.path,
+                        skip.line,
+                        Rule::Annotation,
+                        format!(
+                            "snapshot: skip({}) names no field of `{state_name}` — \
+                             stale annotation?",
+                            skip.field
+                        ),
+                    )
+                    .with_fix(FixKind::RemoveAnnotation),
+                );
             }
         }
         for field in &state.fields {

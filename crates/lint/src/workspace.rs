@@ -1,26 +1,36 @@
-//! The workspace driver: which files are linted, and how the rule
-//! families and allow-annotations compose into the final finding list.
+//! The workspace driver: which files are linted under which profile, and
+//! how the rule families and allow-annotations compose into the final
+//! finding list.
 
 use std::fs;
 use std::path::{Path, PathBuf};
 
 use crate::annotate::{self, FileAnnotations};
 use crate::diag::{Diagnostic, Rule};
-use crate::lexer::SourceFile;
-use crate::{determinism, panics, registry, snapshot};
+use crate::lexer::{Profile, SourceFile};
+use crate::parse::{self, ParsedFile};
+use crate::{barrier, determinism, errors, exhaustive, panics, registry, snapshot};
 
-/// The deterministic library crates the determinism and panic-freedom
-/// rules police. Bench binaries and the offline shims are intentionally
-/// outside the net: benches measure wall time and parse `std::env::args`
-/// by design, and the shims mirror third-party APIs verbatim. The
-/// telemetry crate is **inside** the net — its whole value is that traces
-/// and metrics stay deterministic, so host clocks are banned there too
-/// (host-time profiling lives in the bench runner instead).
+/// The deterministic library crates that get the full rule set: the
+/// structural families (snapshot parity, registry hygiene, exhaustiveness,
+/// barrier discipline, error hygiene) plus strict determinism and
+/// panic-freedom. The telemetry crate is **inside** the net — its whole
+/// value is that traces and metrics stay deterministic, so host clocks are
+/// banned there too (host-time profiling lives in the bench runner
+/// instead).
 pub const TARGET_DIRS: &[&str] =
     &["crates/core/src", "crates/datagen/src", "crates/dnn/src", "crates/telemetry/src"];
 
+/// Directories linted under the relaxed profile: panic + determinism
+/// families only, with binary-appropriate exemptions (`.expect()` aborts
+/// and ordinary collections are fine; wall clocks and ambient RNG are not,
+/// outside [`determinism::WALL_CLOCK_FILES`]). The offline shims stay
+/// outside the net entirely — they mirror third-party APIs verbatim.
+pub const RELAXED_DIRS: &[&str] = &["crates/bench/src", "examples"];
+
 /// Lints the workspace rooted at `root`: every `.rs` file under
-/// [`TARGET_DIRS`], with `README.md` for the registry-hygiene rule.
+/// [`TARGET_DIRS`] (strict) and [`RELAXED_DIRS`] (relaxed), with
+/// `README.md` for the registry-hygiene rule.
 ///
 /// # Errors
 ///
@@ -28,18 +38,20 @@ pub const TARGET_DIRS: &[&str] =
 /// must not silently pass because it was pointed at the wrong place.
 pub fn lint_workspace(root: &Path) -> Result<Vec<Diagnostic>, String> {
     let mut files = Vec::new();
-    for dir in TARGET_DIRS {
-        let dir_path = root.join(dir);
-        let mut paths = Vec::new();
-        collect_rs_files(&dir_path, &mut paths)
-            .map_err(|e| format!("cannot read {}: {e}", dir_path.display()))?;
-        paths.sort();
-        for path in paths {
-            let content = fs::read_to_string(&path)
-                .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
-            let relative =
-                path.strip_prefix(root).unwrap_or(&path).to_string_lossy().replace('\\', "/");
-            files.push(SourceFile::lex(&relative, &content));
+    for (dirs, profile) in [(TARGET_DIRS, Profile::Strict), (RELAXED_DIRS, Profile::Relaxed)] {
+        for dir in dirs {
+            let dir_path = root.join(dir);
+            let mut paths = Vec::new();
+            collect_rs_files(&dir_path, &mut paths)
+                .map_err(|e| format!("cannot read {}: {e}", dir_path.display()))?;
+            paths.sort();
+            for path in paths {
+                let content = fs::read_to_string(&path)
+                    .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+                let relative =
+                    path.strip_prefix(root).unwrap_or(&path).to_string_lossy().replace('\\', "/");
+                files.push(SourceFile::lex_profiled(&relative, &content, profile));
+            }
         }
     }
     let readme = fs::read_to_string(root.join("README.md")).ok();
@@ -65,28 +77,56 @@ fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
 #[must_use]
 pub fn lint_files(files: &[SourceFile], readme: Option<&str>) -> Vec<Diagnostic> {
     let annotations: Vec<FileAnnotations> = files.iter().map(annotate::collect).collect();
-    let mut out = Vec::new();
-    for (file, annots) in files.iter().zip(&annotations) {
-        out.extend(annots.malformed.iter().cloned());
-        for diag in determinism::check(file) {
-            if !annots.allowed(Rule::Determinism, diag.line) {
-                out.push(diag);
+    let parsed: Vec<ParsedFile> = files.iter().map(parse::parse_file).collect();
+    let mut raw = Vec::new();
+    for ((file, annots), items) in files.iter().zip(&annotations).zip(&parsed) {
+        raw.extend(annots.malformed.iter().cloned());
+        raw.extend(determinism::check(file));
+        raw.extend(panics::check(file));
+        if file.profile == Profile::Strict {
+            if registry::is_registry_module(file) {
+                raw.extend(registry::check(file, readme));
             }
-        }
-        for diag in panics::check(file) {
-            if !annots.allowed(Rule::Panic, diag.line) {
-                out.push(diag);
+            raw.extend(errors::check(items));
+            if barrier::is_cluster_file(&file.path) {
+                raw.extend(barrier::check(items, annots));
+            } else {
+                raw.extend(barrier::check_misplaced(&file.path, annots));
             }
-        }
-        if registry::is_registry_module(file) {
-            for diag in registry::check(file, readme) {
-                if !annots.allowed(Rule::Registry, diag.line) {
-                    out.push(diag);
-                }
-            }
+        } else {
+            raw.extend(barrier::check_misplaced(&file.path, annots));
         }
     }
-    out.extend(snapshot::check(files, &annotations));
+    raw.extend(snapshot::check(files, &annotations));
+    let strict_parsed: Vec<ParsedFile> = files
+        .iter()
+        .zip(parsed)
+        .filter(|(file, _)| file.profile == Profile::Strict)
+        .map(|(_, items)| items)
+        .collect();
+    raw.extend(exhaustive::check(&strict_parsed));
+    // Allow-annotations filter the allowable families; the meta-rule and
+    // the snapshot rule (which has its own skip/as grammar) pass through.
+    let by_path: std::collections::BTreeMap<&str, &FileAnnotations> =
+        files.iter().zip(&annotations).map(|(file, annots)| (file.path.as_str(), annots)).collect();
+    let mut out: Vec<Diagnostic> = raw
+        .into_iter()
+        .filter(|diag| {
+            let allowable = matches!(
+                diag.rule,
+                Rule::Determinism
+                    | Rule::Panic
+                    | Rule::Registry
+                    | Rule::Exhaustiveness
+                    | Rule::Barrier
+                    | Rule::Errors
+            );
+            !(allowable
+                && by_path
+                    .get(diag.path.as_str())
+                    .is_some_and(|annots| annots.allowed(diag.rule, diag.line)))
+        })
+        .collect();
     out.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
     out
 }

@@ -1,0 +1,41 @@
+//! Error-hygiene fixture: typed errors and `# Errors` docs on public
+//! `Result` fns.
+
+/// A typed workspace error.
+#[derive(Debug)]
+pub struct FixtureError;
+
+/// Parses a widget.
+///
+/// # Errors
+///
+/// Returns [`FixtureError`] when the input is empty.
+pub fn documented(input: &str) -> Result<u32, FixtureError> {
+    if input.is_empty() {
+        return Err(FixtureError);
+    }
+    Ok(0)
+}
+
+/// Parses a widget but forgets to say how it fails.
+pub fn undocumented(input: &str) -> Result<u32, FixtureError> {
+    documented(input)
+}
+
+/// Boxes its failure.
+///
+/// # Errors
+///
+/// Returns an opaque error.
+pub fn boxed(input: &str) -> Result<u32, Box<dyn std::error::Error>> {
+    Ok(input.len() as u32)
+}
+
+fn private_undocumented(input: &str) -> Result<u32, FixtureError> {
+    documented(input)
+}
+
+/// Exempted with a reason.
+pub fn exempted(input: &str) -> Result<u32, FixtureError> { // lint: allow(errors) — fixture: exemption form
+    documented(input)
+}

@@ -1,0 +1,40 @@
+//! Exhaustiveness fixture: a miniature event enum, its dispatch fn, and
+//! the observer impls the rule holds to full coverage.
+
+/// The fixture's event alphabet.
+pub enum SessionEvent {
+    /// A phase change.
+    Phase,
+    /// A drift detection.
+    Drift,
+    /// End of session.
+    Finished,
+}
+
+pub trait SimObserver {
+    fn on_event(&mut self, _event: &SessionEvent) {}
+    fn on_phase(&mut self) {}
+    fn on_drift(&mut self) {}
+}
+
+fn forward(observer: &mut dyn SimObserver, event: &SessionEvent) {
+    observer.on_event(event);
+    match event {
+        SessionEvent::Phase => observer.on_phase(),
+        SessionEvent::Drift => observer.on_drift(),
+        _ => {}
+    }
+}
+
+pub struct TelemetryRecorder;
+
+impl SimObserver for TelemetryRecorder {
+    fn on_event(&mut self, _event: &SessionEvent) {}
+    fn on_phase(&mut self) {}
+}
+
+pub struct TeeObserver;
+
+impl SimObserver for TeeObserver { // lint: allow(exhaustiveness) — fixture: deliberately partial tee
+    fn on_event(&mut self, _event: &SessionEvent) {}
+}

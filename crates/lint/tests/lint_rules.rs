@@ -4,7 +4,9 @@
 
 use std::path::Path;
 
-use dacapo_lint::{lint_files, lint_workspace, to_json, Rule, SourceFile};
+use dacapo_lint::{
+    lint_files, lint_workspace, render_fix_diffs, to_json, to_sarif, Profile, Rule, SourceFile,
+};
 
 /// Lexes one fixture from `tests/fixtures/` under its repo-relative path.
 fn fixture(name: &str, content: &str) -> SourceFile {
@@ -129,6 +131,147 @@ fn malformed_annotations_are_findings_under_the_meta_rule() {
             (13, Rule::Annotation), // snapshot: skip without a reason
         ],
     );
+}
+
+#[test]
+fn exhaustiveness_rule_flags_missing_variants_and_hooks() {
+    let file = fixture("exhaustive/cluster.rs", include_str!("fixtures/exhaustive/cluster.rs"));
+    let findings = lint_files(&[file], None);
+    // `forward` (line 20) never matches `Finished`; the recorder impl
+    // (line 31) never defines `on_drift`; the tee impl's trailing
+    // allow(exhaustiveness) absorbs its two missing hooks.
+    assert_findings(&findings, &[(20, Rule::Exhaustiveness), (31, Rule::Exhaustiveness)]);
+    assert!(
+        findings[0].message.contains("SessionEvent::Finished"),
+        "the unhandled variant must be named: {}",
+        findings[0].message
+    );
+    assert!(
+        findings[1].message.contains("on_drift"),
+        "the missing hook must be named: {}",
+        findings[1].message
+    );
+}
+
+#[test]
+fn exhaustiveness_rule_reports_anchor_drift_instead_of_passing_silently() {
+    // A handler with no enum in sight: the anchor drifted, say so.
+    let orphan = SourceFile::lex("crates/core/src/cluster.rs", "fn forward() {}\n");
+    let findings = lint_files(&[orphan], None);
+    assert_findings(&findings, &[(1, Rule::Exhaustiveness)]);
+    assert!(findings[0].message.contains("anchor drifted"), "{}", findings[0].message);
+
+    // The enum with no handler anywhere: same, anchored at the enum.
+    let src = "pub enum SessionEvent {\n    Finished,\n}\n";
+    let unhandled = SourceFile::lex("crates/core/src/cluster.rs", src);
+    let findings = lint_files(&[unhandled], None);
+    assert_findings(&findings, &[(1, Rule::Exhaustiveness)]);
+    assert!(findings[0].message.contains("no `forward` handler"), "{}", findings[0].message);
+}
+
+#[test]
+fn barrier_rule_flags_parallel_sink_calls_and_off_barrier_edges() {
+    let file = fixture("barrier/cluster.rs", include_str!("fixtures/barrier/cluster.rs"));
+    let findings = lint_files(&[file], None);
+    assert_findings(
+        &findings,
+        &[
+            (29, Rule::Barrier),    // step: share export moved into the parallel loop
+            (33, Rule::Barrier),    // sneaky: off-barrier edge into exchange_window
+            (37, Rule::Barrier),    // racy_share: barrier fn reachable from run_until
+            (42, Rule::Barrier),    // helper: off-barrier edge into racy_share
+            (45, Rule::Annotation), // stale barrier-only before a struct
+        ],
+    );
+    // The clean path — run_windowed -> exchange_window with its sink
+    // calls — produced no findings, and each message names the actors.
+    assert!(findings[0].message.contains("take_exports"), "{}", findings[0].message);
+    assert!(findings[1].message.contains("exchange_window"), "{}", findings[1].message);
+    assert!(findings[2].message.contains("racy_share"), "{}", findings[2].message);
+    assert!(findings[0].fix.is_some(), "sink-call findings carry an annotation template fix");
+    assert!(findings[4].fix.is_some(), "stale annotations carry a removal fix");
+}
+
+#[test]
+fn barrier_only_markers_outside_cluster_files_are_flagged() {
+    let src = "// lint: barrier-only(misplaced)\nfn quiet() {}\n";
+    let file = SourceFile::lex("crates/core/src/session.rs", src);
+    let findings = lint_files(&[file], None);
+    assert_findings(&findings, &[(1, Rule::Annotation)]);
+    assert!(findings[0].message.contains("cluster.rs"), "{}", findings[0].message);
+}
+
+#[test]
+fn errors_rule_wants_typed_errors_and_errors_docs_on_public_results() {
+    let file = fixture("errors.rs", include_str!("fixtures/errors.rs"));
+    let findings = lint_files(&[file], None);
+    // `undocumented` (line 21) lacks an `# Errors` section; `boxed`
+    // (line 30) type-erases its error. The documented fn, the private
+    // fn, and the trailing-allowed fn are all clean.
+    assert_findings(&findings, &[(21, Rule::Errors), (30, Rule::Errors)]);
+    assert!(findings[0].message.contains("# Errors"), "{}", findings[0].message);
+    assert!(findings[0].fix.is_some(), "missing `# Errors` gets a template fix");
+    assert!(findings[1].message.contains("Box<dyn Error>"), "{}", findings[1].message);
+}
+
+#[test]
+fn relaxed_profile_allows_expect_but_keeps_wall_clocks_banned() {
+    let src = "use std::collections::HashMap;\n\
+               use std::time::Instant;\n\
+               fn main() {\n\
+                   let m: HashMap<u32, u32> = HashMap::new();\n\
+                   let v = std::env::var(\"X\");\n\
+                   let t = Instant::now();\n\
+                   let x = v.expect(\"fine in binaries\");\n\
+                   let y = x.len().checked_add(m.len()).unwrap();\n\
+               }\n";
+    let file = SourceFile::lex_profiled("crates/bench/src/bin/fixture.rs", src, Profile::Relaxed);
+    let findings = lint_files(&[file], None);
+    // HashMap, std::env, and .expect() are binary-appropriate; the wall
+    // clock and .unwrap() stay banned.
+    assert_findings(&findings, &[(2, Rule::Determinism), (6, Rule::Determinism), (8, Rule::Panic)]);
+}
+
+#[test]
+fn wall_clock_files_may_read_host_clocks() {
+    let src = "use std::time::Instant;\nfn stamp() -> Instant {\n    Instant::now()\n}\n";
+    let file = SourceFile::lex_profiled("crates/bench/src/profile.rs", src, Profile::Relaxed);
+    let findings = lint_files(&[file], None);
+    assert_findings(&findings, &[]);
+}
+
+#[test]
+fn sarif_output_carries_rules_and_locations() {
+    let file = fixture("snapshot_stale.rs", include_str!("fixtures/snapshot_stale.rs"));
+    let findings = lint_files(&[file], None);
+    let sarif = to_sarif(&findings);
+    assert!(sarif.contains("\"version\": \"2.1.0\""), "{sarif}");
+    assert!(sarif.contains("\"name\": \"dacapo-lint\""), "{sarif}");
+    // Every rule family is described in the tool metadata.
+    for rule in Rule::ALL {
+        assert!(sarif.contains(&format!("\"id\": \"{}\"", rule.id())), "{sarif}");
+    }
+    assert!(sarif.contains("\"uri\": \"crates/lint/tests/fixtures/snapshot_stale.rs\""), "{sarif}");
+    assert!(sarif.contains("\"startLine\": 9"), "{sarif}");
+}
+
+#[test]
+fn fix_renders_dry_run_diffs_for_mechanical_findings() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let stale = fixture("snapshot_stale.rs", include_str!("fixtures/snapshot_stale.rs"));
+    let errors = fixture("errors.rs", include_str!("fixtures/errors.rs"));
+    let findings = lint_files(&[stale, errors], None);
+    let diffs = render_fix_diffs(&root, &findings);
+    // The stale skip(ghost) annotation is removed outright...
+    assert!(diffs.contains("--- a/crates/lint/tests/fixtures/snapshot_stale.rs"), "{diffs}");
+    assert!(diffs.contains("-    // snapshot: skip(ghost) — names no field at all"), "{diffs}");
+    // ...and the undocumented fn gains an `# Errors` template.
+    assert!(diffs.contains("--- a/crates/lint/tests/fixtures/errors.rs"), "{diffs}");
+    assert!(diffs.contains("+/// # Errors"), "{diffs}");
+    // Dry run: the fixture files themselves are untouched on disk.
+    let on_disk = std::fs::read_to_string(root.join("crates/lint/tests/fixtures/errors.rs"))
+        .expect("fixture readable");
+    assert_eq!(on_disk, include_str!("fixtures/errors.rs"));
 }
 
 #[test]

@@ -334,6 +334,12 @@ impl TelemetryRecorder {
 }
 
 impl SimObserver for TelemetryRecorder {
+    // Deliberate no-op: every event kind already reaches the recorder
+    // through its typed hook below, so counting here would double-record.
+    // Defined (rather than defaulted) so the exhaustiveness lint keeps
+    // this impl on its full-coverage contract.
+    fn on_event(&mut self, _event: &dacapo_core::SessionEvent) {}
+
     fn on_phase(&mut self, phase: &PhaseRecord) {
         if !self.is_enabled() {
             return;

@@ -152,8 +152,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Err(TelemetryError::InvalidConfig { reason }) => {
             println!("unknown sink rejected up front: {reason}");
         }
-        Err(other) => panic!("expected an invalid-config error, got {other:?}"),
-        Ok(_) => panic!("expected an invalid-config error, got a recorder"),
+        Err(other) => panic!("expected an invalid-config error, got {other:?}"), // lint: allow(panic) — example asserts the error path; aborting with the surprise value is the point
+        Ok(_) => panic!("expected an invalid-config error, got a recorder"), // lint: allow(panic) — example asserts the error path; aborting with the surprise value is the point
     }
     Ok(())
 }

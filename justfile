@@ -13,9 +13,16 @@ clippy:
     cargo clippy --workspace --all-targets -- -D warnings
 
 # The workspace invariant checker: determinism, panic-freedom, snapshot
-# completeness, registry hygiene (see README "Static analysis").
-lint:
-    cargo run -p dacapo-lint
+# completeness, registry hygiene, event/hook exhaustiveness, barrier
+# discipline, error hygiene (see README "Static analysis"). Extra flags
+# pass through, e.g. `just lint --rule barrier --format sarif`.
+lint *ARGS:
+    cargo run -p dacapo-lint -- {{ARGS}}
+
+# Dry-run unified diffs for the mechanical findings (stale annotations,
+# missing `# Errors` templates). Nothing is written.
+lint-fix:
+    cargo run -p dacapo-lint -- --fix
 
 # API docs with broken intra-doc links treated as errors.
 doc:
