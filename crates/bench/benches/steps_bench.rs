@@ -1,0 +1,200 @@
+//! `steps_per_s`: criterion microbenchmark of raw executor throughput.
+//!
+//! Runs the elastic-churn sweep's *steady* fleet (same synthetic platform,
+//! scenarios, and seeds as `elastic_churn`, churn-free) and reports executor
+//! steps per second — `contention.steps_executed` over the best-sample wall
+//! of the `Cluster::run()` call alone (fleet construction is excluded via
+//! `iter_custom`). The best sample is the least-noise estimate; host
+//! scheduler interference only ever adds time.
+//!
+//! The headline number lands in `results/BENCH_steps.json` so the
+//! throughput trajectory of the data-oriented hot path (packed GEMM,
+//! stacked per-window retraining, allocation-free stepping) is visible per
+//! PR. With `--check`, the previous record — in CI, the checked-in baseline
+//! — is read *before* being overwritten and the run fails if steps/s
+//! regressed by more than [`REGRESSION_TOLERANCE_PCT`] at the same fleet
+//! size.
+//!
+//! Run with `cargo bench -p dacapo-bench --bench steps_bench --
+//! [--smoke|--quick] [--check]`.
+
+use criterion::Criterion;
+use dacapo_bench::runner::truncate_scenario;
+use dacapo_bench::{cli, write_json, ExperimentOptions};
+use dacapo_core::platform::{KernelRate, PlatformRates, Sharing};
+use dacapo_core::{Cluster, ClusterResult, SchedulerKind, SimConfig};
+use dacapo_datagen::Scenario;
+use dacapo_dnn::zoo::ModelPair;
+use serde::{Serialize, Value};
+use std::time::{Duration, Instant}; // lint: allow(determinism) — host-side benchmark timing; never feeds a run
+
+/// Largest tolerated steps/s drop against the checked-in baseline before
+/// `--check` fails the run.
+const REGRESSION_TOLERANCE_PCT: f64 = 20.0;
+
+/// The record written to `results/BENCH_steps.json`.
+#[derive(Debug, Clone, Serialize)]
+struct StepsRecord {
+    bench: &'static str,
+    schema_version: u32,
+    quick: bool,
+    smoke: bool,
+    cameras: usize,
+    accelerators: usize,
+    samples: usize,
+    /// Virtual executor steps per run (deterministic; identical across
+    /// samples).
+    steps_executed: usize,
+    best_wall_s: f64,
+    median_wall_s: f64,
+    /// The headline number: `steps_executed / best_wall_s`.
+    steps_per_s: f64,
+}
+
+/// The same synthetic capability sheet as the `elastic_churn` sweep, so
+/// steps/s here is directly comparable to `BENCH_churn.json`'s steady row
+/// (the ~1,100 steps/s seed this bench tracks the speedup against).
+fn sweep_platform() -> PlatformRates {
+    PlatformRates::new(
+        "churn-chip",
+        KernelRate::fp32(120.0),
+        KernelRate::fp32(40.0),
+        KernelRate::fp32(160.0),
+        Sharing::Partitioned { tsa_rows: 12, bsa_rows: 4 },
+        1.5,
+    )
+    .expect("sweep rates are valid")
+}
+
+fn camera_config(seed: u64, segments: usize) -> SimConfig {
+    let scenarios = Scenario::all();
+    let scenario = truncate_scenario(&scenarios[seed as usize % scenarios.len()], segments);
+    SimConfig::builder(scenario, ModelPair::ResNet18Wrn50)
+        .platform_rates(sweep_platform())
+        .scheduler(SchedulerKind::DaCapoSpatiotemporal)
+        .measurement(10.0, 10)
+        .pretrain_samples(64)
+        .seed(0xE1A57 + seed)
+        .build()
+        .expect("steps bench camera config builds")
+}
+
+fn build_fleet(cameras: usize, accelerators: usize, segments: usize) -> Cluster {
+    let mut cluster = Cluster::new(accelerators);
+    for i in 0..cameras {
+        cluster = cluster.camera(format!("cam-{i:03}"), camera_config(i as u64, segments));
+    }
+    cluster
+}
+
+/// Reads the previous record's steps/s at a matching fleet size, if one
+/// exists. Tier mismatches (a full-tier baseline checked against a smoke
+/// run) are skipped rather than compared.
+fn baseline_steps_per_s(cameras: usize, accelerators: usize) -> Option<f64> {
+    fn as_usize(value: &Value) -> Option<usize> {
+        match value {
+            Value::UInt(u) => usize::try_from(*u).ok(),
+            Value::Int(i) => usize::try_from(*i).ok(),
+            _ => None,
+        }
+    }
+    fn as_f64(value: &Value) -> Option<f64> {
+        match value {
+            Value::Float(f) => Some(*f),
+            Value::UInt(u) => Some(*u as f64),
+            Value::Int(i) => Some(*i as f64),
+            _ => None,
+        }
+    }
+    let text =
+        std::fs::read_to_string(dacapo_bench::results_dir().join("BENCH_steps.json")).ok()?;
+    let value = serde_json::value_from_str(&text).ok()?;
+    if as_usize(value.get("cameras")?)? != cameras
+        || as_usize(value.get("accelerators")?)? != accelerators
+    {
+        return None;
+    }
+    as_f64(value.get("steps_per_s")?)
+}
+
+fn main() {
+    let options = ExperimentOptions::from_args();
+    let check = options.extra.iter().any(|a| a == "--check");
+    let (cameras, accelerators, segments) = cli::tier(&options, (6, 2, 1), (16, 2, 2), (24, 4, 2));
+    let samples = cli::tier(&options, 5, 5, 10);
+    // Read the baseline before the fresh record overwrites it.
+    let baseline = if check { baseline_steps_per_s(cameras, accelerators) } else { None };
+
+    println!(
+        "Executor steps/s microbench: {cameras} cameras x {accelerators} accelerators, \
+         {segments}-segment scenarios, churn-free\n"
+    );
+
+    let mut steps_executed = 0usize;
+    let mut reference: Option<ClusterResult> = None;
+    let summary = Criterion::default().sample_size(samples).bench_function_sampled(
+        "cluster_steps_per_s",
+        |b| {
+            b.iter_custom(|iters| {
+                let mut total = Duration::ZERO;
+                for _ in 0..iters {
+                    let fleet = build_fleet(cameras, accelerators, segments);
+                    let started = Instant::now(); // lint: allow(determinism) — times the host, never feeds a run
+                    let result = fleet.run().expect("steps bench fleet runs");
+                    total += started.elapsed();
+                    steps_executed = result.contention.steps_executed;
+                    // Throughput must not come at the cost of determinism:
+                    // every sample must reproduce the first bit-for-bit.
+                    match &reference {
+                        Some(first) => assert_eq!(first, &result, "samples must be bit-identical"),
+                        None => reference = Some(result),
+                    }
+                }
+                total
+            });
+        },
+    );
+
+    let best_wall_s = summary.best().as_secs_f64();
+    let median_wall_s = summary.median().as_secs_f64();
+    let steps_per_s = steps_executed as f64 / best_wall_s.max(1e-9);
+    println!(
+        "\n{steps_executed} steps in {best_wall_s:.3} s (best of {samples}) \
+         -> {steps_per_s:.0} steps/s"
+    );
+
+    let record = StepsRecord {
+        bench: "steps_bench",
+        schema_version: 1,
+        quick: options.quick,
+        smoke: options.smoke,
+        cameras,
+        accelerators,
+        samples,
+        steps_executed,
+        best_wall_s,
+        median_wall_s,
+        steps_per_s,
+    };
+    // Written unconditionally: this is the stable throughput record future
+    // PRs diff against.
+    match write_json("BENCH_steps", &record) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("warning: {e}"),
+    }
+
+    if check {
+        match baseline {
+            Some(previous) if previous > 0.0 => {
+                let delta_pct = (steps_per_s / previous - 1.0) * 100.0;
+                println!("baseline {previous:.0} steps/s -> {steps_per_s:.0} ({delta_pct:+.1}%)");
+                assert!(
+                    delta_pct >= -REGRESSION_TOLERANCE_PCT,
+                    "steps/s regressed {delta_pct:.1}% against the checked-in baseline \
+                     (tolerance -{REGRESSION_TOLERANCE_PCT:.0}%)"
+                );
+            }
+            _ => println!("no comparable baseline at this fleet size; check skipped"),
+        }
+    }
+}

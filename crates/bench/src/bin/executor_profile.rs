@@ -2,7 +2,7 @@
 //! cluster run, plus the telemetry stack's overhead against a
 //! telemetry-free baseline.
 //!
-//! The same cluster runs three times:
+//! The same cluster runs in three configurations:
 //!
 //! 1. **baseline** — `Cluster::run()`, no observer at all;
 //! 2. **null** — an observed run with a disabled (`null`-sink) recorder,
@@ -11,7 +11,13 @@
 //!    sinks teed with the bench [`HostProfiler`], producing the trace, the
 //!    metrics timeseries, and the per-phase host-time breakdown.
 //!
-//! All three runs must produce identical `ClusterResult`s (the determinism
+//! Each configuration executes [`WALL_REPS`] times and reports its
+//! **best-of-N wall**: the minimum is the least-noise estimate of the true
+//! cost, so a single descheduled baseline rep can no longer make the
+//! overhead percentages go negative. The reported host-time breakdown comes
+//! from the fastest full-telemetry rep.
+//!
+//! All runs must produce identical `ClusterResult`s (the determinism
 //! contract); the binary asserts this. Outputs:
 //!
 //! * `results/BENCH_trace.json` — virtual-time Chrome trace (override with
@@ -34,6 +40,25 @@ use dacapo_telemetry::{TeeObserver, TelemetryRecorder, TelemetrySummary};
 use serde::Serialize;
 use std::time::Instant;
 
+/// Repetitions per measured configuration. Walls are best-of-N minima:
+/// host scheduler noise only ever *adds* time, so the minimum over a few
+/// reps is the robust estimator and keeps overhead percentages
+/// non-negative in practice.
+const WALL_REPS: usize = 3;
+
+/// Runs `run` [`WALL_REPS`] times and returns the rep with the smallest
+/// wall (seconds, payload).
+fn best_of<T>(mut run: impl FnMut() -> (f64, T)) -> (f64, T) {
+    let mut best = run();
+    for _ in 1..WALL_REPS {
+        let next = run();
+        if next.0 < best.0 {
+            best = next;
+        }
+    }
+    best
+}
+
 /// The record written to `results/BENCH_profile.json`.
 #[derive(Debug, Clone, Serialize)]
 struct ProfileRecord {
@@ -42,6 +67,8 @@ struct ProfileRecord {
     quick: bool,
     cameras: usize,
     accelerators: usize,
+    /// Reps per configuration; every `*_wall_s` below is the best of these.
+    wall_reps: usize,
     baseline_wall_s: f64,
     null_observer_wall_s: f64,
     telemetry_wall_s: f64,
@@ -101,37 +128,45 @@ fn main() {
     );
 
     // 1. Telemetry-free baseline.
-    let started = Instant::now();
-    let baseline: ClusterResult =
-        build_cluster(cameras, accelerators).run().expect("baseline runs");
-    let baseline_wall_s = started.elapsed().as_secs_f64();
+    let (baseline_wall_s, baseline): (f64, ClusterResult) = best_of(|| {
+        let started = Instant::now();
+        let result = build_cluster(cameras, accelerators).run().expect("baseline runs");
+        (started.elapsed().as_secs_f64(), result)
+    });
 
     // 2. Observed run with a disabled recorder (the reserved null sink).
-    let mut null_recorder =
-        TelemetryRecorder::new().with_sink_spec("null").expect("null spec is reserved");
-    let started = Instant::now();
-    let null_result = build_cluster(cameras, accelerators)
-        .run_with(&mut null_recorder)
-        .expect("null-observed run");
-    let null_wall_s = started.elapsed().as_secs_f64();
+    let (null_wall_s, null_result) = best_of(|| {
+        let mut null_recorder =
+            TelemetryRecorder::new().with_sink_spec("null").expect("null spec is reserved");
+        let started = Instant::now();
+        let result = build_cluster(cameras, accelerators)
+            .run_with(&mut null_recorder)
+            .expect("null-observed run");
+        (started.elapsed().as_secs_f64(), result)
+    });
     assert_eq!(baseline, null_result, "a null-sink observer must not perturb results");
 
     // 3. Full telemetry: recorder (trace + metrics sinks) teed with the
-    //    host-time profiler.
-    let mut recorder = TelemetryRecorder::new()
-        .with_sink_spec(&format!("chrome-trace:{trace_path}"))
-        .and_then(|r| r.with_sink_spec(&format!("json-lines:{metrics_path}")))
-        .expect("builtin sink specs parse");
-    let mut profiler = HostProfiler::new();
-    let started = Instant::now();
-    let full_result = {
-        let mut tee = TeeObserver::new(&mut recorder, &mut profiler);
-        build_cluster(cameras, accelerators).run_with(&mut tee).expect("traced run")
-    };
-    let telemetry_wall_s = started.elapsed().as_secs_f64();
+    //    host-time profiler. A fresh recorder per rep rewrites the trace and
+    //    metrics files each time; deterministic runs make every rewrite
+    //    byte-identical, and the summary/profile reported below come from
+    //    the fastest rep.
+    let (telemetry_wall_s, (full_result, summary, profile)) = best_of(|| {
+        let mut recorder = TelemetryRecorder::new()
+            .with_sink_spec(&format!("chrome-trace:{trace_path}"))
+            .and_then(|r| r.with_sink_spec(&format!("json-lines:{metrics_path}")))
+            .expect("builtin sink specs parse");
+        let mut profiler = HostProfiler::new();
+        let started = Instant::now();
+        let result = {
+            let mut tee = TeeObserver::new(&mut recorder, &mut profiler);
+            build_cluster(cameras, accelerators).run_with(&mut tee).expect("traced run")
+        };
+        let wall_s = started.elapsed().as_secs_f64();
+        let summary: TelemetrySummary = recorder.finish().expect("sinks flush");
+        (wall_s, (result, summary, profiler.finish()))
+    });
     assert_eq!(baseline, full_result, "telemetry must not perturb results");
-    let summary: TelemetrySummary = recorder.finish().expect("sinks flush");
-    let profile = profiler.finish();
 
     let rows = vec![
         vec![
@@ -166,8 +201,9 @@ fn main() {
         profile.phases, profile.barriers, summary.trace_events, summary.metrics_records,
     );
     println!(
-        "wall: baseline {baseline_wall_s:.3} s, null-observer {null_wall_s:.3} s \
-         ({:+.1}%), full telemetry {telemetry_wall_s:.3} s ({:+.1}%)",
+        "wall (best of {WALL_REPS}): baseline {baseline_wall_s:.3} s, \
+         null-observer {null_wall_s:.3} s ({:+.1}%), \
+         full telemetry {telemetry_wall_s:.3} s ({:+.1}%)",
         overhead_pct(null_wall_s, baseline_wall_s),
         overhead_pct(telemetry_wall_s, baseline_wall_s),
     );
@@ -176,10 +212,11 @@ fn main() {
 
     let record = ProfileRecord {
         bench: "executor_profile",
-        schema_version: 1,
+        schema_version: 2,
         quick: options.quick,
         cameras,
         accelerators,
+        wall_reps: WALL_REPS,
         baseline_wall_s,
         null_observer_wall_s: null_wall_s,
         telemetry_wall_s,

@@ -131,14 +131,31 @@ pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
     out
 }
 
-/// Writes a serialisable result to `results/<name>.json`, returning the path.
+/// The workspace-root `results/` directory.
+///
+/// Anchored to the workspace rather than the current directory because
+/// cargo runs benches and tests with the *package* directory as cwd:
+/// a relative `results/` would scatter records into `crates/bench/results/`
+/// when invoked via `cargo bench` but the repo root via `cargo run`.
+#[must_use]
+pub fn results_dir() -> PathBuf {
+    // crates/bench -> crates -> workspace root.
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    match manifest.parent().and_then(std::path::Path::parent) {
+        Some(root) => root.join("results"),
+        None => PathBuf::from("results"),
+    }
+}
+
+/// Writes a serialisable result to `results/<name>.json` under the
+/// workspace root (see [`results_dir`]), returning the path.
 ///
 /// # Errors
 ///
 /// Returns an error string if the directory cannot be created or the file
 /// cannot be written.
 pub fn write_json<T: Serialize>(name: &str, value: &T) -> Result<PathBuf, String> {
-    let dir = PathBuf::from("results");
+    let dir = results_dir();
     fs::create_dir_all(&dir).map_err(|e| format!("cannot create results directory: {e}"))?;
     let path = dir.join(format!("{name}.json"));
     let payload =

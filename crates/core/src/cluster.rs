@@ -83,13 +83,15 @@ use crate::config::SimConfig;
 use crate::edge::{self, EdgeAccum, EdgeMetrics, OffloadContext, OffloadPolicy};
 use crate::fleet::{aggregate, prefix_camera, CameraResult, FleetResult};
 use crate::metrics::{mean, percentile};
-use crate::session::{AcceleratorSample, Session, SessionEvent, SimObserver, WindowSample};
+use crate::session::{
+    AcceleratorSample, Session, SessionEvent, SimObserver, StagedRetrain, WindowSample,
+};
 use crate::share::{self, ShareContext, ShareMetrics, SharePolicy};
 use crate::sim::{PhaseKind, SimResult};
 use crate::{CoreError, Result};
+use dacapo_dnn::{train_stacked, StackedJob, TrainScratch};
 use serde::{Deserialize, Serialize};
-use std::cmp::Reverse;
-use std::collections::{BTreeMap, BinaryHeap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -396,6 +398,7 @@ pub struct Cluster {
     share_window_s: f64,
     churn: ChurnPlan,
     offload: String,
+    batch: bool,
 }
 
 impl Cluster {
@@ -417,6 +420,7 @@ impl Cluster {
             share_window_s: DEFAULT_SHARE_WINDOW_S,
             churn: ChurnPlan::new(),
             offload: "local-only".to_string(),
+            batch: true,
         }
     }
 
@@ -510,6 +514,19 @@ impl Cluster {
         self
     }
 
+    /// Toggles batched per-window retraining (default: on). When enabled,
+    /// windowed executions pre-stage each window's first phase per resident
+    /// at the window's start and dispatch the co-resident retraining phases
+    /// as one stacked GEMM batch sharing a single scratch arena. Results are
+    /// bit-identical either way (property-tested); the toggle exists for
+    /// benchmarking the two paths against each other. The sharing-, churn-
+    /// and offload-free fast path has no windows and is unaffected.
+    #[must_use]
+    pub fn batch_retraining(mut self, enabled: bool) -> Self {
+        self.batch = enabled;
+        self
+    }
+
     /// Number of cameras currently in the cluster.
     #[must_use]
     pub fn len(&self) -> usize {
@@ -589,6 +606,7 @@ impl Cluster {
             capacity,
             admission,
             threads,
+            batch: self.batch,
         };
         let (outcomes, share_metrics, churn_outcome) = if observer.is_none()
             && share::is_disabled(&share_name)
@@ -850,6 +868,9 @@ struct ExecSetup<'a> {
     capacity: Option<usize>,
     admission: AdmissionPolicy,
     threads: usize,
+    /// Whether windowed runs batch co-resident retraining phases
+    /// ([`Cluster::batch_retraining`]).
+    batch: bool,
 }
 
 /// A churn event with its camera name resolved to a cluster camera index,
@@ -936,6 +957,91 @@ impl PartialOrd for Due {
 impl Ord for Due {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         self.at.total_cmp(&other.at).then(self.seq.cmp(&other.seq))
+    }
+}
+
+/// A flat-array binary **min**-heap of [`Due`] entries over the contiguous
+/// session slab, replacing `BinaryHeap<Reverse<Due>>` on the executor's hot
+/// path: entries are `Copy` and live in one `Vec` that is pushed/popped in
+/// place, so steady-state stepping performs no per-event allocation and the
+/// `Reverse` wrapper disappears from every comparison. Ordering is exactly
+/// [`Due`]'s `Ord` (due time under IEEE total order, ties by admission
+/// sequence), so pop order — and therefore every cluster result — is
+/// unchanged.
+#[derive(Debug, Default)]
+struct DueHeap {
+    entries: Vec<Due>,
+}
+
+impl DueHeap {
+    fn new() -> Self {
+        Self { entries: Vec::new() }
+    }
+
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// The minimum entry (earliest due, lowest sequence) without removal.
+    fn peek(&self) -> Option<Due> {
+        self.entries.first().copied()
+    }
+
+    fn push(&mut self, due: Due) {
+        self.entries.push(due);
+        self.sift_up(self.entries.len() - 1);
+    }
+
+    /// Removes and returns the minimum entry.
+    fn pop(&mut self) -> Option<Due> {
+        if self.entries.is_empty() {
+            return None;
+        }
+        let top = self.entries.swap_remove(0);
+        if !self.entries.is_empty() {
+            self.sift_down(0);
+        }
+        Some(top)
+    }
+
+    fn sift_up(&mut self, mut child: usize) {
+        while child > 0 {
+            let parent = (child - 1) / 2;
+            if self.entries[child] >= self.entries[parent] {
+                break;
+            }
+            self.entries.swap(child, parent);
+            child = parent;
+        }
+    }
+
+    fn sift_down(&mut self, mut parent: usize) {
+        loop {
+            let left = 2 * parent + 1;
+            if left >= self.entries.len() {
+                break;
+            }
+            let right = left + 1;
+            let smallest_child =
+                if right < self.entries.len() && self.entries[right] < self.entries[left] {
+                    right
+                } else {
+                    left
+                };
+            if self.entries[parent] <= self.entries[smallest_child] {
+                break;
+            }
+            self.entries.swap(parent, smallest_child);
+            parent = smallest_child;
+        }
     }
 }
 
@@ -1027,7 +1133,7 @@ struct AccelLoop<'a> {
     drained: bool,
     pending: VecDeque<PendingEntry>,
     slots: Vec<Slot>,
-    heap: BinaryHeap<Reverse<Due>>,
+    heap: DueHeap,
     /// Slot indices of the currently resident (unfinished) sessions, in
     /// admission order; a slot's index doubles as its admission index.
     active: Vec<usize>,
@@ -1036,6 +1142,14 @@ struct AccelLoop<'a> {
     /// `(camera index, batch)` of freshly teacher-labeled samples collected
     /// since the last [`AccelLoop::take_exports`] drain.
     exports: Vec<(usize, Vec<LabeledSample>)>,
+    /// Whether windowed runs batch co-resident retraining phases into one
+    /// stacked dispatch at each window's start ([`Cluster::batch_retraining`]).
+    batch: bool,
+    /// The stacked dispatch's shared scratch arena, reused across windows.
+    batch_scratch: TrainScratch,
+    /// Reusable peer-summary buffer for arbitration requests, refilled per
+    /// arbitrated step instead of allocated.
+    residents: Vec<PeerSession>,
 }
 
 impl<'a> AccelLoop<'a> {
@@ -1047,6 +1161,7 @@ impl<'a> AccelLoop<'a> {
         arbiter_name: &str,
         capacity: Option<usize>,
         record_labels: bool,
+        batch: bool,
     ) -> Result<Self> {
         let arbiter = arbiter::create(arbiter_name)?;
         let resident_cap = capacity.unwrap_or(usize::MAX);
@@ -1062,7 +1177,7 @@ impl<'a> AccelLoop<'a> {
             drained: false,
             pending,
             slots: Vec::with_capacity(assigned.len().min(resident_cap)),
-            heap: BinaryHeap::new(),
+            heap: DueHeap::new(),
             active: Vec::new(),
             seq: 0,
             outcome: AccelOutcome {
@@ -1077,6 +1192,9 @@ impl<'a> AccelLoop<'a> {
                 edge: EdgeAccum::default(),
             },
             exports: Vec::new(),
+            batch,
+            batch_scratch: TrainScratch::new(),
+            residents: Vec::new(),
         };
         for &camera_index in assigned.iter().take(resident_cap) {
             this.admit(camera_index, 0.0)?;
@@ -1103,7 +1221,83 @@ impl<'a> AccelLoop<'a> {
 
     /// Cluster time of this loop's next due event, if any remains.
     fn next_due_s(&self) -> Option<f64> {
-        self.heap.peek().map(|&Reverse(due)| due.at)
+        self.heap.peek().map(|due| due.at)
+    }
+
+    /// Pre-executes, at a window's start, the first phase of every resident
+    /// session due inside the window, batching the retraining phases among
+    /// them into **one** stacked GEMM dispatch ([`train_stacked`]) that
+    /// shares a single scratch arena across the co-resident networks.
+    ///
+    /// Bit-identity with unstaged execution holds because nothing outside a
+    /// session touches it between barriers (the module's barrier
+    /// discipline), each session's numeric work is independent of its
+    /// peers', and the produced events stay queued inside the session until
+    /// the event loop pops them at the exact time — and in the exact order —
+    /// it would have executed them (property-tested batched ≡ unbatched).
+    /// Only sessions whose next pop lands inside this window are staged;
+    /// staging a later-window phase would leak state past a barrier.
+    fn stage_window(&mut self, stop_at_s: f64) -> Result<()> {
+        let mut staged: Vec<(usize, StagedRetrain)> = Vec::new();
+        for &slot_index in &self.active {
+            let slot = &mut self.slots[slot_index];
+            if slot.now_s >= stop_at_s {
+                continue;
+            }
+            let Some(session) = slot.session.as_mut() else { continue };
+            let camera_name = &self.cameras[slot.camera_index].0;
+            if let Some(retrain) =
+                session.stage_phase().map_err(|e| prefix_camera(camera_name, e))?
+            {
+                staged.push((slot_index, retrain));
+            }
+        }
+        if staged.is_empty() {
+            return Ok(());
+        }
+        staged.sort_by_key(|&(slot_index, _)| slot_index);
+        let mut jobs: Vec<StackedJob<'_>> = Vec::with_capacity(staged.len());
+        {
+            let mut wanted = staged.iter();
+            let mut next = wanted.next();
+            for (index, slot) in self.slots.iter_mut().enumerate() {
+                let Some(&(slot_index, ref retrain)) = next else { break };
+                if slot_index != index {
+                    continue;
+                }
+                let session = slot
+                    .session
+                    .as_mut()
+                    // lint: allow(panic) — only slots with a live session
+                    // were staged a few lines up, and nothing drops sessions
+                    // in between
+                    .expect("staged slots hold live sessions");
+                let (net, learning_rate, batch_size) = session.stacked_parts();
+                jobs.push(StackedJob {
+                    net,
+                    rows: retrain.train.iter().map(|s| s.features.as_slice()).collect(),
+                    labels: retrain.train.iter().map(|s| s.teacher_label).collect(),
+                    epochs: retrain.epochs,
+                    batch_size,
+                    learning_rate,
+                });
+                next = wanted.next();
+            }
+        }
+        train_stacked(&mut jobs, &mut self.batch_scratch).map_err(CoreError::from)?;
+        drop(jobs);
+        for (slot_index, retrain) in staged {
+            let slot = &mut self.slots[slot_index];
+            let camera_name = &self.cameras[slot.camera_index].0;
+            slot.session
+                .as_mut()
+                // lint: allow(panic) — same invariant as the job-building
+                // walk above
+                .expect("staged slots hold live sessions")
+                .finish_staged_retrain(retrain)
+                .map_err(|e| prefix_camera(camera_name, e))?;
+        }
+        Ok(())
     }
 
     /// Pops and executes events due strictly before `stop_at_s` (all
@@ -1115,9 +1309,14 @@ impl<'a> AccelLoop<'a> {
         stop_at_s: Option<f64>,
         mut observer: Option<&mut dyn SimObserver>,
     ) -> Result<()> {
+        if self.batch {
+            if let Some(stop) = stop_at_s {
+                self.stage_window(stop)?;
+            }
+        }
         loop {
             let due = match self.heap.peek() {
-                Some(&Reverse(due)) => due,
+                Some(due) => due,
                 None => return Ok(()),
             };
             if let Some(stop) = stop_at_s {
@@ -1133,8 +1332,19 @@ impl<'a> AccelLoop<'a> {
             }
             let camera_index = self.slots[due.slot].camera_index;
             let camera_name = &self.cameras[camera_index].0;
+            // A staged phase already shipped its uplink bytes at the
+            // window's start; its parked baseline (consumed here either
+            // way, so it never outlives its burst) replaces the live meter
+            // read, keeping the observer's delta identical to an unstaged
+            // run.
+            let staged_baseline = self.slots[due.slot]
+                .session
+                .as_mut()
+                .and_then(Session::take_staged_uplink_baseline);
             let uplink_before = if observer.is_some() {
-                self.slots[due.slot].session.as_ref().and_then(Session::uplink_meter)
+                staged_baseline.or_else(|| {
+                    self.slots[due.slot].session.as_ref().and_then(Session::uplink_meter)
+                })
             } else {
                 None
             };
@@ -1174,15 +1384,14 @@ impl<'a> AccelLoop<'a> {
                     let arbitrated =
                         !offloaded && matches!(phase.kind, PhaseKind::Label | PhaseKind::Retrain);
                     let stretch = if arbitrated {
-                        let residents: Vec<PeerSession> = self
-                            .active
-                            .iter()
-                            .map(|&slot| PeerSession {
+                        self.residents.clear();
+                        for &slot in &self.active {
+                            self.residents.push(PeerSession {
                                 camera_index: self.slots[slot].camera_index,
                                 admission_index: slot,
                                 recovering: self.slots[slot].recovering,
-                            })
-                            .collect();
+                            });
+                        }
                         let share = self.arbiter.grant(&GrantRequest {
                             now_s: due.at,
                             accelerator: self.accel,
@@ -1190,7 +1399,7 @@ impl<'a> AccelLoop<'a> {
                             camera_index,
                             admission_index: due.slot,
                             recovering: self.slots[due.slot].recovering,
-                            residents: &residents,
+                            residents: &self.residents,
                         });
                         if !share.is_finite() || share <= 0.0 || share > 1.0 {
                             return Err(CoreError::InvalidConfig {
@@ -1228,7 +1437,7 @@ impl<'a> AccelLoop<'a> {
                     }
                     self.slots[due.slot].now_s += phase.duration_s * stretch;
                     let at = self.slots[due.slot].now_s;
-                    self.heap.push(Reverse(Due { at, seq: self.seq, slot: due.slot }));
+                    self.heap.push(Due { at, seq: self.seq, slot: due.slot });
                     self.seq += 1;
                     self.outcome.peak_depth = self.outcome.peak_depth.max(self.heap.len());
                 }
@@ -1293,7 +1502,7 @@ impl<'a> AccelLoop<'a> {
     ) {
         session.set_record_labels(self.record_labels);
         self.slots.push(Slot { camera_index, session: Some(session), now_s: at, recovering });
-        self.heap.push(Reverse(Due { at, seq: self.seq, slot: self.slots.len() - 1 }));
+        self.heap.push(Due { at, seq: self.seq, slot: self.slots.len() - 1 });
         self.active.push(self.slots.len() - 1);
         self.seq += 1;
         self.outcome.peak_depth = self.outcome.peak_depth.max(self.heap.len());
@@ -1454,6 +1663,7 @@ fn run_isolated(
                 setup.arbiter,
                 setup.capacity,
                 false,
+                setup.batch,
             )?;
             accel_loop.run_until(None, Some(&mut *observer))?;
             outcomes.push(accel_loop.into_outcome());
@@ -1481,6 +1691,7 @@ fn run_isolated(
                     setup.arbiter,
                     setup.capacity,
                     false,
+                    setup.batch,
                 )
                 .and_then(|mut accel_loop| {
                     accel_loop.run_until(None, None)?;
@@ -1555,6 +1766,7 @@ fn run_windowed(
                 setup.arbiter,
                 setup.capacity,
                 record_labels,
+                setup.batch,
             )
         })
         .collect::<Result<Vec<_>>>()?;
@@ -2279,6 +2491,55 @@ mod tests {
         let serial = two_camera_cluster(2).threads(1).run().unwrap();
         let parallel = two_camera_cluster(2).threads(8).run().unwrap();
         assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn batched_retraining_is_bit_identical_to_unbatched() {
+        // The windowed path is where batching engages: both cameras share
+        // one accelerator, so their retraining phases co-occur in windows
+        // and ride the stacked dispatch. Toggling the dispatch — at any
+        // thread count — must never change a single bit of the result.
+        let build = |batch: bool, threads: usize| {
+            Cluster::new(1)
+                .camera("a", short_config(SchedulerKind::DaCapoSpatiotemporal))
+                .camera("b", short_config(SchedulerKind::DaCapoSpatial))
+                .share("broadcast")
+                .share_window_s(20.0)
+                .threads(threads)
+                .batch_retraining(batch)
+                .run()
+                .unwrap()
+        };
+        let unbatched = build(false, 1);
+        assert_eq!(unbatched, build(true, 1));
+        assert_eq!(unbatched, build(true, 2));
+        assert_eq!(unbatched, build(true, 8));
+    }
+
+    #[test]
+    fn batched_retraining_composes_with_churn_and_offload() {
+        // Staging must respect barriers: joins, leaves, snapshot migration
+        // (drain), and offload routing all mutate sessions between windows,
+        // and a staged phase leaking past a barrier would diverge. Compare
+        // the full composition batched vs unbatched.
+        let build = |batch: bool| {
+            let plan = ChurnPlan::new()
+                .join(40.0, "late", edge_camera(SchedulerKind::DaCapoSpatiotemporal, "wifi"))
+                .drain(60.0, 1)
+                .leave(80.0, "a");
+            Cluster::new(2)
+                .camera("a", edge_camera(SchedulerKind::DaCapoSpatiotemporal, "wifi"))
+                .camera("b", edge_camera(SchedulerKind::DaCapoSpatiotemporal, "wifi"))
+                .camera("c", short_config(SchedulerKind::DaCapoSpatial))
+                .share("broadcast")
+                .share_window_s(20.0)
+                .offload("threshold:1")
+                .churn(plan)
+                .batch_retraining(batch)
+                .run()
+                .unwrap()
+        };
+        assert_eq!(build(false), build(true));
     }
 
     #[test]

@@ -34,8 +34,8 @@ use crate::sched::{Action, Scheduler, SchedulerContext};
 use crate::sim::{PhaseKind, PhaseRecord, SimResult};
 use crate::student::StudentModel;
 use crate::{CoreError, Result};
-use dacapo_datagen::{Frame, FrameStream, StreamCursor};
-use dacapo_dnn::TeacherOracle;
+use dacapo_datagen::{CenterCache, Frame, FrameStream, StreamCursor};
+use dacapo_dnn::{Mlp, TeacherOracle, TrainScratch};
 use serde::{Deserialize, Serialize, Value};
 use std::collections::VecDeque;
 
@@ -287,6 +287,38 @@ pub struct Session {
     record_labels: bool,
     fresh_labels: Vec<LabeledSample>,
     edge: Option<EdgeTier>,
+    // snapshot: skip(scratch) — a reusable training/evaluation arena; it
+    // carries capacity, never numeric state, so a fresh arena on restore is
+    // bit-identical (property-tested)
+    scratch: TrainScratch,
+    // snapshot: skip(staged_uplink_before) — transient observer baseline for
+    // a phase pre-executed by the cluster's batched-retraining dispatch;
+    // consumed when that phase's events pop, before any barrier or snapshot
+    staged_uplink_before: Option<(u64, u64)>,
+    // snapshot: skip(center_cache) — a memo table for the stream's pure
+    // class-centre derivation; cached and fresh centres are bit-identical
+    // (property-tested in datagen), so a cold cache on restore changes
+    // nothing
+    center_cache: CenterCache,
+}
+
+/// A retraining phase whose schedule is fully decided but whose gradient
+/// work has not run yet: the output of [`Session::stage_phase`], consumed by
+/// the cluster executor's stacked dispatch and then completed with
+/// [`Session::finish_staged_retrain`]. Between the two calls the session
+/// must not be stepped or snapshotted.
+#[derive(Debug)]
+pub(crate) struct StagedRetrain {
+    /// The drawn training batch (teacher-labeled).
+    pub(crate) train: Vec<LabeledSample>,
+    /// The drawn validation batch, evaluated after the weights update.
+    pub(crate) validation: Vec<LabeledSample>,
+    /// Training epochs, already clamped to at least one.
+    pub(crate) epochs: usize,
+    /// Sample presentations charged to the platform (`train.len() × epochs`).
+    presentations: usize,
+    /// The phase's simulated duration in seconds.
+    phase_duration: f64,
 }
 
 /// The version tag of the public snapshot format. Bumped whenever the
@@ -432,12 +464,13 @@ impl Session {
         // Pre-deployment training on the "general dataset": samples spread
         // uniformly over the whole scenario (every context appears), labeled
         // with ground truth, as the paper assumes pre-trained models.
+        let mut center_cache = CenterCache::new();
         if config.pretrain_samples > 0 {
             let stride = (stream.num_frames() / config.pretrain_samples.max(1) as u64).max(1);
             let pretrain: Vec<LabeledSample> = (0..stream.num_frames())
                 .step_by(stride as usize)
                 .map(|i| {
-                    let frame = stream.frame_at(i);
+                    let frame = stream.frame_at_cached(i, &mut center_cache);
                     LabeledSample {
                         features: frame.sample.features,
                         teacher_label: frame.sample.true_class,
@@ -478,6 +511,9 @@ impl Session {
             record_labels: false,
             fresh_labels: Vec::new(),
             edge,
+            scratch: TrainScratch::new(),
+            center_cache,
+            staged_uplink_before: None,
         })
     }
 
@@ -590,6 +626,9 @@ impl Session {
             record_labels: snapshot.record_labels,
             fresh_labels: snapshot.fresh_labels,
             edge,
+            scratch: TrainScratch::new(),
+            center_cache: CenterCache::new(),
+            staged_uplink_before: None,
         })
     }
 
@@ -914,6 +953,82 @@ impl Session {
     /// Asks the scheduler for one action and executes it, queueing the
     /// resulting events in chronological order.
     fn execute_next_action(&mut self) -> Result<()> {
+        self.execute_or_stage(false).map(|staged| {
+            debug_assert!(staged.is_none(), "staging only happens when requested");
+        })
+    }
+
+    /// Pre-executes the session's next phase at a cluster window's start, so
+    /// co-resident retraining phases can be dispatched as one stacked batch.
+    ///
+    /// Within a window nothing outside the session touches its state (label
+    /// exchange, routing, and churn all happen at barriers), so executing
+    /// the phase early is bit-identical to executing it when the event loop
+    /// pops it — the produced events stay queued in `pending` and drain at
+    /// the pop exactly as an unstaged burst would. A retraining phase with a
+    /// non-empty batch stops short of the gradient work and returns the
+    /// [`StagedRetrain`] describing it; the caller runs the stacked dispatch
+    /// and then [`Session::finish_staged_retrain`]. Every other action
+    /// executes fully here and returns `None`.
+    ///
+    /// Returns `None` without doing anything when the session is finished,
+    /// mid-burst (`pending` non-empty), or out of scenario time — those
+    /// sessions take the ordinary stepping path.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Session::step`].
+    pub(crate) fn stage_phase(&mut self) -> Result<Option<StagedRetrain>> {
+        if self.finished || !self.pending.is_empty() || self.now_s >= self.duration_s {
+            return Ok(None);
+        }
+        // A labeling phase executed here ships its uplink bytes before the
+        // event loop's observer reads the meter; park the pre-phase reading
+        // so the pop still reports the correct delta.
+        self.staged_uplink_before = self.uplink_meter();
+        self.execute_or_stage(true)
+    }
+
+    /// Takes the uplink-meter baseline parked by [`Session::stage_phase`],
+    /// if the upcoming event burst was pre-executed there.
+    pub(crate) fn take_staged_uplink_baseline(&mut self) -> Option<(u64, u64)> {
+        self.staged_uplink_before.take()
+    }
+
+    /// The pieces a stacked retraining job borrows from this session:
+    /// `(network, learning_rate, batch_size)`.
+    pub(crate) fn stacked_parts(&mut self) -> (&mut Mlp, f32, usize) {
+        let (learning_rate, batch_size) = self.student.hyperparams();
+        (self.student.network_mut(), learning_rate, batch_size)
+    }
+
+    /// Completes a retraining phase staged by [`Session::stage_phase`] after
+    /// the stacked dispatch updated the weights: evaluates validation
+    /// accuracy against the new weights, records the phase, and advances the
+    /// clock — exactly the tail [`Session::execute_or_stage`] skipped.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Dnn`] if the validation batch's feature width
+    /// does not match (a configuration inconsistency).
+    pub(crate) fn finish_staged_retrain(&mut self, staged: StagedRetrain) -> Result<()> {
+        self.last_validation =
+            Some(self.student.accuracy_on_samples_with(&staged.validation, &mut self.scratch)?);
+        self.push_phase(PhaseRecord {
+            kind: PhaseKind::Retrain,
+            start_s: self.now_s,
+            duration_s: staged.phase_duration,
+            samples: staged.presentations,
+            drift_response: false,
+        });
+        self.now_s += staged.phase_duration;
+        Ok(())
+    }
+
+    /// The shared body of [`Session::execute_next_action`] (`stage: false`)
+    /// and [`Session::stage_phase`] (`stage: true`); see the latter for the
+    /// staging contract.
+    fn execute_or_stage(&mut self, stage: bool) -> Result<Option<StagedRetrain>> {
         let duration = self.duration_s;
         let fps = self.config.stream.fps;
         // Cloud labels whose uplink round trip has completed land in the
@@ -982,7 +1097,7 @@ impl Session {
                         drift_response: reset_buffer,
                     });
                     self.now_s += wait;
-                    return Ok(());
+                    return Ok(None);
                 }
                 let remaining = duration - self.now_s;
                 let ideal_duration = samples.max(1) as f64 / rate;
@@ -996,8 +1111,12 @@ impl Session {
                 // position snapshots carry).
                 let step = ((phase_duration * fps) as u64 / actual_samples as u64).max(1);
                 self.cursor.seek_time(&self.stream, self.now_s);
-                let frames =
-                    self.cursor.frames_until(&self.stream, self.now_s + phase_duration, step);
+                let frames = self.cursor.frames_until_cached(
+                    &self.stream,
+                    self.now_s + phase_duration,
+                    step,
+                    &mut self.center_cache,
+                );
                 let selected: Vec<Frame> = frames.into_iter().take(actual_samples).collect();
                 let phase_samples;
                 if offload {
@@ -1022,7 +1141,9 @@ impl Session {
                     tier.state.last_phase_offloaded = true;
                     phase_samples = shipped.len();
                     if !shipped.is_empty() {
-                        self.last_labeling = Some(self.student.accuracy_on_samples(&shipped)?);
+                        self.last_labeling = Some(
+                            self.student.accuracy_on_samples_with(&shipped, &mut self.scratch)?,
+                        );
                     }
                 } else {
                     let labeled: Vec<LabeledSample> = selected
@@ -1038,7 +1159,8 @@ impl Session {
                         .collect();
                     // acc_l: the current student's accuracy on the freshly
                     // labeled data, judged by the teacher's labels.
-                    self.last_labeling = Some(self.student.accuracy_on_samples(&labeled)?);
+                    self.last_labeling =
+                        Some(self.student.accuracy_on_samples_with(&labeled, &mut self.scratch)?);
                     if let Some(tier) = self.edge.as_mut() {
                         tier.note_local_labels(labeled.len());
                         tier.state.last_phase_offloaded = false;
@@ -1077,7 +1199,7 @@ impl Session {
                         drift_response: false,
                     });
                     self.now_s += wait;
-                    return Ok(());
+                    return Ok(None);
                 }
                 let presentations = train.len() * epochs.max(1);
                 let rate = self.platform.effective_retraining_sps(fps);
@@ -1091,8 +1213,21 @@ impl Session {
                 // The old model keeps serving inference during retraining;
                 // the updated weights deploy when the phase completes.
                 self.measure_until(self.now_s + phase_duration)?;
-                self.student.retrain(&train, epochs.max(1))?;
-                self.last_validation = Some(self.student.accuracy_on_samples(&validation)?);
+                if stage {
+                    // The schedule is decided and the measurements taken;
+                    // hand the gradient work to the stacked dispatch. The
+                    // caller completes the phase via finish_staged_retrain.
+                    return Ok(Some(StagedRetrain {
+                        train,
+                        validation,
+                        epochs: epochs.max(1),
+                        presentations,
+                        phase_duration,
+                    }));
+                }
+                self.student.retrain_with(&train, epochs.max(1), &mut self.scratch)?;
+                self.last_validation =
+                    Some(self.student.accuracy_on_samples_with(&validation, &mut self.scratch)?);
 
                 self.push_phase(PhaseRecord {
                     kind: PhaseKind::Retrain,
@@ -1128,7 +1263,7 @@ impl Session {
                 self.now_s += wait;
             }
         }
-        Ok(())
+        Ok(None)
     }
 
     fn push_phase(&mut self, phase: PhaseRecord) {
@@ -1145,17 +1280,19 @@ impl Session {
         while self.next_measure_s < until && self.next_measure_s < self.duration_s {
             let window_frames = (interval * self.config.stream.fps) as u64;
             let step = (window_frames / frames_wanted.max(1)).max(1);
-            let frames = self.stream.frames_between(
+            let frames = self.stream.frames_between_cached(
                 self.next_measure_s,
                 self.next_measure_s + interval,
                 step,
+                &mut self.center_cache,
             );
             if frames.is_empty() {
                 return Err(CoreError::InvalidConfig {
                     reason: "measurement interval produced no evaluation frames".into(),
                 });
             }
-            let accuracy = self.student.accuracy_on_frames(&frames)? * (1.0 - self.drop_rate);
+            let accuracy = self.student.accuracy_on_frames_with(&frames, &mut self.scratch)?
+                * (1.0 - self.drop_rate);
             self.timeline.push((self.next_measure_s, accuracy));
             self.pending.push_back(SessionEvent::Accuracy { at_s: self.next_measure_s, accuracy });
             self.next_measure_s += interval;

@@ -4,8 +4,7 @@
 use crate::buffer::LabeledSample;
 use crate::{CoreError, Result};
 use dacapo_datagen::{Frame, NUM_CLASSES};
-use dacapo_dnn::{Mlp, MlpConfig, QuantMode};
-use dacapo_tensor::Matrix;
+use dacapo_dnn::{Mlp, MlpConfig, QuantMode, TrainScratch};
 use serde::{Deserialize, Serialize};
 
 /// The student model as deployed in the continuous-learning loop.
@@ -66,13 +65,27 @@ impl StudentModel {
     ///
     /// Returns [`CoreError::Dnn`] if the feature width does not match.
     pub fn accuracy_on_frames(&self, frames: &[Frame]) -> Result<f64> {
+        self.accuracy_on_frames_with(frames, &mut TrainScratch::new())
+    }
+
+    /// [`StudentModel::accuracy_on_frames`] against a caller-owned scratch
+    /// arena, so steady-state measurement loops allocate no matrices. The
+    /// result is bit-identical to the allocating variant.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Dnn`] if the feature width does not match.
+    pub(crate) fn accuracy_on_frames_with(
+        &self,
+        frames: &[Frame],
+        scratch: &mut TrainScratch,
+    ) -> Result<f64> {
         if frames.is_empty() {
             return Ok(0.0);
         }
         let rows: Vec<&[f32]> = frames.iter().map(|f| f.sample.features.as_slice()).collect();
-        let features = Matrix::from_rows(&rows).map_err(dacapo_dnn::DnnError::from)?;
         let labels: Vec<usize> = frames.iter().map(|f| f.sample.true_class).collect();
-        Ok(f64::from(self.network.evaluate(&features, &labels)?))
+        Ok(f64::from(self.network.evaluate_rows_with(&rows, &labels, scratch)?))
     }
 
     /// Accuracy on labeled samples, judged against the *teacher* labels —
@@ -85,13 +98,26 @@ impl StudentModel {
     ///
     /// Returns [`CoreError::Dnn`] if the feature width does not match.
     pub fn accuracy_on_samples(&self, samples: &[LabeledSample]) -> Result<f64> {
+        self.accuracy_on_samples_with(samples, &mut TrainScratch::new())
+    }
+
+    /// [`StudentModel::accuracy_on_samples`] against a caller-owned scratch
+    /// arena (see [`StudentModel::accuracy_on_frames_with`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Dnn`] if the feature width does not match.
+    pub(crate) fn accuracy_on_samples_with(
+        &self,
+        samples: &[LabeledSample],
+        scratch: &mut TrainScratch,
+    ) -> Result<f64> {
         if samples.is_empty() {
             return Ok(0.0);
         }
         let rows: Vec<&[f32]> = samples.iter().map(|s| s.features.as_slice()).collect();
-        let features = Matrix::from_rows(&rows).map_err(dacapo_dnn::DnnError::from)?;
         let labels: Vec<usize> = samples.iter().map(|s| s.teacher_label).collect();
-        Ok(f64::from(self.network.evaluate(&features, &labels)?))
+        Ok(f64::from(self.network.evaluate_rows_with(&rows, &labels, scratch)?))
     }
 
     /// Retrains the student on labeled samples for the given number of
@@ -105,15 +131,48 @@ impl StudentModel {
     ///
     /// Returns [`CoreError::Dnn`] on dimension mismatches.
     pub fn retrain(&mut self, samples: &[LabeledSample], epochs: usize) -> Result<usize> {
+        self.retrain_with(samples, epochs, &mut TrainScratch::new())
+    }
+
+    /// [`StudentModel::retrain`] against a caller-owned scratch arena, so
+    /// steady-state retraining loops allocate no matrices. The resulting
+    /// weights are bit-identical to the allocating variant.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Dnn`] on dimension mismatches.
+    pub(crate) fn retrain_with(
+        &mut self,
+        samples: &[LabeledSample],
+        epochs: usize,
+        scratch: &mut TrainScratch,
+    ) -> Result<usize> {
         if samples.is_empty() || epochs == 0 {
             return Ok(0);
         }
         let rows: Vec<&[f32]> = samples.iter().map(|s| s.features.as_slice()).collect();
-        let features = Matrix::from_rows(&rows).map_err(dacapo_dnn::DnnError::from)?;
         let labels: Vec<usize> = samples.iter().map(|s| s.teacher_label).collect();
-        let report =
-            self.network.train(&features, &labels, epochs, self.batch_size, self.learning_rate)?;
+        let report = self.network.train_rows_with(
+            &rows,
+            &labels,
+            epochs,
+            self.batch_size,
+            self.learning_rate,
+            scratch,
+        )?;
         Ok(report.samples_processed)
+    }
+
+    /// Mutable access to the wrapped network, for the cluster executor's
+    /// stacked retraining dispatch (the jobs borrow each session's network).
+    pub(crate) fn network_mut(&mut self) -> &mut Mlp {
+        &mut self.network
+    }
+
+    /// The SGD hyperparameters a stacked retraining job must replicate:
+    /// `(learning_rate, batch_size)`.
+    pub(crate) fn hyperparams(&self) -> (f32, usize) {
+        (self.learning_rate, self.batch_size)
     }
 }
 

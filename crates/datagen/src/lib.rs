@@ -46,4 +46,4 @@ pub use classes::{class_prior, ObjectClass, NUM_CLASSES};
 pub use error::DatagenError;
 pub use fleet::FleetScenario;
 pub use scenario::{Scenario, Segment};
-pub use stream::{Frame, FrameStream, Sample, StreamConfig, StreamCursor};
+pub use stream::{CenterCache, Frame, FrameStream, Sample, StreamConfig, StreamCursor};

@@ -219,19 +219,11 @@ impl FrameStream {
         center
     }
 
-    /// Generates the frame at `index` (clamped semantics are not provided:
-    /// indices past the end still generate deterministic frames using the
-    /// last segment's attributes).
-    #[must_use]
-    pub fn frame_at(&self, index: u64) -> Frame {
-        let timestamp_s = index as f64 / self.config.fps;
-        let attributes = self.scenario.attributes_at(timestamp_s);
-        let mut rng = StdRng::seed_from_u64(
-            self.config.seed.wrapping_mul(0x100_0000_01b3).wrapping_add(index),
-        );
-
-        // Draw the class from the segment's label distribution.
-        let prior = class_prior(&attributes);
+    /// Draws the frame's class from the segment's label distribution using
+    /// the frame RNG. Shared by the cached and uncached generation paths so
+    /// they consume the RNG identically.
+    fn draw_class(rng: &mut StdRng, attributes: &SegmentAttributes) -> usize {
+        let prior = class_prior(attributes);
         let mut draw: f64 = rng.gen_range(0.0..1.0);
         let mut true_class = NUM_CLASSES - 1;
         for (i, p) in prior.iter().enumerate() {
@@ -241,14 +233,52 @@ impl FrameStream {
             }
             draw -= p;
         }
+        true_class
+    }
 
-        // Draw the feature vector around the (class, attributes) centre.
-        let center = self.class_center(true_class, &attributes);
+    /// Samples the feature vector around `center` with the frame RNG.
+    fn features_around(&self, center: &[f32], rng: &mut StdRng) -> Vec<f32> {
         // lint: allow(panic) — noise_std was validated non-negative and
         // finite by StreamConfig::validate in FrameStream::new
         let noise = Normal::new(0.0f32, self.config.noise_std).expect("std is validated");
-        let features = center.iter().map(|c| c + noise.sample(&mut rng)).collect();
+        center.iter().map(|c| c + noise.sample(rng)).collect()
+    }
 
+    /// The RNG that drives a single frame's class and noise draws.
+    fn frame_rng(&self, index: u64) -> StdRng {
+        StdRng::seed_from_u64(self.config.seed.wrapping_mul(0x100_0000_01b3).wrapping_add(index))
+    }
+
+    /// Generates the frame at `index` (clamped semantics are not provided:
+    /// indices past the end still generate deterministic frames using the
+    /// last segment's attributes).
+    #[must_use]
+    pub fn frame_at(&self, index: u64) -> Frame {
+        let timestamp_s = index as f64 / self.config.fps;
+        let attributes = self.scenario.attributes_at(timestamp_s);
+        let mut rng = self.frame_rng(index);
+        let true_class = Self::draw_class(&mut rng, &attributes);
+        // Draw the feature vector around the (class, attributes) centre.
+        let center = self.class_center(true_class, &attributes);
+        let features = self.features_around(&center, &mut rng);
+        Frame { index, timestamp_s, attributes, sample: Sample { features, true_class } }
+    }
+
+    /// [`Self::frame_at`] with the class-centre lookup served by `cache` —
+    /// bit-identical output, an order of magnitude less RNG work on hits.
+    ///
+    /// The centre is a pure function of `(config, context, class)` whose
+    /// RNGs are seeded independently of the frame RNG, so replaying it from
+    /// the cache consumes exactly the same frame-RNG draws as deriving it
+    /// fresh; only the redundant re-derivation is skipped.
+    #[must_use]
+    pub fn frame_at_cached(&self, index: u64, cache: &mut CenterCache) -> Frame {
+        let timestamp_s = index as f64 / self.config.fps;
+        let attributes = self.scenario.attributes_at(timestamp_s);
+        let mut rng = self.frame_rng(index);
+        let true_class = Self::draw_class(&mut rng, &attributes);
+        let center = cache.center(self, true_class, &attributes);
+        let features = self.features_around(center, &mut rng);
         Frame { index, timestamp_s, attributes, sample: Sample { features, true_class } }
     }
 
@@ -273,6 +303,27 @@ impl FrameStream {
         (first..last).step_by(step as usize).map(|i| self.frame_at(i)).collect()
     }
 
+    /// [`Self::frames_between`] with centre lookups served by `cache` —
+    /// bit-identical frames (see [`Self::frame_at_cached`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step` is zero or the range is inverted.
+    #[must_use]
+    pub fn frames_between_cached(
+        &self,
+        start_s: f64,
+        end_s: f64,
+        step: u64,
+        cache: &mut CenterCache,
+    ) -> Vec<Frame> {
+        assert!(step > 0, "step must be positive");
+        assert!(end_s >= start_s, "time range is inverted");
+        let first = (start_s * self.config.fps).ceil() as u64;
+        let last = ((end_s * self.config.fps).ceil() as u64).min(self.num_frames());
+        (first..last).step_by(step as usize).map(|i| self.frame_at_cached(i, cache)).collect()
+    }
+
     /// A resumable cursor at the start of the stream. Frames are a pure
     /// function of the index, so a cursor is just a serialisable position —
     /// checkpoint it, restore it later (even in another process), and the
@@ -288,6 +339,85 @@ impl FrameStream {
     pub fn cursor_at(&self, start_s: f64) -> StreamCursor {
         let index = (start_s.max(0.0) * self.config.fps).ceil() as u64;
         StreamCursor { next_index: index.min(self.num_frames()) }
+    }
+}
+
+/// A memo table for [`FrameStream::class_center`] keyed by
+/// `(context, class)`.
+///
+/// Deriving a class centre seeds three `StdRng`s and draws
+/// `2 × feature_dim` uniforms — per frame, that is an order of magnitude
+/// more RNG work than the frame's own class-and-noise draws. But the centre
+/// is a *pure function* of the stream config, the segment's context id, and
+/// the class, and scenarios only have a handful of contexts, so a run
+/// re-derives the same few centres tens of thousands of times. This cache
+/// memoises them; the `*_cached` generation methods
+/// ([`FrameStream::frame_at_cached`] and friends) are bit-identical to
+/// their uncached counterparts because the centre RNGs are seeded
+/// independently of the per-frame RNG.
+///
+/// The cache remembers which stream configuration filled it and resets
+/// itself when handed a stream with a different one, so a stale or shared
+/// cache can never leak centres across streams. It is pure derived state:
+/// sessions hold one as a scratch field, excluded from snapshots.
+///
+/// # Examples
+///
+/// ```
+/// use dacapo_datagen::{CenterCache, FrameStream, Scenario, StreamConfig};
+///
+/// let stream = FrameStream::new(&Scenario::s1(), StreamConfig::default());
+/// let mut cache = CenterCache::new();
+/// let cached = stream.frame_at_cached(1234, &mut cache);
+/// assert_eq!(cached, stream.frame_at(1234)); // bit-identical
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CenterCache {
+    /// The configuration the cached centres were derived under; a mismatch
+    /// invalidates everything.
+    config: Option<StreamConfig>,
+    /// `(context id, per-class centres)` — scenarios have a handful of
+    /// contexts, so a linear scan beats hashing.
+    contexts: Vec<(u64, Vec<Vec<f32>>)>,
+}
+
+impl CenterCache {
+    /// Creates an empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct contexts currently cached.
+    #[must_use]
+    pub fn contexts_cached(&self) -> usize {
+        self.contexts.len()
+    }
+
+    /// The cached centre for `(class, attributes)` under `stream`'s
+    /// configuration, deriving and storing all of the context's class
+    /// centres on first sight of the context.
+    fn center(
+        &mut self,
+        stream: &FrameStream,
+        class: usize,
+        attributes: &SegmentAttributes,
+    ) -> &[f32] {
+        if self.config != Some(stream.config) {
+            self.contexts.clear();
+            self.config = Some(stream.config);
+        }
+        let context = attributes.context_id();
+        let slot = match self.contexts.iter().position(|(id, _)| *id == context) {
+            Some(found) => found,
+            None => {
+                let centers =
+                    (0..NUM_CLASSES).map(|c| stream.class_center(c, attributes)).collect();
+                self.contexts.push((context, centers));
+                self.contexts.len() - 1
+            }
+        };
+        &self.contexts[slot].1[class]
     }
 }
 
@@ -366,6 +496,33 @@ impl StreamCursor {
         }
         let frames = (self.next_index..last).step_by(step as usize).map(|i| stream.frame_at(i));
         let collected = frames.collect();
+        self.next_index = last;
+        collected
+    }
+
+    /// [`Self::frames_until`] with centre lookups served by `cache` —
+    /// bit-identical frames (see [`FrameStream::frame_at_cached`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step` is zero.
+    #[must_use]
+    pub fn frames_until_cached(
+        &mut self,
+        stream: &FrameStream,
+        end_s: f64,
+        step: u64,
+        cache: &mut CenterCache,
+    ) -> Vec<Frame> {
+        assert!(step > 0, "step must be positive");
+        let last = ((end_s * stream.config.fps).ceil() as u64).min(stream.num_frames());
+        if last <= self.next_index {
+            return Vec::new();
+        }
+        let collected = (self.next_index..last)
+            .step_by(step as usize)
+            .map(|i| stream.frame_at_cached(i, cache))
+            .collect();
         self.next_index = last;
         collected
     }
@@ -484,6 +641,46 @@ mod tests {
     #[should_panic(expected = "step must be positive")]
     fn zero_step_panics() {
         let _ = stream().frames_between(0.0, 1.0, 0);
+    }
+
+    #[test]
+    fn cached_generation_is_bit_identical_to_uncached() {
+        // Spans several segments (context changes) of a drifting scenario, so
+        // the cache sees hits, misses, and context switches.
+        let s = FrameStream::new(&Scenario::es1(), StreamConfig::default());
+        let mut cache = CenterCache::new();
+        for i in (0..s.num_frames()).step_by(311) {
+            assert_eq!(s.frame_at_cached(i, &mut cache), s.frame_at(i), "frame {i}");
+        }
+        assert!(cache.contexts_cached() >= 2, "ES1 drifts across contexts");
+
+        assert_eq!(
+            s.frames_between_cached(5.0, 65.0, 7, &mut cache),
+            s.frames_between(5.0, 65.0, 7)
+        );
+
+        let mut plain = s.cursor_at(30.0);
+        let mut cached = s.cursor_at(30.0);
+        assert_eq!(
+            cached.frames_until_cached(&s, 90.0, 3, &mut cache),
+            plain.frames_until(&s, 90.0, 3)
+        );
+        assert_eq!(cached, plain);
+    }
+
+    #[test]
+    fn center_cache_resets_when_the_stream_config_changes() {
+        let a = stream();
+        let b = FrameStream::new(
+            &Scenario::s1(),
+            StreamConfig { seed: 999, ..StreamConfig::default() },
+        );
+        let mut cache = CenterCache::new();
+        // Warm the cache on stream `a`, then reuse it on `b`: the config
+        // mismatch must flush the stale centres, not serve them.
+        let _ = a.frame_at_cached(0, &mut cache);
+        assert_eq!(b.frame_at_cached(0, &mut cache), b.frame_at(0));
+        assert_eq!(a.frame_at_cached(0, &mut cache), a.frame_at(0));
     }
 
     #[test]

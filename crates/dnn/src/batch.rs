@@ -1,0 +1,388 @@
+//! Scratch-reuse and stacked-dispatch training.
+//!
+//! The continuous-learning loop retrains a small MLP thousands of times per
+//! simulated run; with the naive path every forward/backward pass allocates
+//! operand clones, quantised copies, transposes, and gradient matrices. This
+//! module holds the data-oriented alternative:
+//!
+//! * [`TrainScratch`] — one arena of reusable matrices plus a packed-GEMM
+//!   [`Workspace`] covering everything a forward/backward pass needs. Buffers
+//!   grow to the high-water mark of the shapes they see and are then reused,
+//!   so steady-state training steps perform no heap allocation in the kernel
+//!   path. A scratch carries no numeric state between calls (every pass fully
+//!   overwrites what it reads), so sharing one across models cannot change
+//!   results — which is exactly what stacked dispatch exploits.
+//! * [`StackedJob`] / [`train_stacked`] — the per-window batched dispatch the
+//!   cluster executor uses: when several co-resident sessions retrain in the
+//!   same scheduling window, their jobs are submitted as one stack sharing a
+//!   single arena, amortising per-camera dispatch into per-window dispatch.
+//!   Jobs run back to back over the shared scratch (each session trains its
+//!   own weights, so fusing across jobs into one GEMM would merely pad a
+//!   block-diagonal operand with zeros); results are bit-identical to
+//!   unbatched per-session retraining by construction, and property tests
+//!   enforce it.
+//!
+//! Bit-identity with the allocating reference path is the design constraint
+//! throughout: the packed kernels accumulate in the same order as the naive
+//! loops, the ReLU backward uses the same multiply form as the mask-and-
+//! hadamard reference, and the MX paths quantise exactly the operands the
+//! reference quantises.
+
+use crate::layer::{Activation, Dense};
+use crate::mlp::TrainReport;
+use crate::{DnnError, Mlp, Result};
+use dacapo_mx::MxPrecision;
+use dacapo_tensor::{ops, quant, Matrix, TensorError, Workspace};
+
+/// Per-layer reusable matrices for one forward/backward pass.
+#[derive(Debug, Clone)]
+pub(crate) struct LayerScratch {
+    /// Quantised layer input (the MX forward cache; unused in FP32 mode).
+    pub(crate) x_q: Matrix,
+    /// Pre-activation output (the activation-derivative cache).
+    pub(crate) pre: Matrix,
+    /// Upstream gradient after the activation derivative.
+    pub(crate) delta: Matrix,
+    /// Transposed cached input (for the weight gradient GEMM).
+    pub(crate) input_t: Matrix,
+    /// Transposed weights (for the input gradient GEMM).
+    pub(crate) w_t: Matrix,
+    /// Weight gradient.
+    pub(crate) d_w: Matrix,
+    /// Bias gradient.
+    pub(crate) d_b: Matrix,
+    /// Input gradient — the next (shallower) layer's upstream.
+    pub(crate) d_x: Matrix,
+}
+
+impl LayerScratch {
+    fn fresh() -> Self {
+        Self {
+            x_q: Matrix::identity(1),
+            pre: Matrix::identity(1),
+            delta: Matrix::identity(1),
+            input_t: Matrix::identity(1),
+            w_t: Matrix::identity(1),
+            d_w: Matrix::identity(1),
+            d_b: Matrix::identity(1),
+            d_x: Matrix::identity(1),
+        }
+    }
+}
+
+/// Reusable arena for allocation-free MLP training and evaluation.
+///
+/// Holds the packed-GEMM workspace, the gathered feature batch, per-layer
+/// activations, and per-layer backward scratch. One scratch serves any
+/// sequence of networks and batch shapes; see the [module docs](self) for
+/// why sharing is sound.
+#[derive(Debug, Clone)]
+pub struct TrainScratch {
+    pub(crate) ws: Workspace,
+    pub(crate) features: Matrix,
+    pub(crate) grad: Matrix,
+    pub(crate) acts: Vec<Matrix>,
+    pub(crate) layers: Vec<LayerScratch>,
+}
+
+impl TrainScratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            ws: Workspace::new(),
+            features: Matrix::identity(1),
+            grad: Matrix::identity(1),
+            acts: Vec::new(),
+            layers: Vec::new(),
+        }
+    }
+
+    /// Grows the per-layer slots to cover a network of `layers` layers.
+    pub(crate) fn ensure(&mut self, layers: usize) {
+        if self.acts.len() < layers {
+            self.acts.resize_with(layers, || Matrix::identity(1));
+        }
+        if self.layers.len() < layers {
+            self.layers.resize_with(layers, LayerScratch::fresh);
+        }
+    }
+}
+
+impl Default for TrainScratch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Forward pass through `layers`, writing activation `i` into `acts[i]` and
+/// per-layer caches into `lscr`. Bit-identical to the allocating
+/// `Dense::forward` chain.
+pub(crate) fn forward_pass(
+    layers: &[Dense],
+    x0: &Matrix,
+    precision: Option<MxPrecision>,
+    ws: &mut Workspace,
+    acts: &mut [Matrix],
+    lscr: &mut [LayerScratch],
+) -> Result<()> {
+    for (i, layer) in layers.iter().enumerate() {
+        let (done, rest) = acts.split_at_mut(i);
+        let x: &Matrix = if i == 0 { x0 } else { &done[i - 1] };
+        if x.cols() != layer.input_dim() {
+            return Err(DnnError::DimensionMismatch { expected: layer.input_dim(), got: x.cols() });
+        }
+        let scr = &mut lscr[i];
+        match precision {
+            Some(p) => {
+                quant::quantize_rows_into(x, p, &mut scr.x_q)?;
+                quant::mx_matmul_prequant_into(&scr.x_q, layer.weights_ref(), p, &mut scr.pre, ws)?;
+            }
+            None => ops::matmul_into(x, layer.weights_ref(), &mut scr.pre, ws)?,
+        }
+        ops::add_row_broadcast_inplace(&mut scr.pre, layer.bias_ref())?;
+        let out = &mut rest[0];
+        match layer.activation_kind() {
+            Activation::Relu => {
+                let (rows, cols) = scr.pre.shape();
+                out.reset_to(rows, cols)?;
+                for (o, &v) in out.as_mut_slice().iter_mut().zip(scr.pre.as_slice()) {
+                    *o = v.max(0.0);
+                }
+            }
+            Activation::Linear => out.copy_from(&scr.pre),
+        }
+    }
+    Ok(())
+}
+
+/// Backward pass with immediate SGD application, mirroring the allocating
+/// `Dense::backward` + `apply_gradients` sequence layer by layer (gradients
+/// for layer `i` are always computed against pre-update weights).
+// The arguments are the disjoint fields of a destructured `TrainScratch`:
+// bundling them back into a struct would re-merge borrows the caller
+// deliberately splits.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn backward_pass(
+    layers: &mut [Dense],
+    x0: &Matrix,
+    grad: &Matrix,
+    precision: Option<MxPrecision>,
+    learning_rate: f32,
+    ws: &mut Workspace,
+    acts: &[Matrix],
+    lscr: &mut [LayerScratch],
+) -> Result<()> {
+    let depth = layers.len();
+    for i in (0..depth).rev() {
+        let (shallow, deep) = lscr.split_at_mut(i + 1);
+        let upstream: &Matrix = if i + 1 == depth { grad } else { &deep[0].d_x };
+        let LayerScratch { x_q, pre, delta, input_t, w_t, d_w, d_b, d_x } = &mut shallow[i];
+        let layer = &mut layers[i];
+        match layer.activation_kind() {
+            Activation::Relu => {
+                if upstream.shape() != pre.shape() {
+                    return Err(TensorError::ShapeMismatch {
+                        op: "hadamard",
+                        left: upstream.shape(),
+                        right: pre.shape(),
+                    }
+                    .into());
+                }
+                let (rows, cols) = pre.shape();
+                delta.reset_to(rows, cols)?;
+                // Multiply by a 1.0/0.0 factor (not a branch) for bitwise
+                // parity with hadamard(upstream, mask), signed zeros included.
+                for ((d, &u), &p) in
+                    delta.as_mut_slice().iter_mut().zip(upstream.as_slice()).zip(pre.as_slice())
+                {
+                    *d = u * (if p > 0.0 { 1.0 } else { 0.0 });
+                }
+            }
+            Activation::Linear => delta.copy_from(upstream),
+        }
+        let x_input: &Matrix = match precision {
+            Some(_) => x_q,
+            None => {
+                if i == 0 {
+                    x0
+                } else {
+                    &acts[i - 1]
+                }
+            }
+        };
+        // Layer 0's input gradient has no consumer, so its `w_t` transpose
+        // and `δ · wᵀ` GEMM are skipped entirely; weights are unaffected.
+        match precision {
+            Some(p) => {
+                ops::transpose_into(x_input, input_t);
+                quant::mx_matmul_into(input_t, delta, p, d_w, ws)?;
+                if i > 0 {
+                    ops::transpose_into(layer.weights_ref(), w_t);
+                    quant::mx_matmul_into(delta, w_t, p, d_x, ws)?;
+                }
+            }
+            None => {
+                // FP32 takes the transpose-free weight-gradient kernel:
+                // `xᵀ · δ` accumulates in the same order as the transposed
+                // GEMM (property-tested), so `input_t` is never built.
+                ops::matmul_at_b(x_input, delta, d_w, ws)?;
+                if i > 0 {
+                    ops::transpose_into(layer.weights_ref(), w_t);
+                    ops::matmul_into(delta, w_t, d_x, ws)?;
+                }
+            }
+        }
+        ops::sum_rows_into(delta, d_b);
+        layer.apply_gradients_raw(d_w, d_b, learning_rate)?;
+    }
+    Ok(())
+}
+
+/// One session's retraining work, as submitted to the per-window stacked
+/// dispatch.
+#[derive(Debug)]
+pub struct StackedJob<'a> {
+    /// The network to train (each job owns distinct weights).
+    pub net: &'a mut Mlp,
+    /// Feature rows of the training batch.
+    pub rows: Vec<&'a [f32]>,
+    /// Class labels, one per row.
+    pub labels: Vec<usize>,
+    /// Number of passes over the batch.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// SGD learning rate.
+    pub learning_rate: f32,
+}
+
+/// Runs a stack of retraining jobs through one shared arena.
+///
+/// This is the cluster's per-window batched dispatch: jobs execute back to
+/// back over `scratch`, so the whole window performs a single dispatch and
+/// zero steady-state allocation regardless of how many sessions retrain.
+/// Each job is bit-identical to calling [`Mlp::train_rows_with`] for that
+/// session alone — the arena carries no numeric state between jobs.
+///
+/// # Errors
+///
+/// Propagates the first failing job's error; earlier jobs in the stack have
+/// already been applied, later ones have not run.
+pub fn train_stacked(
+    jobs: &mut [StackedJob<'_>],
+    scratch: &mut TrainScratch,
+) -> Result<Vec<TrainReport>> {
+    let mut reports = Vec::with_capacity(jobs.len());
+    for job in jobs.iter_mut() {
+        reports.push(job.net.train_rows_with(
+            &job.rows,
+            &job.labels,
+            job.epochs,
+            job.batch_size,
+            job.learning_rate,
+            scratch,
+        )?);
+    }
+    Ok(reports)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MlpConfig, QuantMode};
+    use dacapo_tensor::init;
+
+    fn config(mode: QuantMode) -> MlpConfig {
+        MlpConfig {
+            input_dim: 10,
+            hidden: vec![12, 8],
+            num_classes: 4,
+            inference_mode: mode,
+            training_mode: mode,
+            seed: 21,
+        }
+    }
+
+    fn data(n: usize, seed: u64) -> (Matrix, Vec<usize>) {
+        let features = init::uniform(n, 10, -1.0, 1.0, seed).unwrap();
+        let labels = (0..n).map(|i| i % 4).collect();
+        (features, labels)
+    }
+
+    #[test]
+    fn stacked_jobs_are_bit_identical_to_sequential_training() {
+        for mode in [QuantMode::Fp32, QuantMode::Mx(dacapo_mx::MxPrecision::Mx9)] {
+            let (features, labels) = data(24, 91);
+            let (features2, labels2) = data(17, 92);
+            let mut solo_a = Mlp::new(config(mode)).unwrap();
+            let mut solo_b = Mlp::new(MlpConfig { seed: 22, ..config(mode) }).unwrap();
+            let mut stacked_a = solo_a.clone();
+            let mut stacked_b = solo_b.clone();
+
+            solo_a.train(&features, &labels, 2, 8, 0.05).unwrap();
+            solo_b.train(&features2, &labels2, 3, 8, 0.05).unwrap();
+
+            let rows: Vec<&[f32]> = features.iter_rows().collect();
+            let rows2: Vec<&[f32]> = features2.iter_rows().collect();
+            let mut jobs = [
+                StackedJob {
+                    net: &mut stacked_a,
+                    rows,
+                    labels: labels.clone(),
+                    epochs: 2,
+                    batch_size: 8,
+                    learning_rate: 0.05,
+                },
+                StackedJob {
+                    net: &mut stacked_b,
+                    rows: rows2,
+                    labels: labels2.clone(),
+                    epochs: 3,
+                    batch_size: 8,
+                    learning_rate: 0.05,
+                },
+            ];
+            let mut scratch = TrainScratch::new();
+            train_stacked(&mut jobs, &mut scratch).unwrap();
+
+            assert_eq!(stacked_a, solo_a);
+            assert_eq!(stacked_b, solo_b);
+        }
+    }
+
+    #[test]
+    fn shared_scratch_carries_no_state_between_jobs() {
+        // Training an unrelated large job first must not perturb a later job.
+        let mode = QuantMode::Mx(dacapo_mx::MxPrecision::Mx6);
+        let (features, labels) = data(24, 93);
+        let mut fresh = Mlp::new(config(mode)).unwrap();
+        let mut reused = fresh.clone();
+
+        let mut fresh_scratch = TrainScratch::new();
+        let rows: Vec<&[f32]> = features.iter_rows().collect();
+        fresh.train_rows_with(&rows, &labels, 2, 8, 0.05, &mut fresh_scratch).unwrap();
+
+        let mut dirty_scratch = TrainScratch::new();
+        let (other_features, other_labels) = data(40, 94);
+        let mut other = Mlp::new(MlpConfig { seed: 77, ..config(mode) }).unwrap();
+        let other_rows: Vec<&[f32]> = other_features.iter_rows().collect();
+        other.train_rows_with(&other_rows, &other_labels, 1, 16, 0.1, &mut dirty_scratch).unwrap();
+        reused.train_rows_with(&rows, &labels, 2, 8, 0.05, &mut dirty_scratch).unwrap();
+
+        assert_eq!(reused, fresh);
+    }
+
+    #[test]
+    fn evaluate_rows_matches_allocating_evaluate() {
+        for mode in [QuantMode::Fp32, QuantMode::Mx(dacapo_mx::MxPrecision::Mx6)] {
+            let (features, labels) = data(15, 95);
+            let net = Mlp::new(config(mode)).unwrap();
+            let rows: Vec<&[f32]> = features.iter_rows().collect();
+            let mut scratch = TrainScratch::new();
+            let with_scratch = net.evaluate_rows_with(&rows, &labels, &mut scratch).unwrap();
+            let reference = net.evaluate(&features, &labels).unwrap();
+            assert!(with_scratch.to_bits() == reference.to_bits());
+        }
+    }
+}

@@ -194,9 +194,32 @@ impl Dense {
     ///
     /// Returns an error if the gradient shapes do not match the parameters.
     pub fn apply_gradients(&mut self, grads: &Gradients, learning_rate: f32) -> Result<()> {
-        ops::axpy(&mut self.weights, -learning_rate, &grads.weights)?;
-        ops::axpy(&mut self.bias, -learning_rate, &grads.bias)?;
+        self.apply_gradients_raw(&grads.weights, &grads.bias, learning_rate)
+    }
+
+    /// SGD step on borrowed gradient matrices (the scratch-reuse training
+    /// path owns no `Gradients` struct).
+    pub(crate) fn apply_gradients_raw(
+        &mut self,
+        d_weights: &Matrix,
+        d_bias: &Matrix,
+        learning_rate: f32,
+    ) -> Result<()> {
+        ops::axpy(&mut self.weights, -learning_rate, d_weights)?;
+        ops::axpy(&mut self.bias, -learning_rate, d_bias)?;
         Ok(())
+    }
+
+    pub(crate) fn weights_ref(&self) -> &Matrix {
+        &self.weights
+    }
+
+    pub(crate) fn bias_ref(&self) -> &Matrix {
+        &self.bias
+    }
+
+    pub(crate) fn activation_kind(&self) -> Activation {
+        self.activation
     }
 }
 

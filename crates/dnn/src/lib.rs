@@ -21,6 +21,7 @@
 //! workloads (inference, labeling, retraining) that Section III-B of the
 //! paper characterises.
 
+pub mod batch;
 mod error;
 pub mod layer;
 pub mod loss;
@@ -29,6 +30,7 @@ mod teacher;
 pub mod workload;
 pub mod zoo;
 
+pub use batch::{train_stacked, StackedJob, TrainScratch};
 pub use error::DnnError;
 pub use layer::{Activation, Dense};
 pub use mlp::{Mlp, MlpConfig, QuantMode, TrainReport};

@@ -43,6 +43,52 @@ pub fn cross_entropy(logits: &Matrix, labels: &[usize]) -> Result<(f32, Matrix)>
     Ok((loss / batch, grad))
 }
 
+/// [`cross_entropy`] into a reusable gradient matrix: same loss, same
+/// gradient, no allocation.
+///
+/// Fuses the softmax, the label subtraction, and the `1/batch` scaling into
+/// one pass per row. Every element still goes through the identical
+/// arithmetic sequence (`exp(x - max)`, `/ sum`, `- 1` at the label,
+/// `× 1/batch`), so loss and gradient are bit-identical to the allocating
+/// form — the training loop relies on that when it swaps this in.
+///
+/// # Errors
+///
+/// Returns [`DnnError::InvalidLabels`] under the same conditions as
+/// [`cross_entropy`].
+pub fn cross_entropy_into(logits: &Matrix, labels: &[usize], grad: &mut Matrix) -> Result<f32> {
+    validate_labels(logits, labels)?;
+    let (rows, cols) = logits.shape();
+    let batch = rows as f32;
+    let inv_batch = 1.0 / batch;
+    grad.reset_to(rows, cols).map_err(crate::DnnError::from)?;
+    let src = logits.as_slice();
+    let dst = grad.as_mut_slice();
+    let mut loss = 0.0f32;
+    for (i, &label) in labels.iter().enumerate() {
+        let row = &src[i * cols..(i + 1) * cols];
+        let out = &mut dst[i * cols..(i + 1) * cols];
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0f32;
+        for (o, &v) in out.iter_mut().zip(row) {
+            *o = (v - max).exp();
+            sum += *o;
+        }
+        if sum > 0.0 {
+            for o in out.iter_mut() {
+                *o /= sum;
+            }
+        }
+        let p = out[label].max(1e-12);
+        loss -= p.ln();
+        out[label] -= 1.0;
+        for o in out.iter_mut() {
+            *o *= inv_batch;
+        }
+    }
+    Ok(loss / batch)
+}
+
 /// Fraction of rows whose argmax matches the label.
 ///
 /// # Errors
@@ -93,6 +139,22 @@ mod tests {
         let logits = Matrix::from_rows(&[&[10.0, -10.0, -10.0]]).unwrap();
         let (loss, _) = cross_entropy(&logits, &[1]).unwrap();
         assert!(loss > 5.0);
+    }
+
+    #[test]
+    fn fused_cross_entropy_is_bit_identical_to_allocating() {
+        let logits = Matrix::from_rows(&[
+            &[0.5, -1.0, 2.0, 0.25],
+            &[3.0, 0.0, -3.0, 1.5],
+            &[-0.75, 0.1, 0.9, -2.0],
+        ])
+        .unwrap();
+        let labels = [2usize, 0, 3];
+        let (loss, grad) = cross_entropy(&logits, &labels).unwrap();
+        let mut fused = Matrix::zeros(1, 1).unwrap();
+        let fused_loss = cross_entropy_into(&logits, &labels, &mut fused).unwrap();
+        assert_eq!(fused_loss.to_bits(), loss.to_bits());
+        assert_eq!(fused, grad);
     }
 
     #[test]

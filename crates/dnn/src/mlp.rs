@@ -1,6 +1,7 @@
 //! The trainable student network: a multi-layer perceptron with SGD and
 //! optional MX fake-quantisation.
 
+use crate::batch::{backward_pass, forward_pass, TrainScratch};
 use crate::layer::{Activation, Dense, ForwardCache};
 use crate::{loss, DnnError, Result};
 use dacapo_mx::MxPrecision;
@@ -232,17 +233,53 @@ impl Mlp {
         batch_size: usize,
         learning_rate: f32,
     ) -> Result<TrainReport> {
-        if batch_size == 0 || epochs == 0 {
-            return Err(DnnError::InvalidConfig {
-                reason: "epochs and batch size must be positive".into(),
-            });
-        }
         if labels.len() != features.rows() {
             return Err(DnnError::InvalidLabels {
                 reason: format!("{} labels for {} feature rows", labels.len(), features.rows()),
             });
         }
+        let rows: Vec<&[f32]> = features.iter_rows().collect();
+        self.train_rows_with(
+            &rows,
+            labels,
+            epochs,
+            batch_size,
+            learning_rate,
+            &mut TrainScratch::new(),
+        )
+    }
+
+    /// Retrains on a slice of feature rows through a reusable
+    /// [`TrainScratch`] arena — the allocation-free path the cluster's
+    /// stacked per-window dispatch uses. Bit-identical to [`Mlp::train`] on
+    /// the same data.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on dimension or label mismatches, or if `batch_size`
+    /// or `epochs` is zero.
+    pub fn train_rows_with(
+        &mut self,
+        rows: &[&[f32]],
+        labels: &[usize],
+        epochs: usize,
+        batch_size: usize,
+        learning_rate: f32,
+        scratch: &mut TrainScratch,
+    ) -> Result<TrainReport> {
+        if batch_size == 0 || epochs == 0 {
+            return Err(DnnError::InvalidConfig {
+                reason: "epochs and batch size must be positive".into(),
+            });
+        }
+        if labels.len() != rows.len() {
+            return Err(DnnError::InvalidLabels {
+                reason: format!("{} labels for {} feature rows", labels.len(), rows.len()),
+            });
+        }
         let precision = self.config.training_mode.precision();
+        scratch.ensure(self.layers.len());
+        let TrainScratch { ws, features, grad, acts, layers: lscr } = scratch;
         let mut total_loss = 0.0f64;
         let mut total_correct = 0usize;
         let mut total_samples = 0usize;
@@ -250,29 +287,30 @@ impl Mlp {
 
         for _epoch in 0..epochs {
             let mut start = 0usize;
-            while start < features.rows() {
-                let end = (start + batch_size).min(features.rows());
-                let batch_rows: Vec<&[f32]> = (start..end).map(|r| features.row(r)).collect();
-                let batch = Matrix::from_rows(&batch_rows)?;
+            while start < rows.len() {
+                let end = (start + batch_size).min(rows.len());
+                features.copy_rows_from(&rows[start..end])?;
                 let batch_labels = &labels[start..end];
 
-                let (logits, caches) =
-                    self.forward_with_caches(&batch, self.config.training_mode)?;
-                let (batch_loss, grad) = loss::cross_entropy(&logits, batch_labels)?;
+                forward_pass(&self.layers, features, precision, ws, acts, lscr)?;
+                let logits = &acts[self.layers.len() - 1];
+                let batch_loss = loss::cross_entropy_into(logits, batch_labels, grad)?;
                 total_loss += f64::from(batch_loss);
-                total_correct += (loss::accuracy(&logits, batch_labels)?
-                    * batch_labels.len() as f32)
+                total_correct += (loss::accuracy(logits, batch_labels)? * batch_labels.len() as f32)
                     .round() as usize;
                 total_samples += batch_labels.len();
                 batches += 1;
 
-                // Backpropagate through the layers in reverse order.
-                let mut upstream = grad;
-                for (layer, cache) in self.layers.iter_mut().zip(caches.iter()).rev() {
-                    let grads = layer.backward(cache, &upstream, precision)?;
-                    layer.apply_gradients(&grads, learning_rate)?;
-                    upstream = grads.input;
-                }
+                backward_pass(
+                    &mut self.layers,
+                    features,
+                    grad,
+                    precision,
+                    learning_rate,
+                    ws,
+                    acts,
+                    lscr,
+                )?;
                 start = end;
             }
         }
@@ -281,6 +319,33 @@ impl Mlp {
             accuracy: total_correct as f32 / total_samples.max(1) as f32,
             samples_processed: total_samples,
         })
+    }
+
+    /// Classification accuracy on a slice of feature rows through a reusable
+    /// [`TrainScratch`] arena, using the configured inference mode.
+    /// Bit-identical to [`Mlp::evaluate`] on the same data.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on dimension or label mismatches.
+    pub fn evaluate_rows_with(
+        &self,
+        rows: &[&[f32]],
+        labels: &[usize],
+        scratch: &mut TrainScratch,
+    ) -> Result<f32> {
+        scratch.ensure(self.layers.len());
+        let TrainScratch { ws, features, acts, layers: lscr, .. } = scratch;
+        features.copy_rows_from(rows)?;
+        forward_pass(
+            &self.layers,
+            features,
+            self.config.inference_mode.precision(),
+            ws,
+            acts,
+            lscr,
+        )?;
+        loss::accuracy(&acts[self.layers.len() - 1], labels)
     }
 }
 

@@ -487,11 +487,7 @@ fn parse_impl(file: &SourceFile, at: usize, end: usize, out: &mut ParsedFile) ->
 
 /// Collects `name(..)` invocations and `Enum::Variant` paths in a body
 /// token range.
-fn extract_calls(
-    tokens: &[Token],
-    start: usize,
-    end: usize,
-) -> (Vec<CallSite>, Vec<VariantPath>) {
+fn extract_calls(tokens: &[Token], start: usize, end: usize) -> (Vec<CallSite>, Vec<VariantPath>) {
     let mut calls = Vec::new();
     let mut paths = Vec::new();
     for k in start..end.min(tokens.len()) {

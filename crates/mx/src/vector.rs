@@ -81,6 +81,38 @@ impl MxVector {
         Ok(Self::encode(values, precision)?.decode())
     }
 
+    /// Allocation-free fake quantisation: encode/decode each 16-element block
+    /// on the stack and write the round-tripped values into `out`.
+    ///
+    /// Produces exactly the values [`MxVector::quantize`] would, without heap
+    /// traffic — this is the entry point the hot retraining GEMMs use.
+    ///
+    /// # Errors
+    ///
+    /// Same error conditions as [`MxVector::encode`], plus
+    /// [`MxError::LengthMismatch`] if `out.len() != values.len()`.
+    pub fn quantize_into(values: &[f32], precision: MxPrecision, out: &mut [f32]) -> Result<()> {
+        if values.is_empty() {
+            return Err(MxError::EmptyInput);
+        }
+        if out.len() != values.len() {
+            return Err(MxError::LengthMismatch { left: values.len(), right: out.len() });
+        }
+        for (block_idx, (chunk, out_chunk)) in
+            values.chunks(BLOCK_SIZE).zip(out.chunks_mut(BLOCK_SIZE)).enumerate()
+        {
+            let block =
+                MxBlock::encode(chunk, precision, RoundingMode::Nearest).map_err(|e| match e {
+                    MxError::NonFiniteInput { index, value } => {
+                        MxError::NonFiniteInput { index: block_idx * BLOCK_SIZE + index, value }
+                    }
+                    other => other,
+                })?;
+            out_chunk.copy_from_slice(&block.decode()[..chunk.len()]);
+        }
+        Ok(())
+    }
+
     /// Decodes the vector back to `f32`, dropping block padding.
     #[must_use]
     pub fn decode(&self) -> Vec<f32> {
@@ -217,6 +249,36 @@ mod tests {
         let q = MxVector::quantize(&data, MxPrecision::Mx6).unwrap();
         let v = MxVector::encode(&data, MxPrecision::Mx6).unwrap();
         assert_eq!(q, v.decode());
+    }
+
+    #[test]
+    fn quantize_into_matches_quantize() {
+        for len in [1usize, 15, 16, 17, 33, 100] {
+            let data: Vec<f32> = (0..len).map(|i| (i as f32) * 0.17 - 3.1).collect();
+            let mut out = vec![0.0f32; len];
+            for precision in [MxPrecision::Mx4, MxPrecision::Mx6, MxPrecision::Mx9] {
+                MxVector::quantize_into(&data, precision, &mut out).unwrap();
+                assert_eq!(out, MxVector::quantize(&data, precision).unwrap());
+            }
+        }
+    }
+
+    #[test]
+    fn quantize_into_validates_lengths() {
+        let mut short = [0.0f32; 3];
+        assert!(matches!(
+            MxVector::quantize_into(&[1.0; 4], MxPrecision::Mx6, &mut short),
+            Err(MxError::LengthMismatch { left: 4, right: 3 })
+        ));
+        assert_eq!(
+            MxVector::quantize_into(&[], MxPrecision::Mx6, &mut []),
+            Err(MxError::EmptyInput)
+        );
+        let mut out = [0.0f32; 2];
+        match MxVector::quantize_into(&[1.0, f32::NAN], MxPrecision::Mx6, &mut out) {
+            Err(MxError::NonFiniteInput { index, .. }) => assert_eq!(index, 1),
+            other => panic!("expected NonFiniteInput, got {other:?}"),
+        }
     }
 
     #[test]

@@ -28,9 +28,11 @@ pub mod init;
 mod matrix;
 pub mod ops;
 pub mod quant;
+mod workspace;
 
 pub use error::TensorError;
 pub use matrix::Matrix;
+pub use workspace::{MatrixSlot, Workspace, K_BLOCK};
 
 /// Result alias used throughout this crate.
 pub type Result<T> = std::result::Result<T, TensorError>;

@@ -126,6 +126,65 @@ impl Matrix {
         Ok(m)
     }
 
+    /// The smallest valid matrix (1×1 zero), used to seed reusable slots.
+    pub(crate) fn unit() -> Self {
+        Self { rows: 1, cols: 1, data: vec![0.0] }
+    }
+
+    /// Resizes the matrix to `rows`×`cols` and zero-fills it, reusing the
+    /// backing storage — the reset primitive of the scratch-reuse path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidDimension`] if either dimension is zero.
+    pub fn reset_to(&mut self, rows: usize, cols: usize) -> Result<()> {
+        if rows == 0 || cols == 0 {
+            return Err(TensorError::InvalidDimension { rows, cols });
+        }
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+        Ok(())
+    }
+
+    /// Copies another matrix's shape and contents into this one, reusing the
+    /// backing storage (the non-allocating counterpart of `clone`).
+    pub fn copy_from(&mut self, other: &Matrix) {
+        self.rows = other.rows;
+        self.cols = other.cols;
+        self.data.clear();
+        self.data.extend_from_slice(&other.data);
+    }
+
+    /// Resizes the matrix to match the shape of `rows` and copies them in,
+    /// reusing the backing storage (the reusable counterpart of
+    /// [`Matrix::from_rows`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidDimension`] for an empty slice or empty
+    /// rows, and [`TensorError::DataLengthMismatch`] if the rows have
+    /// unequal lengths.
+    pub fn copy_rows_from(&mut self, rows: &[&[f32]]) -> Result<()> {
+        if rows.is_empty() || rows[0].is_empty() {
+            return Err(TensorError::InvalidDimension { rows: rows.len(), cols: 0 });
+        }
+        let cols = rows[0].len();
+        // Validate before mutating so a failed copy leaves the matrix intact.
+        if let Some(bad) = rows.iter().find(|row| row.len() != cols) {
+            return Err(TensorError::DataLengthMismatch { expected: cols, got: bad.len() });
+        }
+        self.data.clear();
+        self.data.reserve(rows.len() * cols);
+        for row in rows {
+            self.data.extend_from_slice(row);
+        }
+        self.rows = rows.len();
+        self.cols = cols;
+        Ok(())
+    }
+
     /// Number of rows.
     #[must_use]
     pub fn rows(&self) -> usize {

@@ -1,8 +1,20 @@
 //! Matrix operations: GEMM, transpose, elementwise ops and reductions.
+//!
+//! The GEMM family comes in two layers: allocating conveniences
+//! ([`matmul`]) and the packed, allocation-free kernels ([`matmul_into`])
+//! that the hot retraining path uses with a reusable
+//! [`Workspace`]. Both produce bit-identical results:
+//! every output element accumulates its products in strictly ascending
+//! reduction order, so blocking and packing change memory traffic, never
+//! arithmetic.
 
-use crate::{Matrix, Result, TensorError};
+use crate::workspace::K_BLOCK;
+use crate::{Matrix, Result, TensorError, Workspace};
 
 /// Matrix multiplication `A (m×k) · B (k×n) → C (m×n)` in `f32`.
+///
+/// Allocating convenience wrapper over [`matmul_into`]; results are
+/// bit-identical to the packed kernel and to [`matmul_reference`].
 ///
 /// # Errors
 ///
@@ -23,28 +35,391 @@ use crate::{Matrix, Result, TensorError};
 /// # }
 /// ```
 pub fn matmul(a: &Matrix, b: &Matrix) -> Result<Matrix> {
+    let mut ws = Workspace::new();
+    let mut out = Matrix::unit();
+    matmul_into(a, b, &mut out, &mut ws)?;
+    Ok(out)
+}
+
+/// Blocked, packed GEMM writing into a reusable output matrix.
+///
+/// The kernel tiles the reduction dimension into [`K_BLOCK`]-wide blocks,
+/// packs each block of `B` into the workspace panel (dense, contiguous by
+/// reduction index), and runs an i-k-j inner loop over the panel. Every
+/// output element still accumulates its `k` products in ascending order, so
+/// the result is bit-identical to the naive triple loop
+/// ([`matmul_reference`]); the blocking only improves locality and lets the
+/// caller amortise all allocations through `ws` and `out`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if `A.cols() != B.rows()`.
+pub fn matmul_into(a: &Matrix, b: &Matrix, out: &mut Matrix, ws: &mut Workspace) -> Result<()> {
+    if a.cols() != b.rows() {
+        return Err(TensorError::ShapeMismatch { op: "matmul", left: a.shape(), right: b.shape() });
+    }
+    let (m, k) = a.shape();
+    let n = b.cols();
+    out.reset_to(m, n)?;
+    for kb in (0..k).step_by(K_BLOCK) {
+        let kc = K_BLOCK.min(k - kb);
+        pack_panel(&mut ws.panel, b, kb, kc);
+        accumulate_panel(a.as_slice(), k, kb, kc, &ws.panel, out);
+    }
+    Ok(())
+}
+
+/// Naive triple-loop GEMM kept as the bit-identity reference for the packed
+/// kernels (property tests assert `matmul_into == matmul_reference`).
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if `A.cols() != B.rows()`.
+pub fn matmul_reference(a: &Matrix, b: &Matrix) -> Result<Matrix> {
     if a.cols() != b.rows() {
         return Err(TensorError::ShapeMismatch { op: "matmul", left: a.shape(), right: b.shape() });
     }
     let (m, k) = a.shape();
     let n = b.cols();
     let mut out = Matrix::zeros(m, n)?;
-    // i-k-j loop order keeps the innermost accesses contiguous for row-major
-    // storage of both B and the output.
     for i in 0..m {
-        let a_row = a.row(i);
-        let out_row = out.row_mut(i);
-        for (kk, &a_ik) in a_row.iter().enumerate().take(k) {
-            if a_ik == 0.0 {
-                continue;
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            for kk in 0..k {
+                acc += a[(i, kk)] * b[(kk, j)];
             }
-            let b_row = b.row(kk);
-            for j in 0..n {
-                out_row[j] += a_ik * b_row[j];
-            }
+            out[(i, j)] = acc;
         }
     }
     Ok(out)
+}
+
+/// Copies rows `kb..kb + kc` of `b` into the packed panel (row-major by
+/// reduction index — for a row-major `B` this is one contiguous copy), then
+/// pads the panel with [`J_TILE`] zeros so the fixed-width tail kernel in
+/// [`accumulate_panel`] may read one full tile past the last row.
+pub(crate) fn pack_panel(panel: &mut Vec<f32>, b: &Matrix, kb: usize, kc: usize) {
+    let n = b.cols();
+    panel.clear();
+    panel.extend_from_slice(&b.as_slice()[kb * n..(kb + kc) * n]);
+    panel.resize(kc * n + J_TILE, 0.0);
+}
+
+/// Column-tile width of the register-accumulated inner kernel: two 16-lane
+/// f32 vectors on AVX-512, a handful of registers on narrower ISAs, and a
+/// whole tile for the common 32/64-wide hidden layers.
+pub(crate) const J_TILE: usize = 32;
+
+/// Rows processed together by the register-blocked inner kernel: enough
+/// independent accumulator chains to hide FMA latency without spilling the
+/// `I_TILE × J_TILE` accumulator block out of registers.
+pub(crate) const I_TILE: usize = 4;
+
+/// Accumulates one reduction block of the packed GEMM:
+/// `out[i][j] += sum_{kk} a[i][kb + kk] * panel[kk][j]`, with the panel
+/// rows visited in ascending reduction order.
+///
+/// The kernel walks the output in [`I_TILE`]`×`[`J_TILE`] register blocks:
+/// each block loads its current `out` values once, folds the whole
+/// reduction block in registers, and stores once. The `I_TILE` rows share
+/// every panel load and give the CPU that many independent
+/// accumulator chains per column vector, so the loop is throughput- rather
+/// than latency-bound. Per output element this performs *exactly* the same
+/// additions in the same order as updating memory after every product —
+/// blocking only changes which elements progress concurrently, never the
+/// reduction order within an element — so the result stays bit-identical
+/// to [`matmul_reference`].
+pub(crate) fn accumulate_panel(
+    a_data: &[f32],
+    k: usize,
+    kb: usize,
+    kc: usize,
+    panel: &[f32],
+    out: &mut Matrix,
+) {
+    let (m, n) = out.shape();
+    let out_data = out.as_mut_slice();
+    let mut i = 0;
+    while i + I_TILE <= m {
+        let a0 = &a_data[i * k + kb..i * k + kb + kc];
+        let a1 = &a_data[(i + 1) * k + kb..(i + 1) * k + kb + kc];
+        let a2 = &a_data[(i + 2) * k + kb..(i + 2) * k + kb + kc];
+        let a3 = &a_data[(i + 3) * k + kb..(i + 3) * k + kb + kc];
+        let mut jt = 0;
+        while jt + J_TILE <= n {
+            let mut acc = [[0.0f32; J_TILE]; I_TILE];
+            for (r, acc_row) in acc.iter_mut().enumerate() {
+                acc_row.copy_from_slice(&out_data[(i + r) * n + jt..(i + r) * n + jt + J_TILE]);
+            }
+            for kk in 0..kc {
+                let b_tile = &panel[kk * n + jt..kk * n + jt + J_TILE];
+                let (x0, x1, x2, x3) = (a0[kk], a1[kk], a2[kk], a3[kk]);
+                for (l, &bv) in b_tile.iter().enumerate() {
+                    acc[0][l] += x0 * bv;
+                    acc[1][l] += x1 * bv;
+                    acc[2][l] += x2 * bv;
+                    acc[3][l] += x3 * bv;
+                }
+            }
+            for (r, acc_row) in acc.iter().enumerate() {
+                out_data[(i + r) * n + jt..(i + r) * n + jt + J_TILE].copy_from_slice(acc_row);
+            }
+            jt += J_TILE;
+        }
+        let jw = n - jt;
+        if jw > J_TILE / 2 {
+            // Fixed-width kernel over the panel's zero padding: lanes past
+            // `jw` compute garbage that is never stored, keeping the loop
+            // vectorised at full width.
+            let mut acc = [[0.0f32; J_TILE]; I_TILE];
+            for (r, acc_row) in acc.iter_mut().enumerate() {
+                acc_row[..jw].copy_from_slice(&out_data[(i + r) * n + jt..(i + r + 1) * n]);
+            }
+            for kk in 0..kc {
+                let b_tile = &panel[kk * n + jt..kk * n + jt + J_TILE];
+                let (x0, x1, x2, x3) = (a0[kk], a1[kk], a2[kk], a3[kk]);
+                for (l, &bv) in b_tile.iter().enumerate() {
+                    acc[0][l] += x0 * bv;
+                    acc[1][l] += x1 * bv;
+                    acc[2][l] += x2 * bv;
+                    acc[3][l] += x3 * bv;
+                }
+            }
+            for (r, acc_row) in acc.iter().enumerate() {
+                out_data[(i + r) * n + jt..(i + r + 1) * n].copy_from_slice(&acc_row[..jw]);
+            }
+        } else if jw > 0 {
+            // Narrow tail (≤ half a tile, e.g. a 10-class logits column
+            // block): the half-width variant wastes far fewer dead lanes.
+            const H_TILE: usize = J_TILE / 2;
+            let mut acc = [[0.0f32; H_TILE]; I_TILE];
+            for (r, acc_row) in acc.iter_mut().enumerate() {
+                acc_row[..jw].copy_from_slice(&out_data[(i + r) * n + jt..(i + r + 1) * n]);
+            }
+            for kk in 0..kc {
+                let b_tile = &panel[kk * n + jt..kk * n + jt + H_TILE];
+                let (x0, x1, x2, x3) = (a0[kk], a1[kk], a2[kk], a3[kk]);
+                for (l, &bv) in b_tile.iter().enumerate() {
+                    acc[0][l] += x0 * bv;
+                    acc[1][l] += x1 * bv;
+                    acc[2][l] += x2 * bv;
+                    acc[3][l] += x3 * bv;
+                }
+            }
+            for (r, acc_row) in acc.iter().enumerate() {
+                out_data[(i + r) * n + jt..(i + r + 1) * n].copy_from_slice(&acc_row[..jw]);
+            }
+        }
+        i += I_TILE;
+    }
+    // Remaining < I_TILE rows: the single-row variant of the same kernel.
+    while i < m {
+        let a_row = &a_data[i * k + kb..i * k + kb + kc];
+        let mut jt = 0;
+        while jt + J_TILE <= n {
+            let mut acc = [0.0f32; J_TILE];
+            acc.copy_from_slice(&out_data[i * n + jt..i * n + jt + J_TILE]);
+            for (kk, &a_ik) in a_row.iter().enumerate() {
+                let b_tile = &panel[kk * n + jt..kk * n + jt + J_TILE];
+                for (o, &bv) in acc.iter_mut().zip(b_tile) {
+                    *o += a_ik * bv;
+                }
+            }
+            out_data[i * n + jt..i * n + jt + J_TILE].copy_from_slice(&acc);
+            jt += J_TILE;
+        }
+        let jw = n - jt;
+        if jw > J_TILE / 2 {
+            let mut acc = [0.0f32; J_TILE];
+            acc[..jw].copy_from_slice(&out_data[i * n + jt..(i + 1) * n]);
+            for (kk, &a_ik) in a_row.iter().enumerate() {
+                let b_tile = &panel[kk * n + jt..kk * n + jt + J_TILE];
+                for (o, &bv) in acc.iter_mut().zip(b_tile) {
+                    *o += a_ik * bv;
+                }
+            }
+            out_data[i * n + jt..(i + 1) * n].copy_from_slice(&acc[..jw]);
+        } else if jw > 0 {
+            const H_TILE: usize = J_TILE / 2;
+            let mut acc = [0.0f32; H_TILE];
+            acc[..jw].copy_from_slice(&out_data[i * n + jt..(i + 1) * n]);
+            for (kk, &a_ik) in a_row.iter().enumerate() {
+                let b_tile = &panel[kk * n + jt..kk * n + jt + H_TILE];
+                for (o, &bv) in acc.iter_mut().zip(b_tile) {
+                    *o += a_ik * bv;
+                }
+            }
+            out_data[i * n + jt..(i + 1) * n].copy_from_slice(&acc[..jw]);
+        }
+        i += 1;
+    }
+}
+
+/// `Aᵀ · B` into a reusable output, without materialising the transpose.
+///
+/// With `A` of shape `r×m` and `B` of shape `r×n`, computes the `m×n`
+/// product `C[i][j] = Σ_rr A[rr][i] · B[rr][j]` with the same packing,
+/// blocking, and register kernel as [`matmul_into`] — only the `A` operand
+/// is addressed column-wise instead of being materialised transposed. Per
+/// output element the products accumulate in ascending `rr` order, exactly
+/// the reduction order of `matmul(transpose(A), B)`, so the result is
+/// bit-identical to that two-step form (property-tested). This is the
+/// weight-gradient kernel of the backward pass: `d_w = xᵀ · δ` without the
+/// per-batch activation transpose.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if `A.rows() != B.rows()`.
+pub fn matmul_at_b(a: &Matrix, b: &Matrix, out: &mut Matrix, ws: &mut Workspace) -> Result<()> {
+    if a.rows() != b.rows() {
+        return Err(TensorError::ShapeMismatch {
+            op: "matmul_at_b",
+            left: a.shape(),
+            right: b.shape(),
+        });
+    }
+    let (r, m) = a.shape();
+    let n = b.cols();
+    out.reset_to(m, n)?;
+    for rb in (0..r).step_by(K_BLOCK) {
+        let rc = K_BLOCK.min(r - rb);
+        pack_panel(&mut ws.panel, b, rb, rc);
+        accumulate_panel_t(a.as_slice(), m, rb, rc, &ws.panel, out);
+    }
+    Ok(())
+}
+
+/// The [`accumulate_panel`] kernel with the left operand read transposed:
+/// `out[i][j] += sum_{kk} a[rb + kk][i] * panel[kk][j]`. Identical register
+/// blocking and reduction order; only the `a` element addressing changes
+/// (column-strided scalar loads instead of a contiguous row), so the result
+/// is bit-identical to transposing `a` and running [`accumulate_panel`].
+fn accumulate_panel_t(
+    a_data: &[f32],
+    m: usize,
+    rb: usize,
+    rc: usize,
+    panel: &[f32],
+    out: &mut Matrix,
+) {
+    let n = out.cols();
+    let a_block = &a_data[rb * m..(rb + rc) * m];
+    let out_data = out.as_mut_slice();
+    let mut i = 0;
+    while i + I_TILE <= m {
+        let mut jt = 0;
+        while jt + J_TILE <= n {
+            let mut acc = [[0.0f32; J_TILE]; I_TILE];
+            for (s, acc_row) in acc.iter_mut().enumerate() {
+                acc_row.copy_from_slice(&out_data[(i + s) * n + jt..(i + s) * n + jt + J_TILE]);
+            }
+            for kk in 0..rc {
+                let b_tile = &panel[kk * n + jt..kk * n + jt + J_TILE];
+                let a_row = &a_block[kk * m + i..kk * m + i + I_TILE];
+                let (x0, x1, x2, x3) = (a_row[0], a_row[1], a_row[2], a_row[3]);
+                for (l, &bv) in b_tile.iter().enumerate() {
+                    acc[0][l] += x0 * bv;
+                    acc[1][l] += x1 * bv;
+                    acc[2][l] += x2 * bv;
+                    acc[3][l] += x3 * bv;
+                }
+            }
+            for (s, acc_row) in acc.iter().enumerate() {
+                out_data[(i + s) * n + jt..(i + s) * n + jt + J_TILE].copy_from_slice(acc_row);
+            }
+            jt += J_TILE;
+        }
+        let jw = n - jt;
+        if jw > 0 {
+            // Fixed-width half-tile over the panel's zero padding, as in
+            // `accumulate_panel`'s tail.
+            const H_TILE: usize = J_TILE / 2;
+            if jw > H_TILE {
+                let mut acc = [[0.0f32; J_TILE]; I_TILE];
+                for (s, acc_row) in acc.iter_mut().enumerate() {
+                    acc_row[..jw].copy_from_slice(&out_data[(i + s) * n + jt..(i + s + 1) * n]);
+                }
+                for kk in 0..rc {
+                    let b_tile = &panel[kk * n + jt..kk * n + jt + J_TILE];
+                    let a_row = &a_block[kk * m + i..kk * m + i + I_TILE];
+                    let (x0, x1, x2, x3) = (a_row[0], a_row[1], a_row[2], a_row[3]);
+                    for (l, &bv) in b_tile.iter().enumerate() {
+                        acc[0][l] += x0 * bv;
+                        acc[1][l] += x1 * bv;
+                        acc[2][l] += x2 * bv;
+                        acc[3][l] += x3 * bv;
+                    }
+                }
+                for (s, acc_row) in acc.iter().enumerate() {
+                    out_data[(i + s) * n + jt..(i + s + 1) * n].copy_from_slice(&acc_row[..jw]);
+                }
+            } else {
+                let mut acc = [[0.0f32; H_TILE]; I_TILE];
+                for (s, acc_row) in acc.iter_mut().enumerate() {
+                    acc_row[..jw].copy_from_slice(&out_data[(i + s) * n + jt..(i + s + 1) * n]);
+                }
+                for kk in 0..rc {
+                    let b_tile = &panel[kk * n + jt..kk * n + jt + H_TILE];
+                    let a_row = &a_block[kk * m + i..kk * m + i + I_TILE];
+                    let (x0, x1, x2, x3) = (a_row[0], a_row[1], a_row[2], a_row[3]);
+                    for (l, &bv) in b_tile.iter().enumerate() {
+                        acc[0][l] += x0 * bv;
+                        acc[1][l] += x1 * bv;
+                        acc[2][l] += x2 * bv;
+                        acc[3][l] += x3 * bv;
+                    }
+                }
+                for (s, acc_row) in acc.iter().enumerate() {
+                    out_data[(i + s) * n + jt..(i + s + 1) * n].copy_from_slice(&acc_row[..jw]);
+                }
+            }
+        }
+        i += I_TILE;
+    }
+    while i < m {
+        let mut jt = 0;
+        while jt + J_TILE <= n {
+            let mut acc = [0.0f32; J_TILE];
+            acc.copy_from_slice(&out_data[i * n + jt..i * n + jt + J_TILE]);
+            for kk in 0..rc {
+                let b_tile = &panel[kk * n + jt..kk * n + jt + J_TILE];
+                let x = a_block[kk * m + i];
+                for (o, &bv) in acc.iter_mut().zip(b_tile) {
+                    *o += x * bv;
+                }
+            }
+            out_data[i * n + jt..i * n + jt + J_TILE].copy_from_slice(&acc);
+            jt += J_TILE;
+        }
+        let jw = n - jt;
+        if jw > 0 {
+            const H_TILE: usize = J_TILE / 2;
+            if jw > H_TILE {
+                let mut acc = [0.0f32; J_TILE];
+                acc[..jw].copy_from_slice(&out_data[i * n + jt..(i + 1) * n]);
+                for kk in 0..rc {
+                    let b_tile = &panel[kk * n + jt..kk * n + jt + J_TILE];
+                    let x = a_block[kk * m + i];
+                    for (o, &bv) in acc.iter_mut().zip(b_tile) {
+                        *o += x * bv;
+                    }
+                }
+                out_data[i * n + jt..(i + 1) * n].copy_from_slice(&acc[..jw]);
+            } else {
+                let mut acc = [0.0f32; H_TILE];
+                acc[..jw].copy_from_slice(&out_data[i * n + jt..(i + 1) * n]);
+                for kk in 0..rc {
+                    let b_tile = &panel[kk * n + jt..kk * n + jt + H_TILE];
+                    let x = a_block[kk * m + i];
+                    for (o, &bv) in acc.iter_mut().zip(b_tile) {
+                        *o += x * bv;
+                    }
+                }
+                out_data[i * n + jt..(i + 1) * n].copy_from_slice(&acc[..jw]);
+            }
+        }
+        i += 1;
+    }
 }
 
 /// Transposes a matrix.
@@ -52,6 +427,32 @@ pub fn matmul(a: &Matrix, b: &Matrix) -> Result<Matrix> {
 pub fn transpose(a: &Matrix) -> Matrix {
     let (m, n) = a.shape();
     Matrix::from_fn(n, m, |r, c| a[(c, r)]).expect("source dimensions are positive")
+}
+
+/// Transposes `a` into a reusable output matrix (no allocation once `out`
+/// has grown to size).
+///
+/// Works in 16×16 tiles so the destination is written in contiguous runs
+/// while the strided source reads stay within one tile of cache lines
+/// (transposition moves data, never computes, so tiling cannot affect
+/// values).
+pub fn transpose_into(a: &Matrix, out: &mut Matrix) {
+    const T_BLOCK: usize = 16;
+    let (m, n) = a.shape();
+    out.reset_to(n, m).expect("source dimensions are positive");
+    let src = a.as_slice();
+    let dst = out.as_mut_slice();
+    for rb in (0..m).step_by(T_BLOCK) {
+        let rend = (rb + T_BLOCK).min(m);
+        for cb in (0..n).step_by(T_BLOCK) {
+            let cend = (cb + T_BLOCK).min(n);
+            for c in cb..cend {
+                for r in rb..rend {
+                    dst[c * m + r] = src[r * n + c];
+                }
+            }
+        }
+    }
 }
 
 /// Elementwise addition.
@@ -127,6 +528,31 @@ pub fn add_row_broadcast(a: &Matrix, bias: &Matrix) -> Result<Matrix> {
     Ok(out)
 }
 
+/// Adds a 1×n row vector to every row of `a` in place — the allocation-free
+/// bias-add used by the scratch-based DNN forward pass.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] unless `bias` is `1 × a.cols()`.
+pub fn add_row_broadcast_inplace(a: &mut Matrix, bias: &Matrix) -> Result<()> {
+    if bias.rows() != 1 || bias.cols() != a.cols() {
+        return Err(TensorError::ShapeMismatch {
+            op: "add_row_broadcast",
+            left: a.shape(),
+            right: bias.shape(),
+        });
+    }
+    let (m, n) = a.shape();
+    let data = a.as_mut_slice();
+    let b = bias.as_slice();
+    for row in 0..m {
+        for (v, bv) in data[row * n..(row + 1) * n].iter_mut().zip(b) {
+            *v += bv;
+        }
+    }
+    Ok(())
+}
+
 /// Row-wise softmax (numerically stabilised by subtracting the row max).
 #[must_use]
 pub fn softmax_rows(a: &Matrix) -> Matrix {
@@ -192,6 +618,18 @@ pub fn sum_rows(a: &Matrix) -> Matrix {
         }
     }
     out
+}
+
+/// Column sums of `a` into a reusable 1×n output (bit-identical to
+/// [`sum_rows`]: rows are accumulated top to bottom).
+pub fn sum_rows_into(a: &Matrix, out: &mut Matrix) {
+    out.reset_to(1, a.cols()).expect("cols > 0");
+    let acc = out.as_mut_slice();
+    for row in a.iter_rows() {
+        for (o, v) in acc.iter_mut().zip(row) {
+            *o += v;
+        }
+    }
 }
 
 /// Frobenius norm, `sqrt(sum of squares)`.

@@ -6,7 +6,8 @@
 //! multiplication proceeds in `f32`, so the result matches what the DPE array
 //! would produce.
 
-use crate::{ops, Matrix, Result, TensorError};
+use crate::workspace::K_BLOCK;
+use crate::{ops, Matrix, Result, TensorError, Workspace};
 use dacapo_mx::{MxPrecision, MxVector};
 
 /// Quantises every row of a matrix through the MX encode/decode round trip.
@@ -20,11 +21,24 @@ use dacapo_mx::{MxPrecision, MxVector};
 /// values.
 pub fn quantize_rows(a: &Matrix, precision: MxPrecision) -> Result<Matrix> {
     let mut out = a.clone();
-    for r in 0..out.rows() {
-        let quantized = MxVector::quantize(a.row(r), precision)?;
-        out.row_mut(r).copy_from_slice(&quantized);
-    }
+    quantize_rows_into(a, precision, &mut out)?;
     Ok(out)
+}
+
+/// Quantises every row of `a` into a reusable output matrix, allocation-free
+/// once `out` has grown to size.
+///
+/// # Errors
+///
+/// Returns [`TensorError::Quantization`] if the matrix contains non-finite
+/// values.
+pub fn quantize_rows_into(a: &Matrix, precision: MxPrecision, out: &mut Matrix) -> Result<()> {
+    let (m, k) = a.shape();
+    out.reset_to(m, k)?;
+    for r in 0..m {
+        MxVector::quantize_into(a.row(r), precision, out.row_mut(r))?;
+    }
+    Ok(())
 }
 
 /// Quantises every column of a matrix through the MX encode/decode round trip.
@@ -32,15 +46,142 @@ pub fn quantize_rows(a: &Matrix, precision: MxPrecision) -> Result<Matrix> {
 /// Used for the right-hand GEMM operand, whose reduction dimension runs down
 /// the columns. (This is also what DaCapo's precision-conversion unit does in
 /// "column-major" mode when producing transposed operands for retraining.)
+/// Columns are gathered and quantised one at a time — bit-identical to
+/// transposing, quantising rows, and transposing back, without the two
+/// transpose copies.
 ///
 /// # Errors
 ///
 /// Returns [`TensorError::Quantization`] if the matrix contains non-finite
 /// values.
 pub fn quantize_cols(a: &Matrix, precision: MxPrecision) -> Result<Matrix> {
-    let transposed = ops::transpose(a);
-    let quantized = quantize_rows(&transposed, precision)?;
-    Ok(ops::transpose(&quantized))
+    let (k, n) = a.shape();
+    let mut out = a.clone();
+    let mut col = vec![0.0f32; k];
+    let mut qcol = vec![0.0f32; k];
+    let src = a.as_slice();
+    let dst = out.as_mut_slice();
+    for j in 0..n {
+        for (kk, c) in col.iter_mut().enumerate() {
+            *c = src[kk * n + j];
+        }
+        MxVector::quantize_into(&col, precision, &mut qcol)?;
+        for (kk, &q) in qcol.iter().enumerate() {
+            dst[kk * n + j] = q;
+        }
+    }
+    Ok(out)
+}
+
+/// Quantises rows `kb..kb + kc` of `b` column-by-column and packs them into
+/// the workspace panel (row-major by reduction index).
+///
+/// Because `kb` is always a [`K_BLOCK`] multiple and `K_BLOCK` is a multiple
+/// of the 16-element MX block size, the MX blocks of each column segment
+/// coincide exactly with the blocks of the full column — so fusing
+/// quantisation into packing is bit-identical to quantising whole columns
+/// up front.
+fn pack_quantized_panel(
+    panel: &mut Vec<f32>,
+    col: &mut Vec<f32>,
+    qcol: &mut Vec<f32>,
+    b: &Matrix,
+    kb: usize,
+    kc: usize,
+    precision: MxPrecision,
+) -> Result<()> {
+    let n = b.cols();
+    panel.clear();
+    // J_TILE zeros of padding let the fixed-width tail kernel in
+    // accumulate_panel read one full tile past the last packed row.
+    panel.resize(kc * n + ops::J_TILE, 0.0);
+    col.resize(kc, 0.0);
+    qcol.resize(kc, 0.0);
+    let src = b.as_slice();
+    for j in 0..n {
+        for (kk, c) in col.iter_mut().enumerate() {
+            *c = src[(kb + kk) * n + j];
+        }
+        MxVector::quantize_into(&col[..kc], precision, &mut qcol[..kc])?;
+        for (kk, &q) in qcol[..kc].iter().enumerate() {
+            panel[kk * n + j] = q;
+        }
+    }
+    Ok(())
+}
+
+/// MX GEMM into a reusable output, fusing B-operand quantisation into panel
+/// packing. The left operand is quantised row-wise into the workspace, the
+/// right operand column-wise one reduction block at a time; accumulation is
+/// ascending-`k` FP32, so the result is bit-identical to [`mx_matmul`].
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if `a.cols() != b.rows()` and
+/// [`TensorError::Quantization`] on non-finite inputs.
+pub fn mx_matmul_into(
+    a: &Matrix,
+    b: &Matrix,
+    precision: MxPrecision,
+    out: &mut Matrix,
+    ws: &mut Workspace,
+) -> Result<()> {
+    if a.cols() != b.rows() {
+        return Err(TensorError::ShapeMismatch {
+            op: "mx_matmul",
+            left: a.shape(),
+            right: b.shape(),
+        });
+    }
+    let (m, k) = a.shape();
+    let n = b.cols();
+    out.reset_to(m, n)?;
+    let Workspace { panel, qa, col, qcol } = ws;
+    qa.clear();
+    qa.resize(m * k, 0.0);
+    for r in 0..m {
+        MxVector::quantize_into(a.row(r), precision, &mut qa[r * k..(r + 1) * k])?;
+    }
+    for kb in (0..k).step_by(K_BLOCK) {
+        let kc = K_BLOCK.min(k - kb);
+        pack_quantized_panel(panel, col, qcol, b, kb, kc, precision)?;
+        ops::accumulate_panel(qa, k, kb, kc, panel, out);
+    }
+    Ok(())
+}
+
+/// MX GEMM whose left operand `qa` is already row-quantised (as the DNN
+/// forward cache keeps it); only the right operand is quantised, fused into
+/// panel packing. Bit-identical to `matmul(qa, quantize_cols(b))`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if `qa.cols() != b.rows()` and
+/// [`TensorError::Quantization`] if `b` contains non-finite values.
+pub fn mx_matmul_prequant_into(
+    qa: &Matrix,
+    b: &Matrix,
+    precision: MxPrecision,
+    out: &mut Matrix,
+    ws: &mut Workspace,
+) -> Result<()> {
+    if qa.cols() != b.rows() {
+        return Err(TensorError::ShapeMismatch {
+            op: "mx_matmul",
+            left: qa.shape(),
+            right: b.shape(),
+        });
+    }
+    let (m, k) = qa.shape();
+    let n = b.cols();
+    out.reset_to(m, n)?;
+    let Workspace { panel, col, qcol, .. } = ws;
+    for kb in (0..k).step_by(K_BLOCK) {
+        let kc = K_BLOCK.min(k - kb);
+        pack_quantized_panel(panel, col, qcol, b, kb, kc, precision)?;
+        ops::accumulate_panel(qa.as_slice(), k, kb, kc, panel, out);
+    }
+    Ok(())
 }
 
 /// MX-quantised GEMM: both operands are quantised along the reduction
@@ -75,9 +216,10 @@ pub fn mx_matmul(a: &Matrix, b: &Matrix, precision: MxPrecision) -> Result<Matri
             right: b.shape(),
         });
     }
-    let qa = quantize_rows(a, precision)?;
-    let qb = quantize_cols(b, precision)?;
-    ops::matmul(&qa, &qb)
+    let mut ws = Workspace::new();
+    let mut out = a.clone();
+    mx_matmul_into(a, b, precision, &mut out, &mut ws)?;
+    Ok(out)
 }
 
 /// Relative Frobenius-norm error of the MX GEMM against the FP32 GEMM.
@@ -157,6 +299,30 @@ mod tests {
         a[(0, 3)] = f32::NAN;
         let b = Matrix::zeros(16, 2).unwrap();
         assert!(matches!(mx_matmul(&a, &b, MxPrecision::Mx6), Err(TensorError::Quantization(_))));
+    }
+
+    #[test]
+    fn fused_mx_gemm_is_bit_identical_to_unfused_reference() {
+        // Shapes straddling the K_BLOCK boundary and non-multiple-of-16 K.
+        for (m, k, n) in [(3, 5, 4), (2, 64, 3), (4, 70, 5), (1, 130, 2)] {
+            let a = Matrix::from_fn(m, k, |r, c| (((r * 37 + c * 13) % 23) as f32 - 11.0) * 0.13)
+                .unwrap();
+            let b = Matrix::from_fn(k, n, |r, c| (((r * 19 + c * 7) % 29) as f32 - 14.0) * 0.09)
+                .unwrap();
+            for precision in [MxPrecision::Mx4, MxPrecision::Mx6, MxPrecision::Mx9] {
+                let reference = ops::matmul_reference(
+                    &quantize_rows(&a, precision).unwrap(),
+                    &quantize_cols(&b, precision).unwrap(),
+                )
+                .unwrap();
+                assert_eq!(mx_matmul(&a, &b, precision).unwrap(), reference);
+                let qa = quantize_rows(&a, precision).unwrap();
+                let mut ws = Workspace::new();
+                let mut out = Matrix::zeros(1, 1).unwrap();
+                mx_matmul_prequant_into(&qa, &b, precision, &mut out, &mut ws).unwrap();
+                assert_eq!(out, reference);
+            }
+        }
     }
 
     #[test]

@@ -1,12 +1,20 @@
 //! Property-based tests for matrix operations and MX-quantised GEMM.
 
 use dacapo_mx::MxPrecision;
-use dacapo_tensor::{init, ops, quant, Matrix};
+use dacapo_tensor::{init, ops, quant, Matrix, Workspace};
 use proptest::prelude::*;
 
 /// Small matrix dimensions keep the O(n^3) reference checks fast.
 fn dims() -> impl Strategy<Value = (usize, usize, usize)> {
     (1usize..12, 1usize..12, 1usize..12)
+}
+
+/// Dimensions whose reduction length straddles the packed kernel's K_BLOCK
+/// (64) and the 16-element MX block, including non-multiples of both, and
+/// whose output shape straddles the register-block tiles (I_TILE rows,
+/// J_TILE and half-tile columns).
+fn gemm_dims() -> impl Strategy<Value = (usize, usize, usize)> {
+    (1usize..10, 1usize..150, 1usize..80)
 }
 
 fn matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
@@ -97,6 +105,71 @@ proptest! {
                 }
             }
         }
+    }
+
+    /// The packed, blocked GEMM is bit-identical to the naive triple loop,
+    /// including shapes that are not multiples of the tile size, and the
+    /// workspace carries no state between calls of different shapes.
+    #[test]
+    fn packed_gemm_is_bit_identical_to_reference((m, k, n) in gemm_dims(), seed in 0u64..1000) {
+        let a = matrix(m, k, seed);
+        let b = matrix(k, n, seed.wrapping_add(5));
+        let reference = ops::matmul_reference(&a, &b).unwrap();
+        prop_assert_eq!(&ops::matmul(&a, &b).unwrap(), &reference);
+        let mut ws = Workspace::new();
+        let mut out = Matrix::zeros(1, 1).unwrap();
+        ops::matmul_into(&a, &b, &mut out, &mut ws).unwrap();
+        prop_assert_eq!(&out, &reference);
+        // Reuse the same workspace/output at a different shape, then again at
+        // the original shape: leftover contents must not leak into results.
+        let c = matrix(n, m.min(3), seed.wrapping_add(9));
+        ops::matmul_into(&b, &c, &mut out, &mut ws).unwrap();
+        ops::matmul_into(&a, &b, &mut out, &mut ws).unwrap();
+        prop_assert_eq!(&out, &reference);
+    }
+
+    /// The fused quantise-and-pack MX GEMM is bit-identical to the unfused
+    /// reference (quantise whole operands, then naive GEMM), for every
+    /// precision and for reduction lengths off the MX/tile block boundaries.
+    #[test]
+    fn fused_mx_gemm_is_bit_identical_to_reference((m, k, n) in gemm_dims(), seed in 0u64..1000) {
+        let a = matrix(m, k, seed);
+        let b = matrix(k, n, seed.wrapping_add(5));
+        for precision in [MxPrecision::Mx4, MxPrecision::Mx6, MxPrecision::Mx9] {
+            let qa = quant::quantize_rows(&a, precision).unwrap();
+            let qb = quant::quantize_cols(&b, precision).unwrap();
+            let reference = ops::matmul_reference(&qa, &qb).unwrap();
+            prop_assert_eq!(&quant::mx_matmul(&a, &b, precision).unwrap(), &reference);
+            let mut ws = Workspace::new();
+            let mut out = Matrix::zeros(1, 1).unwrap();
+            quant::mx_matmul_into(&a, &b, precision, &mut out, &mut ws).unwrap();
+            prop_assert_eq!(&out, &reference);
+            quant::mx_matmul_prequant_into(&qa, &b, precision, &mut out, &mut ws).unwrap();
+            prop_assert_eq!(&out, &reference);
+        }
+    }
+
+    /// The transpose-free weight-gradient kernel is bit-identical to
+    /// materialising the transpose and running the packed GEMM.
+    #[test]
+    fn at_b_gemm_is_bit_identical_to_transposed_matmul((r, m, n) in gemm_dims(), seed in 0u64..1000) {
+        let a = matrix(r, m, seed);
+        let b = matrix(r, n, seed.wrapping_add(5));
+        let reference = ops::matmul(&ops::transpose(&a), &b).unwrap();
+        let mut out = Matrix::zeros(1, 1).unwrap();
+        let mut ws = Workspace::new();
+        ops::matmul_at_b(&a, &b, &mut out, &mut ws).unwrap();
+        prop_assert_eq!(&out, &reference);
+        prop_assert_eq!(&out, &ops::matmul_reference(&ops::transpose(&a), &b).unwrap());
+    }
+
+    /// Transposing into a reused slot matches the allocating transpose.
+    #[test]
+    fn transpose_into_matches_transpose((m, k, _) in dims(), seed in 0u64..1000) {
+        let a = matrix(m, k, seed);
+        let mut out = Matrix::zeros(1, 1).unwrap();
+        ops::transpose_into(&a, &mut out);
+        prop_assert_eq!(out, ops::transpose(&a));
     }
 
     /// axpy(a, s, b) == a + s*b elementwise.

@@ -38,6 +38,13 @@ test:
 bench:
     cargo bench -p dacapo-bench
 
+# Executor throughput microbench (README "Performance"): steps/s on the
+# churn-free steady fleet, recorded in results/BENCH_steps.json and
+# regression-checked against the checked-in baseline. Extra flags pass
+# through, e.g. `just perf --quick` for the larger tier without the gate.
+perf *ARGS='--smoke --check':
+    cargo bench -p dacapo-bench --bench steps_bench -- {{ARGS}}
+
 # Cluster execution demo (custom arbiter, admission control) plus the
 # contention sweep; leaves results/BENCH_cluster.json behind.
 cluster:

@@ -32,12 +32,27 @@ impl Criterion {
     }
 
     /// Times a single benchmark closure.
-    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) {
+        let _ = self.bench_function_sampled(name, f);
+    }
+
+    /// Like [`Criterion::bench_function`], but also returns the collected
+    /// samples so harness-free benchmark binaries can post-process them
+    /// (derive throughput, write JSON records, gate regressions). Not part
+    /// of the upstream criterion API.
+    pub fn bench_function_sampled<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: &str,
+        mut f: F,
+    ) -> Summary {
         let mut bencher = Bencher { samples: Vec::with_capacity(self.sample_size) };
         for _ in 0..self.sample_size {
             f(&mut bencher);
         }
-        report(name, &mut bencher.samples);
+        bencher.samples.sort_unstable();
+        let summary = Summary { name: name.to_string(), samples: bencher.samples };
+        summary.print();
+        summary
     }
 
     /// Opens a named group of related benchmarks.
@@ -107,18 +122,58 @@ impl Bencher {
         self.samples.push(start.elapsed());
         black_box(output);
     }
+
+    /// Records one sample whose duration the routine measures itself,
+    /// mirroring criterion's `iter_custom`: the closure receives an
+    /// iteration count (always 1 here) and returns the wall time of the
+    /// portion that should be charged, so per-sample setup and teardown
+    /// stay outside the measurement.
+    pub fn iter_custom<F: FnMut(u64) -> Duration>(&mut self, mut routine: F) {
+        self.samples.push(routine(1));
+    }
 }
 
-fn report(name: &str, samples: &mut Vec<Duration>) {
-    if samples.is_empty() {
-        println!("{name:<48} (no samples)");
-        return;
+/// The sorted samples one benchmark collected, with the summary statistics
+/// the text report prints. Returned by [`Criterion::bench_function_sampled`].
+#[derive(Debug, Clone)]
+pub struct Summary {
+    /// The benchmark name as reported.
+    pub name: String,
+    /// Per-sample wall durations, sorted ascending.
+    pub samples: Vec<Duration>,
+}
+
+impl Summary {
+    /// The fastest sample — the least-noise estimate of the true cost
+    /// (scheduler interference only ever adds time).
+    #[must_use]
+    pub fn best(&self) -> Duration {
+        self.samples.first().copied().unwrap_or(Duration::ZERO)
     }
-    samples.sort_unstable();
-    let median = samples[samples.len() / 2];
-    let best = samples[0];
-    println!("{name:<48} median {median:>12?}  best {best:>12?}  ({} samples)", samples.len());
-    samples.clear();
+
+    /// The median sample.
+    #[must_use]
+    pub fn median(&self) -> Duration {
+        if self.samples.is_empty() {
+            Duration::ZERO
+        } else {
+            self.samples[self.samples.len() / 2]
+        }
+    }
+
+    fn print(&self) {
+        if self.samples.is_empty() {
+            println!("{:<48} (no samples)", self.name);
+            return;
+        }
+        println!(
+            "{:<48} median {:>12?}  best {:>12?}  ({} samples)",
+            self.name,
+            self.median(),
+            self.best(),
+            self.samples.len()
+        );
+    }
 }
 
 /// Declares a benchmark group function, mirroring `criterion_group!`.
